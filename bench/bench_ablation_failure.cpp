@@ -1,0 +1,55 @@
+// ABL-FAIL — failure tolerance: crash-restart one proxy (losing its disk)
+// at the midpoint of the trace and measure the damage per scheme.
+//
+// Expected shape: ad-hoc's uncontrolled replication is accidental fault
+// tolerance — copies of the lost documents survive elsewhere, so its
+// post-crash dip is smaller. The EA scheme trades that redundancy for
+// capacity; hash partitioning (exactly one copy per document) is the most
+// exposed. This quantifies the availability cost of deduplication.
+#include "bench_common.h"
+
+using namespace eacache;
+
+namespace {
+
+SimulationResult run_with_midpoint_crash(const Trace& trace, const GroupConfig& config) {
+  SimulationOptions options;
+  options.flush_events.push_back({trace.requests[trace.size() / 2].at, 0});
+  return run_simulation(trace, config, options);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("ABL-FAIL", "Hit-rate cost of losing one proxy's disk mid-trace");
+  const Trace& trace = bench::small_trace();
+
+  TextTable table({"aggregate memory", "scheme", "hit rate (clean)", "hit rate (crash)",
+                   "damage"});
+  for (const Bytes capacity : {1 * kMiB, 10 * kMiB, 100 * kMiB}) {
+    struct Scheme {
+      const char* label;
+      PlacementKind placement;
+      RoutingMode routing;
+    };
+    const Scheme schemes[] = {
+        {"ad-hoc", PlacementKind::kAdHoc, RoutingMode::kCooperative},
+        {"ea", PlacementKind::kEa, RoutingMode::kCooperative},
+        {"hash", PlacementKind::kAdHoc, RoutingMode::kHashPartition},
+    };
+    for (const Scheme& scheme : schemes) {
+      GroupConfig config = bench::paper_group(4);
+      config.aggregate_capacity = capacity;
+      config.placement = scheme.placement;
+      config.routing = scheme.routing;
+      const SimulationResult clean = run_simulation(trace, config);
+      const SimulationResult crash = run_with_midpoint_crash(trace, config);
+      table.add_row({bench::capacity_label(capacity), scheme.label,
+                     fmt_percent(clean.metrics.hit_rate()),
+                     fmt_percent(crash.metrics.hit_rate()),
+                     fmt_percent(clean.metrics.hit_rate() - crash.metrics.hit_rate())});
+    }
+  }
+  bench::print_table_and_csv(table);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// ABL-HYST — replication-threshold sweep for the EA-hysteresis extension:
+// the requester replicates only when its copy would survive `factor` times
+// longer than the responder's. factor = 1 is the paper's EA scheme.
+//
+// Expected shape: replication falls monotonically with the factor; the hit
+// rate first holds (dedup still pays) and eventually sags as useful
+// replicas stop being made and remote-hit latency dominates.
+#include "bench_common.h"
+
+using namespace eacache;
+
+int main() {
+  bench::print_banner("ABL-HYST", "EA replication-threshold (hysteresis) sweep");
+  const LatencyModel model = LatencyModel::paper_defaults();
+  const double factors[] = {1.0, 1.5, 2.0, 4.0, 8.0, 16.0};
+
+  TextTable table({"aggregate memory", "scheme", "hit rate", "remote",
+                   "latency (ms)", "replication"});
+  for (const Bytes capacity : {1 * kMiB, 10 * kMiB}) {
+    GroupConfig base = bench::paper_group(4);
+    base.aggregate_capacity = capacity;
+
+    base.placement = PlacementKind::kAdHoc;
+    const SimulationResult adhoc = run_simulation(bench::small_trace(), base);
+    table.add_row({bench::capacity_label(capacity), "ad-hoc",
+                   fmt_percent(adhoc.metrics.hit_rate()),
+                   fmt_percent(adhoc.metrics.remote_hit_rate()),
+                   fmt_double(adhoc.metrics.estimated_average_latency_ms(model), 1),
+                   fmt_double(adhoc.replication_factor, 3)});
+
+    for (const double factor : factors) {
+      base.placement =
+          factor == 1.0 ? PlacementKind::kEa : PlacementKind::kEaHysteresis;
+      base.ea_hysteresis = factor;
+      const SimulationResult result = run_simulation(bench::small_trace(), base);
+      table.add_row({bench::capacity_label(capacity),
+                     factor == 1.0 ? "ea (x1)" : ("ea-hyst x" + fmt_double(factor, 1)),
+                     fmt_percent(result.metrics.hit_rate()),
+                     fmt_percent(result.metrics.remote_hit_rate()),
+                     fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
+                     fmt_double(result.replication_factor, 3)});
+    }
+  }
+  bench::print_table_and_csv(table);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// ABL-RATIO — Paper §1 asks "how does the document placement scheme relate
+// to the ratio of the inter-proxy communication time to server fetch time?"
+// This ablation answers it: sweep RHL/ML while holding the hit-rate split
+// fixed (one simulation per scheme per capacity; Eq. 6 re-evaluated under
+// each ratio) and report where the EA-vs-ad-hoc latency sign flips.
+//
+// Expectation: EA wins whenever misses are much more expensive than remote
+// hits (small ratio); as remote hits approach miss cost, EA's extra remote
+// traffic erodes the advantage — the crossover moves earlier at large cache
+// sizes where the miss-rate gap is small.
+#include "bench_common.h"
+
+using namespace eacache;
+
+int main() {
+  bench::print_banner("ABL-RATIO",
+                      "EA latency advantage vs remote-hit/miss latency ratio (Eq. 6 sweep)");
+
+  const double ratios[] = {0.05, 0.123, 0.25, 0.5, 0.75, 1.0};
+  const Bytes capacities[] = {1 * kMiB, 10 * kMiB, 100 * kMiB};
+  const auto points = compare_schemes_over_capacities(
+      bench::small_trace(), bench::paper_group(4), capacities);
+
+  TextTable table({"aggregate memory", "RHL/ML ratio", "RHL (ms)", "ad-hoc latency (ms)",
+                   "EA latency (ms)", "EA - ad-hoc (ms)", "EA wins"});
+  for (const SchemeComparison& point : points) {
+    for (const double ratio : ratios) {
+      const LatencyModel model = LatencyModel::with_remote_to_miss_ratio(ratio);
+      const double adhoc_ms = point.adhoc.metrics.estimated_average_latency_ms(model);
+      const double ea_ms = point.ea.metrics.estimated_average_latency_ms(model);
+      table.add_row({bench::capacity_label(point.aggregate_capacity), fmt_double(ratio, 3),
+                     fmt_double(static_cast<double>(model.remote_hit.count()), 0),
+                     fmt_double(adhoc_ms, 1), fmt_double(ea_ms, 1),
+                     fmt_double(ea_ms - adhoc_ms, 1), ea_ms < adhoc_ms ? "yes" : "no"});
+    }
+  }
+  bench::print_table_and_csv(table);
+  return 0;
+}

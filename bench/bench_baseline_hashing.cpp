@@ -1,0 +1,45 @@
+// BASE-HASH — placement-scheme head-to-head the paper's introduction
+// motivates: conventional ad-hoc replication, the EA scheme, and the
+// consistent-hashing partition baseline (paper refs. [8], [16]).
+//
+// Expected shape: hash partitioning maximises unique documents (zero
+// replication) so its HIT RATE can exceed both replicating schemes under
+// contention — but nearly every hit is remote, so its LATENCY loses badly
+// whenever remote hits are much slower than local ones. The EA scheme sits
+// between: controlled replication keeps latency low while recovering much
+// of the dedup benefit.
+#include "bench_common.h"
+
+using namespace eacache;
+
+int main() {
+  bench::print_banner("BASE-HASH",
+                      "Ad-hoc vs EA vs consistent-hash partitioning (4-cache group)");
+  const LatencyModel model = LatencyModel::paper_defaults();
+
+  TextTable table({"aggregate memory", "scheme", "hit rate", "local", "remote",
+                   "latency (ms)", "replication"});
+  for (const Bytes capacity : paper_capacity_ladder()) {
+    GroupConfig base = bench::paper_group(4);
+    base.aggregate_capacity = capacity;
+
+    const auto add = [&](const char* label, const SimulationResult& result) {
+      table.add_row({bench::capacity_label(capacity), label,
+                     fmt_percent(result.metrics.hit_rate()),
+                     fmt_percent(result.metrics.local_hit_rate()),
+                     fmt_percent(result.metrics.remote_hit_rate()),
+                     fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
+                     fmt_double(result.replication_factor, 3)});
+    };
+
+    base.placement = PlacementKind::kAdHoc;
+    add("ad-hoc", run_simulation(bench::paper_trace(), base));
+    base.placement = PlacementKind::kEa;
+    add("ea", run_simulation(bench::paper_trace(), base));
+    base.placement = PlacementKind::kAdHoc;
+    base.routing = RoutingMode::kHashPartition;
+    add("hash", run_simulation(bench::paper_trace(), base));
+  }
+  bench::print_table_and_csv(table);
+  return 0;
+}

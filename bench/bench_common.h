@@ -1,0 +1,46 @@
+// Shared workload, configuration and rendering for the experiment benches.
+//
+// Every bench binary replays the same BU-calibrated synthetic trace (see
+// DESIGN.md §3 for the substitution rationale) through both placement
+// schemes and prints (a) a human-readable table mirroring the paper's
+// figure/table, and (b) a machine-readable CSV block for EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "group/cache_group.h"
+#include "metrics/table.h"
+#include "sim/experiment.h"
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+
+namespace eacache::bench {
+
+/// The paper's trace, reconstructed: 575,775 requests, 46,830 documents,
+/// 591 users, ~3.5 months, 4 KB mean size, Zipf(0.75) popularity, with
+/// session-level temporal locality.
+[[nodiscard]] SyntheticTraceConfig paper_workload_config();
+
+/// Memoized full-size trace (generating it takes ~a second; every bench
+/// reuses one copy). Prints the trace statistics the first time.
+[[nodiscard]] const Trace& paper_trace();
+
+/// A scaled-down trace (1/8 the requests) for quick shape checks; used by
+/// benches that sweep many dimensions.
+[[nodiscard]] const Trace& small_trace();
+
+/// The paper's experimental group: distributed architecture, LRU
+/// replacement, N caches with equal shares of the aggregate budget.
+[[nodiscard]] GroupConfig paper_group(std::size_t num_proxies = 4);
+
+/// Pretty banner: experiment id + description + workload summary.
+void print_banner(const std::string& experiment_id, const std::string& title);
+
+/// Print a table twice: boxed text and CSV (prefixed with "csv,").
+void print_table_and_csv(const TextTable& table);
+
+/// Convenience: "100KiB"-style labels for the capacity ladder.
+[[nodiscard]] std::string capacity_label(Bytes capacity);
+
+}  // namespace eacache::bench

@@ -1,0 +1,136 @@
+// MICRO — google-benchmark microbenchmarks for the hot paths: cache-store
+// operations under each replacement policy, Zipf sampling, synthetic trace
+// generation and whole-group request serving. These guard the simulator's
+// throughput (the full BU-scale sweeps replay ~11.5M requests per bench
+// binary) rather than reproducing a paper artifact.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "digest/counting_bloom.h"
+#include "group/cache_group.h"
+#include "net/icp_codec.h"
+#include "storage/cache_store.h"
+#include "trace/analysis.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)), 0.75);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(46830)->Arg(1000000);
+
+void BM_CacheStoreChurn(benchmark::State& state) {
+  const PolicyKind kind = static_cast<PolicyKind>(state.range(0));
+  CacheStore store(64 * kKiB, make_policy(kind));
+  Rng rng(2);
+  TimePoint now = kSimEpoch;
+  for (auto _ : state) {
+    now += msec(1);
+    const DocumentId id = rng.next_below(4096);
+    if (!store.touch(id, now).has_value()) {
+      store.admit({id, 1 * kKiB}, now);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheStoreChurn)
+    ->Arg(static_cast<int>(PolicyKind::kLru))
+    ->Arg(static_cast<int>(PolicyKind::kLfu))
+    ->Arg(static_cast<int>(PolicyKind::kSizeBiggestFirst))
+    ->Arg(static_cast<int>(PolicyKind::kGreedyDualSize));
+
+void BM_SyntheticTraceGeneration(benchmark::State& state) {
+  SyntheticTraceConfig config;
+  config.num_requests = static_cast<std::uint64_t>(state.range(0));
+  config.num_documents = config.num_requests / 12;
+  config.num_users = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_synthetic_trace(config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SyntheticTraceGeneration)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_GroupServe(benchmark::State& state) {
+  const auto placement = static_cast<PlacementKind>(state.range(0));
+  SyntheticTraceConfig trace_config;
+  trace_config.num_requests = 50000;
+  trace_config.num_documents = 5000;
+  trace_config.num_users = 64;
+  const Trace trace = generate_synthetic_trace(trace_config);
+
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 2 * kMiB;
+  config.placement = placement;
+  for (auto _ : state) {
+    CacheGroup group(config);
+    for (const Request& request : trace.requests) {
+      group.serve(request);
+    }
+    benchmark::DoNotOptimize(group.metrics().hit_rate());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_GroupServe)
+    ->Arg(static_cast<int>(PlacementKind::kAdHoc))
+    ->Arg(static_cast<int>(PlacementKind::kEa))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CountingBloomChurn(benchmark::State& state) {
+  CountingBloomFilter filter(1 << 16, 7);
+  Rng rng(3);
+  std::vector<DocumentId> resident;
+  for (auto _ : state) {
+    const DocumentId id = rng.next();
+    filter.insert(id);
+    resident.push_back(id);
+    if (resident.size() > 4096) {
+      filter.remove(resident.front());
+      resident.erase(resident.begin());
+    }
+    benchmark::DoNotOptimize(filter.maybe_contains(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountingBloomChurn);
+
+void BM_IcpCodecRoundTrip(benchmark::State& state) {
+  IcpPacket packet;
+  packet.opcode = IcpOpcode::kQuery;
+  packet.request_number = 7;
+  packet.sender_address = 1;
+  packet.requester_address = 2;
+  packet.url = "http://www.cs.bu.edu/students/grads/index.html";
+  for (auto _ : state) {
+    const auto bytes = icp_encode(packet);
+    benchmark::DoNotOptimize(icp_decode(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IcpCodecRoundTrip);
+
+void BM_StackDistances(benchmark::State& state) {
+  SyntheticTraceConfig config;
+  config.num_requests = static_cast<std::uint64_t>(state.range(0));
+  config.num_documents = config.num_requests / 10;
+  config.num_users = 32;
+  const Trace trace = generate_synthetic_trace(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_stack_distances(trace.requests));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StackDistances)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eacache
+
+BENCHMARK_MAIN();

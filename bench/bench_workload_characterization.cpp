@@ -1,0 +1,45 @@
+// WORKLOAD — characterizes the BU-calibrated synthetic trace the way the
+// workload-measurement literature characterized the real BU logs, and
+// prints the EXACT single-cache LRU hit curve (Mattson stack distances)
+// alongside the Che-model prediction: three independent ways of computing
+// the same quantity (exact, analytic, simulated elsewhere) that must agree.
+#include "analysis/che_approximation.h"
+#include "bench_common.h"
+#include "trace/analysis.h"
+
+using namespace eacache;
+
+int main() {
+  bench::print_banner("WORKLOAD", "Trace characterization + exact LRU hit curve");
+
+  const Trace& trace = bench::paper_trace();
+  const TraceProfile profile = profile_trace(trace.requests);
+
+  TextTable profile_table({"metric", "value"});
+  profile_table.add_row({"requests", std::to_string(profile.total_requests)});
+  profile_table.add_row({"unique documents", std::to_string(profile.unique_documents)});
+  profile_table.add_row({"one-timers", fmt_percent(profile.one_timer_fraction) +
+                                           " of uniques"});
+  profile_table.add_row({"compulsory misses", fmt_percent(profile.compulsory_miss_fraction)});
+  profile_table.add_row({"fitted Zipf alpha", fmt_double(profile.zipf_alpha, 3)});
+  profile_table.add_row({"mean / median / max size",
+                         format_bytes(profile.mean_size) + " / " +
+                             format_bytes(profile.median_size) + " / " +
+                             format_bytes(profile.max_size)});
+  bench::print_table_and_csv(profile_table);
+
+  const StackDistanceHistogram histogram = compute_stack_distances(trace.requests);
+  CheModel model;
+  model.popularity = zipf_popularity(profile.unique_documents, profile.zipf_alpha);
+
+  TextTable curve({"cache size (docs)", "exact LRU hit rate (Mattson)",
+                   "Che model (fitted alpha)", "difference"});
+  for (const std::uint64_t capacity : {64u, 256u, 1024u, 4096u, 16384u}) {
+    const double exact = histogram.hit_rate_at(capacity);
+    const double analytic = che_lru(model, static_cast<double>(capacity)).hit_rate;
+    curve.add_row({std::to_string(capacity), fmt_percent(exact), fmt_percent(analytic),
+                   fmt_percent(analytic - exact)});
+  }
+  bench::print_table_and_csv(curve);
+  return 0;
+}

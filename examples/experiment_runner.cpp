@@ -1,0 +1,164 @@
+// Experiment runner: the library's experiment harness as a config-driven
+// command-line tool.
+//
+//   $ ./experiment_runner                 # built-in demo configuration
+//   $ ./experiment_runner my_sweep.conf   # custom sweep
+//   $ ./experiment_runner my_sweep.conf out.csv
+//
+// Config keys (key = value; all optional):
+//   # workload — synthetic (default) or a BU-style log file
+//   trace_file   = path/to/log          # if set, everything below is ignored
+//   requests     = 100000
+//   documents    = 8000
+//   users        = 64
+//   span         = 24h
+//   seed         = 7
+//   zipf         = 0.9
+//   repeat       = 0.4                  # temporal-locality probability
+//
+//   # group
+//   proxies      = 4
+//   replacement  = lru|lfu|lfu-aging|size|gds
+//   topology     = distributed|hierarchical
+//   discovery    = icp|digest
+//
+//   # sweep
+//   capacities   = 100KiB,1MiB,10MiB,100MiB
+//   schemes      = ad-hoc,ea,ea-hysteresis
+//
+// An output file ending in ".json" receives a JSON array of full per-run
+// results (see sim/result_json.h); any other name receives the CSV table.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/config.h"
+#include "metrics/json.h"
+#include "metrics/table.h"
+#include "sim/result_json.h"
+#include "sim/simulator.h"
+#include "trace/bu_parser.h"
+#include "trace/synthetic.h"
+
+using namespace eacache;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::istringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto begin = item.find_first_not_of(" \t");
+    const auto end = item.find_last_not_of(" \t");
+    if (begin != std::string::npos) items.push_back(item.substr(begin, end - begin + 1));
+  }
+  return items;
+}
+
+Trace load_trace(const Config& cfg) {
+  if (const auto path = cfg.get("trace_file")) {
+    const BuParseResult parsed = parse_bu_log_file(*path);
+    std::printf("loaded %s: %zu requests (%llu lines skipped)\n", path->c_str(),
+                parsed.trace.size(), static_cast<unsigned long long>(parsed.lines_skipped));
+    return parsed.trace;
+  }
+  SyntheticTraceConfig workload;
+  workload.num_requests = static_cast<std::uint64_t>(cfg.get_int("requests", 100'000));
+  workload.num_documents = static_cast<std::uint64_t>(cfg.get_int("documents", 8'000));
+  workload.num_users = static_cast<UserId>(cfg.get_int("users", 64));
+  workload.span = cfg.get_duration("span", hours(24));
+  workload.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  workload.zipf_alpha = cfg.get_double("zipf", 0.9);
+  workload.repeat_probability = cfg.get_double("repeat", 0.4);
+  return generate_synthetic_trace(workload);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Config cfg;
+    if (argc > 1) cfg = Config::load(argv[1]);
+
+    const Trace trace = load_trace(cfg);
+    const TraceStats stats = compute_stats(trace.requests);
+    std::printf("workload: %llu requests, %llu documents, %s unique bytes\n\n",
+                static_cast<unsigned long long>(stats.total_requests),
+                static_cast<unsigned long long>(stats.unique_documents),
+                format_bytes(stats.unique_bytes).c_str());
+
+    GroupConfig base;
+    base.num_proxies = static_cast<std::size_t>(cfg.get_int("proxies", 4));
+    base.replacement = policy_kind_from_string(cfg.get_string("replacement", "lru"));
+    const std::string topology = cfg.get_string("topology", "distributed");
+    base.topology = topology == "hierarchical" ? TopologyKind::kHierarchical
+                                               : TopologyKind::kDistributed;
+    const std::string discovery = cfg.get_string("discovery", "icp");
+    base.discovery = discovery == "digest" ? DiscoveryMode::kDigest : DiscoveryMode::kIcp;
+
+    const auto capacity_labels =
+        split_list(cfg.get_string("capacities", "100KiB,1MiB,10MiB,100MiB"));
+    const auto scheme_labels = split_list(cfg.get_string("schemes", "ad-hoc,ea"));
+    const LatencyModel model = LatencyModel::paper_defaults();
+
+    struct Run {
+      std::string capacity;
+      std::string scheme;
+      SimulationResult result;
+    };
+    std::vector<Run> runs;
+
+    TextTable table({"capacity", "scheme", "hit rate", "byte hit rate", "local", "remote",
+                     "latency (ms)", "replication", "avg exp age (s)"});
+    for (const std::string& capacity_label : capacity_labels) {
+      const auto capacity = Config::parse_bytes(capacity_label);
+      if (!capacity) throw std::runtime_error("bad capacity: " + capacity_label);
+      for (const std::string& scheme : scheme_labels) {
+        GroupConfig config = base;
+        config.aggregate_capacity = *capacity;
+        config.placement = placement_kind_from_string(scheme);
+        SimulationResult result = run_simulation(trace, config);
+        table.add_row(
+            {capacity_label, scheme, fmt_percent(result.metrics.hit_rate()),
+             fmt_percent(result.metrics.byte_hit_rate()),
+             fmt_percent(result.metrics.local_hit_rate()),
+             fmt_percent(result.metrics.remote_hit_rate()),
+             fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
+             fmt_double(result.replication_factor, 3),
+             result.average_cache_expiration_age.is_infinite()
+                 ? "inf"
+                 : fmt_double(result.average_cache_expiration_age.seconds(), 1)});
+        runs.push_back(Run{capacity_label, scheme, std::move(result)});
+      }
+    }
+    table.print(std::cout);
+
+    if (argc > 2) {
+      const std::string path = argv[2];
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      if (path.size() > 5 && path.substr(path.size() - 5) == ".json") {
+        JsonWriter json(out);
+        json.begin_array();
+        for (const Run& run : runs) {
+          json.begin_object();
+          json.field("capacity", run.capacity);
+          json.field("scheme", run.scheme);
+          json.key("result");
+          append_simulation_result(json, run.result);
+          json.end_object();
+        }
+        json.end_array();
+      } else {
+        table.print_csv(out);
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

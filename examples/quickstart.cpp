@@ -1,0 +1,57 @@
+// Quickstart: build a 4-proxy cooperative cache group, replay a synthetic
+// workload through the EA and ad-hoc placement schemes, and compare the
+// headline metrics.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the public API:
+//   trace   = generate_synthetic_trace(SyntheticTraceConfig)
+//   config  = GroupConfig{...}
+//   result  = run_simulation(trace, config)
+#include <cstdio>
+
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+using namespace eacache;
+
+int main() {
+  // 1. A workload: 100k requests over 8k documents from 64 users.
+  SyntheticTraceConfig workload;
+  workload.num_requests = 100'000;
+  workload.num_documents = 8'000;
+  workload.num_users = 64;
+  workload.span = hours(24);
+  workload.seed = 7;
+  const Trace trace = generate_synthetic_trace(workload);
+  const TraceStats stats = compute_stats(trace.requests);
+  std::printf("workload: %llu requests, %llu unique documents (%s unique bytes)\n\n",
+              static_cast<unsigned long long>(stats.total_requests),
+              static_cast<unsigned long long>(stats.unique_documents),
+              format_bytes(stats.unique_bytes).c_str());
+
+  // 2. A cache group: 4 peer proxies sharing 4 MiB of disk, LRU replacement.
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 4 * kMiB;
+  config.replacement = PolicyKind::kLru;
+
+  // 3. Run both placement schemes on the identical trace.
+  for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
+    config.placement = placement;
+    const SimulationResult result = run_simulation(trace, config);
+    const LatencyModel latency = LatencyModel::paper_defaults();
+    std::printf("scheme %-6s  hit rate %6.2f%%  byte hit rate %6.2f%%  "
+                "est. latency %7.1f ms  replication %.3f\n",
+                std::string(to_string(placement)).c_str(),
+                100.0 * result.metrics.hit_rate(),
+                100.0 * result.metrics.byte_hit_rate(),
+                result.metrics.estimated_average_latency_ms(latency),
+                result.replication_factor);
+  }
+
+  std::printf("\nThe EA scheme holds more UNIQUE documents in the same disk budget by\n"
+              "declining to replicate documents whose existing copy will live longer\n"
+              "(paper: Ramaswamy & Liu, ICDCS 2002).\n");
+  return 0;
+}

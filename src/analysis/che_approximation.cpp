@@ -1,0 +1,98 @@
+#include "analysis/che_approximation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace eacache {
+
+namespace {
+
+double occupancy_at(const CheModel& model, double t) {
+  double occupancy = 0.0;
+  for (const double p : model.popularity) {
+    occupancy += 1.0 - std::exp(-model.total_rate * p * t);
+  }
+  return occupancy;
+}
+
+double hit_rate_at(const CheModel& model, double t) {
+  double hit_rate = 0.0;
+  for (const double p : model.popularity) {
+    hit_rate += p * (1.0 - std::exp(-model.total_rate * p * t));
+  }
+  return hit_rate;
+}
+
+}  // namespace
+
+CheResult che_lru(const CheModel& model, double capacity_objects) {
+  if (model.popularity.empty()) throw std::invalid_argument("che_lru: empty popularity");
+  if (!(model.total_rate > 0.0)) throw std::invalid_argument("che_lru: rate must be positive");
+  if (!(capacity_objects > 0.0)) {
+    throw std::invalid_argument("che_lru: capacity must be positive");
+  }
+  double mass = 0.0;
+  std::size_t support = 0;
+  for (const double p : model.popularity) {
+    if (p < 0.0) throw std::invalid_argument("che_lru: negative popularity");
+    mass += p;
+    if (p > 0.0) ++support;
+  }
+  if (std::abs(mass - 1.0) > 1e-6) {
+    throw std::invalid_argument("che_lru: popularity must sum to 1");
+  }
+
+  CheResult result;
+  if (capacity_objects >= static_cast<double>(support)) {
+    // Everything with non-zero popularity fits: every re-reference hits.
+    result.characteristic_time = std::numeric_limits<double>::infinity();
+    result.hit_rate = 1.0;
+    result.expected_occupancy = static_cast<double>(support);
+    return result;
+  }
+
+  // occupancy_at is strictly increasing in t from 0 to `support`:
+  // bisection after exponential bracketing.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (occupancy_at(model, hi) < capacity_objects) {
+    hi *= 2.0;
+    if (hi > 1e18) throw std::runtime_error("che_lru: bracketing failed");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (occupancy_at(model, mid) < capacity_objects) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.characteristic_time = 0.5 * (lo + hi);
+  result.hit_rate = hit_rate_at(model, result.characteristic_time);
+  result.expected_occupancy = occupancy_at(model, result.characteristic_time);
+  return result;
+}
+
+std::vector<double> zipf_popularity(std::size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("zipf_popularity: n must be >= 1");
+  std::vector<double> popularity(n);
+  double norm = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    popularity[k] = 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    norm += popularity[k];
+  }
+  for (double& p : popularity) p /= norm;
+  return popularity;
+}
+
+CheResult che_group(const CheModel& model, double aggregate_objects,
+                    double replication_factor) {
+  if (!(replication_factor >= 1.0)) {
+    throw std::invalid_argument("che_group: replication factor must be >= 1");
+  }
+  return che_lru(model, aggregate_objects / replication_factor);
+}
+
+}  // namespace eacache

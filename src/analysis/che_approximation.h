@@ -1,0 +1,62 @@
+// Analytic LRU model: Che's approximation.
+//
+// The paper's §4 points to a technical report [11] with a mathematical
+// analysis of how the EA scheme "utilizes the aggregate memory available in
+// the group more effectively". That report is not available, so we provide
+// the standard computable model of the same phenomenon:
+//
+//   Che, Tung & Wang, "Hierarchical Web caching systems: modeling, design
+//   and experimental results", JSAC 2002 — under the independent reference
+//   model (IRM), an LRU cache of C objects behaves as if each object i with
+//   request rate lambda_i stays cached for a fixed CHARACTERISTIC TIME T_C
+//   after each reference, where T_C solves
+//
+//       sum_i (1 - exp(-lambda_i * T_C)) = C          (occupancy)
+//
+//   and the hit rate is
+//
+//       h = sum_i p_i * (1 - exp(-lambda_i * T_C)).
+//
+// For the cooperative group we model the ad-hoc and EA schemes through
+// their EFFECTIVE capacity: a group whose steady-state replication factor
+// is r behaves like a single LRU of aggregate/r unique slots (plus the
+// intra-proxy split for the local/remote breakdown, which we do not model).
+// The analysis bench checks this model against the simulator; the tests pin
+// the model's own invariants.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eacache {
+
+struct CheModel {
+  /// Request probability per object (must sum to ~1, all > 0 allowed 0).
+  std::vector<double> popularity;
+  /// Aggregate request rate (requests per unit time). The hit rate is
+  /// invariant to this scale; it only calibrates T_C's units.
+  double total_rate = 1.0;
+};
+
+struct CheResult {
+  double characteristic_time = 0.0;  // T_C in the model's time units
+  double hit_rate = 0.0;             // object hit rate
+  double expected_occupancy = 0.0;   // equals capacity when converged
+};
+
+/// Solve Che's fixed point for an LRU cache holding `capacity_objects`
+/// unit-size objects. Requires 0 < capacity_objects < number of objects
+/// with non-zero popularity (otherwise the hit rate is trivially the sum of
+/// cached mass / 1 and is returned without iteration).
+[[nodiscard]] CheResult che_lru(const CheModel& model, double capacity_objects);
+
+/// Convenience: Zipf(alpha) popularity over n objects.
+[[nodiscard]] std::vector<double> zipf_popularity(std::size_t n, double alpha);
+
+/// The model's prediction for a cooperative group: aggregate capacity
+/// (in objects) deflated by the measured replication factor r >= 1.
+[[nodiscard]] CheResult che_group(const CheModel& model, double aggregate_objects,
+                                  double replication_factor);
+
+}  // namespace eacache

@@ -1,0 +1,200 @@
+#include "common/config.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eacache {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  std::int64_t v = 0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_dbl(std::string_view s) {
+  s = trim(s);
+  // std::from_chars for double is not universally available; strtod via a
+  // bounded copy keeps this portable.
+  std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) return std::nullopt;
+  return v;
+}
+
+// Splits "123suffix" into the numeric part and the (lowercased) suffix.
+struct NumberSuffix {
+  double value;
+  std::string suffix;
+};
+
+std::optional<NumberSuffix> split_number_suffix(std::string_view s) {
+  s = trim(s);
+  std::size_t i = 0;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) != 0 || s[i] == '.' || s[i] == '-')) {
+    ++i;
+  }
+  if (i == 0) return std::nullopt;
+  const auto value = parse_dbl(s.substr(0, i));
+  if (!value) return std::nullopt;
+  return NumberSuffix{*value, lower(trim(s.substr(i)))};
+}
+
+}  // namespace
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#' || stripped.front() == ';') continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("Config: missing '=' on line " + std::to_string(line_no));
+    }
+    const std::string_view key = trim(stripped.substr(0, eq));
+    const std::string_view value = trim(stripped.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("Config: empty key on line " + std::to_string(line_no));
+    }
+    cfg.set(std::string(key), std::string(value));
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool Config::contains(std::string_view key) const { return entries_.count(key) > 0; }
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(std::string_view key, std::string fallback) const {
+  return get(key).value_or(std::move(fallback));
+}
+
+std::int64_t Config::get_int(std::string_view key, std::int64_t fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  const auto v = parse_int(*raw);
+  if (!v) throw std::runtime_error("Config: key '" + std::string(key) + "' is not an integer");
+  return *v;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  const auto v = parse_dbl(*raw);
+  if (!v) throw std::runtime_error("Config: key '" + std::string(key) + "' is not a number");
+  return *v;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  const std::string v = lower(trim(*raw));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("Config: key '" + std::string(key) + "' is not a boolean");
+}
+
+Bytes Config::get_bytes(std::string_view key, Bytes fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  const auto v = parse_bytes(*raw);
+  if (!v) throw std::runtime_error("Config: key '" + std::string(key) + "' is not a byte size");
+  return *v;
+}
+
+Duration Config::get_duration(std::string_view key, Duration fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  const auto v = parse_duration(*raw);
+  if (!v) throw std::runtime_error("Config: key '" + std::string(key) + "' is not a duration");
+  return *v;
+}
+
+std::optional<Bytes> Config::parse_bytes(std::string_view text) {
+  const auto parts = split_number_suffix(text);
+  if (!parts || parts->value < 0) return std::nullopt;
+  double scale = 1.0;
+  const std::string& sfx = parts->suffix;
+  if (sfx.empty() || sfx == "b") {
+    scale = 1.0;
+  } else if (sfx == "kib" || sfx == "kb" || sfx == "k") {
+    scale = static_cast<double>(kKiB);
+  } else if (sfx == "mib" || sfx == "mb" || sfx == "m") {
+    scale = static_cast<double>(kMiB);
+  } else if (sfx == "gib" || sfx == "gb" || sfx == "g") {
+    scale = static_cast<double>(kGiB);
+  } else {
+    return std::nullopt;
+  }
+  return static_cast<Bytes>(parts->value * scale);
+}
+
+std::optional<Duration> Config::parse_duration(std::string_view text) {
+  const auto parts = split_number_suffix(text);
+  if (!parts) return std::nullopt;
+  double ms = 0.0;
+  const std::string& sfx = parts->suffix;
+  if (sfx.empty() || sfx == "ms") {
+    ms = parts->value;
+  } else if (sfx == "s") {
+    ms = parts->value * 1000.0;
+  } else if (sfx == "m" || sfx == "min") {
+    ms = parts->value * 60.0 * 1000.0;
+  } else if (sfx == "h") {
+    ms = parts->value * 3600.0 * 1000.0;
+  } else {
+    return std::nullopt;
+  }
+  return Duration{static_cast<SimClock::rep>(ms)};
+}
+
+}  // namespace eacache

@@ -1,0 +1,62 @@
+// Minimal key=value configuration files for the example programs and the
+// experiment harness. Format:
+//
+//   # comment
+//   scheme = ea
+//   group_size = 4
+//   aggregate_capacity = 10MiB
+//
+// Values keep their raw text; typed getters parse on demand so a config can
+// be shared between tools that care about different keys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace eacache {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text; throws std::runtime_error with a line number on
+  /// malformed input.
+  [[nodiscard]] static Config parse(std::string_view text);
+
+  /// Load from a file; throws std::runtime_error if unreadable.
+  [[nodiscard]] static Config load(const std::string& path);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed getters: return the fallback when the key is absent; throw
+  /// std::runtime_error when present but unparseable.
+  [[nodiscard]] std::string get_string(std::string_view key, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  /// Accepts "4096", "100KiB", "1MiB", "2GiB" (also KB/MB/GB as binary).
+  [[nodiscard]] Bytes get_bytes(std::string_view key, Bytes fallback) const;
+  /// Accepts "250ms", "3s", "5m", "1h" or a bare millisecond count.
+  [[nodiscard]] Duration get_duration(std::string_view key, Duration fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  /// Standalone parsers, exposed for reuse by CLI flag handling.
+  [[nodiscard]] static std::optional<Bytes> parse_bytes(std::string_view text);
+  [[nodiscard]] static std::optional<Duration> parse_duration(std::string_view text);
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace eacache

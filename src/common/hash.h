@@ -1,0 +1,33 @@
+// Small, dependency-free hashing helpers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace eacache {
+
+/// FNV-1a 64-bit. Used to map URLs to DocumentIds and users to proxies.
+/// Stable across platforms and runs (unlike std::hash).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Integer finalizer (SplitMix64's mixing function). Good avalanche; used to
+/// turn sequential ids into well-spread hash values.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// boost-style hash combining.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace eacache

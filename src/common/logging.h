@@ -1,0 +1,58 @@
+// Tiny leveled logger. The simulator is deterministic and single-threaded,
+// so the logger stays simple: a global level, output to stderr, no locking
+// needed for correctness of the simulation itself (stderr writes are atomic
+// enough for diagnostics).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace eacache {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Low-level sink. Prefer the EACACHE_LOG_* macros below.
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace eacache
+
+// for-loop form rather than the classic if/else: a log macro inside an
+// unbraced `if` must not capture the surrounding `else` (dangling-else).
+// The loop runs the stream expression exactly once when enabled and never
+// constructs the LogLine when filtered out.
+#define EACACHE_LOG(level, component)                                             \
+  for (bool eacache_log_once =                                                    \
+           static_cast<int>(level) >= static_cast<int>(::eacache::log_level());   \
+       eacache_log_once; eacache_log_once = false)                                \
+  ::eacache::detail::LogLine(level, component)
+
+#define EACACHE_LOG_DEBUG(component) EACACHE_LOG(::eacache::LogLevel::kDebug, component)
+#define EACACHE_LOG_INFO(component) EACACHE_LOG(::eacache::LogLevel::kInfo, component)
+#define EACACHE_LOG_WARN(component) EACACHE_LOG(::eacache::LogLevel::kWarn, component)
+#define EACACHE_LOG_ERROR(component) EACACHE_LOG(::eacache::LogLevel::kError, component)

@@ -1,0 +1,21 @@
+// How a client request was resolved — the paper's three-way split (§4.2
+// footnote 1): local hit, remote hit (served by another cache in the group),
+// or miss (served by the origin server).
+#pragma once
+
+#include <string_view>
+
+namespace eacache {
+
+enum class RequestOutcome { kLocalHit, kRemoteHit, kMiss };
+
+[[nodiscard]] constexpr std::string_view to_string(RequestOutcome o) {
+  switch (o) {
+    case RequestOutcome::kLocalHit: return "local-hit";
+    case RequestOutcome::kRemoteHit: return "remote-hit";
+    case RequestOutcome::kMiss: return "miss";
+  }
+  return "?";
+}
+
+}  // namespace eacache

@@ -1,0 +1,128 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// We deliberately do NOT use std::mt19937 + std::*_distribution: the standard
+// distributions are implementation-defined, so results would differ between
+// libstdc++ and libc++. Everything here is bit-exact across platforms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace eacache {
+
+/// SplitMix64: used to expand a single seed into generator state.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1). 53-bit mantissa construction — portable and exact.
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method is
+  /// overkill here; simple rejection keeps it unbiased and obvious.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double next_normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * next_double() - 1.0;
+      v = 2.0 * next_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  /// Log-normal with parameters of the underlying normal.
+  double next_lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * next_normal());
+  }
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double next_pareto(double xm, double alpha) {
+    const double u = 1.0 - next_double();  // in (0, 1]
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Exponential with the given rate (events per unit).
+  double next_exponential(double rate) {
+    const double u = 1.0 - next_double();  // avoid log(0)
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace eacache

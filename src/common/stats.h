@@ -1,0 +1,122 @@
+// Streaming statistics helpers used by the metrics layer and by tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace eacache {
+
+/// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(n_);
+    const auto n2 = static_cast<double>(other.n_);
+    const double total = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); overflow/underflow tracked
+/// separately. Used for document-size and latency distributions in reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void add(double x) {
+    if (x < lo_) {
+      ++underflow_;
+    } else if (x >= hi_) {
+      ++overflow_;
+    } else {
+      const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                                static_cast<double>(counts_.size()));
+      ++counts_[std::min(idx, counts_.size() - 1)];
+    }
+    ++total_;
+  }
+
+  /// Merge another histogram with IDENTICAL geometry (throws otherwise).
+  void merge(const Histogram& other) {
+    if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+      throw std::invalid_argument("Histogram::merge: geometry mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+  }
+
+  /// Smallest value V (at bucket-width resolution) with
+  /// P(sample < V) >= quantile. Underflow counts as lo_, overflow as hi_.
+  [[nodiscard]] double percentile(double quantile) const {
+    if (total_ == 0) return lo_;
+    const double target = quantile * static_cast<double>(total_);
+    double cumulative = static_cast<double>(underflow_);
+    if (cumulative >= target) return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cumulative += static_cast<double>(counts_[i]);
+      if (cumulative >= target) return lo_ + width * static_cast<double>(i + 1);
+    }
+    return hi_;
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace eacache

@@ -1,0 +1,42 @@
+#include "common/types.h"
+
+#include <array>
+#include <cstdio>
+
+namespace eacache {
+
+std::string format_bytes(Bytes n) {
+  struct Unit {
+    Bytes scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 3> units{{{kGiB, "GiB"}, {kMiB, "MiB"}, {kKiB, "KiB"}}};
+  for (const auto& [scale, suffix] : units) {
+    if (n >= scale) {
+      const double v = static_cast<double>(n) / static_cast<double>(scale);
+      char buf[32];
+      if (n % scale == 0) {
+        std::snprintf(buf, sizeof(buf), "%lld%s", static_cast<long long>(n / scale), suffix);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.2f%s", v, suffix);
+      }
+      return buf;
+    }
+  }
+  return std::to_string(n) + "B";
+}
+
+std::string format_duration(Duration d) {
+  const auto ms = d.count();
+  char buf[32];
+  if (ms >= 1000 && ms % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(ms / 1000));
+  } else if (ms >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ms) / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(ms));
+  }
+  return buf;
+}
+
+}  // namespace eacache

@@ -1,0 +1,78 @@
+// Core vocabulary types shared by every eacache module.
+//
+// All simulation time is virtual: a single discrete-event clock measured in
+// milliseconds. We wrap std::chrono so arithmetic is type-checked and the
+// millisecond resolution is explicit at every call site.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace eacache {
+
+/// Tag clock for simulated time. Never reads the wall clock; the event
+/// engine is the only source of "now".
+struct SimClock {
+  using rep = std::int64_t;
+  using period = std::milli;
+  using duration = std::chrono::duration<rep, period>;
+  using time_point = std::chrono::time_point<SimClock, duration>;
+  static constexpr bool is_steady = true;
+};
+
+/// Simulated duration, millisecond resolution.
+using Duration = SimClock::duration;
+/// Simulated instant, millisecond resolution.
+using TimePoint = SimClock::time_point;
+
+/// The origin of simulated time. Every simulation starts here.
+inline constexpr TimePoint kSimEpoch{};
+
+/// A sentinel "end of time" useful for open-ended windows.
+inline constexpr TimePoint kSimTimeMax{Duration{std::numeric_limits<SimClock::rep>::max()}};
+
+/// Convenience literals-ish helpers (constexpr, no UDL to keep call sites
+/// explicit about units).
+[[nodiscard]] constexpr Duration msec(std::int64_t v) { return Duration{v}; }
+[[nodiscard]] constexpr Duration sec(std::int64_t v) { return Duration{v * 1000}; }
+[[nodiscard]] constexpr Duration minutes(std::int64_t v) { return sec(v * 60); }
+[[nodiscard]] constexpr Duration hours(std::int64_t v) { return minutes(v * 60); }
+
+/// Fractional seconds view of a Duration (for reporting only).
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1000.0;
+}
+
+/// Identifies a document (a URL in web-caching terms). Stable across the
+/// whole simulation; produced by the trace layer (hash of the URL or a
+/// synthetic index).
+using DocumentId = std::uint64_t;
+
+/// Identifies a proxy cache within a group.
+using ProxyId = std::uint32_t;
+
+/// Identifies a client/user issuing requests.
+using UserId = std::uint32_t;
+
+/// Byte counts. Signed arithmetic is avoided; sizes are always non-negative.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// The paper uses decimal-looking labels (100KB, 1MB, ...) for aggregate cache
+// sizes; we follow the common proxy convention of binary units.
+[[nodiscard]] constexpr Bytes kib(std::uint64_t v) { return v * kKiB; }
+[[nodiscard]] constexpr Bytes mib(std::uint64_t v) { return v * kMiB; }
+[[nodiscard]] constexpr Bytes gib(std::uint64_t v) { return v * kGiB; }
+
+/// Human-readable rendering of a byte count ("100KiB", "1MiB", "3.2GiB").
+[[nodiscard]] std::string format_bytes(Bytes n);
+
+/// Human-readable rendering of a duration ("1.25s", "342ms").
+[[nodiscard]] std::string format_duration(Duration d);
+
+}  // namespace eacache

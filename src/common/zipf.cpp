@@ -1,0 +1,80 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eacache {
+
+namespace {
+
+// ((1+t)^(1-s) - 1) / (1-s), with the s == 1 limit log1p(t). Numerically
+// stable form used by Hormann's rejection-inversion.
+double pow_ratio(double t, double s) {
+  const double one_minus_s = 1.0 - s;
+  if (std::abs(one_minus_s) < 1e-12) return std::log1p(t);
+  return std::expm1(one_minus_s * std::log1p(t)) / one_minus_s;
+}
+
+// Inverse of pow_ratio in t for fixed s.
+double pow_ratio_inverse(double x, double s) {
+  const double one_minus_s = 1.0 - s;
+  if (std::abs(one_minus_s) < 1e-12) return std::expm1(x);
+  return std::expm1(std::log1p(x * one_minus_s) / one_minus_s);
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (!(s > 0.0)) throw std::invalid_argument("ZipfSampler: exponent must be > 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n) + 0.5);
+  // Acceptance threshold from Hormann & Derflinger (1996), as used by
+  // Apache Commons Math's RejectionInversionZipfSampler.
+  threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  generalized_harmonic_ = 0.0;
+  // For pmf() we need the exact normalisation. O(n) once at construction is
+  // fine for the universe sizes the simulator uses; guard very large n.
+  if (n <= (1u << 24)) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      generalized_harmonic_ += 1.0 / std::pow(static_cast<double>(k), s);
+    }
+  } else {
+    generalized_harmonic_ = -1.0;  // pmf() unavailable
+  }
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+// H(x): antiderivative of h with H(1) = 0.
+double ZipfSampler::h_integral(double x) const { return pow_ratio(x - 1.0, s_); }
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = pow_ratio_inverse(x, s_);
+  if (t < -1.0) t = -1.0;
+  return 1.0 + t;
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  for (;;) {
+    const double u = h_integral_num_elements_ +
+                     rng.next_double() * (h_integral_x1_ - h_integral_num_elements_);
+    // u is uniform in (h_integral_x1_, h_integral_num_elements_].
+    const double x = h_integral_inverse(u);
+    double kd = std::floor(x + 0.5);
+    if (kd < 1.0) kd = 1.0;
+    const auto n_as_double = static_cast<double>(n_);
+    if (kd > n_as_double) kd = n_as_double;
+    if (kd - x <= threshold_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return static_cast<std::uint64_t>(kd) - 1;  // ranks are 0-based externally
+    }
+  }
+}
+
+double ZipfSampler::pmf(std::uint64_t rank) const {
+  if (rank >= n_ || generalized_harmonic_ <= 0.0) return 0.0;
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), s_) * generalized_harmonic_);
+}
+
+}  // namespace eacache

@@ -1,0 +1,45 @@
+// Zipf-distributed sampling over ranks {0, 1, ..., n-1}.
+//
+// Web-document popularity is famously Zipf-like; Cunha et al. measured an
+// exponent near 0.7-0.8 for the Boston University traces used by the paper.
+// The sampler uses rejection-inversion (W. Hormann & G. Derflinger,
+// "Rejection-inversion to generate variates from monotone discrete
+// distributions", TOMACS 1996), which is O(1) per sample for any n and any
+// exponent s > 0, s != 1 handled too.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace eacache {
+
+class ZipfSampler {
+ public:
+  /// Distribution over ranks 0..n-1 with P(rank k) proportional to
+  /// 1 / (k+1)^s. Requires n >= 1 and s > 0.
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draw one rank in [0, n). Rank 0 is the most popular item.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double exponent() const { return s_; }
+
+  /// Exact probability of a given rank (for tests and analytics).
+  [[nodiscard]] double pmf(std::uint64_t rank) const;
+
+ private:
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double threshold_;             // Hormann acceptance threshold
+  double generalized_harmonic_;  // normalisation constant for pmf()
+};
+
+}  // namespace eacache

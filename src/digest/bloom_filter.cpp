@@ -1,0 +1,81 @@
+#include "digest/bloom_filter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace eacache {
+
+namespace {
+// Derive the two double-hashing bases from one strong mix. h2 is forced odd
+// so successive probes cycle through distinct positions for power-of-two-ish
+// bit counts too.
+struct ProbeBases {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+ProbeBases probe_bases(DocumentId id) {
+  const std::uint64_t a = mix64(id);
+  const std::uint64_t b = mix64(a ^ 0x9e3779b97f4a7c15ULL) | 1ULL;
+  return {a, b};
+}
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes)
+    : bits_(bits), hashes_(hashes), words_((bits + 63) / 64, 0) {
+  if (bits < 8) throw std::invalid_argument("BloomFilter: need at least 8 bits");
+  if (hashes < 1 || hashes > 16) throw std::invalid_argument("BloomFilter: 1..16 hashes");
+}
+
+BloomFilter BloomFilter::with_false_positive_rate(std::size_t expected_items, double rate) {
+  if (expected_items == 0) throw std::invalid_argument("BloomFilter: need expected items");
+  if (!(rate > 0.0 && rate < 1.0)) throw std::invalid_argument("BloomFilter: rate in (0,1)");
+  const double n = static_cast<double>(expected_items);
+  const double ln2 = std::log(2.0);
+  const double m = -n * std::log(rate) / (ln2 * ln2);
+  const double k = m / n * ln2;
+  const auto bits = static_cast<std::size_t>(std::ceil(m));
+  auto hashes = static_cast<std::size_t>(std::lround(k));
+  if (hashes < 1) hashes = 1;
+  if (hashes > 16) hashes = 16;
+  return BloomFilter(bits < 8 ? 8 : bits, hashes);
+}
+
+void BloomFilter::insert(DocumentId id) {
+  const ProbeBases bases = probe_bases(id);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (bases.h1 + i * bases.h2) % bits_;
+    std::uint64_t& word = words_[bit / 64];
+    const std::uint64_t mask = 1ULL << (bit % 64);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++set_bits_;
+    }
+  }
+}
+
+bool BloomFilter::maybe_contains(DocumentId id) const {
+  const ProbeBases bases = probe_bases(id);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (bases.h1 + i * bases.h2) % bits_;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  words_.assign(words_.size(), 0);
+  set_bits_ = 0;
+}
+
+double BloomFilter::fill_ratio() const {
+  return static_cast<double>(set_bits_) / static_cast<double>(bits_);
+}
+
+double BloomFilter::estimated_false_positive_rate() const {
+  return std::pow(fill_ratio(), static_cast<double>(hashes_));
+}
+
+}  // namespace eacache

@@ -1,0 +1,56 @@
+// Plain Bloom filter over DocumentIds.
+//
+// Used as the published "cache digest" snapshot in the Summary-Cache-style
+// discovery protocol (Fan, Cao, Almeida & Broder, SIGCOMM '98 — the paper's
+// reference [6]): each proxy periodically broadcasts a Bloom filter of its
+// directory so peers can answer "who might have this document?" without a
+// per-miss ICP round trip.
+//
+// Hashing: double hashing h_i(x) = h1(x) + i * h2(x) (Kirsch & Mitzenmacher
+// 2006), both derived from one mix64 pass — deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eacache {
+
+class BloomFilter {
+ public:
+  /// Filter with `bits` bits (rounded up to a word) and `hashes` probe
+  /// functions. Requires bits >= 8 and 1 <= hashes <= 16.
+  BloomFilter(std::size_t bits, std::size_t hashes);
+
+  /// Parameters minimising the false-positive rate for an expected
+  /// `expected_items` inserts at the target rate:
+  ///   m = -n ln p / (ln 2)^2,  k = (m/n) ln 2.
+  [[nodiscard]] static BloomFilter with_false_positive_rate(std::size_t expected_items,
+                                                            double rate);
+
+  void insert(DocumentId id);
+  [[nodiscard]] bool maybe_contains(DocumentId id) const;
+  void clear();
+
+  [[nodiscard]] std::size_t bit_count() const { return bits_; }
+  [[nodiscard]] std::size_t hash_count() const { return hashes_; }
+  /// Fraction of bits set — a filter health indicator (>0.5 means the
+  /// false-positive rate has degraded past the design point).
+  [[nodiscard]] double fill_ratio() const;
+  /// Wire size of a published snapshot.
+  [[nodiscard]] Bytes wire_size() const { return (bits_ + 7) / 8; }
+
+  /// Theoretical false-positive rate at the current fill.
+  [[nodiscard]] double estimated_false_positive_rate() const;
+
+ private:
+  friend class CountingBloomFilter;  // snapshot construction
+
+  std::size_t bits_;
+  std::size_t hashes_;
+  std::vector<std::uint64_t> words_;
+  std::size_t set_bits_ = 0;
+};
+
+}  // namespace eacache

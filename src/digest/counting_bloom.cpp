@@ -1,0 +1,105 @@
+#include "digest/counting_bloom.h"
+
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace eacache {
+
+namespace {
+struct ProbeBases {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+ProbeBases probe_bases(DocumentId id) {
+  const std::uint64_t a = mix64(id);
+  const std::uint64_t b = mix64(a ^ 0x9e3779b97f4a7c15ULL) | 1ULL;
+  return {a, b};
+}
+
+constexpr std::uint8_t kMaxCounter = 15;
+}  // namespace
+
+CountingBloomFilter::CountingBloomFilter(std::size_t cells, std::size_t hashes)
+    : cells_(cells), hashes_(hashes), nibbles_((cells + 1) / 2, 0) {
+  if (cells < 8) throw std::invalid_argument("CountingBloomFilter: need at least 8 cells");
+  if (hashes < 1 || hashes > 16) {
+    throw std::invalid_argument("CountingBloomFilter: 1..16 hashes");
+  }
+}
+
+CountingBloomFilter CountingBloomFilter::with_false_positive_rate(std::size_t expected_items,
+                                                                  double rate) {
+  const BloomFilter shape = BloomFilter::with_false_positive_rate(expected_items, rate);
+  return CountingBloomFilter(shape.bit_count(), shape.hash_count());
+}
+
+std::uint8_t CountingBloomFilter::counter(std::size_t cell) const {
+  const std::uint8_t byte = nibbles_.at(cell / 2);
+  return (cell % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+}
+
+void CountingBloomFilter::bump(std::size_t cell, int delta) {
+  std::uint8_t& byte = nibbles_[cell / 2];
+  const bool high = cell % 2 != 0;
+  std::uint8_t value = high ? (byte >> 4) : (byte & 0x0f);
+
+  if (delta > 0) {
+    if (value == kMaxCounter) {
+      ++saturations_;  // stays pinned at 15 forever (Fan et al. §4.3)
+    } else {
+      ++value;
+    }
+  } else {
+    if (value == kMaxCounter) {
+      // Saturated: true count unknown; the safe choice is to never
+      // decrement, accepting a permanent false positive on this cell.
+    } else if (value == 0) {
+      throw std::logic_error("CountingBloomFilter: decrement of zero counter");
+    } else {
+      --value;
+    }
+  }
+  byte = high ? static_cast<std::uint8_t>((byte & 0x0f) | (value << 4))
+              : static_cast<std::uint8_t>((byte & 0xf0) | value);
+}
+
+void CountingBloomFilter::insert(DocumentId id) {
+  const ProbeBases bases = probe_bases(id);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    bump((bases.h1 + i * bases.h2) % cells_, +1);
+  }
+}
+
+void CountingBloomFilter::remove(DocumentId id) {
+  const ProbeBases bases = probe_bases(id);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    bump((bases.h1 + i * bases.h2) % cells_, -1);
+  }
+}
+
+bool CountingBloomFilter::maybe_contains(DocumentId id) const {
+  const ProbeBases bases = probe_bases(id);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    if (counter((bases.h1 + i * bases.h2) % cells_) == 0) return false;
+  }
+  return true;
+}
+
+BloomFilter CountingBloomFilter::snapshot() const {
+  BloomFilter snapshot(cells_, hashes_);
+  for (std::size_t cell = 0; cell < cells_; ++cell) {
+    if (counter(cell) > 0) {
+      const std::size_t word = cell / 64;
+      const std::uint64_t mask = 1ULL << (cell % 64);
+      if ((snapshot.words_[word] & mask) == 0) {
+        snapshot.words_[word] |= mask;
+        ++snapshot.set_bits_;
+      }
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace eacache

@@ -1,0 +1,54 @@
+// Counting Bloom filter — the Summary-Cache construction (paper ref. [6]).
+//
+// A cache's directory churns constantly, and a plain Bloom filter cannot
+// forget. Fan et al.'s fix: keep 4-bit COUNTERS locally (increment on
+// insert, decrement on remove, saturate at 15), and publish a plain bitmap
+// snapshot (counter > 0) to peers. This class is the local counting side;
+// snapshot() produces the BloomFilter that goes on the wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "digest/bloom_filter.h"
+
+namespace eacache {
+
+class CountingBloomFilter {
+ public:
+  /// Same geometry rules as BloomFilter. Counters are 4-bit, stored packed.
+  CountingBloomFilter(std::size_t cells, std::size_t hashes);
+
+  [[nodiscard]] static CountingBloomFilter with_false_positive_rate(std::size_t expected_items,
+                                                                    double rate);
+
+  void insert(DocumentId id);
+  /// Remove one previous insert of `id`. Decrementing a zero counter means
+  /// the caller double-removed: throws std::logic_error (a saturated
+  /// counter, however, legitimately stays at 15 forever — see Fan et al.
+  /// §4.3; such cells are never decremented below their floor and we track
+  /// saturation to keep remove() safe).
+  void remove(DocumentId id);
+  [[nodiscard]] bool maybe_contains(DocumentId id) const;
+
+  /// The plain bitmap a proxy publishes to its peers.
+  [[nodiscard]] BloomFilter snapshot() const;
+
+  [[nodiscard]] std::size_t cell_count() const { return cells_; }
+  [[nodiscard]] std::size_t hash_count() const { return hashes_; }
+  [[nodiscard]] std::uint64_t saturations() const { return saturations_; }
+
+  /// Test hook: the raw counter value of a cell.
+  [[nodiscard]] std::uint8_t counter(std::size_t cell) const;
+
+ private:
+  void bump(std::size_t cell, int delta);
+
+  std::size_t cells_;
+  std::size_t hashes_;
+  std::vector<std::uint8_t> nibbles_;  // two 4-bit counters per byte
+  std::uint64_t saturations_ = 0;
+};
+
+}  // namespace eacache

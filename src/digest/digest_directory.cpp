@@ -1,0 +1,34 @@
+#include "digest/digest_directory.h"
+
+#include <algorithm>
+
+namespace eacache {
+
+LocalDigest::LocalDigest(const DigestConfig& config)
+    : filter_(CountingBloomFilter::with_false_positive_rate(config.expected_items,
+                                                            config.false_positive_rate)) {}
+
+void LocalDigest::note_admission(DocumentId id) { filter_.insert(id); }
+
+void LocalDigest::on_eviction(const EvictionRecord& record) { filter_.remove(record.id); }
+
+void PeerDigestDirectory::update(ProxyId peer, BloomFilter snapshot, TimePoint published_at) {
+  snapshots_.insert_or_assign(peer, Entry{std::move(snapshot), published_at});
+}
+
+std::vector<ProxyId> PeerDigestDirectory::candidates(DocumentId id) const {
+  std::vector<ProxyId> result;
+  for (const auto& [peer, entry] : snapshots_) {
+    if (entry.snapshot.maybe_contains(id)) result.push_back(peer);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::optional<TimePoint> PeerDigestDirectory::published_at(ProxyId peer) const {
+  const auto it = snapshots_.find(peer);
+  if (it == snapshots_.end()) return std::nullopt;
+  return it->second.published_at;
+}
+
+}  // namespace eacache

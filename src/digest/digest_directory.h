@@ -1,0 +1,78 @@
+// Summary-Cache digest machinery for one proxy.
+//
+// Each proxy maintains:
+//  * a CountingBloomFilter mirroring its own directory (kept exact by
+//    observing admissions and evictions), and
+//  * the last published snapshot of every peer, against which "who might
+//    have document D?" is answered with zero network traffic.
+//
+// Snapshots are republished every `refresh_period` of simulated time
+// (Summary Cache's delayed-propagation design): between refreshes a peer
+// snapshot can be stale in both directions — false positives (the peer
+// evicted the document) cost a wasted fetch, false negatives (the peer
+// admitted it after publishing) cost a duplicate origin fetch. The
+// discovery ablation bench measures exactly this trade against ICP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "digest/counting_bloom.h"
+#include "storage/eviction.h"
+
+namespace eacache {
+
+struct DigestConfig {
+  std::size_t expected_items = 4096;  // sizing hint for the filters
+  double false_positive_rate = 0.01;
+  Duration refresh_period = minutes(5);
+};
+
+/// The local (counting) side. Subscribes to a CacheStore's evictions; the
+/// owner must also call note_admission() whenever a document is admitted
+/// (stores have no admission observer — admission is always initiated by
+/// the proxy itself).
+class LocalDigest final : public EvictionObserver {
+ public:
+  explicit LocalDigest(const DigestConfig& config);
+
+  void note_admission(DocumentId id);
+  void on_eviction(const EvictionRecord& record) override;
+
+  [[nodiscard]] BloomFilter publish() const { return filter_.snapshot(); }
+  [[nodiscard]] const CountingBloomFilter& filter() const { return filter_; }
+
+ private:
+  CountingBloomFilter filter_;
+};
+
+/// The remote side: peers' last-published snapshots.
+class PeerDigestDirectory {
+ public:
+  explicit PeerDigestDirectory(const DigestConfig& config) : config_(config) {}
+
+  /// Install/replace a peer's snapshot.
+  void update(ProxyId peer, BloomFilter snapshot, TimePoint published_at);
+
+  /// Peers (among those with snapshots) that may hold `id`, in ascending
+  /// peer id order. May contain false positives; may miss recent admitters.
+  [[nodiscard]] std::vector<ProxyId> candidates(DocumentId id) const;
+
+  [[nodiscard]] bool has_snapshot(ProxyId peer) const { return snapshots_.count(peer) != 0; }
+  [[nodiscard]] std::optional<TimePoint> published_at(ProxyId peer) const;
+  [[nodiscard]] const DigestConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    BloomFilter snapshot;
+    TimePoint published_at;
+  };
+
+  DigestConfig config_;
+  std::unordered_map<ProxyId, Entry> snapshots_;
+};
+
+}  // namespace eacache

@@ -1,0 +1,82 @@
+#include "ea/contention.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+ContentionEstimator::ContentionEstimator(AgeForm form, WindowConfig window)
+    : form_(form), window_(window) {
+  switch (window_.kind) {
+    case WindowKind::kVictimCount:
+      if (window_.victim_count == 0) {
+        throw std::invalid_argument("ContentionEstimator: victim window must be >= 1");
+      }
+      ring_.assign(window_.victim_count, 0.0);
+      break;
+    case WindowKind::kTimeWindow:
+      if (window_.time_window <= Duration::zero()) {
+        throw std::invalid_argument("ContentionEstimator: time window must be positive");
+      }
+      break;
+    case WindowKind::kCumulative:
+      break;
+  }
+}
+
+void ContentionEstimator::on_eviction(const EvictionRecord& record) {
+  if (record.cause != EvictionCause::kCapacity) return;
+  const double age_ms = doc_exp_age(form_, record).millis();
+
+  ++victims_observed_;
+  lifetime_sum_ms_ += age_ms;
+
+  switch (window_.kind) {
+    case WindowKind::kCumulative:
+      break;
+    case WindowKind::kVictimCount:
+      if (ring_filled_ == ring_.size()) {
+        ring_sum_ -= ring_[ring_next_];
+      } else {
+        ++ring_filled_;
+      }
+      ring_[ring_next_] = age_ms;
+      ring_sum_ += age_ms;
+      ring_next_ = (ring_next_ + 1) % ring_.size();
+      break;
+    case WindowKind::kTimeWindow:
+      samples_.push_back(Sample{record.evict_time, age_ms});
+      window_sum_ += age_ms;
+      break;
+  }
+}
+
+ExpAge ContentionEstimator::cache_expiration_age(TimePoint now) const {
+  switch (window_.kind) {
+    case WindowKind::kCumulative:
+      return lifetime_average();
+    case WindowKind::kVictimCount:
+      if (ring_filled_ == 0) return ExpAge::infinite();
+      return ExpAge::from_millis(ring_sum_ / static_cast<double>(ring_filled_));
+    case WindowKind::kTimeWindow: {
+      const TimePoint cutoff =
+          now - window_.time_window >= kSimEpoch ? now - window_.time_window : kSimEpoch;
+      while (!samples_.empty() && samples_.front().at < cutoff) {
+        window_sum_ -= samples_.front().age_ms;
+        samples_.pop_front();
+      }
+      if (samples_.empty()) {
+        window_sum_ = 0.0;  // flush accumulated float error
+        return ExpAge::infinite();
+      }
+      return ExpAge::from_millis(window_sum_ / static_cast<double>(samples_.size()));
+    }
+  }
+  throw std::logic_error("ContentionEstimator: bad window kind");
+}
+
+ExpAge ContentionEstimator::lifetime_average() const {
+  if (victims_observed_ == 0) return ExpAge::infinite();
+  return ExpAge::from_millis(lifetime_sum_ms_ / static_cast<double>(victims_observed_));
+}
+
+}  // namespace eacache

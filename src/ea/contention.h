@@ -1,0 +1,90 @@
+// ContentionEstimator: maintains CacheExpAge(C, Ti, Tj) (paper Eq. 5) from
+// the cache's eviction stream.
+//
+// The paper defines the cache expiration age over "a finite time duration"
+// without pinning the window down; a production proxy needs a concrete
+// estimator. We provide three, selectable per experiment (ABL-WINDOW in
+// DESIGN.md benchmarks the choice):
+//
+//   kCumulative   — all victims since start (what Table 1 reports);
+//   kVictimCount  — mean over the last N victims (O(1) ring buffer);
+//   kTimeWindow   — mean over victims evicted in the last W of simulated
+//                   time (deque pruned on read).
+//
+// A cache with no victims in the window reports ExpAge::infinite(): it has
+// exhibited no contention, so any peer's copy is at least as endangered.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "ea/expiration_age.h"
+#include "storage/eviction.h"
+
+namespace eacache {
+
+enum class WindowKind { kCumulative, kVictimCount, kTimeWindow };
+
+struct WindowConfig {
+  WindowKind kind = WindowKind::kVictimCount;
+  std::size_t victim_count = 256;       // for kVictimCount
+  Duration time_window = hours(6);      // for kTimeWindow
+
+  [[nodiscard]] static WindowConfig cumulative() { return {WindowKind::kCumulative, 0, {}}; }
+  [[nodiscard]] static WindowConfig victims(std::size_t n) {
+    return {WindowKind::kVictimCount, n, {}};
+  }
+  [[nodiscard]] static WindowConfig time(Duration w) {
+    return {WindowKind::kTimeWindow, 0, w};
+  }
+};
+
+class ContentionEstimator final : public EvictionObserver {
+ public:
+  ContentionEstimator(AgeForm form, WindowConfig window);
+
+  /// EvictionObserver: feed one victim. Only capacity evictions measure
+  /// contention; explicit removals (invalidations) are not contention
+  /// signals and are ignored.
+  void on_eviction(const EvictionRecord& record) override;
+
+  /// CacheExpAge at simulated time `now` (needed by the time window).
+  [[nodiscard]] ExpAge cache_expiration_age(TimePoint now) const;
+
+  /// Total victims ever observed (diagnostics).
+  [[nodiscard]] std::uint64_t victims_observed() const { return victims_observed_; }
+
+  /// Mean DocExpAge over ALL victims since start, regardless of window —
+  /// this is the "Average Cache Expiration Age" the paper's Table 1 reports.
+  [[nodiscard]] ExpAge lifetime_average() const;
+
+  [[nodiscard]] AgeForm form() const { return form_; }
+  [[nodiscard]] const WindowConfig& window() const { return window_; }
+
+ private:
+  struct Sample {
+    TimePoint at;
+    double age_ms;
+  };
+
+  AgeForm form_;
+  WindowConfig window_;
+
+  // kVictimCount: ring buffer with running sum.
+  std::vector<double> ring_;
+  std::size_t ring_next_ = 0;
+  std::size_t ring_filled_ = 0;
+  double ring_sum_ = 0.0;
+
+  // kTimeWindow: monotone deque of samples; pruned lazily on read.
+  mutable std::deque<Sample> samples_;
+  mutable double window_sum_ = 0.0;
+
+  // Lifetime aggregates (also serve kCumulative).
+  std::uint64_t victims_observed_ = 0;
+  double lifetime_sum_ms_ = 0.0;
+};
+
+}  // namespace eacache

@@ -1,0 +1,49 @@
+#include "ea/expiration_age.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace eacache {
+
+std::string ExpAge::to_string() const {
+  if (is_infinite()) return "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fs", seconds());
+  return buf;
+}
+
+ExpAge doc_exp_age_lru(const EvictionRecord& record) {
+  if (record.evict_time < record.last_hit_time) {
+    throw std::invalid_argument("doc_exp_age_lru: eviction precedes last hit");
+  }
+  return ExpAge::from_duration(record.evict_time - record.last_hit_time);
+}
+
+ExpAge doc_exp_age_lfu(const EvictionRecord& record) {
+  if (record.evict_time < record.entry_time) {
+    throw std::invalid_argument("doc_exp_age_lfu: eviction precedes entry");
+  }
+  if (record.hit_count == 0) {
+    throw std::invalid_argument("doc_exp_age_lfu: zero hit count");
+  }
+  const auto lifetime = static_cast<double>((record.evict_time - record.entry_time).count());
+  return ExpAge::from_millis(lifetime / static_cast<double>(record.hit_count));
+}
+
+ExpAge doc_exp_age(AgeForm form, const EvictionRecord& record) {
+  switch (form) {
+    case AgeForm::kLru: return doc_exp_age_lru(record);
+    case AgeForm::kLfu: return doc_exp_age_lfu(record);
+  }
+  throw std::invalid_argument("doc_exp_age: bad AgeForm");
+}
+
+AgeForm age_form_for_policy(std::string_view policy_name) {
+  // LRU-like policies keep a last-hit stamp; LFU-like ones keep a counter.
+  // SIZE and GDS keep both in our store, so either form is computable; we
+  // use the LRU form for them since their aging is recency-flavoured.
+  if (policy_name == "lfu" || policy_name == "lfu-aging") return AgeForm::kLfu;
+  return AgeForm::kLru;
+}
+
+}  // namespace eacache

@@ -1,0 +1,74 @@
+// Document and cache expiration ages — the paper's central quantities.
+//
+// DocExpAge(D, C)  (paper Eq. 1-3):
+//   LRU form:  evict_time - last_hit_time          (Eq. 2)
+//   LFU form:  (evict_time - entry_time) / HIT_COUNTER
+// Both estimate how long a document lives in a cache after its last hit.
+//
+// CacheExpAge(C, Ti, Tj)  (paper Eq. 5): the mean DocExpAge over the
+// victims evicted from C during a finite window. High value = low disk-space
+// contention.
+//
+// A cache that has evicted nothing has *unobserved* (effectively infinite)
+// expiration age: it is experiencing no contention at all. We model that
+// explicitly with ExpAge::infinite() so that comparisons in the placement
+// rules do the right thing for cold caches — a cold group degenerates to
+// exactly the ad-hoc scheme, which preserves the paper's "never worse than
+// ad-hoc" guarantee.
+#pragma once
+
+#include <compare>
+#include <limits>
+#include <string>
+
+#include "common/types.h"
+#include "storage/eviction.h"
+
+namespace eacache {
+
+/// Which DocExpAge formula applies — must match the cache's replacement
+/// policy family (paper Eq. 1 dispatches on the policy).
+enum class AgeForm { kLru, kLfu };
+
+/// An expiration age: a non-negative, possibly fractional duration in
+/// milliseconds, or +infinity for "no contention observed".
+class ExpAge {
+ public:
+  constexpr ExpAge() : ms_(0.0) {}
+
+  [[nodiscard]] static constexpr ExpAge from_millis(double ms) { return ExpAge(ms); }
+  [[nodiscard]] static constexpr ExpAge from_duration(Duration d) {
+    return ExpAge(static_cast<double>(d.count()));
+  }
+  [[nodiscard]] static constexpr ExpAge infinite() {
+    return ExpAge(std::numeric_limits<double>::infinity());
+  }
+
+  [[nodiscard]] constexpr double millis() const { return ms_; }
+  [[nodiscard]] constexpr double seconds() const { return ms_ / 1000.0; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return ms_ == std::numeric_limits<double>::infinity();
+  }
+
+  friend constexpr auto operator<=>(const ExpAge&, const ExpAge&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr ExpAge(double ms) : ms_(ms) {}
+  double ms_;
+};
+
+/// DocExpAge under LRU (paper Eq. 2).
+[[nodiscard]] ExpAge doc_exp_age_lru(const EvictionRecord& record);
+
+/// DocExpAge under LFU (paper section 3.2.2).
+[[nodiscard]] ExpAge doc_exp_age_lfu(const EvictionRecord& record);
+
+/// Dispatch on the age form (paper Eq. 1).
+[[nodiscard]] ExpAge doc_exp_age(AgeForm form, const EvictionRecord& record);
+
+/// The DocExpAge form that matches a replacement-policy kind.
+[[nodiscard]] AgeForm age_form_for_policy(std::string_view policy_name);
+
+}  // namespace eacache

@@ -1,0 +1,59 @@
+#include "ea/placement.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace eacache {
+
+std::string_view to_string(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kAdHoc: return "ad-hoc";
+    case PlacementKind::kEa: return "ea";
+    case PlacementKind::kEaHysteresis: return "ea-hysteresis";
+  }
+  throw std::invalid_argument("to_string: bad PlacementKind");
+}
+
+PlacementKind placement_kind_from_string(std::string_view name) {
+  if (name == "ad-hoc" || name == "adhoc") return PlacementKind::kAdHoc;
+  if (name == "ea") return PlacementKind::kEa;
+  if (name == "ea-hysteresis") return PlacementKind::kEaHysteresis;
+  throw std::invalid_argument("unknown placement scheme: " + std::string(name));
+}
+
+EaHysteresisPlacement::EaHysteresisPlacement(double factor) : factor_(factor) {
+  if (!(factor >= 1.0)) {
+    throw std::invalid_argument("EaHysteresisPlacement: factor must be >= 1");
+  }
+}
+
+bool EaHysteresisPlacement::requester_should_cache(ExpAge requester, ExpAge responder) const {
+  // Infinite responder age: only an equally uncontended (infinite) requester
+  // replicates — the plain EA tie rule, which the cold-start guarantee needs.
+  if (responder.is_infinite()) return requester.is_infinite();
+  if (requester.is_infinite()) return true;
+  return requester.millis() >= factor_ * responder.millis();
+}
+
+bool EaHysteresisPlacement::responder_should_promote(ExpAge responder, ExpAge requester) const {
+  // Exact complement of the requester rule: promote iff the requester will
+  // NOT keep a copy, so exactly one side preserves the document's lease.
+  return !requester_should_cache(requester, responder);
+}
+
+bool EaHysteresisPlacement::parent_should_cache(ExpAge parent, ExpAge requester) const {
+  // Same complement structure as the plain EA parent rule.
+  return !requester_should_cache(requester, parent);
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind, double ea_hysteresis) {
+  switch (kind) {
+    case PlacementKind::kAdHoc: return std::make_unique<AdHocPlacement>();
+    case PlacementKind::kEa: return std::make_unique<EaPlacement>();
+    case PlacementKind::kEaHysteresis:
+      return std::make_unique<EaHysteresisPlacement>(ea_hysteresis);
+  }
+  throw std::invalid_argument("make_placement: bad PlacementKind");
+}
+
+}  // namespace eacache

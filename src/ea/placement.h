@@ -1,0 +1,115 @@
+// Document placement policies — the paper's contribution (EA) and the
+// conventional baseline (ad-hoc).
+//
+// A placement policy answers four questions that arise while a cache group
+// serves a request (paper section 3.3):
+//
+//  1. requester_should_cache  — after fetching a document from another cache
+//     (sibling remote hit, or a parent that resolved a miss), should the
+//     requester keep a local copy?
+//  2. responder_should_promote — after serving a sibling, should the
+//     responder give its own copy a fresh lease of life (LRU head / LFU
+//     counter increment)?
+//  3. parent_should_cache — in the hierarchical architecture, should a
+//     parent that fetched from the origin on a child's behalf keep a copy?
+//  4. requester_should_cache_after_origin_fetch — after a group-wide miss
+//     served directly from the origin, should the requester cache it?
+//
+// The decisions are pure functions of the two piggybacked cache expiration
+// ages, so both schemes are trivially architecture- and replacement-policy-
+// independent — a point the paper emphasises.
+//
+// Tie-break note (paper sections 3.3 vs 3.4): §3.4 states the requester
+// stores when its age is "greater than OR EQUAL"; this also makes a
+// fully-cold group (both ages infinite) behave exactly like ad-hoc, which
+// the "never worse than ad-hoc" argument requires. The responder promotes
+// only on STRICT greater — on ties the new copy wins and the old one ages
+// out. We follow §3.4.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ea/expiration_age.h"
+
+namespace eacache {
+
+enum class PlacementKind { kAdHoc, kEa, kEaHysteresis };
+
+[[nodiscard]] std::string_view to_string(PlacementKind kind);
+[[nodiscard]] PlacementKind placement_kind_from_string(std::string_view name);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  [[nodiscard]] virtual bool requester_should_cache(ExpAge requester,
+                                                    ExpAge responder) const = 0;
+  [[nodiscard]] virtual bool responder_should_promote(ExpAge responder,
+                                                      ExpAge requester) const = 0;
+  [[nodiscard]] virtual bool parent_should_cache(ExpAge parent, ExpAge requester) const = 0;
+  [[nodiscard]] virtual bool requester_should_cache_after_origin_fetch() const = 0;
+
+  [[nodiscard]] virtual PlacementKind kind() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// The conventional scheme: every fetch is cached where it was requested,
+/// and serving a remote hit rejuvenates the responder's copy.
+class AdHocPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] bool requester_should_cache(ExpAge, ExpAge) const override { return true; }
+  [[nodiscard]] bool responder_should_promote(ExpAge, ExpAge) const override { return true; }
+  [[nodiscard]] bool parent_should_cache(ExpAge, ExpAge) const override { return true; }
+  [[nodiscard]] bool requester_should_cache_after_origin_fetch() const override { return true; }
+  [[nodiscard]] PlacementKind kind() const override { return PlacementKind::kAdHoc; }
+  [[nodiscard]] std::string_view name() const override { return "ad-hoc"; }
+};
+
+/// The Expiration-Age scheme (paper section 3.3).
+class EaPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] bool requester_should_cache(ExpAge requester, ExpAge responder) const override {
+    return requester >= responder;
+  }
+  [[nodiscard]] bool responder_should_promote(ExpAge responder, ExpAge requester) const override {
+    return responder > requester;
+  }
+  [[nodiscard]] bool parent_should_cache(ExpAge parent, ExpAge requester) const override {
+    return parent > requester;
+  }
+  [[nodiscard]] bool requester_should_cache_after_origin_fetch() const override { return true; }
+  [[nodiscard]] PlacementKind kind() const override { return PlacementKind::kEa; }
+  [[nodiscard]] std::string_view name() const override { return "ea"; }
+};
+
+/// EA with hysteresis — an extension the paper's tie-break discussion
+/// invites: the requester replicates only when its copy would survive
+/// MATERIALLY longer (req >= factor * resp), not merely marginally. A
+/// factor of 1 degenerates to the plain EA scheme; larger factors trade
+/// local hits for fewer replicas. The responder promotion rule stays the
+/// exact complement so the no-copy-lost invariant holds: the responder
+/// promotes precisely when the requester declined.
+class EaHysteresisPlacement final : public PlacementPolicy {
+ public:
+  /// Requires factor >= 1 (throws std::invalid_argument otherwise).
+  explicit EaHysteresisPlacement(double factor);
+
+  [[nodiscard]] bool requester_should_cache(ExpAge requester, ExpAge responder) const override;
+  [[nodiscard]] bool responder_should_promote(ExpAge responder, ExpAge requester) const override;
+  [[nodiscard]] bool parent_should_cache(ExpAge parent, ExpAge requester) const override;
+  [[nodiscard]] bool requester_should_cache_after_origin_fetch() const override { return true; }
+  [[nodiscard]] PlacementKind kind() const override { return PlacementKind::kEaHysteresis; }
+  [[nodiscard]] std::string_view name() const override { return "ea-hysteresis"; }
+
+  [[nodiscard]] double factor() const { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// `ea_hysteresis` applies only to kEaHysteresis.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind,
+                                                              double ea_hysteresis = 2.0);
+
+}  // namespace eacache

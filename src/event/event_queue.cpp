@@ -1,0 +1,72 @@
+#include "event/event_queue.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace eacache {
+
+void EventQueue::schedule_at(TimePoint at, EventFn fn) {
+  if (at < now_) {
+    throw std::logic_error("EventQueue: scheduling in the past");
+  }
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::fire(Entry entry) {
+  now_ = entry.at;
+  entry.fn(now_);
+}
+
+std::uint64_t EventQueue::run() {
+  std::uint64_t executed = 0;
+  while (!heap_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    fire(std::move(e));
+    ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t EventQueue::run_until(TimePoint deadline) {
+  std::uint64_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    fire(std::move(e));
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  fire(std::move(e));
+  return true;
+}
+
+void PeriodicEvent::start(EventQueue& queue, TimePoint first, Duration period, EventFn fn) {
+  if (period <= Duration::zero()) {
+    throw std::logic_error("PeriodicEvent: period must be positive");
+  }
+  // Each scheduled occurrence owns the callback and, when fired, schedules a
+  // value copy of itself for the next period. No self-referencing closures,
+  // so no shared_ptr cycles. Termination is by run_until(): the caller
+  // bounds simulated time (run() would loop forever on a periodic event).
+  struct Tick {
+    EventQueue* queue;
+    Duration period;
+    std::shared_ptr<EventFn> fn;
+    void operator()(TimePoint t) const {
+      (*fn)(t);
+      queue->schedule_at(t + period, Tick{*this});
+    }
+  };
+  queue.schedule_at(first, Tick{&queue, period, std::make_shared<EventFn>(std::move(fn))});
+}
+
+}  // namespace eacache

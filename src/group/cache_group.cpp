@@ -1,0 +1,582 @@
+#include "group/cache_group.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace eacache {
+
+namespace {
+Topology build_topology(const GroupConfig& config) {
+  if (!config.custom_parents.empty()) {
+    if (config.topology != TopologyKind::kHierarchical) {
+      throw std::invalid_argument("CacheGroup: custom_parents requires kHierarchical");
+    }
+    return Topology::from_parents(TopologyKind::kHierarchical, config.custom_parents);
+  }
+  switch (config.topology) {
+    case TopologyKind::kDistributed: return Topology::distributed(config.num_proxies);
+    case TopologyKind::kHierarchical: return Topology::two_level(config.num_proxies);
+  }
+  throw std::invalid_argument("CacheGroup: bad topology kind");
+}
+}  // namespace
+
+CacheGroup::CacheGroup(const GroupConfig& config)
+    : config_(config),
+      topology_(build_topology(config)),
+      placement_(make_placement(config.placement, config.ea_hysteresis)),
+      transport_(config.wire),
+      digest_directory_(config.digest) {
+  const std::size_t total_caches = topology_.num_proxies();
+
+  // Per-cache byte budgets: equal split (the paper's setup) unless
+  // explicit weights are given.
+  std::vector<Bytes> budgets(total_caches, config_.aggregate_capacity / total_caches);
+  if (!config_.capacity_weights.empty()) {
+    if (config_.capacity_weights.size() != total_caches) {
+      throw std::invalid_argument("CacheGroup: capacity_weights size != total cache count");
+    }
+    double weight_sum = 0.0;
+    for (const double w : config_.capacity_weights) {
+      if (!(w > 0.0)) throw std::invalid_argument("CacheGroup: weights must be positive");
+      weight_sum += w;
+    }
+    for (std::size_t p = 0; p < total_caches; ++p) {
+      budgets[p] = static_cast<Bytes>(static_cast<double>(config_.aggregate_capacity) *
+                                      config_.capacity_weights[p] / weight_sum);
+    }
+  }
+  for (const Bytes budget : budgets) {
+    if (budget == 0) {
+      throw std::invalid_argument("CacheGroup: aggregate capacity too small for group size");
+    }
+  }
+
+  const DigestConfig* digest =
+      config_.discovery == DiscoveryMode::kDigest ? &config_.digest : nullptr;
+  proxies_.reserve(total_caches);
+  for (std::size_t p = 0; p < total_caches; ++p) {
+    proxies_.push_back(std::make_unique<ProxyCache>(static_cast<ProxyId>(p), budgets[p],
+                                                    make_policy(config_.replacement),
+                                                    config_.window, placement_.get(), digest));
+  }
+  last_digest_publish_.assign(total_caches, kSimEpoch);
+  digest_published_once_.assign(total_caches, false);
+
+  if (config_.coherence.enabled) {
+    if (config_.coherence.fresh_ttl <= Duration::zero()) {
+      throw std::invalid_argument("CacheGroup: freshness TTL must be positive");
+    }
+    if (config_.coherence.rule == FreshnessRule::kLmFactor &&
+        (!(config_.coherence.lm_factor > 0.0) ||
+         config_.coherence.min_ttl <= Duration::zero() ||
+         config_.coherence.max_ttl < config_.coherence.min_ttl)) {
+      throw std::invalid_argument("CacheGroup: bad LM-factor freshness parameters");
+    }
+    origin_.emplace(config_.origin);
+  }
+
+  if (config_.routing == RoutingMode::kHashPartition) {
+    if (config_.topology != TopologyKind::kDistributed) {
+      throw std::invalid_argument("CacheGroup: hash partitioning requires a flat group");
+    }
+    if (config_.placement != PlacementKind::kAdHoc) {
+      throw std::invalid_argument(
+          "CacheGroup: hash partitioning IS the placement scheme; use kAdHoc");
+    }
+    if (config_.prefetch.enabled) {
+      throw std::invalid_argument(
+          "CacheGroup: prefetching is a cooperative-mode feature (document homes are "
+          "fixed under hash partitioning)");
+    }
+    hash_ring_.emplace(config_.hash_virtual_nodes);
+    for (const ProxyId p : topology_.client_facing()) hash_ring_->add_proxy(p);
+  }
+
+  if (config_.prefetch.enabled) {
+    if (!(config_.prefetch.min_confidence >= 0.0 && config_.prefetch.min_confidence <= 1.0)) {
+      throw std::invalid_argument("CacheGroup: prefetch confidence must be in [0, 1]");
+    }
+    predictors_.assign(total_caches, MarkovPredictor{});
+    pending_prefetch_.assign(total_caches, {});
+  }
+
+  if (config_.icp_loss_probability < 0.0 || config_.icp_loss_probability > 1.0) {
+    throw std::invalid_argument("CacheGroup: ICP loss probability must be in [0, 1]");
+  }
+  network_rng_.reseed(config_.network_seed);
+}
+
+std::size_t CacheGroup::pending_prefetches() const {
+  // Only copies still resident are genuinely "pending" — a speculative
+  // copy evicted before any demand was simply wasted.
+  std::size_t pending = 0;
+  for (std::size_t p = 0; p < pending_prefetch_.size(); ++p) {
+    for (const DocumentId id : pending_prefetch_[p]) {
+      if (proxies_[p]->store().contains(id)) ++pending;
+    }
+  }
+  return pending;
+}
+
+void CacheGroup::learn_and_prefetch(ProxyCache& requester, const Request& request) {
+  const ProxyId p = requester.id();
+  known_sizes_[request.document] = request.size;
+
+  // Learn the per-user transition.
+  const auto [it, inserted] = last_document_.try_emplace(request.user, request.document);
+  if (!inserted) {
+    if (it->second != request.document) {
+      predictors_[p].observe(it->second, request.document);
+    }
+    it->second = request.document;
+  }
+
+  // Act on a confident prediction: speculative origin fetch into this proxy.
+  const auto prediction = predictors_[p].predict(request.document);
+  if (!prediction || prediction->confidence < config_.prefetch.min_confidence ||
+      prediction->observations < config_.prefetch.min_observations) {
+    return;
+  }
+  if (requester.store().contains(prediction->document)) return;
+  const auto size_it = known_sizes_.find(prediction->document);
+  if (size_it == known_sizes_.end()) return;  // size unknown: cannot speculate
+
+  Document speculative{prediction->document, size_it->second, 0};
+  if (origin_) speculative.version = origin_->version_at(speculative.id, request.at);
+  transport_.record_origin_fetch(speculative.size);
+  requester.cache_after_origin_fetch(speculative, request.at);
+  if (requester.store().contains(speculative.id)) {
+    pending_prefetch_[p].insert(speculative.id);
+    ++prefetch_stats_.issued;
+    prefetch_stats_.bytes_prefetched += speculative.size;
+  }
+}
+
+void CacheGroup::refresh_digests(TimePoint now) {
+  for (std::size_t p = 0; p < proxies_.size(); ++p) {
+    if (digest_published_once_[p] && now - last_digest_publish_[p] < config_.digest.refresh_period) {
+      continue;
+    }
+    BloomFilter snapshot = proxies_[p]->publish_digest();
+    const Bytes wire_size = snapshot.wire_size();
+    digest_directory_.update(static_cast<ProxyId>(p), std::move(snapshot), now);
+    // Broadcast cost: one message per receiving peer.
+    for (std::size_t q = 0; q < proxies_.size(); ++q) {
+      if (q == p) continue;
+      transport_.record_digest_publication(
+          DigestPublication{static_cast<ProxyId>(p), static_cast<ProxyId>(q), wire_size});
+    }
+    last_digest_publish_[p] = now;
+    digest_published_once_[p] = true;
+  }
+}
+
+void CacheGroup::sort_by_ring_distance(std::vector<ProxyId>& peers, ProxyId requester) const {
+  const std::size_t n = proxies_.size();
+  std::sort(peers.begin(), peers.end(), [&](ProxyId a, ProxyId b) {
+    return (a + n - requester) % n < (b + n - requester) % n;
+  });
+}
+
+std::vector<ProxyId> CacheGroup::discover_candidates(ProxyCache& requester,
+                                                     const Request& request) {
+  std::vector<ProxyId> targets = topology_.siblings_of(requester.id());
+  if (const auto parent = topology_.parent_of(requester.id())) targets.push_back(*parent);
+
+  std::vector<ProxyId> candidates;
+  if (config_.discovery == DiscoveryMode::kIcp) {
+    for (const ProxyId target : targets) {
+      const IcpQuery query{requester.id(), target, request.document};
+      transport_.record_icp_query(query);
+      // UDP is best-effort: a lost query or reply looks like a peer miss
+      // and the requester falls back to the origin (a duplicate fetch).
+      if (config_.icp_loss_probability > 0.0 &&
+          network_rng_.next_bool(config_.icp_loss_probability)) {
+        transport_.record_icp_loss();
+        continue;
+      }
+      // A proxy only advertises copies it could legally serve: with
+      // coherence on, TTL-stale copies answer "miss".
+      const bool hit = copy_is_fresh(*proxies_[target], request.document, request.at);
+      transport_.record_icp_reply(IcpReply{target, requester.id(), request.document, hit});
+      if (hit) candidates.push_back(target);
+    }
+  } else {
+    const std::vector<ProxyId> claimed = digest_directory_.candidates(request.document);
+    for (const ProxyId target : targets) {
+      if (std::binary_search(claimed.begin(), claimed.end(), target)) {
+        candidates.push_back(target);
+      }
+    }
+  }
+  sort_by_ring_distance(candidates, requester.id());
+  return candidates;
+}
+
+Document CacheGroup::document_from(const Request& request) const {
+  Document document{request.document, request.size, 0};
+  if (origin_) document.version = origin_->version_at(request.document, request.at);
+  return document;
+}
+
+Duration CacheGroup::freshness_lifetime(const CacheEntry& entry) const {
+  const CoherenceConfig& coherence = config_.coherence;
+  if (coherence.rule == FreshnessRule::kFixedTtl) return coherence.fresh_ttl;
+  // Squid's LM-factor heuristic: a document unchanged for a long time is
+  // unlikely to change soon.
+  const TimePoint modified = origin_->version_start(entry.id, entry.version);
+  const Duration age_when_validated =
+      entry.last_validated > modified ? entry.last_validated - modified : Duration::zero();
+  const auto lifetime = Duration{static_cast<SimClock::rep>(
+      coherence.lm_factor * static_cast<double>(age_when_validated.count()))};
+  return std::clamp(lifetime, coherence.min_ttl, coherence.max_ttl);
+}
+
+bool CacheGroup::copy_is_fresh(const ProxyCache& proxy, DocumentId document,
+                               TimePoint now) const {
+  const auto entry = proxy.store().peek(document);
+  if (!entry) return false;
+  if (!coherence_on()) return true;
+  return now - entry->last_validated < freshness_lifetime(*entry);
+}
+
+CacheGroup::LocalLookup CacheGroup::local_lookup(ProxyCache& proxy, const Request& request) {
+  const TimePoint now = request.at;
+  const auto entry = proxy.store().peek(request.document);
+  if (!entry) return {LocalState::kMiss, 0};
+
+  if (!coherence_on()) {
+    const auto size = proxy.serve_local(request.document, now);
+    return {LocalState::kFreshHit, *size};
+  }
+
+  const std::uint64_t current = origin_->version_at(request.document, now);
+  if (now - entry->last_validated < freshness_lifetime(*entry)) {
+    // TTL-fresh: served without contacting the origin. The oracle tells us
+    // whether that quietly served stale content.
+    if (entry->version != current) ++coherence_stats_.stale_served;
+    const auto size = proxy.serve_local(request.document, now);
+    return {LocalState::kFreshHit, *size};
+  }
+
+  // TTL expired: If-Modified-Since round trip to the origin.
+  ++coherence_stats_.validations;
+  if (entry->version == current) {
+    ++coherence_stats_.validated_304;
+    proxy.mark_validated(request.document, now);
+    const auto size = proxy.serve_local(request.document, now);
+    return {LocalState::kValidatedHit, *size};
+  }
+  // Changed at the origin: the 200 reply replaces the body; the old copy
+  // is dropped here and the caller completes the origin fetch.
+  ++coherence_stats_.validated_200;
+  proxy.invalidate(request.document, now);
+  return {LocalState::kChanged, 0};
+}
+
+ProxyId CacheGroup::home_proxy(UserId user) const {
+  const auto& facing = topology_.client_facing();
+  return facing[mix64(user) % facing.size()];
+}
+
+void CacheGroup::flush_proxy(ProxyId proxy, TimePoint now) {
+  proxies_.at(proxy)->flush(now);
+}
+
+RequestOutcome CacheGroup::serve(const Request& request) {
+  if (config_.discovery == DiscoveryMode::kDigest) refresh_digests(request.at);
+  ProxyCache& requester = *proxies_[home_proxy(request.user)];
+  requester.note_client_request();
+  if (config_.routing == RoutingMode::kHashPartition) {
+    return serve_hash_partition(requester, request);
+  }
+
+  // A speculative copy stops being speculative the moment it is demanded.
+  const bool was_prefetched =
+      config_.prefetch.enabled &&
+      pending_prefetch_[requester.id()].erase(request.document) > 0;
+
+  const RequestOutcome outcome = serve_at_proxy(requester, request);
+
+  if (config_.prefetch.enabled) {
+    if (was_prefetched && outcome == RequestOutcome::kLocalHit) {
+      ++prefetch_stats_.useful;
+    }
+    learn_and_prefetch(requester, request);
+  }
+  return outcome;
+}
+
+RequestOutcome CacheGroup::serve_hash_partition(ProxyCache& requester, const Request& request) {
+  const TimePoint now = request.at;
+  const ProxyId home_id = hash_ring_->home_of(request.document);
+
+  const Document document = document_from(request);
+
+  if (home_id == requester.id()) {
+    // The requester IS the document's home.
+    const LocalLookup local = local_lookup(requester, request);
+    if (local.state == LocalState::kFreshHit) {
+      metrics_.record(RequestOutcome::kLocalHit, local.size, config_.latency.local_hit);
+      return RequestOutcome::kLocalHit;
+    }
+    if (local.state == LocalState::kValidatedHit) {
+      metrics_.record(RequestOutcome::kLocalHit, local.size,
+                      config_.latency.local_hit + config_.coherence.validation_rtt);
+      return RequestOutcome::kLocalHit;
+    }
+    transport_.record_origin_fetch(document.size);
+    requester.cache_after_origin_fetch(document, now);
+    metrics_.record(RequestOutcome::kMiss, document.size, config_.latency.miss);
+    return RequestOutcome::kMiss;
+  }
+
+  // Forward to the home cache; the requester never keeps a copy (pure
+  // partitioning: the aggregate disk holds at most one copy per document).
+  ProxyCache& home = *proxies_[home_id];
+  HttpRequest forward;
+  forward.from = requester.id();
+  forward.to = home_id;
+  forward.document = request.document;
+  transport_.record_http_request(forward);
+
+  const LocalLookup at_home = local_lookup(home, request);
+  if (at_home.state == LocalState::kFreshHit || at_home.state == LocalState::kValidatedHit) {
+    HttpResponse response;
+    response.from = home_id;
+    response.to = requester.id();
+    response.document = request.document;
+    response.body_size = at_home.size;
+    response.source = ResponseSource::kCache;
+    transport_.record_http_response(response);
+    const Duration extra = at_home.state == LocalState::kValidatedHit
+                               ? config_.coherence.validation_rtt
+                               : Duration::zero();
+    metrics_.record(RequestOutcome::kRemoteHit, at_home.size,
+                    config_.latency.remote_hit + extra);
+    return RequestOutcome::kRemoteHit;
+  }
+
+  // Home miss (or changed at origin): the home fetches and keeps the copy.
+  transport_.record_origin_fetch(document.size);
+  home.cache_after_origin_fetch(document, now);
+  HttpResponse response;
+  response.from = home_id;
+  response.to = requester.id();
+  response.document = request.document;
+  response.body_size = document.size;
+  response.source = ResponseSource::kOrigin;
+  transport_.record_http_response(response);
+  metrics_.record(RequestOutcome::kMiss, document.size, config_.latency.miss);
+  return RequestOutcome::kMiss;
+}
+
+RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& request) {
+  const TimePoint now = request.at;
+
+  // 1. Local lookup (a promoting hit if resident; with coherence on this
+  // runs the freshness/validation state machine).
+  const LocalLookup local = local_lookup(requester, request);
+  switch (local.state) {
+    case LocalState::kFreshHit:
+      metrics_.record(RequestOutcome::kLocalHit, local.size, config_.latency.local_hit);
+      return RequestOutcome::kLocalHit;
+    case LocalState::kValidatedHit:
+      metrics_.record(RequestOutcome::kLocalHit, local.size,
+                      config_.latency.local_hit + config_.coherence.validation_rtt);
+      return RequestOutcome::kLocalHit;
+    case LocalState::kChanged: {
+      // The If-Modified-Since reply carried the new body: an origin fetch.
+      const Document document = document_from(request);
+      transport_.record_origin_fetch(document.size);
+      requester.cache_after_origin_fetch(document, now);
+      metrics_.record(RequestOutcome::kMiss, document.size, config_.latency.miss);
+      return RequestOutcome::kMiss;
+    }
+    case LocalState::kMiss:
+      break;
+  }
+
+  // 2. Locate peer copies: ICP fan-out (exact) or digest lookup
+  // (approximate), best candidate first.
+  const std::vector<ProxyId> candidates = discover_candidates(requester, request);
+
+  // 3. Fetch from the first candidate that actually has the document. ICP
+  // candidates always do; digest candidates can be stale (failed probes
+  // accumulate a latency penalty that carries into whatever resolves the
+  // request).
+  Duration probe_penalty = Duration::zero();
+  for (const ProxyId responder_id : candidates) {
+    ProxyCache& responder = *proxies_[responder_id];
+
+    HttpRequest fetch;
+    fetch.from = requester.id();
+    fetch.to = responder_id;
+    fetch.document = request.document;
+    if (placement_->kind() != PlacementKind::kAdHoc) {
+      fetch.requester_age = requester.expiration_age(now);
+    }
+    transport_.record_http_request(fetch);
+
+    // Digest candidates can be stale in two ways: the copy is gone, or (with
+    // coherence on) it is TTL-expired and the responder will not serve it.
+    HttpResponse response;
+    if (coherence_on() && responder.store().contains(request.document) &&
+        !copy_is_fresh(responder, request.document, now)) {
+      response.from = responder_id;
+      response.to = requester.id();
+      response.document = request.document;
+      response.found = false;
+    } else {
+      response = responder.serve_fetch(fetch, now);
+    }
+    transport_.record_http_response(response);
+    if (!response.found) {
+      probe_penalty += config_.latency.failed_probe;
+      continue;
+    }
+
+    if (coherence_on() && response.version != document_from(request).version) {
+      ++coherence_stats_.stale_served;
+    }
+    requester.consider_caching(
+        Document{request.document, response.body_size, response.version},
+        response.responder_age, now,
+        coherence_on() ? std::optional<TimePoint>(response.validated_at) : std::nullopt);
+    metrics_.record(RequestOutcome::kRemoteHit, response.body_size,
+                    config_.latency.remote_hit + probe_penalty);
+    return RequestOutcome::kRemoteHit;
+  }
+
+  return resolve_group_miss(requester, request, probe_penalty);
+}
+
+RequestOutcome CacheGroup::resolve_group_miss(ProxyCache& requester, const Request& request,
+                                              Duration probe_penalty) {
+  const TimePoint now = request.at;
+  const auto parent = topology_.parent_of(requester.id());
+
+  if (!parent) {
+    // 4. Distributed architecture: fetch from the origin, cache locally
+    // (conventional step — identical under both schemes).
+    const Document document = document_from(request);
+    transport_.record_origin_fetch(document.size);
+    requester.cache_after_origin_fetch(document, now);
+    metrics_.record(RequestOutcome::kMiss, document.size,
+                    config_.latency.miss + probe_penalty);
+    return RequestOutcome::kMiss;
+  }
+
+  // 5. Hierarchical architecture: the parent chain resolves the miss.
+  const HttpResponse response = fetch_via_parent(requester, *parent, request);
+  requester.consider_caching(
+      Document{request.document, response.body_size, response.version},
+      response.responder_age, now,
+      coherence_on() ? std::optional<TimePoint>(response.validated_at) : std::nullopt);
+  if (response.source == ResponseSource::kCache) {
+    // A cache above the ICP horizon (grandparent or higher) had the
+    // document: the group served it after all.
+    metrics_.record(RequestOutcome::kRemoteHit, response.body_size,
+                    config_.latency.remote_hit + probe_penalty);
+    return RequestOutcome::kRemoteHit;
+  }
+  metrics_.record(RequestOutcome::kMiss, response.body_size,
+                  config_.latency.miss + probe_penalty);
+  return RequestOutcome::kMiss;
+}
+
+HttpResponse CacheGroup::fetch_via_parent(ProxyCache& child, ProxyId parent_id,
+                                          const Request& request) {
+  const TimePoint now = request.at;
+  ProxyCache& parent = *proxies_[parent_id];
+
+  HttpRequest hop;
+  hop.from = child.id();
+  hop.to = parent_id;
+  hop.document = request.document;
+  if (placement_->kind() != PlacementKind::kAdHoc) {
+    hop.requester_age = child.expiration_age(now);
+  }
+  transport_.record_http_request(hop);
+
+  // A TTL-stale copy at the parent cannot be served; it will be replaced by
+  // the fresh body flowing down, so drop it now (admission below would
+  // otherwise be blocked by the stale resident).
+  if (coherence_on() && parent.store().contains(request.document) &&
+      !copy_is_fresh(parent, request.document, now)) {
+    parent.invalidate(request.document, now);
+  }
+
+  HttpResponse response;
+  if (parent.store().contains(request.document)) {
+    // Only reachable above the ICP horizon (the direct parent answered a
+    // negative ICP probe just now): a cache hit at a higher level.
+    response = parent.serve_remote(hop, now);
+  } else if (const auto grandparent = topology_.parent_of(parent_id)) {
+    // The parent obtains the document through its own parent, deciding as a
+    // requester whether to keep a copy, then answers the child with its own
+    // expiration age.
+    const HttpResponse upper = fetch_via_parent(parent, *grandparent, request);
+    parent.consider_caching(
+        Document{request.document, upper.body_size, upper.version}, upper.responder_age, now,
+        coherence_on() ? std::optional<TimePoint>(upper.validated_at) : std::nullopt);
+    response.from = parent_id;
+    response.to = child.id();
+    response.document = request.document;
+    response.body_size = upper.body_size;
+    response.source = upper.source;
+    response.version = upper.version;
+    response.validated_at = upper.validated_at;
+    if (placement_->kind() != PlacementKind::kAdHoc) {
+      response.responder_age = parent.expiration_age(now);
+    }
+  } else {
+    // Top of the chain: fetch from the origin; the parent placement rule
+    // (paper section 3.3) decides whether this cache keeps a copy.
+    const Document document = document_from(request);
+    transport_.record_origin_fetch(document.size);
+    response = parent.resolve_miss_as_parent(document, hop, now);
+  }
+  transport_.record_http_response(response);
+  return response;
+}
+
+ExpAge CacheGroup::average_cache_expiration_age() const {
+  double sum_ms = 0.0;
+  std::size_t finite = 0;
+  for (const auto& proxy : proxies_) {
+    const ExpAge age = proxy->contention().lifetime_average();
+    if (!age.is_infinite()) {
+      sum_ms += age.millis();
+      ++finite;
+    }
+  }
+  if (finite == 0) return ExpAge::infinite();
+  return ExpAge::from_millis(sum_ms / static_cast<double>(finite));
+}
+
+std::size_t CacheGroup::total_resident_copies() const {
+  std::size_t total = 0;
+  for (const auto& proxy : proxies_) total += proxy->store().resident_count();
+  return total;
+}
+
+std::size_t CacheGroup::unique_resident_documents() const {
+  std::unordered_map<DocumentId, bool> seen;
+  for (const auto& proxy : proxies_) {
+    for (const DocumentId id : proxy->store().resident_ids()) seen[id] = true;
+  }
+  return seen.size();
+}
+
+double CacheGroup::replication_factor() const {
+  const std::size_t unique = unique_resident_documents();
+  if (unique == 0) return 0.0;
+  return static_cast<double>(total_resident_copies()) / static_cast<double>(unique);
+}
+
+}  // namespace eacache

@@ -1,0 +1,277 @@
+// CacheGroup: the cooperative cache as a whole — proxies, topology,
+// transport accounting and the request orchestration of paper section 3.3.
+//
+// Request flow for one client request:
+//   1. The user's home proxy (users are pinned to client-facing proxies by a
+//      stable hash, as in a departmental deployment) tries a local hit.
+//   2. On local miss: ICP query to every sibling (and the parent, in the
+//      hierarchical architecture); each probe costs one query + one reply.
+//   3. Any positive reply -> HTTP fetch from the chosen responder: a REMOTE
+//      HIT. Placement decisions fire on both ends (requester keep-a-copy,
+//      responder promote-or-not).
+//   4. All negative, distributed architecture -> fetch from the origin and
+//      (conventionally) cache: a MISS.
+//   5. All negative, hierarchical architecture -> HTTP request up the
+//      parent chain; the top fetches from the origin; every cache on the
+//      path applies the parent placement rule; still a MISS (the origin was
+//      contacted).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/outcome.h"
+#include "common/random.h"
+#include "common/types.h"
+#include "digest/digest_directory.h"
+#include "ea/contention.h"
+#include "ea/placement.h"
+#include "group/hash_ring.h"
+#include "group/topology.h"
+#include "metrics/metrics.h"
+#include "net/latency_model.h"
+#include "net/transport.h"
+#include "origin/origin_server.h"
+#include "prefetch/markov_predictor.h"
+#include "proxy/proxy_cache.h"
+#include "storage/replacement_policy.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+/// How a cache locates documents held by its peers.
+///  * kIcp    — per-miss query/reply to every sibling (exact, chatty): the
+///              protocol the paper's experiments use.
+///  * kDigest — Summary-Cache style (paper ref. [6]): periodic Bloom-filter
+///              snapshots; no per-miss queries, but snapshots go stale
+///              (wasted probes / missed remote hits).
+enum class DiscoveryMode { kIcp, kDigest };
+
+/// How requests move between caches.
+///  * kCooperative   — the paper's model: try locally, discover peer copies
+///                     (ICP or digests), fetch remotely or from the origin;
+///                     the PLACEMENT policy decides who keeps copies.
+///  * kHashPartition — the consistent-hashing baseline (paper refs. [8] and
+///                     [16]): every document has exactly one home cache on
+///                     a hash ring; requests forward there; no replication
+///                     at all. Placement must be kAdHoc (partitioning IS
+///                     the placement decision) and the topology distributed.
+enum class RoutingMode { kCooperative, kHashPartition };
+
+/// TTL + If-Modified-Since coherence (off by default — the paper's own
+/// experiments assume immutable documents).
+///
+/// When enabled, a cached copy is FRESH for `fresh_ttl` after its last
+/// validation. Stale copies are not advertised over ICP, not served to
+/// peers, and a stale local copy triggers an If-Modified-Since round trip
+/// to the origin: unchanged -> 304, freshness renewed, served as a hit
+/// (plus `validation_rtt`); changed -> the reply carries the new body, the
+/// old copy is replaced, and the request counts as a miss.
+/// How long a validated copy stays fresh.
+///  * kFixedTtl  — a flat lifetime (`fresh_ttl`).
+///  * kLmFactor  — Squid's adaptive rule: lifetime proportional to the
+///                 document's age at validation time
+///                 (lm_factor * (validated - last_modified)), clamped to
+///                 [min_ttl, max_ttl]. Stable documents earn long
+///                 lifetimes; freshly-changed ones are rechecked soon.
+enum class FreshnessRule { kFixedTtl, kLmFactor };
+
+struct CoherenceConfig {
+  bool enabled = false;
+  FreshnessRule rule = FreshnessRule::kFixedTtl;
+  Duration fresh_ttl = hours(1);      // kFixedTtl
+  double lm_factor = 0.1;             // kLmFactor
+  Duration min_ttl = minutes(1);      // kLmFactor clamp
+  Duration max_ttl = hours(24 * 7);   // kLmFactor clamp
+  Duration validation_rtt = msec(300);
+};
+
+/// "Eager mode" placement (paper §5): per-proxy first-order Markov
+/// prediction over each user's request stream; after serving document A,
+/// the proxy speculatively fetches A's most likely successor from the
+/// origin when the predictor is confident enough. Off by default — the
+/// paper's schemes are lazy-mode.
+struct PrefetchConfig {
+  bool enabled = false;
+  double min_confidence = 0.25;       // successor mass needed to act
+  std::uint64_t min_observations = 3;  // evidence needed to act
+};
+
+/// Prefetch outcome counters (all zero when prefetching is off).
+struct PrefetchStats {
+  std::uint64_t issued = 0;        // speculative fetches performed
+  std::uint64_t useful = 0;        // prefetched copies hit before eviction
+  std::uint64_t still_pending = 0; // unresolved at end of run (set by sim)
+  Bytes bytes_prefetched = 0;      // extra origin traffic paid
+
+  /// issued == useful + wasted + still_pending.
+  [[nodiscard]] std::uint64_t wasted() const { return issued - useful - still_pending; }
+};
+
+/// Coherence outcome counters (all zero when coherence is off).
+struct CoherenceStats {
+  std::uint64_t validations = 0;    // If-Modified-Since round trips
+  std::uint64_t validated_304 = 0;  // renewals (document unchanged)
+  std::uint64_t validated_200 = 0;  // replacements (document changed)
+  std::uint64_t stale_served = 0;   // TTL-fresh copies that were actually
+                                    // out of date when served (oracle check)
+};
+
+struct GroupConfig {
+  /// Number of CLIENT-FACING caches (the paper's N). The hierarchical
+  /// topology adds one root cache above them.
+  std::size_t num_proxies = 4;
+
+  /// The group's total disk budget, split equally among all caches
+  /// (including a hierarchical root), exactly as in the paper's setup
+  /// ("disk space available at each cache is X/N bytes").
+  Bytes aggregate_capacity = 10 * kMiB;
+
+  /// Optional non-uniform split of the aggregate budget (the paper assumes
+  /// equal shares; ABL-HETERO relaxes that). When non-empty the size must
+  /// equal the TOTAL cache count (num_proxies, plus one for a hierarchical
+  /// root); cache i receives aggregate * weights[i] / sum(weights).
+  std::vector<double> capacity_weights;
+
+  /// Explicit parent table for arbitrary hierarchies (e.g. three levels).
+  /// When non-empty it defines the WHOLE group (num_proxies is ignored;
+  /// topology must be kHierarchical): entry i is cache i's parent, nullopt
+  /// for roots. Client-facing caches are those nobody lists as a parent.
+  std::vector<std::optional<ProxyId>> custom_parents;
+
+  PolicyKind replacement = PolicyKind::kLru;
+  PlacementKind placement = PlacementKind::kEa;
+  double ea_hysteresis = 2.0;  // replication threshold (kEaHysteresis only)
+  WindowConfig window{};
+  TopologyKind topology = TopologyKind::kDistributed;
+  LatencyModel latency{};
+  WireCosts wire{};
+  DiscoveryMode discovery = DiscoveryMode::kIcp;
+  DigestConfig digest{};
+  RoutingMode routing = RoutingMode::kCooperative;
+  std::size_t hash_virtual_nodes = 64;  // ring smoothing (kHashPartition)
+  CoherenceConfig coherence{};
+  OriginConfig origin{};
+  PrefetchConfig prefetch{};
+
+  /// ICP runs over UDP: queries/replies can vanish. A lost exchange makes
+  /// the requester treat the peer as a miss — the classic cause of
+  /// duplicate origin fetches in ICP deployments. Loss is applied per
+  /// query/reply exchange, deterministically from `network_seed`.
+  double icp_loss_probability = 0.0;
+  std::uint64_t network_seed = 99;
+};
+
+class CacheGroup {
+ public:
+  explicit CacheGroup(const GroupConfig& config);
+
+  CacheGroup(const CacheGroup&) = delete;
+  CacheGroup& operator=(const CacheGroup&) = delete;
+
+  /// Serve one trace request at simulated time `request.at`.
+  RequestOutcome serve(const Request& request);
+
+  /// Failure injection: simulate a proxy crash/restart that loses its whole
+  /// cache (explicit removals — not contention signals). The proxy rejoins
+  /// cold immediately; digests catch up at the next refresh.
+  void flush_proxy(ProxyId proxy, TimePoint now);
+
+  [[nodiscard]] const GroupConfig& config() const { return config_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] const GroupMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const TransportStats& transport_stats() const { return transport_.stats(); }
+  [[nodiscard]] const CoherenceStats& coherence_stats() const { return coherence_stats_; }
+  /// still_pending is zero here; the simulator fills it at end of run from
+  /// pending_prefetches().
+  [[nodiscard]] const PrefetchStats& prefetch_stats() const { return prefetch_stats_; }
+  [[nodiscard]] std::size_t pending_prefetches() const;
+  [[nodiscard]] std::size_t num_proxies() const { return proxies_.size(); }
+  [[nodiscard]] const ProxyCache& proxy(ProxyId id) const { return *proxies_.at(id); }
+
+  /// The proxy a user's requests arrive at (stable hash onto the
+  /// client-facing set).
+  [[nodiscard]] ProxyId home_proxy(UserId user) const;
+
+  /// Table 1's metric: the mean of the per-cache average expiration ages
+  /// (each cache's mean victim DocExpAge over the whole run). Caches that
+  /// never evicted are excluded from the mean; if NO cache evicted the
+  /// result is ExpAge::infinite().
+  [[nodiscard]] ExpAge average_cache_expiration_age() const;
+
+  /// Group-wide occupancy diagnostics for the replication analysis.
+  [[nodiscard]] std::size_t total_resident_copies() const;
+  [[nodiscard]] std::size_t unique_resident_documents() const;
+  /// copies / unique (1.0 = no replication). 0 when the group is empty.
+  [[nodiscard]] double replication_factor() const;
+
+ private:
+  RequestOutcome serve_at_proxy(ProxyCache& requester, const Request& request);
+  RequestOutcome serve_hash_partition(ProxyCache& requester, const Request& request);
+
+  /// The document a request resolves to, stamped with the CURRENT origin
+  /// version when coherence is on.
+  [[nodiscard]] Document document_from(const Request& request) const;
+  [[nodiscard]] bool coherence_on() const { return config_.coherence.enabled; }
+  /// Freshness lifetime of an entry under the configured rule.
+  [[nodiscard]] Duration freshness_lifetime(const CacheEntry& entry) const;
+  /// Is the proxy's copy (if any) within its freshness lifetime?
+  [[nodiscard]] bool copy_is_fresh(const ProxyCache& proxy, DocumentId document,
+                                   TimePoint now) const;
+
+  /// Local lookup with the full coherence state machine.
+  enum class LocalState { kMiss, kFreshHit, kValidatedHit, kChanged };
+  struct LocalLookup {
+    LocalState state = LocalState::kMiss;
+    Bytes size = 0;
+  };
+  LocalLookup local_lookup(ProxyCache& proxy, const Request& request);
+  /// Peer ids that may hold the document, best-first. ICP mode returns
+  /// exact answers (and records the query/reply traffic); digest mode
+  /// consults peers' published snapshots (free, but approximate).
+  std::vector<ProxyId> discover_candidates(ProxyCache& requester, const Request& request);
+  RequestOutcome resolve_group_miss(ProxyCache& requester, const Request& request,
+                                    Duration probe_penalty);
+  /// Forward up the parent chain; returns the response the child receives.
+  HttpResponse fetch_via_parent(ProxyCache& child, ProxyId parent_id, const Request& request);
+  /// Digest mode: republish any snapshot older than the refresh period.
+  void refresh_digests(TimePoint now);
+  /// Deterministic best-first order: ring distance from the requester.
+  void sort_by_ring_distance(std::vector<ProxyId>& peers, ProxyId requester) const;
+
+  GroupConfig config_;
+  Topology topology_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::vector<std::unique_ptr<ProxyCache>> proxies_;
+  Transport transport_;
+  GroupMetrics metrics_;
+
+  // Digest discovery state. One shared directory stands in for the
+  // identical per-proxy copies a real deployment keeps; the broadcast COST
+  // is still accounted per receiving peer.
+  PeerDigestDirectory digest_directory_;
+  std::vector<TimePoint> last_digest_publish_;
+  std::vector<bool> digest_published_once_;
+
+  // Hash-partition routing state (kHashPartition only).
+  std::optional<HashRing> hash_ring_;
+
+  // Coherence state (CoherenceConfig::enabled only).
+  std::optional<OriginServer> origin_;
+  CoherenceStats coherence_stats_;
+
+  // Simulated UDP loss for ICP (icp_loss_probability > 0 only).
+  Rng network_rng_{0};
+
+  // Prefetch state (PrefetchConfig::enabled only).
+  void learn_and_prefetch(ProxyCache& requester, const Request& request);
+  std::vector<MarkovPredictor> predictors_;              // one per proxy
+  std::unordered_map<UserId, DocumentId> last_document_; // per-user stream
+  std::unordered_map<DocumentId, Bytes> known_sizes_;    // for speculation
+  std::vector<std::unordered_set<DocumentId>> pending_prefetch_;
+  PrefetchStats prefetch_stats_;
+};
+
+}  // namespace eacache

@@ -1,0 +1,70 @@
+#include "group/hash_ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace eacache {
+
+namespace {
+std::uint64_t ring_point(ProxyId proxy, std::size_t replica) {
+  return hash_combine(mix64(proxy ^ 0xfeedfaceULL), replica);
+}
+}  // namespace
+
+HashRing::HashRing(std::size_t virtual_nodes) : virtual_nodes_(virtual_nodes) {
+  if (virtual_nodes_ == 0) throw std::invalid_argument("HashRing: need >= 1 virtual node");
+}
+
+void HashRing::add_proxy(ProxyId proxy) {
+  if (contains(proxy)) throw std::logic_error("HashRing: proxy already present");
+  for (std::size_t r = 0; r < virtual_nodes_; ++r) {
+    // Collisions between 64-bit points are astronomically unlikely; if one
+    // happens the insertion is skipped, costing one virtual node.
+    ring_.emplace(ring_point(proxy, r), proxy);
+  }
+  proxies_.push_back(proxy);
+}
+
+bool HashRing::remove_proxy(ProxyId proxy) {
+  const auto it = std::find(proxies_.begin(), proxies_.end(), proxy);
+  if (it == proxies_.end()) return false;
+  proxies_.erase(it);
+  for (auto point = ring_.begin(); point != ring_.end();) {
+    if (point->second == proxy) {
+      point = ring_.erase(point);
+    } else {
+      ++point;
+    }
+  }
+  return true;
+}
+
+bool HashRing::contains(ProxyId proxy) const {
+  return std::find(proxies_.begin(), proxies_.end(), proxy) != proxies_.end();
+}
+
+ProxyId HashRing::home_of(DocumentId document) const {
+  if (ring_.empty()) throw std::logic_error("HashRing: empty ring");
+  const std::uint64_t h = mix64(document);
+  const auto it = ring_.lower_bound(h);
+  return it != ring_.end() ? it->second : ring_.begin()->second;
+}
+
+std::vector<ProxyId> HashRing::successors_of(DocumentId document, std::size_t count) const {
+  std::vector<ProxyId> result;
+  if (ring_.empty() || count == 0) return result;
+  const std::uint64_t h = mix64(document);
+  auto it = ring_.lower_bound(h);
+  for (std::size_t steps = 0; steps < ring_.size() && result.size() < count; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(result.begin(), result.end(), it->second) == result.end()) {
+      result.push_back(it->second);
+    }
+    ++it;
+  }
+  return result;
+}
+
+}  // namespace eacache

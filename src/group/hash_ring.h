@@ -1,0 +1,48 @@
+// Consistent-hash ring (Karger et al., STOC '97 / WWW8 — the paper's
+// reference [8]) mapping documents to a home proxy.
+//
+// Used by the hash-partition routing baseline: instead of replicating
+// documents where they are requested (ad-hoc) or contention-aware copies
+// (EA), each document lives at exactly one home cache determined by the
+// ring. Virtual nodes smooth the load; removing a proxy only remaps the
+// documents that lived on its arcs (the property that motivated consistent
+// hashing for web caching in the first place).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eacache {
+
+class HashRing {
+ public:
+  /// `virtual_nodes` ring points per proxy (>= 1); more = smoother balance.
+  explicit HashRing(std::size_t virtual_nodes = 64);
+
+  void add_proxy(ProxyId proxy);
+  /// Removes a proxy and its ring points. Returns false if absent.
+  bool remove_proxy(ProxyId proxy);
+
+  [[nodiscard]] bool contains(ProxyId proxy) const;
+  [[nodiscard]] std::size_t num_proxies() const { return proxies_.size(); }
+
+  /// The home proxy of a document: owner of the first ring point at or
+  /// after hash(document). Throws std::logic_error on an empty ring.
+  [[nodiscard]] ProxyId home_of(DocumentId document) const;
+
+  /// The first `count` DISTINCT proxies along the ring from the document's
+  /// position — the standard replica set construction (used by the
+  /// failure-tolerance ablation). Returns fewer if the ring is smaller.
+  [[nodiscard]] std::vector<ProxyId> successors_of(DocumentId document,
+                                                   std::size_t count) const;
+
+ private:
+  std::size_t virtual_nodes_;
+  std::map<std::uint64_t, ProxyId> ring_;
+  std::vector<ProxyId> proxies_;
+};
+
+}  // namespace eacache

@@ -1,0 +1,116 @@
+#include "metrics/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace eacache {
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  if (width_ < 2 || height_ < 2) {
+    throw std::invalid_argument("AsciiChart: plot area must be at least 2x2");
+  }
+}
+
+void AsciiChart::add_series(std::string label, std::vector<double> values, char marker) {
+  if (values.empty()) throw std::invalid_argument("AsciiChart: empty series");
+  series_.push_back(Series{std::move(label), std::move(values), marker});
+}
+
+void AsciiChart::set_y_range(double y_min, double y_max) {
+  if (!(y_max > y_min)) throw std::invalid_argument("AsciiChart: y_max must exceed y_min");
+  fixed_range_ = true;
+  y_min_ = y_min;
+  y_max_ = y_max;
+}
+
+void AsciiChart::set_x_labels(std::vector<std::string> labels) {
+  x_labels_ = std::move(labels);
+}
+
+std::string AsciiChart::render() const {
+  if (series_.empty()) throw std::logic_error("AsciiChart: nothing to render");
+  const std::size_t points = series_.front().values.size();
+  for (const Series& series : series_) {
+    if (series.values.size() != points) {
+      throw std::logic_error("AsciiChart: series lengths differ");
+    }
+  }
+
+  double lo = y_min_;
+  double hi = y_max_;
+  if (!fixed_range_) {
+    lo = series_.front().values.front();
+    hi = lo;
+    for (const Series& series : series_) {
+      for (const double v : series.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (hi == lo) hi = lo + 1.0;  // flat series: give it some headroom
+  }
+
+  // grid[row][col]; row 0 = top.
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  const auto col_of = [&](std::size_t index) {
+    if (points == 1) return std::size_t{0};
+    return index * (width_ - 1) / (points - 1);
+  };
+  const auto row_of = [&](double value) {
+    const double clamped = std::clamp(value, lo, hi);
+    const double unit = (clamped - lo) / (hi - lo);
+    const auto from_bottom =
+        static_cast<std::size_t>(std::lround(unit * static_cast<double>(height_ - 1)));
+    return height_ - 1 - from_bottom;
+  };
+  for (const Series& series : series_) {
+    for (std::size_t i = 0; i < points; ++i) {
+      grid[row_of(series.values[i])][col_of(i)] = series.marker;
+    }
+  }
+
+  std::string out;
+  char label[32];
+  for (std::size_t row = 0; row < height_; ++row) {
+    const double value = hi - (hi - lo) * static_cast<double>(row) /
+                                  static_cast<double>(height_ - 1);
+    std::snprintf(label, sizeof(label), "%8.2f |", value);
+    out += label;
+    out += grid[row];
+    out += '\n';
+  }
+  out += std::string(9, ' ') + '+' + std::string(width_, '-') + '\n';
+
+  if (!x_labels_.empty()) {
+    // Leave headroom past the plot edge so the rightmost label fits whole.
+    std::size_t longest = 0;
+    for (const std::string& text : x_labels_) longest = std::max(longest, text.size());
+    std::string axis(10 + width_ + longest, ' ');
+    for (std::size_t i = 0; i < x_labels_.size(); ++i) {
+      const std::size_t col =
+          10 + (x_labels_.size() == 1
+                    ? 0
+                    : i * (width_ - 1) / (x_labels_.size() - 1));
+      const std::string& text = x_labels_[i];
+      std::size_t start = col >= text.size() / 2 ? col - text.size() / 2 : 0;
+      start = std::min(start, axis.size() - text.size());
+      for (std::size_t k = 0; k < text.size(); ++k) axis[start + k] = text[k];
+    }
+    while (!axis.empty() && axis.back() == ' ') axis.pop_back();
+    out += axis + '\n';
+  }
+
+  out += "legend:";
+  for (const Series& series : series_) {
+    out += ' ';
+    out += series.marker;
+    out += '=' + series.label;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace eacache

@@ -1,0 +1,49 @@
+// Terminal line charts for the bench harnesses and examples: the paper's
+// figures are hit-rate-vs-capacity curves, and a quick visual in the
+// terminal beats squinting at CSV. Pure text, no dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eacache {
+
+class AsciiChart {
+ public:
+  /// Plot area of `width` x `height` characters (axes and labels are drawn
+  /// around it). Both must be >= 2.
+  AsciiChart(std::size_t width, std::size_t height);
+
+  /// Add a series of y-values; x positions are the value indices, spread
+  /// evenly across the width. All series must have the same length
+  /// (enforced at render time). `marker` draws the points.
+  void add_series(std::string label, std::vector<double> values, char marker);
+
+  /// Optional fixed y-range; by default the range spans all series.
+  void set_y_range(double y_min, double y_max);
+
+  /// Optional x tick labels (printed under the axis, spread evenly).
+  void set_x_labels(std::vector<std::string> labels);
+
+  /// Render the chart: plot area with axes, y labels on the left, a legend
+  /// line at the bottom. Throws std::logic_error if series lengths differ
+  /// or nothing was added.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<double> values;
+    char marker;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+  std::vector<std::string> x_labels_;
+  bool fixed_range_ = false;
+  double y_min_ = 0.0;
+  double y_max_ = 1.0;
+};
+
+}  // namespace eacache

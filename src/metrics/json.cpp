@@ -1,0 +1,143 @@
+#include "metrics/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace eacache {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (wrote_root_) throw std::logic_error("JsonWriter: multiple root values");
+    wrote_root_ = true;
+    return;
+  }
+  Scope& scope = stack_.back();
+  if (scope.is_object) {
+    if (!scope.expecting_value) {
+      throw std::logic_error("JsonWriter: value inside object requires key()");
+    }
+    scope.expecting_value = false;
+  } else {
+    if (scope.needs_comma) out_ << ',';
+    scope.needs_comma = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Scope{true, false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || !stack_.back().is_object) {
+    throw std::logic_error("JsonWriter: end_object without matching begin_object");
+  }
+  if (stack_.back().expecting_value) {
+    throw std::logic_error("JsonWriter: dangling key at end_object");
+  }
+  stack_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Scope{false, false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().is_object) {
+    throw std::logic_error("JsonWriter: end_array without matching begin_array");
+  }
+  stack_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || !stack_.back().is_object) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  Scope& scope = stack_.back();
+  if (scope.expecting_value) throw std::logic_error("JsonWriter: consecutive keys");
+  if (scope.needs_comma) out_ << ',';
+  scope.needs_comma = true;
+  scope.expecting_value = true;
+  write_escaped(name);
+  out_ << ':';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  write_escaped(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    // JSON has no Infinity/NaN; emit null (the standard tooling-friendly
+    // convention).
+    out_ << "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", number);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  out_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace eacache

@@ -1,0 +1,66 @@
+// Minimal JSON emission for external tooling (plotting scripts, CI
+// dashboards). Emission only — the library never parses JSON — so a tiny
+// purpose-built writer beats a dependency. The SimulationResult serializer
+// built on top of this lives in sim/result_json.h.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace eacache {
+
+/// A small streaming JSON writer: objects/arrays with correct comma
+/// placement and string escaping. Misuse (closing an unopened scope,
+/// emitting a value where a key is required, two roots) throws
+/// std::logic_error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Inside an object: emit the key for the next value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once a single root value was written and every scope closed.
+  [[nodiscard]] bool complete() const { return stack_.empty() && wrote_root_; }
+
+ private:
+  void before_value();
+  void write_escaped(std::string_view text);
+
+  struct Scope {
+    bool is_object = false;
+    bool needs_comma = false;
+    bool expecting_value = false;  // object scope: key was just written
+  };
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  bool wrote_root_ = false;
+};
+
+}  // namespace eacache

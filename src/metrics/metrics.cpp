@@ -1,0 +1,95 @@
+#include "metrics/metrics.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+namespace {
+std::size_t index_of(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kLocalHit: return 0;
+    case RequestOutcome::kRemoteHit: return 1;
+    case RequestOutcome::kMiss: return 2;
+  }
+  throw std::invalid_argument("GroupMetrics: bad outcome");
+}
+}  // namespace
+
+void GroupMetrics::record(RequestOutcome outcome, Bytes size, Duration latency) {
+  const std::size_t i = index_of(outcome);
+  ++total_requests_;
+  ++counts_[i];
+  bytes_requested_ += size;
+  bytes_[i] += size;
+  latency_sum_ += latency;
+  latency_hist_.add(static_cast<double>(latency.count()));
+}
+
+double GroupMetrics::latency_percentile_ms(double quantile) const {
+  if (quantile < 0.0 || quantile > 1.0) {
+    throw std::invalid_argument("latency_percentile_ms: quantile in [0, 1]");
+  }
+  return latency_hist_.percentile(quantile);
+}
+
+std::uint64_t GroupMetrics::count(RequestOutcome outcome) const {
+  return counts_[index_of(outcome)];
+}
+
+Bytes GroupMetrics::bytes(RequestOutcome outcome) const { return bytes_[index_of(outcome)]; }
+
+double GroupMetrics::hit_rate() const {
+  if (total_requests_ == 0) return 0.0;
+  return static_cast<double>(counts_[0] + counts_[1]) / static_cast<double>(total_requests_);
+}
+
+double GroupMetrics::byte_hit_rate() const {
+  if (bytes_requested_ == 0) return 0.0;
+  return static_cast<double>(bytes_[0] + bytes_[1]) / static_cast<double>(bytes_requested_);
+}
+
+double GroupMetrics::local_hit_rate() const {
+  if (total_requests_ == 0) return 0.0;
+  return static_cast<double>(counts_[0]) / static_cast<double>(total_requests_);
+}
+
+double GroupMetrics::remote_hit_rate() const {
+  if (total_requests_ == 0) return 0.0;
+  return static_cast<double>(counts_[1]) / static_cast<double>(total_requests_);
+}
+
+double GroupMetrics::miss_rate() const {
+  if (total_requests_ == 0) return 0.0;
+  return static_cast<double>(counts_[2]) / static_cast<double>(total_requests_);
+}
+
+Duration GroupMetrics::measured_average_latency() const {
+  if (total_requests_ == 0) return Duration::zero();
+  return Duration{latency_sum_.count() / static_cast<SimClock::rep>(total_requests_)};
+}
+
+double GroupMetrics::estimated_average_latency_ms(const LatencyModel& model) const {
+  if (total_requests_ == 0) return 0.0;
+  // Paper Eq. 6. LHR + RHR + MR == 1 by construction, but we keep the
+  // denominator to mirror the formula as published.
+  const double lhr = local_hit_rate();
+  const double rhr = remote_hit_rate();
+  const double mr = miss_rate();
+  const double numerator = lhr * static_cast<double>(model.local_hit.count()) +
+                           rhr * static_cast<double>(model.remote_hit.count()) +
+                           mr * static_cast<double>(model.miss.count());
+  return numerator / (lhr + rhr + mr);
+}
+
+void GroupMetrics::merge(const GroupMetrics& other) {
+  total_requests_ += other.total_requests_;
+  bytes_requested_ += other.bytes_requested_;
+  for (std::size_t i = 0; i < 3; ++i) {
+    counts_[i] += other.counts_[i];
+    bytes_[i] += other.bytes_[i];
+  }
+  latency_sum_ += other.latency_sum_;
+  latency_hist_.merge(other.latency_hist_);
+}
+
+}  // namespace eacache

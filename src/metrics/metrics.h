@@ -1,0 +1,77 @@
+// Evaluation metrics — exactly the paper's section 4 definitions.
+//
+//  * Cumulative hit rate: total group hits / total requests.
+//  * Cumulative byte hit rate: bytes served from the group / bytes requested.
+//  * Local vs remote hit split (section 4.2 footnote 1).
+//  * Average latency, two ways:
+//      - measured: per-request latencies accumulated during simulation;
+//      - estimated: the paper's Eq. 6,
+//        (LHR*LHL + RHR*RHL + MR*ML) / (LHR + RHR + MR).
+//  * Average cache expiration age (Table 1): mean over the group's caches
+//    of each cache's mean victim DocExpAge — collected by the group layer,
+//    carried here for reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/outcome.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/latency_model.h"
+
+namespace eacache {
+
+class GroupMetrics {
+ public:
+  void record(RequestOutcome outcome, Bytes size, Duration latency);
+
+  [[nodiscard]] std::uint64_t total_requests() const { return total_requests_; }
+  [[nodiscard]] std::uint64_t count(RequestOutcome outcome) const;
+  [[nodiscard]] Bytes bytes_requested() const { return bytes_requested_; }
+  [[nodiscard]] Bytes bytes(RequestOutcome outcome) const;
+
+  /// Rates as fractions of total requests (0 when no requests yet).
+  [[nodiscard]] double hit_rate() const;        // local + remote
+  [[nodiscard]] double byte_hit_rate() const;   // bytes from group / bytes
+  [[nodiscard]] double local_hit_rate() const;
+  [[nodiscard]] double remote_hit_rate() const;
+  [[nodiscard]] double miss_rate() const;
+
+  /// Mean of the per-request latencies accumulated during simulation.
+  [[nodiscard]] Duration measured_average_latency() const;
+  /// Exact sum of per-request latencies (no averaging loss).
+  [[nodiscard]] Duration total_latency() const { return latency_sum_; }
+
+  /// Tail latency from a fixed 10 ms-resolution histogram over [0, 10 s)
+  /// (values beyond 10 s report as 10 s). quantile in [0, 1]; returns the
+  /// upper edge of the bucket containing the quantile, i.e. the smallest
+  /// 10 ms multiple L with P(latency < L) >= quantile.
+  [[nodiscard]] double latency_percentile_ms(double quantile) const;
+
+  /// The paper's Eq. 6 estimator under the given latency model.
+  [[nodiscard]] double estimated_average_latency_ms(const LatencyModel& model) const;
+
+  void merge(const GroupMetrics& other);
+
+ private:
+  static constexpr double kLatencyHistMaxMs = 10'000.0;
+  static constexpr std::size_t kLatencyHistBuckets = 1000;  // 10 ms resolution
+
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t counts_[3] = {0, 0, 0};
+  Bytes bytes_requested_ = 0;
+  Bytes bytes_[3] = {0, 0, 0};
+  Duration latency_sum_{0};
+  Histogram latency_hist_{0.0, kLatencyHistMaxMs, kLatencyHistBuckets};
+};
+
+/// A periodic snapshot of group metrics (time series for EXPERIMENTS.md).
+struct MetricsSnapshot {
+  TimePoint at{};
+  double hit_rate = 0.0;
+  double byte_hit_rate = 0.0;
+  std::uint64_t total_requests = 0;
+};
+
+}  // namespace eacache

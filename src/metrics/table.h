@@ -1,0 +1,36 @@
+// Plain-text table and CSV rendering for the bench harnesses. The bench
+// binaries print the same rows/series as the paper's figures and tables plus
+// a machine-readable CSV block.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eacache {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned, boxed plain text.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers used all over the benches.
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 2);
+[[nodiscard]] std::string fmt_double(double value, int decimals = 2);
+
+}  // namespace eacache

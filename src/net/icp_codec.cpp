@@ -1,0 +1,126 @@
+#include "net/icp_codec.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+namespace {
+
+bool known_opcode(IcpOpcode opcode) {
+  switch (opcode) {
+    case IcpOpcode::kQuery:
+    case IcpOpcode::kHit:
+    case IcpOpcode::kMiss:
+    case IcpOpcode::kErr:
+    case IcpOpcode::kMissNoFetch:
+    case IcpOpcode::kDenied:
+      return true;
+    case IcpOpcode::kInvalid:
+      return false;
+  }
+  return false;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t offset) {
+  return static_cast<std::uint16_t>((in[offset] << 8) | in[offset + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t offset) {
+  return (static_cast<std::uint32_t>(in[offset]) << 24) |
+         (static_cast<std::uint32_t>(in[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(in[offset + 3]);
+}
+
+}  // namespace
+
+std::string_view to_string(IcpOpcode opcode) {
+  switch (opcode) {
+    case IcpOpcode::kInvalid: return "ICP_OP_INVALID";
+    case IcpOpcode::kQuery: return "ICP_OP_QUERY";
+    case IcpOpcode::kHit: return "ICP_OP_HIT";
+    case IcpOpcode::kMiss: return "ICP_OP_MISS";
+    case IcpOpcode::kErr: return "ICP_OP_ERR";
+    case IcpOpcode::kMissNoFetch: return "ICP_OP_MISS_NOFETCH";
+    case IcpOpcode::kDenied: return "ICP_OP_DENIED";
+  }
+  return "?";
+}
+
+std::size_t icp_encoded_size(const IcpPacket& packet) {
+  std::size_t size = kIcpHeaderSize + packet.url.size() + 1;  // NUL-terminated URL
+  if (packet.opcode == IcpOpcode::kQuery) size += 4;          // requester address
+  return size;
+}
+
+std::vector<std::uint8_t> icp_encode(const IcpPacket& packet) {
+  if (!known_opcode(packet.opcode)) {
+    throw std::invalid_argument("icp_encode: invalid opcode");
+  }
+  if (packet.url.find('\0') != std::string::npos) {
+    throw std::invalid_argument("icp_encode: URL contains NUL");
+  }
+  const std::size_t total = icp_encoded_size(packet);
+  if (total > kIcpMaxPacketSize) {
+    throw std::invalid_argument("icp_encode: packet exceeds 64 KiB");
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  out.push_back(static_cast<std::uint8_t>(packet.opcode));
+  out.push_back(packet.version);
+  put_u16(out, static_cast<std::uint16_t>(total));
+  put_u32(out, packet.request_number);
+  put_u32(out, packet.options);
+  put_u32(out, packet.option_data);
+  put_u32(out, packet.sender_address);
+  if (packet.opcode == IcpOpcode::kQuery) {
+    put_u32(out, packet.requester_address);
+  }
+  out.insert(out.end(), packet.url.begin(), packet.url.end());
+  out.push_back(0);
+  return out;
+}
+
+std::optional<IcpPacket> icp_decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kIcpHeaderSize) return std::nullopt;
+
+  IcpPacket packet;
+  packet.opcode = static_cast<IcpOpcode>(bytes[0]);
+  if (!known_opcode(packet.opcode)) return std::nullopt;
+  packet.version = bytes[1];
+  if (packet.version != 2) return std::nullopt;
+  const std::uint16_t declared = get_u16(bytes, 2);
+  if (declared != bytes.size()) return std::nullopt;
+  packet.request_number = get_u32(bytes, 4);
+  packet.options = get_u32(bytes, 8);
+  packet.option_data = get_u32(bytes, 12);
+  packet.sender_address = get_u32(bytes, 16);
+
+  std::size_t payload = kIcpHeaderSize;
+  if (packet.opcode == IcpOpcode::kQuery) {
+    if (bytes.size() < payload + 4) return std::nullopt;
+    packet.requester_address = get_u32(bytes, payload);
+    payload += 4;
+  }
+  if (bytes.size() <= payload) return std::nullopt;  // need at least the NUL
+  if (bytes.back() != 0) return std::nullopt;
+  packet.url.assign(reinterpret_cast<const char*>(bytes.data()) + payload,
+                    bytes.size() - payload - 1);
+  if (packet.url.find('\0') != std::string::npos) return std::nullopt;
+  return packet;
+}
+
+}  // namespace eacache

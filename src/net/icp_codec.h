@@ -1,0 +1,74 @@
+// ICP v2 wire codec (RFC 2186) — the actual protocol the paper's caches
+// speak ("ICP is a light-weight protocol and is implemented on top of UDP").
+//
+// The simulator moves typed messages, not bytes, but a credible
+// reproduction of an ICP-based system should include the real framing: this
+// codec encodes/decodes the RFC 2186 packet layout so that (a) the
+// transport's byte accounting can be validated against genuine packet
+// sizes and (b) the library is usable as the message layer of a real proxy.
+//
+// Layout (network byte order):
+//   offset 0  : opcode            (1 byte)
+//   offset 1  : version           (1 byte, = 2)
+//   offset 2  : message length    (2 bytes, total packet size)
+//   offset 4  : request number    (4 bytes)
+//   offset 8  : options           (4 bytes)
+//   offset 12 : option data       (4 bytes)
+//   offset 16 : sender host addr  (4 bytes)
+//   offset 20 : payload
+// ICP_OP_QUERY payload: requester host address (4 bytes) + URL + NUL.
+// Other opcodes:        URL + NUL.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eacache {
+
+enum class IcpOpcode : std::uint8_t {
+  kInvalid = 0,
+  kQuery = 1,
+  kHit = 2,
+  kMiss = 3,
+  kErr = 4,
+  kMissNoFetch = 21,
+  kDenied = 22,
+};
+
+[[nodiscard]] std::string_view to_string(IcpOpcode opcode);
+
+struct IcpPacket {
+  IcpOpcode opcode = IcpOpcode::kInvalid;
+  std::uint8_t version = 2;
+  std::uint32_t request_number = 0;
+  std::uint32_t options = 0;
+  std::uint32_t option_data = 0;
+  std::uint32_t sender_address = 0;
+  /// QUERY only; must be 0 for other opcodes.
+  std::uint32_t requester_address = 0;
+  std::string url;
+
+  friend bool operator==(const IcpPacket&, const IcpPacket&) = default;
+};
+
+inline constexpr std::size_t kIcpHeaderSize = 20;
+inline constexpr std::size_t kIcpMaxPacketSize = 0xffff;
+
+/// Total encoded size of a packet (header + payload + NUL).
+[[nodiscard]] std::size_t icp_encoded_size(const IcpPacket& packet);
+
+/// Encode to wire bytes. Throws std::invalid_argument if the packet cannot
+/// be represented (URL too long, invalid opcode).
+[[nodiscard]] std::vector<std::uint8_t> icp_encode(const IcpPacket& packet);
+
+/// Decode from wire bytes. Returns nullopt on any malformed input
+/// (truncated header, bad version, length mismatch, unknown opcode,
+/// missing NUL terminator).
+[[nodiscard]] std::optional<IcpPacket> icp_decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace eacache

@@ -1,0 +1,21 @@
+#include "net/latency_model.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+LatencyModel LatencyModel::with_remote_to_miss_ratio(double ratio) {
+  if (!(ratio > 0.0)) {
+    throw std::invalid_argument("LatencyModel: remote/miss ratio must be positive");
+  }
+  LatencyModel model;
+  model.remote_hit =
+      Duration{static_cast<SimClock::rep>(ratio * static_cast<double>(model.miss.count()))};
+  if (model.remote_hit < model.local_hit) {
+    // A remote hit can never beat a local hit; clamp to keep the model sane.
+    model.remote_hit = model.local_hit;
+  }
+  return model;
+}
+
+}  // namespace eacache

@@ -1,0 +1,50 @@
+// Latency model.
+//
+// The paper measured, on its department testbed, the end-to-end latency of
+// serving a 4 KB document (section 4.2):
+//     local hit   (LHL) = 146 ms
+//     remote hit  (RHL) = 342 ms
+//     miss        (ML)  = 2784 ms
+// and estimated average latency via Eq. 6 from the hit-rate split. We keep
+// those three constants as the default model and also expose a component
+// decomposition (ICP round trip, per-byte transfer) so the ABL-RATIO
+// ablation can sweep the remote-hit-to-miss latency ratio the paper's
+// introduction identifies as the governing parameter of cooperative
+// caching's benefit.
+#pragma once
+
+#include "common/outcome.h"
+#include "common/types.h"
+
+namespace eacache {
+
+struct LatencyModel {
+  Duration local_hit = msec(146);
+  Duration remote_hit = msec(342);
+  Duration miss = msec(2784);
+  /// Cost of a failed digest probe (header-only inter-proxy round trip,
+  /// digest discovery mode only): lighter than a full 4 KB remote hit.
+  Duration failed_probe = msec(200);
+
+  /// Latency of one request by outcome class (the paper's model: outcome
+  /// class determines latency; body size was fixed at 4 KB in their
+  /// measurement).
+  [[nodiscard]] constexpr Duration latency_for(RequestOutcome outcome) const {
+    switch (outcome) {
+      case RequestOutcome::kLocalHit: return local_hit;
+      case RequestOutcome::kRemoteHit: return remote_hit;
+      case RequestOutcome::kMiss: return miss;
+    }
+    return Duration::zero();
+  }
+
+  /// The paper's defaults, as measured on their testbed.
+  [[nodiscard]] static constexpr LatencyModel paper_defaults() { return LatencyModel{}; }
+
+  /// A model with the remote-hit latency scaled so that
+  /// remote_hit == ratio * miss (holding local_hit and miss fixed).
+  /// Used by the ABL-RATIO sweep; requires 0 < ratio.
+  [[nodiscard]] static LatencyModel with_remote_to_miss_ratio(double ratio);
+};
+
+}  // namespace eacache

@@ -1,0 +1,86 @@
+// Inter-proxy protocol messages.
+//
+// Two protocols, exactly as in the paper's testbed:
+//  * ICP (Internet Cache Protocol, RFC 2186 style): lightweight presence
+//    queries/replies, one per sibling per local miss.
+//  * HTTP: the actual document transfer between caches (or from the origin).
+//
+// The EA scheme's only wire change is piggybacking the sender's cache
+// expiration age on the HTTP request and response (paper section 3.3 —
+// "no extra connection setup", "no hidden communication costs"). We model
+// that as an optional fixed-width field so the transport stats can prove
+// the overhead claim: same message COUNT, +8 bytes on HTTP messages only.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "ea/expiration_age.h"
+
+namespace eacache {
+
+/// Approximate wire sizes, used only for traffic accounting. ICP messages
+/// are a 20-byte header plus the URL; HTTP messages carry ~250-300 bytes of
+/// headers in the mid-90s traces the paper replays.
+struct WireCosts {
+  Bytes icp_header = 20;
+  Bytes avg_url = 40;
+  Bytes http_request_headers = 250;
+  Bytes http_response_headers = 300;
+  Bytes ea_piggyback = 8;  // one 64-bit age field
+
+  [[nodiscard]] Bytes icp_message() const { return icp_header + avg_url; }
+};
+
+struct IcpQuery {
+  ProxyId from = 0;
+  ProxyId to = 0;
+  DocumentId document = 0;
+};
+
+struct IcpReply {
+  ProxyId from = 0;
+  ProxyId to = 0;
+  DocumentId document = 0;
+  bool hit = false;
+};
+
+struct HttpRequest {
+  ProxyId from = 0;
+  ProxyId to = 0;
+  DocumentId document = 0;
+  /// EA scheme: requester's cache expiration age; nullopt under ad-hoc.
+  std::optional<ExpAge> requester_age;
+};
+
+/// Who ultimately produced the body of an HTTP response.
+enum class ResponseSource { kCache, kOrigin };
+
+struct HttpResponse {
+  ProxyId from = 0;
+  ProxyId to = 0;
+  DocumentId document = 0;
+  /// False only in digest discovery mode: the requester probed a peer whose
+  /// published digest was stale or collided (a "404" — headers only, no
+  /// body). ICP discovery never produces not-found fetches.
+  bool found = true;
+  Bytes body_size = 0;
+  ResponseSource source = ResponseSource::kCache;
+  /// EA scheme: responder's cache expiration age; nullopt under ad-hoc.
+  std::optional<ExpAge> responder_age;
+
+  // Coherence metadata (meaningful only when the group runs coherence):
+  // the served body's origin version and when the responder last validated
+  // it — the receiver inherits both (the HTTP Age-header rule).
+  std::uint64_t version = 0;
+  TimePoint validated_at{};
+};
+
+/// A periodic Summary-Cache digest broadcast (one per peer per refresh).
+struct DigestPublication {
+  ProxyId from = 0;
+  ProxyId to = 0;
+  Bytes digest_size = 0;
+};
+
+}  // namespace eacache

@@ -1,0 +1,85 @@
+// Transport accounting for the simulated cache group.
+//
+// The group orchestrator calls record_* as it moves messages between
+// proxies; the stats let tests and benches verify the EA scheme's headline
+// overhead claim: identical message counts to ad-hoc, with only a fixed
+// 8-byte piggyback on HTTP messages.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace eacache {
+
+struct TransportStats {
+  std::uint64_t icp_queries = 0;
+  std::uint64_t icp_replies = 0;
+  std::uint64_t icp_losses = 0;  // UDP exchanges that never completed
+  std::uint64_t http_requests = 0;
+  std::uint64_t http_responses = 0;
+  std::uint64_t failed_probes = 0;  // not-found fetches (digest mode)
+  std::uint64_t digest_publications = 0;
+  std::uint64_t origin_fetches = 0;
+
+  Bytes icp_bytes = 0;
+  Bytes http_header_bytes = 0;
+  Bytes http_body_bytes = 0;
+  Bytes piggyback_bytes = 0;
+  Bytes digest_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total_messages() const {
+    return icp_queries + icp_replies + http_requests + http_responses + digest_publications;
+  }
+  [[nodiscard]] Bytes total_bytes() const {
+    return icp_bytes + http_header_bytes + http_body_bytes + piggyback_bytes + digest_bytes;
+  }
+};
+
+class Transport {
+ public:
+  explicit Transport(WireCosts costs = WireCosts{}) : costs_(costs) {}
+
+  void record_icp_query(const IcpQuery&) {
+    ++stats_.icp_queries;
+    stats_.icp_bytes += costs_.icp_message();
+  }
+  void record_icp_reply(const IcpReply&) {
+    ++stats_.icp_replies;
+    stats_.icp_bytes += costs_.icp_message();
+  }
+  /// A query (or its reply) was dropped in flight: the query's bytes were
+  /// spent, no reply arrives.
+  void record_icp_loss() { ++stats_.icp_losses; }
+  void record_http_request(const HttpRequest& request) {
+    ++stats_.http_requests;
+    stats_.http_header_bytes += costs_.http_request_headers;
+    if (request.requester_age.has_value()) stats_.piggyback_bytes += costs_.ea_piggyback;
+  }
+  void record_http_response(const HttpResponse& response) {
+    ++stats_.http_responses;
+    stats_.http_header_bytes += costs_.http_response_headers;
+    stats_.http_body_bytes += response.body_size;
+    if (!response.found) ++stats_.failed_probes;
+    if (response.responder_age.has_value()) stats_.piggyback_bytes += costs_.ea_piggyback;
+  }
+  void record_digest_publication(const DigestPublication& publication) {
+    ++stats_.digest_publications;
+    stats_.digest_bytes += publication.digest_size;
+  }
+  void record_origin_fetch(Bytes body_size) {
+    ++stats_.origin_fetches;
+    stats_.http_header_bytes += costs_.http_request_headers + costs_.http_response_headers;
+    stats_.http_body_bytes += body_size;
+  }
+
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  [[nodiscard]] const WireCosts& costs() const { return costs_; }
+
+ private:
+  WireCosts costs_;
+  TransportStats stats_;
+};
+
+}  // namespace eacache

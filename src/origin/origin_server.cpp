@@ -1,0 +1,55 @@
+#include "origin/origin_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace eacache {
+
+OriginServer::OriginServer(const OriginConfig& config) : config_(config) {
+  if (config_.min_update_interval <= Duration::zero() ||
+      config_.max_update_interval < config_.min_update_interval) {
+    throw std::invalid_argument("OriginServer: bad update interval range");
+  }
+}
+
+Duration OriginServer::update_interval(DocumentId document) const {
+  const double lo = std::log(static_cast<double>(config_.min_update_interval.count()));
+  const double hi = std::log(static_cast<double>(config_.max_update_interval.count()));
+  // Deterministic per-document uniform in [0,1). The seed goes through a
+  // full mix so that small seed changes flip high mantissa bits too.
+  const double u =
+      static_cast<double>(mix64(mix64(config_.seed) ^ mix64(document)) >> 11) * 0x1.0p-53;
+  const double interval_ms = std::exp(lo + u * (hi - lo));
+  // exp(log(x)) can land one ulp outside the range; clamp to the contract.
+  const auto raw = static_cast<SimClock::rep>(interval_ms);
+  return std::clamp(Duration{raw}, config_.min_update_interval, config_.max_update_interval);
+}
+
+namespace {
+SimClock::rep phase_of(std::uint64_t seed, DocumentId document, Duration interval) {
+  // Random phase so documents do not all change at t=0, t=interval, ...
+  const double v =
+      static_cast<double>(mix64(mix64(seed ^ 0xabcdULL) ^ mix64(document)) >> 11) * 0x1.0p-53;
+  return static_cast<SimClock::rep>(v * static_cast<double>(interval.count()));
+}
+}  // namespace
+
+std::uint64_t OriginServer::version_at(DocumentId document, TimePoint now) const {
+  const Duration interval = update_interval(document);
+  const SimClock::rep elapsed =
+      (now - kSimEpoch).count() + phase_of(config_.seed, document, interval);
+  return static_cast<std::uint64_t>(elapsed / interval.count());
+}
+
+TimePoint OriginServer::version_start(DocumentId document, std::uint64_t version) const {
+  const Duration interval = update_interval(document);
+  const SimClock::rep phase = phase_of(config_.seed, document, interval);
+  const SimClock::rep start =
+      static_cast<SimClock::rep>(version) * interval.count() - phase;
+  return start > 0 ? kSimEpoch + Duration{start} : kSimEpoch;
+}
+
+}  // namespace eacache

@@ -1,0 +1,54 @@
+// Origin-server model for cache-coherence experiments.
+//
+// The paper's placement study assumes immutable documents; its related-work
+// section (§5) points at cache coherence as the neighbouring problem. To
+// exercise the placement schemes under document CHANGE we model the origin
+// as a deterministic per-document update process:
+//
+//  * each document has an update interval drawn log-uniformly from
+//    [min_update_interval, max_update_interval] (web studies consistently
+//    find change rates spanning orders of magnitude), plus a random phase;
+//  * version_at(doc, t) is a pure function — no state, perfectly
+//    reproducible, O(1);
+//  * a cached copy is STALE when its stored version differs from
+//    version_at(doc, now).
+//
+// Proxies use TTL freshness + If-Modified-Since revalidation against this
+// oracle (see group/cache_group.h's CoherenceConfig).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace eacache {
+
+struct OriginConfig {
+  std::uint64_t seed = 7;
+  Duration min_update_interval = hours(6);
+  Duration max_update_interval = hours(24 * 90);
+};
+
+class OriginServer {
+ public:
+  explicit OriginServer(const OriginConfig& config);
+
+  /// Current version of a document: an opaque counter, monotone
+  /// non-decreasing in time. Two equal versions mean identical content.
+  [[nodiscard]] std::uint64_t version_at(DocumentId document, TimePoint now) const;
+
+  /// The (deterministic) update interval of a document.
+  [[nodiscard]] Duration update_interval(DocumentId document) const;
+
+  /// When the given version's content came into existence (the document's
+  /// Last-Modified time while that version is current). Clamped to the
+  /// simulation epoch for versions that predate it.
+  [[nodiscard]] TimePoint version_start(DocumentId document, std::uint64_t version) const;
+
+  [[nodiscard]] const OriginConfig& config() const { return config_; }
+
+ private:
+  OriginConfig config_;
+};
+
+}  // namespace eacache

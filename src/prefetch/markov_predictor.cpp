@@ -1,0 +1,70 @@
+#include "prefetch/markov_predictor.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace eacache {
+
+MarkovPredictor::MarkovPredictor(std::size_t max_successors, std::size_t max_antecedents)
+    : max_successors_(max_successors), max_antecedents_(max_antecedents) {
+  if (max_successors_ == 0) {
+    throw std::invalid_argument("MarkovPredictor: need at least one successor slot");
+  }
+  if (max_antecedents_ == 0) {
+    throw std::invalid_argument("MarkovPredictor: need at least one antecedent slot");
+  }
+}
+
+void MarkovPredictor::observe(DocumentId previous, DocumentId next) {
+  if (previous == next) return;  // self-loops carry no prefetch signal
+  auto it = table_.find(previous);
+  if (it == table_.end()) {
+    // Bounded table: beyond the cap, new antecedents are simply not
+    // tracked (old, still-hot antecedents keep their statistics).
+    if (table_.size() >= max_antecedents_) return;
+    it = table_.emplace(previous, Successors{}).first;
+  }
+  Successors& successors = it->second;
+  ++successors.total;
+
+  for (auto& [doc, count] : successors.counts) {
+    if (doc == next) {
+      ++count;
+      return;
+    }
+  }
+  if (successors.counts.size() < max_successors_) {
+    successors.counts.emplace_back(next, 1);
+    return;
+  }
+  // Misra-Gries displacement: decay everyone instead of admitting the
+  // newcomer; a repeat offender will find a zeroed slot next time.
+  for (auto& [doc, count] : successors.counts) {
+    if (count > 0) --count;
+  }
+  for (auto& [doc, count] : successors.counts) {
+    if (count == 0) {
+      doc = next;
+      count = 1;
+      return;
+    }
+  }
+}
+
+std::optional<Prediction> MarkovPredictor::predict(DocumentId previous) const {
+  const auto it = table_.find(previous);
+  if (it == table_.end() || it->second.counts.empty()) return std::nullopt;
+  const auto best = std::max_element(
+      it->second.counts.begin(), it->second.counts.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (best->second == 0) return std::nullopt;
+  Prediction prediction;
+  prediction.document = best->first;
+  prediction.confidence =
+      static_cast<double>(best->second) / static_cast<double>(it->second.total);
+  prediction.observations = it->second.total;
+  return prediction;
+}
+
+}  // namespace eacache

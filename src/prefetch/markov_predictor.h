@@ -1,0 +1,58 @@
+// First-order Markov request predictor — the "eager mode" document
+// placement the paper's related-work section describes ("documents are
+// pre-fetched and cached based on access log predictions", citing
+// Padmanabhan & Mogul's predictive prefetching).
+//
+// The predictor learns per-user transitions: if user U's request for A is
+// followed by a request for B, the A->B edge gains weight. After serving A,
+// the cache may prefetch the most likely successor when it has both enough
+// evidence (min_observations) and enough confidence (count / total).
+//
+// Memory is bounded: each antecedent keeps at most `max_successors`
+// candidates; when full, the weakest is displaced only by repeat offenders
+// (a Misra-Gries-flavoured rule, so one-off noise cannot evict a strong
+// successor).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eacache {
+
+struct Prediction {
+  DocumentId document = 0;
+  double confidence = 0.0;       // successor count / total observations
+  std::uint64_t observations = 0;  // total observations for the antecedent
+};
+
+class MarkovPredictor {
+ public:
+  explicit MarkovPredictor(std::size_t max_successors = 8,
+                           std::size_t max_antecedents = 1 << 16);
+
+  /// Record that `next` followed `previous` (same user's request stream).
+  void observe(DocumentId previous, DocumentId next);
+
+  /// Most likely successor of `previous`, or nullopt if never seen.
+  [[nodiscard]] std::optional<Prediction> predict(DocumentId previous) const;
+
+  [[nodiscard]] std::size_t antecedents() const { return table_.size(); }
+
+ private:
+  struct Successors {
+    // Small flat map: max_successors is tiny, linear scans win.
+    std::vector<std::pair<DocumentId, std::uint64_t>> counts;
+    std::uint64_t total = 0;
+  };
+
+  std::size_t max_successors_;
+  std::size_t max_antecedents_;
+  std::unordered_map<DocumentId, Successors> table_;
+};
+
+}  // namespace eacache

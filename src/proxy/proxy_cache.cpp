@@ -1,0 +1,144 @@
+#include "proxy/proxy_cache.h"
+
+#include <stdexcept>
+
+#include "ea/expiration_age.h"
+
+namespace eacache {
+
+ProxyCache::ProxyCache(ProxyId id, Bytes capacity,
+                       std::unique_ptr<ReplacementPolicy> replacement, WindowConfig window,
+                       const PlacementPolicy* placement, const DigestConfig* digest_config)
+    : id_(id),
+      store_(capacity, std::move(replacement)),
+      contention_(age_form_for_policy(store_.policy().name()), window),
+      placement_(placement) {
+  if (placement_ == nullptr) throw std::invalid_argument("ProxyCache: null placement policy");
+  store_.add_eviction_observer(&contention_);
+  if (digest_config != nullptr) {
+    digest_.emplace(*digest_config);
+    store_.add_eviction_observer(&*digest_);
+  }
+}
+
+bool ProxyCache::admit_tracked(const Document& document, TimePoint now) {
+  if (!store_.admit(document, now).has_value()) return false;
+  if (digest_) digest_->note_admission(document.id);
+  return true;
+}
+
+void ProxyCache::flush(TimePoint now) {
+  for (const DocumentId id : store_.resident_ids()) store_.remove(id, now);
+}
+
+BloomFilter ProxyCache::publish_digest() const {
+  if (!digest_) throw std::logic_error("ProxyCache: digests not enabled");
+  return digest_->publish();
+}
+
+std::optional<Bytes> ProxyCache::serve_local(DocumentId document, TimePoint now) {
+  const auto entry = store_.touch(document, now);
+  if (!entry) return std::nullopt;
+  ++stats_.local_hits;
+  return entry->size;
+}
+
+HttpResponse ProxyCache::serve_remote(const HttpRequest& request, TimePoint now) {
+  const HttpResponse response = serve_fetch(request, now);
+  if (!response.found) {
+    // Contract violation: the group only sends ICP-mode fetches after a
+    // positive ICP answer, and the simulated world is single-threaded.
+    throw std::logic_error("ProxyCache::serve_remote: document not resident");
+  }
+  return response;
+}
+
+HttpResponse ProxyCache::serve_fetch(const HttpRequest& request, TimePoint now) {
+  HttpResponse response;
+  response.from = id_;
+  response.to = request.from;
+  response.document = request.document;
+  response.source = ResponseSource::kCache;
+
+  if (!store_.contains(request.document)) {
+    // Digest discovery probed us on a stale/collided snapshot.
+    response.found = false;
+    return response;
+  }
+
+  const ExpAge own_age = expiration_age(now);
+  // Under the EA scheme the requester always piggybacks its age; under
+  // ad-hoc there is nothing to compare, and the conventional behaviour is a
+  // normal (promoting) hit.
+  const ExpAge requester_age = request.requester_age.value_or(ExpAge::infinite());
+
+  std::optional<CacheEntry> entry;
+  if (placement_->responder_should_promote(own_age, requester_age)) {
+    entry = store_.touch(request.document, now);
+  } else {
+    entry = store_.touch_without_promote(request.document, now);
+    ++stats_.promotions_suppressed;
+  }
+  ++stats_.remote_fetches_served;
+
+  response.body_size = entry->size;
+  response.version = entry->version;
+  response.validated_at = entry->last_validated;
+  if (uses_ea()) response.responder_age = own_age;
+  return response;
+}
+
+bool ProxyCache::consider_caching(const Document& document,
+                                  std::optional<ExpAge> responder_age, TimePoint now,
+                                  std::optional<TimePoint> validated_at) {
+  if (store_.contains(document.id)) return false;  // already have it
+  const ExpAge own_age = expiration_age(now);
+  if (!placement_->requester_should_cache(own_age,
+                                          responder_age.value_or(ExpAge::infinite()))) {
+    ++stats_.copies_declined;
+    return false;
+  }
+  if (admit_tracked(document, now)) {
+    // A copy fetched from a peer inherits the PEER's freshness clock (the
+    // HTTP Age rule): replication must not extend a document's lifetime.
+    if (validated_at) store_.set_coherence(document.id, document.version, *validated_at);
+    ++stats_.copies_stored;
+    return true;
+  }
+  return false;  // document larger than this cache
+}
+
+void ProxyCache::cache_after_origin_fetch(const Document& document, TimePoint now) {
+  if (!placement_->requester_should_cache_after_origin_fetch()) return;
+  if (store_.contains(document.id)) {
+    // Possible if two users of this proxy race in trace order; the second
+    // request would have been a hit. The group layer checks locally first,
+    // so reaching here is a contract violation.
+    throw std::logic_error("ProxyCache::cache_after_origin_fetch: already resident");
+  }
+  if (admit_tracked(document, now)) ++stats_.copies_stored;
+}
+
+HttpResponse ProxyCache::resolve_miss_as_parent(const Document& document,
+                                                const HttpRequest& request, TimePoint now) {
+  const ExpAge own_age = expiration_age(now);
+  const ExpAge requester_age = request.requester_age.value_or(ExpAge::infinite());
+
+  if (!store_.contains(document.id) &&
+      placement_->parent_should_cache(own_age, requester_age)) {
+    if (admit_tracked(document, now)) ++stats_.copies_stored;
+  } else if (!store_.contains(document.id)) {
+    ++stats_.copies_declined;
+  }
+
+  HttpResponse response;
+  response.from = id_;
+  response.to = request.from;
+  response.document = document.id;
+  response.body_size = document.size;
+  response.source = ResponseSource::kOrigin;
+  if (uses_ea()) response.responder_age = own_age;
+  return response;
+}
+
+}  // namespace eacache

@@ -1,0 +1,130 @@
+// A single caching proxy: disk store + contention estimator + the local
+// half of the placement protocol.
+//
+// The group layer (group/cache_group.h) moves the messages; the proxy
+// implements the per-node behaviour of paper section 3.3:
+//  * answer ICP presence probes (no metadata side effects);
+//  * serve a local client hit (normal promoting touch);
+//  * serve a sibling's HTTP fetch, applying the responder promotion rule;
+//  * decide whether to keep a copy of a document fetched from elsewhere,
+//    applying the requester placement rule;
+//  * act as a hierarchical parent resolving a child's miss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.h"
+#include "digest/digest_directory.h"
+#include "ea/contention.h"
+#include "ea/placement.h"
+#include "net/message.h"
+#include "storage/cache_store.h"
+#include "storage/document.h"
+
+namespace eacache {
+
+/// Per-proxy serving counters (group metrics aggregate these).
+struct ProxyStats {
+  std::uint64_t client_requests = 0;   // requests that arrived at this proxy
+  std::uint64_t local_hits = 0;
+  std::uint64_t remote_fetches_served = 0;  // served as the responder
+  std::uint64_t copies_stored = 0;          // admissions after remote fetch
+  std::uint64_t copies_declined = 0;        // EA said "don't replicate"
+  std::uint64_t promotions_suppressed = 0;  // responder-side silent hits
+};
+
+class ProxyCache {
+ public:
+  /// `placement` must outlive the proxy (the group owns one instance shared
+  /// by all its proxies, since the scheme is group-wide). `digest_config`,
+  /// when non-null, enables the Summary-Cache machinery: the proxy keeps a
+  /// counting Bloom filter of its own directory and can publish snapshots.
+  ProxyCache(ProxyId id, Bytes capacity, std::unique_ptr<ReplacementPolicy> replacement,
+             WindowConfig window, const PlacementPolicy* placement,
+             const DigestConfig* digest_config = nullptr);
+
+  ProxyCache(const ProxyCache&) = delete;
+  ProxyCache& operator=(const ProxyCache&) = delete;
+
+  [[nodiscard]] ProxyId id() const { return id_; }
+
+  /// ICP presence probe — side-effect free (an ICP query is not a hit).
+  [[nodiscard]] bool answer_icp(DocumentId document) const { return store_.contains(document); }
+
+  /// The cache expiration age this proxy would piggyback right now.
+  [[nodiscard]] ExpAge expiration_age(TimePoint now) const {
+    return contention_.cache_expiration_age(now);
+  }
+
+  /// Client request that can be answered locally: promoting touch.
+  /// Returns the (resident) document size, or nullopt on local miss.
+  std::optional<Bytes> serve_local(DocumentId document, TimePoint now);
+
+  /// Responder side of a sibling fetch. Pre: the document is resident (the
+  /// caller just got a positive ICP answer; in the simulation nothing can
+  /// evict between the ICP reply and the fetch). Applies the promotion rule
+  /// and returns the HTTP response (with our age piggybacked iff the
+  /// requester piggybacked one — i.e. the group runs the EA scheme).
+  [[nodiscard]] HttpResponse serve_remote(const HttpRequest& request, TimePoint now);
+
+  /// Digest-discovery variant of serve_remote: a probed peer may NOT have
+  /// the document (stale snapshot / Bloom collision) and then answers with
+  /// a header-only found=false response instead of throwing.
+  [[nodiscard]] HttpResponse serve_fetch(const HttpRequest& request, TimePoint now);
+
+  /// Requester side after receiving a document from another cache (sibling
+  /// responder or hierarchical parent). Decides whether to keep a copy.
+  /// Returns true if a copy was stored. When `validated_at` is given, the
+  /// stored copy inherits that freshness clock (and `document.version`)
+  /// instead of counting as freshly validated.
+  bool consider_caching(const Document& document, std::optional<ExpAge> responder_age,
+                        TimePoint now, std::optional<TimePoint> validated_at = std::nullopt);
+
+  /// Revalidation hooks (coherence experiments; group-orchestrated).
+  bool mark_validated(DocumentId document, TimePoint now) {
+    return store_.mark_validated(document, now);
+  }
+  /// Drop a stale copy (a 200 after If-Modified-Since replaces it).
+  bool invalidate(DocumentId document, TimePoint now) { return store_.remove(document, now); }
+
+  /// Crash/restart: lose the entire cache (explicit removals; the local
+  /// digest tracks them through the eviction observer).
+  void flush(TimePoint now);
+
+  /// Requester side after a direct origin fetch (group-wide miss in the
+  /// distributed architecture): the conventional always-cache step.
+  void cache_after_origin_fetch(const Document& document, TimePoint now);
+
+  /// Parent side of a hierarchical miss (paper section 3.3): the parent has
+  /// fetched `document` from the origin on behalf of `requester_age`'s
+  /// owner; it stores a copy iff the placement policy says so. Returns the
+  /// response carrying our age.
+  [[nodiscard]] HttpResponse resolve_miss_as_parent(const Document& document,
+                                                    const HttpRequest& request, TimePoint now);
+
+  void note_client_request() { ++stats_.client_requests; }
+
+  /// Digest support (only when constructed with a DigestConfig).
+  [[nodiscard]] bool has_digest() const { return digest_.has_value(); }
+  [[nodiscard]] BloomFilter publish_digest() const;
+
+  [[nodiscard]] const CacheStore& store() const { return store_; }
+  [[nodiscard]] const ContentionEstimator& contention() const { return contention_; }
+  [[nodiscard]] const ProxyStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool uses_ea() const { return placement_->kind() != PlacementKind::kAdHoc; }
+  /// Admit into the store, mirroring the admission into the local digest.
+  bool admit_tracked(const Document& document, TimePoint now);
+
+  ProxyId id_;
+  CacheStore store_;
+  ContentionEstimator contention_;
+  const PlacementPolicy* placement_;
+  std::optional<LocalDigest> digest_;
+  ProxyStats stats_;
+};
+
+}  // namespace eacache

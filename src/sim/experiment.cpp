@@ -1,0 +1,47 @@
+#include "sim/experiment.h"
+
+#include <array>
+
+namespace eacache {
+
+std::span<const Bytes> paper_capacity_ladder() {
+  static constexpr std::array<Bytes, 5> kLadder{100 * kKiB, 1 * kMiB, 10 * kMiB, 100 * kMiB,
+                                                1 * kGiB};
+  return kLadder;
+}
+
+std::vector<SchemeComparison> compare_schemes_over_capacities(
+    const Trace& trace, GroupConfig base, std::span<const Bytes> capacities) {
+  std::vector<SchemeComparison> results;
+  results.reserve(capacities.size());
+  for (const Bytes capacity : capacities) {
+    SchemeComparison point;
+    point.aggregate_capacity = capacity;
+    base.aggregate_capacity = capacity;
+    base.placement = PlacementKind::kAdHoc;
+    point.adhoc = run_simulation(trace, base);
+    base.placement = PlacementKind::kEa;
+    point.ea = run_simulation(trace, base);
+    results.push_back(std::move(point));
+  }
+  return results;
+}
+
+std::vector<GroupSizePoint> compare_schemes_over_group_sizes(
+    const Trace& trace, GroupConfig base, std::span<const std::size_t> group_sizes) {
+  std::vector<GroupSizePoint> results;
+  results.reserve(group_sizes.size());
+  for (const std::size_t n : group_sizes) {
+    GroupSizePoint point;
+    point.num_proxies = n;
+    base.num_proxies = n;
+    base.placement = PlacementKind::kAdHoc;
+    point.adhoc = run_simulation(trace, base);
+    base.placement = PlacementKind::kEa;
+    point.ea = run_simulation(trace, base);
+    results.push_back(std::move(point));
+  }
+  return results;
+}
+
+}  // namespace eacache

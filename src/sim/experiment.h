@@ -1,0 +1,39 @@
+// Experiment harness shared by the bench binaries: capacity ladders, scheme
+// head-to-heads and sweep helpers that mirror the paper's section 4 setup.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "group/cache_group.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+/// The paper's aggregate-cache-size ladder: 100KB, 1MB, 10MB, 100MB, 1GB.
+[[nodiscard]] std::span<const Bytes> paper_capacity_ladder();
+
+/// One capacity point of an ad-hoc vs EA head-to-head.
+struct SchemeComparison {
+  Bytes aggregate_capacity = 0;
+  SimulationResult adhoc;
+  SimulationResult ea;
+};
+
+/// Run both schemes at each capacity on the same trace with otherwise
+/// identical configuration (the base config's `placement` is overridden).
+[[nodiscard]] std::vector<SchemeComparison> compare_schemes_over_capacities(
+    const Trace& trace, GroupConfig base, std::span<const Bytes> capacities);
+
+/// Group-size sweep at a fixed capacity (the paper ran 2, 4 and 8 caches).
+struct GroupSizePoint {
+  std::size_t num_proxies = 0;
+  SimulationResult adhoc;
+  SimulationResult ea;
+};
+
+[[nodiscard]] std::vector<GroupSizePoint> compare_schemes_over_group_sizes(
+    const Trace& trace, GroupConfig base, std::span<const std::size_t> group_sizes);
+
+}  // namespace eacache

@@ -1,0 +1,119 @@
+#include "sim/result_json.h"
+
+#include <sstream>
+
+#include "metrics/json.h"
+
+namespace eacache {
+
+void append_simulation_result(JsonWriter& json, const SimulationResult& result) {
+  json.begin_object();
+
+  json.key("metrics").begin_object();
+  json.field("total_requests", result.metrics.total_requests());
+  json.field("hit_rate", result.metrics.hit_rate());
+  json.field("byte_hit_rate", result.metrics.byte_hit_rate());
+  json.field("local_hit_rate", result.metrics.local_hit_rate());
+  json.field("remote_hit_rate", result.metrics.remote_hit_rate());
+  json.field("miss_rate", result.metrics.miss_rate());
+  json.field("bytes_requested", result.metrics.bytes_requested());
+  json.field("avg_latency_ms",
+             static_cast<std::int64_t>(result.metrics.measured_average_latency().count()));
+  json.field("p75_latency_ms", result.metrics.latency_percentile_ms(0.75));
+  json.field("p90_latency_ms", result.metrics.latency_percentile_ms(0.90));
+  json.field("p99_latency_ms", result.metrics.latency_percentile_ms(0.99));
+  json.end_object();
+
+  json.key("transport").begin_object();
+  json.field("icp_queries", result.transport.icp_queries);
+  json.field("icp_replies", result.transport.icp_replies);
+  json.field("icp_losses", result.transport.icp_losses);
+  json.field("http_requests", result.transport.http_requests);
+  json.field("http_responses", result.transport.http_responses);
+  json.field("failed_probes", result.transport.failed_probes);
+  json.field("digest_publications", result.transport.digest_publications);
+  json.field("origin_fetches", result.transport.origin_fetches);
+  json.field("total_messages", result.transport.total_messages());
+  json.field("total_bytes", result.transport.total_bytes());
+  json.field("piggyback_bytes", result.transport.piggyback_bytes);
+  json.end_object();
+
+  json.key("coherence").begin_object();
+  json.field("validations", result.coherence.validations);
+  json.field("validated_304", result.coherence.validated_304);
+  json.field("validated_200", result.coherence.validated_200);
+  json.field("stale_served", result.coherence.stale_served);
+  json.end_object();
+
+  json.key("prefetch").begin_object();
+  json.field("issued", result.prefetch.issued);
+  json.field("useful", result.prefetch.useful);
+  json.field("wasted", result.prefetch.wasted());
+  json.field("still_pending", result.prefetch.still_pending);
+  json.field("bytes_prefetched", result.prefetch.bytes_prefetched);
+  json.end_object();
+
+  json.key("expiration_age").begin_object();
+  if (result.average_cache_expiration_age.is_infinite()) {
+    json.key("average_seconds").null();
+  } else {
+    json.field("average_seconds", result.average_cache_expiration_age.seconds());
+  }
+  json.key("per_cache_seconds").begin_array();
+  for (const ExpAge age : result.per_cache_expiration_age) {
+    if (age.is_infinite()) {
+      json.null();
+    } else {
+      json.value(age.seconds());
+    }
+  }
+  json.end_array();
+  json.end_object();
+
+  json.key("occupancy").begin_object();
+  json.field("total_resident_copies", static_cast<std::uint64_t>(result.total_resident_copies));
+  json.field("unique_resident_documents",
+             static_cast<std::uint64_t>(result.unique_resident_documents));
+  json.field("replication_factor", result.replication_factor);
+  json.end_object();
+
+  json.key("proxies").begin_array();
+  for (const ProxyStats& stats : result.proxy_stats) {
+    json.begin_object();
+    json.field("client_requests", stats.client_requests);
+    json.field("local_hits", stats.local_hits);
+    json.field("remote_fetches_served", stats.remote_fetches_served);
+    json.field("copies_stored", stats.copies_stored);
+    json.field("copies_declined", stats.copies_declined);
+    json.field("promotions_suppressed", stats.promotions_suppressed);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("snapshots").begin_array();
+  for (const MetricsSnapshot& snapshot : result.snapshots) {
+    json.begin_object();
+    json.field("at_ms",
+               static_cast<std::int64_t>((snapshot.at - kSimEpoch).count()));
+    json.field("hit_rate", snapshot.hit_rate);
+    json.field("byte_hit_rate", snapshot.byte_hit_rate);
+    json.field("total_requests", snapshot.total_requests);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+}
+
+void write_simulation_result_json(std::ostream& out, const SimulationResult& result) {
+  JsonWriter json(out);
+  append_simulation_result(json, result);
+}
+
+std::string simulation_result_to_json(const SimulationResult& result) {
+  std::ostringstream out;
+  write_simulation_result_json(out, result);
+  return out.str();
+}
+
+}  // namespace eacache

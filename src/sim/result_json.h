@@ -1,0 +1,23 @@
+// JSON serialization of SimulationResult — one self-describing object per
+// run, consumed by plotting scripts and the experiment_runner's --json
+// output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/json.h"
+#include "sim/simulator.h"
+
+namespace eacache {
+
+/// Emit the result as the NEXT VALUE of an existing writer (for embedding
+/// in larger documents, e.g. the experiment_runner's per-run array).
+void append_simulation_result(JsonWriter& json, const SimulationResult& result);
+
+/// Emit the result as a standalone JSON document.
+void write_simulation_result_json(std::ostream& out, const SimulationResult& result);
+
+[[nodiscard]] std::string simulation_result_to_json(const SimulationResult& result);
+
+}  // namespace eacache

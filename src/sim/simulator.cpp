@@ -1,0 +1,60 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+#include "event/event_queue.h"
+
+namespace eacache {
+
+SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
+                                const SimulationOptions& options) {
+  if (!is_time_ordered(trace.requests)) {
+    throw std::invalid_argument("run_simulation: trace must be time-ordered");
+  }
+
+  CacheGroup group(config);
+  EventQueue queue;
+  SimulationResult result;
+
+  if (options.snapshot_period > Duration::zero() && !trace.empty()) {
+    PeriodicEvent::start(queue, trace.requests.front().at + options.snapshot_period,
+                         options.snapshot_period, [&](TimePoint at) {
+                           MetricsSnapshot snap;
+                           snap.at = at;
+                           snap.hit_rate = group.metrics().hit_rate();
+                           snap.byte_hit_rate = group.metrics().byte_hit_rate();
+                           snap.total_requests = group.metrics().total_requests();
+                           result.snapshots.push_back(snap);
+                         });
+  }
+
+  for (const SimulationOptions::FlushEvent& flush : options.flush_events) {
+    queue.schedule_at(flush.at, [&group, proxy = flush.proxy](TimePoint at) {
+      group.flush_proxy(proxy, at);
+    });
+  }
+
+  for (const Request& request : trace.requests) {
+    queue.run_until(request.at);  // fire any periodic/flush events due now
+    group.serve(request);
+  }
+
+  result.metrics = group.metrics();
+  result.transport = group.transport_stats();
+  result.coherence = group.coherence_stats();
+  result.prefetch = group.prefetch_stats();
+  result.prefetch.still_pending = group.pending_prefetches();
+  result.average_cache_expiration_age = group.average_cache_expiration_age();
+  for (std::size_t p = 0; p < group.num_proxies(); ++p) {
+    result.per_cache_expiration_age.push_back(group.proxy(static_cast<ProxyId>(p))
+                                                  .contention()
+                                                  .lifetime_average());
+    result.proxy_stats.push_back(group.proxy(static_cast<ProxyId>(p)).stats());
+  }
+  result.total_resident_copies = group.total_resident_copies();
+  result.unique_resident_documents = group.unique_resident_documents();
+  result.replication_factor = group.replication_factor();
+  return result;
+}
+
+}  // namespace eacache

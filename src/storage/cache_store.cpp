@@ -1,0 +1,133 @@
+#include "storage/cache_store.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+CacheStore::CacheStore(Bytes capacity, std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_(capacity), policy_(std::move(policy)) {
+  if (!policy_) throw std::invalid_argument("CacheStore: null policy");
+}
+
+void CacheStore::add_eviction_observer(EvictionObserver* observer) {
+  if (observer == nullptr) throw std::invalid_argument("CacheStore: null observer");
+  observers_.push_back(observer);
+}
+
+std::optional<CacheEntry> CacheStore::peek(DocumentId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CacheEntry> CacheStore::touch(DocumentId id, TimePoint now) {
+  ++stats_.lookups;
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  CacheEntry& entry = it->second;
+  entry.last_hit_time = now;
+  ++entry.hit_count;
+  policy_->on_hit(id, now);
+  ++stats_.hits;
+  return entry;
+}
+
+std::optional<CacheEntry> CacheStore::touch_without_promote(DocumentId id, TimePoint now) {
+  ++stats_.lookups;
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  policy_->on_silent_hit(id, now);
+  ++stats_.hits;
+  ++stats_.silent_hits;
+  return it->second;
+}
+
+std::optional<std::vector<EvictionRecord>> CacheStore::admit(const Document& doc,
+                                                             TimePoint now) {
+  if (entries_.count(doc.id) != 0) {
+    throw std::logic_error("CacheStore: admit of already-resident document");
+  }
+  if (doc.size > capacity_) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+  std::vector<EvictionRecord> evicted;
+  while (resident_bytes_ + doc.size > capacity_) {
+    evicted.push_back(evict_one(now, EvictionCause::kCapacity, policy_->victim()));
+  }
+  CacheEntry entry;
+  entry.id = doc.id;
+  entry.size = doc.size;
+  entry.entry_time = now;
+  entry.last_hit_time = now;
+  entry.hit_count = 1;
+  entry.version = doc.version;
+  entry.last_validated = now;
+  entries_.emplace(doc.id, entry);
+  policy_->on_admit(doc.id, doc.size, now);
+  resident_bytes_ += doc.size;
+  ++stats_.admissions;
+  stats_.bytes_admitted += doc.size;
+  return evicted;
+}
+
+bool CacheStore::mark_validated(DocumentId id, TimePoint now) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  it->second.last_validated = now;
+  return true;
+}
+
+bool CacheStore::set_coherence(DocumentId id, std::uint64_t version, TimePoint validated_at) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  it->second.version = version;
+  it->second.last_validated = validated_at;
+  return true;
+}
+
+bool CacheStore::remove(DocumentId id, TimePoint now) {
+  if (entries_.count(id) == 0) return false;
+  const EvictionRecord record = evict_one(now, EvictionCause::kExplicit, id);
+  (void)record;
+  return true;
+}
+
+EvictionRecord CacheStore::evict_one(TimePoint now, EvictionCause cause, DocumentId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) throw std::logic_error("CacheStore: evicting absent id");
+  const CacheEntry& entry = it->second;
+  EvictionRecord record;
+  record.id = entry.id;
+  record.size = entry.size;
+  record.entry_time = entry.entry_time;
+  record.last_hit_time = entry.last_hit_time;
+  record.hit_count = entry.hit_count;
+  record.evict_time = now;
+  record.cause = cause;
+
+  policy_->on_remove(id);
+  resident_bytes_ -= entry.size;
+  if (cause == EvictionCause::kCapacity) {
+    ++stats_.capacity_evictions;
+  } else {
+    ++stats_.explicit_removals;
+  }
+  stats_.bytes_evicted += entry.size;
+  entries_.erase(it);
+  notify(record);
+  return record;
+}
+
+void CacheStore::notify(const EvictionRecord& record) {
+  for (EvictionObserver* observer : observers_) observer->on_eviction(record);
+}
+
+std::vector<DocumentId> CacheStore::resident_ids() const {
+  std::vector<DocumentId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace eacache

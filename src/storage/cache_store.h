@@ -1,0 +1,119 @@
+// Byte-accounted document cache with pluggable replacement and eviction
+// observation.
+//
+// This is the per-proxy disk model. It owns entry metadata in exactly the
+// form the paper says real proxies already keep (section 3.2): entry time,
+// last-hit time-stamp (LRU family) and HIT-COUNTER (LFU family). On every
+// capacity eviction it emits an EvictionRecord to registered observers —
+// that stream is what the expiration-age machinery consumes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/document.h"
+#include "storage/eviction.h"
+#include "storage/replacement_policy.h"
+
+namespace eacache {
+
+struct CacheEntry {
+  DocumentId id = 0;
+  Bytes size = 0;
+  TimePoint entry_time{};
+  TimePoint last_hit_time{};    // last PROMOTING hit; == entry_time initially
+  std::uint64_t hit_count = 1;  // paper convention: 1 on admission
+
+  // Coherence metadata (unused unless the group runs with coherence on).
+  std::uint64_t version = 0;     // origin version this body corresponds to
+  TimePoint last_validated{};    // freshness clock: admission or last 304
+};
+
+/// Cumulative operation counters (monotonic; never reset).
+struct CacheStoreStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;            // promote + silent
+  std::uint64_t silent_hits = 0;     // served without rejuvenation
+  std::uint64_t admissions = 0;
+  std::uint64_t rejections = 0;      // documents larger than capacity
+  std::uint64_t capacity_evictions = 0;
+  std::uint64_t explicit_removals = 0;
+  Bytes bytes_admitted = 0;
+  Bytes bytes_evicted = 0;
+};
+
+class CacheStore {
+ public:
+  /// Capacity is a hard byte budget. The policy must be non-null.
+  CacheStore(Bytes capacity, std::unique_ptr<ReplacementPolicy> policy);
+
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
+  /// Observers receive every eviction (capacity and explicit). Observers
+  /// must outlive the store. Must not be null.
+  void add_eviction_observer(EvictionObserver* observer);
+
+  /// Presence probe with NO metadata side effects. This is what an ICP
+  /// query does: asking "do you have it?" is not a hit.
+  [[nodiscard]] bool contains(DocumentId id) const { return entries_.count(id) != 0; }
+
+  /// Read-only view of a resident entry; nullopt if absent. No side effects.
+  [[nodiscard]] std::optional<CacheEntry> peek(DocumentId id) const;
+
+  /// Serve a hit, giving the entry a fresh lease of life (promotes in the
+  /// policy, stamps last_hit_time, increments hit_count). Returns the entry
+  /// as it is AFTER the hit, or nullopt on miss.
+  std::optional<CacheEntry> touch(DocumentId id, TimePoint now);
+
+  /// Serve a hit WITHOUT rejuvenation — the EA responder rule. The policy
+  /// position, last_hit_time and hit_count are all left untouched so the
+  /// copy can age out naturally; only serving counters move.
+  std::optional<CacheEntry> touch_without_promote(DocumentId id, TimePoint now);
+
+  /// Admit a document, evicting victims as needed. Preconditions: the id is
+  /// not resident (throws std::logic_error otherwise — look up first).
+  /// Returns the eviction records generated, or nullopt if the document is
+  /// larger than total capacity (such documents are never admitted; this is
+  /// the standard proxy behaviour for unbounded objects).
+  std::optional<std::vector<EvictionRecord>> admit(const Document& doc, TimePoint now);
+
+  /// Explicitly remove a document (e.g. invalidation). Returns true if it
+  /// was resident. Emits an EvictionRecord with cause kExplicit.
+  bool remove(DocumentId id, TimePoint now);
+
+  /// Refresh the freshness clock after a successful revalidation (a 304
+  /// from the origin): stamps last_validated, leaves replacement state
+  /// untouched (a validation is not a client hit). Returns false if absent.
+  bool mark_validated(DocumentId id, TimePoint now);
+
+  /// Override an entry's freshness metadata (used when a copy received
+  /// from a peer inherits the PEER's validation clock rather than "now" —
+  /// the HTTP Age-header rule). Returns false if absent.
+  bool set_coherence(DocumentId id, std::uint64_t version, TimePoint validated_at);
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] std::size_t resident_count() const { return entries_.size(); }
+  [[nodiscard]] const CacheStoreStats& stats() const { return stats_; }
+  [[nodiscard]] const ReplacementPolicy& policy() const { return *policy_; }
+
+  /// Snapshot of resident ids (test/diagnostic hook; unspecified order).
+  [[nodiscard]] std::vector<DocumentId> resident_ids() const;
+
+ private:
+  EvictionRecord evict_one(TimePoint now, EvictionCause cause, DocumentId id);
+  void notify(const EvictionRecord& record);
+
+  Bytes capacity_;
+  Bytes resident_bytes_ = 0;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unordered_map<DocumentId, CacheEntry> entries_;
+  std::vector<EvictionObserver*> observers_;
+  CacheStoreStats stats_;
+};
+
+}  // namespace eacache

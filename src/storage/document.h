@@ -1,0 +1,17 @@
+// A web document as the cache sees it: an identifier plus a body size.
+#pragma once
+
+#include "common/types.h"
+
+namespace eacache {
+
+struct Document {
+  DocumentId id = 0;
+  Bytes size = 0;
+  /// Origin version of the body (coherence experiments; 0 when unused).
+  std::uint64_t version = 0;
+
+  friend bool operator==(const Document&, const Document&) = default;
+};
+
+}  // namespace eacache

@@ -1,0 +1,36 @@
+// Eviction records: the raw material for the paper's expiration-age metric.
+//
+// Whenever a CacheStore evicts a document it emits an EvictionRecord with
+// exactly the bookkeeping the paper says LRU/LFU proxies already keep
+// (paper section 3.2): entry time, last-hit time, hit counter, eviction time.
+// The ea::ContentionEstimator consumes these to compute DocExpAge / Eq. 5.
+#pragma once
+
+#include "common/types.h"
+
+namespace eacache {
+
+enum class EvictionCause {
+  kCapacity,   // removed to make room for an incoming document
+  kExplicit,   // removed by an external invalidation/remove call
+};
+
+struct EvictionRecord {
+  DocumentId id = 0;
+  Bytes size = 0;
+  TimePoint entry_time{};     // when the document was admitted
+  TimePoint last_hit_time{};  // last promoting hit (== entry_time if none)
+  std::uint64_t hit_count = 1;  // paper convention: starts at 1 on admission
+  TimePoint evict_time{};
+  EvictionCause cause = EvictionCause::kCapacity;
+};
+
+/// Observer for evictions. Implementations must not call back into the
+/// emitting CacheStore (reentrancy is a programming error).
+class EvictionObserver {
+ public:
+  virtual ~EvictionObserver() = default;
+  virtual void on_eviction(const EvictionRecord& record) = 0;
+};
+
+}  // namespace eacache

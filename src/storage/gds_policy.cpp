@@ -1,0 +1,64 @@
+#include "storage/gds_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eacache {
+
+GdsPolicy::GdsPolicy() : GdsPolicy([](DocumentId, Bytes) { return 1.0; }) {}
+
+GdsPolicy::GdsPolicy(CostFn cost) : cost_(std::move(cost)) {
+  if (!cost_) throw std::invalid_argument("GdsPolicy: null cost function");
+}
+
+void GdsPolicy::reinsert(DocumentId id, Bytes size) {
+  const double denom = size > 0 ? static_cast<double>(size) : 1.0;
+  const Key key{inflation_ + cost_(id, size) / denom, next_stamp_++, id};
+  order_.insert(key);
+  index_[id] = Entry{key, size};
+}
+
+void GdsPolicy::on_admit(DocumentId id, Bytes size, TimePoint /*now*/) {
+  if (index_.count(id) != 0) throw std::logic_error("GdsPolicy: duplicate admit");
+  reinsert(id, size);
+}
+
+void GdsPolicy::on_hit(DocumentId id, TimePoint /*now*/) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("GdsPolicy: hit on absent id");
+  const Bytes size = it->second.size;
+  order_.erase(it->second.key);
+  index_.erase(it);
+  reinsert(id, size);
+}
+
+void GdsPolicy::on_silent_hit(DocumentId id, TimePoint /*now*/) {
+  // EA responder rule: no credit re-inflation.
+  if (index_.count(id) == 0) throw std::logic_error("GdsPolicy: silent hit on absent id");
+}
+
+DocumentId GdsPolicy::victim() const {
+  if (order_.empty()) throw std::logic_error("GdsPolicy: victim() on empty policy");
+  return order_.begin()->id;
+}
+
+void GdsPolicy::on_remove(DocumentId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("GdsPolicy: remove of absent id");
+  // Inflation update: when the victim (the minimal-H entry) leaves, the
+  // floor L rises to its credit. Explicit removals of non-minimal entries
+  // do not inflate.
+  if (!order_.empty() && order_.begin()->id == id) {
+    inflation_ = std::max(inflation_, it->second.key.h);
+  }
+  order_.erase(it->second.key);
+  index_.erase(it);
+}
+
+double GdsPolicy::credit(DocumentId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("GdsPolicy: credit of absent id");
+  return it->second.key.h;
+}
+
+}  // namespace eacache

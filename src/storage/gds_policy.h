@@ -1,0 +1,64 @@
+// GreedyDual-Size (Cao & Irani, USITS 1997) — the cost-aware replacement
+// policy the paper cites as [4]. Each resident document carries a credit
+//     H(d) = L + cost(d) / size(d)
+// where L is a monotonically inflating floor equal to the H of the last
+// victim. Victim = minimal H. A hit re-inflates H(d) to the current formula.
+//
+// cost(d) == 1 gives the "GDS(1)" variant that maximises object hit rate;
+// cost(d) == size(d) degenerates to LRU-like behaviour with H = L + 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "storage/replacement_policy.h"
+
+namespace eacache {
+
+class GdsPolicy final : public ReplacementPolicy {
+ public:
+  using CostFn = std::function<double(DocumentId, Bytes)>;
+
+  /// Default cost function: uniform cost 1 (object-hit-rate flavour).
+  GdsPolicy();
+  explicit GdsPolicy(CostFn cost);
+
+  void on_admit(DocumentId id, Bytes size, TimePoint now) override;
+  void on_hit(DocumentId id, TimePoint now) override;
+  void on_silent_hit(DocumentId id, TimePoint now) override;
+  [[nodiscard]] DocumentId victim() const override;
+  void on_remove(DocumentId id) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] std::string_view name() const override { return "gds"; }
+
+  /// Current credit of a resident id (test hook).
+  [[nodiscard]] double credit(DocumentId id) const;
+
+ private:
+  struct Key {
+    double h;
+    std::uint64_t stamp;
+    DocumentId id;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.h != b.h) return a.h < b.h;
+      if (a.stamp != b.stamp) return a.stamp < b.stamp;
+      return a.id < b.id;
+    }
+  };
+  struct Entry {
+    Key key;
+    Bytes size;
+  };
+
+  void reinsert(DocumentId id, Bytes size);
+
+  CostFn cost_;
+  double inflation_ = 0.0;  // L
+  std::set<Key> order_;
+  std::unordered_map<DocumentId, Entry> index_;
+  std::uint64_t next_stamp_ = 0;
+};
+
+}  // namespace eacache

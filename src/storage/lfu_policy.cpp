@@ -1,0 +1,80 @@
+#include "storage/lfu_policy.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace eacache {
+
+void LfuPolicy::insert_at_freq(DocumentId id, std::uint64_t freq) {
+  Bucket& bucket = buckets_[freq];
+  bucket.push_back(id);  // back = most recently used at this frequency
+  index_[id] = Locator{freq, std::prev(bucket.end())};
+}
+
+void LfuPolicy::detach(DocumentId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("LfuPolicy: id not resident");
+  const auto bucket_it = buckets_.find(it->second.freq);
+  bucket_it->second.erase(it->second.pos);
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  index_.erase(it);
+}
+
+void LfuPolicy::on_admit(DocumentId id, Bytes /*size*/, TimePoint /*now*/) {
+  if (index_.count(id) != 0) throw std::logic_error("LfuPolicy: duplicate admit");
+  // Paper convention: HIT-COUNTER is initialised to 1 when a document
+  // enters the cache.
+  insert_at_freq(id, 1);
+}
+
+void LfuPolicy::on_hit(DocumentId id, TimePoint /*now*/) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("LfuPolicy: hit on absent id");
+  const std::uint64_t next_freq = it->second.freq + 1;
+  detach(id);
+  insert_at_freq(id, next_freq);
+  if (aging_interval_ > 0 && ++promotions_since_aging_ >= aging_interval_) {
+    promotions_since_aging_ = 0;
+    age_all();
+  }
+}
+
+void LfuPolicy::on_silent_hit(DocumentId id, TimePoint /*now*/) {
+  // EA responder rule under LFU: the hit counter is NOT incremented, so the
+  // entry keeps its replacement priority.
+  if (index_.count(id) == 0) throw std::logic_error("LfuPolicy: silent hit on absent id");
+}
+
+DocumentId LfuPolicy::victim() const {
+  if (buckets_.empty()) throw std::logic_error("LfuPolicy: victim() on empty policy");
+  // Lowest frequency bucket; least recently used within it.
+  return buckets_.begin()->second.front();
+}
+
+void LfuPolicy::on_remove(DocumentId id) { detach(id); }
+
+std::uint64_t LfuPolicy::frequency(DocumentId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("LfuPolicy: frequency of absent id");
+  return it->second.freq;
+}
+
+void LfuPolicy::age_all() {
+  // Halve every counter (floor at 1), preserving intra-bucket recency order.
+  std::map<std::uint64_t, Bucket> aged;
+  for (auto& [freq, bucket] : buckets_) {
+    const std::uint64_t new_freq = freq / 2 > 0 ? freq / 2 : 1;
+    Bucket& dst = aged[new_freq];
+    // Buckets are visited in ascending frequency order, so appending keeps
+    // lower-original-frequency ids nearer the victim end.
+    dst.splice(dst.end(), bucket);
+  }
+  buckets_ = std::move(aged);
+  for (auto& [freq, bucket] : buckets_) {
+    for (auto pos = bucket.begin(); pos != bucket.end(); ++pos) {
+      index_[*pos] = Locator{freq, pos};
+    }
+  }
+}
+
+}  // namespace eacache

@@ -1,0 +1,59 @@
+// Least-Frequently-Used eviction order with O(1) operations.
+//
+// Classic frequency-bucket structure: a doubly linked list of frequency
+// buckets, each holding an LRU-ordered list of ids with that hit count.
+// Victim = least-recently-used id in the lowest-frequency bucket (the
+// standard LFU tie-break).
+//
+// The optional aging variant (paper cites "LFU and its variants") halves
+// every counter each `aging_interval` promotions, preventing formerly-hot
+// documents from squatting forever.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "storage/replacement_policy.h"
+
+namespace eacache {
+
+class LfuPolicy : public ReplacementPolicy {
+ public:
+  /// aging_interval == 0 disables aging (pure LFU).
+  explicit LfuPolicy(std::uint64_t aging_interval = 0) : aging_interval_(aging_interval) {}
+
+  void on_admit(DocumentId id, Bytes size, TimePoint now) override;
+  void on_hit(DocumentId id, TimePoint now) override;
+  void on_silent_hit(DocumentId id, TimePoint now) override;
+  [[nodiscard]] DocumentId victim() const override;
+  void on_remove(DocumentId id) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] std::string_view name() const override {
+    return aging_interval_ > 0 ? "lfu-aging" : "lfu";
+  }
+
+  /// Current frequency of a resident id (test hook).
+  [[nodiscard]] std::uint64_t frequency(DocumentId id) const;
+
+ private:
+  using Bucket = std::list<DocumentId>;
+
+  struct Locator {
+    std::uint64_t freq;
+    Bucket::iterator pos;
+  };
+
+  void insert_at_freq(DocumentId id, std::uint64_t freq);
+  void detach(DocumentId id);
+  void age_all();
+
+  // freq -> LRU-ordered bucket (front = least recently used at that freq).
+  std::map<std::uint64_t, Bucket> buckets_;
+  std::unordered_map<DocumentId, Locator> index_;
+  std::uint64_t aging_interval_;
+  std::uint64_t promotions_since_aging_ = 0;
+};
+
+}  // namespace eacache

@@ -1,0 +1,36 @@
+#include "storage/lru_policy.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+void LruPolicy::on_admit(DocumentId id, Bytes /*size*/, TimePoint /*now*/) {
+  if (index_.count(id) != 0) throw std::logic_error("LruPolicy: duplicate admit");
+  order_.push_front(id);
+  index_.emplace(id, order_.begin());
+}
+
+void LruPolicy::on_hit(DocumentId id, TimePoint /*now*/) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("LruPolicy: hit on absent id");
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void LruPolicy::on_silent_hit(DocumentId id, TimePoint /*now*/) {
+  // EA responder rule: the entry stays at its current list position.
+  if (index_.count(id) == 0) throw std::logic_error("LruPolicy: silent hit on absent id");
+}
+
+DocumentId LruPolicy::victim() const {
+  if (order_.empty()) throw std::logic_error("LruPolicy: victim() on empty policy");
+  return order_.back();
+}
+
+void LruPolicy::on_remove(DocumentId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("LruPolicy: remove of absent id");
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+}  // namespace eacache

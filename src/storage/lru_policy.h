@@ -1,0 +1,28 @@
+// Least-Recently-Used eviction order: intrusive list + hash index, O(1) ops.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "storage/replacement_policy.h"
+
+namespace eacache {
+
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void on_admit(DocumentId id, Bytes size, TimePoint now) override;
+  void on_hit(DocumentId id, TimePoint now) override;
+  void on_silent_hit(DocumentId id, TimePoint now) override;
+  [[nodiscard]] DocumentId victim() const override;
+  void on_remove(DocumentId id) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] std::string_view name() const override { return "lru"; }
+
+ private:
+  // Front = most recently used (HEAD in the paper's wording);
+  // back = eviction victim.
+  std::list<DocumentId> order_;
+  std::unordered_map<DocumentId, std::list<DocumentId>::iterator> index_;
+};
+
+}  // namespace eacache

@@ -1,0 +1,48 @@
+#include <stdexcept>
+#include <string>
+
+#include "storage/gds_policy.h"
+#include "storage/lfu_policy.h"
+#include "storage/lru_policy.h"
+#include "storage/replacement_policy.h"
+#include "storage/size_policy.h"
+
+namespace eacache {
+
+namespace {
+// Default aging interval for lfu-aging: halve counters every 10k promotions.
+constexpr std::uint64_t kDefaultAgingInterval = 10'000;
+}  // namespace
+
+std::string_view to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kLfu: return "lfu";
+    case PolicyKind::kLfuAging: return "lfu-aging";
+    case PolicyKind::kSizeBiggestFirst: return "size";
+    case PolicyKind::kGreedyDualSize: return "gds";
+  }
+  throw std::invalid_argument("to_string: bad PolicyKind");
+}
+
+PolicyKind policy_kind_from_string(std::string_view name) {
+  if (name == "lru") return PolicyKind::kLru;
+  if (name == "lfu") return PolicyKind::kLfu;
+  if (name == "lfu-aging") return PolicyKind::kLfuAging;
+  if (name == "size") return PolicyKind::kSizeBiggestFirst;
+  if (name == "gds") return PolicyKind::kGreedyDualSize;
+  throw std::invalid_argument("unknown replacement policy: " + std::string(name));
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kLfu: return std::make_unique<LfuPolicy>();
+    case PolicyKind::kLfuAging: return std::make_unique<LfuPolicy>(kDefaultAgingInterval);
+    case PolicyKind::kSizeBiggestFirst: return std::make_unique<SizePolicy>();
+    case PolicyKind::kGreedyDualSize: return std::make_unique<GdsPolicy>();
+  }
+  throw std::invalid_argument("make_policy: bad PolicyKind");
+}
+
+}  // namespace eacache

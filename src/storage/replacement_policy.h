@@ -1,0 +1,59 @@
+// Replacement-policy interface.
+//
+// A policy only maintains an eviction ORDER over resident documents; the
+// CacheStore owns the entries, the byte accounting and all metadata. This
+// split keeps each policy small and lets the EA layer observe evictions in
+// one place regardless of policy.
+//
+// Contract (enforced by the store, asserted by policies):
+//  * on_admit is called at most once per resident id;
+//  * on_hit / on_silent_hit are only called for resident ids;
+//  * victim() is only called when at least one id is resident;
+//  * on_remove is called exactly once when an id stops being resident.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace eacache {
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A new document became resident.
+  virtual void on_admit(DocumentId id, Bytes size, TimePoint now) = 0;
+
+  /// The document was hit and should be given a fresh lease of life
+  /// (LRU: move to head; LFU: increment frequency; GDS: re-inflate H).
+  virtual void on_hit(DocumentId id, TimePoint now) = 0;
+
+  /// The document was served but must NOT be rejuvenated. This is the EA
+  /// scheme's responder-side rule (paper section 3.3): when the requester
+  /// keeps the better-placed copy, the responder leaves its entry "unaltered
+  /// at its current position" so it can age out naturally.
+  virtual void on_silent_hit(DocumentId id, TimePoint now) = 0;
+
+  /// The id the policy would evict next. Pure query; does not remove.
+  [[nodiscard]] virtual DocumentId victim() const = 0;
+
+  /// The document stopped being resident (evicted or explicitly removed).
+  virtual void on_remove(DocumentId id) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Policy selector used by configs and the experiment harness.
+enum class PolicyKind { kLru, kLfu, kLfuAging, kSizeBiggestFirst, kGreedyDualSize };
+
+[[nodiscard]] std::string_view to_string(PolicyKind kind);
+[[nodiscard]] PolicyKind policy_kind_from_string(std::string_view name);
+
+/// Factory. Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind);
+
+}  // namespace eacache

@@ -1,0 +1,42 @@
+#include "storage/size_policy.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+void SizePolicy::reinsert(DocumentId id, Bytes size) {
+  const Key key{size, next_stamp_++, id};
+  order_.insert(key);
+  index_[id] = key;
+}
+
+void SizePolicy::on_admit(DocumentId id, Bytes size, TimePoint /*now*/) {
+  if (index_.count(id) != 0) throw std::logic_error("SizePolicy: duplicate admit");
+  reinsert(id, size);
+}
+
+void SizePolicy::on_hit(DocumentId id, TimePoint /*now*/) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("SizePolicy: hit on absent id");
+  const Bytes size = it->second.size;
+  order_.erase(it->second);
+  reinsert(id, size);
+}
+
+void SizePolicy::on_silent_hit(DocumentId id, TimePoint /*now*/) {
+  if (index_.count(id) == 0) throw std::logic_error("SizePolicy: silent hit on absent id");
+}
+
+DocumentId SizePolicy::victim() const {
+  if (order_.empty()) throw std::logic_error("SizePolicy: victim() on empty policy");
+  return order_.begin()->id;
+}
+
+void SizePolicy::on_remove(DocumentId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::logic_error("SizePolicy: remove of absent id");
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+}  // namespace eacache

@@ -1,0 +1,49 @@
+// SIZE replacement: evict the largest resident document first.
+//
+// A classic web-cache policy (Williams et al. 1996): large documents consume
+// disproportionate space and are often cheaper to refetch per byte. Included
+// as a non-LRU/LFU baseline for the policy-lab example and for checking that
+// the placement layer is genuinely replacement-policy independent.
+// Tie-break: least recently admitted/promoted first.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "storage/replacement_policy.h"
+
+namespace eacache {
+
+class SizePolicy final : public ReplacementPolicy {
+ public:
+  void on_admit(DocumentId id, Bytes size, TimePoint now) override;
+  void on_hit(DocumentId id, TimePoint now) override;
+  void on_silent_hit(DocumentId id, TimePoint now) override;
+  [[nodiscard]] DocumentId victim() const override;
+  void on_remove(DocumentId id) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] std::string_view name() const override { return "size"; }
+
+ private:
+  struct Key {
+    Bytes size;
+    std::uint64_t stamp;  // lower = touched longer ago
+    DocumentId id;
+
+    // Largest first; among equals, stalest first.
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.size != b.size) return a.size > b.size;
+      if (a.stamp != b.stamp) return a.stamp < b.stamp;
+      return a.id < b.id;
+    }
+  };
+
+  void reinsert(DocumentId id, Bytes size);
+
+  std::set<Key> order_;
+  std::unordered_map<DocumentId, Key> index_;
+  std::uint64_t next_stamp_ = 0;
+};
+
+}  // namespace eacache

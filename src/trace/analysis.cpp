@@ -1,0 +1,141 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace eacache {
+
+namespace {
+
+/// Fenwick (binary-indexed) tree over request positions; used to count how
+/// many DISTINCT documents were touched since a document's previous access.
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t index, int delta) {
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of [0, index] (0-based, inclusive).
+  [[nodiscard]] std::int64_t prefix(std::size_t index) const {
+    std::int64_t sum = 0;
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+  [[nodiscard]] std::int64_t total() const { return prefix(tree_.size() - 2); }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+TraceProfile profile_trace(std::span<const Request> requests) {
+  TraceProfile profile;
+  profile.total_requests = requests.size();
+  if (requests.empty()) return profile;
+
+  std::unordered_map<DocumentId, std::uint64_t> frequency;
+  std::unordered_map<DocumentId, Bytes> sizes;
+  for (const Request& request : requests) {
+    ++frequency[request.document];
+    sizes.emplace(request.document, request.size);
+  }
+  profile.unique_documents = frequency.size();
+  for (const auto& [doc, count] : frequency) {
+    if (count == 1) ++profile.one_timers;
+  }
+  profile.one_timer_fraction = static_cast<double>(profile.one_timers) /
+                               static_cast<double>(profile.unique_documents);
+  profile.compulsory_miss_fraction = static_cast<double>(profile.unique_documents) /
+                                     static_cast<double>(profile.total_requests);
+
+  // Zipf fit: sort frequencies descending, regress log(freq) on log(rank).
+  std::vector<std::uint64_t> counts;
+  counts.reserve(frequency.size());
+  for (const auto& [doc, count] : frequency) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  if (counts.size() >= 2 && counts.front() > counts.back()) {
+    double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+    const double n = static_cast<double>(counts.size());
+    for (std::size_t rank = 0; rank < counts.size(); ++rank) {
+      const double x = std::log(static_cast<double>(rank + 1));
+      const double y = std::log(static_cast<double>(counts[rank]));
+      sum_x += x;
+      sum_y += y;
+      sum_xx += x * x;
+      sum_xy += x * y;
+    }
+    const double denom = n * sum_xx - sum_x * sum_x;
+    if (denom > 0.0) {
+      profile.zipf_alpha = -(n * sum_xy - sum_x * sum_y) / denom;  // slope is -alpha
+    }
+  }
+
+  std::vector<Bytes> size_values;
+  size_values.reserve(sizes.size());
+  Bytes size_sum = 0;
+  for (const auto& [doc, size] : sizes) {
+    size_values.push_back(size);
+    size_sum += size;
+  }
+  std::sort(size_values.begin(), size_values.end());
+  profile.mean_size = size_sum / size_values.size();
+  profile.median_size = size_values[size_values.size() / 2];
+  profile.max_size = size_values.back();
+  return profile;
+}
+
+StackDistanceHistogram compute_stack_distances(std::span<const Request> requests) {
+  StackDistanceHistogram histogram;
+  histogram.total = requests.size();
+  if (requests.empty()) return histogram;
+
+  // Mattson via Fenwick: tree positions are request indices; position i is
+  // marked iff the document referenced at i has not been referenced again
+  // since. The stack distance of a re-reference at time t of a document
+  // last seen at time p is the number of marked positions in (p, t] —
+  // i.e. the count of distinct documents touched since p, inclusive of the
+  // document itself.
+  FenwickTree tree(requests.size());
+  std::unordered_map<DocumentId, std::size_t> last_position;
+  last_position.reserve(requests.size() / 4);
+  histogram.distances.assign(2, 0);  // grows on demand; index 0 unused
+
+  for (std::size_t t = 0; t < requests.size(); ++t) {
+    const DocumentId doc = requests[t].document;
+    const auto it = last_position.find(doc);
+    if (it == last_position.end()) {
+      ++histogram.cold;
+    } else {
+      const std::size_t prev = it->second;
+      const std::int64_t marked_up_to_prev = tree.prefix(prev);
+      const std::int64_t marked_total = tree.total();
+      const auto distance = static_cast<std::uint64_t>(marked_total - marked_up_to_prev + 1);
+      if (distance >= histogram.distances.size()) {
+        histogram.distances.resize(distance + 1, 0);
+      }
+      ++histogram.distances[distance];
+      tree.add(prev, -1);  // the old position is no longer the last access
+    }
+    tree.add(t, +1);
+    last_position[doc] = t;
+  }
+  return histogram;
+}
+
+double StackDistanceHistogram::hit_rate_at(std::uint64_t capacity_docs) const {
+  if (total == 0) return 0.0;
+  std::uint64_t hits = 0;
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(capacity_docs, distances.empty() ? 0 : distances.size() - 1);
+  for (std::uint64_t d = 1; d <= limit; ++d) hits += distances[d];
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace eacache

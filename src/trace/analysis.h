@@ -1,0 +1,59 @@
+// Workload characterization.
+//
+// Trace-driven caching papers live and die by their workload's shape; this
+// module computes the standard characterization of a request stream:
+//
+//  * aggregate counts (requests, uniques, one-timers — documents requested
+//    exactly once can never produce a hit);
+//  * a Zipf exponent estimate (least-squares slope of log(frequency) vs
+//    log(rank), the method Cunha/Breslau et al. used on the BU traces);
+//  * size statistics;
+//  * the EXACT infinite-stack LRU hit curve via Mattson's stack-distance
+//    algorithm (Mattson, Gecsei, Slutz & Traiger, IBM Sys. J. 1970): one
+//    O(n log n) pass yields, for every cache size C in documents, the hit
+//    rate an LRU cache of that size would achieve on this trace —
+//    simulation-free ground truth used to cross-validate both the
+//    simulator and the Che model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+struct TraceProfile {
+  std::uint64_t total_requests = 0;
+  std::uint64_t unique_documents = 0;
+  std::uint64_t one_timers = 0;          // documents with exactly one request
+  double one_timer_fraction = 0.0;       // of unique documents
+  double compulsory_miss_fraction = 0.0; // uniques / requests
+  double zipf_alpha = 0.0;               // least-squares fit; 0 if degenerate
+  Bytes mean_size = 0;
+  Bytes median_size = 0;
+  Bytes max_size = 0;
+};
+
+[[nodiscard]] TraceProfile profile_trace(std::span<const Request> requests);
+
+/// Histogram of LRU stack distances: distances[d] = number of requests whose
+/// reuse distance is exactly d (1 = re-reference of the most recent distinct
+/// document). Cold (first-ever) references are counted in `cold`.
+struct StackDistanceHistogram {
+  std::vector<std::uint64_t> distances;  // index 0 unused; 1-based distances
+  std::uint64_t cold = 0;
+  std::uint64_t total = 0;
+
+  /// Exact LRU hit rate for a cache of `capacity_docs` unit-size slots:
+  /// the fraction of requests with stack distance <= capacity.
+  [[nodiscard]] double hit_rate_at(std::uint64_t capacity_docs) const;
+};
+
+/// Mattson's algorithm, O(n log n) via a Fenwick tree.
+[[nodiscard]] StackDistanceHistogram compute_stack_distances(
+    std::span<const Request> requests);
+
+}  // namespace eacache

@@ -1,0 +1,80 @@
+#include "trace/bu_parser.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace eacache {
+
+namespace {
+
+bool parse_line(std::string_view line, const BuParseOptions& options, Request& out,
+                bool& coerced) {
+  std::istringstream fields{std::string(line)};
+  std::string ts_token, user_token, url_token, size_token;
+  if (!(fields >> ts_token >> user_token >> url_token >> size_token)) return false;
+
+  char* end = nullptr;
+  const double ts_seconds = std::strtod(ts_token.c_str(), &end);
+  if (end != ts_token.c_str() + ts_token.size() || !std::isfinite(ts_seconds) ||
+      ts_seconds < 0.0) {
+    return false;
+  }
+
+  const long long size_val = std::strtoll(size_token.c_str(), &end, 10);
+  if (end != size_token.c_str() + size_token.size() || size_val < 0) return false;
+
+  // llround, not truncation: "1234.567" must come back as exactly
+  // 1234567 ms even when the decimal is not representable in binary.
+  out.at = kSimEpoch + Duration{std::llround(ts_seconds * 1000.0)};
+  out.user = static_cast<UserId>(fnv1a64(user_token) & 0xffffffffu);
+  out.document = fnv1a64(url_token);
+  coerced = size_val == 0;
+  out.size = coerced ? options.default_size : static_cast<Bytes>(size_val);
+  return true;
+}
+
+}  // namespace
+
+BuParseResult parse_bu_log(std::istream& in, const BuParseOptions& options) {
+  BuParseResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++result.lines_read;
+    const std::string_view view{line};
+    const auto first_non_space = view.find_first_not_of(" \t\r");
+    if (first_non_space == std::string_view::npos || view[first_non_space] == '#') {
+      ++result.lines_skipped;
+      continue;
+    }
+    Request request;
+    bool coerced = false;
+    if (!parse_line(view, options, request, coerced)) {
+      ++result.lines_skipped;
+      continue;
+    }
+    if (coerced) ++result.zero_sizes_coerced;
+    result.trace.requests.push_back(request);
+  }
+
+  sort_by_time(result.trace);
+  if (options.normalize_time && !result.trace.empty()) {
+    const Duration shift = result.trace.requests.front().at - kSimEpoch;
+    for (Request& r : result.trace.requests) r.at -= shift;
+  }
+  return result;
+}
+
+BuParseResult parse_bu_log_file(const std::string& path, const BuParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_bu_log_file: cannot open " + path);
+  return parse_bu_log(in, options);
+}
+
+}  // namespace eacache

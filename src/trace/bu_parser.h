@@ -1,0 +1,47 @@
+// Parser for BU-style condensed proxy logs.
+//
+// Accepted line format (whitespace separated):
+//
+//   <timestamp> <user> <url> <size> [<retrieval_ms>]
+//
+//   timestamp  seconds since some epoch; integer or decimal ("790358517.42")
+//   user       arbitrary token identifying the client ("bugs_17", "42")
+//   url        arbitrary non-space token; hashed (FNV-1a) to a DocumentId
+//   size       body bytes; 0 is coerced to `default_size` — the paper made
+//              exactly this substitution ("we made the size of each such
+//              record equal to average document size of 4K bytes")
+//   retrieval  optional, ignored (we model latency, not replay it)
+//
+// Lines starting with '#' and blank lines are skipped. Malformed lines are
+// counted and skipped (real mid-90s logs are dirty); parse() only throws if
+// the stream itself is unreadable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+struct BuParseOptions {
+  Bytes default_size = 4 * kKiB;  // the paper's zero-size substitution
+  bool normalize_time = true;     // shift so the first request is at t=0
+};
+
+struct BuParseResult {
+  Trace trace;
+  std::uint64_t lines_read = 0;
+  std::uint64_t lines_skipped = 0;  // comments, blanks and malformed lines
+  std::uint64_t zero_sizes_coerced = 0;
+};
+
+/// Parse a log from a stream. Output is time-ordered (stable sort applied).
+[[nodiscard]] BuParseResult parse_bu_log(std::istream& in, const BuParseOptions& options = {});
+
+/// Parse a log file; throws std::runtime_error if the file cannot be opened.
+[[nodiscard]] BuParseResult parse_bu_log_file(const std::string& path,
+                                              const BuParseOptions& options = {});
+
+}  // namespace eacache

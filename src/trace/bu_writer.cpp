@@ -1,0 +1,33 @@
+#include "trace/bu_writer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace eacache {
+
+void write_bu_log(std::ostream& out, std::span<const Request> requests,
+                  const BuWriteOptions& options) {
+  if (options.write_header_comment) {
+    out << "# eacache trace export: <timestamp-s> <user> <url> <size-bytes>\n";
+  }
+  char line[160];
+  for (const Request& request : requests) {
+    const double seconds = to_seconds(request.at - kSimEpoch);
+    std::snprintf(line, sizeof(line), "%.3f %s%u %s%" PRIu64 " %" PRIu64 "\n", seconds,
+                  options.user_prefix.c_str(), request.user, options.url_prefix.c_str(),
+                  request.document, request.size);
+    out << line;
+  }
+}
+
+void write_bu_log_file(const std::string& path, std::span<const Request> requests,
+                       const BuWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_bu_log_file: cannot open " + path);
+  write_bu_log(out, requests, options);
+}
+
+}  // namespace eacache

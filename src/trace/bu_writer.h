@@ -1,0 +1,36 @@
+// Writer for the BU-style log format accepted by trace/bu_parser.h.
+//
+// Lets users export synthetic workloads for other tools (or for replaying
+// the exact same byte stream later) and gives the parser a round-trip test
+// target. Lines are written as:
+//
+//   <timestamp-seconds> u<user> doc<document-id> <size-bytes>
+//
+// which parses back to a trace with identical timestamps and sizes and an
+// id structure isomorphic to the original (the parser re-hashes the user
+// and URL tokens, so numeric ids change but equality is preserved).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace eacache {
+
+struct BuWriteOptions {
+  /// Prefixes keep generated tokens syntactically URL-ish / user-ish.
+  std::string user_prefix = "u";
+  std::string url_prefix = "doc";
+  bool write_header_comment = true;
+};
+
+void write_bu_log(std::ostream& out, std::span<const Request> requests,
+                  const BuWriteOptions& options = {});
+
+/// Throws std::runtime_error if the file cannot be opened.
+void write_bu_log_file(const std::string& path, std::span<const Request> requests,
+                       const BuWriteOptions& options = {});
+
+}  // namespace eacache

@@ -1,0 +1,102 @@
+#include "trace/squid_parser.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace eacache {
+
+namespace {
+
+enum class LineResult { kParsed, kMalformed, kFiltered };
+
+LineResult parse_line(const std::string& line, const SquidParseOptions& options,
+                      Request& out, bool& coerced) {
+  std::istringstream fields(line);
+  std::string ts_token, elapsed_token, client, code_status, bytes_token, method, url;
+  if (!(fields >> ts_token >> elapsed_token >> client >> code_status >> bytes_token >>
+        method >> url)) {
+    return LineResult::kMalformed;
+  }
+
+  char* end = nullptr;
+  const double ts_seconds = std::strtod(ts_token.c_str(), &end);
+  if (end != ts_token.c_str() + ts_token.size() || !std::isfinite(ts_seconds) ||
+      ts_seconds < 0.0) {
+    return LineResult::kMalformed;
+  }
+  const long long bytes = std::strtoll(bytes_token.c_str(), &end, 10);
+  if (end != bytes_token.c_str() + bytes_token.size() || bytes < 0) {
+    return LineResult::kMalformed;
+  }
+
+  // code/status, e.g. "TCP_MISS/200".
+  const std::size_t slash = code_status.find('/');
+  if (slash == std::string::npos || slash + 1 >= code_status.size()) {
+    return LineResult::kMalformed;
+  }
+  const long status = std::strtol(code_status.c_str() + slash + 1, &end, 10);
+  if (end != code_status.c_str() + code_status.size()) return LineResult::kMalformed;
+
+  if (options.only_cacheable) {
+    if (method != "GET") return LineResult::kFiltered;
+    if (status < 200 || status >= 400) return LineResult::kFiltered;
+  }
+
+  out.at = kSimEpoch + Duration{std::llround(ts_seconds * 1000.0)};
+  out.user = static_cast<UserId>(fnv1a64(client) & 0xffffffffu);
+  out.document = fnv1a64(url);
+  coerced = bytes == 0;
+  out.size = coerced ? options.default_size : static_cast<Bytes>(bytes);
+  return LineResult::kParsed;
+}
+
+}  // namespace
+
+SquidParseResult parse_squid_log(std::istream& in, const SquidParseOptions& options) {
+  SquidParseResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++result.lines_read;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      ++result.lines_skipped;
+      continue;
+    }
+    Request request;
+    bool coerced = false;
+    switch (parse_line(line, options, request, coerced)) {
+      case LineResult::kMalformed:
+        ++result.lines_skipped;
+        break;
+      case LineResult::kFiltered:
+        ++result.lines_filtered;
+        break;
+      case LineResult::kParsed:
+        if (coerced) ++result.zero_sizes_coerced;
+        result.trace.requests.push_back(request);
+        break;
+    }
+  }
+
+  sort_by_time(result.trace);
+  if (options.normalize_time && !result.trace.empty()) {
+    const Duration shift = result.trace.requests.front().at - kSimEpoch;
+    for (Request& request : result.trace.requests) request.at -= shift;
+  }
+  return result;
+}
+
+SquidParseResult parse_squid_log_file(const std::string& path,
+                                      const SquidParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_squid_log_file: cannot open " + path);
+  return parse_squid_log(in, options);
+}
+
+}  // namespace eacache

@@ -1,0 +1,48 @@
+// Parser for Squid native access.log lines — the de-facto standard proxy
+// log format (Squid is the paper's reference [12] and the proxy its
+// protocol machinery models). Field layout:
+//
+//   time.ms elapsed client code/status bytes method URL ident hierarchy/peer type
+//
+// e.g.
+//   847087401.234  95 10.0.0.17 TCP_MISS/200 4218 GET http://www.bu.edu/ - DIRECT/128.197.1.1 text/html
+//
+// Mapping into the simulator's vocabulary:
+//   timestamp <- field 1 (UNIX seconds with millisecond fraction)
+//   user      <- client address (hashed)
+//   document  <- URL (hashed)
+//   size      <- bytes (0 coerced to the 4 KB default, as the paper did)
+//
+// Filtering: only GET requests with a 2xx/3xx status are cacheable
+// traffic; everything else (CONNECT, POST, errors) is skipped and counted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+struct SquidParseOptions {
+  Bytes default_size = 4 * kKiB;
+  bool normalize_time = true;   // shift so the first request is at t=0
+  bool only_cacheable = true;   // keep GET + 2xx/3xx only
+};
+
+struct SquidParseResult {
+  Trace trace;
+  std::uint64_t lines_read = 0;
+  std::uint64_t lines_skipped = 0;      // comments, blanks, malformed
+  std::uint64_t lines_filtered = 0;     // valid but non-cacheable traffic
+  std::uint64_t zero_sizes_coerced = 0;
+};
+
+[[nodiscard]] SquidParseResult parse_squid_log(std::istream& in,
+                                               const SquidParseOptions& options = {});
+
+[[nodiscard]] SquidParseResult parse_squid_log_file(const std::string& path,
+                                                    const SquidParseOptions& options = {});
+
+}  // namespace eacache

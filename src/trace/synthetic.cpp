@@ -1,0 +1,109 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace eacache {
+
+SyntheticTraceConfig SyntheticTraceConfig::bu_calibrated() {
+  SyntheticTraceConfig config;
+  config.num_requests = 575'775;
+  config.num_documents = 46'830;
+  config.num_users = 591;
+  config.span = hours(24 * 105);  // mid-November to end of February
+  return config;
+}
+
+Bytes synthetic_document_size(const SyntheticTraceConfig& config, std::uint64_t doc_index) {
+  // Per-document deterministic stream: independent of request order.
+  Rng rng(hash_combine(config.seed ^ 0x5157a11c0ffee5ULL, doc_index));
+  double size = 0.0;
+  if (rng.next_bool(config.pareto_tail_probability)) {
+    size = rng.next_pareto(static_cast<double>(config.pareto_scale), config.pareto_alpha);
+  } else {
+    // Choose mu so the log-normal body alone has the configured mean:
+    // E[X] = exp(mu + sigma^2/2).
+    const double mu = std::log(static_cast<double>(config.mean_size)) -
+                      config.size_sigma * config.size_sigma / 2.0;
+    size = rng.next_lognormal(mu, config.size_sigma);
+  }
+  const auto clamped =
+      std::clamp(size, static_cast<double>(config.min_size), static_cast<double>(config.max_size));
+  return static_cast<Bytes>(clamped);
+}
+
+Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
+  if (config.num_requests == 0) return Trace{};
+  if (config.num_documents == 0) {
+    throw std::invalid_argument("generate_synthetic_trace: need at least one document");
+  }
+  if (config.num_users == 0) {
+    throw std::invalid_argument("generate_synthetic_trace: need at least one user");
+  }
+  if (config.span <= Duration::zero()) {
+    throw std::invalid_argument("generate_synthetic_trace: span must be positive");
+  }
+  if (config.repeat_probability < 0.0 || config.repeat_probability >= 1.0) {
+    throw std::invalid_argument("generate_synthetic_trace: repeat probability in [0, 1)");
+  }
+
+  Rng rng(config.seed);
+  const ZipfSampler doc_sampler(config.num_documents, config.zipf_alpha);
+  const ZipfSampler user_sampler(config.num_users, config.user_alpha);
+
+  // Shuffle the rank->document mapping so that popular documents are spread
+  // across the id space (rank 0 being document 0 would make popularity
+  // trivially correlated with id, which some tests could then accidentally
+  // rely on).
+  std::vector<std::uint64_t> doc_of_rank(config.num_documents);
+  for (std::uint64_t i = 0; i < config.num_documents; ++i) doc_of_rank[i] = i;
+  for (std::uint64_t i = config.num_documents - 1; i > 0; --i) {
+    std::swap(doc_of_rank[i], doc_of_rank[rng.next_below(i + 1)]);
+  }
+
+  const double arrival_rate = static_cast<double>(config.num_requests) /
+                              static_cast<double>(config.span.count());  // per ms
+
+  Trace trace;
+  trace.requests.reserve(config.num_requests);
+
+  std::vector<std::uint64_t> recent;  // circular recency window of doc indices
+  recent.reserve(config.repeat_window);
+  std::size_t recent_next = 0;
+
+  double now_ms = 0.0;
+  for (std::uint64_t i = 0; i < config.num_requests; ++i) {
+    now_ms += rng.next_exponential(arrival_rate);
+
+    std::uint64_t doc_index;
+    if (!recent.empty() && rng.next_bool(config.repeat_probability)) {
+      doc_index = recent[rng.next_below(recent.size())];
+    } else {
+      doc_index = doc_of_rank[doc_sampler.sample(rng)];
+    }
+    if (config.repeat_window > 0) {
+      if (recent.size() < config.repeat_window) {
+        recent.push_back(doc_index);
+      } else {
+        recent[recent_next] = doc_index;
+        recent_next = (recent_next + 1) % recent.size();
+      }
+    }
+
+    Request request;
+    request.at = kSimEpoch + Duration{static_cast<SimClock::rep>(now_ms)};
+    request.user = static_cast<UserId>(user_sampler.sample(rng));
+    request.document = doc_index;  // synthetic ids are dense indices
+    request.size = synthetic_document_size(config, doc_index);
+    trace.requests.push_back(request);
+  }
+  return trace;
+}
+
+}  // namespace eacache

@@ -1,0 +1,76 @@
+// Synthetic workload generator calibrated to the Boston University traces.
+//
+// The paper's evaluation replays BU proxy logs whose aggregate statistics it
+// reports (section 4.1): 575,775 requests over 46,830 unique documents from
+// 591 users, average document size 4 KB, collected over ~3.5 months. Those
+// logs are not redistributable, so we synthesize workloads with the same
+// shape:
+//
+//  * document popularity: Zipf with configurable exponent. Cunha, Bestavros
+//    & Crovella measured alpha ~ 0.7-0.8 for these very traces, so 0.75 is
+//    the default.
+//  * document sizes: log-normal body with a Pareto tail (the standard web
+//    size model from the same BU measurement papers), mean ~4 KB, sampled
+//    once per document so every request for a document agrees on its size.
+//  * request arrivals: a homogeneous Poisson process over the configured
+//    span (exponential inter-arrivals), which yields time-ordered requests
+//    by construction.
+//  * users: request issuers drawn Zipf-distributed over the user population
+//    (client activity is itself heavy-tailed); each user is later pinned to
+//    one proxy by the group layer, as in a departmental deployment.
+//  * optional temporal locality: with probability `repeat_probability` a
+//    request re-references a document from the recent-past window instead
+//    of sampling the stationary distribution, adding the burstiness real
+//    logs exhibit.
+//
+// Determinism: the generator is a pure function of its config (seed
+// included). Document sizes derive from per-document hashes, not draw
+// order.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+struct SyntheticTraceConfig {
+  std::uint64_t seed = 42;
+
+  // Scaled-down defaults: ~1/4 of the BU trace keeps unit-test and bench
+  // runtimes pleasant while preserving every distributional knob. The
+  // bu_calibrated() preset below restores the full published sizes.
+  std::uint64_t num_requests = 150'000;
+  std::uint64_t num_documents = 12'000;
+  std::uint32_t num_users = 160;
+  Duration span = hours(24 * 30);  // 30 days
+
+  double zipf_alpha = 0.75;        // document popularity exponent
+  double user_alpha = 0.8;         // user activity exponent
+
+  // Size model: log-normal (mean ~4 KB) with a Pareto tail.
+  Bytes mean_size = 4 * kKiB;
+  double size_sigma = 1.0;         // log-normal shape
+  double pareto_tail_probability = 0.01;
+  Bytes pareto_scale = 32 * kKiB;  // tail starts here
+  double pareto_alpha = 1.5;
+  Bytes min_size = 64;
+  Bytes max_size = 8 * kMiB;
+
+  // Temporal locality (0 disables).
+  double repeat_probability = 0.0;
+  std::uint32_t repeat_window = 256;  // draw repeats from the last N requests
+
+  /// Full-scale preset matching the published BU trace statistics.
+  [[nodiscard]] static SyntheticTraceConfig bu_calibrated();
+};
+
+[[nodiscard]] Trace generate_synthetic_trace(const SyntheticTraceConfig& config);
+
+/// The body size of document `doc_index` under `config` — exposed so tests
+/// can verify per-document size stability.
+[[nodiscard]] Bytes synthetic_document_size(const SyntheticTraceConfig& config,
+                                            std::uint64_t doc_index);
+
+}  // namespace eacache

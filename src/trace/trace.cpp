@@ -1,0 +1,41 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eacache {
+
+TraceStats compute_stats(std::span<const Request> requests) {
+  TraceStats stats;
+  stats.total_requests = requests.size();
+  if (requests.empty()) return stats;
+
+  std::unordered_map<DocumentId, Bytes> docs;
+  std::unordered_set<UserId> users;
+  stats.first_request = requests.front().at;
+  stats.last_request = requests.front().at;
+  for (const Request& r : requests) {
+    stats.total_bytes += r.size;
+    docs.emplace(r.document, r.size);
+    users.insert(r.user);
+    stats.first_request = std::min(stats.first_request, r.at);
+    stats.last_request = std::max(stats.last_request, r.at);
+  }
+  stats.unique_documents = docs.size();
+  stats.unique_users = users.size();
+  for (const auto& [id, size] : docs) stats.unique_bytes += size;
+  return stats;
+}
+
+bool is_time_ordered(std::span<const Request> requests) {
+  return std::is_sorted(requests.begin(), requests.end(),
+                        [](const Request& a, const Request& b) { return a.at < b.at; });
+}
+
+void sort_by_time(Trace& trace) {
+  std::stable_sort(trace.requests.begin(), trace.requests.end(),
+                   [](const Request& a, const Request& b) { return a.at < b.at; });
+}
+
+}  // namespace eacache

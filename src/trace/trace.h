@@ -1,0 +1,57 @@
+// Request traces: the workload substrate.
+//
+// The paper replays the Boston University proxy traces (Nov 1994 - Feb
+// 1995): 575,775 requests, 46,830 unique documents, 591 users, zero-size log
+// records coerced to the 4 KB average document size. Those traces are not
+// distributable with this repository, so the workload layer provides both
+//  * a parser for BU-style condensed logs (trace/bu_parser.h), and
+//  * a synthetic generator calibrated to the published statistics of those
+//    traces (trace/synthetic.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eacache {
+
+struct Request {
+  TimePoint at{};
+  UserId user = 0;
+  DocumentId document = 0;
+  Bytes size = 0;
+};
+
+struct Trace {
+  std::vector<Request> requests;
+
+  [[nodiscard]] bool empty() const { return requests.empty(); }
+  [[nodiscard]] std::size_t size() const { return requests.size(); }
+};
+
+/// Aggregate statistics of a trace (mirrors the numbers the paper reports
+/// about the BU traces in section 4.1).
+struct TraceStats {
+  std::uint64_t total_requests = 0;
+  std::uint64_t unique_documents = 0;
+  std::uint64_t unique_users = 0;
+  Bytes total_bytes = 0;          // sum of request sizes
+  Bytes unique_bytes = 0;         // sum of distinct document sizes
+  TimePoint first_request{};
+  TimePoint last_request{};
+
+  [[nodiscard]] Duration span() const { return last_request - first_request; }
+};
+
+[[nodiscard]] TraceStats compute_stats(std::span<const Request> requests);
+
+/// True if requests are sorted by (time, then stable original order is not
+/// required — ties allowed in any order).
+[[nodiscard]] bool is_time_ordered(std::span<const Request> requests);
+
+/// Stable-sort a trace by timestamp (parsers may read unordered logs).
+void sort_by_time(Trace& trace);
+
+}  // namespace eacache

@@ -1,0 +1,131 @@
+#include "analysis/che_approximation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+CheModel zipf_model(std::size_t n, double alpha) {
+  CheModel model;
+  model.popularity = zipf_popularity(n, alpha);
+  return model;
+}
+
+TEST(ZipfPopularityTest, SumsToOneAndDecreases) {
+  const auto p = zipf_popularity(1000, 0.8);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    sum += p[i];
+    if (i > 0) {
+      EXPECT_LT(p[i], p[i - 1]);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_THROW((void)zipf_popularity(0, 1.0), std::invalid_argument);
+}
+
+TEST(CheTest, RejectsBadInputs) {
+  const CheModel model = zipf_model(100, 0.8);
+  EXPECT_THROW((void)che_lru(CheModel{}, 10), std::invalid_argument);
+  EXPECT_THROW((void)che_lru(model, 0.0), std::invalid_argument);
+  CheModel bad = model;
+  bad.total_rate = 0.0;
+  EXPECT_THROW((void)che_lru(bad, 10), std::invalid_argument);
+  bad = model;
+  bad.popularity[0] += 0.5;  // no longer sums to 1
+  EXPECT_THROW((void)che_lru(bad, 10), std::invalid_argument);
+}
+
+TEST(CheTest, OccupancyConstraintSatisfied) {
+  const CheModel model = zipf_model(2000, 0.9);
+  for (const double capacity : {10.0, 100.0, 500.0, 1500.0}) {
+    const CheResult result = che_lru(model, capacity);
+    EXPECT_NEAR(result.expected_occupancy, capacity, 1e-6 * capacity);
+    EXPECT_GT(result.characteristic_time, 0.0);
+  }
+}
+
+TEST(CheTest, HitRateMonotoneInCapacity) {
+  const CheModel model = zipf_model(2000, 0.9);
+  double previous = 0.0;
+  for (const double capacity : {5.0, 20.0, 80.0, 320.0, 1280.0}) {
+    const double h = che_lru(model, capacity).hit_rate;
+    EXPECT_GT(h, previous);
+    EXPECT_LT(h, 1.0);
+    previous = h;
+  }
+}
+
+TEST(CheTest, FullCapacityHitsEverything) {
+  const CheModel model = zipf_model(100, 1.0);
+  const CheResult result = che_lru(model, 100.0);
+  EXPECT_DOUBLE_EQ(result.hit_rate, 1.0);
+  EXPECT_TRUE(std::isinf(result.characteristic_time));
+}
+
+TEST(CheTest, HitRateInvariantToRateScale) {
+  CheModel model = zipf_model(500, 0.8);
+  const double h1 = che_lru(model, 50).hit_rate;
+  model.total_rate = 1e6;
+  const double h2 = che_lru(model, 50).hit_rate;
+  EXPECT_NEAR(h1, h2, 1e-9);
+}
+
+TEST(CheTest, SteeperZipfCachesBetter) {
+  const double flat = che_lru(zipf_model(2000, 0.6), 100).hit_rate;
+  const double steep = che_lru(zipf_model(2000, 1.2), 100).hit_rate;
+  EXPECT_GT(steep, flat);
+}
+
+TEST(CheGroupTest, ReplicationDeflatesEffectiveCapacity) {
+  const CheModel model = zipf_model(2000, 0.9);
+  const double dedup = che_group(model, 400, 1.0).hit_rate;
+  const double replicated = che_group(model, 400, 2.0).hit_rate;
+  EXPECT_GT(dedup, replicated);
+  EXPECT_THROW((void)che_group(model, 400, 0.5), std::invalid_argument);
+}
+
+// The headline validation: the analytic model must predict the SIMULATED
+// single-cache LRU hit rate on a stationary Zipf workload. (One cache, no
+// cooperation, uniform sizes: exactly the IRM setting Che models.)
+TEST(CheValidationTest, PredictsSimulatedLruHitRate) {
+  constexpr std::size_t kDocs = 2000;
+  constexpr double kAlpha = 0.9;
+
+  SyntheticTraceConfig workload;
+  workload.num_requests = 200'000;
+  workload.num_documents = kDocs;
+  workload.num_users = 16;
+  workload.span = hours(48);
+  workload.zipf_alpha = kAlpha;
+  workload.repeat_probability = 0.0;  // IRM: stationary, independent draws
+  // Uniform sizes: make the byte capacity translate exactly to object count.
+  workload.size_sigma = 0.01;
+  workload.pareto_tail_probability = 0.0;
+  const Trace trace = generate_synthetic_trace(workload);
+
+  const CheModel model = zipf_model(kDocs, kAlpha);
+  for (const double capacity_objects : {50.0, 200.0, 800.0}) {
+    GroupConfig config;
+    config.num_proxies = 1;
+    config.aggregate_capacity =
+        static_cast<Bytes>(capacity_objects * 4096.0 * 1.005);  // sizes ~4096
+    config.placement = PlacementKind::kAdHoc;
+    const SimulationResult sim = run_simulation(trace, config);
+    const CheResult analytic = che_lru(model, capacity_objects);
+    // The simulation includes compulsory (cold) misses that the stationary
+    // model does not; with 200k requests over 2k docs the cold mass is
+    // ~1%. Allow 3% absolute.
+    EXPECT_NEAR(sim.metrics.hit_rate(), analytic.hit_rate, 0.03)
+        << "capacity " << capacity_objects;
+  }
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,98 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+TEST(ConfigTest, ParsesBasicKeyValues) {
+  const Config cfg = Config::parse("a = 1\nb= two\n c =3.5\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "two");
+  EXPECT_DOUBLE_EQ(cfg.get_double("c", 0.0), 3.5);
+}
+
+TEST(ConfigTest, SkipsCommentsAndBlanks) {
+  const Config cfg = Config::parse("# comment\n\n; also comment\nkey = value\n");
+  EXPECT_EQ(cfg.entries().size(), 1u);
+  EXPECT_EQ(cfg.get_string("key", ""), "value");
+}
+
+TEST(ConfigTest, MissingEqualsThrowsWithLineNumber) {
+  try {
+    (void)Config::parse("ok = 1\nbroken line\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConfigTest, EmptyKeyThrows) {
+  EXPECT_THROW((void)Config::parse(" = 1\n"), std::runtime_error);
+}
+
+TEST(ConfigTest, FallbacksWhenAbsent) {
+  const Config cfg = Config::parse("");
+  EXPECT_EQ(cfg.get_int("nope", 7), 7);
+  EXPECT_EQ(cfg.get_string("nope", "d"), "d");
+  EXPECT_TRUE(cfg.get_bool("nope", true));
+  EXPECT_EQ(cfg.get_bytes("nope", kib(4)), kib(4));
+  EXPECT_EQ(cfg.get_duration("nope", msec(5)), msec(5));
+}
+
+TEST(ConfigTest, MalformedTypedValueThrows) {
+  const Config cfg = Config::parse("n = abc\n");
+  EXPECT_THROW((void)cfg.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW((void)cfg.get_double("n", 0.0), std::runtime_error);
+  EXPECT_THROW((void)cfg.get_bool("n", false), std::runtime_error);
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  const Config cfg = Config::parse("a=true\nb=0\nc=YES\nd=off\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+TEST(ConfigTest, ByteSuffixes) {
+  EXPECT_EQ(Config::parse_bytes("4096").value(), Bytes{4096});
+  EXPECT_EQ(Config::parse_bytes("100KiB").value(), kib(100));
+  EXPECT_EQ(Config::parse_bytes("100KB").value(), kib(100));
+  EXPECT_EQ(Config::parse_bytes("1MiB").value(), mib(1));
+  EXPECT_EQ(Config::parse_bytes("2GiB").value(), gib(2));
+  EXPECT_EQ(Config::parse_bytes("1.5KiB").value(), Bytes{1536});
+  EXPECT_FALSE(Config::parse_bytes("oops").has_value());
+  EXPECT_FALSE(Config::parse_bytes("1XB").has_value());
+  EXPECT_FALSE(Config::parse_bytes("-5KiB").has_value());
+}
+
+TEST(ConfigTest, DurationSuffixes) {
+  EXPECT_EQ(Config::parse_duration("250").value(), msec(250));
+  EXPECT_EQ(Config::parse_duration("250ms").value(), msec(250));
+  EXPECT_EQ(Config::parse_duration("3s").value(), sec(3));
+  EXPECT_EQ(Config::parse_duration("5m").value(), minutes(5));
+  EXPECT_EQ(Config::parse_duration("2h").value(), hours(2));
+  EXPECT_FALSE(Config::parse_duration("abc").has_value());
+}
+
+TEST(ConfigTest, LastAssignmentWins) {
+  const Config cfg = Config::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+TEST(ConfigTest, SetOverridesParsed) {
+  Config cfg = Config::parse("k = 1\n");
+  cfg.set("k", "9");
+  EXPECT_EQ(cfg.get_int("k", 0), 9);
+}
+
+TEST(ConfigTest, ValuesMayContainEquals) {
+  const Config cfg = Config::parse("url = http://x/?a=b\n");
+  EXPECT_EQ(cfg.get_string("url", ""), "http://x/?a=b");
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,59 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace eacache {
+namespace {
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Fnv1aIsConstexpr) {
+  static_assert(fnv1a64("abc") != fnv1a64("abd"));
+  SUCCEED();
+}
+
+TEST(HashTest, Fnv1aDistinguishesUrls) {
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 10000; ++i) {
+    hashes.insert(fnv1a64("http://example.com/page/" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+TEST(HashTest, Mix64AvalanchesSequentialIds) {
+  // Sequential inputs should produce well-spread outputs: check that the
+  // low bit of mix64 flips roughly half the time across consecutive ids.
+  int flips = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    if (((mix64(i) ^ mix64(i + 1)) & 1u) != 0) ++flips;
+  }
+  EXPECT_GT(flips, 4500);
+  EXPECT_LT(flips, 5500);
+}
+
+TEST(HashTest, Mix64IsInjectiveOnSmallRange) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  const auto ab = hash_combine(hash_combine(0, 1), 2);
+  const auto ba = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, HashCombineSeedSensitive) {
+  EXPECT_NE(hash_combine(1, 42), hash_combine(2, 42));
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,81 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace eacache {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  // (Fixture saved whatever level the suite runs with; assert the shipped
+  // default explicitly.)
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, MacrosRespectLevel) {
+  // The macro's side expression must not evaluate when filtered out.
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto touch = [&] {
+    ++evaluations;
+    return "x";
+  };
+  EACACHE_LOG_DEBUG("test") << touch();
+  EACACHE_LOG_INFO("test") << touch();
+  EACACHE_LOG_WARN("test") << touch();
+  EXPECT_EQ(evaluations, 0);
+
+  set_log_level(LogLevel::kOff);
+  EACACHE_LOG_ERROR("test") << touch();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, EnabledMacroEvaluatesOnce) {
+  set_log_level(LogLevel::kDebug);
+  int evaluations = 0;
+  const auto touch = [&] {
+    ++evaluations;
+    return 42;
+  };
+  EACACHE_LOG_DEBUG("test") << "value=" << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, LogMessageHonoursOff) {
+  set_log_level(LogLevel::kOff);
+  // Must be a no-op (nothing observable to assert beyond not crashing,
+  // but the level guard is the contract under test).
+  log_message(LogLevel::kError, "component", "message");
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, MacroInsideUnbracedIfIsSafe) {
+  set_log_level(LogLevel::kOff);
+  bool reached_else = false;
+  // The macro expands to an if/else chain; it must not steal this else.
+  if (false)
+    EACACHE_LOG_ERROR("test") << "never";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,143 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace eacache {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, ReseedRestartsStream) {
+  Rng rng(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.next());
+  rng.reseed(77);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(RandomTest, NextBelowIsRoughlyUniform) {
+  Rng rng(31);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  // Each bucket expects 10000; allow +-5% (far beyond 6-sigma).
+  for (const int c : counts) {
+    EXPECT_GT(c, 9500);
+    EXPECT_LT(c, 10500);
+  }
+}
+
+TEST(RandomTest, NextInIsInclusive) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_in(3, 5));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count(3));
+  EXPECT_TRUE(seen.count(5));
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(RandomTest, NormalMeanAndVariance) {
+  Rng rng(44);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RandomTest, LognormalMeanMatchesFormula) {
+  Rng rng(45);
+  const double mu = 2.0;
+  const double sigma = 0.5;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_lognormal(mu, sigma);
+  const double expected = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(sum / kN, expected, expected * 0.02);
+}
+
+TEST(RandomTest, ParetoRespectsScale) {
+  Rng rng(46);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.next_pareto(100.0, 1.5), 100.0);
+  }
+}
+
+TEST(RandomTest, ExponentialMeanMatchesRate) {
+  Rng rng(47);
+  const double rate = 0.25;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(rate);
+  EXPECT_NEAR(sum / kN, 1.0 / rate, 0.1);
+}
+
+TEST(RandomTest, SplitMix64KnownVector) {
+  // Reference values from the public-domain splitmix64.c by Sebastiano
+  // Vigna, seed = 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(RandomTest, UsableWithStdShuffleConcepts) {
+  // Rng satisfies UniformRandomBitGenerator.
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,57 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace eacache {
+namespace {
+
+TEST(TypesTest, DurationHelpersCompose) {
+  EXPECT_EQ(msec(1500), sec(1) + msec(500));
+  EXPECT_EQ(minutes(2), sec(120));
+  EXPECT_EQ(hours(1), minutes(60));
+}
+
+TEST(TypesTest, ToSecondsIsFractional) {
+  EXPECT_DOUBLE_EQ(to_seconds(msec(250)), 0.25);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_seconds(Duration::zero()), 0.0);
+}
+
+TEST(TypesTest, ByteHelpers) {
+  EXPECT_EQ(kib(1), Bytes{1024});
+  EXPECT_EQ(mib(1), Bytes{1024} * 1024);
+  EXPECT_EQ(gib(1), Bytes{1024} * 1024 * 1024);
+  EXPECT_EQ(kib(100), Bytes{102400});
+}
+
+TEST(TypesTest, FormatBytesExactUnits) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(kib(1)), "1KiB");
+  EXPECT_EQ(format_bytes(kib(100)), "100KiB");
+  EXPECT_EQ(format_bytes(mib(10)), "10MiB");
+  EXPECT_EQ(format_bytes(gib(1)), "1GiB");
+}
+
+TEST(TypesTest, FormatBytesFractional) {
+  EXPECT_EQ(format_bytes(kib(1) + 512), "1.50KiB");
+}
+
+TEST(TypesTest, FormatDuration) {
+  EXPECT_EQ(format_duration(msec(342)), "342ms");
+  EXPECT_EQ(format_duration(sec(3)), "3s");
+  EXPECT_EQ(format_duration(msec(1250)), "1.250s");
+}
+
+TEST(TypesTest, SimEpochIsZero) {
+  EXPECT_EQ(kSimEpoch.time_since_epoch(), Duration::zero());
+  EXPECT_LT(kSimEpoch, kSimTimeMax);
+}
+
+TEST(TypesTest, TimePointArithmetic) {
+  const TimePoint t = kSimEpoch + sec(10);
+  EXPECT_EQ((t - kSimEpoch), sec(10));
+  EXPECT_EQ(t + msec(500) - t, msec(500));
+}
+
+}  // namespace
+}  // namespace eacache

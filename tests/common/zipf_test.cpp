@@ -1,0 +1,89 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace eacache {
+namespace {
+
+TEST(ZipfTest, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, SingleElementAlwaysRankZero) {
+  ZipfSampler zipf(1, 0.8);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfSampler zipf(1000, 0.75);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(500, 0.75);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < 500; ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf(100, 1.2);
+  for (std::uint64_t k = 1; k < 100; ++k) EXPECT_LT(zipf.pmf(k), zipf.pmf(k - 1));
+}
+
+TEST(ZipfTest, PmfOutOfRangeIsZero) {
+  ZipfSampler zipf(10, 0.9);
+  EXPECT_EQ(zipf.pmf(10), 0.0);
+  EXPECT_EQ(zipf.pmf(1000), 0.0);
+}
+
+// Empirical frequencies should match the analytic pmf for head ranks.
+class ZipfGoodnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfGoodnessTest, EmpiricalMatchesPmf) {
+  const double alpha = GetParam();
+  constexpr std::uint64_t kN = 200;
+  constexpr int kDraws = 400000;
+  ZipfSampler zipf(kN, alpha);
+  Rng rng(1234);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    const double expected = zipf.pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 1.0)
+        << "alpha=" << alpha << " rank=" << k;
+  }
+  const int total = std::accumulate(counts.begin(), counts.end(), 0);
+  EXPECT_EQ(total, kDraws);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfGoodnessTest,
+                         ::testing::Values(0.5, 0.75, 1.0, 1.5, 2.0));
+
+TEST(ZipfTest, ExponentOneIsHandled) {
+  // s == 1 hits the log1p limit branch in the normalisation math.
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 100u);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < 100; ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, DeterministicGivenRngSeed) {
+  ZipfSampler zipf(1000, 0.8);
+  Rng a(9);
+  Rng b(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,89 @@
+#include "digest/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/random.h"
+
+namespace eacache {
+namespace {
+
+TEST(BloomFilterTest, RejectsBadGeometry) {
+  EXPECT_THROW(BloomFilter(4, 3), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 17), std::invalid_argument);
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1 << 14, 7);
+  for (DocumentId id = 0; id < 1000; ++id) filter.insert(id * 977);
+  for (DocumentId id = 0; id < 1000; ++id) {
+    EXPECT_TRUE(filter.maybe_contains(id * 977)) << id;
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(1024, 4);
+  for (DocumentId id = 0; id < 100; ++id) EXPECT_FALSE(filter.maybe_contains(id));
+  EXPECT_DOUBLE_EQ(filter.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearDesignPoint) {
+  constexpr std::size_t kItems = 5000;
+  constexpr double kTarget = 0.01;
+  BloomFilter filter = BloomFilter::with_false_positive_rate(kItems, kTarget);
+  for (DocumentId id = 0; id < kItems; ++id) filter.insert(id);
+
+  int false_positives = 0;
+  constexpr int kProbes = 100000;
+  for (int i = 0; i < kProbes; ++i) {
+    const DocumentId absent = 1'000'000 + static_cast<DocumentId>(i);
+    if (filter.maybe_contains(absent)) ++false_positives;
+  }
+  const double rate = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(rate, 3.0 * kTarget);
+  // And the analytic estimate should agree with reality.
+  EXPECT_NEAR(filter.estimated_false_positive_rate(), rate, 0.01);
+}
+
+TEST(BloomFilterTest, ClearResets) {
+  BloomFilter filter(1024, 4);
+  filter.insert(42);
+  EXPECT_TRUE(filter.maybe_contains(42));
+  filter.clear();
+  EXPECT_FALSE(filter.maybe_contains(42));
+  EXPECT_DOUBLE_EQ(filter.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilterTest, WireSizeIsBitsOverEight) {
+  EXPECT_EQ(BloomFilter(1024, 4).wire_size(), 128u);
+  EXPECT_EQ(BloomFilter(1000, 4).wire_size(), 125u);
+  EXPECT_EQ(BloomFilter(1001, 4).wire_size(), 126u);
+}
+
+TEST(BloomFilterTest, SizingFormula) {
+  // For p=0.01 the optimum is ~9.59 bits/item and ~6.6 hashes.
+  const BloomFilter filter = BloomFilter::with_false_positive_rate(10000, 0.01);
+  EXPECT_NEAR(static_cast<double>(filter.bit_count()) / 10000.0, 9.59, 0.05);
+  EXPECT_EQ(filter.hash_count(), 7u);
+  EXPECT_THROW((void)BloomFilter::with_false_positive_rate(0, 0.01), std::invalid_argument);
+  EXPECT_THROW((void)BloomFilter::with_false_positive_rate(10, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)BloomFilter::with_false_positive_rate(10, 1.0), std::invalid_argument);
+}
+
+TEST(BloomFilterTest, FillRatioMonotone) {
+  BloomFilter filter(4096, 4);
+  double previous = 0.0;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    filter.insert(rng.next());
+    EXPECT_GE(filter.fill_ratio(), previous);
+    previous = filter.fill_ratio();
+  }
+  EXPECT_GT(previous, 0.0);
+  EXPECT_LE(previous, 1.0);
+}
+
+}  // namespace
+}  // namespace eacache

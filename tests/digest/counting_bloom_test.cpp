@@ -1,0 +1,108 @@
+#include "digest/counting_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/random.h"
+
+namespace eacache {
+namespace {
+
+TEST(CountingBloomTest, InsertRemoveRoundTrip) {
+  CountingBloomFilter filter(1 << 12, 4);
+  filter.insert(7);
+  EXPECT_TRUE(filter.maybe_contains(7));
+  filter.remove(7);
+  EXPECT_FALSE(filter.maybe_contains(7));
+}
+
+TEST(CountingBloomTest, RemoveSupportsChurn) {
+  // The whole point of counting over plain Bloom: a churning directory
+  // stays accurate instead of filling up.
+  CountingBloomFilter filter(1 << 13, 5);
+  Rng rng(4);
+  for (int round = 0; round < 50; ++round) {
+    DocumentId batch[64];
+    for (auto& id : batch) {
+      id = rng.next();
+      filter.insert(id);
+    }
+    for (const auto& id : batch) {
+      EXPECT_TRUE(filter.maybe_contains(id));
+      filter.remove(id);
+    }
+  }
+  // After removing everything, false positives should be rare again.
+  int positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (filter.maybe_contains(rng.next())) ++positives;
+  }
+  EXPECT_LT(positives, 100);
+}
+
+TEST(CountingBloomTest, DoubleRemoveThrows) {
+  CountingBloomFilter filter(1 << 10, 3);
+  filter.insert(5);
+  filter.remove(5);
+  EXPECT_THROW(filter.remove(5), std::logic_error);
+}
+
+TEST(CountingBloomTest, OverlappingInsertsNeedMatchingRemoves) {
+  CountingBloomFilter filter(1 << 10, 3);
+  filter.insert(9);
+  filter.insert(9);
+  filter.remove(9);
+  EXPECT_TRUE(filter.maybe_contains(9));  // one insert remains
+  filter.remove(9);
+  EXPECT_FALSE(filter.maybe_contains(9));
+}
+
+TEST(CountingBloomTest, SaturatedCountersPin) {
+  CountingBloomFilter filter(1 << 10, 1);
+  // 16 inserts of the same id: counter saturates at 15 on the 16th.
+  for (int i = 0; i < 16; ++i) filter.insert(777);
+  EXPECT_EQ(filter.saturations(), 1u);
+  // Removals never take a saturated cell below 15: still "contained" after
+  // any number of removes.
+  for (int i = 0; i < 40; ++i) filter.remove(777);
+  EXPECT_TRUE(filter.maybe_contains(777));
+}
+
+TEST(CountingBloomTest, SnapshotMatchesMembership) {
+  CountingBloomFilter filter(1 << 12, 4);
+  for (DocumentId id = 0; id < 200; ++id) filter.insert(id * 31);
+  const BloomFilter snapshot = filter.snapshot();
+  for (DocumentId id = 0; id < 200; ++id) {
+    EXPECT_TRUE(snapshot.maybe_contains(id * 31));
+  }
+  EXPECT_EQ(snapshot.bit_count(), filter.cell_count());
+  EXPECT_EQ(snapshot.hash_count(), filter.hash_count());
+}
+
+TEST(CountingBloomTest, SnapshotIsDecoupled) {
+  CountingBloomFilter filter(1 << 10, 3);
+  filter.insert(1);
+  const BloomFilter snapshot = filter.snapshot();
+  filter.remove(1);
+  filter.insert(2);
+  // The snapshot reflects the publish-time state, not later churn.
+  EXPECT_TRUE(snapshot.maybe_contains(1));
+  EXPECT_FALSE(snapshot.maybe_contains(2));
+}
+
+TEST(CountingBloomTest, RejectsBadGeometry) {
+  EXPECT_THROW(CountingBloomFilter(4, 3), std::invalid_argument);
+  EXPECT_THROW(CountingBloomFilter(100, 0), std::invalid_argument);
+}
+
+TEST(CountingBloomTest, SizedLikeBloom) {
+  const CountingBloomFilter filter =
+      CountingBloomFilter::with_false_positive_rate(10000, 0.01);
+  const BloomFilter reference = BloomFilter::with_false_positive_rate(10000, 0.01);
+  EXPECT_EQ(filter.cell_count(), reference.bit_count());
+  EXPECT_EQ(filter.hash_count(), reference.hash_count());
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,90 @@
+#include "digest/digest_directory.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/cache_store.h"
+#include "storage/lru_policy.h"
+
+namespace eacache {
+namespace {
+
+DigestConfig small_config() {
+  DigestConfig config;
+  config.expected_items = 512;
+  config.false_positive_rate = 0.01;
+  config.refresh_period = minutes(5);
+  return config;
+}
+
+TEST(LocalDigestTest, TracksAdmissions) {
+  LocalDigest digest(small_config());
+  digest.note_admission(42);
+  EXPECT_TRUE(digest.publish().maybe_contains(42));
+  EXPECT_FALSE(digest.publish().maybe_contains(43));
+}
+
+TEST(LocalDigestTest, MirrorsCacheStoreViaObserver) {
+  CacheStore store(300, std::make_unique<LruPolicy>());
+  LocalDigest digest(small_config());
+  store.add_eviction_observer(&digest);
+
+  const TimePoint t0 = kSimEpoch;
+  store.admit({1, 100}, t0);
+  digest.note_admission(1);
+  store.admit({2, 100}, t0);
+  digest.note_admission(2);
+  store.admit({3, 100}, t0);
+  digest.note_admission(3);
+  // Admitting 4 evicts 1 (LRU); the digest hears it through the observer.
+  store.admit({4, 100}, t0 + sec(1));
+  digest.note_admission(4);
+
+  const BloomFilter snapshot = digest.publish();
+  EXPECT_FALSE(snapshot.maybe_contains(1));
+  EXPECT_TRUE(snapshot.maybe_contains(2));
+  EXPECT_TRUE(snapshot.maybe_contains(3));
+  EXPECT_TRUE(snapshot.maybe_contains(4));
+}
+
+TEST(PeerDirectoryTest, CandidatesFromSnapshots) {
+  PeerDigestDirectory directory(small_config());
+  LocalDigest a(small_config());
+  LocalDigest b(small_config());
+  a.note_admission(100);
+  b.note_admission(100);
+  b.note_admission(200);
+
+  directory.update(0, a.publish(), kSimEpoch);
+  directory.update(1, b.publish(), kSimEpoch);
+
+  EXPECT_EQ(directory.candidates(100), (std::vector<ProxyId>{0, 1}));
+  EXPECT_EQ(directory.candidates(200), (std::vector<ProxyId>{1}));
+  EXPECT_TRUE(directory.candidates(999).empty());
+}
+
+TEST(PeerDirectoryTest, UpdateReplacesSnapshot) {
+  PeerDigestDirectory directory(small_config());
+  LocalDigest digest(small_config());
+  digest.note_admission(5);
+  directory.update(0, digest.publish(), kSimEpoch);
+  EXPECT_EQ(directory.candidates(5), (std::vector<ProxyId>{0}));
+
+  // New snapshot without the document: stale claim disappears.
+  LocalDigest empty(small_config());
+  directory.update(0, empty.publish(), kSimEpoch + minutes(5));
+  EXPECT_TRUE(directory.candidates(5).empty());
+  EXPECT_EQ(directory.published_at(0), kSimEpoch + minutes(5));
+}
+
+TEST(PeerDirectoryTest, SnapshotBookkeeping) {
+  PeerDigestDirectory directory(small_config());
+  EXPECT_FALSE(directory.has_snapshot(3));
+  EXPECT_FALSE(directory.published_at(3).has_value());
+  LocalDigest digest(small_config());
+  directory.update(3, digest.publish(), kSimEpoch + sec(9));
+  EXPECT_TRUE(directory.has_snapshot(3));
+  EXPECT_EQ(directory.published_at(3), kSimEpoch + sec(9));
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,179 @@
+// Group-level behaviour of the Summary-Cache digest discovery mode.
+#include <gtest/gtest.h>
+
+#include "group/cache_group.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint at(std::int64_t s) { return kSimEpoch + sec(s); }
+
+GroupConfig digest_group(PlacementKind placement = PlacementKind::kEa) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 64 * kKiB;
+  config.placement = placement;
+  config.discovery = DiscoveryMode::kDigest;
+  config.digest.expected_items = 256;
+  config.digest.refresh_period = minutes(5);
+  return config;
+}
+
+Request req(std::int64_t t_s, UserId user, DocumentId doc, Bytes size = 512) {
+  return Request{at(t_s), user, doc, size};
+}
+
+UserId user_on(const CacheGroup& group, ProxyId proxy) {
+  for (UserId u = 0; u < 10000; ++u) {
+    if (group.home_proxy(u) == proxy) return u;
+  }
+  throw std::runtime_error("no user maps to proxy");
+}
+
+TEST(DigestDiscoveryTest, NoIcpTrafficEver) {
+  CacheGroup group(digest_group());
+  const UserId u = user_on(group, 0);
+  for (int i = 0; i < 50; ++i) {
+    group.serve(req(i + 1, u, static_cast<DocumentId>(i % 10)));
+  }
+  EXPECT_EQ(group.transport_stats().icp_queries, 0u);
+  EXPECT_EQ(group.transport_stats().icp_replies, 0u);
+  EXPECT_GT(group.transport_stats().digest_publications, 0u);
+  EXPECT_GT(group.transport_stats().digest_bytes, 0u);
+}
+
+TEST(DigestDiscoveryTest, InitialPublicationIsOnePerPeerPair) {
+  CacheGroup group(digest_group());
+  const UserId u = user_on(group, 0);
+  group.serve(req(1, u, 1));
+  // 4 proxies broadcast to 3 peers each on first contact.
+  EXPECT_EQ(group.transport_stats().digest_publications, 12u);
+}
+
+TEST(DigestDiscoveryTest, RepublishesAfterRefreshPeriod) {
+  CacheGroup group(digest_group());
+  const UserId u = user_on(group, 0);
+  group.serve(req(1, u, 1));
+  const auto first = group.transport_stats().digest_publications;
+  group.serve(req(2, u, 2));  // within the period: no new publications
+  EXPECT_EQ(group.transport_stats().digest_publications, first);
+  group.serve(req(600, u, 3));  // 10 minutes later: everyone republishes
+  EXPECT_EQ(group.transport_stats().digest_publications, first + 12);
+}
+
+TEST(DigestDiscoveryTest, FreshSnapshotEnablesRemoteHit) {
+  CacheGroup group(digest_group(PlacementKind::kAdHoc));
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+  group.serve(req(1, u0, 42));  // miss; cached at proxy 0, NOT yet in any snapshot
+  // After the refresh period the snapshot includes doc 42:
+  const RequestOutcome outcome = group.serve(req(601, u1, 42));
+  EXPECT_EQ(outcome, RequestOutcome::kRemoteHit);
+  EXPECT_EQ(group.transport_stats().failed_probes, 0u);
+}
+
+TEST(DigestDiscoveryTest, StaleSnapshotMissesRecentAdmissions) {
+  // A document admitted right after a publish is invisible to peers until
+  // the next refresh: the request goes to the origin even though a copy
+  // exists in the group (the false-negative cost of Summary Cache).
+  CacheGroup group(digest_group(PlacementKind::kAdHoc));
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+  group.serve(req(1, u0, 42));  // snapshots were published at t=1 BEFORE this miss
+  const RequestOutcome outcome = group.serve(req(2, u1, 42));
+  EXPECT_EQ(outcome, RequestOutcome::kMiss);
+  EXPECT_TRUE(group.proxy(0).store().contains(42));
+}
+
+TEST(DigestDiscoveryTest, StaleSnapshotCausesFailedProbe) {
+  // Proxy 0 caches doc 42, publishes, then evicts it; a peer probing on the
+  // stale snapshot gets a found=false response and falls back to origin.
+  GroupConfig config = digest_group(PlacementKind::kAdHoc);
+  config.aggregate_capacity = 8 * kKiB;  // 2KiB per proxy: 4 x 512B docs
+  CacheGroup group(config);
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+
+  group.serve(req(1, u0, 42));
+  group.serve(req(601, u0, 1000));  // triggers republish including doc 42
+  // Churn proxy 0 so doc 42 is evicted (4 new docs push everything out).
+  for (int i = 0; i < 6; ++i) {
+    group.serve(req(602 + i, u0, 2000 + static_cast<DocumentId>(i)));
+  }
+  ASSERT_FALSE(group.proxy(0).store().contains(42));
+
+  const auto probes_before = group.transport_stats().failed_probes;
+  const RequestOutcome outcome = group.serve(req(650, u1, 42));
+  EXPECT_EQ(outcome, RequestOutcome::kMiss);
+  EXPECT_GT(group.transport_stats().failed_probes, probes_before);
+}
+
+TEST(DigestDiscoveryTest, FailedProbesAddLatency) {
+  GroupConfig config = digest_group(PlacementKind::kAdHoc);
+  config.aggregate_capacity = 8 * kKiB;
+  config.latency.failed_probe = msec(200);
+  CacheGroup group(config);
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+
+  group.serve(req(1, u0, 42));
+  group.serve(req(601, u0, 1000));  // republish
+  for (int i = 0; i < 6; ++i) {
+    group.serve(req(602 + i, u0, 2000 + static_cast<DocumentId>(i)));
+  }
+  const Duration sum_before = group.metrics().total_latency();
+  group.serve(req(650, u1, 42));  // failed probe(s) then origin fetch
+  const Duration last = group.metrics().total_latency() - sum_before;
+  EXPECT_GE(last, config.latency.miss + config.latency.failed_probe);
+}
+
+TEST(DigestDiscoveryTest, EndToEndBothSchemes) {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 10000;
+  workload.num_documents = 1000;
+  workload.num_users = 32;
+  workload.span = hours(4);
+  const Trace trace = generate_synthetic_trace(workload);
+
+  for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
+    GroupConfig config = digest_group(placement);
+    config.aggregate_capacity = 512 * kKiB;
+    config.digest.expected_items = 1024;
+    const SimulationResult result = run_simulation(trace, config);
+    EXPECT_EQ(result.metrics.total_requests(), trace.size());
+    EXPECT_GT(result.metrics.hit_rate(), 0.0);
+    EXPECT_EQ(result.transport.icp_queries, 0u);
+    EXPECT_GT(result.transport.digest_publications, 0u);
+  }
+}
+
+TEST(DigestDiscoveryTest, DigestTradesMessagesForHitRate) {
+  // The Summary-Cache promise: far fewer inter-proxy messages than ICP at a
+  // modest hit-rate cost (stale snapshots miss some remote hits).
+  SyntheticTraceConfig workload;
+  workload.num_requests = 20000;
+  workload.num_documents = 2000;
+  workload.num_users = 32;
+  workload.span = hours(4);
+  const Trace trace = generate_synthetic_trace(workload);
+
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  config.placement = PlacementKind::kEa;
+  config.digest.expected_items = 2048;
+
+  config.discovery = DiscoveryMode::kIcp;
+  const SimulationResult icp = run_simulation(trace, config);
+  config.discovery = DiscoveryMode::kDigest;
+  const SimulationResult digest = run_simulation(trace, config);
+
+  EXPECT_LT(digest.transport.total_messages(), icp.transport.total_messages() / 2);
+  EXPECT_LE(digest.metrics.hit_rate(), icp.metrics.hit_rate() + 1e-9);
+  EXPECT_GT(digest.metrics.hit_rate(), icp.metrics.hit_rate() - 0.15);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,115 @@
+#include "ea/contention.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+EvictionRecord victim(std::int64_t last_hit_s, std::int64_t evict_s,
+                      EvictionCause cause = EvictionCause::kCapacity) {
+  EvictionRecord r;
+  r.id = 1;
+  r.size = 100;
+  r.entry_time = kSimEpoch;
+  r.last_hit_time = kSimEpoch + sec(last_hit_s);
+  r.hit_count = 1;
+  r.evict_time = kSimEpoch + sec(evict_s);
+  r.cause = cause;
+  return r;
+}
+
+constexpr TimePoint at(std::int64_t s) { return kSimEpoch + sec(s); }
+
+TEST(ContentionTest, ColdCacheIsInfinite) {
+  ContentionEstimator est(AgeForm::kLru, WindowConfig::cumulative());
+  EXPECT_TRUE(est.cache_expiration_age(at(100)).is_infinite());
+  EXPECT_TRUE(est.lifetime_average().is_infinite());
+  EXPECT_EQ(est.victims_observed(), 0u);
+}
+
+TEST(ContentionTest, CumulativeIsPlainMean) {
+  ContentionEstimator est(AgeForm::kLru, WindowConfig::cumulative());
+  est.on_eviction(victim(0, 10));   // age 10s
+  est.on_eviction(victim(0, 30));   // age 30s
+  est.on_eviction(victim(10, 30));  // age 20s
+  EXPECT_DOUBLE_EQ(est.cache_expiration_age(at(100)).seconds(), 20.0);
+  EXPECT_DOUBLE_EQ(est.lifetime_average().seconds(), 20.0);
+  EXPECT_EQ(est.victims_observed(), 3u);
+}
+
+TEST(ContentionTest, ExplicitRemovalsIgnored) {
+  ContentionEstimator est(AgeForm::kLru, WindowConfig::cumulative());
+  est.on_eviction(victim(0, 10));
+  est.on_eviction(victim(0, 1000, EvictionCause::kExplicit));
+  EXPECT_DOUBLE_EQ(est.cache_expiration_age(at(2000)).seconds(), 10.0);
+  EXPECT_EQ(est.victims_observed(), 1u);
+}
+
+TEST(ContentionTest, VictimWindowSlides) {
+  ContentionEstimator est(AgeForm::kLru, WindowConfig::victims(2));
+  est.on_eviction(victim(0, 100));  // 100s -- will slide out
+  est.on_eviction(victim(0, 10));   // 10s
+  est.on_eviction(victim(0, 20));   // 20s
+  EXPECT_DOUBLE_EQ(est.cache_expiration_age(at(999)).seconds(), 15.0);
+  // Lifetime average still sees everything.
+  EXPECT_NEAR(est.lifetime_average().seconds(), (100.0 + 10.0 + 20.0) / 3.0, 1e-9);
+}
+
+TEST(ContentionTest, VictimWindowPartiallyFilled) {
+  ContentionEstimator est(AgeForm::kLru, WindowConfig::victims(10));
+  est.on_eviction(victim(0, 30));
+  EXPECT_DOUBLE_EQ(est.cache_expiration_age(at(999)).seconds(), 30.0);
+}
+
+TEST(ContentionTest, TimeWindowForgetsOldVictims) {
+  ContentionEstimator est(AgeForm::kLru, WindowConfig::time(sec(100)));
+  est.on_eviction(victim(0, 50));    // age 50s, evicted at t=50
+  est.on_eviction(victim(100, 120)); // age 20s, evicted at t=120
+  // At t=130, both are within 100s.
+  EXPECT_DOUBLE_EQ(est.cache_expiration_age(at(130)).seconds(), 35.0);
+  // At t=200, the t=50 eviction is outside the window.
+  EXPECT_DOUBLE_EQ(est.cache_expiration_age(at(200)).seconds(), 20.0);
+  // Far in the future, the window is empty -> infinite again.
+  EXPECT_TRUE(est.cache_expiration_age(at(100000)).is_infinite());
+}
+
+TEST(ContentionTest, TimeWindowIsIdempotentOnRead) {
+  ContentionEstimator est(AgeForm::kLru, WindowConfig::time(sec(100)));
+  est.on_eviction(victim(0, 50));
+  const ExpAge first = est.cache_expiration_age(at(60));
+  const ExpAge second = est.cache_expiration_age(at(60));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ContentionTest, LfuFormUsesLfuFormula) {
+  ContentionEstimator est(AgeForm::kLfu, WindowConfig::cumulative());
+  EvictionRecord r = victim(0, 100);
+  r.hit_count = 4;  // LFU age = 100s / 4 = 25s
+  est.on_eviction(r);
+  EXPECT_DOUBLE_EQ(est.cache_expiration_age(at(200)).seconds(), 25.0);
+}
+
+TEST(ContentionTest, HighContentionMeansLowAge) {
+  // Two caches, same age form: the one whose victims die sooner after
+  // their last hit reports a LOWER expiration age.
+  ContentionEstimator contended(AgeForm::kLru, WindowConfig::cumulative());
+  ContentionEstimator relaxed(AgeForm::kLru, WindowConfig::cumulative());
+  for (int i = 0; i < 10; ++i) {
+    contended.on_eviction(victim(0, 5));    // victims die 5s after last hit
+    relaxed.on_eviction(victim(0, 500));    // victims live 500s
+  }
+  EXPECT_LT(contended.cache_expiration_age(at(1000)),
+            relaxed.cache_expiration_age(at(1000)));
+}
+
+TEST(ContentionTest, BadWindowConfigsThrow) {
+  EXPECT_THROW(ContentionEstimator(AgeForm::kLru, WindowConfig::victims(0)),
+               std::invalid_argument);
+  EXPECT_THROW(ContentionEstimator(AgeForm::kLru, WindowConfig::time(Duration::zero())),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacache

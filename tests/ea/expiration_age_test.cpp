@@ -1,0 +1,91 @@
+#include "ea/expiration_age.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+EvictionRecord record(std::int64_t entry_s, std::int64_t last_hit_s, std::uint64_t hits,
+                      std::int64_t evict_s) {
+  EvictionRecord r;
+  r.id = 1;
+  r.size = 100;
+  r.entry_time = kSimEpoch + sec(entry_s);
+  r.last_hit_time = kSimEpoch + sec(last_hit_s);
+  r.hit_count = hits;
+  r.evict_time = kSimEpoch + sec(evict_s);
+  return r;
+}
+
+TEST(ExpAgeTest, OrderingAndInfinity) {
+  const ExpAge small = ExpAge::from_millis(100);
+  const ExpAge big = ExpAge::from_millis(5000);
+  const ExpAge inf = ExpAge::infinite();
+  EXPECT_LT(small, big);
+  EXPECT_LT(big, inf);
+  EXPECT_EQ(inf, ExpAge::infinite());
+  EXPECT_TRUE(inf.is_infinite());
+  EXPECT_FALSE(big.is_infinite());
+  EXPECT_GE(inf, inf);   // the cold-start tie the placement rule relies on
+  EXPECT_FALSE(inf > inf);
+}
+
+TEST(ExpAgeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ExpAge::from_millis(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(ExpAge::from_duration(sec(2)).millis(), 2000.0);
+  EXPECT_EQ(ExpAge::from_millis(2500).to_string(), "2.5s");
+  EXPECT_EQ(ExpAge::infinite().to_string(), "inf");
+}
+
+TEST(DocExpAgeLruTest, PaperEquation2) {
+  // DocExpAge_LRU = T1 - T0: eviction time minus last hit time.
+  const ExpAge age = doc_exp_age_lru(record(0, 40, 3, 100));
+  EXPECT_DOUBLE_EQ(age.seconds(), 60.0);
+}
+
+TEST(DocExpAgeLruTest, NeverHitUsesEntryTime) {
+  // A document never hit after admission has last_hit_time == entry_time.
+  const ExpAge age = doc_exp_age_lru(record(10, 10, 1, 25));
+  EXPECT_DOUBLE_EQ(age.seconds(), 15.0);
+}
+
+TEST(DocExpAgeLruTest, RejectsTimeTravel) {
+  EXPECT_THROW((void)doc_exp_age_lru(record(0, 50, 1, 40)), std::invalid_argument);
+}
+
+TEST(DocExpAgeLfuTest, PaperSection322Formula) {
+  // DocExpAge_LFU = (TR - T0) / HIT_COUNTER.
+  const ExpAge age = doc_exp_age_lfu(record(0, 80, 4, 100));
+  EXPECT_DOUBLE_EQ(age.seconds(), 25.0);
+}
+
+TEST(DocExpAgeLfuTest, SingleHitIsFullLifetime) {
+  const ExpAge age = doc_exp_age_lfu(record(20, 20, 1, 50));
+  EXPECT_DOUBLE_EQ(age.seconds(), 30.0);
+}
+
+TEST(DocExpAgeLfuTest, RejectsBadRecords) {
+  EXPECT_THROW((void)doc_exp_age_lfu(record(100, 100, 1, 50)), std::invalid_argument);
+  EXPECT_THROW((void)doc_exp_age_lfu(record(0, 0, 0, 50)), std::invalid_argument);
+}
+
+TEST(DocExpAgeTest, DispatchMatchesForms) {
+  const EvictionRecord r = record(0, 60, 2, 100);
+  EXPECT_EQ(doc_exp_age(AgeForm::kLru, r), doc_exp_age_lru(r));
+  EXPECT_EQ(doc_exp_age(AgeForm::kLfu, r), doc_exp_age_lfu(r));
+  EXPECT_DOUBLE_EQ(doc_exp_age(AgeForm::kLru, r).seconds(), 40.0);
+  EXPECT_DOUBLE_EQ(doc_exp_age(AgeForm::kLfu, r).seconds(), 50.0);
+}
+
+TEST(AgeFormTest, PolicyMapping) {
+  EXPECT_EQ(age_form_for_policy("lru"), AgeForm::kLru);
+  EXPECT_EQ(age_form_for_policy("lfu"), AgeForm::kLfu);
+  EXPECT_EQ(age_form_for_policy("lfu-aging"), AgeForm::kLfu);
+  EXPECT_EQ(age_form_for_policy("size"), AgeForm::kLru);
+  EXPECT_EQ(age_form_for_policy("gds"), AgeForm::kLru);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ea/placement.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+const ExpAge kLow = ExpAge::from_millis(1000);
+const ExpAge kMid = ExpAge::from_millis(1500);
+const ExpAge kHigh = ExpAge::from_millis(4000);
+const ExpAge kInf = ExpAge::infinite();
+
+TEST(EaHysteresisTest, FactorBelowOneRejected) {
+  EXPECT_THROW(EaHysteresisPlacement{0.5}, std::invalid_argument);
+  EXPECT_THROW(EaHysteresisPlacement{0.0}, std::invalid_argument);
+}
+
+TEST(EaHysteresisTest, FactorOneMatchesPlainEaOnFiniteAges) {
+  const EaHysteresisPlacement hysteresis(1.0);
+  const EaPlacement plain;
+  for (const ExpAge requester : {kLow, kMid, kHigh, kInf}) {
+    for (const ExpAge responder : {kLow, kMid, kHigh, kInf}) {
+      EXPECT_EQ(hysteresis.requester_should_cache(requester, responder),
+                plain.requester_should_cache(requester, responder))
+          << requester.to_string() << " vs " << responder.to_string();
+      EXPECT_EQ(hysteresis.responder_should_promote(responder, requester),
+                plain.responder_should_promote(responder, requester));
+    }
+  }
+}
+
+TEST(EaHysteresisTest, MarginalWinsNoLongerReplicate) {
+  const EaHysteresisPlacement hysteresis(2.0);
+  // 1500 >= 1000 would replicate under plain EA, but 1500 < 2 * 1000.
+  EXPECT_TRUE(EaPlacement{}.requester_should_cache(kMid, kLow));
+  EXPECT_FALSE(hysteresis.requester_should_cache(kMid, kLow));
+  // A 4x advantage still replicates.
+  EXPECT_TRUE(hysteresis.requester_should_cache(kHigh, kLow));
+}
+
+TEST(EaHysteresisTest, ExactlyOneSideKeepsTheLease) {
+  const EaHysteresisPlacement hysteresis(3.0);
+  for (const ExpAge requester : {kLow, kMid, kHigh, kInf}) {
+    for (const ExpAge responder : {kLow, kMid, kHigh, kInf}) {
+      const bool cache = hysteresis.requester_should_cache(requester, responder);
+      const bool promote = hysteresis.responder_should_promote(responder, requester);
+      EXPECT_NE(cache, promote) << "exactly one side must preserve the copy";
+      EXPECT_TRUE(hysteresis.parent_should_cache(responder, requester) ||
+                  hysteresis.requester_should_cache(requester, responder));
+    }
+  }
+}
+
+TEST(EaHysteresisTest, ColdGroupBehavesLikeAdHoc) {
+  const EaHysteresisPlacement hysteresis(5.0);
+  EXPECT_TRUE(hysteresis.requester_should_cache(kInf, kInf));
+  EXPECT_FALSE(hysteresis.responder_should_promote(kInf, kInf));
+}
+
+TEST(EaHysteresisTest, FactoryAndNames) {
+  const auto placement = make_placement(PlacementKind::kEaHysteresis, 4.0);
+  EXPECT_EQ(placement->name(), "ea-hysteresis");
+  EXPECT_EQ(placement->kind(), PlacementKind::kEaHysteresis);
+  EXPECT_EQ(placement_kind_from_string("ea-hysteresis"), PlacementKind::kEaHysteresis);
+  EXPECT_EQ(to_string(PlacementKind::kEaHysteresis), "ea-hysteresis");
+}
+
+TEST(EaHysteresisTest, HigherFactorMeansFewerReplicas) {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 25000;
+  workload.num_documents = 2500;
+  workload.num_users = 64;
+  workload.span = hours(6);
+  const Trace trace = generate_synthetic_trace(workload);
+
+  const auto replication_for = [&](PlacementKind kind, double factor) {
+    GroupConfig config;
+    config.num_proxies = 4;
+    config.aggregate_capacity = 512 * kKiB;
+    config.placement = kind;
+    config.ea_hysteresis = factor;
+    return run_simulation(trace, config).replication_factor;
+  };
+  const double adhoc = replication_for(PlacementKind::kAdHoc, 1.0);
+  const double plain_ea = replication_for(PlacementKind::kEa, 1.0);
+  const double strong = replication_for(PlacementKind::kEaHysteresis, 8.0);
+  EXPECT_LE(plain_ea, adhoc + 1e-9);
+  EXPECT_LE(strong, plain_ea + 0.05);
+}
+
+}  // namespace
+}  // namespace eacache

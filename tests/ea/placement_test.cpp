@@ -1,0 +1,101 @@
+#include "ea/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+const ExpAge kLow = ExpAge::from_millis(1000);
+const ExpAge kHigh = ExpAge::from_millis(9000);
+const ExpAge kInf = ExpAge::infinite();
+
+TEST(AdHocPlacementTest, AlwaysCachesAndPromotes) {
+  AdHocPlacement adhoc;
+  EXPECT_TRUE(adhoc.requester_should_cache(kLow, kHigh));
+  EXPECT_TRUE(adhoc.requester_should_cache(kHigh, kLow));
+  EXPECT_TRUE(adhoc.responder_should_promote(kLow, kHigh));
+  EXPECT_TRUE(adhoc.parent_should_cache(kLow, kHigh));
+  EXPECT_TRUE(adhoc.requester_should_cache_after_origin_fetch());
+  EXPECT_EQ(adhoc.kind(), PlacementKind::kAdHoc);
+}
+
+TEST(EaPlacementTest, RequesterCachesOnlyWhenItsCopyWouldSurviveLonger) {
+  EaPlacement ea;
+  // Higher expiration age = lower contention = longer expected survival.
+  EXPECT_TRUE(ea.requester_should_cache(kHigh, kLow));
+  EXPECT_FALSE(ea.requester_should_cache(kLow, kHigh));
+}
+
+TEST(EaPlacementTest, RequesterCachesOnTie) {
+  // Paper section 3.4: "greater than or equal". Ensures a copy is made when
+  // survival chances are equal, preserving the never-worse-than-ad-hoc
+  // guarantee.
+  EaPlacement ea;
+  EXPECT_TRUE(ea.requester_should_cache(kLow, kLow));
+  EXPECT_TRUE(ea.requester_should_cache(kInf, kInf));  // cold group
+}
+
+TEST(EaPlacementTest, ResponderPromotesOnlyOnStrictWin) {
+  EaPlacement ea;
+  EXPECT_TRUE(ea.responder_should_promote(kHigh, kLow));
+  EXPECT_FALSE(ea.responder_should_promote(kLow, kHigh));
+  // On tie the requester made a copy, so the responder must NOT give its
+  // copy a fresh lease of life — otherwise both copies persist.
+  EXPECT_FALSE(ea.responder_should_promote(kLow, kLow));
+  EXPECT_FALSE(ea.responder_should_promote(kInf, kInf));
+}
+
+TEST(EaPlacementTest, ExactlyOneSideKeepsTheLease) {
+  // For ANY pair of ages, requester-caches XOR responder-promotes... is not
+  // quite the invariant; rather: at least one of them preserves a
+  // long-lived copy, and on ties only the requester does.
+  EaPlacement ea;
+  for (const ExpAge requester : {kLow, kHigh, kInf}) {
+    for (const ExpAge responder : {kLow, kHigh, kInf}) {
+      const bool requester_caches = ea.requester_should_cache(requester, responder);
+      const bool responder_promotes = ea.responder_should_promote(responder, requester);
+      EXPECT_TRUE(requester_caches || responder_promotes)
+          << "nobody preserved the document";
+      EXPECT_FALSE(requester_caches && responder_promotes)
+          << "both sides preserved it: uncontrolled replication";
+    }
+  }
+}
+
+TEST(EaPlacementTest, ParentCachesOnlyOnStrictWin) {
+  EaPlacement ea;
+  EXPECT_TRUE(ea.parent_should_cache(kHigh, kLow));
+  EXPECT_FALSE(ea.parent_should_cache(kLow, kHigh));
+  EXPECT_FALSE(ea.parent_should_cache(kLow, kLow));
+}
+
+TEST(EaPlacementTest, HierarchicalMissAlwaysLeavesACopySomewhere) {
+  // parent_should_cache OR requester_should_cache must hold for any ages,
+  // else a freshly origin-fetched document would be dropped by everyone.
+  EaPlacement ea;
+  for (const ExpAge parent : {kLow, kHigh, kInf}) {
+    for (const ExpAge requester : {kLow, kHigh, kInf}) {
+      EXPECT_TRUE(ea.parent_should_cache(parent, requester) ||
+                  ea.requester_should_cache(requester, parent));
+    }
+  }
+}
+
+TEST(EaPlacementTest, OriginFetchAlwaysCached) {
+  EXPECT_TRUE(EaPlacement{}.requester_should_cache_after_origin_fetch());
+}
+
+TEST(PlacementFactoryTest, RoundTrip) {
+  EXPECT_EQ(placement_kind_from_string("ea"), PlacementKind::kEa);
+  EXPECT_EQ(placement_kind_from_string("ad-hoc"), PlacementKind::kAdHoc);
+  EXPECT_EQ(placement_kind_from_string("adhoc"), PlacementKind::kAdHoc);
+  EXPECT_THROW((void)placement_kind_from_string("magic"), std::invalid_argument);
+  EXPECT_EQ(make_placement(PlacementKind::kEa)->name(), "ea");
+  EXPECT_EQ(make_placement(PlacementKind::kAdHoc)->name(), "ad-hoc");
+  EXPECT_EQ(to_string(PlacementKind::kEa), "ea");
+}
+
+}  // namespace
+}  // namespace eacache

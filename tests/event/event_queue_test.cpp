@@ -1,0 +1,147 @@
+#include "event/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace eacache {
+namespace {
+
+TEST(EventQueueTest, StartsAtEpochEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), kSimEpoch);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(kSimEpoch + sec(3), [&](TimePoint) { order.push_back(3); });
+  q.schedule_at(kSimEpoch + sec(1), [&](TimePoint) { order.push_back(1); });
+  q.schedule_at(kSimEpoch + sec(2), [&](TimePoint) { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const TimePoint t = kSimEpoch + sec(1);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(t, [&order, i](TimePoint) { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NowAdvancesToFiringTime) {
+  EventQueue q;
+  TimePoint seen{};
+  q.schedule_at(kSimEpoch + msec(1500), [&](TimePoint t) { seen = t; });
+  q.run();
+  EXPECT_EQ(seen, kSimEpoch + msec(1500));
+  EXPECT_EQ(q.now(), kSimEpoch + msec(1500));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  std::vector<Duration> at;
+  q.schedule_at(kSimEpoch + sec(1), [&](TimePoint) {
+    q.schedule_after(sec(2), [&](TimePoint t) { at.push_back(t - kSimEpoch); });
+  });
+  q.run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], sec(3));
+}
+
+TEST(EventQueueTest, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(kSimEpoch + sec(5), [](TimePoint) {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(kSimEpoch + sec(1), [](TimePoint) {}), std::logic_error);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(kSimEpoch + sec(1), [&](TimePoint) { fired.push_back(1); });
+  q.schedule_at(kSimEpoch + sec(5), [&](TimePoint) { fired.push_back(5); });
+  EXPECT_EQ(q.run_until(kSimEpoch + sec(3)), 1u);
+  EXPECT_EQ(fired, std::vector<int>{1});
+  EXPECT_EQ(q.now(), kSimEpoch + sec(3));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeOnEmptyQueue) {
+  EventQueue q;
+  q.run_until(kSimEpoch + sec(10));
+  EXPECT_EQ(q.now(), kSimEpoch + sec(10));
+}
+
+TEST(EventQueueTest, RunUntilInclusiveOfDeadline) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(kSimEpoch + sec(2), [&](TimePoint) { fired = true; });
+  q.run_until(kSimEpoch + sec(2));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, StepExecutesOne) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(kSimEpoch + sec(1), [&](TimePoint) { ++count; });
+  q.schedule_at(kSimEpoch + sec(2), [&](TimePoint) { ++count; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  EventFn recurse = [&](TimePoint) {
+    if (++depth < 5) {
+      q.schedule_after(sec(1), [&](TimePoint t) {
+        (void)t;
+        ++depth;
+      });
+    }
+  };
+  q.schedule_at(kSimEpoch + sec(1), recurse);
+  q.run();
+  EXPECT_EQ(depth, 2);  // one recursion level scheduled, then executed
+}
+
+TEST(PeriodicEventTest, FiresEveryPeriodUntilDeadline) {
+  EventQueue q;
+  std::vector<Duration> fires;
+  PeriodicEvent::start(q, kSimEpoch + sec(1), sec(2),
+                       [&](TimePoint t) { fires.push_back(t - kSimEpoch); });
+  q.run_until(kSimEpoch + sec(10));
+  ASSERT_EQ(fires.size(), 5u);  // t=1,3,5,7,9
+  EXPECT_EQ(fires.front(), sec(1));
+  EXPECT_EQ(fires.back(), sec(9));
+}
+
+TEST(PeriodicEventTest, RejectsNonPositivePeriod) {
+  EventQueue q;
+  EXPECT_THROW(PeriodicEvent::start(q, kSimEpoch, Duration::zero(), [](TimePoint) {}),
+               std::logic_error);
+}
+
+TEST(PeriodicEventTest, InterleavesWithOtherEvents) {
+  EventQueue q;
+  std::vector<std::string> log;
+  PeriodicEvent::start(q, kSimEpoch + sec(2), sec(2),
+                       [&](TimePoint) { log.push_back("tick"); });
+  q.schedule_at(kSimEpoch + sec(3), [&](TimePoint) { log.push_back("event"); });
+  q.run_until(kSimEpoch + sec(5));
+  EXPECT_EQ(log, (std::vector<std::string>{"tick", "event", "tick"}));
+}
+
+}  // namespace
+}  // namespace eacache

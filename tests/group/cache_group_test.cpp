@@ -1,0 +1,221 @@
+#include "group/cache_group.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint at(std::int64_t s) { return kSimEpoch + sec(s); }
+
+GroupConfig small_group(PlacementKind placement, std::size_t proxies = 2,
+                        Bytes aggregate = 8 * kKiB) {
+  GroupConfig config;
+  config.num_proxies = proxies;
+  config.aggregate_capacity = aggregate;
+  config.placement = placement;
+  return config;
+}
+
+Request req(std::int64_t t_s, UserId user, DocumentId doc, Bytes size = 512) {
+  return Request{at(t_s), user, doc, size};
+}
+
+// A user pinned to a given proxy, found by probing the stable hash.
+UserId user_on(const CacheGroup& group, ProxyId proxy) {
+  for (UserId u = 0; u < 10000; ++u) {
+    if (group.home_proxy(u) == proxy) return u;
+  }
+  throw std::runtime_error("no user maps to proxy");
+}
+
+TEST(CacheGroupTest, CapacitySplitEquallyAmongCaches) {
+  CacheGroup group(small_group(PlacementKind::kEa, 4, 8 * kKiB));
+  for (ProxyId p = 0; p < 4; ++p) {
+    EXPECT_EQ(group.proxy(p).store().capacity(), 2 * kKiB);
+  }
+}
+
+TEST(CacheGroupTest, HierarchicalRootGetsEqualShare) {
+  GroupConfig config = small_group(PlacementKind::kEa, 4, 10 * kKiB);
+  config.topology = TopologyKind::kHierarchical;
+  CacheGroup group(config);
+  EXPECT_EQ(group.num_proxies(), 5u);
+  for (ProxyId p = 0; p < 5; ++p) {
+    EXPECT_EQ(group.proxy(p).store().capacity(), 2 * kKiB);
+  }
+}
+
+TEST(CacheGroupTest, TooSmallCapacityThrows) {
+  GroupConfig config = small_group(PlacementKind::kEa, 4, 2);
+  EXPECT_THROW(CacheGroup{config}, std::invalid_argument);
+}
+
+TEST(CacheGroupTest, HomeProxyIsStable) {
+  CacheGroup group(small_group(PlacementKind::kEa, 4));
+  for (UserId u = 0; u < 100; ++u) {
+    EXPECT_EQ(group.home_proxy(u), group.home_proxy(u));
+    EXPECT_LT(group.home_proxy(u), 4u);
+  }
+}
+
+TEST(CacheGroupTest, FirstRequestIsMissThenLocalHit) {
+  CacheGroup group(small_group(PlacementKind::kAdHoc));
+  const UserId u = user_on(group, 0);
+  EXPECT_EQ(group.serve(req(0, u, 1)), RequestOutcome::kMiss);
+  EXPECT_EQ(group.serve(req(1, u, 1)), RequestOutcome::kLocalHit);
+  EXPECT_EQ(group.metrics().total_requests(), 2u);
+  EXPECT_EQ(group.metrics().count(RequestOutcome::kMiss), 1u);
+  EXPECT_EQ(group.metrics().count(RequestOutcome::kLocalHit), 1u);
+}
+
+TEST(CacheGroupTest, CrossProxyRequestIsRemoteHit) {
+  CacheGroup group(small_group(PlacementKind::kAdHoc));
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+  EXPECT_EQ(group.serve(req(0, u0, 1)), RequestOutcome::kMiss);
+  EXPECT_EQ(group.serve(req(1, u1, 1)), RequestOutcome::kRemoteHit);
+}
+
+TEST(CacheGroupTest, AdHocReplicatesOnRemoteHit) {
+  CacheGroup group(small_group(PlacementKind::kAdHoc));
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+  group.serve(req(0, u0, 1));
+  group.serve(req(1, u1, 1));
+  // Ad-hoc: both proxies now hold document 1.
+  EXPECT_TRUE(group.proxy(0).store().contains(1));
+  EXPECT_TRUE(group.proxy(1).store().contains(1));
+  EXPECT_EQ(group.total_resident_copies(), 2u);
+  EXPECT_EQ(group.unique_resident_documents(), 1u);
+  EXPECT_DOUBLE_EQ(group.replication_factor(), 2.0);
+}
+
+TEST(CacheGroupTest, ColdEaGroupAlsoReplicates) {
+  // Both caches cold -> infinite ages -> tie -> requester stores, exactly
+  // like ad-hoc (the cold-start guarantee).
+  CacheGroup group(small_group(PlacementKind::kEa));
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+  group.serve(req(0, u0, 1));
+  EXPECT_EQ(group.serve(req(1, u1, 1)), RequestOutcome::kRemoteHit);
+  EXPECT_TRUE(group.proxy(1).store().contains(1));
+}
+
+TEST(CacheGroupTest, EaDeclinesReplicationUnderContention) {
+  // Heat up proxy 1's contention (low expiration age) while proxy 0 stays
+  // cold, then have a proxy-1 user fetch a document resident at proxy 0:
+  // the requester (low EA) must NOT store a copy.
+  CacheGroup group(small_group(PlacementKind::kEa, 2, 4 * kKiB));  // 2KiB each
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+
+  // Proxy 0 caches document 1 at t=0.
+  group.serve(req(0, u0, 1, 512));
+
+  // Proxy 1 churns through one-shot documents, forcing evictions with tiny
+  // lifetimes (high contention -> low, finite expiration age).
+  for (int i = 0; i < 40; ++i) {
+    group.serve(req(1 + i, u1, 1000 + static_cast<DocumentId>(i), 512));
+  }
+  ASSERT_FALSE(group.proxy(1).expiration_age(at(60)).is_infinite());
+
+  // Proxy 0 has evicted nothing: its age is still infinite.
+  ASSERT_TRUE(group.proxy(0).expiration_age(at(60)).is_infinite());
+  ASSERT_TRUE(group.proxy(0).store().contains(1));
+
+  const auto outcome = group.serve(req(60, u1, 1, 512));
+  EXPECT_EQ(outcome, RequestOutcome::kRemoteHit);
+  EXPECT_FALSE(group.proxy(1).store().contains(1))
+      << "EA requester with lower expiration age must not replicate";
+  EXPECT_GE(group.proxy(1).stats().copies_declined, 1u);
+}
+
+TEST(CacheGroupTest, MessageCountsIdenticalAcrossSchemes) {
+  // The paper's no-overhead claim: same trace => same number of ICP and
+  // HTTP messages under both schemes (only piggyback bytes differ).
+  const auto run = [](PlacementKind kind) {
+    CacheGroup group(small_group(kind, 4, 16 * kKiB));
+    UserId users[4];
+    for (ProxyId p = 0; p < 4; ++p) users[p] = user_on(group, p);
+    std::int64_t t = 0;
+    for (int round = 0; round < 30; ++round) {
+      for (ProxyId p = 0; p < 4; ++p) {
+        group.serve(req(++t, users[p], static_cast<DocumentId>(round % 7), 512));
+      }
+    }
+    return group.transport_stats();
+  };
+  const TransportStats adhoc = run(PlacementKind::kAdHoc);
+  const TransportStats ea = run(PlacementKind::kEa);
+  EXPECT_EQ(adhoc.icp_queries, ea.icp_queries);
+  EXPECT_EQ(adhoc.icp_replies, ea.icp_replies);
+  EXPECT_EQ(adhoc.http_requests, ea.http_requests);
+  EXPECT_EQ(adhoc.http_responses, ea.http_responses);
+  EXPECT_EQ(adhoc.piggyback_bytes, 0u);
+  EXPECT_GT(ea.piggyback_bytes, 0u);
+}
+
+TEST(CacheGroupTest, IcpFanOutCountsSiblings) {
+  CacheGroup group(small_group(PlacementKind::kEa, 4, 16 * kKiB));
+  const UserId u = user_on(group, 0);
+  group.serve(req(0, u, 1));  // local miss -> 3 ICP queries + 3 replies
+  EXPECT_EQ(group.transport_stats().icp_queries, 3u);
+  EXPECT_EQ(group.transport_stats().icp_replies, 3u);
+  group.serve(req(1, u, 1));  // local hit -> no new ICP traffic
+  EXPECT_EQ(group.transport_stats().icp_queries, 3u);
+}
+
+TEST(CacheGroupTest, HierarchicalMissGoesThroughParent) {
+  GroupConfig config = small_group(PlacementKind::kEa, 2, 12 * kKiB);
+  config.topology = TopologyKind::kHierarchical;
+  CacheGroup group(config);
+  const UserId u = user_on(group, 0);
+
+  EXPECT_EQ(group.serve(req(0, u, 1, 512)), RequestOutcome::kMiss);
+  // Parent (root, id 2) was cold -> infinite age; requester cold too ->
+  // strict parent rule fails, requester tie rule stores: leaf has it,
+  // root does not.
+  EXPECT_TRUE(group.proxy(0).store().contains(1));
+  EXPECT_FALSE(group.proxy(2).store().contains(1));
+  EXPECT_EQ(group.transport_stats().origin_fetches, 1u);
+  // ICP went to sibling leaf and parent.
+  EXPECT_EQ(group.transport_stats().icp_queries, 2u);
+}
+
+TEST(CacheGroupTest, HierarchicalParentHitIsRemoteHit) {
+  GroupConfig config = small_group(PlacementKind::kAdHoc, 2, 12 * kKiB);
+  config.topology = TopologyKind::kHierarchical;
+  CacheGroup group(config);
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+
+  group.serve(req(0, u0, 1, 512));  // ad-hoc: parent also stores on the way
+  EXPECT_TRUE(group.proxy(2).store().contains(1));
+  EXPECT_EQ(group.serve(req(1, u1, 1, 512)), RequestOutcome::kRemoteHit);
+}
+
+TEST(CacheGroupTest, MetricsLatencyUsesConfiguredModel) {
+  GroupConfig config = small_group(PlacementKind::kAdHoc);
+  config.latency.miss = msec(1000);
+  config.latency.local_hit = msec(10);
+  CacheGroup group(config);
+  const UserId u = user_on(group, 0);
+  group.serve(req(0, u, 1));
+  group.serve(req(1, u, 1));
+  EXPECT_EQ(group.metrics().measured_average_latency(), msec(505));
+}
+
+TEST(CacheGroupTest, AverageExpirationAgeInfiniteWhenNoEvictions) {
+  CacheGroup group(small_group(PlacementKind::kEa));
+  EXPECT_TRUE(group.average_cache_expiration_age().is_infinite());
+}
+
+TEST(CacheGroupTest, ReplicationFactorZeroWhenEmpty) {
+  CacheGroup group(small_group(PlacementKind::kEa));
+  EXPECT_DOUBLE_EQ(group.replication_factor(), 0.0);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,122 @@
+#include "group/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+TEST(HashRingTest, RejectsZeroVirtualNodes) {
+  EXPECT_THROW(HashRing(0), std::invalid_argument);
+}
+
+TEST(HashRingTest, EmptyRingThrows) {
+  HashRing ring;
+  EXPECT_THROW((void)ring.home_of(1), std::logic_error);
+}
+
+TEST(HashRingTest, SingleProxyOwnsEverything) {
+  HashRing ring;
+  ring.add_proxy(3);
+  for (DocumentId d = 0; d < 100; ++d) EXPECT_EQ(ring.home_of(d), 3u);
+}
+
+TEST(HashRingTest, DuplicateAddThrows) {
+  HashRing ring;
+  ring.add_proxy(1);
+  EXPECT_THROW(ring.add_proxy(1), std::logic_error);
+}
+
+TEST(HashRingTest, RemoveAbsentReturnsFalse) {
+  HashRing ring;
+  EXPECT_FALSE(ring.remove_proxy(7));
+  ring.add_proxy(7);
+  EXPECT_TRUE(ring.remove_proxy(7));
+  EXPECT_FALSE(ring.contains(7));
+  EXPECT_EQ(ring.num_proxies(), 0u);
+}
+
+TEST(HashRingTest, HomesAreDeterministic) {
+  HashRing a, b;
+  for (ProxyId p = 0; p < 8; ++p) {
+    a.add_proxy(p);
+    b.add_proxy(p);
+  }
+  for (DocumentId d = 0; d < 1000; ++d) EXPECT_EQ(a.home_of(d), b.home_of(d));
+}
+
+TEST(HashRingTest, LoadIsRoughlyBalanced) {
+  HashRing ring(128);
+  constexpr std::size_t kProxies = 4;
+  for (ProxyId p = 0; p < kProxies; ++p) ring.add_proxy(p);
+  std::map<ProxyId, int> counts;
+  constexpr int kDocs = 40000;
+  for (DocumentId d = 0; d < kDocs; ++d) ++counts[ring.home_of(d)];
+  for (const auto& [proxy, count] : counts) {
+    // Each proxy expects 10000; 128 virtual nodes keep imbalance modest.
+    EXPECT_GT(count, kDocs / kProxies / 2) << "proxy " << proxy;
+    EXPECT_LT(count, kDocs / kProxies * 2) << "proxy " << proxy;
+  }
+}
+
+TEST(HashRingTest, RemovalOnlyRemapsTheRemovedProxysDocuments) {
+  // THE consistent-hashing property: documents homed elsewhere keep their
+  // home when a proxy leaves.
+  HashRing ring;
+  for (ProxyId p = 0; p < 5; ++p) ring.add_proxy(p);
+  std::map<DocumentId, ProxyId> before;
+  for (DocumentId d = 0; d < 5000; ++d) before[d] = ring.home_of(d);
+  ring.remove_proxy(2);
+  for (DocumentId d = 0; d < 5000; ++d) {
+    if (before[d] != 2) {
+      EXPECT_EQ(ring.home_of(d), before[d]) << "doc " << d << " moved needlessly";
+    } else {
+      EXPECT_NE(ring.home_of(d), 2u);
+    }
+  }
+}
+
+TEST(HashRingTest, AdditionOnlyStealsFromOthers) {
+  HashRing ring;
+  for (ProxyId p = 0; p < 4; ++p) ring.add_proxy(p);
+  std::map<DocumentId, ProxyId> before;
+  for (DocumentId d = 0; d < 5000; ++d) before[d] = ring.home_of(d);
+  ring.add_proxy(9);
+  int moved = 0;
+  for (DocumentId d = 0; d < 5000; ++d) {
+    const ProxyId now_home = ring.home_of(d);
+    if (now_home != before[d]) {
+      EXPECT_EQ(now_home, 9u) << "doc " << d << " moved between old proxies";
+      ++moved;
+    }
+  }
+  // The newcomer takes roughly 1/5 of the space.
+  EXPECT_GT(moved, 500);
+  EXPECT_LT(moved, 2000);
+}
+
+TEST(HashRingTest, SuccessorsAreDistinctAndStartAtHome) {
+  HashRing ring;
+  for (ProxyId p = 0; p < 6; ++p) ring.add_proxy(p);
+  for (DocumentId d = 0; d < 200; ++d) {
+    const auto successors = ring.successors_of(d, 3);
+    ASSERT_EQ(successors.size(), 3u);
+    EXPECT_EQ(successors[0], ring.home_of(d));
+    const std::set<ProxyId> unique(successors.begin(), successors.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(HashRingTest, SuccessorsCappedByRingSize) {
+  HashRing ring;
+  ring.add_proxy(0);
+  ring.add_proxy(1);
+  EXPECT_EQ(ring.successors_of(5, 10).size(), 2u);
+  EXPECT_TRUE(ring.successors_of(5, 0).empty());
+}
+
+}  // namespace
+}  // namespace eacache

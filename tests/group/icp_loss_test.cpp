@@ -1,0 +1,100 @@
+// Best-effort UDP: lost ICP exchanges look like peer misses and trigger
+// duplicate origin fetches.
+#include <gtest/gtest.h>
+
+#include "group/cache_group.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+Trace loss_trace() {
+  SyntheticTraceConfig config;
+  config.num_requests = 20000;
+  config.num_documents = 1500;
+  config.num_users = 48;
+  config.span = hours(6);
+  return generate_synthetic_trace(config);
+}
+
+GroupConfig loss_group(double loss) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  config.placement = PlacementKind::kEa;
+  config.icp_loss_probability = loss;
+  return config;
+}
+
+TEST(IcpLossTest, ValidatesProbability) {
+  EXPECT_THROW(CacheGroup{loss_group(-0.1)}, std::invalid_argument);
+  EXPECT_THROW(CacheGroup{loss_group(1.1)}, std::invalid_argument);
+}
+
+TEST(IcpLossTest, ZeroLossIsExactlyTheBaseline) {
+  const Trace trace = loss_trace();
+  const SimulationResult baseline = run_simulation(trace, loss_group(0.0));
+  EXPECT_EQ(baseline.transport.icp_losses, 0u);
+  EXPECT_EQ(baseline.transport.icp_queries, baseline.transport.icp_replies);
+}
+
+TEST(IcpLossTest, TotalLossKillsRemoteHits) {
+  const Trace trace = loss_trace();
+  const SimulationResult result = run_simulation(trace, loss_group(1.0));
+  EXPECT_EQ(result.metrics.count(RequestOutcome::kRemoteHit), 0u);
+  EXPECT_EQ(result.transport.icp_replies, 0u);
+  EXPECT_EQ(result.transport.icp_losses, result.transport.icp_queries);
+  // The group still serves everything (locally or from the origin).
+  EXPECT_EQ(result.metrics.total_requests(), trace.size());
+}
+
+TEST(IcpLossTest, QueriesSplitIntoRepliesAndLosses) {
+  const Trace trace = loss_trace();
+  const SimulationResult result = run_simulation(trace, loss_group(0.3));
+  EXPECT_GT(result.transport.icp_losses, 0u);
+  EXPECT_EQ(result.transport.icp_queries,
+            result.transport.icp_replies + result.transport.icp_losses);
+}
+
+TEST(IcpLossTest, LossRateIsRoughlyHonoured) {
+  const Trace trace = loss_trace();
+  const SimulationResult result = run_simulation(trace, loss_group(0.25));
+  const double observed = static_cast<double>(result.transport.icp_losses) /
+                          static_cast<double>(result.transport.icp_queries);
+  EXPECT_NEAR(observed, 0.25, 0.02);
+}
+
+TEST(IcpLossTest, LossDegradesHitRateMonotonically) {
+  const Trace trace = loss_trace();
+  const double none = run_simulation(trace, loss_group(0.0)).metrics.hit_rate();
+  const double some = run_simulation(trace, loss_group(0.3)).metrics.hit_rate();
+  const double all = run_simulation(trace, loss_group(1.0)).metrics.hit_rate();
+  EXPECT_GT(none, some);
+  EXPECT_GT(some, all);
+}
+
+TEST(IcpLossTest, DeterministicGivenNetworkSeed) {
+  const Trace trace = loss_trace();
+  const SimulationResult a = run_simulation(trace, loss_group(0.3));
+  const SimulationResult b = run_simulation(trace, loss_group(0.3));
+  EXPECT_EQ(a.transport.icp_losses, b.transport.icp_losses);
+  EXPECT_DOUBLE_EQ(a.metrics.hit_rate(), b.metrics.hit_rate());
+
+  GroupConfig reseeded = loss_group(0.3);
+  reseeded.network_seed = 12345;
+  const SimulationResult c = run_simulation(trace, reseeded);
+  EXPECT_NE(a.transport.icp_losses, c.transport.icp_losses);
+}
+
+TEST(IcpLossTest, DigestModeIsUnaffected) {
+  const Trace trace = loss_trace();
+  GroupConfig config = loss_group(0.9);
+  config.discovery = DiscoveryMode::kDigest;
+  config.digest.expected_items = 1024;
+  const SimulationResult result = run_simulation(trace, config);
+  EXPECT_EQ(result.transport.icp_losses, 0u);  // no ICP traffic to lose
+}
+
+}  // namespace
+}  // namespace eacache

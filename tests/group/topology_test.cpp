@@ -1,0 +1,82 @@
+#include "group/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+TEST(TopologyTest, DistributedEveryoneIsClientFacingSibling) {
+  const Topology topo = Topology::distributed(4);
+  EXPECT_EQ(topo.kind(), TopologyKind::kDistributed);
+  EXPECT_EQ(topo.num_proxies(), 4u);
+  EXPECT_EQ(topo.client_facing().size(), 4u);
+  for (ProxyId p = 0; p < 4; ++p) {
+    EXPECT_FALSE(topo.parent_of(p).has_value());
+    const auto siblings = topo.siblings_of(p);
+    EXPECT_EQ(siblings.size(), 3u);
+    EXPECT_EQ(std::count(siblings.begin(), siblings.end(), p), 0);
+  }
+}
+
+TEST(TopologyTest, SingleCacheDistributed) {
+  const Topology topo = Topology::distributed(1);
+  EXPECT_TRUE(topo.siblings_of(0).empty());
+  EXPECT_EQ(topo.client_facing().size(), 1u);
+}
+
+TEST(TopologyTest, TwoLevelShape) {
+  const Topology topo = Topology::two_level(4);
+  EXPECT_EQ(topo.kind(), TopologyKind::kHierarchical);
+  EXPECT_EQ(topo.num_proxies(), 5u);
+  const ProxyId root = 4;
+  EXPECT_FALSE(topo.parent_of(root).has_value());
+  for (ProxyId leaf = 0; leaf < 4; ++leaf) {
+    EXPECT_EQ(topo.parent_of(leaf), root);
+  }
+  // Leaves are client-facing; the root is not.
+  const auto& facing = topo.client_facing();
+  EXPECT_EQ(facing.size(), 4u);
+  EXPECT_EQ(std::count(facing.begin(), facing.end(), root), 0);
+}
+
+TEST(TopologyTest, TwoLevelSiblings) {
+  const Topology topo = Topology::two_level(3);
+  const auto siblings = topo.siblings_of(0);
+  EXPECT_EQ(siblings, (std::vector<ProxyId>{1, 2}));
+  // The root's siblings are the other parentless caches — none here.
+  EXPECT_TRUE(topo.siblings_of(3).empty());
+}
+
+TEST(TopologyTest, FromParentsThreeLevels) {
+  // 0,1 -> 2 -> 3 (chain of parents).
+  const Topology topo = Topology::from_parents(
+      TopologyKind::kHierarchical,
+      {ProxyId{2}, ProxyId{2}, ProxyId{3}, std::nullopt});
+  EXPECT_EQ(topo.client_facing(), (std::vector<ProxyId>{0, 1}));
+  EXPECT_EQ(topo.parent_of(2), ProxyId{3});
+  EXPECT_EQ(topo.siblings_of(0), (std::vector<ProxyId>{1}));
+}
+
+TEST(TopologyTest, RejectsBadInputs) {
+  EXPECT_THROW(Topology::distributed(0), std::invalid_argument);
+  EXPECT_THROW(Topology::two_level(0), std::invalid_argument);
+  // Self-parent.
+  EXPECT_THROW(Topology::from_parents(TopologyKind::kHierarchical, {ProxyId{0}}),
+               std::invalid_argument);
+  // Out of range parent.
+  EXPECT_THROW(Topology::from_parents(TopologyKind::kHierarchical, {ProxyId{5}}),
+               std::invalid_argument);
+  // Cycle: 0 -> 1 -> 0.
+  EXPECT_THROW(
+      Topology::from_parents(TopologyKind::kHierarchical, {ProxyId{1}, ProxyId{0}}),
+      std::invalid_argument);
+  // Bad proxy id in queries.
+  const Topology topo = Topology::distributed(2);
+  EXPECT_THROW((void)topo.siblings_of(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacache

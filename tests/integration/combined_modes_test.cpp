@@ -1,0 +1,163 @@
+// Cross-feature integration: the orthogonal knobs (placement x discovery x
+// topology x replacement x coherence x window) must compose. Each test runs
+// a full simulation of one non-trivial combination and checks accounting
+// plus a combination-specific property.
+#include <gtest/gtest.h>
+
+#include "ea/contention.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+const Trace& combo_trace() {
+  static const Trace trace = [] {
+    SyntheticTraceConfig config;
+    config.num_requests = 25000;
+    config.num_documents = 2000;
+    config.num_users = 64;
+    config.span = hours(24);
+    config.seed = 77;
+    return generate_synthetic_trace(config);
+  }();
+  return trace;
+}
+
+void expect_accounting(const SimulationResult& result) {
+  EXPECT_EQ(result.metrics.count(RequestOutcome::kLocalHit) +
+                result.metrics.count(RequestOutcome::kRemoteHit) +
+                result.metrics.count(RequestOutcome::kMiss),
+            combo_trace().size());
+}
+
+TEST(CombinedModesTest, EaDigestHierarchy) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  config.placement = PlacementKind::kEa;
+  config.topology = TopologyKind::kHierarchical;
+  config.discovery = DiscoveryMode::kDigest;
+  config.digest.expected_items = 1024;
+  const SimulationResult result = run_simulation(combo_trace(), config);
+  expect_accounting(result);
+  EXPECT_EQ(result.transport.icp_queries, 0u);
+  EXPECT_GT(result.transport.digest_publications, 0u);
+  EXPECT_EQ(result.proxy_stats.size(), 5u);  // 4 leaves + root
+}
+
+TEST(CombinedModesTest, EaDigestCoherence) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 2 * kMiB;
+  config.placement = PlacementKind::kEa;
+  config.discovery = DiscoveryMode::kDigest;
+  config.digest.expected_items = 2048;
+  config.coherence.enabled = true;
+  config.coherence.fresh_ttl = hours(2);
+  config.origin.min_update_interval = hours(6);
+  config.origin.max_update_interval = hours(24 * 10);
+  const SimulationResult result = run_simulation(combo_trace(), config);
+  expect_accounting(result);
+  EXPECT_GT(result.coherence.validations, 0u);
+}
+
+TEST(CombinedModesTest, HysteresisHierarchyLfu) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  config.placement = PlacementKind::kEaHysteresis;
+  config.ea_hysteresis = 2.0;
+  config.topology = TopologyKind::kHierarchical;
+  config.replacement = PolicyKind::kLfu;
+  const SimulationResult result = run_simulation(combo_trace(), config);
+  expect_accounting(result);
+  EXPECT_GT(result.metrics.hit_rate(), 0.0);
+}
+
+TEST(CombinedModesTest, LfuReplacementUsesLfuAgeForm) {
+  GroupConfig config;
+  config.num_proxies = 2;
+  config.aggregate_capacity = 256 * kKiB;
+  config.placement = PlacementKind::kEa;
+  config.replacement = PolicyKind::kLfu;
+  CacheGroup group(config);
+  for (ProxyId p = 0; p < 2; ++p) {
+    EXPECT_EQ(group.proxy(p).contention().form(), AgeForm::kLfu);
+  }
+  config.replacement = PolicyKind::kLru;
+  CacheGroup lru_group(config);
+  EXPECT_EQ(lru_group.proxy(0).contention().form(), AgeForm::kLru);
+}
+
+TEST(CombinedModesTest, TimeWindowEstimatorEndToEnd) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 512 * kKiB;
+  config.placement = PlacementKind::kEa;
+  config.window = WindowConfig::time(hours(2));
+  const SimulationResult result = run_simulation(combo_trace(), config);
+  expect_accounting(result);
+  EXPECT_GT(result.metrics.hit_rate(), 0.0);
+}
+
+TEST(CombinedModesTest, CoherenceHashRoutingHeterogeneous) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 2 * kMiB;
+  config.placement = PlacementKind::kAdHoc;
+  config.routing = RoutingMode::kHashPartition;
+  config.capacity_weights = {2.0, 1.0, 1.0, 1.0};
+  config.coherence.enabled = true;
+  config.coherence.fresh_ttl = hours(1);
+  const SimulationResult result = run_simulation(combo_trace(), config);
+  expect_accounting(result);
+  EXPECT_LE(result.replication_factor, 1.0 + 1e-12);
+}
+
+TEST(CombinedModesTest, EverythingAtOnce) {
+  // The maximal stack: EA-hysteresis placement, digest discovery, deep
+  // hierarchy, GDS replacement, time-window estimator, coherence, skewed
+  // capacities, and a mid-trace crash.
+  GroupConfig config;
+  config.topology = TopologyKind::kHierarchical;
+  config.custom_parents = {ProxyId{4}, ProxyId{4}, ProxyId{5}, ProxyId{5},
+                           ProxyId{6}, ProxyId{6}, std::nullopt};
+  config.aggregate_capacity = 2 * kMiB;
+  config.capacity_weights = {1, 1, 1, 1, 2, 2, 4};
+  config.placement = PlacementKind::kEaHysteresis;
+  config.ea_hysteresis = 1.5;
+  config.replacement = PolicyKind::kGreedyDualSize;
+  config.window = WindowConfig::time(hours(4));
+  config.discovery = DiscoveryMode::kDigest;
+  config.digest.expected_items = 1024;
+  config.coherence.enabled = true;
+  config.coherence.fresh_ttl = hours(3);
+
+  SimulationOptions options;
+  options.flush_events.push_back({combo_trace().requests[combo_trace().size() / 2].at, 1});
+  options.snapshot_period = hours(1);
+
+  const SimulationResult result = run_simulation(combo_trace(), config, options);
+  expect_accounting(result);
+  EXPECT_GT(result.metrics.hit_rate(), 0.0);
+  EXPECT_FALSE(result.snapshots.empty());
+  EXPECT_EQ(result.proxy_stats.size(), 7u);
+}
+
+TEST(CombinedModesTest, DeterministicUnderTheFullStack) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  config.placement = PlacementKind::kEaHysteresis;
+  config.discovery = DiscoveryMode::kDigest;
+  config.coherence.enabled = true;
+  const SimulationResult a = run_simulation(combo_trace(), config);
+  const SimulationResult b = run_simulation(combo_trace(), config);
+  EXPECT_DOUBLE_EQ(a.metrics.hit_rate(), b.metrics.hit_rate());
+  EXPECT_EQ(a.transport.total_bytes(), b.transport.total_bytes());
+  EXPECT_EQ(a.coherence.validations, b.coherence.validations);
+}
+
+}  // namespace
+}  // namespace eacache

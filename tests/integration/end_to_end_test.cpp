@@ -1,0 +1,122 @@
+// End-to-end runs over a contended synthetic workload: checks that the
+// whole pipeline (trace -> group -> metrics) behaves sensibly under both
+// schemes and both topologies.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+const Trace& shared_trace() {
+  static const Trace trace = [] {
+    SyntheticTraceConfig config;
+    config.num_requests = 30000;
+    config.num_documents = 3000;
+    config.num_users = 64;
+    config.span = hours(6);
+    config.seed = 2002;
+    return generate_synthetic_trace(config);
+  }();
+  return trace;
+}
+
+GroupConfig contended_group(PlacementKind placement) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  // ~3000 docs x ~4KiB ~ 12MiB of unique bytes; 512KiB aggregate is a
+  // heavily contended regime, where the paper's effect is largest.
+  config.aggregate_capacity = 512 * kKiB;
+  config.placement = placement;
+  return config;
+}
+
+TEST(EndToEndTest, BothSchemesServeTheWholeTrace) {
+  for (const PlacementKind kind : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
+    const SimulationResult result = run_simulation(shared_trace(), contended_group(kind));
+    EXPECT_EQ(result.metrics.total_requests(), shared_trace().size());
+    EXPECT_GT(result.metrics.hit_rate(), 0.0);
+    EXPECT_LT(result.metrics.hit_rate(), 1.0);
+  }
+}
+
+TEST(EndToEndTest, ContendedRunProducesEvictionsAndFiniteAges) {
+  const SimulationResult result =
+      run_simulation(shared_trace(), contended_group(PlacementKind::kEa));
+  EXPECT_FALSE(result.average_cache_expiration_age.is_infinite());
+  for (const ExpAge age : result.per_cache_expiration_age) {
+    EXPECT_FALSE(age.is_infinite()) << "every cache should see contention here";
+  }
+}
+
+TEST(EndToEndTest, EaReducesReplication) {
+  const SimulationResult adhoc =
+      run_simulation(shared_trace(), contended_group(PlacementKind::kAdHoc));
+  const SimulationResult ea =
+      run_simulation(shared_trace(), contended_group(PlacementKind::kEa));
+  EXPECT_LE(ea.replication_factor, adhoc.replication_factor)
+      << "EA must not replicate more than ad-hoc";
+  EXPECT_GE(ea.unique_resident_documents, adhoc.unique_resident_documents)
+      << "EA should keep at least as many unique documents resident";
+}
+
+TEST(EndToEndTest, EaRaisesCacheExpirationAges) {
+  // Paper Table 1: EA's average cache expiration age exceeds ad-hoc's.
+  const SimulationResult adhoc =
+      run_simulation(shared_trace(), contended_group(PlacementKind::kAdHoc));
+  const SimulationResult ea =
+      run_simulation(shared_trace(), contended_group(PlacementKind::kEa));
+  ASSERT_FALSE(adhoc.average_cache_expiration_age.is_infinite());
+  ASSERT_FALSE(ea.average_cache_expiration_age.is_infinite());
+  EXPECT_GT(ea.average_cache_expiration_age.millis(),
+            adhoc.average_cache_expiration_age.millis());
+}
+
+TEST(EndToEndTest, EaTradesLocalForRemoteHits) {
+  // Reduced replication means more documents are only available at a peer.
+  const SimulationResult adhoc =
+      run_simulation(shared_trace(), contended_group(PlacementKind::kAdHoc));
+  const SimulationResult ea =
+      run_simulation(shared_trace(), contended_group(PlacementKind::kEa));
+  EXPECT_GT(ea.metrics.remote_hit_rate(), adhoc.metrics.remote_hit_rate());
+}
+
+TEST(EndToEndTest, HierarchicalTopologyWorksEndToEnd) {
+  GroupConfig config = contended_group(PlacementKind::kEa);
+  config.topology = TopologyKind::kHierarchical;
+  const SimulationResult result = run_simulation(shared_trace(), config);
+  EXPECT_EQ(result.metrics.total_requests(), shared_trace().size());
+  EXPECT_GT(result.metrics.hit_rate(), 0.0);
+  // 4 leaves + 1 root.
+  EXPECT_EQ(result.proxy_stats.size(), 5u);
+  // The root never receives client requests.
+  EXPECT_EQ(result.proxy_stats[4].client_requests, 0u);
+}
+
+TEST(EndToEndTest, NonLruPoliciesRunEndToEnd) {
+  for (const PolicyKind policy :
+       {PolicyKind::kLfu, PolicyKind::kLfuAging, PolicyKind::kSizeBiggestFirst,
+        PolicyKind::kGreedyDualSize}) {
+    GroupConfig config = contended_group(PlacementKind::kEa);
+    config.replacement = policy;
+    const SimulationResult result = run_simulation(shared_trace(), config);
+    EXPECT_EQ(result.metrics.total_requests(), shared_trace().size())
+        << "policy " << to_string(policy);
+  }
+}
+
+TEST(EndToEndTest, LargerCacheNeverHurtsHitRateMuch) {
+  GroupConfig base = contended_group(PlacementKind::kEa);
+  const Bytes capacities[] = {256 * kKiB, 1 * kMiB, 4 * kMiB};
+  const auto points = compare_schemes_over_capacities(shared_trace(), base, capacities);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].ea.metrics.hit_rate(), points[i - 1].ea.metrics.hit_rate() - 0.01);
+    EXPECT_GE(points[i].adhoc.metrics.hit_rate(),
+              points[i - 1].adhoc.metrics.hit_rate() - 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace eacache

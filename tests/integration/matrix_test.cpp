@@ -1,0 +1,117 @@
+// Configuration-matrix sweep: every (placement x discovery x topology x
+// replacement) combination must satisfy the universal invariants —
+// outcome partition, byte partition, capacity bounds, message accounting
+// sanity, determinism. 3 x 2 x 2 x 5 = 60 parameterized cases.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+using MatrixParam = std::tuple<PlacementKind, DiscoveryMode, TopologyKind, PolicyKind>;
+
+const Trace& matrix_trace() {
+  static const Trace trace = [] {
+    SyntheticTraceConfig config;
+    config.num_requests = 8000;
+    config.num_documents = 700;
+    config.num_users = 32;
+    config.span = hours(4);
+    config.seed = 5;
+    return generate_synthetic_trace(config);
+  }();
+  return trace;
+}
+
+class ConfigMatrixTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  static GroupConfig make_config(const MatrixParam& param) {
+    GroupConfig config;
+    config.num_proxies = 4;
+    config.aggregate_capacity = 384 * kKiB;
+    config.placement = std::get<0>(param);
+    config.discovery = std::get<1>(param);
+    config.topology = std::get<2>(param);
+    config.replacement = std::get<3>(param);
+    config.digest.expected_items = 512;
+    return config;
+  }
+};
+
+TEST_P(ConfigMatrixTest, UniversalInvariantsHold) {
+  const GroupConfig config = make_config(GetParam());
+  const SimulationResult result = run_simulation(matrix_trace(), config);
+
+  // Outcome and byte partitions.
+  EXPECT_EQ(result.metrics.count(RequestOutcome::kLocalHit) +
+                result.metrics.count(RequestOutcome::kRemoteHit) +
+                result.metrics.count(RequestOutcome::kMiss),
+            matrix_trace().size());
+  EXPECT_EQ(result.metrics.bytes(RequestOutcome::kLocalHit) +
+                result.metrics.bytes(RequestOutcome::kRemoteHit) +
+                result.metrics.bytes(RequestOutcome::kMiss),
+            result.metrics.bytes_requested());
+
+  // Every client request landed at a client-facing proxy.
+  std::uint64_t client_requests = 0;
+  for (const ProxyStats& stats : result.proxy_stats) client_requests += stats.client_requests;
+  EXPECT_EQ(client_requests, matrix_trace().size());
+
+  // Message accounting sanity by discovery mode.
+  if (config.discovery == DiscoveryMode::kIcp) {
+    EXPECT_EQ(result.transport.icp_queries, result.transport.icp_replies);
+    EXPECT_EQ(result.transport.digest_publications, 0u);
+    EXPECT_EQ(result.transport.failed_probes, 0u);
+  } else {
+    EXPECT_EQ(result.transport.icp_queries, 0u);
+    EXPECT_GT(result.transport.digest_publications, 0u);
+  }
+  EXPECT_EQ(result.transport.http_requests, result.transport.http_responses);
+
+  // Replication diagnostics are consistent.
+  EXPECT_GE(result.total_resident_copies, result.unique_resident_documents);
+}
+
+TEST_P(ConfigMatrixTest, Deterministic) {
+  const GroupConfig config = make_config(GetParam());
+  const SimulationResult a = run_simulation(matrix_trace(), config);
+  const SimulationResult b = run_simulation(matrix_trace(), config);
+  EXPECT_DOUBLE_EQ(a.metrics.hit_rate(), b.metrics.hit_rate());
+  EXPECT_EQ(a.transport.total_bytes(), b.transport.total_bytes());
+  EXPECT_EQ(a.total_resident_copies, b.total_resident_copies);
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& param_info) {
+  std::string name;
+  name += std::get<0>(param_info.param) == PlacementKind::kAdHoc  ? "adhoc"
+          : std::get<0>(param_info.param) == PlacementKind::kEa   ? "ea"
+                                                                  : "hyst";
+  name += std::get<1>(param_info.param) == DiscoveryMode::kIcp ? "_icp" : "_digest";
+  name += std::get<2>(param_info.param) == TopologyKind::kDistributed ? "_flat" : "_tree";
+  name += "_";
+  name += to_string(std::get<3>(param_info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ConfigMatrixTest,
+    ::testing::Combine(::testing::Values(PlacementKind::kAdHoc, PlacementKind::kEa,
+                                         PlacementKind::kEaHysteresis),
+                       ::testing::Values(DiscoveryMode::kIcp, DiscoveryMode::kDigest),
+                       ::testing::Values(TopologyKind::kDistributed,
+                                         TopologyKind::kHierarchical),
+                       ::testing::Values(PolicyKind::kLru, PolicyKind::kLfu,
+                                         PolicyKind::kLfuAging, PolicyKind::kSizeBiggestFirst,
+                                         PolicyKind::kGreedyDualSize)),
+    matrix_name);
+
+}  // namespace
+}  // namespace eacache

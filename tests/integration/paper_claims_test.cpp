@@ -1,0 +1,196 @@
+// Qualitative reproduction of the paper's headline results (section 4.2):
+// the SHAPE of each claim, not the absolute numbers (our workload is a
+// calibrated synthetic stand-in for the BU traces — see DESIGN.md §3).
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+const Trace& claims_trace() {
+  static const Trace trace = [] {
+    SyntheticTraceConfig config;
+    config.num_requests = 60000;
+    config.num_documents = 6000;
+    config.num_users = 128;
+    config.span = hours(12);
+    config.seed = 1994;  // the BU traces' vintage
+    // Same concentration profile as the bench workload (see
+    // bench/bench_common.cpp): BU-like hot-set dominance.
+    config.zipf_alpha = 1.0;
+    config.repeat_probability = 0.5;
+    config.repeat_window = 256;
+    return generate_synthetic_trace(config);
+  }();
+  return trace;
+}
+
+GroupConfig four_cache_group() {
+  GroupConfig config;
+  config.num_proxies = 4;
+  return config;
+}
+
+// Capacity points spanning heavy contention to everything-fits for the
+// ~24 MiB unique-byte synthetic trace.
+const Bytes kSmall = 256 * kKiB;
+const Bytes kMedium = 2 * kMiB;
+const Bytes kLarge = 64 * kMiB;
+
+TEST(PaperClaimsTest, Figure1_EaHitRateWinsUnderContention) {
+  const Bytes capacities[] = {kSmall, kMedium};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  for (const SchemeComparison& point : points) {
+    EXPECT_GT(point.ea.metrics.hit_rate(), point.adhoc.metrics.hit_rate())
+        << "at " << format_bytes(point.aggregate_capacity);
+  }
+}
+
+TEST(PaperClaimsTest, Figure1_GapShrinksAsCachesGrow) {
+  const Bytes capacities[] = {kSmall, kLarge};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  const double gap_small =
+      points[0].ea.metrics.hit_rate() - points[0].adhoc.metrics.hit_rate();
+  const double gap_large =
+      points[1].ea.metrics.hit_rate() - points[1].adhoc.metrics.hit_rate();
+  EXPECT_GT(gap_small, gap_large)
+      << "EA's advantage must be largest when cache space is scarce";
+}
+
+TEST(PaperClaimsTest, Figure1_EaNeverWorseEvenWhenEverythingFits) {
+  const Bytes capacities[] = {kLarge};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  // "Even in the worst case our scheme is as good as the ad-hoc scheme."
+  EXPECT_GE(points[0].ea.metrics.hit_rate(), points[0].adhoc.metrics.hit_rate() - 1e-9);
+}
+
+TEST(PaperClaimsTest, Figure2_ByteHitRatesFollowTheSameShape) {
+  const Bytes capacities[] = {kSmall, kMedium};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  for (const SchemeComparison& point : points) {
+    EXPECT_GT(point.ea.metrics.byte_hit_rate(), point.adhoc.metrics.byte_hit_rate())
+        << "at " << format_bytes(point.aggregate_capacity);
+  }
+}
+
+TEST(PaperClaimsTest, Table1_EaRaisesAverageExpirationAge) {
+  const Bytes capacities[] = {kSmall, kMedium};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  for (const SchemeComparison& point : points) {
+    ASSERT_FALSE(point.adhoc.average_cache_expiration_age.is_infinite());
+    ASSERT_FALSE(point.ea.average_cache_expiration_age.is_infinite());
+    EXPECT_GT(point.ea.average_cache_expiration_age.millis(),
+              point.adhoc.average_cache_expiration_age.millis())
+        << "at " << format_bytes(point.aggregate_capacity);
+  }
+}
+
+TEST(PaperClaimsTest, Table2_EaShiftsLocalHitsToRemoteHits) {
+  const Bytes capacities[] = {kMedium};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  const SchemeComparison& point = points[0];
+  EXPECT_GT(point.ea.metrics.remote_hit_rate(), point.adhoc.metrics.remote_hit_rate());
+  EXPECT_LT(point.ea.metrics.miss_rate(), point.adhoc.metrics.miss_rate());
+}
+
+TEST(PaperClaimsTest, Figure3_EaLatencyWinsUnderContention) {
+  const LatencyModel model = LatencyModel::paper_defaults();
+  const Bytes capacities[] = {kSmall, kMedium};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  for (const SchemeComparison& point : points) {
+    EXPECT_LT(point.ea.metrics.estimated_average_latency_ms(model),
+              point.adhoc.metrics.estimated_average_latency_ms(model))
+        << "at " << format_bytes(point.aggregate_capacity);
+  }
+}
+
+TEST(PaperClaimsTest, Figure3_RemoteHitInflationCanCostEaAtLargeCaches) {
+  // At 1GB the paper measured EA slightly WORSE on latency: the miss-rate
+  // gap vanishes while EA still serves many more remote hits (32.02% vs
+  // 11.06%). We check the mechanism rather than the sign (which is
+  // workload-dependent): at a nearly-fitting capacity the miss-rate gap
+  // must be small while EA's remote-hit rate stays higher.
+  const Bytes capacities[] = {16 * kMiB};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  const SchemeComparison& point = points[0];
+  EXPECT_LT(point.adhoc.metrics.miss_rate() - point.ea.metrics.miss_rate(), 0.02);
+  EXPECT_GT(point.ea.metrics.remote_hit_rate(), point.adhoc.metrics.remote_hit_rate());
+
+  // And when NOTHING ever evicts, every EA decision is a tie and the two
+  // schemes must coincide exactly — the degenerate end of the same curve.
+  const Bytes everything_fits[] = {kLarge};
+  const auto fit_points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), everything_fits);
+  EXPECT_DOUBLE_EQ(fit_points[0].ea.metrics.remote_hit_rate(),
+                   fit_points[0].adhoc.metrics.remote_hit_rate());
+  EXPECT_DOUBLE_EQ(fit_points[0].ea.metrics.miss_rate(),
+                   fit_points[0].adhoc.metrics.miss_rate());
+}
+
+TEST(PaperClaimsTest, Section42_EaAdvantageGrowsWithGroupSize) {
+  // The paper reports ~6.5% hit-rate gain for 8 caches at 100KB vs ~2.5%
+  // for smaller settings: more caches = more uncontrolled replication for
+  // ad-hoc to waste space on.
+  GroupConfig base = four_cache_group();
+  base.aggregate_capacity = kSmall;
+  const std::size_t sizes[] = {2, 8};
+  const auto points = compare_schemes_over_group_sizes(claims_trace(), base, sizes);
+  const double gain2 =
+      points[0].ea.metrics.hit_rate() - points[0].adhoc.metrics.hit_rate();
+  const double gain8 =
+      points[1].ea.metrics.hit_rate() - points[1].adhoc.metrics.hit_rate();
+  EXPECT_GT(gain8, 0.0);
+  EXPECT_GT(gain8, gain2 - 0.005)
+      << "EA's edge should not shrink materially as the group grows";
+}
+
+TEST(PaperClaimsTest, EaWinsAcrossWorkloadSeeds) {
+  // Robustness: the headline claim must not be an artifact of one seed.
+  // Five independent workloads at a contended capacity: EA's hit rate must
+  // beat ad-hoc's on every one of them.
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    SyntheticTraceConfig config;
+    config.num_requests = 25000;
+    config.num_documents = 2500;
+    config.num_users = 64;
+    config.span = hours(6);
+    config.seed = seed;
+    config.zipf_alpha = 1.0;
+    config.repeat_probability = 0.5;
+    const Trace trace = generate_synthetic_trace(config);
+
+    GroupConfig group = four_cache_group();
+    group.aggregate_capacity = 1 * kMiB;
+    group.placement = PlacementKind::kAdHoc;
+    const double adhoc = run_simulation(trace, group).metrics.hit_rate();
+    group.placement = PlacementKind::kEa;
+    const double ea = run_simulation(trace, group).metrics.hit_rate();
+    EXPECT_GT(ea, adhoc) << "seed " << seed;
+  }
+}
+
+TEST(PaperClaimsTest, NoExtraMessagesClaim) {
+  // Section 3.4: "there is no hidden communication costs incurred to
+  // implement the EA scheme" — EA adds only the fixed piggyback bytes.
+  const Bytes capacities[] = {kMedium};
+  const auto points =
+      compare_schemes_over_capacities(claims_trace(), four_cache_group(), capacities);
+  const TransportStats& ea = points[0].ea.transport;
+  EXPECT_EQ(ea.piggyback_bytes, (ea.http_requests + ea.http_responses) * 8);
+  // Piggyback overhead is negligible against body traffic.
+  EXPECT_LT(static_cast<double>(ea.piggyback_bytes),
+            0.01 * static_cast<double>(ea.http_body_bytes + ea.icp_bytes));
+}
+
+}  // namespace
+}  // namespace eacache

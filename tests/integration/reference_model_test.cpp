@@ -1,0 +1,216 @@
+// Model-based differential testing: an INDEPENDENT, deliberately naive
+// re-implementation of the distributed ad-hoc/EA protocols (paper §3.3,
+// LRU replacement, cumulative Eq. 5 estimator) is run in lock-step with
+// the production CacheGroup on random traces; every single request must
+// produce the same outcome. Any divergence in promotion rules, tie-breaks,
+// eviction order or expiration-age arithmetic fails loudly.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "common/hash.h"
+#include "group/cache_group.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The reference model. Simple data structures, no shared code with the
+// production path beyond basic vocabulary types.
+// ---------------------------------------------------------------------------
+struct RefEntry {
+  DocumentId doc;
+  Bytes size;
+  TimePoint last_hit;
+};
+
+class RefProxy {
+ public:
+  explicit RefProxy(Bytes capacity) : capacity_(capacity) {}
+
+  bool contains(DocumentId doc) const {
+    for (const RefEntry& e : lru_) {
+      if (e.doc == doc) return true;
+    }
+    return false;
+  }
+
+  // Promoting hit; returns size.
+  std::optional<Bytes> hit(DocumentId doc, TimePoint now) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (it->doc == doc) {
+        RefEntry e = *it;
+        e.last_hit = now;
+        lru_.erase(it);
+        lru_.push_front(e);
+        return e.size;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Non-promoting serve (EA responder rule): metadata untouched.
+  Bytes peek_size(DocumentId doc) const {
+    for (const RefEntry& e : lru_) {
+      if (e.doc == doc) return e.size;
+    }
+    ADD_FAILURE() << "peek_size of absent doc";
+    return 0;
+  }
+
+  void store(DocumentId doc, Bytes size, TimePoint now) {
+    if (size > capacity_) return;
+    while (bytes_ + size > capacity_) {
+      const RefEntry& victim = lru_.back();
+      victim_age_sum_ms_ += static_cast<double>((now - victim.last_hit).count());
+      ++victims_;
+      bytes_ -= victim.size;
+      lru_.pop_back();
+    }
+    lru_.push_front(RefEntry{doc, size, now});
+    bytes_ += size;
+  }
+
+  // Cumulative cache expiration age; infinity encoded as nullopt.
+  std::optional<double> expiration_age_ms() const {
+    if (victims_ == 0) return std::nullopt;
+    return victim_age_sum_ms_ / static_cast<double>(victims_);
+  }
+
+ private:
+  Bytes capacity_;
+  Bytes bytes_ = 0;
+  std::list<RefEntry> lru_;
+  double victim_age_sum_ms_ = 0.0;
+  std::uint64_t victims_ = 0;
+};
+
+// age comparison with nullopt == +infinity.
+bool age_geq(const std::optional<double>& a, const std::optional<double>& b) {
+  if (!a) return true;          // inf >= anything
+  if (!b) return false;         // finite >= inf is false
+  return *a >= *b;
+}
+bool age_gt(const std::optional<double>& a, const std::optional<double>& b) {
+  if (!a) return b.has_value();  // inf > finite, not > inf
+  if (!b) return false;
+  return *a > *b;
+}
+
+class RefGroup {
+ public:
+  RefGroup(std::size_t n, Bytes aggregate, bool ea) : ea_(ea) {
+    for (std::size_t p = 0; p < n; ++p) proxies_.emplace_back(aggregate / n);
+  }
+
+  ProxyId home(UserId user) const {
+    return static_cast<ProxyId>(mix64(user) % proxies_.size());
+  }
+
+  RequestOutcome serve(const Request& request) {
+    const TimePoint now = request.at;
+    const ProxyId req_id = home(request.user);
+    RefProxy& requester = proxies_[req_id];
+
+    if (requester.hit(request.document, now)) return RequestOutcome::kLocalHit;
+
+    // Positive ICP answers, nearest-after-requester ring order.
+    const std::size_t n = proxies_.size();
+    std::optional<ProxyId> responder_id;
+    std::size_t best = n + 1;
+    for (ProxyId p = 0; p < n; ++p) {
+      if (p == req_id || !proxies_[p].contains(request.document)) continue;
+      const std::size_t distance = (p + n - req_id) % n;
+      if (distance < best) {
+        best = distance;
+        responder_id = p;
+      }
+    }
+
+    if (responder_id) {
+      RefProxy& responder = proxies_[*responder_id];
+      const auto req_age = requester.expiration_age_ms();
+      const auto resp_age = responder.expiration_age_ms();
+      Bytes size = 0;
+      bool requester_stores = true;
+      if (!ea_) {
+        size = *responder.hit(request.document, now);  // ad-hoc: promote
+      } else if (age_gt(resp_age, req_age)) {
+        size = *responder.hit(request.document, now);  // responder keeps lease
+        requester_stores = false;                      // req < resp
+      } else {
+        size = responder.peek_size(request.document);  // left unaltered
+        requester_stores = age_geq(req_age, resp_age);  // true by trichotomy
+      }
+      if (requester_stores) requester.store(request.document, size, now);
+      return RequestOutcome::kRemoteHit;
+    }
+
+    requester.store(request.document, request.size, now);
+    return RequestOutcome::kMiss;
+  }
+
+ private:
+  bool ea_;
+  std::vector<RefProxy> proxies_;
+};
+
+// ---------------------------------------------------------------------------
+// Lock-step comparison.
+// ---------------------------------------------------------------------------
+struct DifferentialCase {
+  std::size_t proxies;
+  bool ea;
+  std::uint64_t seed;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DifferentialCase> {};
+
+TEST_P(DifferentialTest, OutcomesMatchRequestByRequest) {
+  const DifferentialCase param = GetParam();
+
+  SyntheticTraceConfig workload;
+  workload.num_requests = 12000;
+  workload.num_documents = 900;
+  workload.num_users = 40;
+  workload.span = hours(4);
+  workload.seed = param.seed;
+  const Trace trace = generate_synthetic_trace(workload);
+
+  GroupConfig config;
+  config.num_proxies = param.proxies;
+  config.aggregate_capacity = 96 * kKiB * param.proxies;
+  config.placement = param.ea ? PlacementKind::kEa : PlacementKind::kAdHoc;
+  config.window = WindowConfig::cumulative();  // match the reference model
+  CacheGroup production(config);
+
+  RefGroup reference(param.proxies, config.aggregate_capacity, param.ea);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& request = trace.requests[i];
+    // Identical user pinning is part of the contract.
+    ASSERT_EQ(production.home_proxy(request.user), reference.home(request.user));
+    const RequestOutcome expected = reference.serve(request);
+    const RequestOutcome actual = production.serve(request);
+    ASSERT_EQ(actual, expected)
+        << "request " << i << " doc " << request.document << " user " << request.user
+        << " at " << (request.at - kSimEpoch).count() << "ms";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DifferentialTest,
+    ::testing::Values(DifferentialCase{2, false, 1}, DifferentialCase{2, true, 1},
+                      DifferentialCase{4, false, 2}, DifferentialCase{4, true, 2},
+                      DifferentialCase{8, true, 3}, DifferentialCase{3, true, 4}),
+    [](const ::testing::TestParamInfo<DifferentialCase>& param_info) {
+      return std::string(param_info.param.ea ? "ea" : "adhoc") + "_p" +
+             std::to_string(param_info.param.proxies) + "_s" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace eacache

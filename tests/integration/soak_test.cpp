@@ -1,0 +1,102 @@
+// Soak test: a long, adversarial random walk over the PUBLIC API of one
+// CacheGroup — interleaving client requests, proxy flushes and
+// configuration-visible oddities (tiny documents, giant documents, repeated
+// ids, bursts from one user) — with the structural invariants checked
+// continuously. This is the "leave it running and see what breaks" test.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "group/cache_group.h"
+
+namespace eacache {
+namespace {
+
+class SoakTest : public ::testing::TestWithParam<PlacementKind> {};
+
+TEST_P(SoakTest, LongAdversarialRandomWalk) {
+  GroupConfig config;
+  config.num_proxies = 5;
+  config.aggregate_capacity = 640 * kKiB;  // 128 KiB per proxy
+  config.placement = GetParam();
+  config.coherence.enabled = true;
+  config.coherence.fresh_ttl = minutes(30);
+  CacheGroup group(config);
+
+  Rng rng(0x50a51234);
+  TimePoint now = kSimEpoch;
+  std::uint64_t local = 0, remote = 0, miss = 0;
+
+  for (int step = 0; step < 60000; ++step) {
+    now += msec(static_cast<std::int64_t>(rng.next_below(2000)));
+
+    const auto action = rng.next_below(100);
+    if (action < 2) {
+      // Crash a random proxy.
+      group.flush_proxy(static_cast<ProxyId>(rng.next_below(5)), now);
+      continue;
+    }
+
+    Request request;
+    request.at = now;
+    if (action < 20) {
+      // Burst: one hot user, tiny hot set.
+      request.user = 1;
+      request.document = rng.next_below(8);
+      request.size = 512;
+    } else if (action < 25) {
+      // Giant document (bigger than a whole proxy): must be rejected
+      // gracefully everywhere.
+      request.user = static_cast<UserId>(rng.next_below(64));
+      request.document = 1'000'000 + rng.next_below(4);
+      request.size = 1 * kMiB;
+    } else if (action < 30) {
+      // Zero-byte document.
+      request.user = static_cast<UserId>(rng.next_below(64));
+      request.document = 2'000'000 + rng.next_below(16);
+      request.size = 0;
+    } else {
+      request.user = static_cast<UserId>(rng.next_below(64));
+      request.document = rng.next_below(3000);
+      request.size = 256 + rng.next_below(8 * kKiB);
+    }
+
+    switch (group.serve(request)) {
+      case RequestOutcome::kLocalHit: ++local; break;
+      case RequestOutcome::kRemoteHit: ++remote; break;
+      case RequestOutcome::kMiss: ++miss; break;
+    }
+
+    if (step % 1000 == 0) {
+      for (ProxyId p = 0; p < 5; ++p) {
+        ASSERT_LE(group.proxy(p).store().resident_bytes(),
+                  group.proxy(p).store().capacity());
+      }
+      ASSERT_EQ(group.metrics().total_requests(), local + remote + miss);
+      ASSERT_GE(group.total_resident_copies(), group.unique_resident_documents() > 0 ? 1u : 0u);
+    }
+  }
+
+  // The walk must exercise every outcome class, and the group's own
+  // accounting must agree with ours exactly.
+  EXPECT_GT(local, 0u);
+  EXPECT_GT(remote, 0u);
+  EXPECT_GT(miss, 0u);
+  EXPECT_EQ(group.metrics().total_requests(), local + remote + miss);
+  EXPECT_EQ(group.metrics().count(RequestOutcome::kLocalHit), local);
+  EXPECT_EQ(group.metrics().count(RequestOutcome::kRemoteHit), remote);
+  EXPECT_EQ(group.metrics().count(RequestOutcome::kMiss), miss);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SoakTest,
+                         ::testing::Values(PlacementKind::kAdHoc, PlacementKind::kEa,
+                                           PlacementKind::kEaHysteresis),
+                         [](const ::testing::TestParamInfo<PlacementKind>& param_info) {
+                           std::string name(to_string(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,88 @@
+#include "metrics/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+TEST(AsciiChartTest, ValidatesGeometry) {
+  EXPECT_THROW(AsciiChart(1, 10), std::invalid_argument);
+  EXPECT_THROW(AsciiChart(10, 1), std::invalid_argument);
+}
+
+TEST(AsciiChartTest, EmptyChartThrows) {
+  AsciiChart chart(20, 5);
+  EXPECT_THROW((void)chart.render(), std::logic_error);
+}
+
+TEST(AsciiChartTest, EmptySeriesRejected) {
+  AsciiChart chart(20, 5);
+  EXPECT_THROW(chart.add_series("x", {}, '*'), std::invalid_argument);
+}
+
+TEST(AsciiChartTest, MismatchedLengthsThrow) {
+  AsciiChart chart(20, 5);
+  chart.add_series("a", {1, 2, 3}, 'a');
+  chart.add_series("b", {1, 2}, 'b');
+  EXPECT_THROW((void)chart.render(), std::logic_error);
+}
+
+TEST(AsciiChartTest, RendersMarkersAndLegend) {
+  AsciiChart chart(21, 5);
+  chart.add_series("rising", {0.0, 0.5, 1.0}, '*');
+  const std::string text = chart.render();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find("legend: *=rising"), std::string::npos);
+  EXPECT_NE(text.find("1.00 |"), std::string::npos);
+  EXPECT_NE(text.find("0.00 |"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RisingSeriesClimbsRows) {
+  AsciiChart chart(21, 5);
+  chart.add_series("r", {0.0, 1.0}, '*');
+  const std::string text = chart.render();
+  // Top row holds the right-hand point, bottom plot row the left one.
+  const std::size_t first_line_end = text.find('\n');
+  const std::string top = text.substr(0, first_line_end);
+  EXPECT_NE(top.find('*'), std::string::npos);
+  EXPECT_GT(top.find('*'), 20u);  // right side of the 21-wide area (offset by labels)
+}
+
+TEST(AsciiChartTest, FixedRangeClampsOutliers) {
+  AsciiChart chart(10, 4);
+  chart.set_y_range(0.0, 1.0);
+  chart.add_series("s", {-5.0, 0.5, 99.0}, 'o');
+  const std::string text = chart.render();  // must not throw or misindex
+  EXPECT_NE(text.find('o'), std::string::npos);
+  EXPECT_THROW(chart.set_y_range(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(AsciiChartTest, FlatSeriesGetsHeadroom) {
+  AsciiChart chart(10, 4);
+  chart.add_series("flat", {2.0, 2.0, 2.0}, '-');
+  EXPECT_NO_THROW((void)chart.render());
+}
+
+TEST(AsciiChartTest, XLabelsPrinted) {
+  AsciiChart chart(40, 4);
+  chart.add_series("s", {1, 2, 3}, '*');
+  chart.set_x_labels({"100KiB", "1MiB", "10MiB"});
+  const std::string text = chart.render();
+  EXPECT_NE(text.find("100KiB"), std::string::npos);
+  EXPECT_NE(text.find("10MiB"), std::string::npos);
+}
+
+TEST(AsciiChartTest, MultipleSeriesShareTheArea) {
+  AsciiChart chart(30, 6);
+  chart.add_series("a", {0.1, 0.2, 0.3}, 'a');
+  chart.add_series("b", {0.9, 0.8, 0.7}, 'b');
+  const std::string text = chart.render();
+  EXPECT_NE(text.find('a'), std::string::npos);
+  EXPECT_NE(text.find('b'), std::string::npos);
+  EXPECT_NE(text.find("a=a b=b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,98 @@
+#include "metrics/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  body(json);
+  EXPECT_TRUE(json.complete());
+  return out.str();
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(render([](JsonWriter& j) { j.begin_array().end_array(); }), "[]");
+}
+
+TEST(JsonWriterTest, ScalarsAndCommas) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_array();
+    j.value(std::uint64_t{1});
+    j.value(2.5);
+    j.value("three");
+    j.value(true);
+    j.null();
+    j.end_array();
+  });
+  EXPECT_EQ(text, "[1,2.5,\"three\",true,null]");
+}
+
+TEST(JsonWriterTest, NestedObjects) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.field("a", std::uint64_t{1});
+    j.key("b").begin_object().field("c", "d").end_object();
+    j.key("list").begin_array().value(std::int64_t{-1}).end_array();
+    j.end_object();
+  });
+  EXPECT_EQ(text, R"({"a":1,"b":{"c":"d"},"list":[-1]})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  const std::string text = render([](JsonWriter& j) {
+    j.value(std::string_view("quote\" slash\\ newline\n tab\t ctrl\x01"));
+  });
+  EXPECT_EQ(text, "\"quote\\\" slash\\\\ newline\\n tab\\t ctrl\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(std::nan("")); }), "null");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(INFINITY); }), "null");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    EXPECT_THROW(j.end_object(), std::logic_error);
+  }
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    EXPECT_THROW(j.value("no key"), std::logic_error);
+    EXPECT_THROW(j.end_array(), std::logic_error);
+    j.key("k");
+    EXPECT_THROW(j.key("second key"), std::logic_error);
+    EXPECT_THROW(j.end_object(), std::logic_error);  // dangling key
+  }
+  {
+    JsonWriter j(out);
+    EXPECT_THROW(j.key("k"), std::logic_error);  // key at root
+  }
+  {
+    JsonWriter j(out);
+    j.value("root");
+    EXPECT_THROW(j.value("second root"), std::logic_error);
+  }
+}
+
+TEST(JsonWriterTest, CompleteTracking) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  EXPECT_FALSE(j.complete());
+  j.begin_object();
+  EXPECT_FALSE(j.complete());
+  j.end_object();
+  EXPECT_TRUE(j.complete());
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,119 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+TEST(GroupMetricsTest, EmptyIsAllZero) {
+  GroupMetrics m;
+  EXPECT_EQ(m.total_requests(), 0u);
+  EXPECT_DOUBLE_EQ(m.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.byte_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.miss_rate(), 0.0);
+  EXPECT_EQ(m.measured_average_latency(), Duration::zero());
+  EXPECT_DOUBLE_EQ(m.estimated_average_latency_ms(LatencyModel{}), 0.0);
+}
+
+TEST(GroupMetricsTest, RatesPartitionToOne) {
+  GroupMetrics m;
+  m.record(RequestOutcome::kLocalHit, 100, msec(146));
+  m.record(RequestOutcome::kRemoteHit, 100, msec(342));
+  m.record(RequestOutcome::kRemoteHit, 100, msec(342));
+  m.record(RequestOutcome::kMiss, 100, msec(2784));
+  EXPECT_EQ(m.total_requests(), 4u);
+  EXPECT_DOUBLE_EQ(m.local_hit_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(m.remote_hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(m.miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(m.hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(m.local_hit_rate() + m.remote_hit_rate() + m.miss_rate(), 1.0);
+}
+
+TEST(GroupMetricsTest, ByteHitRateUsesBytes) {
+  GroupMetrics m;
+  m.record(RequestOutcome::kLocalHit, 1000, msec(1));
+  m.record(RequestOutcome::kMiss, 3000, msec(1));
+  EXPECT_DOUBLE_EQ(m.byte_hit_rate(), 0.25);
+  EXPECT_EQ(m.bytes_requested(), 4000u);
+  EXPECT_EQ(m.bytes(RequestOutcome::kLocalHit), 1000u);
+  EXPECT_EQ(m.bytes(RequestOutcome::kMiss), 3000u);
+}
+
+TEST(GroupMetricsTest, MeasuredAverageLatency) {
+  GroupMetrics m;
+  m.record(RequestOutcome::kLocalHit, 1, msec(100));
+  m.record(RequestOutcome::kMiss, 1, msec(300));
+  EXPECT_EQ(m.measured_average_latency(), msec(200));
+}
+
+TEST(GroupMetricsTest, Equation6MatchesHandComputation) {
+  // Paper Eq. 6 with the paper's constants. 50% local, 30% remote, 20% miss:
+  // 0.5*146 + 0.3*342 + 0.2*2784 = 73 + 102.6 + 556.8 = 732.4 ms.
+  GroupMetrics m;
+  for (int i = 0; i < 5; ++i) m.record(RequestOutcome::kLocalHit, 1, msec(0));
+  for (int i = 0; i < 3; ++i) m.record(RequestOutcome::kRemoteHit, 1, msec(0));
+  for (int i = 0; i < 2; ++i) m.record(RequestOutcome::kMiss, 1, msec(0));
+  EXPECT_NEAR(m.estimated_average_latency_ms(LatencyModel::paper_defaults()), 732.4, 1e-9);
+}
+
+TEST(GroupMetricsTest, EstimatedEqualsMeasuredWhenModelDrivesRecording) {
+  GroupMetrics m;
+  const LatencyModel model;
+  m.record(RequestOutcome::kLocalHit, 1, model.local_hit);
+  m.record(RequestOutcome::kRemoteHit, 1, model.remote_hit);
+  m.record(RequestOutcome::kMiss, 1, model.miss);
+  m.record(RequestOutcome::kMiss, 1, model.miss);
+  EXPECT_NEAR(m.estimated_average_latency_ms(model),
+              static_cast<double>(m.measured_average_latency().count()), 1.0);
+}
+
+TEST(GroupMetricsTest, LatencyPercentiles) {
+  GroupMetrics m;
+  const LatencyModel model;  // 146 / 342 / 2784 ms
+  for (int i = 0; i < 70; ++i) m.record(RequestOutcome::kLocalHit, 1, model.local_hit);
+  for (int i = 0; i < 20; ++i) m.record(RequestOutcome::kRemoteHit, 1, model.remote_hit);
+  for (int i = 0; i < 10; ++i) m.record(RequestOutcome::kMiss, 1, model.miss);
+  // 10 ms bucket resolution: percentile returns the bucket's upper edge.
+  EXPECT_NEAR(m.latency_percentile_ms(0.50), 150.0, 1e-9);
+  EXPECT_NEAR(m.latency_percentile_ms(0.90), 350.0, 1e-9);
+  EXPECT_NEAR(m.latency_percentile_ms(0.99), 2790.0, 1e-9);
+  EXPECT_THROW((void)m.latency_percentile_ms(1.5), std::invalid_argument);
+}
+
+TEST(GroupMetricsTest, PercentileOfEmptyIsZero) {
+  GroupMetrics m;
+  EXPECT_DOUBLE_EQ(m.latency_percentile_ms(0.99), 0.0);
+}
+
+TEST(GroupMetricsTest, PercentilesSurviveMerge) {
+  GroupMetrics a, b;
+  for (int i = 0; i < 50; ++i) a.record(RequestOutcome::kLocalHit, 1, msec(100));
+  for (int i = 0; i < 50; ++i) b.record(RequestOutcome::kMiss, 1, msec(2000));
+  a.merge(b);
+  // Exact bucket-boundary values land in [v, v+10): upper edge reported.
+  EXPECT_NEAR(a.latency_percentile_ms(0.25), 110.0, 1e-9);
+  EXPECT_NEAR(a.latency_percentile_ms(0.99), 2010.0, 1e-9);
+}
+
+TEST(GroupMetricsTest, OverflowLatencyClampsToTenSeconds) {
+  GroupMetrics m;
+  m.record(RequestOutcome::kMiss, 1, sec(60));
+  EXPECT_DOUBLE_EQ(m.latency_percentile_ms(1.0), 10000.0);
+}
+
+TEST(GroupMetricsTest, MergeAddsEverything) {
+  GroupMetrics a, b;
+  a.record(RequestOutcome::kLocalHit, 10, msec(5));
+  b.record(RequestOutcome::kMiss, 20, msec(15));
+  a.merge(b);
+  EXPECT_EQ(a.total_requests(), 2u);
+  EXPECT_EQ(a.count(RequestOutcome::kLocalHit), 1u);
+  EXPECT_EQ(a.count(RequestOutcome::kMiss), 1u);
+  EXPECT_EQ(a.bytes_requested(), 30u);
+  EXPECT_EQ(a.measured_average_latency(), msec(10));
+}
+
+}  // namespace
+}  // namespace eacache

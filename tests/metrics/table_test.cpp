@@ -1,0 +1,61 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, PrintsAlignedColumns) {
+  TextTable table({"size", "hit rate"});
+  table.add_row({"100KiB", "31.2%"});
+  table.add_row({"1GiB", "74%"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| size   | hit rate |"), std::string::npos);
+  EXPECT_NE(text.find("| 100KiB | 31.2%    |"), std::string::npos);
+  EXPECT_NE(text.find("+--------+----------+"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"with,comma", "with\"quote"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TextTableTest, Counts) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_EQ(table.num_columns(), 1u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(FormattersTest, Percent) {
+  EXPECT_EQ(fmt_percent(0.3123), "31.23%");
+  EXPECT_EQ(fmt_percent(0.5, 0), "50%");
+  EXPECT_EQ(fmt_percent(1.0, 1), "100.0%");
+}
+
+TEST(FormattersTest, Double) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace eacache

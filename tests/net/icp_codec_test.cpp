@@ -1,0 +1,169 @@
+#include "net/icp_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/random.h"
+#include "net/transport.h"
+
+namespace eacache {
+namespace {
+
+IcpPacket sample_query() {
+  IcpPacket packet;
+  packet.opcode = IcpOpcode::kQuery;
+  packet.request_number = 0xdeadbeef;
+  packet.sender_address = 0x0a000001;
+  packet.requester_address = 0x0a000002;
+  packet.url = "http://example.com/index.html";
+  return packet;
+}
+
+TEST(IcpCodecTest, QueryRoundTrip) {
+  const IcpPacket original = sample_query();
+  const auto bytes = icp_encode(original);
+  const auto decoded = icp_decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(IcpCodecTest, ReplyRoundTrip) {
+  for (const IcpOpcode opcode : {IcpOpcode::kHit, IcpOpcode::kMiss, IcpOpcode::kErr,
+                                 IcpOpcode::kMissNoFetch, IcpOpcode::kDenied}) {
+    IcpPacket packet;
+    packet.opcode = opcode;
+    packet.request_number = 42;
+    packet.sender_address = 7;
+    packet.url = "http://a/b";
+    const auto decoded = icp_decode(icp_encode(packet));
+    ASSERT_TRUE(decoded.has_value()) << to_string(opcode);
+    EXPECT_EQ(*decoded, packet);
+  }
+}
+
+TEST(IcpCodecTest, HeaderLayoutMatchesRfc2186) {
+  const auto bytes = icp_encode(sample_query());
+  EXPECT_EQ(bytes[0], 1u);  // ICP_OP_QUERY
+  EXPECT_EQ(bytes[1], 2u);  // version 2
+  // Message length, big-endian, equals the buffer size.
+  EXPECT_EQ((bytes[2] << 8) | bytes[3], static_cast<int>(bytes.size()));
+  // Request number 0xdeadbeef at offset 4.
+  EXPECT_EQ(bytes[4], 0xde);
+  EXPECT_EQ(bytes[5], 0xad);
+  EXPECT_EQ(bytes[6], 0xbe);
+  EXPECT_EQ(bytes[7], 0xef);
+  // NUL-terminated payload.
+  EXPECT_EQ(bytes.back(), 0u);
+}
+
+TEST(IcpCodecTest, EncodedSizeFormula) {
+  const IcpPacket query = sample_query();
+  EXPECT_EQ(icp_encoded_size(query), 20 + 4 + query.url.size() + 1);
+  EXPECT_EQ(icp_encode(query).size(), icp_encoded_size(query));
+  IcpPacket reply = query;
+  reply.opcode = IcpOpcode::kHit;
+  reply.requester_address = 0;
+  EXPECT_EQ(icp_encoded_size(reply), 20 + reply.url.size() + 1);
+}
+
+TEST(IcpCodecTest, RejectsUnencodablePackets) {
+  IcpPacket bad = sample_query();
+  bad.opcode = IcpOpcode::kInvalid;
+  EXPECT_THROW((void)icp_encode(bad), std::invalid_argument);
+  bad = sample_query();
+  bad.url = std::string("a\0b", 3);
+  EXPECT_THROW((void)icp_encode(bad), std::invalid_argument);
+  bad = sample_query();
+  bad.url.assign(70000, 'x');
+  EXPECT_THROW((void)icp_encode(bad), std::invalid_argument);
+}
+
+TEST(IcpCodecTest, DecodeRejectsMalformedInput) {
+  const auto good = icp_encode(sample_query());
+
+  // Truncated header.
+  EXPECT_FALSE(icp_decode(std::span(good).first(10)).has_value());
+  // Truncated payload (length field no longer matches).
+  EXPECT_FALSE(icp_decode(std::span(good).first(good.size() - 3)).has_value());
+
+  auto bad = good;
+  bad[0] = 99;  // unknown opcode
+  EXPECT_FALSE(icp_decode(bad).has_value());
+
+  bad = good;
+  bad[1] = 3;  // wrong version
+  EXPECT_FALSE(icp_decode(bad).has_value());
+
+  bad = good;
+  bad[3] ^= 0xff;  // corrupted length
+  EXPECT_FALSE(icp_decode(bad).has_value());
+
+  bad = good;
+  bad.back() = 'x';  // missing NUL terminator
+  EXPECT_FALSE(icp_decode(bad).has_value());
+
+  // A query too short to carry the requester address.
+  IcpPacket tiny;
+  tiny.opcode = IcpOpcode::kHit;
+  tiny.url = "";
+  auto hit_bytes = icp_encode(tiny);
+  hit_bytes[0] = static_cast<std::uint8_t>(IcpOpcode::kQuery);
+  EXPECT_FALSE(icp_decode(hit_bytes).has_value());
+}
+
+TEST(IcpCodecTest, DecodeNeverCrashesOnRandomBytes) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> noise(rng.next_below(64));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next_below(256));
+    (void)icp_decode(noise);  // must not crash; result may be anything valid
+  }
+  SUCCEED();
+}
+
+TEST(IcpCodecTest, FuzzRoundTripRandomPackets) {
+  Rng rng(0xc0de);
+  const IcpOpcode opcodes[] = {IcpOpcode::kQuery, IcpOpcode::kHit, IcpOpcode::kMiss,
+                               IcpOpcode::kErr, IcpOpcode::kMissNoFetch, IcpOpcode::kDenied};
+  for (int trial = 0; trial < 2000; ++trial) {
+    IcpPacket packet;
+    packet.opcode = opcodes[rng.next_below(6)];
+    packet.request_number = static_cast<std::uint32_t>(rng.next());
+    packet.options = static_cast<std::uint32_t>(rng.next());
+    packet.option_data = static_cast<std::uint32_t>(rng.next());
+    packet.sender_address = static_cast<std::uint32_t>(rng.next());
+    if (packet.opcode == IcpOpcode::kQuery) {
+      packet.requester_address = static_cast<std::uint32_t>(rng.next());
+    }
+    const std::size_t url_len = rng.next_below(200);
+    packet.url.reserve(url_len);
+    for (std::size_t i = 0; i < url_len; ++i) {
+      packet.url.push_back(static_cast<char>('!' + rng.next_below(90)));
+    }
+    const auto decoded = icp_decode(icp_encode(packet));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, packet);
+  }
+}
+
+TEST(IcpCodecTest, SimulatorWireCostsApproximateRealPackets) {
+  // The transport layer charges icp_header + avg_url per message; the real
+  // encoding of a typical query must land in the same ballpark (the
+  // simulator's byte accounting is an estimate, not fiction).
+  const WireCosts costs;
+  IcpPacket packet = sample_query();
+  packet.url = "http://www.cs.bu.edu/students/grads/index.html";  // typical mid-90s URL
+  const double real = static_cast<double>(icp_encoded_size(packet));
+  const double modeled = static_cast<double>(costs.icp_message());
+  EXPECT_NEAR(modeled, real, 0.4 * real);
+}
+
+TEST(IcpCodecTest, OpcodeNames) {
+  EXPECT_EQ(to_string(IcpOpcode::kQuery), "ICP_OP_QUERY");
+  EXPECT_EQ(to_string(IcpOpcode::kMissNoFetch), "ICP_OP_MISS_NOFETCH");
+  EXPECT_EQ(to_string(IcpOpcode::kInvalid), "ICP_OP_INVALID");
+}
+
+}  // namespace
+}  // namespace eacache

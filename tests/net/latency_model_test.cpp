@@ -1,0 +1,57 @@
+#include "net/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+TEST(LatencyModelTest, PaperDefaults) {
+  constexpr LatencyModel model = LatencyModel::paper_defaults();
+  EXPECT_EQ(model.local_hit, msec(146));
+  EXPECT_EQ(model.remote_hit, msec(342));
+  EXPECT_EQ(model.miss, msec(2784));
+}
+
+TEST(LatencyModelTest, LatencyForOutcome) {
+  constexpr LatencyModel model;
+  EXPECT_EQ(model.latency_for(RequestOutcome::kLocalHit), msec(146));
+  EXPECT_EQ(model.latency_for(RequestOutcome::kRemoteHit), msec(342));
+  EXPECT_EQ(model.latency_for(RequestOutcome::kMiss), msec(2784));
+}
+
+TEST(LatencyModelTest, RemoteToMissRatio) {
+  const LatencyModel model = LatencyModel::with_remote_to_miss_ratio(0.5);
+  EXPECT_EQ(model.remote_hit, msec(1392));
+  EXPECT_EQ(model.miss, msec(2784));
+  EXPECT_EQ(model.local_hit, msec(146));
+}
+
+TEST(LatencyModelTest, RatioClampedToLocalHit) {
+  // A tiny ratio cannot make remote hits faster than local ones.
+  const LatencyModel model = LatencyModel::with_remote_to_miss_ratio(0.001);
+  EXPECT_EQ(model.remote_hit, model.local_hit);
+}
+
+TEST(LatencyModelTest, PaperRatioIsAboutEightPercent) {
+  // The paper's measured constants give RHL/ML = 342/2784 ~ 0.123.
+  constexpr LatencyModel model;
+  const double ratio = static_cast<double>(model.remote_hit.count()) /
+                       static_cast<double>(model.miss.count());
+  EXPECT_NEAR(ratio, 0.123, 0.001);
+}
+
+TEST(LatencyModelTest, BadRatioThrows) {
+  EXPECT_THROW((void)LatencyModel::with_remote_to_miss_ratio(0.0), std::invalid_argument);
+  EXPECT_THROW((void)LatencyModel::with_remote_to_miss_ratio(-1.0), std::invalid_argument);
+}
+
+TEST(OutcomeTest, ToString) {
+  EXPECT_EQ(to_string(RequestOutcome::kLocalHit), "local-hit");
+  EXPECT_EQ(to_string(RequestOutcome::kRemoteHit), "remote-hit");
+  EXPECT_EQ(to_string(RequestOutcome::kMiss), "miss");
+}
+
+}  // namespace
+}  // namespace eacache

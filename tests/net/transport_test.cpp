@@ -1,0 +1,81 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+namespace eacache {
+namespace {
+
+TEST(TransportTest, StartsEmpty) {
+  Transport t;
+  EXPECT_EQ(t.stats().total_messages(), 0u);
+  EXPECT_EQ(t.stats().total_bytes(), 0u);
+}
+
+TEST(TransportTest, IcpAccounting) {
+  Transport t;
+  t.record_icp_query(IcpQuery{0, 1, 42});
+  t.record_icp_reply(IcpReply{1, 0, 42, true});
+  EXPECT_EQ(t.stats().icp_queries, 1u);
+  EXPECT_EQ(t.stats().icp_replies, 1u);
+  EXPECT_EQ(t.stats().icp_bytes, 2 * t.costs().icp_message());
+}
+
+TEST(TransportTest, HttpWithoutPiggybackHasNoOverheadBytes) {
+  Transport t;
+  HttpRequest req{0, 1, 42, std::nullopt};
+  t.record_http_request(req);
+  HttpResponse resp;
+  resp.body_size = 4096;
+  t.record_http_response(resp);
+  EXPECT_EQ(t.stats().piggyback_bytes, 0u);
+  EXPECT_EQ(t.stats().http_body_bytes, 4096u);
+  EXPECT_EQ(t.stats().http_header_bytes,
+            t.costs().http_request_headers + t.costs().http_response_headers);
+}
+
+TEST(TransportTest, EaPiggybackCostsEightBytesPerHttpMessage) {
+  Transport t;
+  HttpRequest req{0, 1, 42, ExpAge::from_millis(500)};
+  t.record_http_request(req);
+  HttpResponse resp;
+  resp.responder_age = ExpAge::from_millis(900);
+  t.record_http_response(resp);
+  EXPECT_EQ(t.stats().piggyback_bytes, 2 * t.costs().ea_piggyback);
+}
+
+TEST(TransportTest, OriginFetchCountsBothDirections) {
+  Transport t;
+  t.record_origin_fetch(1000);
+  EXPECT_EQ(t.stats().origin_fetches, 1u);
+  EXPECT_EQ(t.stats().http_body_bytes, 1000u);
+  EXPECT_EQ(t.stats().http_header_bytes,
+            t.costs().http_request_headers + t.costs().http_response_headers);
+  // Origin traffic is not an inter-proxy message.
+  EXPECT_EQ(t.stats().total_messages(), 0u);
+}
+
+TEST(TransportTest, TotalsAddUp) {
+  Transport t;
+  t.record_icp_query(IcpQuery{});
+  t.record_icp_reply(IcpReply{});
+  t.record_http_request(HttpRequest{});
+  HttpResponse resp;
+  resp.body_size = 10;
+  t.record_http_response(resp);
+  EXPECT_EQ(t.stats().total_messages(), 4u);
+  EXPECT_EQ(t.stats().total_bytes(), t.stats().icp_bytes + t.stats().http_header_bytes +
+                                         t.stats().http_body_bytes +
+                                         t.stats().piggyback_bytes);
+}
+
+TEST(TransportTest, CustomWireCosts) {
+  WireCosts costs;
+  costs.icp_header = 10;
+  costs.avg_url = 30;
+  Transport t(costs);
+  t.record_icp_query(IcpQuery{});
+  EXPECT_EQ(t.stats().icp_bytes, 40u);
+}
+
+}  // namespace
+}  // namespace eacache

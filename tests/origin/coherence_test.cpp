@@ -1,0 +1,265 @@
+// TTL + If-Modified-Since coherence across the cache group.
+#include <gtest/gtest.h>
+
+#include "group/cache_group.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint at(std::int64_t s) { return kSimEpoch + sec(s); }
+
+GroupConfig coherent_group(Duration ttl = hours(1)) {
+  GroupConfig config;
+  config.num_proxies = 2;
+  config.aggregate_capacity = 64 * kKiB;
+  config.placement = PlacementKind::kAdHoc;
+  config.coherence.enabled = true;
+  config.coherence.fresh_ttl = ttl;
+  // Deterministic fixed update interval keeps the tests exact.
+  config.origin.min_update_interval = hours(10);
+  config.origin.max_update_interval = hours(10);
+  return config;
+}
+
+Request req(std::int64_t t_s, UserId user, DocumentId doc, Bytes size = 512) {
+  return Request{at(t_s), user, doc, size};
+}
+
+// The update process has a random per-document phase; tests that need "no
+// change in [a, b]" pick a document id with that property via the oracle.
+DocumentId doc_stable_between(const GroupConfig& config, TimePoint a, TimePoint b) {
+  const OriginServer origin(config.origin);
+  for (DocumentId d = 1; d < 10000; ++d) {
+    if (origin.version_at(d, a) == origin.version_at(d, b)) return d;
+  }
+  throw std::runtime_error("no stable document found");
+}
+
+UserId user_on(const CacheGroup& group, ProxyId proxy) {
+  for (UserId u = 0; u < 10000; ++u) {
+    if (group.home_proxy(u) == proxy) return u;
+  }
+  throw std::runtime_error("no user maps to proxy");
+}
+
+TEST(CoherenceTest, RejectsNonPositiveTtl) {
+  GroupConfig config = coherent_group(Duration::zero());
+  EXPECT_THROW(CacheGroup{config}, std::invalid_argument);
+}
+
+TEST(CoherenceTest, FreshHitWithinTtlNeedsNoValidation) {
+  const GroupConfig config = coherent_group(hours(1));
+  CacheGroup group(config);
+  const UserId u = user_on(group, 0);
+  const DocumentId doc = doc_stable_between(config, at(0), at(60));
+  group.serve(req(0, u, doc));
+  EXPECT_EQ(group.serve(req(60, u, doc)), RequestOutcome::kLocalHit);
+  EXPECT_EQ(group.coherence_stats().validations, 0u);
+}
+
+TEST(CoherenceTest, TtlExpiryTriggersValidation304) {
+  const GroupConfig config = coherent_group(hours(1));
+  CacheGroup group(config);
+  const UserId u = user_on(group, 0);
+  const DocumentId doc = doc_stable_between(config, at(0), at(7200));
+  group.serve(req(0, u, doc));
+  // 2 hours later: TTL expired but the document is unchanged.
+  EXPECT_EQ(group.serve(req(7200, u, doc)), RequestOutcome::kLocalHit);
+  EXPECT_EQ(group.coherence_stats().validations, 1u);
+  EXPECT_EQ(group.coherence_stats().validated_304, 1u);
+  EXPECT_EQ(group.coherence_stats().validated_200, 0u);
+}
+
+TEST(CoherenceTest, ValidationRenewsFreshness) {
+  const GroupConfig config = coherent_group(hours(1));
+  CacheGroup group(config);
+  const UserId u = user_on(group, 0);
+  const DocumentId doc = doc_stable_between(config, at(0), at(9000));
+  group.serve(req(0, u, doc));
+  group.serve(req(7200, u, doc));  // validation at t=2h
+  // 30 minutes after the validation the copy is fresh again.
+  group.serve(req(7200 + 1800, u, doc));
+  EXPECT_EQ(group.coherence_stats().validations, 1u);
+}
+
+TEST(CoherenceTest, ChangedDocumentCountsAsMiss) {
+  CacheGroup group(coherent_group(hours(1)));
+  const UserId u = user_on(group, 0);
+  group.serve(req(0, u, 1));
+  // 20 hours later the 10-hour-interval document has certainly changed AND
+  // the TTL has expired: IMS returns 200 with a new body.
+  EXPECT_EQ(group.serve(req(72000, u, 1)), RequestOutcome::kMiss);
+  EXPECT_EQ(group.coherence_stats().validated_200, 1u);
+  // The fresh copy was admitted and serves the next request.
+  EXPECT_EQ(group.serve(req(72060, u, 1)), RequestOutcome::kLocalHit);
+}
+
+TEST(CoherenceTest, StaleCopiesNotAdvertisedOverIcp) {
+  CacheGroup group(coherent_group(hours(1)));
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+  group.serve(req(0, u0, 1));
+  // 2 hours later another proxy asks: proxy 0's copy is TTL-stale, so ICP
+  // answers miss and the request goes to the origin.
+  EXPECT_EQ(group.serve(req(7200, u1, 1)), RequestOutcome::kMiss);
+}
+
+TEST(CoherenceTest, FreshCopyServedRemotelyWithInheritedClock) {
+  const GroupConfig config = coherent_group(hours(1));
+  CacheGroup group(config);
+  const UserId u0 = user_on(group, 0);
+  const UserId u1 = user_on(group, 1);
+  const DocumentId doc = doc_stable_between(config, at(0), at(4500));
+  group.serve(req(0, u0, doc));
+  // 45 minutes later: proxy 0's copy is fresh; remote hit. The copy at
+  // proxy 1 INHERITS the t=0 validation clock.
+  EXPECT_EQ(group.serve(req(2700, u1, doc)), RequestOutcome::kRemoteHit);
+  const auto entry = group.proxy(1).store().peek(doc);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->last_validated, at(0));
+  // So 30 minutes later (75 min since validation) proxy 1 must revalidate.
+  EXPECT_EQ(group.serve(req(2700 + 1800, u1, doc)), RequestOutcome::kLocalHit);
+  EXPECT_EQ(group.coherence_stats().validations, 1u);
+}
+
+TEST(CoherenceTest, StaleServedIsDetectedByOracle) {
+  // A LONG TTL makes the proxy serve without validating even after the
+  // origin changed: the oracle counts those silent stale serves.
+  CacheGroup group(coherent_group(hours(1000)));
+  const UserId u = user_on(group, 0);
+  group.serve(req(0, u, 1));
+  group.serve(req(72000, u, 1));  // 20h later: origin changed, TTL still fresh
+  EXPECT_EQ(group.coherence_stats().stale_served, 1u);
+  EXPECT_EQ(group.coherence_stats().validations, 0u);
+}
+
+TEST(CoherenceTest, WorksUnderEaPlacementEndToEnd) {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 20000;
+  workload.num_documents = 1500;
+  workload.num_users = 32;
+  workload.span = hours(24 * 7);
+  const Trace trace = generate_synthetic_trace(workload);
+
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  config.placement = PlacementKind::kEa;
+  config.coherence.enabled = true;
+  config.coherence.fresh_ttl = hours(6);
+  config.origin.min_update_interval = hours(12);
+  config.origin.max_update_interval = hours(24 * 30);
+
+  const SimulationResult result = run_simulation(trace, config);
+  EXPECT_EQ(result.metrics.total_requests(), trace.size());
+  EXPECT_GT(result.coherence.validations, 0u);
+  EXPECT_GT(result.coherence.validated_304, 0u);
+  EXPECT_EQ(result.coherence.validations,
+            result.coherence.validated_304 + result.coherence.validated_200);
+}
+
+TEST(CoherenceTest, ShorterTtlReducesStaleness) {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 20000;
+  workload.num_documents = 800;
+  workload.num_users = 32;
+  workload.span = hours(24 * 7);
+  const Trace trace = generate_synthetic_trace(workload);
+
+  const auto stale_fraction = [&](Duration ttl) {
+    GroupConfig config;
+    config.num_proxies = 4;
+    config.aggregate_capacity = 8 * kMiB;  // everything fits: isolate coherence
+    config.placement = PlacementKind::kAdHoc;
+    config.coherence.enabled = true;
+    config.coherence.fresh_ttl = ttl;
+    config.origin.min_update_interval = hours(6);
+    config.origin.max_update_interval = hours(24 * 10);
+    const SimulationResult result = run_simulation(trace, config);
+    return static_cast<double>(result.coherence.stale_served) /
+           static_cast<double>(result.metrics.total_requests());
+  };
+  EXPECT_LT(stale_fraction(minutes(30)), stale_fraction(hours(48)));
+}
+
+TEST(CoherenceTest, LmFactorValidation) {
+  GroupConfig config = coherent_group(hours(1));
+  config.coherence.rule = FreshnessRule::kLmFactor;
+  config.coherence.lm_factor = 0.0;
+  EXPECT_THROW(CacheGroup{config}, std::invalid_argument);
+  config.coherence.lm_factor = 0.2;
+  config.coherence.min_ttl = hours(2);
+  config.coherence.max_ttl = hours(1);  // max < min
+  EXPECT_THROW(CacheGroup{config}, std::invalid_argument);
+}
+
+TEST(CoherenceTest, LmFactorGivesStableDocumentsLongerLifetimes) {
+  // Two documents with the same fixed 10h update interval but different
+  // phases: validate both right after admission; the one whose version is
+  // OLDER at validation time earns the longer freshness lifetime, so the
+  // younger one revalidates first.
+  GroupConfig config = coherent_group(hours(10));
+  config.coherence.rule = FreshnessRule::kLmFactor;
+  config.coherence.lm_factor = 0.5;
+  config.coherence.min_ttl = minutes(1);
+  config.coherence.max_ttl = hours(100);
+
+  // Find one document whose current version started long ago and one whose
+  // version is brand new at t = probe.
+  const OriginServer oracle(config.origin);
+  const TimePoint probe = kSimEpoch + hours(40);
+  DocumentId old_doc = 0;
+  DocumentId young_doc = 0;
+  bool found_old = false, found_young = false;
+  for (DocumentId d = 1; d < 5000 && (!found_old || !found_young); ++d) {
+    const TimePoint start = oracle.version_start(d, oracle.version_at(d, probe));
+    const Duration age = probe - start;
+    if (!found_old && age > hours(8)) {
+      old_doc = d;
+      found_old = true;
+    }
+    if (!found_young && age < hours(1) && start > kSimEpoch) {
+      young_doc = d;
+      found_young = true;
+    }
+  }
+  ASSERT_TRUE(found_old && found_young);
+
+  CacheGroup group(config);
+  const UserId u = user_on(group, 0);
+  const std::int64_t t0 = 40 * 3600;
+  group.serve(req(t0, u, old_doc));
+  group.serve(req(t0 + 1, u, young_doc));
+
+  // 2.5 hours later: the old document (age > 8h => lifetime > 4h) is still
+  // fresh; the young one (age < 1h => lifetime < 30min) must revalidate.
+  const auto validations_before = group.coherence_stats().validations;
+  group.serve(req(t0 + 9000, u, old_doc));
+  EXPECT_EQ(group.coherence_stats().validations, validations_before);
+  group.serve(req(t0 + 9001, u, young_doc));
+  EXPECT_EQ(group.coherence_stats().validations, validations_before + 1);
+}
+
+TEST(CoherenceTest, HashRoutingHonoursCoherence) {
+  GroupConfig config = coherent_group(hours(1));
+  config.routing = RoutingMode::kHashPartition;
+  CacheGroup group(config);
+  // Find a user and a document homed at that user's proxy.
+  const UserId u = 0;
+  const ProxyId home = group.home_proxy(u);
+  HashRing ring(config.hash_virtual_nodes);
+  for (const ProxyId p : group.topology().client_facing()) ring.add_proxy(p);
+  DocumentId doc = 0;
+  while (ring.home_of(doc) != home) ++doc;
+
+  group.serve(req(0, u, doc));
+  EXPECT_EQ(group.serve(req(60, u, doc)), RequestOutcome::kLocalHit);
+  // TTL expiry at the home triggers validation there too.
+  group.serve(req(7200, u, doc));
+  EXPECT_EQ(group.coherence_stats().validations, 1u);
+}
+
+}  // namespace
+}  // namespace eacache

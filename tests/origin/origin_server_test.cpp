@@ -1,0 +1,111 @@
+#include "origin/origin_server.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+OriginConfig config_with(Duration min_interval, Duration max_interval) {
+  OriginConfig config;
+  config.min_update_interval = min_interval;
+  config.max_update_interval = max_interval;
+  return config;
+}
+
+TEST(OriginServerTest, RejectsBadIntervals) {
+  EXPECT_THROW(OriginServer(config_with(Duration::zero(), hours(1))), std::invalid_argument);
+  EXPECT_THROW(OriginServer(config_with(hours(2), hours(1))), std::invalid_argument);
+}
+
+TEST(OriginServerTest, VersionsAreMonotone) {
+  const OriginServer origin(config_with(hours(1), hours(100)));
+  for (DocumentId d = 0; d < 50; ++d) {
+    std::uint64_t previous = 0;
+    for (int step = 0; step < 200; ++step) {
+      const std::uint64_t v = origin.version_at(d, kSimEpoch + hours(step));
+      EXPECT_GE(v, previous) << "doc " << d << " step " << step;
+      previous = v;
+    }
+  }
+}
+
+TEST(OriginServerTest, DeterministicAcrossInstances) {
+  const OriginServer a(config_with(hours(1), hours(100)));
+  const OriginServer b(config_with(hours(1), hours(100)));
+  for (DocumentId d = 0; d < 100; ++d) {
+    EXPECT_EQ(a.version_at(d, kSimEpoch + hours(37)), b.version_at(d, kSimEpoch + hours(37)));
+    EXPECT_EQ(a.update_interval(d), b.update_interval(d));
+  }
+}
+
+TEST(OriginServerTest, IntervalsWithinConfiguredRange) {
+  const OriginServer origin(config_with(hours(2), hours(50)));
+  for (DocumentId d = 0; d < 1000; ++d) {
+    const Duration interval = origin.update_interval(d);
+    EXPECT_GE(interval, hours(2));
+    EXPECT_LE(interval, hours(50));
+  }
+}
+
+TEST(OriginServerTest, IntervalsSpanTheRange) {
+  // Log-uniform sampling should populate both the fast and slow ends.
+  const OriginServer origin(config_with(hours(1), hours(1000)));
+  int fast = 0;
+  int slow = 0;
+  for (DocumentId d = 0; d < 2000; ++d) {
+    const Duration interval = origin.update_interval(d);
+    if (interval < hours(10)) ++fast;
+    if (interval > hours(100)) ++slow;
+  }
+  EXPECT_GT(fast, 100);
+  EXPECT_GT(slow, 100);
+}
+
+TEST(OriginServerTest, DocumentChangesRoughlyOncePerInterval) {
+  const OriginServer origin(config_with(hours(10), hours(10)));  // fixed interval
+  const DocumentId doc = 7;
+  const std::uint64_t v0 = origin.version_at(doc, kSimEpoch);
+  const std::uint64_t v1 = origin.version_at(doc, kSimEpoch + hours(100));
+  EXPECT_EQ(v1 - v0, 10u);
+}
+
+TEST(OriginServerTest, VersionStartBoundsTheVersion) {
+  const OriginServer origin(config_with(hours(1), hours(100)));
+  for (DocumentId d = 0; d < 50; ++d) {
+    const TimePoint now = kSimEpoch + hours(200);
+    const std::uint64_t v = origin.version_at(d, now);
+    const TimePoint start = origin.version_start(d, v);
+    // The version began at or before now...
+    EXPECT_LE(start, now);
+    // ...and was indeed current at its own start.
+    EXPECT_EQ(origin.version_at(d, start), v);
+    // The previous instant belonged to an older version (or the epoch clamp).
+    if (start > kSimEpoch) {
+      EXPECT_LT(origin.version_at(d, start - msec(1)), v);
+    }
+  }
+}
+
+TEST(OriginServerTest, VersionStartClampsToEpoch) {
+  const OriginServer origin(config_with(hours(10), hours(10)));
+  // Version 0 predates (or straddles) the epoch for any positive phase.
+  EXPECT_GE(origin.version_start(7, 0), kSimEpoch);
+}
+
+TEST(OriginServerTest, DifferentSeedsChangeSchedules) {
+  OriginConfig a_config = config_with(hours(1), hours(1000));
+  OriginConfig b_config = a_config;
+  b_config.seed = 999;
+  const OriginServer a(a_config);
+  const OriginServer b(b_config);
+  int differing = 0;
+  for (DocumentId d = 0; d < 200; ++d) {
+    if (a.update_interval(d) != b.update_interval(d)) ++differing;
+  }
+  EXPECT_GT(differing, 150);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,86 @@
+#include "prefetch/markov_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+TEST(MarkovPredictorTest, RejectsBadGeometry) {
+  EXPECT_THROW(MarkovPredictor(0, 10), std::invalid_argument);
+  EXPECT_THROW(MarkovPredictor(4, 0), std::invalid_argument);
+}
+
+TEST(MarkovPredictorTest, UnknownAntecedentPredictsNothing) {
+  MarkovPredictor predictor;
+  EXPECT_FALSE(predictor.predict(1).has_value());
+}
+
+TEST(MarkovPredictorTest, LearnsSimpleChain) {
+  MarkovPredictor predictor;
+  for (int i = 0; i < 5; ++i) predictor.observe(1, 2);
+  const auto prediction = predictor.predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->document, 2u);
+  EXPECT_DOUBLE_EQ(prediction->confidence, 1.0);
+  EXPECT_EQ(prediction->observations, 5u);
+}
+
+TEST(MarkovPredictorTest, ConfidenceReflectsMixture) {
+  MarkovPredictor predictor;
+  for (int i = 0; i < 3; ++i) predictor.observe(1, 2);
+  predictor.observe(1, 3);
+  const auto prediction = predictor.predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->document, 2u);
+  EXPECT_DOUBLE_EQ(prediction->confidence, 0.75);
+}
+
+TEST(MarkovPredictorTest, SelfLoopsIgnored) {
+  MarkovPredictor predictor;
+  predictor.observe(1, 1);
+  EXPECT_FALSE(predictor.predict(1).has_value());
+  EXPECT_EQ(predictor.antecedents(), 0u);
+}
+
+TEST(MarkovPredictorTest, StrongSuccessorSurvivesNoise) {
+  // Misra-Gries displacement: a heavy successor must survive a stream of
+  // distinct one-off successors that overflow the slot budget.
+  MarkovPredictor predictor(4);
+  for (int i = 0; i < 100; ++i) predictor.observe(1, 777);
+  for (DocumentId noise = 1000; noise < 1100; ++noise) predictor.observe(1, noise);
+  const auto prediction = predictor.predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->document, 777u);
+}
+
+TEST(MarkovPredictorTest, RepeatOffenderEventuallyDisplaces) {
+  MarkovPredictor predictor(2);
+  predictor.observe(1, 10);  // count 1
+  predictor.observe(1, 11);  // count 1, table full
+  for (int i = 0; i < 20; ++i) predictor.observe(1, 12);  // decays then claims a slot
+  const auto prediction = predictor.predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->document, 12u);
+}
+
+TEST(MarkovPredictorTest, AntecedentTableIsBounded) {
+  MarkovPredictor predictor(4, 16);
+  for (DocumentId a = 0; a < 100; ++a) predictor.observe(a, a + 1000);
+  EXPECT_LE(predictor.antecedents(), 16u);
+  // Early antecedents kept their statistics.
+  EXPECT_TRUE(predictor.predict(0).has_value());
+}
+
+TEST(MarkovPredictorTest, IndependentAntecedents) {
+  MarkovPredictor predictor;
+  predictor.observe(1, 2);
+  predictor.observe(3, 4);
+  EXPECT_EQ(predictor.predict(1)->document, 2u);
+  EXPECT_EQ(predictor.predict(3)->document, 4u);
+  EXPECT_FALSE(predictor.predict(2).has_value());
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,162 @@
+// Eager-mode (prefetching) placement integrated with the cache group.
+#include <gtest/gtest.h>
+
+#include "group/cache_group.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint at(std::int64_t s) { return kSimEpoch + sec(s); }
+
+GroupConfig prefetch_group() {
+  GroupConfig config;
+  config.num_proxies = 2;
+  config.aggregate_capacity = 64 * kKiB;
+  config.placement = PlacementKind::kAdHoc;
+  config.prefetch.enabled = true;
+  config.prefetch.min_confidence = 0.5;
+  config.prefetch.min_observations = 2;
+  return config;
+}
+
+Request req(std::int64_t t_s, UserId user, DocumentId doc, Bytes size = 512) {
+  return Request{at(t_s), user, doc, size};
+}
+
+UserId user_on(const CacheGroup& group, ProxyId proxy) {
+  for (UserId u = 0; u < 10000; ++u) {
+    if (group.home_proxy(u) == proxy) return u;
+  }
+  throw std::runtime_error("no user maps to proxy");
+}
+
+TEST(PrefetchIntegrationTest, ConfigValidation) {
+  GroupConfig config = prefetch_group();
+  config.prefetch.min_confidence = 1.5;
+  EXPECT_THROW(CacheGroup{config}, std::invalid_argument);
+  config = prefetch_group();
+  config.routing = RoutingMode::kHashPartition;
+  EXPECT_THROW(CacheGroup{config}, std::invalid_argument);
+}
+
+TEST(PrefetchIntegrationTest, LearnsPatternAndPrefetches) {
+  CacheGroup group(prefetch_group());
+  const UserId u = user_on(group, 0);
+  // Teach the chain A(1) -> B(2) twice, then visit A again: the proxy
+  // should speculatively fetch B.
+  std::int64_t t = 0;
+  for (int round = 0; round < 2; ++round) {
+    group.serve(req(++t, u, 1));
+    group.serve(req(++t, u, 2));
+    group.serve(req(++t, u, 99));  // break the chain so 2->1 noise stays low
+  }
+  // Evict nothing so far; drop B so the prefetch is observable.
+  group.flush_proxy(0, at(++t));
+  group.serve(req(++t, u, 1));  // A again: prediction 1->2 fires
+  EXPECT_EQ(group.prefetch_stats().issued, 1u);
+  EXPECT_TRUE(group.proxy(0).store().contains(2));
+  // The demand for B is now a LOCAL HIT thanks to the prefetch.
+  EXPECT_EQ(group.serve(req(++t, u, 2)), RequestOutcome::kLocalHit);
+  EXPECT_EQ(group.prefetch_stats().useful, 1u);
+}
+
+TEST(PrefetchIntegrationTest, NoPrefetchBelowEvidenceThresholds) {
+  CacheGroup group(prefetch_group());  // needs 2 observations
+  const UserId u = user_on(group, 0);
+  group.serve(req(1, u, 1));
+  group.serve(req(2, u, 2));  // one observation of 1->2 only
+  group.flush_proxy(0, at(3));
+  group.serve(req(4, u, 1));
+  EXPECT_EQ(group.prefetch_stats().issued, 0u);
+}
+
+TEST(PrefetchIntegrationTest, NeverPrefetchesUnknownSizes) {
+  CacheGroup group(prefetch_group());
+  const UserId u = user_on(group, 0);
+  // Chain into a document the group has never served: impossible, since
+  // observations only exist for served documents — assert the invariant
+  // indirectly: everything issued had a known size (bytes > 0).
+  std::int64_t t = 0;
+  for (int round = 0; round < 3; ++round) {
+    group.serve(req(++t, u, 1));
+    group.serve(req(++t, u, 2));
+  }
+  if (group.prefetch_stats().issued > 0) {
+    EXPECT_GT(group.prefetch_stats().bytes_prefetched, 0u);
+  }
+}
+
+TEST(PrefetchIntegrationTest, AccountingIdentityHolds) {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 30000;
+  workload.num_documents = 1000;
+  workload.num_users = 16;
+  workload.span = hours(8);
+  workload.repeat_probability = 0.4;  // locality gives the predictor signal
+  const Trace trace = generate_synthetic_trace(workload);
+
+  GroupConfig config = prefetch_group();
+  config.num_proxies = 4;
+  config.aggregate_capacity = 512 * kKiB;
+  const SimulationResult result = run_simulation(trace, config);
+  EXPECT_EQ(result.metrics.total_requests(), trace.size());
+  EXPECT_GT(result.prefetch.issued, 0u);
+  EXPECT_LE(result.prefetch.useful + result.prefetch.still_pending, result.prefetch.issued);
+  EXPECT_EQ(result.prefetch.wasted(),
+            result.prefetch.issued - result.prefetch.useful - result.prefetch.still_pending);
+}
+
+TEST(PrefetchIntegrationTest, PrefetchTrafficIsAccounted) {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 10000;
+  workload.num_documents = 500;
+  workload.num_users = 8;
+  workload.span = hours(2);
+  workload.repeat_probability = 0.4;
+  const Trace trace = generate_synthetic_trace(workload);
+
+  // Generous capacity: under heavy contention speculative copies evict
+  // useful ones (cache pollution — the ABL-PREFETCH bench shows that
+  // regime); with room to spare, prefetching must help.
+  GroupConfig with = prefetch_group();
+  with.num_proxies = 4;
+  with.aggregate_capacity = 2 * kMiB;
+  GroupConfig without = with;
+  without.prefetch.enabled = false;
+
+  const SimulationResult eager = run_simulation(trace, with);
+  const SimulationResult lazy = run_simulation(trace, without);
+  // Speculation costs extra origin fetches: every issued prefetch is one.
+  EXPECT_EQ(eager.transport.origin_fetches,
+            eager.metrics.count(RequestOutcome::kMiss) + eager.prefetch.issued);
+  // Some speculation pays off...
+  EXPECT_GT(eager.prefetch.useful, 0u);
+  // ...and the hit rate stays within noise of the lazy baseline (on
+  // Zipf+recency workloads first-order Markov prefetching is nearly
+  // neutral — the ABL-PREFETCH bench quantifies the trade; what this test
+  // pins is that speculation never does material damage).
+  EXPECT_GT(eager.metrics.hit_rate(), lazy.metrics.hit_rate() - 0.01);
+}
+
+TEST(PrefetchIntegrationTest, WorksUnderEaPlacement) {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 15000;
+  workload.num_documents = 800;
+  workload.num_users = 16;
+  workload.span = hours(4);
+  workload.repeat_probability = 0.4;
+  const Trace trace = generate_synthetic_trace(workload);
+
+  GroupConfig config = prefetch_group();
+  config.num_proxies = 4;
+  config.aggregate_capacity = 256 * kKiB;
+  config.placement = PlacementKind::kEa;
+  const SimulationResult result = run_simulation(trace, config);
+  EXPECT_EQ(result.metrics.total_requests(), trace.size());
+  EXPECT_GT(result.prefetch.issued, 0u);
+}
+
+}  // namespace
+}  // namespace eacache

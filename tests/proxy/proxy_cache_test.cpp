@@ -1,0 +1,180 @@
+#include "proxy/proxy_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "storage/lru_policy.h"
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint at(std::int64_t s) { return kSimEpoch + sec(s); }
+
+struct Fixture {
+  explicit Fixture(PlacementKind kind, Bytes capacity = 1000)
+      : placement(make_placement(kind)),
+        proxy(0, capacity, std::make_unique<LruPolicy>(), WindowConfig::cumulative(),
+              placement.get()) {}
+
+  std::unique_ptr<PlacementPolicy> placement;
+  ProxyCache proxy;
+};
+
+// Drive evictions until the proxy's expiration age is a known finite value:
+// fill with one-shot docs of 400 bytes so victims die `gap` seconds after
+// their admission (== last hit).
+void force_expiration_age(ProxyCache& proxy, std::int64_t base_s, std::int64_t gap_s,
+                          int victims) {
+  DocumentId next_id = 900000;
+  std::int64_t t = base_s;
+  // Prime with two resident docs.
+  proxy.cache_after_origin_fetch({next_id++, 400}, at(t));
+  proxy.cache_after_origin_fetch({next_id++, 400}, at(t));
+  for (int i = 0; i < victims; ++i) {
+    t += gap_s;
+    proxy.cache_after_origin_fetch({next_id++, 400}, at(t));
+  }
+}
+
+TEST(ProxyCacheTest, NullPlacementThrows) {
+  EXPECT_THROW(
+      ProxyCache(0, 100, std::make_unique<LruPolicy>(), WindowConfig::cumulative(), nullptr),
+      std::invalid_argument);
+}
+
+TEST(ProxyCacheTest, ColdProxyHasInfiniteAge) {
+  Fixture f(PlacementKind::kEa);
+  EXPECT_TRUE(f.proxy.expiration_age(at(0)).is_infinite());
+}
+
+TEST(ProxyCacheTest, ServeLocalHitAndMiss) {
+  Fixture f(PlacementKind::kAdHoc);
+  f.proxy.cache_after_origin_fetch({1, 300}, at(0));
+  const auto size = f.proxy.serve_local(1, at(1));
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 300u);
+  EXPECT_EQ(f.proxy.stats().local_hits, 1u);
+  EXPECT_FALSE(f.proxy.serve_local(2, at(2)).has_value());
+}
+
+TEST(ProxyCacheTest, AnswerIcpIsSideEffectFree) {
+  Fixture f(PlacementKind::kEa);
+  f.proxy.cache_after_origin_fetch({1, 300}, at(0));
+  EXPECT_TRUE(f.proxy.answer_icp(1));
+  EXPECT_FALSE(f.proxy.answer_icp(2));
+  EXPECT_EQ(f.proxy.store().peek(1)->hit_count, 1u);
+}
+
+TEST(ProxyCacheTest, ServeRemoteAdHocPromotes) {
+  Fixture f(PlacementKind::kAdHoc);
+  f.proxy.cache_after_origin_fetch({1, 300}, at(0));
+  HttpRequest request{1, 0, 1, std::nullopt};
+  const HttpResponse response = f.proxy.serve_remote(request, at(5));
+  EXPECT_EQ(response.body_size, 300u);
+  EXPECT_EQ(response.source, ResponseSource::kCache);
+  EXPECT_FALSE(response.responder_age.has_value());  // ad-hoc: no piggyback
+  EXPECT_EQ(f.proxy.store().peek(1)->hit_count, 2u);  // promoted
+  EXPECT_EQ(f.proxy.stats().remote_fetches_served, 1u);
+  EXPECT_EQ(f.proxy.stats().promotions_suppressed, 0u);
+}
+
+TEST(ProxyCacheTest, ServeRemoteEaSuppressesPromotionWhenRequesterWins) {
+  Fixture f(PlacementKind::kEa);
+  // Give the responder a finite (low) age; the requester claims infinite.
+  force_expiration_age(f.proxy, 0, 1, 5);
+  f.proxy.cache_after_origin_fetch({1, 300}, at(100));
+  HttpRequest request{1, 0, 1, ExpAge::infinite()};
+  const HttpResponse response = f.proxy.serve_remote(request, at(105));
+  ASSERT_TRUE(response.responder_age.has_value());
+  EXPECT_FALSE(response.responder_age->is_infinite());
+  EXPECT_EQ(f.proxy.store().peek(1)->hit_count, 1u);  // NOT promoted
+  EXPECT_EQ(f.proxy.stats().promotions_suppressed, 1u);
+}
+
+TEST(ProxyCacheTest, ServeRemoteEaPromotesWhenResponderWins) {
+  Fixture f(PlacementKind::kEa);
+  // Responder is cold -> infinite age; requester sends a finite age.
+  f.proxy.cache_after_origin_fetch({1, 300}, at(0));
+  HttpRequest request{1, 0, 1, ExpAge::from_millis(5000)};
+  const HttpResponse response = f.proxy.serve_remote(request, at(5));
+  ASSERT_TRUE(response.responder_age.has_value());
+  EXPECT_TRUE(response.responder_age->is_infinite());
+  EXPECT_EQ(f.proxy.store().peek(1)->hit_count, 2u);  // promoted
+}
+
+TEST(ProxyCacheTest, ServeRemoteAbsentDocumentThrows) {
+  Fixture f(PlacementKind::kEa);
+  HttpRequest request{1, 0, 42, std::nullopt};
+  EXPECT_THROW((void)f.proxy.serve_remote(request, at(0)), std::logic_error);
+}
+
+TEST(ProxyCacheTest, ConsiderCachingStoresWhenRequesterWinsOrTies) {
+  Fixture f(PlacementKind::kEa);
+  // Cold proxy: infinite age; responder also infinite -> tie -> store.
+  EXPECT_TRUE(f.proxy.consider_caching({1, 100}, ExpAge::infinite(), at(0)));
+  EXPECT_TRUE(f.proxy.store().contains(1));
+  EXPECT_EQ(f.proxy.stats().copies_stored, 1u);
+}
+
+TEST(ProxyCacheTest, ConsiderCachingDeclinesWhenResponderWins) {
+  Fixture f(PlacementKind::kEa);
+  force_expiration_age(f.proxy, 0, 1, 5);  // finite own age
+  EXPECT_FALSE(f.proxy.consider_caching({1, 100}, ExpAge::infinite(), at(100)));
+  EXPECT_FALSE(f.proxy.store().contains(1));
+  EXPECT_EQ(f.proxy.stats().copies_declined, 1u);
+}
+
+TEST(ProxyCacheTest, ConsiderCachingAdHocAlwaysStores) {
+  Fixture f(PlacementKind::kAdHoc);
+  EXPECT_TRUE(f.proxy.consider_caching({1, 100}, std::nullopt, at(0)));
+}
+
+TEST(ProxyCacheTest, ConsiderCachingSkipsResidentDocument) {
+  Fixture f(PlacementKind::kAdHoc);
+  f.proxy.cache_after_origin_fetch({1, 100}, at(0));
+  EXPECT_FALSE(f.proxy.consider_caching({1, 100}, std::nullopt, at(1)));
+}
+
+TEST(ProxyCacheTest, ConsiderCachingOversizedDocument) {
+  Fixture f(PlacementKind::kAdHoc, 100);
+  EXPECT_FALSE(f.proxy.consider_caching({1, 500}, std::nullopt, at(0)));
+  EXPECT_FALSE(f.proxy.store().contains(1));
+}
+
+TEST(ProxyCacheTest, ResolveMissAsParentStoresOnStrictWin) {
+  Fixture f(PlacementKind::kEa);
+  // Parent cold (infinite age), requester finite -> parent > requester.
+  HttpRequest request{1, 0, 7, ExpAge::from_millis(100)};
+  const HttpResponse response = f.proxy.resolve_miss_as_parent({7, 200}, request, at(0));
+  EXPECT_TRUE(f.proxy.store().contains(7));
+  EXPECT_EQ(response.source, ResponseSource::kOrigin);
+  ASSERT_TRUE(response.responder_age.has_value());
+}
+
+TEST(ProxyCacheTest, ResolveMissAsParentDeclinesOnLoss) {
+  Fixture f(PlacementKind::kEa);
+  force_expiration_age(f.proxy, 0, 1, 5);  // finite parent age
+  HttpRequest request{1, 0, 7, ExpAge::infinite()};
+  (void)f.proxy.resolve_miss_as_parent({7, 200}, request, at(100));
+  EXPECT_FALSE(f.proxy.store().contains(7));
+  EXPECT_GE(f.proxy.stats().copies_declined, 1u);
+}
+
+TEST(ProxyCacheTest, ResolveMissAsParentTieGoesToRequester) {
+  Fixture f(PlacementKind::kEa);
+  // Both infinite: parent_should_cache is strict, so the parent declines
+  // (the requester will store — paper's tie-break).
+  HttpRequest request{1, 0, 7, ExpAge::infinite()};
+  (void)f.proxy.resolve_miss_as_parent({7, 200}, request, at(0));
+  EXPECT_FALSE(f.proxy.store().contains(7));
+}
+
+TEST(ProxyCacheTest, CacheAfterOriginFetchOnResidentThrows) {
+  Fixture f(PlacementKind::kAdHoc);
+  f.proxy.cache_after_origin_fetch({1, 100}, at(0));
+  EXPECT_THROW(f.proxy.cache_after_origin_fetch({1, 100}, at(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,62 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+Trace small_trace() {
+  SyntheticTraceConfig config;
+  config.num_requests = 4000;
+  config.num_documents = 400;
+  config.num_users = 16;
+  config.span = hours(1);
+  return generate_synthetic_trace(config);
+}
+
+TEST(ExperimentTest, PaperLadderValues) {
+  const auto ladder = paper_capacity_ladder();
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_EQ(ladder[0], 100 * kKiB);
+  EXPECT_EQ(ladder[1], 1 * kMiB);
+  EXPECT_EQ(ladder[2], 10 * kMiB);
+  EXPECT_EQ(ladder[3], 100 * kMiB);
+  EXPECT_EQ(ladder[4], 1 * kGiB);
+}
+
+TEST(ExperimentTest, CapacitySweepRunsBothSchemes) {
+  const Trace trace = small_trace();
+  GroupConfig base;
+  base.num_proxies = 2;
+  const Bytes capacities[] = {32 * kKiB, 128 * kKiB};
+  const auto points = compare_schemes_over_capacities(trace, base, capacities);
+  ASSERT_EQ(points.size(), 2u);
+  for (const SchemeComparison& point : points) {
+    EXPECT_EQ(point.adhoc.metrics.total_requests(), trace.size());
+    EXPECT_EQ(point.ea.metrics.total_requests(), trace.size());
+  }
+  EXPECT_EQ(points[0].aggregate_capacity, 32 * kKiB);
+  EXPECT_EQ(points[1].aggregate_capacity, 128 * kKiB);
+  // Bigger caches never hurt the hit rate on the same trace/scheme.
+  EXPECT_GE(points[1].ea.metrics.hit_rate(), points[0].ea.metrics.hit_rate() - 0.02);
+}
+
+TEST(ExperimentTest, GroupSizeSweep) {
+  const Trace trace = small_trace();
+  GroupConfig base;
+  base.aggregate_capacity = 64 * kKiB;
+  const std::size_t sizes[] = {2, 4};
+  const auto points = compare_schemes_over_group_sizes(trace, base, sizes);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].num_proxies, 2u);
+  EXPECT_EQ(points[1].num_proxies, 4u);
+  for (const GroupSizePoint& point : points) {
+    EXPECT_EQ(point.adhoc.metrics.total_requests(), trace.size());
+    EXPECT_EQ(point.ea.metrics.total_requests(), trace.size());
+  }
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,143 @@
+// Failure injection: proxies crash-restart (losing their disks) mid-trace.
+#include <gtest/gtest.h>
+
+#include "group/cache_group.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+Trace failure_trace() {
+  SyntheticTraceConfig config;
+  config.num_requests = 20000;
+  config.num_documents = 1500;
+  config.num_users = 48;
+  config.span = hours(10);
+  return generate_synthetic_trace(config);
+}
+
+GroupConfig group_config(PlacementKind placement) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  config.placement = placement;
+  return config;
+}
+
+TEST(FailureInjectionTest, FlushEmptiesExactlyOneProxy) {
+  CacheGroup group(group_config(PlacementKind::kEa));
+  for (int i = 0; i < 200; ++i) {
+    group.serve(Request{kSimEpoch + sec(i + 1), static_cast<UserId>(i % 16),
+                        static_cast<DocumentId>(i % 60), 512});
+  }
+  ASSERT_GT(group.proxy(0).store().resident_count(), 0u);
+  const std::size_t other = group.proxy(1).store().resident_count();
+  group.flush_proxy(0, kSimEpoch + sec(300));
+  EXPECT_EQ(group.proxy(0).store().resident_count(), 0u);
+  EXPECT_EQ(group.proxy(0).store().resident_bytes(), 0u);
+  EXPECT_EQ(group.proxy(1).store().resident_count(), other);
+}
+
+TEST(FailureInjectionTest, FlushDoesNotPoisonContentionStats) {
+  CacheGroup group(group_config(PlacementKind::kEa));
+  for (int i = 0; i < 100; ++i) {
+    group.serve(Request{kSimEpoch + sec(i + 1), 1, static_cast<DocumentId>(i), 512});
+  }
+  const auto victims_before = group.proxy(group.home_proxy(1)).contention().victims_observed();
+  group.flush_proxy(group.home_proxy(1), kSimEpoch + sec(200));
+  // Explicit removals are not contention signals.
+  EXPECT_EQ(group.proxy(group.home_proxy(1)).contention().victims_observed(), victims_before);
+}
+
+TEST(FailureInjectionTest, GroupKeepsServingAfterFlush) {
+  const Trace trace = failure_trace();
+  SimulationOptions options;
+  const TimePoint mid = trace.requests[trace.size() / 2].at;
+  options.flush_events.push_back({mid, 0});
+  options.flush_events.push_back({mid, 2});
+  const SimulationResult result = run_simulation(trace, group_config(PlacementKind::kEa), options);
+  EXPECT_EQ(result.metrics.total_requests(), trace.size());
+}
+
+TEST(FailureInjectionTest, FlushCostsHitRate) {
+  const Trace trace = failure_trace();
+  const GroupConfig config = group_config(PlacementKind::kEa);
+  const SimulationResult undisturbed = run_simulation(trace, config);
+
+  SimulationOptions options;
+  // Crash every proxy at the midpoint: the second half restarts cold.
+  const TimePoint mid = trace.requests[trace.size() / 2].at;
+  for (ProxyId p = 0; p < 4; ++p) options.flush_events.push_back({mid, p});
+  const SimulationResult crashed = run_simulation(trace, config, options);
+
+  EXPECT_LT(crashed.metrics.hit_rate(), undisturbed.metrics.hit_rate());
+  EXPECT_EQ(crashed.metrics.total_requests(), undisturbed.metrics.total_requests());
+}
+
+TEST(FailureInjectionTest, BothSchemesSurviveRepeatedCrashes) {
+  const Trace trace = failure_trace();
+  for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
+    SimulationOptions options;
+    for (int k = 1; k <= 8; ++k) {
+      options.flush_events.push_back(
+          {trace.requests[trace.size() * static_cast<std::size_t>(k) / 9].at,
+           static_cast<ProxyId>(k % 4)});
+    }
+    const SimulationResult result = run_simulation(trace, group_config(placement), options);
+    EXPECT_EQ(result.metrics.total_requests(), trace.size());
+    EXPECT_GT(result.metrics.hit_rate(), 0.0);
+  }
+}
+
+TEST(FailureInjectionTest, DigestModeRecoversViaRefresh) {
+  // After a crash the victim's stale snapshot advertises documents it no
+  // longer has: failed probes until the next refresh republishes reality.
+  const Trace trace = failure_trace();
+  GroupConfig config = group_config(PlacementKind::kEa);
+  config.discovery = DiscoveryMode::kDigest;
+  config.digest.expected_items = 2048;
+  config.digest.refresh_period = minutes(10);
+
+  SimulationOptions options;
+  options.flush_events.push_back({trace.requests[trace.size() / 2].at, 0});
+  const SimulationResult result = run_simulation(trace, config, options);
+  EXPECT_EQ(result.metrics.total_requests(), trace.size());
+  EXPECT_GT(result.transport.failed_probes, 0u);
+}
+
+TEST(FailureInjectionTest, HeterogeneousCapacitiesRespectWeights) {
+  GroupConfig config = group_config(PlacementKind::kEa);
+  config.aggregate_capacity = 8 * kMiB;
+  config.capacity_weights = {4.0, 2.0, 1.0, 1.0};
+  CacheGroup group(config);
+  EXPECT_EQ(group.proxy(0).store().capacity(), 4 * kMiB);
+  EXPECT_EQ(group.proxy(1).store().capacity(), 2 * kMiB);
+  EXPECT_EQ(group.proxy(2).store().capacity(), 1 * kMiB);
+  EXPECT_EQ(group.proxy(3).store().capacity(), 1 * kMiB);
+}
+
+TEST(FailureInjectionTest, HeterogeneousCapacityValidation) {
+  GroupConfig config = group_config(PlacementKind::kEa);
+  config.capacity_weights = {1.0, 2.0};  // wrong size for 4 caches
+  EXPECT_THROW(CacheGroup{config}, std::invalid_argument);
+  config.capacity_weights = {1.0, 1.0, 1.0, -1.0};
+  EXPECT_THROW(CacheGroup{config}, std::invalid_argument);
+}
+
+TEST(FailureInjectionTest, SkewedCapacitiesStillServeCorrectly) {
+  const Trace trace = failure_trace();
+  GroupConfig config = group_config(PlacementKind::kEa);
+  config.capacity_weights = {8.0, 1.0, 1.0, 1.0};
+  const SimulationResult result = run_simulation(trace, config);
+  EXPECT_EQ(result.metrics.total_requests(), trace.size());
+  // The big cache should experience less contention than the small ones.
+  const ExpAge big = result.per_cache_expiration_age[0];
+  const ExpAge small = result.per_cache_expiration_age[1];
+  if (!big.is_infinite() && !small.is_infinite()) {
+    EXPECT_GT(big.millis(), small.millis());
+  }
+}
+
+}  // namespace
+}  // namespace eacache

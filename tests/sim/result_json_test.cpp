@@ -1,0 +1,85 @@
+#include "sim/result_json.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+SimulationResult sample_result() {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 5000;
+  workload.num_documents = 400;
+  workload.num_users = 16;
+  workload.span = hours(2);
+  const Trace trace = generate_synthetic_trace(workload);
+
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 256 * kKiB;
+  config.placement = PlacementKind::kEa;
+  SimulationOptions options;
+  options.snapshot_period = minutes(30);
+  return run_simulation(trace, config, options);
+}
+
+TEST(ResultJsonTest, ContainsAllSections) {
+  const std::string json = simulation_result_to_json(sample_result());
+  for (const char* section : {"\"metrics\"", "\"transport\"", "\"coherence\"", "\"prefetch\"",
+                              "\"expiration_age\"", "\"occupancy\"", "\"proxies\"",
+                              "\"snapshots\""}) {
+    EXPECT_NE(json.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(ResultJsonTest, ValuesMatchResult) {
+  const SimulationResult result = sample_result();
+  const std::string json = simulation_result_to_json(result);
+  EXPECT_NE(json.find("\"total_requests\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"origin_fetches\":" +
+                      std::to_string(result.transport.origin_fetches)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"replication_factor\":"), std::string::npos);
+}
+
+TEST(ResultJsonTest, BalancedBracesAndQuotes) {
+  const std::string json = simulation_result_to_json(sample_result());
+  int braces = 0;
+  int brackets = 0;
+  int quotes = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    const bool escaped = i > 0 && json[i - 1] == '\\';
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (c == '"' && !escaped) ++quotes;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(ResultJsonTest, InfiniteExpirationAgeIsNull) {
+  // An empty run has no evictions: average age is infinite -> null.
+  GroupConfig config;
+  config.num_proxies = 2;
+  config.aggregate_capacity = 64 * kKiB;
+  const SimulationResult result = run_simulation(Trace{}, config);
+  const std::string json = simulation_result_to_json(result);
+  EXPECT_NE(json.find("\"average_seconds\":null"), std::string::npos);
+}
+
+TEST(ResultJsonTest, SnapshotsSerialized) {
+  const SimulationResult result = sample_result();
+  ASSERT_FALSE(result.snapshots.empty());
+  const std::string json = simulation_result_to_json(result);
+  EXPECT_NE(json.find("\"at_ms\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,110 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+SyntheticTraceConfig tiny_trace_config() {
+  SyntheticTraceConfig config;
+  config.num_requests = 5000;
+  config.num_documents = 500;
+  config.num_users = 20;
+  config.span = hours(2);
+  return config;
+}
+
+GroupConfig tiny_group(PlacementKind placement) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 256 * kKiB;
+  config.placement = placement;
+  return config;
+}
+
+TEST(SimulatorTest, RejectsUnorderedTrace) {
+  Trace trace;
+  trace.requests = {Request{kSimEpoch + sec(5), 0, 1, 100},
+                    Request{kSimEpoch + sec(1), 0, 2, 100}};
+  EXPECT_THROW((void)run_simulation(trace, tiny_group(PlacementKind::kEa)),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, EmptyTraceRunsCleanly) {
+  const SimulationResult result = run_simulation(Trace{}, tiny_group(PlacementKind::kEa));
+  EXPECT_EQ(result.metrics.total_requests(), 0u);
+  EXPECT_TRUE(result.average_cache_expiration_age.is_infinite());
+}
+
+TEST(SimulatorTest, AccountsEveryRequest) {
+  const Trace trace = generate_synthetic_trace(tiny_trace_config());
+  const SimulationResult result = run_simulation(trace, tiny_group(PlacementKind::kEa));
+  EXPECT_EQ(result.metrics.total_requests(), trace.size());
+  EXPECT_EQ(result.metrics.count(RequestOutcome::kLocalHit) +
+                result.metrics.count(RequestOutcome::kRemoteHit) +
+                result.metrics.count(RequestOutcome::kMiss),
+            trace.size());
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  const Trace trace = generate_synthetic_trace(tiny_trace_config());
+  const GroupConfig config = tiny_group(PlacementKind::kEa);
+  const SimulationResult a = run_simulation(trace, config);
+  const SimulationResult b = run_simulation(trace, config);
+  EXPECT_EQ(a.metrics.total_requests(), b.metrics.total_requests());
+  EXPECT_DOUBLE_EQ(a.metrics.hit_rate(), b.metrics.hit_rate());
+  EXPECT_DOUBLE_EQ(a.metrics.byte_hit_rate(), b.metrics.byte_hit_rate());
+  EXPECT_EQ(a.transport.total_messages(), b.transport.total_messages());
+  EXPECT_EQ(a.total_resident_copies, b.total_resident_copies);
+  EXPECT_EQ(a.average_cache_expiration_age, b.average_cache_expiration_age);
+}
+
+TEST(SimulatorTest, PerProxyDataPopulated) {
+  const Trace trace = generate_synthetic_trace(tiny_trace_config());
+  const SimulationResult result = run_simulation(trace, tiny_group(PlacementKind::kEa));
+  EXPECT_EQ(result.proxy_stats.size(), 4u);
+  EXPECT_EQ(result.per_cache_expiration_age.size(), 4u);
+  std::uint64_t client_requests = 0;
+  for (const ProxyStats& stats : result.proxy_stats) client_requests += stats.client_requests;
+  EXPECT_EQ(client_requests, trace.size());
+}
+
+TEST(SimulatorTest, SnapshotsCoverTheRun) {
+  const Trace trace = generate_synthetic_trace(tiny_trace_config());
+  SimulationOptions options;
+  options.snapshot_period = minutes(10);
+  const SimulationResult result =
+      run_simulation(trace, tiny_group(PlacementKind::kEa), options);
+  // 2-hour trace, 10-minute snapshots: roughly 12, allow Poisson wiggle.
+  EXPECT_GE(result.snapshots.size(), 6u);
+  EXPECT_LE(result.snapshots.size(), 24u);
+  for (std::size_t i = 1; i < result.snapshots.size(); ++i) {
+    EXPECT_GT(result.snapshots[i].at, result.snapshots[i - 1].at);
+    EXPECT_GE(result.snapshots[i].total_requests, result.snapshots[i - 1].total_requests);
+  }
+}
+
+TEST(SimulatorTest, NoSnapshotsByDefault) {
+  const Trace trace = generate_synthetic_trace(tiny_trace_config());
+  const SimulationResult result = run_simulation(trace, tiny_group(PlacementKind::kEa));
+  EXPECT_TRUE(result.snapshots.empty());
+}
+
+TEST(SimulatorTest, ReplicationDiagnosticsConsistent) {
+  const Trace trace = generate_synthetic_trace(tiny_trace_config());
+  const SimulationResult result = run_simulation(trace, tiny_group(PlacementKind::kAdHoc));
+  EXPECT_GE(result.total_resident_copies, result.unique_resident_documents);
+  if (result.unique_resident_documents > 0) {
+    EXPECT_NEAR(result.replication_factor,
+                static_cast<double>(result.total_resident_copies) /
+                    static_cast<double>(result.unique_resident_documents),
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,202 @@
+#include "storage/cache_store.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "storage/lru_policy.h"
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint at(std::int64_t s) { return kSimEpoch + sec(s); }
+
+CacheStore make_lru_store(Bytes capacity) {
+  return CacheStore(capacity, std::make_unique<LruPolicy>());
+}
+
+class RecordingObserver final : public EvictionObserver {
+ public:
+  void on_eviction(const EvictionRecord& record) override { records.push_back(record); }
+  std::vector<EvictionRecord> records;
+};
+
+TEST(CacheStoreTest, NullPolicyThrows) {
+  EXPECT_THROW(CacheStore(100, nullptr), std::invalid_argument);
+}
+
+TEST(CacheStoreTest, AdmitAndLookup) {
+  auto store = make_lru_store(1000);
+  EXPECT_TRUE(store.admit({1, 400}, at(0)).has_value());
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_EQ(store.resident_bytes(), 400u);
+  EXPECT_EQ(store.resident_count(), 1u);
+  const auto entry = store.peek(1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->size, 400u);
+  EXPECT_EQ(entry->hit_count, 1u);  // paper convention
+  EXPECT_EQ(entry->entry_time, at(0));
+  EXPECT_EQ(entry->last_hit_time, at(0));
+}
+
+TEST(CacheStoreTest, PeekHasNoSideEffects) {
+  auto store = make_lru_store(1000);
+  store.admit({1, 100}, at(0));
+  (void)store.peek(1);
+  (void)store.contains(1);
+  const auto entry = store.peek(1);
+  EXPECT_EQ(entry->hit_count, 1u);
+  EXPECT_EQ(entry->last_hit_time, at(0));
+  EXPECT_EQ(store.stats().lookups, 0u);
+}
+
+TEST(CacheStoreTest, TouchPromotesAndStamps) {
+  auto store = make_lru_store(1000);
+  store.admit({1, 100}, at(0));
+  const auto entry = store.touch(1, at(5));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->hit_count, 2u);
+  EXPECT_EQ(entry->last_hit_time, at(5));
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST(CacheStoreTest, TouchMissReturnsNullopt) {
+  auto store = make_lru_store(1000);
+  EXPECT_FALSE(store.touch(42, at(0)).has_value());
+  EXPECT_EQ(store.stats().lookups, 1u);
+  EXPECT_EQ(store.stats().hits, 0u);
+}
+
+TEST(CacheStoreTest, SilentTouchLeavesMetadataAlone) {
+  auto store = make_lru_store(1000);
+  store.admit({1, 100}, at(0));
+  const auto entry = store.touch_without_promote(1, at(5));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->hit_count, 1u);
+  EXPECT_EQ(entry->last_hit_time, at(0));
+  EXPECT_EQ(store.stats().silent_hits, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST(CacheStoreTest, CapacityEvictionInLruOrder) {
+  auto store = make_lru_store(300);
+  store.admit({1, 100}, at(0));
+  store.admit({2, 100}, at(1));
+  store.admit({3, 100}, at(2));
+  const auto evicted = store.admit({4, 150}, at(3));
+  ASSERT_TRUE(evicted.has_value());
+  // Needs 150 free: evicts 1 (100 freed, still 50 short), then 2.
+  ASSERT_EQ(evicted->size(), 2u);
+  EXPECT_EQ((*evicted)[0].id, 1u);
+  EXPECT_EQ((*evicted)[1].id, 2u);
+  EXPECT_LE(store.resident_bytes(), 300u);
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_TRUE(store.contains(3));
+  EXPECT_TRUE(store.contains(4));
+}
+
+TEST(CacheStoreTest, EvictionRecordFieldsAreFaithful) {
+  auto store = make_lru_store(200);
+  RecordingObserver observer;
+  store.add_eviction_observer(&observer);
+  store.admit({1, 150}, at(0));
+  store.touch(1, at(4));
+  store.touch(1, at(7));
+  store.admit({2, 100}, at(10));  // evicts 1
+  ASSERT_EQ(observer.records.size(), 1u);
+  const EvictionRecord& r = observer.records[0];
+  EXPECT_EQ(r.id, 1u);
+  EXPECT_EQ(r.size, 150u);
+  EXPECT_EQ(r.entry_time, at(0));
+  EXPECT_EQ(r.last_hit_time, at(7));
+  EXPECT_EQ(r.hit_count, 3u);
+  EXPECT_EQ(r.evict_time, at(10));
+  EXPECT_EQ(r.cause, EvictionCause::kCapacity);
+}
+
+TEST(CacheStoreTest, OversizedDocumentRejected) {
+  auto store = make_lru_store(100);
+  store.admit({1, 50}, at(0));
+  const auto result = store.admit({2, 101}, at(1));
+  EXPECT_FALSE(result.has_value());
+  EXPECT_TRUE(store.contains(1));  // nothing was evicted for a lost cause
+  EXPECT_EQ(store.stats().rejections, 1u);
+}
+
+TEST(CacheStoreTest, DocumentExactlyAtCapacityFits) {
+  auto store = make_lru_store(100);
+  const auto result = store.admit({1, 100}, at(0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(store.resident_bytes(), 100u);
+}
+
+TEST(CacheStoreTest, DuplicateAdmitThrows) {
+  auto store = make_lru_store(100);
+  store.admit({1, 10}, at(0));
+  EXPECT_THROW(store.admit({1, 10}, at(1)), std::logic_error);
+}
+
+TEST(CacheStoreTest, ExplicitRemoveEmitsRecord) {
+  auto store = make_lru_store(100);
+  RecordingObserver observer;
+  store.add_eviction_observer(&observer);
+  store.admit({1, 10}, at(0));
+  EXPECT_TRUE(store.remove(1, at(3)));
+  EXPECT_FALSE(store.remove(1, at(4)));
+  ASSERT_EQ(observer.records.size(), 1u);
+  EXPECT_EQ(observer.records[0].cause, EvictionCause::kExplicit);
+  EXPECT_EQ(store.stats().explicit_removals, 1u);
+  EXPECT_EQ(store.resident_bytes(), 0u);
+}
+
+TEST(CacheStoreTest, MultipleObserversAllNotified) {
+  auto store = make_lru_store(100);
+  RecordingObserver a, b;
+  store.add_eviction_observer(&a);
+  store.add_eviction_observer(&b);
+  store.admit({1, 100}, at(0));
+  store.admit({2, 100}, at(1));
+  EXPECT_EQ(a.records.size(), 1u);
+  EXPECT_EQ(b.records.size(), 1u);
+}
+
+TEST(CacheStoreTest, NullObserverThrows) {
+  auto store = make_lru_store(100);
+  EXPECT_THROW(store.add_eviction_observer(nullptr), std::invalid_argument);
+}
+
+TEST(CacheStoreTest, StatsAccounting) {
+  auto store = make_lru_store(250);
+  store.admit({1, 100}, at(0));
+  store.admit({2, 100}, at(1));
+  store.touch(1, at(2));
+  store.admit({3, 100}, at(3));  // evicts 2 (1 was just touched)
+  EXPECT_FALSE(store.contains(2));
+  const CacheStoreStats& s = store.stats();
+  EXPECT_EQ(s.admissions, 3u);
+  EXPECT_EQ(s.capacity_evictions, 1u);
+  EXPECT_EQ(s.bytes_admitted, 300u);
+  EXPECT_EQ(s.bytes_evicted, 100u);
+}
+
+TEST(CacheStoreTest, ResidentIdsMatchesContents) {
+  auto store = make_lru_store(1000);
+  store.admit({1, 10}, at(0));
+  store.admit({2, 10}, at(0));
+  store.admit({3, 10}, at(0));
+  auto ids = store.resident_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<DocumentId>{1, 2, 3}));
+}
+
+TEST(CacheStoreTest, ZeroByteDocumentIsAdmissible) {
+  auto store = make_lru_store(10);
+  EXPECT_TRUE(store.admit({1, 0}, at(0)).has_value());
+  EXPECT_TRUE(store.contains(1));
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,83 @@
+#include "storage/gds_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint kT0 = kSimEpoch;
+
+TEST(GdsPolicyTest, UniformCostPrefersEvictingLargeDocs) {
+  GdsPolicy gds;  // cost 1 => H = L + 1/size: big docs get small credit
+  gds.on_admit(1, 100, kT0);
+  gds.on_admit(2, 10000, kT0);
+  gds.on_admit(3, 1000, kT0);
+  EXPECT_EQ(gds.victim(), 2u);
+}
+
+TEST(GdsPolicyTest, HitReinflatesCredit) {
+  GdsPolicy gds;
+  gds.on_admit(1, 100, kT0);
+  gds.on_admit(2, 100, kT0);
+  const double before = gds.credit(1);
+  // Evict 2 so inflation L rises, then hit 1: its credit recomputes at the
+  // higher floor.
+  gds.on_remove(2);
+  gds.on_hit(1, kT0);
+  EXPECT_GE(gds.credit(1), before);
+}
+
+TEST(GdsPolicyTest, InflationRisesOnVictimEviction) {
+  GdsPolicy gds;
+  gds.on_admit(1, 10, kT0);     // H = 0.1
+  gds.on_admit(2, 1000, kT0);   // H = 0.001  (victim)
+  EXPECT_EQ(gds.victim(), 2u);
+  gds.on_remove(2);             // L rises to 0.001
+  gds.on_admit(3, 1000, kT0);   // H = 0.001 + 0.001 = 0.002
+  EXPECT_GT(gds.credit(3), 0.001);
+}
+
+TEST(GdsPolicyTest, SilentHitKeepsCredit) {
+  GdsPolicy gds;
+  gds.on_admit(1, 100, kT0);
+  const double before = gds.credit(1);
+  gds.on_silent_hit(1, kT0);
+  EXPECT_DOUBLE_EQ(gds.credit(1), before);
+}
+
+TEST(GdsPolicyTest, CustomCostFunction) {
+  // cost = size makes every credit L + 1: ties broken by admission order
+  // (LRU-like behaviour, as Cao & Irani note).
+  GdsPolicy gds([](DocumentId, Bytes size) { return static_cast<double>(size); });
+  gds.on_admit(1, 100, kT0);
+  gds.on_admit(2, 99999, kT0);
+  EXPECT_EQ(gds.victim(), 1u);
+}
+
+TEST(GdsPolicyTest, NullCostThrows) {
+  EXPECT_THROW(GdsPolicy(GdsPolicy::CostFn{}), std::invalid_argument);
+}
+
+TEST(GdsPolicyTest, ContractViolationsThrow) {
+  GdsPolicy gds;
+  EXPECT_THROW((void)gds.victim(), std::logic_error);
+  EXPECT_THROW(gds.on_hit(1, kT0), std::logic_error);
+  EXPECT_THROW(gds.on_remove(1), std::logic_error);
+  EXPECT_THROW((void)gds.credit(1), std::logic_error);
+  gds.on_admit(1, 1, kT0);
+  EXPECT_THROW(gds.on_admit(1, 1, kT0), std::logic_error);
+}
+
+TEST(GdsPolicyTest, ZeroSizeDocumentDoesNotDivideByZero) {
+  GdsPolicy gds;
+  gds.on_admit(1, 0, kT0);
+  EXPECT_EQ(gds.victim(), 1u);
+  EXPECT_GT(gds.credit(1), 0.0);
+}
+
+TEST(GdsPolicyTest, Name) { EXPECT_EQ(GdsPolicy{}.name(), "gds"); }
+
+}  // namespace
+}  // namespace eacache

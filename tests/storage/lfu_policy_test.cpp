@@ -1,0 +1,132 @@
+#include "storage/lfu_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint kT0 = kSimEpoch;
+
+TEST(LfuPolicyTest, AdmissionStartsAtFrequencyOne) {
+  LfuPolicy lfu;
+  lfu.on_admit(1, 10, kT0);
+  EXPECT_EQ(lfu.frequency(1), 1u);
+}
+
+TEST(LfuPolicyTest, HitIncrementsFrequency) {
+  LfuPolicy lfu;
+  lfu.on_admit(1, 10, kT0);
+  lfu.on_hit(1, kT0);
+  lfu.on_hit(1, kT0);
+  EXPECT_EQ(lfu.frequency(1), 3u);
+}
+
+TEST(LfuPolicyTest, SilentHitDoesNotIncrement) {
+  LfuPolicy lfu;
+  lfu.on_admit(1, 10, kT0);
+  lfu.on_silent_hit(1, kT0);
+  EXPECT_EQ(lfu.frequency(1), 1u);
+}
+
+TEST(LfuPolicyTest, VictimIsLowestFrequency) {
+  LfuPolicy lfu;
+  lfu.on_admit(1, 10, kT0);
+  lfu.on_admit(2, 10, kT0);
+  lfu.on_hit(1, kT0);
+  EXPECT_EQ(lfu.victim(), 2u);
+}
+
+TEST(LfuPolicyTest, TieBreaksLeastRecentlyUsed) {
+  LfuPolicy lfu;
+  lfu.on_admit(1, 10, kT0);
+  lfu.on_admit(2, 10, kT0);
+  lfu.on_admit(3, 10, kT0);
+  // All at frequency 1; 1 was admitted first -> victim.
+  EXPECT_EQ(lfu.victim(), 1u);
+  // Promote 1 and 2 to freq 2; victim becomes 3 (only freq-1 entry).
+  lfu.on_hit(1, kT0);
+  lfu.on_hit(2, kT0);
+  EXPECT_EQ(lfu.victim(), 3u);
+  lfu.on_remove(3);
+  // Among {1, 2} at freq 2, 1 was promoted before 2 -> victim is 1.
+  EXPECT_EQ(lfu.victim(), 1u);
+}
+
+TEST(LfuPolicyTest, RemoveDetaches) {
+  LfuPolicy lfu;
+  lfu.on_admit(1, 10, kT0);
+  lfu.on_admit(2, 10, kT0);
+  lfu.on_remove(1);
+  EXPECT_EQ(lfu.size(), 1u);
+  EXPECT_EQ(lfu.victim(), 2u);
+  EXPECT_THROW((void)lfu.frequency(1), std::logic_error);
+}
+
+TEST(LfuPolicyTest, ContractViolationsThrow) {
+  LfuPolicy lfu;
+  EXPECT_THROW((void)lfu.victim(), std::logic_error);
+  EXPECT_THROW(lfu.on_hit(9, kT0), std::logic_error);
+  EXPECT_THROW(lfu.on_remove(9), std::logic_error);
+  lfu.on_admit(9, 1, kT0);
+  EXPECT_THROW(lfu.on_admit(9, 1, kT0), std::logic_error);
+}
+
+TEST(LfuPolicyTest, NameReflectsAging) {
+  EXPECT_EQ(LfuPolicy{}.name(), "lfu");
+  EXPECT_EQ(LfuPolicy{100}.name(), "lfu-aging");
+}
+
+TEST(LfuPolicyAgingTest, CountersHalveAfterInterval) {
+  LfuPolicy lfu(4);  // age after every 4 promotions
+  lfu.on_admit(1, 10, kT0);
+  lfu.on_admit(2, 10, kT0);
+  for (int i = 0; i < 4; ++i) lfu.on_hit(1, kT0);
+  // 1 reached frequency 5, then aging halves: 1 -> 2, 2 -> 1.
+  EXPECT_EQ(lfu.frequency(1), 2u);
+  EXPECT_EQ(lfu.frequency(2), 1u);
+  EXPECT_EQ(lfu.victim(), 2u);
+}
+
+TEST(LfuPolicyAgingTest, AgingFloorsAtOne) {
+  LfuPolicy lfu(2);
+  lfu.on_admit(1, 10, kT0);
+  lfu.on_admit(2, 10, kT0);
+  lfu.on_hit(1, kT0);
+  lfu.on_hit(1, kT0);  // triggers aging: 1: 3->1, 2: 1->1
+  EXPECT_EQ(lfu.frequency(1), 1u);
+  EXPECT_EQ(lfu.frequency(2), 1u);
+}
+
+TEST(LfuPolicyAgingTest, AgingPreservesResidentSet) {
+  LfuPolicy lfu(3);
+  for (DocumentId id = 1; id <= 10; ++id) lfu.on_admit(id, 1, kT0);
+  for (int round = 0; round < 5; ++round) {
+    lfu.on_hit(5, kT0);
+    lfu.on_hit(6, kT0);
+    lfu.on_hit(7, kT0);
+  }
+  EXPECT_EQ(lfu.size(), 10u);
+  for (DocumentId id = 1; id <= 10; ++id) EXPECT_GE(lfu.frequency(id), 1u);
+}
+
+TEST(LfuPolicyTest, VictimStableUnderInterleavedOps) {
+  LfuPolicy lfu;
+  lfu.on_admit(1, 1, kT0);
+  lfu.on_admit(2, 1, kT0);
+  lfu.on_admit(3, 1, kT0);
+  lfu.on_hit(1, kT0);
+  lfu.on_hit(1, kT0);
+  lfu.on_hit(2, kT0);
+  // freqs: 1->3, 2->2, 3->1
+  EXPECT_EQ(lfu.victim(), 3u);
+  lfu.on_hit(3, kT0);
+  lfu.on_hit(3, kT0);
+  lfu.on_hit(3, kT0);
+  // freqs: 1->3, 2->2, 3->4
+  EXPECT_EQ(lfu.victim(), 2u);
+}
+
+}  // namespace
+}  // namespace eacache

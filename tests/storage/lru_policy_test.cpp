@@ -1,0 +1,96 @@
+#include "storage/lru_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint kT0 = kSimEpoch;
+
+TEST(LruPolicyTest, VictimIsLeastRecentlyAdmitted) {
+  LruPolicy lru;
+  lru.on_admit(1, 100, kT0);
+  lru.on_admit(2, 100, kT0);
+  lru.on_admit(3, 100, kT0);
+  EXPECT_EQ(lru.victim(), 1u);
+}
+
+TEST(LruPolicyTest, HitPromotesToHead) {
+  LruPolicy lru;
+  lru.on_admit(1, 100, kT0);
+  lru.on_admit(2, 100, kT0);
+  lru.on_hit(1, kT0);
+  EXPECT_EQ(lru.victim(), 2u);
+}
+
+TEST(LruPolicyTest, SilentHitDoesNotPromote) {
+  LruPolicy lru;
+  lru.on_admit(1, 100, kT0);
+  lru.on_admit(2, 100, kT0);
+  lru.on_silent_hit(1, kT0);
+  EXPECT_EQ(lru.victim(), 1u);  // still the victim: no fresh lease of life
+}
+
+TEST(LruPolicyTest, RemoveVictimExposesNext) {
+  LruPolicy lru;
+  lru.on_admit(1, 100, kT0);
+  lru.on_admit(2, 100, kT0);
+  lru.on_admit(3, 100, kT0);
+  lru.on_remove(1);
+  EXPECT_EQ(lru.victim(), 2u);
+  lru.on_remove(2);
+  EXPECT_EQ(lru.victim(), 3u);
+}
+
+TEST(LruPolicyTest, RemoveMiddleKeepsOrder) {
+  LruPolicy lru;
+  lru.on_admit(1, 100, kT0);
+  lru.on_admit(2, 100, kT0);
+  lru.on_admit(3, 100, kT0);
+  lru.on_remove(2);
+  EXPECT_EQ(lru.victim(), 1u);
+  EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(LruPolicyTest, SizeTracksResidents) {
+  LruPolicy lru;
+  EXPECT_EQ(lru.size(), 0u);
+  lru.on_admit(1, 1, kT0);
+  lru.on_admit(2, 1, kT0);
+  EXPECT_EQ(lru.size(), 2u);
+  lru.on_remove(1);
+  EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(LruPolicyTest, ContractViolationsThrow) {
+  LruPolicy lru;
+  EXPECT_THROW((void)lru.victim(), std::logic_error);
+  EXPECT_THROW(lru.on_hit(1, kT0), std::logic_error);
+  EXPECT_THROW(lru.on_silent_hit(1, kT0), std::logic_error);
+  EXPECT_THROW(lru.on_remove(1), std::logic_error);
+  lru.on_admit(1, 1, kT0);
+  EXPECT_THROW(lru.on_admit(1, 1, kT0), std::logic_error);
+}
+
+TEST(LruPolicyTest, Name) {
+  LruPolicy lru;
+  EXPECT_EQ(lru.name(), "lru");
+}
+
+TEST(LruPolicyTest, ComplexSequence) {
+  LruPolicy lru;
+  for (DocumentId id = 1; id <= 5; ++id) lru.on_admit(id, 1, kT0);
+  // Order (MRU..LRU): 5 4 3 2 1
+  lru.on_hit(2, kT0);  // 2 5 4 3 1
+  lru.on_hit(1, kT0);  // 1 2 5 4 3
+  EXPECT_EQ(lru.victim(), 3u);
+  lru.on_remove(3);  // 1 2 5 4
+  EXPECT_EQ(lru.victim(), 4u);
+  lru.on_hit(4, kT0);  // 4 1 2 5
+  EXPECT_EQ(lru.victim(), 5u);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,167 @@
+// Property-style tests run against EVERY replacement policy through the
+// common interface: random operation sequences must never violate the
+// CacheStore invariants, whatever the eviction order.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "storage/cache_store.h"
+#include "storage/replacement_policy.h"
+
+namespace eacache {
+namespace {
+
+class PolicyPropertyTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyPropertyTest, CapacityNeverExceededUnderRandomWorkload) {
+  constexpr Bytes kCapacity = 10 * kKiB;
+  CacheStore store(kCapacity, make_policy(GetParam()));
+  Rng rng(0xabcdef);
+  TimePoint now = kSimEpoch;
+  for (int i = 0; i < 20000; ++i) {
+    now += msec(static_cast<std::int64_t>(rng.next_below(500)));
+    const DocumentId id = rng.next_below(300);
+    const auto op = rng.next_below(10);
+    if (op < 6) {
+      if (!store.touch(id, now).has_value()) {
+        const Bytes size = 16 + rng.next_below(2 * kKiB);
+        store.admit({id, size}, now);
+      }
+    } else if (op < 8) {
+      store.touch_without_promote(id, now);
+    } else if (op < 9) {
+      store.remove(id, now);
+    } else {
+      (void)store.peek(id);
+    }
+    ASSERT_LE(store.resident_bytes(), kCapacity);
+  }
+}
+
+TEST_P(PolicyPropertyTest, PolicySizeTracksStoreSize) {
+  CacheStore store(4 * kKiB, make_policy(GetParam()));
+  Rng rng(99);
+  TimePoint now = kSimEpoch;
+  for (int i = 0; i < 5000; ++i) {
+    now += msec(1);
+    const DocumentId id = rng.next_below(100);
+    if (!store.contains(id)) {
+      store.admit({id, 64 + rng.next_below(512)}, now);
+    } else if (rng.next_bool(0.3)) {
+      store.remove(id, now);
+    } else {
+      store.touch(id, now);
+    }
+    ASSERT_EQ(store.policy().size(), store.resident_count());
+  }
+}
+
+TEST_P(PolicyPropertyTest, ResidentBytesMatchesSumOfEntries) {
+  CacheStore store(8 * kKiB, make_policy(GetParam()));
+  Rng rng(7);
+  TimePoint now = kSimEpoch;
+  for (int i = 0; i < 3000; ++i) {
+    now += msec(10);
+    const DocumentId id = rng.next_below(200);
+    if (!store.contains(id)) store.admit({id, 32 + rng.next_below(1024)}, now);
+    if (i % 100 == 0) {
+      Bytes sum = 0;
+      for (const DocumentId resident : store.resident_ids()) {
+        sum += store.peek(resident)->size;
+      }
+      ASSERT_EQ(sum, store.resident_bytes());
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, EvictionRecordsAreConsistent) {
+  class Checker final : public EvictionObserver {
+   public:
+    void on_eviction(const EvictionRecord& r) override {
+      EXPECT_GE(r.evict_time, r.last_hit_time);
+      EXPECT_GE(r.last_hit_time, r.entry_time);
+      EXPECT_GE(r.hit_count, 1u);
+      ++count;
+    }
+    int count = 0;
+  };
+  CacheStore store(2 * kKiB, make_policy(GetParam()));
+  Checker checker;
+  store.add_eviction_observer(&checker);
+  Rng rng(13);
+  TimePoint now = kSimEpoch;
+  for (int i = 0; i < 5000; ++i) {
+    now += msec(static_cast<std::int64_t>(rng.next_below(100)));
+    const DocumentId id = rng.next_below(500);
+    if (store.contains(id)) {
+      store.touch(id, now);
+    } else {
+      store.admit({id, 64 + rng.next_below(256)}, now);
+    }
+  }
+  EXPECT_GT(checker.count, 0);  // the workload must actually stress capacity
+}
+
+TEST_P(PolicyPropertyTest, EveryEvictionVictimWasResident) {
+  class Tracker final : public EvictionObserver {
+   public:
+    explicit Tracker(std::set<DocumentId>& live) : live_(live) {}
+    void on_eviction(const EvictionRecord& r) override {
+      EXPECT_TRUE(live_.count(r.id)) << "evicted non-resident " << r.id;
+      live_.erase(r.id);
+    }
+
+   private:
+    std::set<DocumentId>& live_;
+  };
+  std::set<DocumentId> live;
+  CacheStore store(1 * kKiB, make_policy(GetParam()));
+  Tracker tracker(live);
+  store.add_eviction_observer(&tracker);
+  Rng rng(21);
+  TimePoint now = kSimEpoch;
+  for (int i = 0; i < 3000; ++i) {
+    now += msec(5);
+    const DocumentId id = rng.next_below(400);
+    if (!store.contains(id)) {
+      if (store.admit({id, 32 + rng.next_below(128)}, now).has_value()) live.insert(id);
+    }
+    // Shadow set must exactly match the store at all times.
+    if (i % 250 == 0) {
+      auto ids = store.resident_ids();
+      ASSERT_EQ(std::set<DocumentId>(ids.begin(), ids.end()), live);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyPropertyTest,
+                         ::testing::Values(PolicyKind::kLru, PolicyKind::kLfu,
+                                           PolicyKind::kLfuAging,
+                                           PolicyKind::kSizeBiggestFirst,
+                                           PolicyKind::kGreedyDualSize),
+                         [](const ::testing::TestParamInfo<PolicyKind>& param_info) {
+                           std::string name(to_string(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PolicyFactoryTest, RoundTripsNames) {
+  for (const PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kLfu, PolicyKind::kLfuAging,
+        PolicyKind::kSizeBiggestFirst, PolicyKind::kGreedyDualSize}) {
+    EXPECT_EQ(policy_kind_from_string(to_string(kind)), kind);
+    EXPECT_EQ(make_policy(kind)->name(), to_string(kind));
+  }
+}
+
+TEST(PolicyFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW((void)policy_kind_from_string("fifo"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,59 @@
+#include "storage/size_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+constexpr TimePoint kT0 = kSimEpoch;
+
+TEST(SizePolicyTest, VictimIsLargest) {
+  SizePolicy policy;
+  policy.on_admit(1, 100, kT0);
+  policy.on_admit(2, 5000, kT0);
+  policy.on_admit(3, 300, kT0);
+  EXPECT_EQ(policy.victim(), 2u);
+}
+
+TEST(SizePolicyTest, TieBreaksStalest) {
+  SizePolicy policy;
+  policy.on_admit(1, 100, kT0);
+  policy.on_admit(2, 100, kT0);
+  EXPECT_EQ(policy.victim(), 1u);
+  policy.on_hit(1, kT0);  // refresh 1; now 2 is stalest among equals
+  EXPECT_EQ(policy.victim(), 2u);
+}
+
+TEST(SizePolicyTest, SilentHitKeepsStaleness) {
+  SizePolicy policy;
+  policy.on_admit(1, 100, kT0);
+  policy.on_admit(2, 100, kT0);
+  policy.on_silent_hit(1, kT0);
+  EXPECT_EQ(policy.victim(), 1u);
+}
+
+TEST(SizePolicyTest, RemoveUpdatesOrder) {
+  SizePolicy policy;
+  policy.on_admit(1, 10, kT0);
+  policy.on_admit(2, 20, kT0);
+  policy.on_admit(3, 30, kT0);
+  policy.on_remove(3);
+  EXPECT_EQ(policy.victim(), 2u);
+  EXPECT_EQ(policy.size(), 2u);
+}
+
+TEST(SizePolicyTest, ContractViolationsThrow) {
+  SizePolicy policy;
+  EXPECT_THROW((void)policy.victim(), std::logic_error);
+  EXPECT_THROW(policy.on_hit(1, kT0), std::logic_error);
+  EXPECT_THROW(policy.on_remove(1), std::logic_error);
+  policy.on_admit(1, 1, kT0);
+  EXPECT_THROW(policy.on_admit(1, 1, kT0), std::logic_error);
+}
+
+TEST(SizePolicyTest, Name) { EXPECT_EQ(SizePolicy{}.name(), "size"); }
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,142 @@
+#include "trace/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+Request req(std::int64_t t_s, DocumentId doc, Bytes size = 100) {
+  return Request{kSimEpoch + sec(t_s), 0, doc, size};
+}
+
+TEST(TraceProfileTest, EmptyTrace) {
+  const TraceProfile profile = profile_trace({});
+  EXPECT_EQ(profile.total_requests, 0u);
+  EXPECT_EQ(profile.unique_documents, 0u);
+}
+
+TEST(TraceProfileTest, CountsAndOneTimers) {
+  const std::vector<Request> requests{req(0, 1), req(1, 1), req(2, 2), req(3, 3),
+                                      req(4, 1)};
+  const TraceProfile profile = profile_trace(requests);
+  EXPECT_EQ(profile.total_requests, 5u);
+  EXPECT_EQ(profile.unique_documents, 3u);
+  EXPECT_EQ(profile.one_timers, 2u);  // docs 2 and 3
+  EXPECT_DOUBLE_EQ(profile.one_timer_fraction, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(profile.compulsory_miss_fraction, 3.0 / 5.0);
+}
+
+TEST(TraceProfileTest, SizeStatistics) {
+  const std::vector<Request> requests{req(0, 1, 100), req(1, 2, 200), req(2, 3, 900)};
+  const TraceProfile profile = profile_trace(requests);
+  EXPECT_EQ(profile.mean_size, 400u);
+  EXPECT_EQ(profile.median_size, 200u);
+  EXPECT_EQ(profile.max_size, 900u);
+}
+
+TEST(TraceProfileTest, ZipfFitRecoversGeneratorExponent) {
+  for (const double alpha : {0.7, 1.0}) {
+    SyntheticTraceConfig config;
+    config.num_requests = 100'000;
+    config.num_documents = 5'000;
+    config.num_users = 16;
+    config.span = hours(10);
+    config.zipf_alpha = alpha;
+    config.repeat_probability = 0.0;
+    const Trace trace = generate_synthetic_trace(config);
+    const TraceProfile profile = profile_trace(trace.requests);
+    // Rank-frequency regression over the full range is biased by the
+    // sampled tail (many ties at count 1), so accept a generous band; the
+    // ORDER between exponents is what matters and is asserted below.
+    EXPECT_NEAR(profile.zipf_alpha, alpha, 0.30) << "alpha " << alpha;
+  }
+}
+
+TEST(TraceProfileTest, SteeperWorkloadFitsSteeper) {
+  const auto fit = [](double alpha) {
+    SyntheticTraceConfig config;
+    config.num_requests = 60'000;
+    config.num_documents = 4'000;
+    config.num_users = 16;
+    config.span = hours(6);
+    config.zipf_alpha = alpha;
+    config.repeat_probability = 0.0;
+    return profile_trace(generate_synthetic_trace(config).requests).zipf_alpha;
+  };
+  EXPECT_GT(fit(1.1), fit(0.6));
+}
+
+TEST(StackDistanceTest, HandComputedDistances) {
+  // Trace: A B A C B A
+  //   A@2: distinct since A@0 = {B} + itself -> 2
+  //   B@4: distinct since B@1 = {A, C} + itself -> 3
+  //   A@5: distinct since A@2 = {C, B} + itself -> 3
+  const std::vector<Request> requests{req(0, 'A'), req(1, 'B'), req(2, 'A'),
+                                      req(3, 'C'), req(4, 'B'), req(5, 'A')};
+  const StackDistanceHistogram histogram = compute_stack_distances(requests);
+  EXPECT_EQ(histogram.cold, 3u);
+  ASSERT_GE(histogram.distances.size(), 4u);
+  EXPECT_EQ(histogram.distances[1], 0u);
+  EXPECT_EQ(histogram.distances[2], 1u);
+  EXPECT_EQ(histogram.distances[3], 2u);
+}
+
+TEST(StackDistanceTest, ImmediateRepeatIsDistanceOne) {
+  const std::vector<Request> requests{req(0, 1), req(1, 1), req(2, 1)};
+  const StackDistanceHistogram histogram = compute_stack_distances(requests);
+  EXPECT_EQ(histogram.cold, 1u);
+  EXPECT_EQ(histogram.distances[1], 2u);
+  EXPECT_DOUBLE_EQ(histogram.hit_rate_at(1), 2.0 / 3.0);
+}
+
+TEST(StackDistanceTest, HitRateMonotoneInCapacity) {
+  SyntheticTraceConfig config;
+  config.num_requests = 20'000;
+  config.num_documents = 1'500;
+  config.num_users = 16;
+  config.span = hours(4);
+  const Trace trace = generate_synthetic_trace(config);
+  const StackDistanceHistogram histogram = compute_stack_distances(trace.requests);
+  double previous = -1.0;
+  for (const std::uint64_t capacity : {1u, 10u, 100u, 500u, 1500u}) {
+    const double rate = histogram.hit_rate_at(capacity);
+    EXPECT_GE(rate, previous);
+    previous = rate;
+  }
+  // Infinite capacity hits everything except cold misses.
+  EXPECT_NEAR(histogram.hit_rate_at(1u << 30),
+              1.0 - static_cast<double>(histogram.cold) /
+                        static_cast<double>(histogram.total),
+              1e-12);
+}
+
+// The headline cross-validation: Mattson's curve must predict the SIMULATED
+// single-cache LRU hit rate exactly (unit-size documents make byte capacity
+// equal document capacity).
+TEST(StackDistanceTest, MattsonMatchesSimulatedLruExactly) {
+  SyntheticTraceConfig workload;
+  workload.num_requests = 30'000;
+  workload.num_documents = 2'000;
+  workload.num_users = 16;
+  workload.span = hours(6);
+  workload.min_size = 1024;
+  workload.max_size = 1024;  // force uniform 1 KiB bodies
+  const Trace trace = generate_synthetic_trace(workload);
+  const StackDistanceHistogram histogram = compute_stack_distances(trace.requests);
+
+  for (const std::uint64_t capacity_docs : {50u, 300u, 1000u}) {
+    GroupConfig config;
+    config.num_proxies = 1;
+    config.aggregate_capacity = capacity_docs * 1024;
+    config.placement = PlacementKind::kAdHoc;
+    const SimulationResult sim = run_simulation(trace, config);
+    EXPECT_DOUBLE_EQ(sim.metrics.hit_rate(), histogram.hit_rate_at(capacity_docs))
+        << "capacity " << capacity_docs;
+  }
+}
+
+}  // namespace
+}  // namespace eacache

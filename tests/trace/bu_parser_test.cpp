@@ -1,0 +1,112 @@
+#include "trace/bu_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace eacache {
+namespace {
+
+TEST(BuParserTest, ParsesWellFormedLines) {
+  std::istringstream in(
+      "100.0 alice http://a/x 2048\n"
+      "101.5 bob http://b/y 512 321\n");
+  const BuParseResult result = parse_bu_log(in);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.lines_read, 2u);
+  EXPECT_EQ(result.lines_skipped, 0u);
+
+  const Request& first = result.trace.requests[0];
+  EXPECT_EQ(first.at, kSimEpoch);  // normalised to t=0
+  EXPECT_EQ(first.size, 2048u);
+  EXPECT_EQ(first.document, fnv1a64("http://a/x"));
+
+  const Request& second = result.trace.requests[1];
+  EXPECT_EQ(second.at, kSimEpoch + msec(1500));
+  EXPECT_EQ(second.size, 512u);
+}
+
+TEST(BuParserTest, ZeroSizeCoercedToPaperDefault) {
+  std::istringstream in("5 u http://z 0\n");
+  const BuParseResult result = parse_bu_log(in);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace.requests[0].size, 4 * kKiB);
+  EXPECT_EQ(result.zero_sizes_coerced, 1u);
+}
+
+TEST(BuParserTest, CustomDefaultSize) {
+  std::istringstream in("5 u http://z 0\n");
+  BuParseOptions options;
+  options.default_size = 999;
+  const BuParseResult result = parse_bu_log(in, options);
+  EXPECT_EQ(result.trace.requests[0].size, 999u);
+}
+
+TEST(BuParserTest, SkipsCommentsBlanksAndGarbage) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "   \n"
+      "not enough fields\n"
+      "-5 u http://x 10\n"      // negative timestamp
+      "5 u http://x nonsense\n" // bad size
+      "7 u http://ok 10\n");
+  const BuParseResult result = parse_bu_log(in);
+  EXPECT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.lines_skipped, 6u);
+  EXPECT_EQ(result.trace.requests[0].size, 10u);
+}
+
+TEST(BuParserTest, SortsOutOfOrderLogs) {
+  std::istringstream in(
+      "50 u http://late 1\n"
+      "10 u http://early 1\n");
+  const BuParseResult result = parse_bu_log(in);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_TRUE(is_time_ordered(result.trace.requests));
+  EXPECT_EQ(result.trace.requests[0].document, fnv1a64("http://early"));
+}
+
+TEST(BuParserTest, NormalizationOptional) {
+  std::istringstream in("100 u http://x 1\n");
+  BuParseOptions options;
+  options.normalize_time = false;
+  const BuParseResult result = parse_bu_log(in, options);
+  EXPECT_EQ(result.trace.requests[0].at, kSimEpoch + sec(100));
+}
+
+TEST(BuParserTest, SameUserSameUrlStableIds) {
+  std::istringstream in(
+      "1 carol http://x 10\n"
+      "2 carol http://x 10\n");
+  const BuParseResult result = parse_bu_log(in);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace.requests[0].user, result.trace.requests[1].user);
+  EXPECT_EQ(result.trace.requests[0].document, result.trace.requests[1].document);
+}
+
+TEST(BuParserTest, RejectsNonFiniteTimestamps) {
+  std::istringstream in(
+      "NaN u http://x 10\n"
+      "inf u http://y 10\n"
+      "5 u http://ok 10\n");
+  const BuParseResult result = parse_bu_log(in);
+  EXPECT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.lines_skipped, 2u);
+}
+
+TEST(BuParserTest, MissingFileThrows) {
+  EXPECT_THROW((void)parse_bu_log_file("/nonexistent/trace.log"), std::runtime_error);
+}
+
+TEST(BuParserTest, EmptyStreamYieldsEmptyTrace) {
+  std::istringstream in("");
+  const BuParseResult result = parse_bu_log(in);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.lines_read, 0u);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,116 @@
+#include "trace/bu_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "trace/bu_parser.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+TEST(BuWriterTest, WritesOneLinePerRequestPlusHeader) {
+  const std::vector<Request> requests{
+      {kSimEpoch + msec(1500), 7, 42, 2048},
+      {kSimEpoch + sec(10), 8, 43, 512},
+  };
+  std::ostringstream out;
+  write_bu_log(out, requests);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# eacache trace export"), std::string::npos);
+  EXPECT_NE(text.find("1.500 u7 doc42 2048"), std::string::npos);
+  EXPECT_NE(text.find("10.000 u8 doc43 512"), std::string::npos);
+}
+
+TEST(BuWriterTest, HeaderOptional) {
+  BuWriteOptions options;
+  options.write_header_comment = false;
+  std::ostringstream out;
+  write_bu_log(out, {}, options);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(BuWriterTest, RoundTripPreservesStructure) {
+  SyntheticTraceConfig config;
+  config.num_requests = 5000;
+  config.num_documents = 400;
+  config.num_users = 20;
+  config.span = hours(1);
+  const Trace original = generate_synthetic_trace(config);
+
+  std::stringstream buffer;
+  write_bu_log(buffer, original.requests);
+  BuParseOptions parse_options;
+  parse_options.normalize_time = false;
+  const BuParseResult parsed = parse_bu_log(buffer, parse_options);
+
+  ASSERT_EQ(parsed.trace.size(), original.size());
+  EXPECT_EQ(parsed.lines_skipped, 1u);  // only the header comment
+
+  // Timestamps and sizes survive exactly (millisecond resolution both ways);
+  // ids are re-hashed, so check the equality structure instead.
+  std::map<DocumentId, DocumentId> doc_map;
+  std::map<UserId, UserId> user_map;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Request& a = original.requests[i];
+    const Request& b = parsed.trace.requests[i];
+    EXPECT_EQ(a.at, b.at) << "request " << i;
+    EXPECT_EQ(a.size, b.size) << "request " << i;
+    const auto [doc_it, doc_new] = doc_map.emplace(a.document, b.document);
+    if (!doc_new) {
+      EXPECT_EQ(doc_it->second, b.document) << "doc mapping broken at " << i;
+    }
+    const auto [user_it, user_new] = user_map.emplace(a.user, b.user);
+    if (!user_new) {
+      EXPECT_EQ(user_it->second, b.user) << "user mapping broken at " << i;
+    }
+  }
+  // Injective both ways: distinct originals stay distinct.
+  std::map<DocumentId, DocumentId> reverse;
+  for (const auto& [from, to] : doc_map) {
+    const auto [it, inserted] = reverse.emplace(to, from);
+    EXPECT_TRUE(inserted) << "two documents collided after round trip";
+  }
+}
+
+TEST(BuWriterTest, RoundTripStatsMatch) {
+  SyntheticTraceConfig config;
+  config.num_requests = 3000;
+  config.num_documents = 300;
+  config.num_users = 10;
+  config.span = minutes(30);
+  const Trace original = generate_synthetic_trace(config);
+  const TraceStats original_stats = compute_stats(original.requests);
+
+  std::stringstream buffer;
+  write_bu_log(buffer, original.requests);
+  BuParseOptions options;
+  options.normalize_time = false;
+  const BuParseResult parsed = parse_bu_log(buffer, options);
+  const TraceStats round_stats = compute_stats(parsed.trace.requests);
+
+  EXPECT_EQ(round_stats.total_requests, original_stats.total_requests);
+  EXPECT_EQ(round_stats.unique_documents, original_stats.unique_documents);
+  EXPECT_EQ(round_stats.unique_users, original_stats.unique_users);
+  EXPECT_EQ(round_stats.total_bytes, original_stats.total_bytes);
+  EXPECT_EQ(round_stats.unique_bytes, original_stats.unique_bytes);
+  EXPECT_EQ(round_stats.span(), original_stats.span());
+}
+
+TEST(BuWriterTest, FileRoundTrip) {
+  const std::vector<Request> requests{{kSimEpoch + sec(1), 1, 2, 333}};
+  const std::string path = ::testing::TempDir() + "/eacache_writer_test.log";
+  write_bu_log_file(path, requests);
+  const BuParseResult parsed = parse_bu_log_file(path);
+  ASSERT_EQ(parsed.trace.size(), 1u);
+  EXPECT_EQ(parsed.trace.requests[0].size, 333u);
+}
+
+TEST(BuWriterTest, UnwritablePathThrows) {
+  EXPECT_THROW(write_bu_log_file("/nonexistent/dir/x.log", {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,99 @@
+#include "trace/squid_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace eacache {
+namespace {
+
+constexpr const char* kSampleLog =
+    "847087401.234  95 10.0.0.17 TCP_MISS/200 4218 GET http://www.bu.edu/ - "
+    "DIRECT/128.197.1.1 text/html\n"
+    "847087402.100 12 10.0.0.18 TCP_HIT/200 1024 GET http://www.bu.edu/cs - "
+    "NONE/- text/html\n";
+
+TEST(SquidParserTest, ParsesWellFormedLines) {
+  std::istringstream in(kSampleLog);
+  const SquidParseResult result = parse_squid_log(in);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.lines_skipped, 0u);
+  EXPECT_EQ(result.lines_filtered, 0u);
+
+  const Request& first = result.trace.requests[0];
+  EXPECT_EQ(first.at, kSimEpoch);  // normalized
+  EXPECT_EQ(first.size, 4218u);
+  EXPECT_EQ(first.document, fnv1a64("http://www.bu.edu/"));
+
+  const Request& second = result.trace.requests[1];
+  EXPECT_EQ(second.at, kSimEpoch + msec(866));  // 402.100 - 401.234
+  EXPECT_NE(second.user, first.user);
+}
+
+TEST(SquidParserTest, FiltersNonCacheableTraffic) {
+  std::istringstream in(
+      "847087401.0 5 10.0.0.1 TCP_MISS/200 100 POST http://a/form - DIRECT/1.1.1.1 -\n"
+      "847087402.0 5 10.0.0.1 TCP_MISS/404 100 GET http://a/missing - DIRECT/1.1.1.1 -\n"
+      "847087403.0 5 10.0.0.1 TCP_TUNNEL/200 0 CONNECT ssl.example.com:443 - DIRECT/2.2.2.2 -\n"
+      "847087404.0 5 10.0.0.1 TCP_MISS/200 100 GET http://a/ok - DIRECT/1.1.1.1 -\n");
+  const SquidParseResult result = parse_squid_log(in);
+  EXPECT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.lines_filtered, 3u);
+  EXPECT_EQ(result.trace.requests[0].document, fnv1a64("http://a/ok"));
+}
+
+TEST(SquidParserTest, FilteringCanBeDisabled) {
+  std::istringstream in(
+      "847087401.0 5 10.0.0.1 TCP_MISS/200 100 POST http://a/form - DIRECT/1.1.1.1 -\n");
+  SquidParseOptions options;
+  options.only_cacheable = false;
+  const SquidParseResult result = parse_squid_log(in, options);
+  EXPECT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.lines_filtered, 0u);
+}
+
+TEST(SquidParserTest, ZeroBytesCoerced) {
+  std::istringstream in(
+      "847087401.0 5 10.0.0.1 TCP_MISS/304 0 GET http://a/x - DIRECT/1.1.1.1 -\n");
+  const SquidParseResult result = parse_squid_log(in);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace.requests[0].size, 4 * kKiB);
+  EXPECT_EQ(result.zero_sizes_coerced, 1u);
+}
+
+TEST(SquidParserTest, SkipsCommentsAndGarbage) {
+  std::istringstream in(
+      "# squid log\n"
+      "\n"
+      "garbage line without enough fields\n"
+      "NaN 5 host TCP_MISS/200 100 GET http://x - D/- -\n"        // bad timestamp
+      "847087401.0 5 host TCP_MISS 100 GET http://x - D/- -\n"    // no /status
+      "847087401.0 5 host TCP_MISS/abc 100 GET http://x - D/- -\n"  // bad status
+      "847087401.0 5 host TCP_MISS/200 -5 GET http://x - D/- -\n"   // negative bytes
+      "847087401.0 5 host TCP_MISS/200 100 GET http://ok - D/- -\n");
+  const SquidParseResult result = parse_squid_log(in);
+  EXPECT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.lines_skipped, 7u);
+}
+
+TEST(SquidParserTest, SortsOutOfOrderAndKeepsRawTimesWhenAsked) {
+  std::istringstream in(
+      "847087402.0 5 b TCP_MISS/200 10 GET http://late - D/- -\n"
+      "847087401.0 5 a TCP_MISS/200 10 GET http://early - D/- -\n");
+  SquidParseOptions options;
+  options.normalize_time = false;
+  const SquidParseResult result = parse_squid_log(in, options);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_TRUE(is_time_ordered(result.trace.requests));
+  EXPECT_EQ(result.trace.requests[0].document, fnv1a64("http://early"));
+  EXPECT_EQ(result.trace.requests[0].at, kSimEpoch + msec(847087401000));
+}
+
+TEST(SquidParserTest, MissingFileThrows) {
+  EXPECT_THROW((void)parse_squid_log_file("/nonexistent/access.log"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eacache

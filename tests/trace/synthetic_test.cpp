@@ -1,0 +1,167 @@
+#include "trace/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace eacache {
+namespace {
+
+SyntheticTraceConfig small_config() {
+  SyntheticTraceConfig config;
+  config.num_requests = 20000;
+  config.num_documents = 2000;
+  config.num_users = 50;
+  config.span = hours(24);
+  return config;
+}
+
+TEST(SyntheticTraceTest, GeneratesRequestedCount) {
+  const Trace trace = generate_synthetic_trace(small_config());
+  EXPECT_EQ(trace.size(), 20000u);
+}
+
+TEST(SyntheticTraceTest, TimeOrderedByConstruction) {
+  const Trace trace = generate_synthetic_trace(small_config());
+  EXPECT_TRUE(is_time_ordered(trace.requests));
+}
+
+TEST(SyntheticTraceTest, DeterministicForSameSeed) {
+  const Trace a = generate_synthetic_trace(small_config());
+  const Trace b = generate_synthetic_trace(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.requests[i].at, b.requests[i].at);
+    EXPECT_EQ(a.requests[i].user, b.requests[i].user);
+    EXPECT_EQ(a.requests[i].document, b.requests[i].document);
+    EXPECT_EQ(a.requests[i].size, b.requests[i].size);
+  }
+}
+
+TEST(SyntheticTraceTest, DifferentSeedsDiffer) {
+  SyntheticTraceConfig config = small_config();
+  const Trace a = generate_synthetic_trace(config);
+  config.seed = 777;
+  const Trace b = generate_synthetic_trace(config);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.requests[i].document != b.requests[i].document) ++differing;
+  }
+  EXPECT_GT(differing, 1000);
+}
+
+TEST(SyntheticTraceTest, IdsWithinUniverse) {
+  const SyntheticTraceConfig config = small_config();
+  const Trace trace = generate_synthetic_trace(config);
+  for (const Request& r : trace.requests) {
+    EXPECT_LT(r.document, config.num_documents);
+    EXPECT_LT(r.user, config.num_users);
+  }
+}
+
+TEST(SyntheticTraceTest, SizesAreStablePerDocument) {
+  const SyntheticTraceConfig config = small_config();
+  const Trace trace = generate_synthetic_trace(config);
+  std::map<DocumentId, Bytes> sizes;
+  for (const Request& r : trace.requests) {
+    const auto [it, inserted] = sizes.emplace(r.document, r.size);
+    if (!inserted) {
+      EXPECT_EQ(it->second, r.size) << "document " << r.document;
+    }
+    EXPECT_EQ(r.size, synthetic_document_size(config, r.document));
+  }
+}
+
+TEST(SyntheticTraceTest, SizesRespectBounds) {
+  const SyntheticTraceConfig config = small_config();
+  for (std::uint64_t d = 0; d < 2000; ++d) {
+    const Bytes size = synthetic_document_size(config, d);
+    EXPECT_GE(size, config.min_size);
+    EXPECT_LE(size, config.max_size);
+  }
+}
+
+TEST(SyntheticTraceTest, MeanSizeNearConfigured) {
+  const SyntheticTraceConfig config = small_config();
+  double sum = 0.0;
+  constexpr std::uint64_t kDocs = 20000;
+  for (std::uint64_t d = 0; d < kDocs; ++d) {
+    sum += static_cast<double>(synthetic_document_size(config, d));
+  }
+  const double mean = sum / static_cast<double>(kDocs);
+  // Log-normal body at 4KiB mean plus a 1% Pareto tail: allow a wide but
+  // meaningful band.
+  EXPECT_GT(mean, 3000.0);
+  EXPECT_LT(mean, 9000.0);
+}
+
+TEST(SyntheticTraceTest, PopularityIsSkewed) {
+  const Trace trace = generate_synthetic_trace(small_config());
+  std::map<DocumentId, int> counts;
+  for (const Request& r : trace.requests) ++counts[r.document];
+  int max_count = 0;
+  for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+  const double uniform_share = 20000.0 / 2000.0;  // 10 requests/doc if uniform
+  EXPECT_GT(max_count, 5 * uniform_share) << "popularity should be Zipf-skewed";
+}
+
+TEST(SyntheticTraceTest, SpanRoughlyRespected) {
+  const SyntheticTraceConfig config = small_config();
+  const Trace trace = generate_synthetic_trace(config);
+  const TraceStats stats = compute_stats(trace.requests);
+  // Poisson arrivals: total span concentrates near the configured value.
+  EXPECT_GT(stats.span(), config.span / 2);
+  EXPECT_LT(stats.span(), config.span * 2);
+}
+
+TEST(SyntheticTraceTest, TemporalLocalityBoostsRepeats) {
+  SyntheticTraceConfig base = small_config();
+  base.num_documents = 20000;  // large universe so stationary repeats are rare
+  const Trace without = generate_synthetic_trace(base);
+  base.repeat_probability = 0.5;
+  const Trace with = generate_synthetic_trace(base);
+
+  const auto repeat_fraction = [](const Trace& trace) {
+    std::map<DocumentId, int> seen;
+    int repeats = 0;
+    for (const Request& r : trace.requests) {
+      if (seen[r.document]++ > 0) ++repeats;
+    }
+    return static_cast<double>(repeats) / static_cast<double>(trace.size());
+  };
+  // Stationary Zipf over this universe already repeats ~55% of requests;
+  // a 0.5 repeat probability must add a clear margin on top.
+  EXPECT_GT(repeat_fraction(with), repeat_fraction(without) + 0.1);
+}
+
+TEST(SyntheticTraceTest, BuCalibratedPresetMatchesPaperNumbers) {
+  const SyntheticTraceConfig config = SyntheticTraceConfig::bu_calibrated();
+  EXPECT_EQ(config.num_requests, 575'775u);
+  EXPECT_EQ(config.num_documents, 46'830u);
+  EXPECT_EQ(config.num_users, 591u);
+}
+
+TEST(SyntheticTraceTest, InvalidConfigsThrow) {
+  SyntheticTraceConfig config = small_config();
+  config.num_documents = 0;
+  EXPECT_THROW((void)generate_synthetic_trace(config), std::invalid_argument);
+  config = small_config();
+  config.num_users = 0;
+  EXPECT_THROW((void)generate_synthetic_trace(config), std::invalid_argument);
+  config = small_config();
+  config.span = Duration::zero();
+  EXPECT_THROW((void)generate_synthetic_trace(config), std::invalid_argument);
+  config = small_config();
+  config.repeat_probability = 1.0;
+  EXPECT_THROW((void)generate_synthetic_trace(config), std::invalid_argument);
+}
+
+TEST(SyntheticTraceTest, ZeroRequestsYieldsEmptyTrace) {
+  SyntheticTraceConfig config = small_config();
+  config.num_requests = 0;
+  EXPECT_TRUE(generate_synthetic_trace(config).empty());
+}
+
+}  // namespace
+}  // namespace eacache

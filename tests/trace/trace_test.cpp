@@ -1,0 +1,57 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace eacache {
+namespace {
+
+Request req(std::int64_t t_s, UserId user, DocumentId doc, Bytes size) {
+  return Request{kSimEpoch + sec(t_s), user, doc, size};
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  const TraceStats stats = compute_stats({});
+  EXPECT_EQ(stats.total_requests, 0u);
+  EXPECT_EQ(stats.unique_documents, 0u);
+  EXPECT_EQ(stats.unique_users, 0u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+}
+
+TEST(TraceStatsTest, CountsUniquesAndBytes) {
+  const std::vector<Request> requests{
+      req(0, 1, 100, 4096),
+      req(1, 1, 100, 4096),
+      req(2, 2, 200, 1000),
+      req(3, 3, 100, 4096),
+  };
+  const TraceStats stats = compute_stats(requests);
+  EXPECT_EQ(stats.total_requests, 4u);
+  EXPECT_EQ(stats.unique_documents, 2u);
+  EXPECT_EQ(stats.unique_users, 3u);
+  EXPECT_EQ(stats.total_bytes, 4096u * 3 + 1000u);
+  EXPECT_EQ(stats.unique_bytes, 4096u + 1000u);
+  EXPECT_EQ(stats.first_request, kSimEpoch);
+  EXPECT_EQ(stats.last_request, kSimEpoch + sec(3));
+  EXPECT_EQ(stats.span(), sec(3));
+}
+
+TEST(TraceOrderTest, DetectsDisorder) {
+  std::vector<Request> ordered{req(0, 1, 1, 1), req(5, 1, 2, 1), req(5, 1, 3, 1)};
+  EXPECT_TRUE(is_time_ordered(ordered));
+  std::vector<Request> disordered{req(5, 1, 1, 1), req(0, 1, 2, 1)};
+  EXPECT_FALSE(is_time_ordered(disordered));
+}
+
+TEST(TraceOrderTest, SortIsStableForTies) {
+  Trace trace;
+  trace.requests = {req(5, 1, 10, 1), req(0, 2, 20, 1), req(5, 3, 30, 1)};
+  sort_by_time(trace);
+  ASSERT_TRUE(is_time_ordered(trace.requests));
+  EXPECT_EQ(trace.requests[0].document, 20u);
+  // The two t=5 requests keep their relative order (10 before 30).
+  EXPECT_EQ(trace.requests[1].document, 10u);
+  EXPECT_EQ(trace.requests[2].document, 30u);
+}
+
+}  // namespace
+}  // namespace eacache
