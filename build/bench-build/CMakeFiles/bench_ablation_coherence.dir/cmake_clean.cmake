@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_coherence"
+  "../bench/bench_ablation_coherence.pdb"
+  "CMakeFiles/bench_ablation_coherence.dir/bench_ablation_coherence.cpp.o"
+  "CMakeFiles/bench_ablation_coherence.dir/bench_ablation_coherence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

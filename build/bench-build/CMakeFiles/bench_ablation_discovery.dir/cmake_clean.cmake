@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_discovery"
+  "../bench/bench_ablation_discovery.pdb"
+  "CMakeFiles/bench_ablation_discovery.dir/bench_ablation_discovery.cpp.o"
+  "CMakeFiles/bench_ablation_discovery.dir/bench_ablation_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

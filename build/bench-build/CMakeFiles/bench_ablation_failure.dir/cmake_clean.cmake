@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_failure"
+  "../bench/bench_ablation_failure.pdb"
+  "CMakeFiles/bench_ablation_failure.dir/bench_ablation_failure.cpp.o"
+  "CMakeFiles/bench_ablation_failure.dir/bench_ablation_failure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

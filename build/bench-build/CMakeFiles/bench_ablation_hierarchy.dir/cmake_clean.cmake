@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hierarchy"
+  "../bench/bench_ablation_hierarchy.pdb"
+  "CMakeFiles/bench_ablation_hierarchy.dir/bench_ablation_hierarchy.cpp.o"
+  "CMakeFiles/bench_ablation_hierarchy.dir/bench_ablation_hierarchy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hysteresis"
+  "../bench/bench_ablation_hysteresis.pdb"
+  "CMakeFiles/bench_ablation_hysteresis.dir/bench_ablation_hysteresis.cpp.o"
+  "CMakeFiles/bench_ablation_hysteresis.dir/bench_ablation_hysteresis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_latency_ratio"
+  "../bench/bench_ablation_latency_ratio.pdb"
+  "CMakeFiles/bench_ablation_latency_ratio.dir/bench_ablation_latency_ratio.cpp.o"
+  "CMakeFiles/bench_ablation_latency_ratio.dir/bench_ablation_latency_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_latency_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lfu"
+  "../bench/bench_ablation_lfu.pdb"
+  "CMakeFiles/bench_ablation_lfu.dir/bench_ablation_lfu.cpp.o"
+  "CMakeFiles/bench_ablation_lfu.dir/bench_ablation_lfu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_loss"
+  "../bench/bench_ablation_loss.pdb"
+  "CMakeFiles/bench_ablation_loss.dir/bench_ablation_loss.cpp.o"
+  "CMakeFiles/bench_ablation_loss.dir/bench_ablation_loss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

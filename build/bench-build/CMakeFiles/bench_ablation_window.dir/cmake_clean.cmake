@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_window"
+  "../bench/bench_ablation_window.pdb"
+  "CMakeFiles/bench_ablation_window.dir/bench_ablation_window.cpp.o"
+  "CMakeFiles/bench_ablation_window.dir/bench_ablation_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

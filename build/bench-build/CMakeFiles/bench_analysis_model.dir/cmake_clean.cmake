@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_analysis_model"
+  "../bench/bench_analysis_model.pdb"
+  "CMakeFiles/bench_analysis_model.dir/bench_analysis_model.cpp.o"
+  "CMakeFiles/bench_analysis_model.dir/bench_analysis_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

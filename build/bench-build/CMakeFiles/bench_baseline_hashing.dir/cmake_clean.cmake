@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_hashing"
+  "../bench/bench_baseline_hashing.pdb"
+  "CMakeFiles/bench_baseline_hashing.dir/bench_baseline_hashing.cpp.o"
+  "CMakeFiles/bench_baseline_hashing.dir/bench_baseline_hashing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_hit_rate"
+  "../bench/bench_fig1_hit_rate.pdb"
+  "CMakeFiles/bench_fig1_hit_rate.dir/bench_fig1_hit_rate.cpp.o"
+  "CMakeFiles/bench_fig1_hit_rate.dir/bench_fig1_hit_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

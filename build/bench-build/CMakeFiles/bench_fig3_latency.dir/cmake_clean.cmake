@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_latency"
+  "../bench/bench_fig3_latency.pdb"
+  "CMakeFiles/bench_fig3_latency.dir/bench_fig3_latency.cpp.o"
+  "CMakeFiles/bench_fig3_latency.dir/bench_fig3_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_ops"
+  "../bench/bench_micro_ops.pdb"
+  "CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cpp.o"
+  "CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

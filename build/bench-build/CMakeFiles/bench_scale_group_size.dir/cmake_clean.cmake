@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scale_group_size"
+  "../bench/bench_scale_group_size.pdb"
+  "CMakeFiles/bench_scale_group_size.dir/bench_scale_group_size.cpp.o"
+  "CMakeFiles/bench_scale_group_size.dir/bench_scale_group_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

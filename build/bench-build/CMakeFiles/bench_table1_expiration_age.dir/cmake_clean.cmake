@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_expiration_age"
+  "../bench/bench_table1_expiration_age.pdb"
+  "CMakeFiles/bench_table1_expiration_age.dir/bench_table1_expiration_age.cpp.o"
+  "CMakeFiles/bench_table1_expiration_age.dir/bench_table1_expiration_age.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_expiration_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_hit_split"
+  "../bench/bench_table2_hit_split.pdb"
+  "CMakeFiles/bench_table2_hit_split.dir/bench_table2_hit_split.cpp.o"
+  "CMakeFiles/bench_table2_hit_split.dir/bench_table2_hit_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hit_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

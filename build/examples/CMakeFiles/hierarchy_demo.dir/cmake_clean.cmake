@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_demo.dir/hierarchy_demo.cpp.o"
+  "CMakeFiles/hierarchy_demo.dir/hierarchy_demo.cpp.o.d"
+  "hierarchy_demo"
+  "hierarchy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_trace.dir/make_trace.cpp.o"
+  "CMakeFiles/make_trace.dir/make_trace.cpp.o.d"
+  "make_trace"
+  "make_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_curves.dir/plot_curves.cpp.o"
+  "CMakeFiles/plot_curves.dir/plot_curves.cpp.o.d"
+  "plot_curves"
+  "plot_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_lab.dir/policy_lab.cpp.o"
+  "CMakeFiles/policy_lab.dir/policy_lab.cpp.o.d"
+  "policy_lab"
+  "policy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("event")
+subdirs("storage")
+subdirs("digest")
+subdirs("origin")
+subdirs("analysis")
+subdirs("prefetch")
+subdirs("ea")
+subdirs("net")
+subdirs("trace")
+subdirs("metrics")
+subdirs("proxy")
+subdirs("group")
+subdirs("sim")

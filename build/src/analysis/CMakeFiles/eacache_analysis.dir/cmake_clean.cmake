@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_analysis.dir/che_approximation.cpp.o"
+  "CMakeFiles/eacache_analysis.dir/che_approximation.cpp.o.d"
+  "libeacache_analysis.a"
+  "libeacache_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_common.dir/config.cpp.o"
+  "CMakeFiles/eacache_common.dir/config.cpp.o.d"
+  "CMakeFiles/eacache_common.dir/logging.cpp.o"
+  "CMakeFiles/eacache_common.dir/logging.cpp.o.d"
+  "CMakeFiles/eacache_common.dir/types.cpp.o"
+  "CMakeFiles/eacache_common.dir/types.cpp.o.d"
+  "CMakeFiles/eacache_common.dir/zipf.cpp.o"
+  "CMakeFiles/eacache_common.dir/zipf.cpp.o.d"
+  "libeacache_common.a"
+  "libeacache_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digest/bloom_filter.cpp" "src/digest/CMakeFiles/eacache_digest.dir/bloom_filter.cpp.o" "gcc" "src/digest/CMakeFiles/eacache_digest.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/digest/counting_bloom.cpp" "src/digest/CMakeFiles/eacache_digest.dir/counting_bloom.cpp.o" "gcc" "src/digest/CMakeFiles/eacache_digest.dir/counting_bloom.cpp.o.d"
+  "/root/repo/src/digest/digest_directory.cpp" "src/digest/CMakeFiles/eacache_digest.dir/digest_directory.cpp.o" "gcc" "src/digest/CMakeFiles/eacache_digest.dir/digest_directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eacache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eacache_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_digest.dir/bloom_filter.cpp.o"
+  "CMakeFiles/eacache_digest.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/eacache_digest.dir/counting_bloom.cpp.o"
+  "CMakeFiles/eacache_digest.dir/counting_bloom.cpp.o.d"
+  "CMakeFiles/eacache_digest.dir/digest_directory.cpp.o"
+  "CMakeFiles/eacache_digest.dir/digest_directory.cpp.o.d"
+  "libeacache_digest.a"
+  "libeacache_digest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

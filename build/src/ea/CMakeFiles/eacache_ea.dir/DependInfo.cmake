@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ea/contention.cpp" "src/ea/CMakeFiles/eacache_ea.dir/contention.cpp.o" "gcc" "src/ea/CMakeFiles/eacache_ea.dir/contention.cpp.o.d"
+  "/root/repo/src/ea/expiration_age.cpp" "src/ea/CMakeFiles/eacache_ea.dir/expiration_age.cpp.o" "gcc" "src/ea/CMakeFiles/eacache_ea.dir/expiration_age.cpp.o.d"
+  "/root/repo/src/ea/placement.cpp" "src/ea/CMakeFiles/eacache_ea.dir/placement.cpp.o" "gcc" "src/ea/CMakeFiles/eacache_ea.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eacache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eacache_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_ea.dir/contention.cpp.o"
+  "CMakeFiles/eacache_ea.dir/contention.cpp.o.d"
+  "CMakeFiles/eacache_ea.dir/expiration_age.cpp.o"
+  "CMakeFiles/eacache_ea.dir/expiration_age.cpp.o.d"
+  "CMakeFiles/eacache_ea.dir/placement.cpp.o"
+  "CMakeFiles/eacache_ea.dir/placement.cpp.o.d"
+  "libeacache_ea.a"
+  "libeacache_ea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

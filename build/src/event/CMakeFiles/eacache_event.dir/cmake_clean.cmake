@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_event.dir/event_queue.cpp.o"
+  "CMakeFiles/eacache_event.dir/event_queue.cpp.o.d"
+  "libeacache_event.a"
+  "libeacache_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eacache_event.
+# This may be replaced when dependencies are built.

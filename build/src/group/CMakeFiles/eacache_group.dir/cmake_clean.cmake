@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_group.dir/cache_group.cpp.o"
+  "CMakeFiles/eacache_group.dir/cache_group.cpp.o.d"
+  "CMakeFiles/eacache_group.dir/hash_ring.cpp.o"
+  "CMakeFiles/eacache_group.dir/hash_ring.cpp.o.d"
+  "CMakeFiles/eacache_group.dir/topology.cpp.o"
+  "CMakeFiles/eacache_group.dir/topology.cpp.o.d"
+  "libeacache_group.a"
+  "libeacache_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

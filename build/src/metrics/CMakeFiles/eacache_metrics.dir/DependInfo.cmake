@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/ascii_chart.cpp" "src/metrics/CMakeFiles/eacache_metrics.dir/ascii_chart.cpp.o" "gcc" "src/metrics/CMakeFiles/eacache_metrics.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/metrics/json.cpp" "src/metrics/CMakeFiles/eacache_metrics.dir/json.cpp.o" "gcc" "src/metrics/CMakeFiles/eacache_metrics.dir/json.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "src/metrics/CMakeFiles/eacache_metrics.dir/metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/eacache_metrics.dir/metrics.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/metrics/CMakeFiles/eacache_metrics.dir/table.cpp.o" "gcc" "src/metrics/CMakeFiles/eacache_metrics.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eacache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eacache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/eacache_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eacache_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_metrics.dir/ascii_chart.cpp.o"
+  "CMakeFiles/eacache_metrics.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/eacache_metrics.dir/json.cpp.o"
+  "CMakeFiles/eacache_metrics.dir/json.cpp.o.d"
+  "CMakeFiles/eacache_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/eacache_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/eacache_metrics.dir/table.cpp.o"
+  "CMakeFiles/eacache_metrics.dir/table.cpp.o.d"
+  "libeacache_metrics.a"
+  "libeacache_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/icp_codec.cpp" "src/net/CMakeFiles/eacache_net.dir/icp_codec.cpp.o" "gcc" "src/net/CMakeFiles/eacache_net.dir/icp_codec.cpp.o.d"
+  "/root/repo/src/net/latency_model.cpp" "src/net/CMakeFiles/eacache_net.dir/latency_model.cpp.o" "gcc" "src/net/CMakeFiles/eacache_net.dir/latency_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eacache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/eacache_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eacache_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

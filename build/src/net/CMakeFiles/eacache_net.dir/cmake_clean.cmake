@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_net.dir/icp_codec.cpp.o"
+  "CMakeFiles/eacache_net.dir/icp_codec.cpp.o.d"
+  "CMakeFiles/eacache_net.dir/latency_model.cpp.o"
+  "CMakeFiles/eacache_net.dir/latency_model.cpp.o.d"
+  "libeacache_net.a"
+  "libeacache_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

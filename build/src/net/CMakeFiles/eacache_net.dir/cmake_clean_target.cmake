@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeacache_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_origin.dir/origin_server.cpp.o"
+  "CMakeFiles/eacache_origin.dir/origin_server.cpp.o.d"
+  "libeacache_origin.a"
+  "libeacache_origin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_prefetch.dir/markov_predictor.cpp.o"
+  "CMakeFiles/eacache_prefetch.dir/markov_predictor.cpp.o.d"
+  "libeacache_prefetch.a"
+  "libeacache_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

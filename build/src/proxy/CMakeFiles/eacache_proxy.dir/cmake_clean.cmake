@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_proxy.dir/proxy_cache.cpp.o"
+  "CMakeFiles/eacache_proxy.dir/proxy_cache.cpp.o.d"
+  "libeacache_proxy.a"
+  "libeacache_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_sim.dir/experiment.cpp.o"
+  "CMakeFiles/eacache_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/eacache_sim.dir/result_json.cpp.o"
+  "CMakeFiles/eacache_sim.dir/result_json.cpp.o.d"
+  "CMakeFiles/eacache_sim.dir/simulator.cpp.o"
+  "CMakeFiles/eacache_sim.dir/simulator.cpp.o.d"
+  "libeacache_sim.a"
+  "libeacache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

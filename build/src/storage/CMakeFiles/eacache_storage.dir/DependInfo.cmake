@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cache_store.cpp" "src/storage/CMakeFiles/eacache_storage.dir/cache_store.cpp.o" "gcc" "src/storage/CMakeFiles/eacache_storage.dir/cache_store.cpp.o.d"
+  "/root/repo/src/storage/gds_policy.cpp" "src/storage/CMakeFiles/eacache_storage.dir/gds_policy.cpp.o" "gcc" "src/storage/CMakeFiles/eacache_storage.dir/gds_policy.cpp.o.d"
+  "/root/repo/src/storage/lfu_policy.cpp" "src/storage/CMakeFiles/eacache_storage.dir/lfu_policy.cpp.o" "gcc" "src/storage/CMakeFiles/eacache_storage.dir/lfu_policy.cpp.o.d"
+  "/root/repo/src/storage/lru_policy.cpp" "src/storage/CMakeFiles/eacache_storage.dir/lru_policy.cpp.o" "gcc" "src/storage/CMakeFiles/eacache_storage.dir/lru_policy.cpp.o.d"
+  "/root/repo/src/storage/policy_factory.cpp" "src/storage/CMakeFiles/eacache_storage.dir/policy_factory.cpp.o" "gcc" "src/storage/CMakeFiles/eacache_storage.dir/policy_factory.cpp.o.d"
+  "/root/repo/src/storage/size_policy.cpp" "src/storage/CMakeFiles/eacache_storage.dir/size_policy.cpp.o" "gcc" "src/storage/CMakeFiles/eacache_storage.dir/size_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eacache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

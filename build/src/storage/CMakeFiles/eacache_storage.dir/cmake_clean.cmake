@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_storage.dir/cache_store.cpp.o"
+  "CMakeFiles/eacache_storage.dir/cache_store.cpp.o.d"
+  "CMakeFiles/eacache_storage.dir/gds_policy.cpp.o"
+  "CMakeFiles/eacache_storage.dir/gds_policy.cpp.o.d"
+  "CMakeFiles/eacache_storage.dir/lfu_policy.cpp.o"
+  "CMakeFiles/eacache_storage.dir/lfu_policy.cpp.o.d"
+  "CMakeFiles/eacache_storage.dir/lru_policy.cpp.o"
+  "CMakeFiles/eacache_storage.dir/lru_policy.cpp.o.d"
+  "CMakeFiles/eacache_storage.dir/policy_factory.cpp.o"
+  "CMakeFiles/eacache_storage.dir/policy_factory.cpp.o.d"
+  "CMakeFiles/eacache_storage.dir/size_policy.cpp.o"
+  "CMakeFiles/eacache_storage.dir/size_policy.cpp.o.d"
+  "libeacache_storage.a"
+  "libeacache_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/eacache_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/eacache_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/bu_parser.cpp" "src/trace/CMakeFiles/eacache_trace.dir/bu_parser.cpp.o" "gcc" "src/trace/CMakeFiles/eacache_trace.dir/bu_parser.cpp.o.d"
+  "/root/repo/src/trace/bu_writer.cpp" "src/trace/CMakeFiles/eacache_trace.dir/bu_writer.cpp.o" "gcc" "src/trace/CMakeFiles/eacache_trace.dir/bu_writer.cpp.o.d"
+  "/root/repo/src/trace/squid_parser.cpp" "src/trace/CMakeFiles/eacache_trace.dir/squid_parser.cpp.o" "gcc" "src/trace/CMakeFiles/eacache_trace.dir/squid_parser.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/eacache_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/eacache_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/eacache_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/eacache_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eacache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacache_trace.dir/analysis.cpp.o"
+  "CMakeFiles/eacache_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/eacache_trace.dir/bu_parser.cpp.o"
+  "CMakeFiles/eacache_trace.dir/bu_parser.cpp.o.d"
+  "CMakeFiles/eacache_trace.dir/bu_writer.cpp.o"
+  "CMakeFiles/eacache_trace.dir/bu_writer.cpp.o.d"
+  "CMakeFiles/eacache_trace.dir/squid_parser.cpp.o"
+  "CMakeFiles/eacache_trace.dir/squid_parser.cpp.o.d"
+  "CMakeFiles/eacache_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/eacache_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/eacache_trace.dir/trace.cpp.o"
+  "CMakeFiles/eacache_trace.dir/trace.cpp.o.d"
+  "libeacache_trace.a"
+  "libeacache_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacache_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

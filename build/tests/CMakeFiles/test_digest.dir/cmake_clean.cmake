@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digest.dir/digest/bloom_filter_test.cpp.o"
+  "CMakeFiles/test_digest.dir/digest/bloom_filter_test.cpp.o.d"
+  "CMakeFiles/test_digest.dir/digest/counting_bloom_test.cpp.o"
+  "CMakeFiles/test_digest.dir/digest/counting_bloom_test.cpp.o.d"
+  "CMakeFiles/test_digest.dir/digest/digest_directory_test.cpp.o"
+  "CMakeFiles/test_digest.dir/digest/digest_directory_test.cpp.o.d"
+  "CMakeFiles/test_digest.dir/digest/digest_discovery_test.cpp.o"
+  "CMakeFiles/test_digest.dir/digest/digest_discovery_test.cpp.o.d"
+  "test_digest"
+  "test_digest.pdb"
+  "test_digest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

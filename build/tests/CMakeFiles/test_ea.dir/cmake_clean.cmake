@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ea.dir/ea/contention_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/contention_test.cpp.o.d"
+  "CMakeFiles/test_ea.dir/ea/expiration_age_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/expiration_age_test.cpp.o.d"
+  "CMakeFiles/test_ea.dir/ea/hysteresis_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/hysteresis_test.cpp.o.d"
+  "CMakeFiles/test_ea.dir/ea/placement_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/placement_test.cpp.o.d"
+  "test_ea"
+  "test_ea.pdb"
+  "test_ea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

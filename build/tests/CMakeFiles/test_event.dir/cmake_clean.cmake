@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event.dir/event/event_queue_test.cpp.o"
+  "CMakeFiles/test_event.dir/event/event_queue_test.cpp.o.d"
+  "test_event"
+  "test_event.pdb"
+  "test_event[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group.dir/group/cache_group_test.cpp.o"
+  "CMakeFiles/test_group.dir/group/cache_group_test.cpp.o.d"
+  "CMakeFiles/test_group.dir/group/deep_hierarchy_test.cpp.o"
+  "CMakeFiles/test_group.dir/group/deep_hierarchy_test.cpp.o.d"
+  "CMakeFiles/test_group.dir/group/hash_ring_test.cpp.o"
+  "CMakeFiles/test_group.dir/group/hash_ring_test.cpp.o.d"
+  "CMakeFiles/test_group.dir/group/hash_routing_test.cpp.o"
+  "CMakeFiles/test_group.dir/group/hash_routing_test.cpp.o.d"
+  "CMakeFiles/test_group.dir/group/icp_loss_test.cpp.o"
+  "CMakeFiles/test_group.dir/group/icp_loss_test.cpp.o.d"
+  "CMakeFiles/test_group.dir/group/topology_test.cpp.o"
+  "CMakeFiles/test_group.dir/group/topology_test.cpp.o.d"
+  "test_group"
+  "test_group.pdb"
+  "test_group[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

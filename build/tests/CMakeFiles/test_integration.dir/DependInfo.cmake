@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/combined_modes_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/combined_modes_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/combined_modes_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/invariants_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/invariants_test.cpp.o.d"
+  "/root/repo/tests/integration/matrix_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/matrix_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_claims_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/paper_claims_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/paper_claims_test.cpp.o.d"
+  "/root/repo/tests/integration/reference_model_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/reference_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/reference_model_test.cpp.o.d"
+  "/root/repo/tests/integration/soak_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/soak_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/soak_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/eacache_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eacache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/eacache_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/eacache_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/origin/CMakeFiles/eacache_origin.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/eacache_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eacache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/eacache_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/eacache_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/digest/CMakeFiles/eacache_digest.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eacache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/eacache_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eacache_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eacache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

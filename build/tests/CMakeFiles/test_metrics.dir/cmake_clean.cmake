@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/metrics/ascii_chart_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/ascii_chart_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/json_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/json_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/metrics_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/metrics_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/table_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/table_test.cpp.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+  "test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

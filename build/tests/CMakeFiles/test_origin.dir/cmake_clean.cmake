@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_origin.dir/origin/coherence_test.cpp.o"
+  "CMakeFiles/test_origin.dir/origin/coherence_test.cpp.o.d"
+  "CMakeFiles/test_origin.dir/origin/origin_server_test.cpp.o"
+  "CMakeFiles/test_origin.dir/origin/origin_server_test.cpp.o.d"
+  "test_origin"
+  "test_origin.pdb"
+  "test_origin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch.dir/prefetch/markov_predictor_test.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/markov_predictor_test.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/prefetch/prefetch_integration_test.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/prefetch_integration_test.cpp.o.d"
+  "test_prefetch"
+  "test_prefetch.pdb"
+  "test_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

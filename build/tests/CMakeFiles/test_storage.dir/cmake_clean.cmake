@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage.dir/storage/cache_store_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/cache_store_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/gds_policy_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/gds_policy_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/lfu_policy_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/lfu_policy_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/lru_policy_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/lru_policy_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/policy_property_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/policy_property_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/size_policy_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/size_policy_test.cpp.o.d"
+  "test_storage"
+  "test_storage.pdb"
+  "test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
