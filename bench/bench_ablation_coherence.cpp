@@ -7,48 +7,29 @@
 // the cost of validation traffic; a long TTL inverts the trade. The EA
 // scheme's hit-rate advantage must survive coherence — placement and
 // freshness are orthogonal concerns.
+#include <vector>
+
 #include "bench_common.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-COHERENCE",
                       "Placement schemes under TTL + If-Modified-Since coherence");
+  const TraceRef trace = bench::small_trace();
 
-  TextTable table({"freshness rule", "scheme", "hit rate", "validations", "304 share",
-                   "stale served", "latency (ms)"});
-
-  const auto run_point = [&](const std::string& label, const CoherenceConfig& coherence) {
-    GroupConfig base = bench::paper_group(4);
-    base.coherence = coherence;
-    base.coherence.enabled = true;
-    base.origin.min_update_interval = hours(12);
-    base.origin.max_update_interval = hours(24 * 60);
-    const Bytes ladder[] = {10 * kMiB};
-    const auto points = compare_schemes_over_capacities(bench::small_trace(), base, ladder);
-    const SchemeComparison& point = points[0];
-
-    const auto add = [&](const char* scheme, const SimulationResult& result) {
-      const double share =
-          result.coherence.validations > 0
-              ? static_cast<double>(result.coherence.validated_304) /
-                    static_cast<double>(result.coherence.validations)
-              : 0.0;
-      table.add_row({label, scheme, fmt_percent(result.metrics.hit_rate()),
-                     std::to_string(result.coherence.validations), fmt_percent(share),
-                     std::to_string(result.coherence.stale_served),
-                     fmt_double(result.metrics.estimated_average_latency_ms(LatencyModel{}), 1)});
-    };
-    add("ad-hoc", point.adhoc);
-    add("ea", point.ea);
+  struct Rule {
+    std::string label;
+    CoherenceConfig coherence;
   };
-
+  std::vector<Rule> rules;
   // Fixed-TTL sweep (the classic freshness trade)...
   for (const Duration ttl : {minutes(15), hours(1), hours(6), hours(24), hours(24 * 7)}) {
     CoherenceConfig coherence;
     coherence.rule = FreshnessRule::kFixedTtl;
     coherence.fresh_ttl = ttl;
-    run_point("ttl " + format_duration(ttl), coherence);
+    rules.push_back({"ttl " + format_duration(ttl), coherence});
   }
   // ...and Squid's adaptive LM-factor rule, which should dominate any
   // single fixed TTL on the validations-vs-staleness frontier.
@@ -56,7 +37,40 @@ int main() {
     CoherenceConfig coherence;
     coherence.rule = FreshnessRule::kLmFactor;
     coherence.lm_factor = factor;
-    run_point("lm-factor " + fmt_double(factor, 2), coherence);
+    rules.push_back({"lm-factor " + fmt_double(factor, 2), coherence});
+  }
+
+  SweepRunner runner = bench::make_runner(opts);
+  for (const Rule& rule : rules) {
+    GroupConfig config = bench::paper_group(4);
+    config.coherence = rule.coherence;
+    config.coherence.enabled = true;
+    config.origin.min_update_interval = hours(12);
+    config.origin.max_update_interval = hours(24 * 60);
+    config.aggregate_capacity = 10 * kMiB;
+    config.placement = PlacementKind::kAdHoc;
+    runner.add("adhoc@" + rule.label, config, trace);
+    config.placement = PlacementKind::kEa;
+    runner.add("ea@" + rule.label, config, trace);
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"freshness rule", "scheme", "hit rate", "validations", "304 share",
+                   "stale served", "latency (ms)"});
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const auto add = [&](const char* scheme, const SimulationResult& result) {
+      const double share =
+          result.coherence.validations > 0
+              ? static_cast<double>(result.coherence.validated_304) /
+                    static_cast<double>(result.coherence.validations)
+              : 0.0;
+      table.add_row({rules[i].label, scheme, fmt_percent(result.metrics.hit_rate()),
+                     std::to_string(result.coherence.validations), fmt_percent(share),
+                     std::to_string(result.coherence.stale_served),
+                     fmt_double(result.metrics.estimated_average_latency_ms(LatencyModel{}), 1)});
+    };
+    add("ad-hoc", runs[2 * i].result);
+    add("ea", runs[2 * i + 1].result);
   }
   bench::print_table_and_csv(table);
   return 0;

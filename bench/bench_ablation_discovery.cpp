@@ -11,38 +11,55 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-DISCOVERY",
                       "ICP vs Summary-Cache digest discovery, ad-hoc and EA schemes");
 
   const Bytes capacities[] = {1 * kMiB, 10 * kMiB};
-  TextTable table({"aggregate memory", "discovery", "scheme", "hit rate", "messages",
-                   "wire bytes", "failed probes"});
+  const TraceRef trace = bench::small_trace();
 
+  struct RowMeta {
+    Bytes capacity;
+    DiscoveryMode discovery;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const Bytes capacity : capacities) {
     for (const DiscoveryMode discovery : {DiscoveryMode::kIcp, DiscoveryMode::kDigest}) {
-      GroupConfig base = bench::paper_group(4);
-      base.discovery = discovery;
+      GroupConfig config = bench::paper_group(4);
+      config.discovery = discovery;
+      config.aggregate_capacity = capacity;
       // Summary-Cache-realistic sizing: the filter covers the per-cache
       // directory (~capacity / mean size) with headroom; snapshots go out
       // hourly (Fan et al. propose update-on-1%-churn; hourly is the same
       // order for this workload).
-      base.digest.expected_items = 4096;
-      base.digest.refresh_period = hours(1);
-      const Bytes ladder[] = {capacity};
-      const auto points = compare_schemes_over_capacities(bench::small_trace(), base, ladder);
-      const SchemeComparison& point = points[0];
-      const auto add = [&](const char* scheme, const SimulationResult& result) {
-        table.add_row({bench::capacity_label(capacity),
-                       discovery == DiscoveryMode::kIcp ? "icp" : "digest", scheme,
-                       fmt_percent(result.metrics.hit_rate()),
-                       std::to_string(result.transport.total_messages()),
-                       format_bytes(result.transport.total_bytes()),
-                       std::to_string(result.transport.failed_probes)});
-      };
-      add("ad-hoc", point.adhoc);
-      add("ea", point.ea);
+      config.digest.expected_items = 4096;
+      config.digest.refresh_period = hours(1);
+      const std::string point = bench::capacity_label(capacity) +
+                                (discovery == DiscoveryMode::kIcp ? "/icp" : "/digest");
+      config.placement = PlacementKind::kAdHoc;
+      runner.add("adhoc@" + point, config, trace);
+      config.placement = PlacementKind::kEa;
+      runner.add("ea@" + point, config, trace);
+      rows.push_back({capacity, discovery});
     }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"aggregate memory", "discovery", "scheme", "hit rate", "messages",
+                   "wire bytes", "failed probes"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto add = [&](const char* scheme, const SimulationResult& result) {
+      table.add_row({bench::capacity_label(rows[i].capacity),
+                     rows[i].discovery == DiscoveryMode::kIcp ? "icp" : "digest", scheme,
+                     fmt_percent(result.metrics.hit_rate()),
+                     std::to_string(result.transport.total_messages()),
+                     format_bytes(result.transport.total_bytes()),
+                     std::to_string(result.transport.failed_probes)});
+    };
+    add("ad-hoc", runs[2 * i].result);
+    add("ea", runs[2 * i + 1].result);
   }
   bench::print_table_and_csv(table);
   return 0;

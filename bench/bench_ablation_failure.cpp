@@ -6,49 +6,61 @@
 // post-crash dip is smaller. The EA scheme trades that redundancy for
 // capacity; hash partitioning (exactly one copy per document) is the most
 // exposed. This quantifies the availability cost of deduplication.
+#include <vector>
+
 #include "bench_common.h"
 
 using namespace eacache;
 
-namespace {
-
-SimulationResult run_with_midpoint_crash(const Trace& trace, const GroupConfig& config) {
-  SimulationOptions options;
-  options.flush_events.push_back({trace.requests[trace.size() / 2].at, 0});
-  return run_simulation(trace, config, options);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-FAIL", "Hit-rate cost of losing one proxy's disk mid-trace");
-  const Trace& trace = bench::small_trace();
+  const TraceRef trace = bench::small_trace();
 
-  TextTable table({"aggregate memory", "scheme", "hit rate (clean)", "hit rate (crash)",
-                   "damage"});
+  SimulationOptions crash_options;
+  crash_options.flush_events.push_back({trace->requests[trace->size() / 2].at, 0});
+
+  struct Scheme {
+    const char* label;
+    PlacementKind placement;
+    RoutingMode routing;
+  };
+  const Scheme schemes[] = {
+      {"ad-hoc", PlacementKind::kAdHoc, RoutingMode::kCooperative},
+      {"ea", PlacementKind::kEa, RoutingMode::kCooperative},
+      {"hash", PlacementKind::kAdHoc, RoutingMode::kHashPartition},
+  };
+
+  struct RowMeta {
+    Bytes capacity;
+    const char* scheme;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const Bytes capacity : {1 * kMiB, 10 * kMiB, 100 * kMiB}) {
-    struct Scheme {
-      const char* label;
-      PlacementKind placement;
-      RoutingMode routing;
-    };
-    const Scheme schemes[] = {
-        {"ad-hoc", PlacementKind::kAdHoc, RoutingMode::kCooperative},
-        {"ea", PlacementKind::kEa, RoutingMode::kCooperative},
-        {"hash", PlacementKind::kAdHoc, RoutingMode::kHashPartition},
-    };
     for (const Scheme& scheme : schemes) {
       GroupConfig config = bench::paper_group(4);
       config.aggregate_capacity = capacity;
       config.placement = scheme.placement;
       config.routing = scheme.routing;
-      const SimulationResult clean = run_simulation(trace, config);
-      const SimulationResult crash = run_with_midpoint_crash(trace, config);
-      table.add_row({bench::capacity_label(capacity), scheme.label,
-                     fmt_percent(clean.metrics.hit_rate()),
-                     fmt_percent(crash.metrics.hit_rate()),
-                     fmt_percent(clean.metrics.hit_rate() - crash.metrics.hit_rate())});
+      const std::string point =
+          std::string(scheme.label) + "@" + bench::capacity_label(capacity);
+      runner.add(point + "/clean", config, trace);
+      runner.add(point + "/crash", config, trace, crash_options);
+      rows.push_back({capacity, scheme.label});
     }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"aggregate memory", "scheme", "hit rate (clean)", "hit rate (crash)",
+                   "damage"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& clean = runs[2 * i].result;
+    const SimulationResult& crash = runs[2 * i + 1].result;
+    table.add_row({bench::capacity_label(rows[i].capacity), rows[i].scheme,
+                   fmt_percent(clean.metrics.hit_rate()),
+                   fmt_percent(crash.metrics.hit_rate()),
+                   fmt_percent(clean.metrics.hit_rate() - crash.metrics.hit_rate())});
   }
   bench::print_table_and_csv(table);
   return 0;

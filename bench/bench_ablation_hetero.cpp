@@ -4,14 +4,17 @@
 // asymmetry naturally: the big cache's lower contention (higher expiration
 // age) makes it the group's preferred keeper of shared documents.
 #include <numeric>
+#include <vector>
 
 #include "bench_common.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-HETERO", "Equal vs skewed capacity splits (same aggregate)");
   const LatencyModel model = LatencyModel::paper_defaults();
+  const TraceRef trace = bench::small_trace();
 
   struct Split {
     const char* label;
@@ -24,8 +27,13 @@ int main() {
       {"extreme 13:1:1:1", {13, 1, 1, 1}},
   };
 
-  TextTable table({"aggregate memory", "split", "scheme", "hit rate", "latency (ms)",
-                   "big-cache share of copies"});
+  struct RowMeta {
+    Bytes capacity;
+    const char* split;
+    PlacementKind placement;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const Bytes capacity : {1 * kMiB, 10 * kMiB}) {
     for (const Split& split : splits) {
       for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
@@ -33,26 +41,36 @@ int main() {
         config.aggregate_capacity = capacity;
         config.capacity_weights = split.weights;
         config.placement = placement;
-        const SimulationResult result = run_simulation(bench::small_trace(), config);
-        const std::size_t total = result.total_resident_copies;
-        // Proxy 0 holds the largest share under every skewed split.
-        double big_share = 0.0;
-        if (total > 0) {
-          big_share = static_cast<double>(result.proxy_stats[0].copies_stored) /
-                      static_cast<double>(std::max<std::uint64_t>(
-                          1, std::accumulate(result.proxy_stats.begin(),
-                                             result.proxy_stats.end(), std::uint64_t{0},
-                                             [](std::uint64_t acc, const ProxyStats& stats) {
-                                               return acc + stats.copies_stored;
-                                             })));
-        }
-        table.add_row({bench::capacity_label(capacity), split.label,
-                       std::string(to_string(placement)),
-                       fmt_percent(result.metrics.hit_rate()),
-                       fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
-                       fmt_percent(big_share)});
+        runner.add(std::string(to_string(placement)) + "@" + split.label + "/" +
+                       bench::capacity_label(capacity),
+                   config, trace);
+        rows.push_back({capacity, split.label, placement});
       }
     }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"aggregate memory", "split", "scheme", "hit rate", "latency (ms)",
+                   "big-cache share of copies"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& result = runs[i].result;
+    const std::size_t total = result.total_resident_copies;
+    // Proxy 0 holds the largest share under every skewed split.
+    double big_share = 0.0;
+    if (total > 0) {
+      big_share = static_cast<double>(result.proxy_stats[0].copies_stored) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, std::accumulate(result.proxy_stats.begin(),
+                                         result.proxy_stats.end(), std::uint64_t{0},
+                                         [](std::uint64_t acc, const ProxyStats& stats) {
+                                           return acc + stats.copies_stored;
+                                         })));
+    }
+    table.add_row({bench::capacity_label(rows[i].capacity), rows[i].split,
+                   std::string(to_string(rows[i].placement)),
+                   fmt_percent(result.metrics.hit_rate()),
+                   fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
+                   fmt_percent(big_share)});
   }
   bench::print_table_and_csv(table);
   return 0;

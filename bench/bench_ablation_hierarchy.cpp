@@ -11,29 +11,46 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-HIER", "EA vs ad-hoc under distributed and hierarchical topologies");
+  const TraceRef trace = bench::small_trace();
 
-  TextTable table({"aggregate memory", "topology", "ad-hoc hit rate", "EA hit rate",
-                   "EA - ad-hoc", "ad-hoc miss", "EA miss"});
+  struct RowMeta {
+    Bytes capacity;
+    TopologyKind topology;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const Bytes capacity : paper_capacity_ladder()) {
     for (const TopologyKind topology :
          {TopologyKind::kDistributed, TopologyKind::kHierarchical}) {
-      GroupConfig base = bench::paper_group(4);
-      base.topology = topology;
-      const Bytes capacities[] = {capacity};
-      const auto points =
-          compare_schemes_over_capacities(bench::small_trace(), base, capacities);
-      const SchemeComparison& point = points[0];
-      table.add_row(
-          {bench::capacity_label(capacity),
-           topology == TopologyKind::kDistributed ? "distributed" : "hierarchical",
-           fmt_percent(point.adhoc.metrics.hit_rate()),
-           fmt_percent(point.ea.metrics.hit_rate()),
-           fmt_percent(point.ea.metrics.hit_rate() - point.adhoc.metrics.hit_rate()),
-           fmt_percent(point.adhoc.metrics.miss_rate()),
-           fmt_percent(point.ea.metrics.miss_rate())});
+      GroupConfig config = bench::paper_group(4);
+      config.topology = topology;
+      config.aggregate_capacity = capacity;
+      const std::string point =
+          bench::capacity_label(capacity) +
+          (topology == TopologyKind::kDistributed ? "/dist" : "/hier");
+      config.placement = PlacementKind::kAdHoc;
+      runner.add("adhoc@" + point, config, trace);
+      config.placement = PlacementKind::kEa;
+      runner.add("ea@" + point, config, trace);
+      rows.push_back({capacity, topology});
     }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"aggregate memory", "topology", "ad-hoc hit rate", "EA hit rate",
+                   "EA - ad-hoc", "ad-hoc miss", "EA miss"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& adhoc = runs[2 * i].result;
+    const SimulationResult& ea = runs[2 * i + 1].result;
+    table.add_row(
+        {bench::capacity_label(rows[i].capacity),
+         rows[i].topology == TopologyKind::kDistributed ? "distributed" : "hierarchical",
+         fmt_percent(adhoc.metrics.hit_rate()), fmt_percent(ea.metrics.hit_rate()),
+         fmt_percent(ea.metrics.hit_rate() - adhoc.metrics.hit_rate()),
+         fmt_percent(adhoc.metrics.miss_rate()), fmt_percent(ea.metrics.miss_rate())});
   }
   bench::print_table_and_csv(table);
   return 0;

@@ -5,41 +5,54 @@
 // Expected shape: replication falls monotonically with the factor; the hit
 // rate first holds (dedup still pays) and eventually sags as useful
 // replicas stop being made and remote-hit latency dominates.
+#include <vector>
+
 #include "bench_common.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-HYST", "EA replication-threshold (hysteresis) sweep");
   const LatencyModel model = LatencyModel::paper_defaults();
   const double factors[] = {1.0, 1.5, 2.0, 4.0, 8.0, 16.0};
+  const TraceRef trace = bench::small_trace();
 
-  TextTable table({"aggregate memory", "scheme", "hit rate", "remote",
-                   "latency (ms)", "replication"});
+  struct RowMeta {
+    Bytes capacity;
+    std::string scheme;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const Bytes capacity : {1 * kMiB, 10 * kMiB}) {
     GroupConfig base = bench::paper_group(4);
     base.aggregate_capacity = capacity;
 
     base.placement = PlacementKind::kAdHoc;
-    const SimulationResult adhoc = run_simulation(bench::small_trace(), base);
-    table.add_row({bench::capacity_label(capacity), "ad-hoc",
-                   fmt_percent(adhoc.metrics.hit_rate()),
-                   fmt_percent(adhoc.metrics.remote_hit_rate()),
-                   fmt_double(adhoc.metrics.estimated_average_latency_ms(model), 1),
-                   fmt_double(adhoc.replication_factor, 3)});
+    runner.add("adhoc@" + bench::capacity_label(capacity), base, trace);
+    rows.push_back({capacity, "ad-hoc"});
 
     for (const double factor : factors) {
       base.placement =
           factor == 1.0 ? PlacementKind::kEa : PlacementKind::kEaHysteresis;
       base.ea_hysteresis = factor;
-      const SimulationResult result = run_simulation(bench::small_trace(), base);
-      table.add_row({bench::capacity_label(capacity),
-                     factor == 1.0 ? "ea (x1)" : ("ea-hyst x" + fmt_double(factor, 1)),
-                     fmt_percent(result.metrics.hit_rate()),
-                     fmt_percent(result.metrics.remote_hit_rate()),
-                     fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
-                     fmt_double(result.replication_factor, 3)});
+      const std::string scheme =
+          factor == 1.0 ? "ea (x1)" : ("ea-hyst x" + fmt_double(factor, 1));
+      runner.add(scheme + "@" + bench::capacity_label(capacity), base, trace);
+      rows.push_back({capacity, scheme});
     }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"aggregate memory", "scheme", "hit rate", "remote",
+                   "latency (ms)", "replication"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& result = runs[i].result;
+    table.add_row({bench::capacity_label(rows[i].capacity), rows[i].scheme,
+                   fmt_percent(result.metrics.hit_rate()),
+                   fmt_percent(result.metrics.remote_hit_rate()),
+                   fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
+                   fmt_double(result.replication_factor, 3)});
   }
   bench::print_table_and_csv(table);
   return 0;

@@ -12,14 +12,16 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-RATIO",
                       "EA latency advantage vs remote-hit/miss latency ratio (Eq. 6 sweep)");
 
   const double ratios[] = {0.05, 0.123, 0.25, 0.5, 0.75, 1.0};
   const Bytes capacities[] = {1 * kMiB, 10 * kMiB, 100 * kMiB};
-  const auto points = compare_schemes_over_capacities(
-      bench::small_trace(), bench::paper_group(4), capacities);
+  const auto points =
+      compare_schemes_over_capacities(*bench::small_trace(), bench::paper_group(4),
+                                      capacities, bench::sweep_options(opts));
 
   TextTable table({"aggregate memory", "RHL/ML ratio", "RHL (ms)", "ad-hoc latency (ms)",
                    "EA latency (ms)", "EA - ad-hoc (ms)", "EA wins"});

@@ -8,26 +8,46 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-LFU", "EA vs ad-hoc across replacement policies");
 
   const PolicyKind policies[] = {PolicyKind::kLru, PolicyKind::kLfu, PolicyKind::kLfuAging,
                                  PolicyKind::kSizeBiggestFirst, PolicyKind::kGreedyDualSize};
   const Bytes capacities[] = {1 * kMiB, 10 * kMiB, 100 * kMiB};
+  const TraceRef trace = bench::small_trace();
+
+  struct RowMeta {
+    PolicyKind policy;
+    Bytes capacity;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
+  for (const PolicyKind policy : policies) {
+    for (const Bytes capacity : capacities) {
+      GroupConfig config = bench::paper_group(4);
+      config.replacement = policy;
+      config.aggregate_capacity = capacity;
+      const std::string point =
+          std::string(to_string(policy)) + "/" + bench::capacity_label(capacity);
+      config.placement = PlacementKind::kAdHoc;
+      runner.add("adhoc@" + point, config, trace);
+      config.placement = PlacementKind::kEa;
+      runner.add("ea@" + point, config, trace);
+      rows.push_back({policy, capacity});
+    }
+  }
+  const auto runs = runner.run();
 
   TextTable table({"replacement", "aggregate memory", "ad-hoc hit rate", "EA hit rate",
                    "EA - ad-hoc"});
-  for (const PolicyKind policy : policies) {
-    GroupConfig base = bench::paper_group(4);
-    base.replacement = policy;
-    const auto points = compare_schemes_over_capacities(bench::small_trace(), base, capacities);
-    for (const SchemeComparison& point : points) {
-      table.add_row({std::string(to_string(policy)),
-                     bench::capacity_label(point.aggregate_capacity),
-                     fmt_percent(point.adhoc.metrics.hit_rate()),
-                     fmt_percent(point.ea.metrics.hit_rate()),
-                     fmt_percent(point.ea.metrics.hit_rate() - point.adhoc.metrics.hit_rate())});
-    }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& adhoc = runs[2 * i].result;
+    const SimulationResult& ea = runs[2 * i + 1].result;
+    table.add_row({std::string(to_string(rows[i].policy)),
+                   bench::capacity_label(rows[i].capacity),
+                   fmt_percent(adhoc.metrics.hit_rate()), fmt_percent(ea.metrics.hit_rate()),
+                   fmt_percent(ea.metrics.hit_rate() - adhoc.metrics.hit_rate())});
   }
   bench::print_table_and_csv(table);
   return 0;

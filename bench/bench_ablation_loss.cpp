@@ -6,30 +6,47 @@
 // Expected shape: group hit rate decays toward the local-only hit rate as
 // loss climbs; the EA scheme is hit HARDER than ad-hoc because it
 // deliberately relies on remote copies (fewer local replicas).
+#include <vector>
+
 #include "bench_common.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-LOSS", "ICP packet loss: remote hits turn into origin fetches");
   const LatencyModel model = LatencyModel::paper_defaults();
   const double losses[] = {0.0, 0.05, 0.15, 0.3, 0.6, 1.0};
+  const TraceRef trace = bench::small_trace();
 
-  TextTable table({"ICP loss", "scheme", "hit rate", "remote", "lost exchanges",
-                   "latency (ms)"});
+  struct RowMeta {
+    double loss;
+    PlacementKind placement;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const double loss : losses) {
     for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
       GroupConfig config = bench::paper_group(4);
       config.aggregate_capacity = 10 * kMiB;
       config.placement = placement;
       config.icp_loss_probability = loss;
-      const SimulationResult result = run_simulation(bench::small_trace(), config);
-      table.add_row({fmt_percent(loss, 0), std::string(to_string(placement)),
-                     fmt_percent(result.metrics.hit_rate()),
-                     fmt_percent(result.metrics.remote_hit_rate()),
-                     std::to_string(result.transport.icp_losses),
-                     fmt_double(result.metrics.estimated_average_latency_ms(model), 1)});
+      runner.add(std::string(to_string(placement)) + "@loss-" + fmt_percent(loss, 0),
+                 config, trace);
+      rows.push_back({loss, placement});
     }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"ICP loss", "scheme", "hit rate", "remote", "lost exchanges",
+                   "latency (ms)"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& result = runs[i].result;
+    table.add_row({fmt_percent(rows[i].loss, 0), std::string(to_string(rows[i].placement)),
+                   fmt_percent(result.metrics.hit_rate()),
+                   fmt_percent(result.metrics.remote_hit_rate()),
+                   std::to_string(result.transport.icp_losses),
+                   fmt_double(result.metrics.estimated_average_latency_ms(model), 1)});
   }
   bench::print_table_and_csv(table);
   return 0;

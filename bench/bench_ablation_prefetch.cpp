@@ -2,29 +2,38 @@
 // first-order Markov prefetching layered on both schemes, sweeping the
 // confidence threshold. Reports the classic prefetching trade: hit-rate
 // gain vs wasted origin traffic.
+#include <vector>
+
 #include "bench_common.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-PREFETCH",
                       "Lazy vs eager (Markov-prefetch) placement, both schemes");
-
-  TextTable table({"scheme", "prefetch", "hit rate", "issued", "useful", "wasted",
-                   "extra traffic", "latency (ms)"});
   const LatencyModel model = LatencyModel::paper_defaults();
+  const TraceRef trace = bench::small_trace();
+
+  struct Mode {
+    const char* label;
+    bool enabled;
+    double confidence;
+  };
+  const Mode modes[] = {
+      {"off", false, 0.0},
+      {"conf>=0.5", true, 0.5},
+      {"conf>=0.25", true, 0.25},
+      {"conf>=0.1", true, 0.1},
+  };
+
+  struct RowMeta {
+    PlacementKind placement;
+    const char* mode;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
-    struct Mode {
-      const char* label;
-      bool enabled;
-      double confidence;
-    };
-    const Mode modes[] = {
-        {"off", false, 0.0},
-        {"conf>=0.5", true, 0.5},
-        {"conf>=0.25", true, 0.25},
-        {"conf>=0.1", true, 0.1},
-    };
     for (const Mode& mode : modes) {
       GroupConfig config = bench::paper_group(4);
       config.aggregate_capacity = 10 * kMiB;
@@ -32,15 +41,23 @@ int main() {
       config.prefetch.enabled = mode.enabled;
       config.prefetch.min_confidence = mode.confidence;
       config.prefetch.min_observations = 3;
-      const SimulationResult result = run_simulation(bench::small_trace(), config);
-      table.add_row({std::string(to_string(placement)), mode.label,
-                     fmt_percent(result.metrics.hit_rate()),
-                     std::to_string(result.prefetch.issued),
-                     std::to_string(result.prefetch.useful),
-                     std::to_string(result.prefetch.wasted()),
-                     format_bytes(result.prefetch.bytes_prefetched),
-                     fmt_double(result.metrics.estimated_average_latency_ms(model), 1)});
+      runner.add(std::string(to_string(placement)) + "@" + mode.label, config, trace);
+      rows.push_back({placement, mode.label});
     }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"scheme", "prefetch", "hit rate", "issued", "useful", "wasted",
+                   "extra traffic", "latency (ms)"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& result = runs[i].result;
+    table.add_row({std::string(to_string(rows[i].placement)), rows[i].mode,
+                   fmt_percent(result.metrics.hit_rate()),
+                   std::to_string(result.prefetch.issued),
+                   std::to_string(result.prefetch.useful),
+                   std::to_string(result.prefetch.wasted()),
+                   format_bytes(result.prefetch.bytes_prefetched),
+                   fmt_double(result.metrics.estimated_average_latency_ms(model), 1)});
   }
   bench::print_table_and_csv(table);
   return 0;

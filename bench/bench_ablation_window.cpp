@@ -9,7 +9,8 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ABL-WINDOW", "Sensitivity of EA gains to the expiration-age window");
 
   struct Option {
@@ -27,20 +28,38 @@ int main() {
       {"time-24h", WindowConfig::time(hours(24))},
   };
   const Bytes capacities[] = {1 * kMiB, 10 * kMiB};
+  const TraceRef trace = bench::small_trace();
+
+  struct RowMeta {
+    std::string label;
+    Bytes capacity;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
+  for (const Option& option : options) {
+    for (const Bytes capacity : capacities) {
+      GroupConfig config = bench::paper_group(4);
+      config.window = option.window;
+      config.aggregate_capacity = capacity;
+      const std::string point = option.label + "/" + bench::capacity_label(capacity);
+      config.placement = PlacementKind::kAdHoc;
+      runner.add("adhoc@" + point, config, trace);
+      config.placement = PlacementKind::kEa;
+      runner.add("ea@" + point, config, trace);
+      rows.push_back({option.label, capacity});
+    }
+  }
+  const auto runs = runner.run();
 
   TextTable table({"window", "aggregate memory", "ad-hoc hit rate", "EA hit rate",
                    "EA - ad-hoc", "EA replication"});
-  for (const Option& option : options) {
-    GroupConfig base = bench::paper_group(4);
-    base.window = option.window;
-    const auto points = compare_schemes_over_capacities(bench::small_trace(), base, capacities);
-    for (const SchemeComparison& point : points) {
-      table.add_row({option.label, bench::capacity_label(point.aggregate_capacity),
-                     fmt_percent(point.adhoc.metrics.hit_rate()),
-                     fmt_percent(point.ea.metrics.hit_rate()),
-                     fmt_percent(point.ea.metrics.hit_rate() - point.adhoc.metrics.hit_rate()),
-                     fmt_double(point.ea.replication_factor, 3)});
-    }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& adhoc = runs[2 * i].result;
+    const SimulationResult& ea = runs[2 * i + 1].result;
+    table.add_row({rows[i].label, bench::capacity_label(rows[i].capacity),
+                   fmt_percent(adhoc.metrics.hit_rate()), fmt_percent(ea.metrics.hit_rate()),
+                   fmt_percent(ea.metrics.hit_rate() - adhoc.metrics.hit_rate()),
+                   fmt_double(ea.replication_factor, 3)});
   }
   bench::print_table_and_csv(table);
   return 0;

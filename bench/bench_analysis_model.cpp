@@ -14,12 +14,15 @@
 //
 // (Stationary Zipf workload, uniform sizes: the IRM setting the model
 // assumes. See tests/analysis for the single-cache validation.)
+#include <vector>
+
 #include "analysis/che_approximation.h"
 #include "bench_common.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("ANALYSIS",
                       "Effective-capacity model (Che) vs simulated group hit rates");
 
@@ -27,39 +30,53 @@ int main() {
   constexpr double kAlpha = 0.9;
   constexpr double kMeanSize = 4096.0;
 
-  SyntheticTraceConfig workload;
-  workload.num_requests = 300'000;
-  workload.num_documents = kDocs;
-  workload.num_users = 128;
-  workload.span = hours(72);
-  workload.zipf_alpha = kAlpha;
-  workload.repeat_probability = 0.0;  // IRM
-  workload.size_sigma = 0.01;         // uniform ~4 KiB bodies
-  workload.pareto_tail_probability = 0.0;
-  const Trace trace = generate_synthetic_trace(workload);
+  const TraceRef trace = TraceCache::global().get_or_create("analysis-irm", [] {
+    SyntheticTraceConfig workload;
+    workload.num_requests = 300'000;
+    workload.num_documents = kDocs;
+    workload.num_users = 128;
+    workload.span = hours(72);
+    workload.zipf_alpha = kAlpha;
+    workload.repeat_probability = 0.0;  // IRM
+    workload.size_sigma = 0.01;         // uniform ~4 KiB bodies
+    workload.pareto_tail_probability = 0.0;
+    return generate_synthetic_trace(workload);
+  });
 
   CheModel model;
   model.popularity = zipf_popularity(kDocs, kAlpha);
 
-  TextTable table({"aggregate memory", "scheme", "replication r", "simulated hit rate",
-                   "model (agg/r)", "model error"});
+  struct RowMeta {
+    Bytes capacity;
+    PlacementKind placement;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const Bytes capacity : {2 * kMiB, 8 * kMiB, 24 * kMiB}) {
     for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
       GroupConfig config;
       config.num_proxies = 4;
       config.aggregate_capacity = capacity;
       config.placement = placement;
-      const SimulationResult sim = run_simulation(trace, config);
-
-      const double aggregate_objects = static_cast<double>(capacity) / kMeanSize;
-      const double r = sim.replication_factor > 1.0 ? sim.replication_factor : 1.0;
-      const CheResult analytic = che_group(model, aggregate_objects, r);
-
-      table.add_row({bench::capacity_label(capacity), std::string(to_string(placement)),
-                     fmt_double(r, 3), fmt_percent(sim.metrics.hit_rate()),
-                     fmt_percent(analytic.hit_rate),
-                     fmt_percent(analytic.hit_rate - sim.metrics.hit_rate())});
+      runner.add(std::string(to_string(placement)) + "@" + bench::capacity_label(capacity),
+                 config, trace);
+      rows.push_back({capacity, placement});
     }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"aggregate memory", "scheme", "replication r", "simulated hit rate",
+                   "model (agg/r)", "model error"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& sim = runs[i].result;
+    const double aggregate_objects = static_cast<double>(rows[i].capacity) / kMeanSize;
+    const double r = sim.replication_factor > 1.0 ? sim.replication_factor : 1.0;
+    const CheResult analytic = che_group(model, aggregate_objects, r);
+
+    table.add_row({bench::capacity_label(rows[i].capacity),
+                   std::string(to_string(rows[i].placement)), fmt_double(r, 3),
+                   fmt_percent(sim.metrics.hit_rate()), fmt_percent(analytic.hit_rate),
+                   fmt_percent(analytic.hit_rate - sim.metrics.hit_rate())});
   }
   bench::print_table_and_csv(table);
   return 0;

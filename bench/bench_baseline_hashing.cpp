@@ -8,37 +8,52 @@
 // whenever remote hits are much slower than local ones. The EA scheme sits
 // between: controlled replication keeps latency low while recovering much
 // of the dedup benefit.
+#include <vector>
+
 #include "bench_common.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("BASE-HASH",
                       "Ad-hoc vs EA vs consistent-hash partitioning (4-cache group)");
   const LatencyModel model = LatencyModel::paper_defaults();
+  const TraceRef trace = bench::paper_trace();
 
-  TextTable table({"aggregate memory", "scheme", "hit rate", "local", "remote",
-                   "latency (ms)", "replication"});
+  struct RowMeta {
+    Bytes capacity;
+    const char* scheme;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
   for (const Bytes capacity : paper_capacity_ladder()) {
     GroupConfig base = bench::paper_group(4);
     base.aggregate_capacity = capacity;
 
-    const auto add = [&](const char* label, const SimulationResult& result) {
-      table.add_row({bench::capacity_label(capacity), label,
-                     fmt_percent(result.metrics.hit_rate()),
-                     fmt_percent(result.metrics.local_hit_rate()),
-                     fmt_percent(result.metrics.remote_hit_rate()),
-                     fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
-                     fmt_double(result.replication_factor, 3)});
-    };
-
     base.placement = PlacementKind::kAdHoc;
-    add("ad-hoc", run_simulation(bench::paper_trace(), base));
+    runner.add("adhoc@" + bench::capacity_label(capacity), base, trace);
+    rows.push_back({capacity, "ad-hoc"});
     base.placement = PlacementKind::kEa;
-    add("ea", run_simulation(bench::paper_trace(), base));
+    runner.add("ea@" + bench::capacity_label(capacity), base, trace);
+    rows.push_back({capacity, "ea"});
     base.placement = PlacementKind::kAdHoc;
     base.routing = RoutingMode::kHashPartition;
-    add("hash", run_simulation(bench::paper_trace(), base));
+    runner.add("hash@" + bench::capacity_label(capacity), base, trace);
+    rows.push_back({capacity, "hash"});
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"aggregate memory", "scheme", "hit rate", "local", "remote",
+                   "latency (ms)", "replication"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& result = runs[i].result;
+    table.add_row({bench::capacity_label(rows[i].capacity), rows[i].scheme,
+                   fmt_percent(result.metrics.hit_rate()),
+                   fmt_percent(result.metrics.local_hit_rate()),
+                   fmt_percent(result.metrics.remote_hit_rate()),
+                   fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
+                   fmt_double(result.replication_factor, 3)});
   }
   bench::print_table_and_csv(table);
   return 0;

@@ -1,9 +1,63 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
+#include "common/config.h"
+
 namespace eacache::bench {
+
+namespace {
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--json]\n"
+               "  --jobs N   sweep worker threads (default: EACACHE_JOBS env,\n"
+               "             then hardware concurrency)\n"
+               "  --json     stream one JSON row per completed run\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      options.stream_json = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed <= 0) usage_and_exit(argv[0]);
+      options.jobs = static_cast<std::size_t>(parsed);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const long parsed = std::strtol(arg.c_str() + 7, nullptr, 10);
+      if (parsed <= 0) usage_and_exit(argv[0]);
+      options.jobs = static_cast<std::size_t>(parsed);
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  return options;
+}
+
+SweepOptions sweep_options(const BenchOptions& options) {
+  SweepOptions sweep;
+  sweep.jobs = options.jobs;
+  if (options.stream_json) {
+    sweep.sink = [](const SweepRunResult& run) {
+      std::cout << "json," << sweep_run_to_json(run) << '\n';
+    };
+  }
+  return sweep;
+}
+
+SweepRunner make_runner(const BenchOptions& options) {
+  return SweepRunner(sweep_options(options));
+}
 
 SyntheticTraceConfig paper_workload_config() {
   SyntheticTraceConfig config = SyntheticTraceConfig::bu_calibrated();
@@ -33,17 +87,16 @@ void print_trace_stats(const char* name, const Trace& trace) {
 }
 }  // namespace
 
-const Trace& paper_trace() {
-  static const Trace trace = [] {
+TraceRef paper_trace() {
+  return TraceCache::global().get_or_create("bu-calibrated", [] {
     Trace t = generate_synthetic_trace(paper_workload_config());
     print_trace_stats("bu-calibrated", t);
     return t;
-  }();
-  return trace;
+  });
 }
 
-const Trace& small_trace() {
-  static const Trace trace = [] {
+TraceRef small_trace() {
+  return TraceCache::global().get_or_create("bu-calibrated/8", [] {
     SyntheticTraceConfig config = paper_workload_config();
     config.num_requests /= 8;
     config.num_documents /= 8;
@@ -52,8 +105,7 @@ const Trace& small_trace() {
     Trace t = generate_synthetic_trace(config);
     print_trace_stats("bu-calibrated/8", t);
     return t;
-  }();
-  return trace;
+  });
 }
 
 GroupConfig paper_group(std::size_t num_proxies) {

@@ -4,6 +4,11 @@
 // DESIGN.md §3 for the substitution rationale) through both placement
 // schemes and prints (a) a human-readable table mirroring the paper's
 // figure/table, and (b) a machine-readable CSV block for EXPERIMENTS.md.
+//
+// All benches fan their simulations out through SweepRunner (sim/sweep.h).
+// Common CLI, accepted by every bench binary:
+//   --jobs N    worker threads (default: EACACHE_JOBS env, then hardware)
+//   --json      additionally stream one JSON row per completed run
 #pragma once
 
 #include <cstddef>
@@ -12,23 +17,41 @@
 #include "group/cache_group.h"
 #include "metrics/table.h"
 #include "sim/experiment.h"
+#include "sim/result_json.h"
+#include "sim/sweep.h"
 #include "trace/synthetic.h"
 #include "trace/trace.h"
 
 namespace eacache::bench {
+
+/// Parsed bench CLI (see header comment). Unknown flags abort with usage.
+struct BenchOptions {
+  std::size_t jobs = 0;      // 0 = resolve_job_count() (env, then hardware)
+  bool stream_json = false;  // --json: per-run JSON rows on stdout
+};
+
+[[nodiscard]] BenchOptions parse_args(int argc, char** argv);
+
+/// SweepOptions wired from the CLI: worker count plus, under --json, a sink
+/// that streams one "json,"-prefixed row per completed run to stdout.
+[[nodiscard]] SweepOptions sweep_options(const BenchOptions& options);
+
+/// A runner configured from the CLI; benches enqueue jobs and call run().
+[[nodiscard]] SweepRunner make_runner(const BenchOptions& options);
 
 /// The paper's trace, reconstructed: 575,775 requests, 46,830 documents,
 /// 591 users, ~3.5 months, 4 KB mean size, Zipf(0.75) popularity, with
 /// session-level temporal locality.
 [[nodiscard]] SyntheticTraceConfig paper_workload_config();
 
-/// Memoized full-size trace (generating it takes ~a second; every bench
-/// reuses one copy). Prints the trace statistics the first time.
-[[nodiscard]] const Trace& paper_trace();
+/// Full-size trace, synthesized once per process through TraceCache::global()
+/// and shared immutably across sweep workers. Prints the trace statistics
+/// the first time.
+[[nodiscard]] TraceRef paper_trace();
 
 /// A scaled-down trace (1/8 the requests) for quick shape checks; used by
 /// benches that sweep many dimensions.
-[[nodiscard]] const Trace& small_trace();
+[[nodiscard]] TraceRef small_trace();
 
 /// The paper's experimental group: distributed architecture, LRU
 /// replacement, N caches with equal shares of the aggregate budget.

@@ -8,10 +8,12 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("FIG2", "Byte hit rates for 4-cache group");
-  const auto points = compare_schemes_over_capacities(
-      bench::paper_trace(), bench::paper_group(4), paper_capacity_ladder());
+  const auto points =
+      compare_schemes_over_capacities(*bench::paper_trace(), bench::paper_group(4),
+                                      paper_capacity_ladder(), bench::sweep_options(opts));
 
   TextTable table(
       {"aggregate memory", "ad-hoc byte hit rate", "EA byte hit rate", "EA - ad-hoc"});

@@ -11,11 +11,13 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("FIG3", "Estimated average latency for 4-cache group (Eq. 6)");
   const LatencyModel model = LatencyModel::paper_defaults();
-  const auto points = compare_schemes_over_capacities(
-      bench::paper_trace(), bench::paper_group(4), paper_capacity_ladder());
+  const auto points =
+      compare_schemes_over_capacities(*bench::paper_trace(), bench::paper_group(4),
+                                      paper_capacity_ladder(), bench::sweep_options(opts));
 
   TextTable table({"aggregate memory", "ad-hoc latency (ms)", "EA latency (ms)",
                    "EA - ad-hoc (ms)", "ad-hoc p75/p90", "EA p75/p90"});

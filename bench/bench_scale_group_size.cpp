@@ -1,29 +1,50 @@
 // SCALE — Paper §4.1/§4.2 (2, 4 and 8 cache groups): how group size affects
 // the EA scheme's advantage. The paper reports the hit-rate gain growing
 // with group size at small aggregate sizes (~6.5% for 8 caches at 100KB).
+//
+// The full cross product (5 capacities x 3 group sizes x 2 schemes = 30
+// runs) is enqueued as ONE sweep, so `--jobs N` parallelises across every
+// dimension at once.
 #include "bench_common.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("SCALE", "EA advantage vs group size (2, 4, 8 caches)");
   const std::size_t group_sizes[] = {2, 4, 8};
+  const TraceRef trace = bench::paper_trace();
+
+  struct RowMeta {
+    Bytes capacity;
+    std::size_t caches;
+  };
+  std::vector<RowMeta> rows;
+  SweepRunner runner = bench::make_runner(opts);
+  for (const Bytes capacity : paper_capacity_ladder()) {
+    for (const std::size_t n : group_sizes) {
+      GroupConfig config = bench::paper_group(n);
+      config.aggregate_capacity = capacity;
+      const std::string point = bench::capacity_label(capacity) + "/" + std::to_string(n);
+      config.placement = PlacementKind::kAdHoc;
+      runner.add("adhoc@" + point, config, trace);
+      config.placement = PlacementKind::kEa;
+      runner.add("ea@" + point, config, trace);
+      rows.push_back({capacity, n});
+    }
+  }
+  const auto runs = runner.run();
 
   TextTable table({"aggregate memory", "caches", "ad-hoc hit rate", "EA hit rate",
                    "EA - ad-hoc", "ad-hoc byte HR", "EA byte HR"});
-  for (const Bytes capacity : paper_capacity_ladder()) {
-    GroupConfig base = bench::paper_group();
-    base.aggregate_capacity = capacity;
-    const auto points =
-        compare_schemes_over_group_sizes(bench::paper_trace(), base, group_sizes);
-    for (const GroupSizePoint& point : points) {
-      table.add_row({bench::capacity_label(capacity), std::to_string(point.num_proxies),
-                     fmt_percent(point.adhoc.metrics.hit_rate()),
-                     fmt_percent(point.ea.metrics.hit_rate()),
-                     fmt_percent(point.ea.metrics.hit_rate() - point.adhoc.metrics.hit_rate()),
-                     fmt_percent(point.adhoc.metrics.byte_hit_rate()),
-                     fmt_percent(point.ea.metrics.byte_hit_rate())});
-    }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimulationResult& adhoc = runs[2 * i].result;
+    const SimulationResult& ea = runs[2 * i + 1].result;
+    table.add_row({bench::capacity_label(rows[i].capacity), std::to_string(rows[i].caches),
+                   fmt_percent(adhoc.metrics.hit_rate()), fmt_percent(ea.metrics.hit_rate()),
+                   fmt_percent(ea.metrics.hit_rate() - adhoc.metrics.hit_rate()),
+                   fmt_percent(adhoc.metrics.byte_hit_rate()),
+                   fmt_percent(ea.metrics.byte_hit_rate())});
   }
   bench::print_table_and_csv(table);
   return 0;

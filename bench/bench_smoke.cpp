@@ -1,0 +1,80 @@
+// SMOKE — tiny end-to-end sweep through SweepRunner, registered as a ctest
+// target so the thread pool, trace cache and JSON sink are exercised by
+// tier-1 (and under ASan/UBSan when EACACHE_ASAN / EACACHE_UBSAN are on).
+// Also re-checks the engine's core guarantee on every CI run: a parallel
+// sweep's results are byte-identical to a serial one.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace eacache;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_banner("SMOKE", "Tiny sweep through the parallel experiment engine");
+
+  const TraceRef trace = TraceCache::global().get_or_create("smoke", [] {
+    SyntheticTraceConfig config;
+    config.num_requests = 6000;
+    config.num_documents = 600;
+    config.num_users = 24;
+    config.span = hours(2);
+    return generate_synthetic_trace(config);
+  });
+
+  const auto enqueue = [&](SweepRunner& runner) {
+    for (const Bytes capacity : {64 * kKiB, 256 * kKiB, 1 * kMiB}) {
+      for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
+        GroupConfig config = bench::paper_group(4);
+        config.aggregate_capacity = capacity;
+        config.placement = placement;
+        runner.add(std::string(to_string(placement)) + "@" + bench::capacity_label(capacity),
+                   config, trace);
+      }
+    }
+  };
+
+  // Parallel sweep (the CLI's --jobs wins; defaults to 4 workers here so
+  // the pool is exercised even on EACACHE_JOBS=1 machines)...
+  SweepOptions parallel_options = bench::sweep_options(opts);
+  if (parallel_options.jobs == 0) parallel_options.jobs = 4;
+  std::size_t streamed = 0;
+  const auto user_sink = parallel_options.sink;
+  parallel_options.sink = [&](const SweepRunResult& run) {
+    ++streamed;
+    if (user_sink) user_sink(run);
+  };
+  SweepRunner parallel_runner(parallel_options);
+  enqueue(parallel_runner);
+  const auto parallel_runs = parallel_runner.run();
+
+  // ...checked byte-for-byte against a serial reference sweep.
+  SweepOptions serial_options;
+  serial_options.jobs = 1;
+  SweepRunner serial_runner(serial_options);
+  enqueue(serial_runner);
+  const auto serial_runs = serial_runner.run();
+
+  if (streamed != parallel_runs.size()) {
+    std::fprintf(stderr, "FAIL: sink saw %zu of %zu runs\n", streamed, parallel_runs.size());
+    return 1;
+  }
+  TextTable table({"run", "hit rate", "wall (ms)"});
+  for (std::size_t i = 0; i < parallel_runs.size(); ++i) {
+    if (parallel_runs[i].label != serial_runs[i].label ||
+        simulation_result_to_json(parallel_runs[i].result) !=
+            simulation_result_to_json(serial_runs[i].result)) {
+      std::fprintf(stderr, "FAIL: run %zu (%s) differs between jobs=4 and jobs=1\n", i,
+                   parallel_runs[i].label.c_str());
+      return 1;
+    }
+    table.add_row({parallel_runs[i].label,
+                   fmt_percent(parallel_runs[i].result.metrics.hit_rate()),
+                   fmt_double(parallel_runs[i].wall_ms, 1)});
+  }
+  bench::print_table_and_csv(table);
+  std::printf("smoke ok: %zu runs, parallel == serial\n", parallel_runs.size());
+  return 0;
+}

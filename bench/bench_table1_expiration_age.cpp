@@ -12,10 +12,12 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("TAB1", "Average cache expiration age (seconds), 4-cache group");
-  const auto points = compare_schemes_over_capacities(
-      bench::paper_trace(), bench::paper_group(4), paper_capacity_ladder());
+  const auto points =
+      compare_schemes_over_capacities(*bench::paper_trace(), bench::paper_group(4),
+                                      paper_capacity_ladder(), bench::sweep_options(opts));
 
   TextTable table({"aggregate memory", "conventional scheme (s)", "EA scheme (s)", "ratio"});
   for (const SchemeComparison& point : points) {

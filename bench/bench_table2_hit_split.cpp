@@ -9,11 +9,13 @@
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_banner("TAB2", "Ad-hoc vs EA hit split for 4-cache group");
   const LatencyModel model = LatencyModel::paper_defaults();
-  const auto points = compare_schemes_over_capacities(
-      bench::paper_trace(), bench::paper_group(4), paper_capacity_ladder());
+  const auto points =
+      compare_schemes_over_capacities(*bench::paper_trace(), bench::paper_group(4),
+                                      paper_capacity_ladder(), bench::sweep_options(opts));
 
   TextTable table({"aggregate memory", "adhoc local", "adhoc remote", "adhoc latency (ms)",
                    "EA local", "EA remote", "EA latency (ms)"});

@@ -3,17 +3,21 @@
 // prints the EXACT single-cache LRU hit curve (Mattson stack distances)
 // alongside the Che-model prediction: three independent ways of computing
 // the same quantity (exact, analytic, simulated elsewhere) that must agree.
+//
+// (Pure trace analytics — no simulations, so there is no sweep to fan out;
+// the bench still accepts the common CLI and shares the cached trace.)
 #include "analysis/che_approximation.h"
 #include "bench_common.h"
 #include "trace/analysis.h"
 
 using namespace eacache;
 
-int main() {
+int main(int argc, char** argv) {
+  (void)bench::parse_args(argc, argv);
   bench::print_banner("WORKLOAD", "Trace characterization + exact LRU hit curve");
 
-  const Trace& trace = bench::paper_trace();
-  const TraceProfile profile = profile_trace(trace.requests);
+  const TraceRef trace = bench::paper_trace();
+  const TraceProfile profile = profile_trace(trace->requests);
 
   TextTable profile_table({"metric", "value"});
   profile_table.add_row({"requests", std::to_string(profile.total_requests)});
@@ -28,7 +32,7 @@ int main() {
                              format_bytes(profile.max_size)});
   bench::print_table_and_csv(profile_table);
 
-  const StackDistanceHistogram histogram = compute_stack_distances(trace.requests);
+  const StackDistanceHistogram histogram = compute_stack_distances(trace->requests);
   CheModel model;
   model.popularity = zipf_popularity(profile.unique_documents, profile.zipf_alpha);
 

@@ -1,9 +1,13 @@
 // Experiment runner: the library's experiment harness as a config-driven
 // command-line tool.
 //
-//   $ ./experiment_runner                 # built-in demo configuration
-//   $ ./experiment_runner my_sweep.conf   # custom sweep
+//   $ ./experiment_runner                          # built-in demo configuration
+//   $ ./experiment_runner my_sweep.conf            # custom sweep
 //   $ ./experiment_runner my_sweep.conf out.csv
+//   $ ./experiment_runner --jobs 8 my_sweep.conf   # 8 sweep workers
+//
+// The capacity x scheme cross product is fanned out through SweepRunner
+// (sim/sweep.h); results are deterministic regardless of the worker count.
 //
 // Config keys (key = value; all optional):
 //   # workload — synthetic (default) or a BU-style log file
@@ -25,9 +29,12 @@
 //   # sweep
 //   capacities   = 100KiB,1MiB,10MiB,100MiB
 //   schemes      = ad-hoc,ea,ea-hysteresis
+//   jobs         = 4                    # workers (--jobs and EACACHE_JOBS win)
 //
-// An output file ending in ".json" receives a JSON array of full per-run
-// results (see sim/result_json.h); any other name receives the CSV table.
+// An output file ending in ".json" receives a JSON array of per-run rows
+// (label, wall-clock, config summary, full result — see sim/result_json.h);
+// any other name receives the CSV table.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -37,7 +44,7 @@
 #include "metrics/json.h"
 #include "metrics/table.h"
 #include "sim/result_json.h"
-#include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "trace/bu_parser.h"
 #include "trace/synthetic.h"
 
@@ -79,8 +86,21 @@ Trace load_trace(const Config& cfg) {
 
 int main(int argc, char** argv) {
   try {
+    std::size_t jobs_flag = 0;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--jobs" && i + 1 < argc) {
+        jobs_flag = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs_flag = static_cast<std::size_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      } else {
+        positional.push_back(arg);
+      }
+    }
+
     Config cfg;
-    if (argc > 1) cfg = Config::load(argv[1]);
+    if (!positional.empty()) cfg = Config::load(positional[0]);
 
     const Trace trace = load_trace(cfg);
     const TraceStats stats = compute_stats(trace.requests);
@@ -103,15 +123,20 @@ int main(int argc, char** argv) {
     const auto scheme_labels = split_list(cfg.get_string("schemes", "ad-hoc,ea"));
     const LatencyModel model = LatencyModel::paper_defaults();
 
-    struct Run {
+    // --jobs beats the config's `jobs =` key; EACACHE_JOBS and the
+    // hardware fill in when neither is given.
+    SweepOptions sweep;
+    sweep.jobs = resolve_job_count(
+        jobs_flag > 0 ? jobs_flag
+                      : static_cast<std::size_t>(cfg.get_int("jobs", 0)));
+
+    struct RowMeta {
       std::string capacity;
       std::string scheme;
-      SimulationResult result;
     };
-    std::vector<Run> runs;
-
-    TextTable table({"capacity", "scheme", "hit rate", "byte hit rate", "local", "remote",
-                     "latency (ms)", "replication", "avg exp age (s)"});
+    std::vector<RowMeta> rows;
+    SweepRunner runner{sweep};
+    const TraceRef shared = borrow_trace(trace);
     for (const std::string& capacity_label : capacity_labels) {
       const auto capacity = Config::parse_bytes(capacity_label);
       if (!capacity) throw std::runtime_error("bad capacity: " + capacity_label);
@@ -119,36 +144,39 @@ int main(int argc, char** argv) {
         GroupConfig config = base;
         config.aggregate_capacity = *capacity;
         config.placement = placement_kind_from_string(scheme);
-        SimulationResult result = run_simulation(trace, config);
-        table.add_row(
-            {capacity_label, scheme, fmt_percent(result.metrics.hit_rate()),
-             fmt_percent(result.metrics.byte_hit_rate()),
-             fmt_percent(result.metrics.local_hit_rate()),
-             fmt_percent(result.metrics.remote_hit_rate()),
-             fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
-             fmt_double(result.replication_factor, 3),
-             result.average_cache_expiration_age.is_infinite()
-                 ? "inf"
-                 : fmt_double(result.average_cache_expiration_age.seconds(), 1)});
-        runs.push_back(Run{capacity_label, scheme, std::move(result)});
+        runner.add(scheme + "@" + capacity_label, config, shared);
+        rows.push_back({capacity_label, scheme});
       }
+    }
+    const std::vector<SweepRunResult> runs = runner.run();
+
+    TextTable table({"capacity", "scheme", "hit rate", "byte hit rate", "local", "remote",
+                     "latency (ms)", "replication", "avg exp age (s)", "wall (ms)"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const SimulationResult& result = runs[i].result;
+      table.add_row(
+          {rows[i].capacity, rows[i].scheme, fmt_percent(result.metrics.hit_rate()),
+           fmt_percent(result.metrics.byte_hit_rate()),
+           fmt_percent(result.metrics.local_hit_rate()),
+           fmt_percent(result.metrics.remote_hit_rate()),
+           fmt_double(result.metrics.estimated_average_latency_ms(model), 1),
+           fmt_double(result.replication_factor, 3),
+           result.average_cache_expiration_age.is_infinite()
+               ? "inf"
+               : fmt_double(result.average_cache_expiration_age.seconds(), 1),
+           fmt_double(runs[i].wall_ms, 1)});
     }
     table.print(std::cout);
 
-    if (argc > 2) {
-      const std::string path = argv[2];
+    if (positional.size() > 1) {
+      const std::string path = positional[1];
       std::ofstream out(path);
       if (!out) throw std::runtime_error("cannot open " + path);
       if (path.size() > 5 && path.substr(path.size() - 5) == ".json") {
         JsonWriter json(out);
         json.begin_array();
-        for (const Run& run : runs) {
-          json.begin_object();
-          json.field("capacity", run.capacity);
-          json.field("scheme", run.scheme);
-          json.key("result");
-          append_simulation_result(json, run.result);
-          json.end_object();
+        for (const SweepRunResult& run : runs) {
+          append_sweep_run(json, run);
         }
         json.end_array();
       } else {

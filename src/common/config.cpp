@@ -2,9 +2,11 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace eacache {
 
@@ -195,6 +197,16 @@ std::optional<Duration> Config::parse_duration(std::string_view text) {
     return std::nullopt;
   }
   return Duration{static_cast<SimClock::rep>(ms)};
+}
+
+std::size_t resolve_job_count(std::size_t preferred) {
+  if (preferred > 0) return preferred;
+  if (const char* env = std::getenv("EACACHE_JOBS")) {
+    const auto parsed = parse_int(env);
+    if (parsed && *parsed > 0) return static_cast<std::size_t>(*parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
 }
 
 }  // namespace eacache

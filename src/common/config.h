@@ -59,4 +59,12 @@ class Config {
   std::map<std::string, std::string, std::less<>> entries_;
 };
 
+/// Worker-thread count for sweep execution. Resolution order:
+///   1. `preferred` when non-zero (a `--jobs N` flag or `jobs =` config key),
+///   2. the EACACHE_JOBS environment variable (must be a positive integer;
+///      anything else is ignored),
+///   3. std::thread::hardware_concurrency().
+/// Always returns at least 1.
+[[nodiscard]] std::size_t resolve_job_count(std::size_t preferred = 0);
+
 }  // namespace eacache

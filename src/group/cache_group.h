@@ -17,6 +17,7 @@
 //      contacted).
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -106,8 +107,13 @@ struct PrefetchStats {
   std::uint64_t still_pending = 0; // unresolved at end of run (set by sim)
   Bytes bytes_prefetched = 0;      // extra origin traffic paid
 
-  /// issued == useful + wasted + still_pending.
-  [[nodiscard]] std::uint64_t wasted() const { return issued - useful - still_pending; }
+  /// issued == useful + wasted + still_pending. The invariant is asserted
+  /// in debug builds; release builds clamp to zero instead of letting the
+  /// unsigned subtraction wrap to a huge "wasted" count.
+  [[nodiscard]] std::uint64_t wasted() const {
+    assert(issued >= useful + still_pending);
+    return issued >= useful + still_pending ? issued - useful - still_pending : 0;
+  }
 };
 
 /// Coherence outcome counters (all zero when coherence is off).

@@ -1,6 +1,9 @@
 #include "sim/experiment.h"
 
 #include <array>
+#include <string>
+
+#include "ea/placement.h"
 
 namespace eacache {
 
@@ -10,35 +13,61 @@ std::span<const Bytes> paper_capacity_ladder() {
   return kLadder;
 }
 
+namespace {
+
+std::string scheme_label(PlacementKind placement, const std::string& point) {
+  return std::string(to_string(placement)) + "@" + point;
+}
+
+}  // namespace
+
 std::vector<SchemeComparison> compare_schemes_over_capacities(
-    const Trace& trace, GroupConfig base, std::span<const Bytes> capacities) {
-  std::vector<SchemeComparison> results;
-  results.reserve(capacities.size());
+    const Trace& trace, GroupConfig base, std::span<const Bytes> capacities,
+    const SweepOptions& sweep) {
+  SweepRunner runner(sweep);
+  const TraceRef shared = borrow_trace(trace);
   for (const Bytes capacity : capacities) {
-    SchemeComparison point;
-    point.aggregate_capacity = capacity;
     base.aggregate_capacity = capacity;
     base.placement = PlacementKind::kAdHoc;
-    point.adhoc = run_simulation(trace, base);
+    runner.add(scheme_label(base.placement, format_bytes(capacity)), base, shared);
     base.placement = PlacementKind::kEa;
-    point.ea = run_simulation(trace, base);
+    runner.add(scheme_label(base.placement, format_bytes(capacity)), base, shared);
+  }
+  const std::vector<SweepRunResult> runs = runner.run();
+
+  std::vector<SchemeComparison> results;
+  results.reserve(capacities.size());
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    SchemeComparison point;
+    point.aggregate_capacity = capacities[i];
+    point.adhoc = runs[2 * i].result;
+    point.ea = runs[2 * i + 1].result;
     results.push_back(std::move(point));
   }
   return results;
 }
 
 std::vector<GroupSizePoint> compare_schemes_over_group_sizes(
-    const Trace& trace, GroupConfig base, std::span<const std::size_t> group_sizes) {
-  std::vector<GroupSizePoint> results;
-  results.reserve(group_sizes.size());
+    const Trace& trace, GroupConfig base, std::span<const std::size_t> group_sizes,
+    const SweepOptions& sweep) {
+  SweepRunner runner(sweep);
+  const TraceRef shared = borrow_trace(trace);
   for (const std::size_t n : group_sizes) {
-    GroupSizePoint point;
-    point.num_proxies = n;
     base.num_proxies = n;
     base.placement = PlacementKind::kAdHoc;
-    point.adhoc = run_simulation(trace, base);
+    runner.add(scheme_label(base.placement, std::to_string(n) + "-caches"), base, shared);
     base.placement = PlacementKind::kEa;
-    point.ea = run_simulation(trace, base);
+    runner.add(scheme_label(base.placement, std::to_string(n) + "-caches"), base, shared);
+  }
+  const std::vector<SweepRunResult> runs = runner.run();
+
+  std::vector<GroupSizePoint> results;
+  results.reserve(group_sizes.size());
+  for (std::size_t i = 0; i < group_sizes.size(); ++i) {
+    GroupSizePoint point;
+    point.num_proxies = group_sizes[i];
+    point.adhoc = runs[2 * i].result;
+    point.ea = runs[2 * i + 1].result;
     results.push_back(std::move(point));
   }
   return results;

@@ -1,5 +1,7 @@
 // Experiment harness shared by the bench binaries: capacity ladders, scheme
 // head-to-heads and sweep helpers that mirror the paper's section 4 setup.
+// All helpers fan their runs out through SweepRunner (sim/sweep.h); pass a
+// SweepOptions to control the worker count or attach a streaming sink.
 #pragma once
 
 #include <span>
@@ -7,6 +9,7 @@
 
 #include "group/cache_group.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "trace/trace.h"
 
 namespace eacache {
@@ -24,7 +27,8 @@ struct SchemeComparison {
 /// Run both schemes at each capacity on the same trace with otherwise
 /// identical configuration (the base config's `placement` is overridden).
 [[nodiscard]] std::vector<SchemeComparison> compare_schemes_over_capacities(
-    const Trace& trace, GroupConfig base, std::span<const Bytes> capacities);
+    const Trace& trace, GroupConfig base, std::span<const Bytes> capacities,
+    const SweepOptions& sweep = {});
 
 /// Group-size sweep at a fixed capacity (the paper ran 2, 4 and 8 caches).
 struct GroupSizePoint {
@@ -34,6 +38,7 @@ struct GroupSizePoint {
 };
 
 [[nodiscard]] std::vector<GroupSizePoint> compare_schemes_over_group_sizes(
-    const Trace& trace, GroupConfig base, std::span<const std::size_t> group_sizes);
+    const Trace& trace, GroupConfig base, std::span<const std::size_t> group_sizes,
+    const SweepOptions& sweep = {});
 
 }  // namespace eacache

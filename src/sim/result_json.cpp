@@ -1,8 +1,11 @@
 #include "sim/result_json.h"
 
+#include <ostream>
 #include <sstream>
 
+#include "ea/placement.h"
 #include "metrics/json.h"
+#include "storage/replacement_policy.h"
 
 namespace eacache {
 
@@ -114,6 +117,42 @@ std::string simulation_result_to_json(const SimulationResult& result) {
   std::ostringstream out;
   write_simulation_result_json(out, result);
   return out.str();
+}
+
+void append_sweep_run(JsonWriter& json, const SweepRunResult& run) {
+  json.begin_object();
+  json.field("label", run.label);
+  json.field("wall_ms", run.wall_ms);
+
+  json.key("config").begin_object();
+  json.field("num_proxies", static_cast<std::uint64_t>(run.config.num_proxies));
+  json.field("aggregate_capacity", run.config.aggregate_capacity);
+  json.field("placement", to_string(run.config.placement));
+  json.field("replacement", to_string(run.config.replacement));
+  json.field("topology",
+             run.config.topology == TopologyKind::kHierarchical ? "hierarchical"
+                                                                : "distributed");
+  json.field("discovery",
+             run.config.discovery == DiscoveryMode::kDigest ? "digest" : "icp");
+  json.field("routing",
+             run.config.routing == RoutingMode::kHashPartition ? "hash-partition"
+                                                               : "cooperative");
+  json.end_object();
+
+  json.key("result");
+  append_simulation_result(json, run.result);
+  json.end_object();
+}
+
+std::string sweep_run_to_json(const SweepRunResult& run) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  append_sweep_run(json, run);
+  return out.str();
+}
+
+std::function<void(const SweepRunResult&)> make_json_row_sink(std::ostream& out) {
+  return [&out](const SweepRunResult& run) { out << sweep_run_to_json(run) << '\n'; };
 }
 
 }  // namespace eacache

@@ -3,11 +3,13 @@
 // output.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
 #include "metrics/json.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 
 namespace eacache {
 
@@ -19,5 +21,17 @@ void append_simulation_result(JsonWriter& json, const SimulationResult& result);
 void write_simulation_result_json(std::ostream& out, const SimulationResult& result);
 
 [[nodiscard]] std::string simulation_result_to_json(const SimulationResult& result);
+
+/// Emit one sweep run as the next value of an existing writer: the job's
+/// label, the wall-clock cost of the run, a summary of the GroupConfig it
+/// ran under, and the full SimulationResult.
+void append_sweep_run(JsonWriter& json, const SweepRunResult& run);
+
+[[nodiscard]] std::string sweep_run_to_json(const SweepRunResult& run);
+
+/// A SweepOptions::sink that streams one JSON object per completed run to
+/// `out`, one per line, in submission order. The stream must outlive the
+/// sweep.
+[[nodiscard]] std::function<void(const SweepRunResult&)> make_json_row_sink(std::ostream& out);
 
 }  // namespace eacache

@@ -1,0 +1,145 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/config.h"
+
+namespace eacache {
+
+TraceRef TraceCache::get_or_create(const std::string& key, const Factory& factory) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = entries_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  std::call_once(entry->once,
+                 [&] { entry->trace = std::make_shared<const Trace>(factory()); });
+  return entry->trace;
+}
+
+std::size_t TraceCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void TraceCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+TraceCache& TraceCache::global() {
+  static TraceCache cache;
+  return cache;
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
+
+std::size_t SweepRunner::add(SweepJob job) {
+  if (!job.trace) {
+    throw std::invalid_argument("SweepRunner: job '" + job.label + "' has no trace");
+  }
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::size_t SweepRunner::add(std::string label, GroupConfig config, TraceRef trace,
+                             SimulationOptions options) {
+  return add(SweepJob{std::move(label), std::move(config), std::move(trace),
+                      std::move(options)});
+}
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+}  // namespace
+
+std::vector<SweepRunResult> SweepRunner::run() {
+  const std::size_t count = jobs_.size();
+  std::vector<SweepRunResult> results(count);
+  if (count == 0) return results;
+
+  std::vector<std::exception_ptr> errors(count);
+
+  const auto execute = [&](std::size_t i) {
+    const SweepJob& job = jobs_[i];
+    SweepRunResult& out = results[i];
+    out.label = job.label;
+    out.config = job.config;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      out.result = run_simulation(*job.trace, job.config, job.options);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+    out.wall_ms = elapsed_ms(start);
+  };
+
+  const std::size_t workers = std::min(resolve_job_count(options_.jobs), count);
+  if (workers <= 1) {
+    // Serial fast path: no pool, sink fires as each job completes.
+    for (std::size_t i = 0; i < count; ++i) {
+      execute(i);
+      if (options_.sink && !errors[i]) options_.sink(results[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable completed_cv;
+    std::vector<char> completed(count, 0);  // guarded by mutex
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          execute(i);
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            completed[i] = 1;
+          }
+          completed_cv.notify_one();
+        }
+      });
+    }
+
+    // Drain the completed prefix in submission order; the sink runs here,
+    // on the caller's thread, so sinks need no locking of their own.
+    std::size_t emitted = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    while (emitted < count) {
+      completed_cv.wait(lock, [&] { return completed[emitted] != 0; });
+      while (emitted < count && completed[emitted] != 0) {
+        const std::size_t i = emitted++;
+        if (options_.sink && !errors[i]) {
+          lock.unlock();
+          options_.sink(results[i]);
+          lock.lock();
+        }
+      }
+    }
+    lock.unlock();
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  jobs_.clear();
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace eacache

@@ -1,0 +1,129 @@
+// Parallel experiment engine: every figure, table and ablation in this
+// repository is a *sweep* — the same immutable trace replayed under many
+// GroupConfig variants. `run_simulation(trace, config)` is a pure function
+// of its inputs, so config-level fan-out is embarrassingly parallel.
+//
+// Three pieces:
+//   * TraceCache    — loads/synthesizes each trace exactly once and shares
+//                     it immutably (shared_ptr<const Trace>) across workers.
+//   * SweepRunner   — fixed-size thread pool over a queue of
+//                     (label, GroupConfig, trace-ref) jobs. Results come
+//                     back in SUBMISSION order, independent of completion
+//                     order: parallelism may reorder scheduling, never
+//                     results.
+//   * SweepOptions::sink — streaming consumer invoked with each completed
+//                     run, also in submission order (a growing prefix), on
+//                     the thread that called run(). Pair with
+//                     make_json_row_sink (sim/result_json.h) for per-run
+//                     JSON rows next to the existing table/ASCII renderers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+/// Shared, immutable handle to a trace. Workers only ever read through it;
+/// ownership rules are documented in DESIGN.md (trace sharing).
+using TraceRef = std::shared_ptr<const Trace>;
+
+/// Non-owning TraceRef for a trace whose lifetime the caller manages (it
+/// must outlive every SweepRunner::run() that uses it).
+[[nodiscard]] inline TraceRef borrow_trace(const Trace& trace) {
+  return TraceRef(std::shared_ptr<const Trace>(), &trace);
+}
+
+/// Keyed memo of immutable traces. Each key's factory runs exactly once,
+/// even under concurrent get_or_create calls (losers block until the
+/// winner's trace is ready); a factory that throws is retried by the next
+/// caller.
+class TraceCache {
+ public:
+  using Factory = std::function<Trace()>;
+
+  [[nodiscard]] TraceRef get_or_create(const std::string& key, const Factory& factory);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Process-wide cache shared by the bench binaries.
+  [[nodiscard]] static TraceCache& global();
+
+ private:
+  // once_flag is immovable, so entries live behind shared_ptr.
+  struct Entry {
+    std::once_flag once;
+    TraceRef trace;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+/// One unit of sweep work: replay `trace` through a group built from
+/// `config`. The label travels with the result row (tables, JSON).
+struct SweepJob {
+  std::string label;
+  GroupConfig config;
+  TraceRef trace;
+  SimulationOptions options;
+};
+
+/// A completed job: its identity plus the simulation output and the
+/// wall-clock cost of this single run.
+struct SweepRunResult {
+  std::string label;
+  GroupConfig config;
+  SimulationResult result;
+  double wall_ms = 0.0;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means resolve_job_count() (EACACHE_JOBS env or
+  /// hardware concurrency — see common/config.h).
+  std::size_t jobs = 0;
+
+  /// Streaming consumer of completed runs, invoked in submission order on
+  /// the thread that called run(). May be empty.
+  std::function<void(const SweepRunResult&)> sink;
+};
+
+/// Fixed-size thread pool over a queue of sweep jobs.
+///
+/// Guarantees:
+///   * results are returned (and streamed to the sink) in the order jobs
+///     were added, regardless of which worker finishes first;
+///   * simulation outputs are bit-identical to a serial run — workers share
+///     nothing mutable (each run_simulation builds its own CacheGroup, the
+///     trace is const);
+///   * a job that throws does not abort the sweep: every job runs, then the
+///     lowest-index exception is rethrown from run().
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Enqueue a job; returns its index (== its slot in run()'s result).
+  std::size_t add(SweepJob job);
+  std::size_t add(std::string label, GroupConfig config, TraceRef trace,
+                  SimulationOptions options = {});
+
+  [[nodiscard]] std::size_t pending() const { return jobs_.size(); }
+
+  /// Execute every queued job on the pool and clear the queue. Returns one
+  /// SweepRunResult per job, in submission order.
+  [[nodiscard]] std::vector<SweepRunResult> run();
+
+ private:
+  SweepOptions options_;
+  std::vector<SweepJob> jobs_;
+};
+
+}  // namespace eacache

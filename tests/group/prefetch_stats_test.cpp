@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "group/cache_group.h"
+
+namespace eacache {
+namespace {
+
+TEST(PrefetchStatsTest, WastedIsTheUnaccountedRemainder) {
+  PrefetchStats stats;
+  stats.issued = 10;
+  stats.useful = 6;
+  stats.still_pending = 3;
+  EXPECT_EQ(stats.wasted(), 1u);
+
+  stats.still_pending = 4;  // issued == useful + still_pending: nothing wasted
+  EXPECT_EQ(stats.wasted(), 0u);
+}
+
+TEST(PrefetchStatsTest, ZeroedStatsWasteNothing) {
+  const PrefetchStats stats;
+  EXPECT_EQ(stats.wasted(), 0u);
+}
+
+// issued >= useful + still_pending is a counter invariant: every issued
+// prefetch resolves to exactly one of useful/wasted/pending. A violation
+// asserts in debug builds; release builds clamp to zero instead of letting
+// the unsigned subtraction wrap to ~2^64 "wasted" prefetches.
+TEST(PrefetchStatsTest, InvariantViolationIsGuarded) {
+  PrefetchStats corrupt;
+  corrupt.issued = 1;
+  corrupt.useful = 3;
+  EXPECT_DEBUG_DEATH((void)corrupt.wasted(), "issued >= useful");
+#ifdef NDEBUG
+  EXPECT_EQ(corrupt.wasted(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,204 @@
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "sim/result_json.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+Trace make_trace(std::uint64_t seed = 11) {
+  SyntheticTraceConfig config;
+  config.num_requests = 3000;
+  config.num_documents = 300;
+  config.num_users = 16;
+  config.span = hours(1);
+  config.seed = seed;
+  return generate_synthetic_trace(config);
+}
+
+std::vector<SweepJob> sweep_jobs(const TraceRef& trace) {
+  std::vector<SweepJob> jobs;
+  for (const Bytes capacity : {32 * kKiB, 64 * kKiB, 128 * kKiB, 256 * kKiB}) {
+    for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
+      GroupConfig config;
+      config.num_proxies = 4;
+      config.aggregate_capacity = capacity;
+      config.placement = placement;
+      jobs.push_back({std::string(to_string(placement)) + "@" + format_bytes(capacity),
+                      config, trace, {}});
+    }
+  }
+  return jobs;
+}
+
+std::vector<SweepRunResult> run_sweep(const TraceRef& trace, std::size_t jobs) {
+  SweepOptions options;
+  options.jobs = jobs;
+  SweepRunner runner(options);
+  for (SweepJob& job : sweep_jobs(trace)) runner.add(std::move(job));
+  return runner.run();
+}
+
+TEST(TraceCacheTest, FactoryRunsOncePerKey) {
+  TraceCache cache;
+  std::atomic<int> calls{0};
+  const auto factory = [&] {
+    ++calls;
+    return make_trace();
+  };
+  const TraceRef first = cache.get_or_create("a", factory);
+  const TraceRef second = cache.get_or_create("a", factory);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(first.get(), second.get());
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->size(), 3000u);
+
+  (void)cache.get_or_create("b", factory);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TraceCacheTest, ThrowingFactoryIsRetried) {
+  TraceCache cache;
+  int calls = 0;
+  EXPECT_THROW((void)cache.get_or_create("key",
+                                         [&]() -> Trace {
+                                           ++calls;
+                                           throw std::runtime_error("load failed");
+                                         }),
+               std::runtime_error);
+  const TraceRef trace = cache.get_or_create("key", [&] {
+    ++calls;
+    return make_trace();
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_NE(trace, nullptr);
+}
+
+TEST(SweepRunnerTest, ResultsArriveInSubmissionOrder) {
+  const TraceRef trace = std::make_shared<const Trace>(make_trace());
+  SweepRunner runner(SweepOptions{.jobs = 4, .sink = {}});
+  std::vector<std::string> expected;
+  for (SweepJob& job : sweep_jobs(trace)) {
+    expected.push_back(job.label);
+    runner.add(std::move(job));
+  }
+  const auto runs = runner.run();
+  ASSERT_EQ(runs.size(), expected.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].label, expected[i]);
+    EXPECT_EQ(runs[i].result.metrics.total_requests(), trace->size());
+    EXPECT_GE(runs[i].wall_ms, 0.0);
+  }
+}
+
+// The engine's core guarantee (and this PR's regression gate): the same
+// config sweep serialized with jobs=1 and jobs=8 must produce byte-identical
+// SimulationResult JSON — parallelism may reorder scheduling, never results.
+TEST(SweepRunnerTest, ParallelSweepIsByteIdenticalToSerial) {
+  const TraceRef trace = std::make_shared<const Trace>(make_trace());
+  const auto serial = run_sweep(trace, 1);
+  const auto parallel = run_sweep(trace, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(simulation_result_to_json(serial[i].result),
+              simulation_result_to_json(parallel[i].result))
+        << "run " << i << " (" << serial[i].label << ") diverged";
+  }
+}
+
+TEST(SweepRunnerTest, SinkStreamsCompletedRunsInOrder) {
+  const TraceRef trace = std::make_shared<const Trace>(make_trace());
+  std::vector<std::string> streamed;
+  SweepOptions options;
+  options.jobs = 8;
+  options.sink = [&](const SweepRunResult& run) { streamed.push_back(run.label); };
+  SweepRunner runner(options);
+  std::vector<std::string> expected;
+  for (SweepJob& job : sweep_jobs(trace)) {
+    expected.push_back(job.label);
+    runner.add(std::move(job));
+  }
+  (void)runner.run();
+  EXPECT_EQ(streamed, expected);
+}
+
+TEST(SweepRunnerTest, JsonRowSinkEmitsOneLinePerRun) {
+  const TraceRef trace = std::make_shared<const Trace>(make_trace());
+  std::ostringstream out;
+  SweepOptions options;
+  options.jobs = 2;
+  options.sink = make_json_row_sink(out);
+  SweepRunner runner(options);
+  GroupConfig config;
+  config.aggregate_capacity = 64 * kKiB;
+  runner.add("row-a", config, trace);
+  runner.add("row-b", config, trace);
+  (void)runner.run();
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NE(rows[0].find("\"label\":\"row-a\""), std::string::npos);
+  EXPECT_NE(rows[0].find("\"wall_ms\":"), std::string::npos);
+  EXPECT_NE(rows[0].find("\"aggregate_capacity\":65536"), std::string::npos);
+  EXPECT_NE(rows[1].find("\"label\":\"row-b\""), std::string::npos);
+}
+
+TEST(SweepRunnerTest, EveryJobRunsEvenWhenOneThrows) {
+  const TraceRef good = std::make_shared<const Trace>(make_trace());
+  // An unordered trace makes run_simulation throw std::invalid_argument.
+  Trace shuffled = make_trace(7);
+  std::swap(shuffled.requests.front(), shuffled.requests.back());
+  const TraceRef bad = std::make_shared<const Trace>(std::move(shuffled));
+
+  SweepOptions options;
+  options.jobs = 4;
+  std::vector<std::string> streamed;
+  options.sink = [&](const SweepRunResult& run) { streamed.push_back(run.label); };
+  SweepRunner runner(options);
+  GroupConfig config;
+  config.aggregate_capacity = 64 * kKiB;
+  runner.add("ok-1", config, good);
+  runner.add("boom", config, bad);
+  runner.add("ok-2", config, good);
+  EXPECT_THROW((void)runner.run(), std::invalid_argument);
+  // The failed run is skipped by the sink; the healthy ones still stream.
+  EXPECT_EQ(streamed, (std::vector<std::string>{"ok-1", "ok-2"}));
+}
+
+TEST(SweepRunnerTest, RejectsJobWithoutTrace) {
+  SweepRunner runner;
+  GroupConfig config;
+  EXPECT_THROW((void)runner.add("no-trace", config, nullptr), std::invalid_argument);
+}
+
+TEST(SweepRunnerTest, BorrowedTraceSharesWithoutCopying) {
+  const Trace owned = make_trace();
+  const TraceRef borrowed = borrow_trace(owned);
+  EXPECT_EQ(borrowed.get(), &owned);
+}
+
+TEST(ResolveJobCountTest, PreferredWinsOverEnvironment) {
+  ::setenv("EACACHE_JOBS", "5", 1);
+  EXPECT_EQ(resolve_job_count(3), 3u);
+  EXPECT_EQ(resolve_job_count(), 5u);
+  ::setenv("EACACHE_JOBS", "not-a-number", 1);
+  EXPECT_GE(resolve_job_count(), 1u);
+  ::unsetenv("EACACHE_JOBS");
+  EXPECT_GE(resolve_job_count(), 1u);
+}
+
+}  // namespace
+}  // namespace eacache
