@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/config.h"
 
@@ -12,10 +14,13 @@ namespace {
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--jobs N] [--json]\n"
-               "  --jobs N   sweep worker threads (default: EACACHE_JOBS env,\n"
-               "             then hardware concurrency)\n"
-               "  --json     stream one JSON row per completed run\n",
+               "usage: %s [--jobs N] [--json] [--trace-out FILE] [--no-obs]\n"
+               "  --jobs N          sweep worker threads (default: EACACHE_JOBS env,\n"
+               "                    then hardware concurrency)\n"
+               "  --json            stream one JSON row per completed run\n"
+               "  --trace-out FILE  trace request lifecycles on every run; append\n"
+               "                    span events to FILE as JSONL (run-labelled)\n"
+               "  --no-obs          disable the metric registry and tracing\n",
                argv0);
   std::exit(2);
 }
@@ -37,9 +42,20 @@ BenchOptions parse_args(int argc, char** argv) {
       const long parsed = std::strtol(arg.c_str() + 7, nullptr, 10);
       if (parsed <= 0) usage_and_exit(argv[0]);
       options.jobs = static_cast<std::size_t>(parsed);
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      options.trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(12);
+    } else if (arg == "--no-obs") {
+      options.no_obs = true;
     } else {
       usage_and_exit(argv[0]);
     }
+  }
+  if (options.no_obs && !options.trace_out.empty()) {
+    std::fprintf(stderr, "%s: --no-obs and --trace-out are mutually exclusive\n", argv[0]);
+    std::exit(2);
   }
   return options;
 }
@@ -47,9 +63,32 @@ BenchOptions parse_args(int argc, char** argv) {
 SweepOptions sweep_options(const BenchOptions& options) {
   SweepOptions sweep;
   sweep.jobs = options.jobs;
-  if (options.stream_json) {
-    sweep.sink = [](const SweepRunResult& run) {
-      std::cout << "json," << sweep_run_to_json(run) << '\n';
+  if (options.no_obs) {
+    sweep.obs_override = ObsConfig::disabled();
+  } else if (!options.trace_out.empty()) {
+    sweep.obs_override = ObsConfig::with_tracing();
+  }
+
+  // The trace stream is owned by the sink closure; the sink runs on the
+  // caller's thread in submission order, so writes need no locking and runs
+  // appear in the file in a deterministic order.
+  std::shared_ptr<std::ofstream> trace_stream;
+  if (!options.trace_out.empty()) {
+    trace_stream = std::make_shared<std::ofstream>(options.trace_out, std::ios::trunc);
+    if (!*trace_stream) {
+      std::fprintf(stderr, "cannot open trace output file: %s\n", options.trace_out.c_str());
+      std::exit(2);
+    }
+  }
+
+  if (options.stream_json || trace_stream) {
+    const bool stream_json = options.stream_json;
+    sweep.sink = [stream_json, trace_stream](const SweepRunResult& run) {
+      if (stream_json) std::cout << "json," << sweep_run_to_json(run) << '\n';
+      if (trace_stream) {
+        run.result.trace_log.write_jsonl(*trace_stream, run.label);
+        trace_stream->flush();
+      }
     };
   }
   return sweep;

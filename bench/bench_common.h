@@ -7,8 +7,13 @@
 //
 // All benches fan their simulations out through SweepRunner (sim/sweep.h).
 // Common CLI, accepted by every bench binary:
-//   --jobs N    worker threads (default: EACACHE_JOBS env, then hardware)
-//   --json      additionally stream one JSON row per completed run
+//   --jobs N          worker threads (default: EACACHE_JOBS env, then hardware)
+//   --json            additionally stream one JSON row per completed run
+//   --trace-out FILE  enable request-lifecycle tracing on every run and
+//                     append each run's span events to FILE as JSONL, one
+//                     "run"-labelled line per event, in submission order
+//   --no-obs          disable the metric registry (and tracing) entirely —
+//                     the control arm of the observability-is-free guarantee
 #pragma once
 
 #include <cstddef>
@@ -28,6 +33,8 @@ namespace eacache::bench {
 struct BenchOptions {
   std::size_t jobs = 0;      // 0 = resolve_job_count() (env, then hardware)
   bool stream_json = false;  // --json: per-run JSON rows on stdout
+  std::string trace_out;     // --trace-out FILE; empty = tracing off
+  bool no_obs = false;       // --no-obs: registry + tracing disabled
 };
 
 [[nodiscard]] BenchOptions parse_args(int argc, char** argv);

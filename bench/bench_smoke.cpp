@@ -50,9 +50,12 @@ int main(int argc, char** argv) {
   enqueue(parallel_runner);
   const auto parallel_runs = parallel_runner.run();
 
-  // ...checked byte-for-byte against a serial reference sweep.
+  // ...checked byte-for-byte against a serial reference sweep. The serial
+  // arm inherits the CLI's obs override: result JSON embeds the registry
+  // and trace-ring summary, so both arms must observe identically.
   SweepOptions serial_options;
   serial_options.jobs = 1;
+  serial_options.obs_override = parallel_options.obs_override;
   SweepRunner serial_runner(serial_options);
   enqueue(serial_runner);
   const auto serial_runs = serial_runner.run();

@@ -2,11 +2,26 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace eacache {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Guards the sink slot and serializes the final write of each line.
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
+
+thread_local std::string t_thread_tag;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,11 +39,48 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_thread_tag(std::string tag) { t_thread_tag = std::move(tag); }
+
+const std::string& log_thread_tag() { return t_thread_tag; }
+
+ScopedLogTag::ScopedLogTag(std::string tag) : previous_(std::move(t_thread_tag)) {
+  t_thread_tag = std::move(tag);
+}
+
+ScopedLogTag::~ScopedLogTag() { t_thread_tag = std::move(previous_); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+
+  // Assemble the whole line outside the lock; the lock then covers exactly
+  // one write, so lines from concurrent sweep workers never interleave.
+  std::string line;
+  line.reserve(component.size() + message.size() + t_thread_tag.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += ']';
+  if (!t_thread_tag.empty()) {
+    line += " [";
+    line += t_thread_tag;
+    line += ']';
+  }
+  line += ' ';
+  line += component;
+  line += ": ";
+  line += message;
+
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (sink_slot()) {
+    sink_slot()(level, line);
+    return;
+  }
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace eacache

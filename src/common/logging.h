@@ -1,9 +1,11 @@
-// Tiny leveled logger. The simulator is deterministic and single-threaded,
-// so the logger stays simple: a global level, output to stderr, no locking
-// needed for correctness of the simulation itself (stderr writes are atomic
-// enough for diagnostics).
+// Tiny leveled logger, safe under the sweep thread pool. Each statement is
+// buffered into a single line (level, optional per-thread worker/job tag,
+// component, message) and written with one locked call, so concurrent
+// workers never interleave partial lines. Sweep workers label their lines
+// via set_log_thread_tag(); tests can capture output via set_log_sink().
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -16,7 +18,30 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Low-level sink. Prefer the EACACHE_LOG_* macros below.
+/// Per-thread tag included in every line this thread logs, e.g. "w2/j17"
+/// for sweep worker 2 running job 17. Empty (the default) omits the tag.
+void set_log_thread_tag(std::string tag);
+[[nodiscard]] const std::string& log_thread_tag();
+
+/// RAII tag for a scope (restores the previous tag on destruction).
+class ScopedLogTag {
+ public:
+  explicit ScopedLogTag(std::string tag);
+  ScopedLogTag(const ScopedLogTag&) = delete;
+  ScopedLogTag& operator=(const ScopedLogTag&) = delete;
+  ~ScopedLogTag();
+
+ private:
+  std::string previous_;
+};
+
+/// Replaces stderr with a custom sink; the sink receives each fully
+/// formatted line (no trailing newline) under the logger's lock, so it
+/// needs no synchronization of its own. Pass nullptr to restore stderr.
+using LogSink = std::function<void(LogLevel level, std::string_view line)>;
+void set_log_sink(LogSink sink);
+
+/// Low-level entry point. Prefer the EACACHE_LOG_* macros below.
 void log_message(LogLevel level, std::string_view component, std::string_view message);
 
 namespace detail {

@@ -106,6 +106,8 @@ class Histogram {
 
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
   [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }

@@ -21,6 +21,7 @@
 
 #include "common/types.h"
 #include "ea/expiration_age.h"
+#include "obs/metric_registry.h"
 #include "storage/eviction.h"
 
 namespace eacache {
@@ -63,6 +64,15 @@ class ContentionEstimator final : public EvictionObserver {
   [[nodiscard]] AgeForm form() const { return form_; }
   [[nodiscard]] const WindowConfig& window() const { return window_; }
 
+  /// Optional registry instrumentation (null handles = off): every
+  /// CacheExpAge read, and the subset answered ExpAge::infinite() (cold /
+  /// contention-free cache — the EA rules treat those as "place anywhere").
+  void bind_counters(MetricRegistry::Counter age_queries,
+                     MetricRegistry::Counter cold_age_queries) {
+    obs_age_queries_ = age_queries;
+    obs_cold_age_queries_ = cold_age_queries;
+  }
+
  private:
   struct Sample {
     TimePoint at;
@@ -85,6 +95,9 @@ class ContentionEstimator final : public EvictionObserver {
   // Lifetime aggregates (also serve kCumulative).
   std::uint64_t victims_observed_ = 0;
   double lifetime_sum_ms_ = 0.0;
+
+  MetricRegistry::Counter obs_age_queries_;
+  MetricRegistry::Counter obs_cold_age_queries_;
 };
 
 }  // namespace eacache

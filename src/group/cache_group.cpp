@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "common/hash.h"
@@ -28,6 +29,8 @@ CacheGroup::CacheGroup(const GroupConfig& config)
     : config_(config),
       topology_(build_topology(config)),
       placement_(make_placement(config.placement, config.ea_hysteresis)),
+      registry_(config.obs.registry),
+      trace_log_(config.obs.trace_capacity),
       transport_(config.wire),
       digest_directory_(config.digest) {
   const std::size_t total_caches = topology_.num_proxies();
@@ -59,12 +62,25 @@ CacheGroup::CacheGroup(const GroupConfig& config)
       config_.discovery == DiscoveryMode::kDigest ? &config_.digest : nullptr;
   proxies_.reserve(total_caches);
   for (std::size_t p = 0; p < total_caches; ++p) {
-    proxies_.push_back(std::make_unique<ProxyCache>(static_cast<ProxyId>(p), budgets[p],
-                                                    make_policy(config_.replacement),
-                                                    config_.window, placement_.get(), digest));
+    proxies_.push_back(std::make_unique<ProxyCache>(
+        static_cast<ProxyId>(p), budgets[p], make_policy(config_.replacement), config_.window,
+        placement_.get(), digest, &registry_));
   }
   last_digest_publish_.assign(total_caches, kSimEpoch);
   digest_published_once_.assign(total_caches, false);
+
+  transport_.bind_registry(&registry_, total_caches);
+  if (registry_.enabled()) {
+    obs_requests_ = registry_.counter("group.requests");
+    obs_icp_queries_ = registry_.counter("group.icp.queries");
+    obs_icp_replies_ = registry_.counter("group.icp.replies");
+    obs_icp_losses_ = registry_.counter("group.icp.losses");
+    obs_sibling_fetches_ = registry_.counter("group.sibling_fetches");
+    obs_parent_fetches_ = registry_.counter("group.parent_fetches");
+    obs_origin_fetches_ = registry_.counter("group.origin_fetches");
+    obs_request_bytes_ = registry_.histogram("group.request_bytes", 0.0,
+                                             static_cast<double>(kMiB), 64);
+  }
 
   if (config_.coherence.enabled) {
     if (config_.coherence.fresh_ttl <= Duration::zero()) {
@@ -147,7 +163,7 @@ void CacheGroup::learn_and_prefetch(ProxyCache& requester, const Request& reques
 
   Document speculative{prediction->document, size_it->second, 0};
   if (origin_) speculative.version = origin_->version_at(speculative.id, request.at);
-  transport_.record_origin_fetch(speculative.size);
+  note_origin_fetch(p, speculative, request.at, /*speculative=*/true);
   requester.cache_after_origin_fetch(speculative, request.at);
   if (requester.store().contains(speculative.id)) {
     pending_prefetch_[p].insert(speculative.id);
@@ -192,17 +208,42 @@ std::vector<ProxyId> CacheGroup::discover_candidates(ProxyCache& requester,
     for (const ProxyId target : targets) {
       const IcpQuery query{requester.id(), target, request.document};
       transport_.record_icp_query(query);
+      obs_icp_queries_.inc();
       // UDP is best-effort: a lost query or reply looks like a peer miss
       // and the requester falls back to the origin (a duplicate fetch).
       if (config_.icp_loss_probability > 0.0 &&
           network_rng_.next_bool(config_.icp_loss_probability)) {
         transport_.record_icp_loss();
+        obs_icp_losses_.inc();
+        if (trace_log_.enabled()) {
+          SpanEvent event;
+          event.request = current_request_;
+          event.at_ms = sim_ms(request.at);
+          event.document = request.document;
+          event.proxy = requester.id();
+          event.peer = static_cast<std::int32_t>(target);
+          event.kind = SpanKind::kIcpLoss;
+          trace_log_.record(event);
+        }
         continue;
       }
       // A proxy only advertises copies it could legally serve: with
       // coherence on, TTL-stale copies answer "miss".
       const bool hit = copy_is_fresh(*proxies_[target], request.document, request.at);
+      proxies_[target]->note_icp_answer(hit);
       transport_.record_icp_reply(IcpReply{target, requester.id(), request.document, hit});
+      obs_icp_replies_.inc();
+      if (trace_log_.enabled()) {
+        SpanEvent event;
+        event.request = current_request_;
+        event.at_ms = sim_ms(request.at);
+        event.document = request.document;
+        event.proxy = requester.id();
+        event.peer = static_cast<std::int32_t>(target);
+        event.kind = SpanKind::kIcpProbe;
+        event.flag = hit ? 1 : 0;
+        trace_log_.record(event);
+      }
       if (hit) candidates.push_back(target);
     }
   } else {
@@ -249,8 +290,22 @@ CacheGroup::LocalLookup CacheGroup::local_lookup(ProxyCache& proxy, const Reques
   const auto entry = proxy.store().peek(request.document);
   if (!entry) return {LocalState::kMiss, 0};
 
+  const auto trace_local_hit = [&](Bytes size, bool validated) {
+    if (!trace_log_.enabled()) return;
+    SpanEvent event;
+    event.request = current_request_;
+    event.at_ms = sim_ms(now);
+    event.document = request.document;
+    event.proxy = proxy.id();
+    event.kind = SpanKind::kLocalHit;
+    event.flag = validated ? 1 : 0;
+    event.value = static_cast<std::int64_t>(size);
+    trace_log_.record(event);
+  };
+
   if (!coherence_on()) {
     const auto size = proxy.serve_local(request.document, now);
+    trace_local_hit(*size, false);
     return {LocalState::kFreshHit, *size};
   }
 
@@ -260,6 +315,7 @@ CacheGroup::LocalLookup CacheGroup::local_lookup(ProxyCache& proxy, const Reques
     // whether that quietly served stale content.
     if (entry->version != current) ++coherence_stats_.stale_served;
     const auto size = proxy.serve_local(request.document, now);
+    trace_local_hit(*size, false);
     return {LocalState::kFreshHit, *size};
   }
 
@@ -269,6 +325,7 @@ CacheGroup::LocalLookup CacheGroup::local_lookup(ProxyCache& proxy, const Reques
     ++coherence_stats_.validated_304;
     proxy.mark_validated(request.document, now);
     const auto size = proxy.serve_local(request.document, now);
+    trace_local_hit(*size, true);
     return {LocalState::kValidatedHit, *size};
   }
   // Changed at the origin: the 200 reply replaces the body; the old copy
@@ -291,22 +348,49 @@ RequestOutcome CacheGroup::serve(const Request& request) {
   if (config_.discovery == DiscoveryMode::kDigest) refresh_digests(request.at);
   ProxyCache& requester = *proxies_[home_proxy(request.user)];
   requester.note_client_request();
-  if (config_.routing == RoutingMode::kHashPartition) {
-    return serve_hash_partition(requester, request);
+
+  current_request_ = request_seq_++;
+  obs_requests_.inc();
+  obs_request_bytes_.observe(static_cast<double>(request.size));
+  if (trace_log_.enabled()) {
+    SpanEvent event;
+    event.request = current_request_;
+    event.at_ms = sim_ms(request.at);
+    event.document = request.document;
+    event.proxy = requester.id();
+    event.kind = SpanKind::kArrival;
+    event.value = static_cast<std::int64_t>(request.size);
+    trace_log_.record(event);
   }
 
-  // A speculative copy stops being speculative the moment it is demanded.
-  const bool was_prefetched =
-      config_.prefetch.enabled &&
-      pending_prefetch_[requester.id()].erase(request.document) > 0;
+  RequestOutcome outcome;
+  if (config_.routing == RoutingMode::kHashPartition) {
+    outcome = serve_hash_partition(requester, request);
+  } else {
+    // A speculative copy stops being speculative the moment it is demanded.
+    const bool was_prefetched =
+        config_.prefetch.enabled &&
+        pending_prefetch_[requester.id()].erase(request.document) > 0;
 
-  const RequestOutcome outcome = serve_at_proxy(requester, request);
+    outcome = serve_at_proxy(requester, request);
 
-  if (config_.prefetch.enabled) {
-    if (was_prefetched && outcome == RequestOutcome::kLocalHit) {
-      ++prefetch_stats_.useful;
+    if (config_.prefetch.enabled) {
+      if (was_prefetched && outcome == RequestOutcome::kLocalHit) {
+        ++prefetch_stats_.useful;
+      }
+      learn_and_prefetch(requester, request);
     }
-    learn_and_prefetch(requester, request);
+  }
+
+  if (trace_log_.enabled()) {
+    SpanEvent event;
+    event.request = current_request_;
+    event.at_ms = sim_ms(request.at);
+    event.document = request.document;
+    event.proxy = requester.id();
+    event.kind = SpanKind::kComplete;
+    event.value = static_cast<std::int64_t>(outcome);
+    trace_log_.record(event);
   }
   return outcome;
 }
@@ -329,7 +413,7 @@ RequestOutcome CacheGroup::serve_hash_partition(ProxyCache& requester, const Req
                       config_.latency.local_hit + config_.coherence.validation_rtt);
       return RequestOutcome::kLocalHit;
     }
-    transport_.record_origin_fetch(document.size);
+    note_origin_fetch(requester.id(), document, now, /*speculative=*/false);
     requester.cache_after_origin_fetch(document, now);
     metrics_.record(RequestOutcome::kMiss, document.size, config_.latency.miss);
     return RequestOutcome::kMiss;
@@ -362,7 +446,7 @@ RequestOutcome CacheGroup::serve_hash_partition(ProxyCache& requester, const Req
   }
 
   // Home miss (or changed at origin): the home fetches and keeps the copy.
-  transport_.record_origin_fetch(document.size);
+  note_origin_fetch(home_id, document, now, /*speculative=*/false);
   home.cache_after_origin_fetch(document, now);
   HttpResponse response;
   response.from = home_id;
@@ -392,7 +476,7 @@ RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& 
     case LocalState::kChanged: {
       // The If-Modified-Since reply carried the new body: an origin fetch.
       const Document document = document_from(request);
-      transport_.record_origin_fetch(document.size);
+      note_origin_fetch(requester.id(), document, now, /*speculative=*/false);
       requester.cache_after_origin_fetch(document, now);
       metrics_.record(RequestOutcome::kMiss, document.size, config_.latency.miss);
       return RequestOutcome::kMiss;
@@ -421,6 +505,7 @@ RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& 
       fetch.requester_age = requester.expiration_age(now);
     }
     transport_.record_http_request(fetch);
+    obs_sibling_fetches_.inc();
 
     // Digest candidates can be stale in two ways: the copy is gone, or (with
     // coherence on) it is TTL-expired and the responder will not serve it.
@@ -435,6 +520,20 @@ RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& 
       response = responder.serve_fetch(fetch, now);
     }
     transport_.record_http_response(response);
+    if (trace_log_.enabled()) {
+      SpanEvent event;
+      event.request = current_request_;
+      event.at_ms = sim_ms(now);
+      event.document = request.document;
+      event.proxy = requester.id();
+      event.peer = static_cast<std::int32_t>(responder_id);
+      event.kind = SpanKind::kSiblingFetch;
+      event.requester_ea_ms = ea_ms(fetch.requester_age);
+      event.responder_ea_ms = ea_ms(response.responder_age);
+      event.flag = response.found ? 1 : 0;
+      if (response.found) event.value = static_cast<std::int64_t>(response.body_size);
+      trace_log_.record(event);
+    }
     if (!response.found) {
       probe_penalty += config_.latency.failed_probe;
       continue;
@@ -443,10 +542,12 @@ RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& 
     if (coherence_on() && response.version != document_from(request).version) {
       ++coherence_stats_.stale_served;
     }
-    requester.consider_caching(
+    const bool kept = requester.consider_caching(
         Document{request.document, response.body_size, response.version},
         response.responder_age, now,
         coherence_on() ? std::optional<TimePoint>(response.validated_at) : std::nullopt);
+    trace_placement(requester.id(), request.document, now, fetch.requester_age,
+                    response.responder_age, kept);
     metrics_.record(RequestOutcome::kRemoteHit, response.body_size,
                     config_.latency.remote_hit + probe_penalty);
     return RequestOutcome::kRemoteHit;
@@ -464,7 +565,7 @@ RequestOutcome CacheGroup::resolve_group_miss(ProxyCache& requester, const Reque
     // 4. Distributed architecture: fetch from the origin, cache locally
     // (conventional step — identical under both schemes).
     const Document document = document_from(request);
-    transport_.record_origin_fetch(document.size);
+    note_origin_fetch(requester.id(), document, now, /*speculative=*/false);
     requester.cache_after_origin_fetch(document, now);
     metrics_.record(RequestOutcome::kMiss, document.size,
                     config_.latency.miss + probe_penalty);
@@ -473,10 +574,12 @@ RequestOutcome CacheGroup::resolve_group_miss(ProxyCache& requester, const Reque
 
   // 5. Hierarchical architecture: the parent chain resolves the miss.
   const HttpResponse response = fetch_via_parent(requester, *parent, request);
-  requester.consider_caching(
+  const bool kept = requester.consider_caching(
       Document{request.document, response.body_size, response.version},
       response.responder_age, now,
       coherence_on() ? std::optional<TimePoint>(response.validated_at) : std::nullopt);
+  trace_placement(requester.id(), request.document, now, std::nullopt,
+                  response.responder_age, kept);
   if (response.source == ResponseSource::kCache) {
     // A cache above the ICP horizon (grandparent or higher) had the
     // document: the group served it after all.
@@ -502,6 +605,7 @@ HttpResponse CacheGroup::fetch_via_parent(ProxyCache& child, ProxyId parent_id,
     hop.requester_age = child.expiration_age(now);
   }
   transport_.record_http_request(hop);
+  obs_parent_fetches_.inc();
 
   // A TTL-stale copy at the parent cannot be served; it will be replaced by
   // the fresh body flowing down, so drop it now (admission below would
@@ -521,9 +625,11 @@ HttpResponse CacheGroup::fetch_via_parent(ProxyCache& child, ProxyId parent_id,
     // requester whether to keep a copy, then answers the child with its own
     // expiration age.
     const HttpResponse upper = fetch_via_parent(parent, *grandparent, request);
-    parent.consider_caching(
+    const bool kept = parent.consider_caching(
         Document{request.document, upper.body_size, upper.version}, upper.responder_age, now,
         coherence_on() ? std::optional<TimePoint>(upper.validated_at) : std::nullopt);
+    trace_placement(parent_id, request.document, now, std::nullopt, upper.responder_age,
+                    kept);
     response.from = parent_id;
     response.to = child.id();
     response.document = request.document;
@@ -538,11 +644,70 @@ HttpResponse CacheGroup::fetch_via_parent(ProxyCache& child, ProxyId parent_id,
     // Top of the chain: fetch from the origin; the parent placement rule
     // (paper section 3.3) decides whether this cache keeps a copy.
     const Document document = document_from(request);
-    transport_.record_origin_fetch(document.size);
+    note_origin_fetch(parent_id, document, now, /*speculative=*/false);
     response = parent.resolve_miss_as_parent(document, hop, now);
   }
   transport_.record_http_response(response);
+  if (trace_log_.enabled()) {
+    SpanEvent event;
+    event.request = current_request_;
+    event.at_ms = sim_ms(now);
+    event.document = request.document;
+    event.proxy = child.id();
+    event.peer = static_cast<std::int32_t>(parent_id);
+    event.kind = SpanKind::kParentFetch;
+    event.requester_ea_ms = ea_ms(hop.requester_age);
+    event.responder_ea_ms = ea_ms(response.responder_age);
+    event.flag = 1;  // the parent chain always resolves the document
+    event.value = static_cast<std::int64_t>(response.body_size);
+    trace_log_.record(event);
+  }
   return response;
+}
+
+void CacheGroup::note_origin_fetch(ProxyId requester, const Document& document, TimePoint at,
+                                   bool speculative) {
+  transport_.record_origin_fetch(requester, document.size);
+  obs_origin_fetches_.inc();
+  if (trace_log_.enabled()) {
+    SpanEvent event;
+    event.request = current_request_;
+    event.at_ms = sim_ms(at);
+    event.document = document.id;
+    event.proxy = requester;
+    event.kind = SpanKind::kOriginFetch;
+    event.flag = speculative ? 1 : 0;
+    event.value = static_cast<std::int64_t>(document.size);
+    trace_log_.record(event);
+  }
+}
+
+void CacheGroup::trace_placement(ProxyId proxy, DocumentId document, TimePoint at,
+                                 std::optional<ExpAge> requester_age,
+                                 std::optional<ExpAge> responder_age, bool accepted) {
+  if (!trace_log_.enabled()) return;
+  SpanEvent event;
+  event.request = current_request_;
+  event.at_ms = sim_ms(at);
+  event.document = document;
+  event.proxy = proxy;
+  event.kind = SpanKind::kPlacement;
+  event.requester_ea_ms = ea_ms(requester_age);
+  event.responder_ea_ms = ea_ms(responder_age);
+  event.flag = accepted ? 1 : 0;
+  trace_log_.record(event);
+}
+
+void CacheGroup::export_final_gauges() {
+  if (!registry_.enabled()) return;
+  for (const auto& proxy : proxies_) {
+    const std::string prefix = "proxy." + std::to_string(proxy->id()) + ".";
+    registry_.gauge(prefix + "resident_bytes")
+        .set(static_cast<double>(proxy->store().resident_bytes()));
+    registry_.gauge(prefix + "resident_docs")
+        .set(static_cast<double>(proxy->store().resident_count()));
+  }
+  registry_.gauge("group.replication_factor").set(replication_factor());
 }
 
 ExpAge CacheGroup::average_cache_expiration_age() const {

@@ -34,6 +34,9 @@
 #include "metrics/metrics.h"
 #include "net/latency_model.h"
 #include "net/transport.h"
+#include "obs/metric_registry.h"
+#include "obs/obs_config.h"
+#include "obs/trace_log.h"
 #include "origin/origin_server.h"
 #include "prefetch/markov_predictor.h"
 #include "proxy/proxy_cache.h"
@@ -168,6 +171,10 @@ struct GroupConfig {
   /// query/reply exchange, deterministically from `network_seed`.
   double icp_loss_probability = 0.0;
   std::uint64_t network_seed = 99;
+
+  /// Observability: metric registry + request-lifecycle tracing. Pure
+  /// accounting — simulation outcomes are identical for every setting.
+  ObsConfig obs{};
 };
 
 class CacheGroup {
@@ -193,6 +200,14 @@ class CacheGroup {
   /// still_pending is zero here; the simulator fills it at end of run from
   /// pending_prefetches().
   [[nodiscard]] const PrefetchStats& prefetch_stats() const { return prefetch_stats_; }
+  /// The group-wide metric registry ("group.*", "proxy.<id>.*", "link.*").
+  /// Empty when GroupConfig::obs.registry is false.
+  [[nodiscard]] const MetricRegistry& registry() const { return registry_; }
+  /// The request-lifecycle span ring. Disabled (capacity 0) by default.
+  [[nodiscard]] const TraceLog& trace_log() const { return trace_log_; }
+  /// Stamp end-of-run gauges (per-proxy occupancy, group replication) into
+  /// the registry; no-op when the registry is off.
+  void export_final_gauges();
   [[nodiscard]] std::size_t pending_prefetches() const;
   [[nodiscard]] std::size_t num_proxies() const { return proxies_.size(); }
   [[nodiscard]] const ProxyCache& proxy(ProxyId id) const { return *proxies_.at(id); }
@@ -247,12 +262,43 @@ class CacheGroup {
   /// Deterministic best-first order: ring distance from the requester.
   void sort_by_ring_distance(std::vector<ProxyId>& peers, ProxyId requester) const;
 
+  /// Origin-fetch bookkeeping shared by every call site: transport bytes,
+  /// the group counter and (when tracing) a kOriginFetch span.
+  void note_origin_fetch(ProxyId requester, const Document& document, TimePoint at,
+                         bool speculative);
+  /// Placement-decision span (requester or parent rule). EA values are the
+  /// ones ALREADY exchanged on the wire — tracing never re-queries an
+  /// estimator, so counters match between traced and untraced runs.
+  void trace_placement(ProxyId proxy, DocumentId document, TimePoint at,
+                       std::optional<ExpAge> requester_age,
+                       std::optional<ExpAge> responder_age, bool accepted);
+  [[nodiscard]] static std::int64_t sim_ms(TimePoint at) { return (at - kSimEpoch).count(); }
+  [[nodiscard]] static double ea_ms(std::optional<ExpAge> age) {
+    return age.has_value() ? age->millis() : -1.0;
+  }
+
   GroupConfig config_;
   Topology topology_;
   std::unique_ptr<PlacementPolicy> placement_;
+  MetricRegistry registry_;  // before proxies_: they hold handles into it
+  TraceLog trace_log_;
   std::vector<std::unique_ptr<ProxyCache>> proxies_;
   Transport transport_;
   GroupMetrics metrics_;
+
+  // Request-lifecycle bookkeeping for tracing.
+  std::uint64_t request_seq_ = 0;
+  std::uint64_t current_request_ = 0;
+
+  // Group-wide counters (null handles when the registry is off).
+  MetricRegistry::Counter obs_requests_;
+  MetricRegistry::Counter obs_icp_queries_;
+  MetricRegistry::Counter obs_icp_replies_;
+  MetricRegistry::Counter obs_icp_losses_;
+  MetricRegistry::Counter obs_sibling_fetches_;
+  MetricRegistry::Counter obs_parent_fetches_;
+  MetricRegistry::Counter obs_origin_fetches_;
+  MetricRegistry::HistogramHandle obs_request_bytes_;
 
   // Digest discovery state. One shared directory stands in for the
   // identical per-proxy copies a real deployment keeps; the broadcast COST

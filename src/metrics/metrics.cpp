@@ -26,9 +26,14 @@ void GroupMetrics::record(RequestOutcome outcome, Bytes size, Duration latency) 
 }
 
 double GroupMetrics::latency_percentile_ms(double quantile) const {
-  if (quantile < 0.0 || quantile > 1.0) {
+  // Negated-range form so NaN (which fails every ordered comparison, and
+  // thus slipped through `< 0 || > 1`) is rejected like any other bad input.
+  if (!(quantile >= 0.0 && quantile <= 1.0)) {
     throw std::invalid_argument("latency_percentile_ms: quantile in [0, 1]");
   }
+  // With no samples the histogram's floor would leak out; report 0 ms
+  // explicitly, matching the other rate accessors' empty-state convention.
+  if (total_requests_ == 0) return 0.0;
   return latency_hist_.percentile(quantile);
 }
 

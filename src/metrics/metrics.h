@@ -44,9 +44,12 @@ class GroupMetrics {
   [[nodiscard]] Duration total_latency() const { return latency_sum_; }
 
   /// Tail latency from a fixed 10 ms-resolution histogram over [0, 10 s)
-  /// (values beyond 10 s report as 10 s). quantile in [0, 1]; returns the
-  /// upper edge of the bucket containing the quantile, i.e. the smallest
-  /// 10 ms multiple L with P(latency < L) >= quantile.
+  /// (values beyond 10 s report as 10 s). quantile must be in [0, 1] —
+  /// anything else, including NaN, throws std::invalid_argument. Returns
+  /// the upper edge of the bucket containing the quantile, i.e. the
+  /// smallest 10 ms multiple L with P(latency < L) >= quantile; quantile
+  /// 0.0 reports 0 ms, quantiles landing among >=10 s samples report
+  /// 10'000 ms, and with no recorded requests every quantile is 0 ms.
   [[nodiscard]] double latency_percentile_ms(double quantile) const;
 
   /// The paper's Eq. 6 estimator under the given latency model.

@@ -4,12 +4,19 @@
 // proxies; the stats let tests and benches verify the EA scheme's headline
 // overhead claim: identical message counts to ad-hoc, with only a fixed
 // 8-byte piggyback on HTTP messages.
+//
+// When bound to a MetricRegistry the transport additionally accounts BYTES
+// MOVED PER LINK ("link.<from>-><to>.bytes", with "origin" as the terminal
+// column) — the per-edge view the aggregate TransportStats cannot give.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "net/message.h"
+#include "obs/metric_registry.h"
 
 namespace eacache {
 
@@ -41,13 +48,26 @@ class Transport {
  public:
   explicit Transport(WireCosts costs = WireCosts{}) : costs_(costs) {}
 
-  void record_icp_query(const IcpQuery&) {
+  /// Attach a metric registry (which must outlive the transport) and
+  /// pre-size the per-link counter table for `num_caches` proxies. Link
+  /// counters themselves are created lazily on first traffic, so a sparse
+  /// topology registers only the links it actually uses.
+  void bind_registry(MetricRegistry* registry, std::size_t num_caches) {
+    registry_ = (registry != nullptr && registry->enabled()) ? registry : nullptr;
+    num_caches_ = num_caches;
+    links_.assign(registry_ != nullptr ? num_caches * (num_caches + 1) : 0,
+                  MetricRegistry::Counter{});
+  }
+
+  void record_icp_query(const IcpQuery& query) {
     ++stats_.icp_queries;
     stats_.icp_bytes += costs_.icp_message();
+    add_link_bytes(query.from, query.to, costs_.icp_message());
   }
-  void record_icp_reply(const IcpReply&) {
+  void record_icp_reply(const IcpReply& reply) {
     ++stats_.icp_replies;
     stats_.icp_bytes += costs_.icp_message();
+    add_link_bytes(reply.from, reply.to, costs_.icp_message());
   }
   /// A query (or its reply) was dropped in flight: the query's bytes were
   /// spent, no reply arrives.
@@ -55,31 +75,64 @@ class Transport {
   void record_http_request(const HttpRequest& request) {
     ++stats_.http_requests;
     stats_.http_header_bytes += costs_.http_request_headers;
-    if (request.requester_age.has_value()) stats_.piggyback_bytes += costs_.ea_piggyback;
+    Bytes wire = costs_.http_request_headers;
+    if (request.requester_age.has_value()) {
+      stats_.piggyback_bytes += costs_.ea_piggyback;
+      wire += costs_.ea_piggyback;
+    }
+    add_link_bytes(request.from, request.to, wire);
   }
   void record_http_response(const HttpResponse& response) {
     ++stats_.http_responses;
     stats_.http_header_bytes += costs_.http_response_headers;
     stats_.http_body_bytes += response.body_size;
     if (!response.found) ++stats_.failed_probes;
-    if (response.responder_age.has_value()) stats_.piggyback_bytes += costs_.ea_piggyback;
+    Bytes wire = costs_.http_response_headers + response.body_size;
+    if (response.responder_age.has_value()) {
+      stats_.piggyback_bytes += costs_.ea_piggyback;
+      wire += costs_.ea_piggyback;
+    }
+    add_link_bytes(response.from, response.to, wire);
   }
   void record_digest_publication(const DigestPublication& publication) {
     ++stats_.digest_publications;
     stats_.digest_bytes += publication.digest_size;
+    add_link_bytes(publication.from, publication.to, publication.digest_size);
   }
-  void record_origin_fetch(Bytes body_size) {
+  /// `requester` is the cache that contacted the origin (the link endpoint).
+  void record_origin_fetch(ProxyId requester, Bytes body_size) {
     ++stats_.origin_fetches;
     stats_.http_header_bytes += costs_.http_request_headers + costs_.http_response_headers;
     stats_.http_body_bytes += body_size;
+    add_link_bytes(requester, kOriginLink,
+                   costs_.http_request_headers + costs_.http_response_headers + body_size);
   }
 
   [[nodiscard]] const TransportStats& stats() const { return stats_; }
   [[nodiscard]] const WireCosts& costs() const { return costs_; }
 
  private:
+  /// Sentinel "to" endpoint for origin-server traffic.
+  static constexpr std::size_t kOriginLink = static_cast<std::size_t>(-1);
+
+  void add_link_bytes(std::size_t from, std::size_t to, Bytes bytes) {
+    if (registry_ == nullptr || from >= num_caches_) return;
+    const std::size_t column = to == kOriginLink ? num_caches_ : to;
+    if (column > num_caches_) return;
+    MetricRegistry::Counter& counter = links_[from * (num_caches_ + 1) + column];
+    if (!counter.bound()) {
+      const std::string peer =
+          column == num_caches_ ? std::string("origin") : std::to_string(column);
+      counter = registry_->counter("link." + std::to_string(from) + "->" + peer + ".bytes");
+    }
+    counter.inc(bytes);
+  }
+
   WireCosts costs_;
   TransportStats stats_;
+  MetricRegistry* registry_ = nullptr;  // null = per-link accounting off
+  std::size_t num_caches_ = 0;
+  std::vector<MetricRegistry::Counter> links_;
 };
 
 }  // namespace eacache

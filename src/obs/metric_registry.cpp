@@ -1,0 +1,54 @@
+#include "obs/metric_registry.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+MetricRegistry::Counter MetricRegistry::counter(const std::string& name) {
+  if (!enabled_) return Counter{};
+  return Counter{&counters_.try_emplace(name, 0).first->second};
+}
+
+MetricRegistry::Gauge MetricRegistry::gauge(const std::string& name) {
+  if (!enabled_) return Gauge{};
+  return Gauge{&gauges_.try_emplace(name, 0.0).first->second};
+}
+
+MetricRegistry::HistogramHandle MetricRegistry::histogram(const std::string& name, double lo,
+                                                          double hi, std::size_t buckets) {
+  if (!enabled_) return HistogramHandle{};
+  auto [it, inserted] = histograms_.try_emplace(name, lo, hi, buckets);
+  if (!inserted) {
+    // Same-name re-registration must agree on geometry or the merged/export
+    // semantics would silently change shape.
+    Histogram probe(lo, hi, buckets);
+    it->second.merge(probe);  // throws std::invalid_argument on mismatch
+  }
+  return HistogramHandle{&it->second};
+}
+
+std::uint64_t MetricRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double MetricRegistry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  if (!enabled_) return;
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] += value;
+  for (const auto& [name, hist] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+    } else {
+      it->second.merge(hist);
+    }
+  }
+}
+
+}  // namespace eacache

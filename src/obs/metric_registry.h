@@ -1,0 +1,122 @@
+// MetricRegistry: cheap named counters, gauges and histograms, in the style
+// of a production proxy's per-node stats registry (Apache Traffic Server
+// keeps an equivalent RecRaw table; Squid its StatCounters).
+//
+// Design constraints, in order:
+//   1. Must never perturb the simulation: instrumentation is pure
+//      accounting — no RNG draws, no container iteration on the hot path,
+//      no behavioural branches beyond "is the registry enabled".
+//   2. Hot-path increments must be cheap: call sites register a metric ONCE
+//      (at construction) and keep a small handle; an increment is a pointer
+//      dereference plus an add. Registration is the only name lookup.
+//   3. Deterministic export: metrics dump in sorted name order, so two runs
+//      of the same simulation serialize byte-identically regardless of
+//      registration order or thread scheduling across sweep workers.
+//
+// Storage is node-based (std::map), so handles remain valid for the
+// registry's lifetime no matter how many metrics are registered after them.
+// A DISABLED registry hands out null handles: every operation through them
+// is a no-op and the registry stays empty — the "observability off" state.
+//
+// Copying a registry copies the data only (a snapshot); handles held
+// elsewhere keep pointing at the original. SimulationResult exploits this to
+// carry a snapshot out of a destroyed CacheGroup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+
+namespace eacache {
+
+class MetricRegistry {
+ public:
+  /// Monotonic counter handle. Null handles (default-constructed, or from a
+  /// disabled registry) swallow every operation.
+  class Counter {
+   public:
+    Counter() = default;
+    void inc(std::uint64_t by = 1) const {
+      if (slot_ != nullptr) *slot_ += by;
+    }
+    [[nodiscard]] std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+    [[nodiscard]] bool bound() const { return slot_ != nullptr; }
+
+   private:
+    friend class MetricRegistry;
+    explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+    std::uint64_t* slot_ = nullptr;
+  };
+
+  /// Last-write-wins gauge handle (e.g. end-of-run occupancy).
+  class Gauge {
+   public:
+    Gauge() = default;
+    void set(double v) const {
+      if (slot_ != nullptr) *slot_ = v;
+    }
+    [[nodiscard]] double value() const { return slot_ != nullptr ? *slot_ : 0.0; }
+    [[nodiscard]] bool bound() const { return slot_ != nullptr; }
+
+   private:
+    friend class MetricRegistry;
+    explicit Gauge(double* slot) : slot_(slot) {}
+    double* slot_ = nullptr;
+  };
+
+  /// Fixed-geometry histogram handle (common/stats.h Histogram underneath).
+  class HistogramHandle {
+   public:
+    HistogramHandle() = default;
+    void observe(double x) const {
+      if (hist_ != nullptr) hist_->add(x);
+    }
+    [[nodiscard]] bool bound() const { return hist_ != nullptr; }
+
+   private:
+    friend class MetricRegistry;
+    explicit HistogramHandle(Histogram* hist) : hist_(hist) {}
+    Histogram* hist_ = nullptr;
+  };
+
+  MetricRegistry() = default;
+  explicit MetricRegistry(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Get-or-create. The counted value starts at zero; re-registering an
+  /// existing name returns a handle to the same slot.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// Re-registering an existing histogram name requires the SAME geometry
+  /// (throws std::invalid_argument otherwise).
+  HistogramHandle histogram(const std::string& name, double lo, double hi, std::size_t buckets);
+
+  /// Point reads for tests/exporters (0 / empty when the name is unknown).
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] double gauge_value(const std::string& name) const;
+
+  /// Element-wise aggregation: counters and gauges sum by name, histograms
+  /// merge by name (identical geometry required — Histogram::merge throws on
+  /// mismatch). Names only present in `other` are adopted. Merging into a
+  /// disabled registry is a no-op, mirroring handle behaviour.
+  void merge(const MetricRegistry& other);
+
+  /// Deterministic (name-sorted) views for export.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  bool enabled_ = true;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace eacache

@@ -1,0 +1,38 @@
+// Observability knobs, carried inside GroupConfig so every layer that sees
+// the group configuration can see them.
+//
+// Two deliberately independent switches:
+//   * registry        — the per-proxy/per-group metric registry (cheap named
+//                       counters/gauges/histograms). Default ON: the counters
+//                       are pure accounting and never perturb simulation
+//                       outcomes (a guarantee tested by observability_test).
+//   * trace_capacity  — the request-lifecycle span ring buffer. Default OFF
+//                       (capacity 0); benches enable it with --trace-out.
+//
+// series_points controls the periodic per-proxy CacheExpAge/occupancy time
+// series the simulator samples into SimulationResult::proxy_series (the
+// sampling period is trace-span / series_points; 0 disables the series).
+#pragma once
+
+#include <cstddef>
+
+namespace eacache {
+
+/// Default span ring capacity when tracing is switched on without an
+/// explicit size (e.g. by a bench's --trace-out flag).
+inline constexpr std::size_t kDefaultTraceCapacity = 16384;
+
+struct ObsConfig {
+  bool registry = true;            // metric registry on/off
+  std::size_t trace_capacity = 0;  // span ring buffer size; 0 = tracing off
+  std::size_t series_points = 32;  // per-proxy time-series samples; 0 = off
+
+  [[nodiscard]] static ObsConfig disabled() { return ObsConfig{false, 0, 0}; }
+  [[nodiscard]] static ObsConfig with_tracing(std::size_t capacity = kDefaultTraceCapacity) {
+    ObsConfig config;
+    config.trace_capacity = capacity;
+    return config;
+  }
+};
+
+}  // namespace eacache

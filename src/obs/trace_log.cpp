@@ -1,0 +1,140 @@
+#include "obs/trace_log.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace eacache {
+
+std::string_view to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kArrival: return "arrival";
+    case SpanKind::kLocalHit: return "local_hit";
+    case SpanKind::kIcpProbe: return "icp_probe";
+    case SpanKind::kIcpLoss: return "icp_loss";
+    case SpanKind::kSiblingFetch: return "sibling_fetch";
+    case SpanKind::kParentFetch: return "parent_fetch";
+    case SpanKind::kOriginFetch: return "origin_fetch";
+    case SpanKind::kPlacement: return "placement";
+    case SpanKind::kComplete: return "complete";
+  }
+  return "?";
+}
+
+void TraceLog::record(const SpanEvent& event) {
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<SpanEvent> TraceLog::events() const {
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || capacity_ == 0) {
+    out = ring_;  // never wrapped: record order == storage order
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Minimal JSON string escaping (obs depends only on common, so it cannot
+// reuse metrics/json.h — see the dependency note in src/obs/CMakeLists.txt).
+void write_escaped(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Expiration ages are non-negative; infinity (a cold cache) is legal JSON
+/// nowhere, so it serializes as the string "inf".
+void write_age(std::ostream& out, std::string_view key, double age_ms) {
+  out << ",\"" << key << "\":";
+  if (std::isinf(age_ms)) {
+    out << "\"inf\"";
+  } else {
+    out << age_ms;
+  }
+}
+
+std::string_view outcome_name(std::int64_t code) {
+  switch (code) {
+    case 0: return "local-hit";
+    case 1: return "remote-hit";
+    case 2: return "miss";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_span_jsonl(std::ostream& out, const SpanEvent& event, std::string_view run_label) {
+  out << '{';
+  if (!run_label.empty()) {
+    out << "\"run\":";
+    write_escaped(out, run_label);
+    out << ',';
+  }
+  out << "\"request\":" << event.request << ",\"at_ms\":" << event.at_ms
+      << ",\"proxy\":" << event.proxy << ",\"event\":\"" << to_string(event.kind)
+      << "\",\"doc\":" << event.document;
+  if (event.peer >= 0) out << ",\"peer\":" << event.peer;
+  if (event.requester_ea_ms >= 0.0) write_age(out, "requester_ea_ms", event.requester_ea_ms);
+  if (event.responder_ea_ms >= 0.0) write_age(out, "responder_ea_ms", event.responder_ea_ms);
+  if (event.flag >= 0) {
+    const bool set = event.flag != 0;
+    switch (event.kind) {
+      case SpanKind::kIcpProbe: out << ",\"hit\":" << (set ? "true" : "false"); break;
+      case SpanKind::kSiblingFetch:
+      case SpanKind::kParentFetch:
+        out << ",\"found\":" << (set ? "true" : "false");
+        break;
+      case SpanKind::kPlacement: out << ",\"accepted\":" << (set ? "true" : "false"); break;
+      case SpanKind::kOriginFetch:
+        out << ",\"speculative\":" << (set ? "true" : "false");
+        break;
+      case SpanKind::kLocalHit: out << ",\"validated\":" << (set ? "true" : "false"); break;
+      default: out << ",\"flag\":" << (set ? "true" : "false"); break;
+    }
+  }
+  if (event.value >= 0) {
+    if (event.kind == SpanKind::kComplete) {
+      out << ",\"outcome\":\"" << outcome_name(event.value) << '"';
+    } else {
+      out << ",\"bytes\":" << event.value;
+    }
+  }
+  out << '}';
+}
+
+void TraceLog::write_jsonl(std::ostream& out, std::string_view run_label) const {
+  for (const SpanEvent& event : events()) {
+    write_span_jsonl(out, event, run_label);
+    out << '\n';
+  }
+}
+
+}  // namespace eacache

@@ -1,0 +1,96 @@
+// Request-lifecycle trace log: a bounded ring buffer of structured span
+// events covering one client request's journey through the group —
+// arrival → local lookup → ICP probes → sibling/parent/origin fetches →
+// placement decisions → completion — each stamped with the request id, the
+// acting proxy, the simulated time and (at decision points) the expiration
+// ages both sides compared.
+//
+// The ring is fixed-size and overwrites oldest-first, so tracing a long run
+// costs bounded memory; `dropped()` reports how many events fell off the
+// front. Recording is branch-cheap: a disabled log (capacity 0) rejects
+// events before building anything.
+//
+// Serialization is JSONL (one JSON object per line), the schema documented
+// in DESIGN.md §8 and validated by the trace_jsonl_check ctest target.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eacache {
+
+/// What happened at this point of the request lifecycle.
+enum class SpanKind : std::uint8_t {
+  kArrival,       // request reached its home proxy
+  kLocalHit,      // served from the home proxy's own disk
+  kIcpProbe,      // one ICP query/reply exchange with a peer
+  kIcpLoss,       // the exchange was dropped in flight (UDP loss)
+  kSiblingFetch,  // HTTP fetch from a sibling cache
+  kParentFetch,   // HTTP fetch hop up the parent chain
+  kOriginFetch,   // fetch from the origin server
+  kPlacement,     // keep-a-copy decision (requester or parent rule)
+  kComplete,      // request resolved; value = RequestOutcome
+};
+
+[[nodiscard]] std::string_view to_string(SpanKind kind);
+
+/// One structured span event. Optional fields use sentinels so the struct
+/// stays a flat POD the ring can hold by value:
+///   * peer < 0                 — no peer involved
+///   * requester/responder EA < 0 — no age at this event
+///     (infinity is a VALID age: a cold cache piggybacks +inf)
+///   * flag < 0                 — no boolean payload
+///   * value < 0                — no numeric payload
+struct SpanEvent {
+  std::uint64_t request = 0;     // sequential id assigned at arrival
+  std::int64_t at_ms = 0;        // simulated time since the epoch
+  DocumentId document = 0;
+  double requester_ea_ms = -1.0;
+  double responder_ea_ms = -1.0;
+  std::int64_t value = -1;       // kind-specific: bytes moved, outcome code
+  ProxyId proxy = 0;             // acting proxy
+  std::int32_t peer = -1;        // probe/fetch counterpart
+  SpanKind kind = SpanKind::kArrival;
+  std::int8_t flag = -1;         // kind-specific: hit/found/accepted/speculative
+};
+
+class TraceLog {
+ public:
+  TraceLog() = default;  // disabled
+  explicit TraceLog(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void record(const SpanEvent& event);
+
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  /// Every event ever recorded, including those overwritten.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return recorded_ - ring_.size(); }
+
+  /// Snapshot in record order (oldest surviving event first).
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+
+  /// One JSON object per line, oldest first. When `run_label` is non-empty
+  /// every line carries it as a leading "run" field, so multiple runs can
+  /// share one output file (the bench --trace-out convention).
+  void write_jsonl(std::ostream& out, std::string_view run_label = {}) const;
+
+ private:
+  std::size_t capacity_ = 0;
+  std::size_t next_ = 0;  // ring slot the next event lands in
+  std::uint64_t recorded_ = 0;
+  std::vector<SpanEvent> ring_;
+};
+
+/// JSONL form of a single event (exposed for tests and the schema checker).
+void write_span_jsonl(std::ostream& out, const SpanEvent& event,
+                      std::string_view run_label = {});
+
+}  // namespace eacache

@@ -1,6 +1,7 @@
 #include "proxy/proxy_cache.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "ea/expiration_age.h"
 
@@ -8,7 +9,8 @@ namespace eacache {
 
 ProxyCache::ProxyCache(ProxyId id, Bytes capacity,
                        std::unique_ptr<ReplacementPolicy> replacement, WindowConfig window,
-                       const PlacementPolicy* placement, const DigestConfig* digest_config)
+                       const PlacementPolicy* placement, const DigestConfig* digest_config,
+                       MetricRegistry* registry)
     : id_(id),
       store_(capacity, std::move(replacement)),
       contention_(age_form_for_policy(store_.policy().name()), window),
@@ -18,6 +20,23 @@ ProxyCache::ProxyCache(ProxyId id, Bytes capacity,
   if (digest_config != nullptr) {
     digest_.emplace(*digest_config);
     store_.add_eviction_observer(&*digest_);
+  }
+  if (registry != nullptr && registry->enabled()) {
+    const std::string prefix = "proxy." + std::to_string(id_) + ".";
+    obs_icp_answered_ = registry->counter(prefix + "icp.answered");
+    obs_icp_answered_hit_ = registry->counter(prefix + "icp.answered_hit");
+    obs_local_hits_ = registry->counter(prefix + "local.hits");
+    obs_fetches_served_ = registry->counter(prefix + "fetches.served");
+    obs_fetches_failed_ = registry->counter(prefix + "fetches.not_found");
+    obs_placement_accepted_ = registry->counter(prefix + "placement.accepted");
+    obs_placement_rejected_ = registry->counter(prefix + "placement.rejected");
+    obs_promotions_suppressed_ = registry->counter(prefix + "promotions.suppressed");
+    obs_origin_admissions_ = registry->counter(prefix + "origin.admissions");
+    store_.bind_counters(registry->counter(prefix + "evictions.capacity"),
+                         registry->counter(prefix + "evictions.explicit"),
+                         registry->counter(prefix + "silent_hits"));
+    contention_.bind_counters(registry->counter(prefix + "ea.age_queries"),
+                              registry->counter(prefix + "ea.cold_age_queries"));
   }
 }
 
@@ -40,6 +59,7 @@ std::optional<Bytes> ProxyCache::serve_local(DocumentId document, TimePoint now)
   const auto entry = store_.touch(document, now);
   if (!entry) return std::nullopt;
   ++stats_.local_hits;
+  obs_local_hits_.inc();
   return entry->size;
 }
 
@@ -63,6 +83,7 @@ HttpResponse ProxyCache::serve_fetch(const HttpRequest& request, TimePoint now) 
   if (!store_.contains(request.document)) {
     // Digest discovery probed us on a stale/collided snapshot.
     response.found = false;
+    obs_fetches_failed_.inc();
     return response;
   }
 
@@ -78,8 +99,10 @@ HttpResponse ProxyCache::serve_fetch(const HttpRequest& request, TimePoint now) 
   } else {
     entry = store_.touch_without_promote(request.document, now);
     ++stats_.promotions_suppressed;
+    obs_promotions_suppressed_.inc();
   }
   ++stats_.remote_fetches_served;
+  obs_fetches_served_.inc();
 
   response.body_size = entry->size;
   response.version = entry->version;
@@ -96,6 +119,7 @@ bool ProxyCache::consider_caching(const Document& document,
   if (!placement_->requester_should_cache(own_age,
                                           responder_age.value_or(ExpAge::infinite()))) {
     ++stats_.copies_declined;
+    obs_placement_rejected_.inc();
     return false;
   }
   if (admit_tracked(document, now)) {
@@ -103,6 +127,7 @@ bool ProxyCache::consider_caching(const Document& document,
     // HTTP Age rule): replication must not extend a document's lifetime.
     if (validated_at) store_.set_coherence(document.id, document.version, *validated_at);
     ++stats_.copies_stored;
+    obs_placement_accepted_.inc();
     return true;
   }
   return false;  // document larger than this cache
@@ -116,7 +141,10 @@ void ProxyCache::cache_after_origin_fetch(const Document& document, TimePoint no
     // so reaching here is a contract violation.
     throw std::logic_error("ProxyCache::cache_after_origin_fetch: already resident");
   }
-  if (admit_tracked(document, now)) ++stats_.copies_stored;
+  if (admit_tracked(document, now)) {
+    ++stats_.copies_stored;
+    obs_origin_admissions_.inc();
+  }
 }
 
 HttpResponse ProxyCache::resolve_miss_as_parent(const Document& document,
@@ -126,9 +154,13 @@ HttpResponse ProxyCache::resolve_miss_as_parent(const Document& document,
 
   if (!store_.contains(document.id) &&
       placement_->parent_should_cache(own_age, requester_age)) {
-    if (admit_tracked(document, now)) ++stats_.copies_stored;
+    if (admit_tracked(document, now)) {
+      ++stats_.copies_stored;
+      obs_placement_accepted_.inc();
+    }
   } else if (!store_.contains(document.id)) {
     ++stats_.copies_declined;
+    obs_placement_rejected_.inc();
   }
 
   HttpResponse response;

@@ -20,6 +20,7 @@
 #include "ea/contention.h"
 #include "ea/placement.h"
 #include "net/message.h"
+#include "obs/metric_registry.h"
 #include "storage/cache_store.h"
 #include "storage/document.h"
 
@@ -41,17 +42,35 @@ class ProxyCache {
   /// by all its proxies, since the scheme is group-wide). `digest_config`,
   /// when non-null, enables the Summary-Cache machinery: the proxy keeps a
   /// counting Bloom filter of its own directory and can publish snapshots.
+  /// `registry`, when non-null and enabled, receives "proxy.<id>.*"
+  /// counters (ICP answers, placement accept/reject, suppressed
+  /// promotions, evictions by cause, EA age queries, ...). Pure
+  /// accounting: binding a registry never changes proxy behaviour.
   ProxyCache(ProxyId id, Bytes capacity, std::unique_ptr<ReplacementPolicy> replacement,
              WindowConfig window, const PlacementPolicy* placement,
-             const DigestConfig* digest_config = nullptr);
+             const DigestConfig* digest_config = nullptr,
+             MetricRegistry* registry = nullptr);
 
   ProxyCache(const ProxyCache&) = delete;
   ProxyCache& operator=(const ProxyCache&) = delete;
 
   [[nodiscard]] ProxyId id() const { return id_; }
 
-  /// ICP presence probe — side-effect free (an ICP query is not a hit).
-  [[nodiscard]] bool answer_icp(DocumentId document) const { return store_.contains(document); }
+  /// ICP presence probe — side-effect free on cache state (an ICP query is
+  /// not a hit; only observability counters move).
+  [[nodiscard]] bool answer_icp(DocumentId document) const {
+    const bool present = store_.contains(document);
+    note_icp_answer(present);
+    return present;
+  }
+
+  /// Group-side hook for probes the group answers on this proxy's behalf
+  /// (the coherence-aware ICP path peeks at freshness directly): counts an
+  /// answered ICP probe without touching cache state.
+  void note_icp_answer(bool hit) const {
+    obs_icp_answered_.inc();
+    if (hit) obs_icp_answered_hit_.inc();
+  }
 
   /// The cache expiration age this proxy would piggyback right now.
   [[nodiscard]] ExpAge expiration_age(TimePoint now) const {
@@ -125,6 +144,18 @@ class ProxyCache {
   const PlacementPolicy* placement_;
   std::optional<LocalDigest> digest_;
   ProxyStats stats_;
+
+  // Observability handles (null = off). Registered once at construction;
+  // the hot path is a pointer test + add.
+  MetricRegistry::Counter obs_icp_answered_;
+  MetricRegistry::Counter obs_icp_answered_hit_;
+  MetricRegistry::Counter obs_local_hits_;
+  MetricRegistry::Counter obs_fetches_served_;
+  MetricRegistry::Counter obs_fetches_failed_;
+  MetricRegistry::Counter obs_placement_accepted_;
+  MetricRegistry::Counter obs_placement_rejected_;
+  MetricRegistry::Counter obs_promotions_suppressed_;
+  MetricRegistry::Counter obs_origin_admissions_;
 };
 
 }  // namespace eacache

@@ -80,6 +80,39 @@ void append_simulation_result(JsonWriter& json, const SimulationResult& result) 
   json.field("replication_factor", result.replication_factor);
   json.end_object();
 
+  // Full metric-registry dump. Maps iterate in sorted name order, so the
+  // serialization is deterministic; all three sections are empty when the
+  // registry is disabled.
+  json.key("registry").begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : result.registry.counters()) json.field(name, value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : result.registry.gauges()) json.field(name, value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, hist] : result.registry.histograms()) {
+    json.key(name).begin_object();
+    json.field("lo", hist.lo());
+    json.field("hi", hist.hi());
+    json.field("underflow", hist.underflow());
+    json.field("overflow", hist.overflow());
+    json.field("total", hist.total());
+    json.key("buckets").begin_array();
+    for (std::size_t i = 0; i < hist.num_buckets(); ++i) json.value(hist.bucket(i));
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+
+  // Span-ring occupancy summary (the events themselves go to --trace-out).
+  json.key("trace").begin_object();
+  json.field("capacity", static_cast<std::uint64_t>(result.trace_log.capacity()));
+  json.field("recorded", result.trace_log.recorded());
+  json.field("dropped", result.trace_log.dropped());
+  json.end_object();
+
   json.key("proxies").begin_array();
   for (const ProxyStats& stats : result.proxy_stats) {
     json.begin_object();
@@ -105,6 +138,29 @@ void append_simulation_result(JsonWriter& json, const SimulationResult& result) 
   }
   json.end_array();
 
+  // Periodic per-proxy CacheExpAge/occupancy series (obs.series_points).
+  // exp_age_ms is null while the proxy has observed no contention.
+  json.key("proxy_series").begin_array();
+  for (const ProxySeriesPoint& point : result.proxy_series) {
+    json.begin_object();
+    json.field("at_ms", static_cast<std::int64_t>((point.at - kSimEpoch).count()));
+    json.key("proxies").begin_array();
+    for (const ProxySeriesSample& sample : point.proxies) {
+      json.begin_object();
+      if (sample.finite) {
+        json.field("exp_age_ms", sample.exp_age_ms);
+      } else {
+        json.key("exp_age_ms").null();
+      }
+      json.field("resident_bytes", sample.resident_bytes);
+      json.field("resident_docs", static_cast<std::uint64_t>(sample.resident_docs));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
   json.end_object();
 }
 
@@ -124,6 +180,13 @@ void append_sweep_run(JsonWriter& json, const SweepRunResult& run) {
   json.field("label", run.label);
   json.field("wall_ms", run.wall_ms);
 
+  // Per-phase wall-clock: lives on the job row, never inside "result".
+  json.key("timings").begin_object();
+  json.field("trace_load_ms", run.trace_load_ms);
+  json.field("sim_ms", run.timings.sim_ms);
+  json.field("report_ms", run.timings.report_ms);
+  json.end_object();
+
   json.key("config").begin_object();
   json.field("num_proxies", static_cast<std::uint64_t>(run.config.num_proxies));
   json.field("aggregate_capacity", run.config.aggregate_capacity);
@@ -137,6 +200,11 @@ void append_sweep_run(JsonWriter& json, const SweepRunResult& run) {
   json.field("routing",
              run.config.routing == RoutingMode::kHashPartition ? "hash-partition"
                                                                : "cooperative");
+  json.key("obs").begin_object();
+  json.field("registry", run.config.obs.registry);
+  json.field("trace_capacity", static_cast<std::uint64_t>(run.config.obs.trace_capacity));
+  json.field("series_points", static_cast<std::uint64_t>(run.config.obs.series_points));
+  json.end_object();
   json.end_object();
 
   json.key("result");

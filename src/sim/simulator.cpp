@@ -1,17 +1,27 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "event/event_queue.h"
 
 namespace eacache {
 
+namespace {
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  const auto d = std::chrono::steady_clock::now() - since;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+}  // namespace
+
 SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
-                                const SimulationOptions& options) {
+                                const SimulationOptions& options, PhaseTimings* timings) {
   if (!is_time_ordered(trace.requests)) {
     throw std::invalid_argument("run_simulation: trace must be time-ordered");
   }
 
+  const auto sim_started = std::chrono::steady_clock::now();
   CacheGroup group(config);
   EventQueue queue;
   SimulationResult result;
@@ -28,6 +38,31 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
                          });
   }
 
+  // Observability series: per-proxy CacheExpAge + occupancy, sampled
+  // obs.series_points times across the trace's span.
+  if (config.obs.series_points > 0 && !trace.empty()) {
+    const Duration span = trace.requests.back().at - trace.requests.front().at;
+    const Duration period =
+        std::max(msec(1), span / static_cast<SimClock::rep>(config.obs.series_points));
+    PeriodicEvent::start(queue, trace.requests.front().at + period, period,
+                         [&](TimePoint at) {
+                           ProxySeriesPoint point;
+                           point.at = at;
+                           point.proxies.reserve(group.num_proxies());
+                           for (std::size_t p = 0; p < group.num_proxies(); ++p) {
+                             const ProxyCache& proxy = group.proxy(static_cast<ProxyId>(p));
+                             ProxySeriesSample sample;
+                             const ExpAge age = proxy.expiration_age(at);
+                             sample.finite = !age.is_infinite();
+                             if (sample.finite) sample.exp_age_ms = age.millis();
+                             sample.resident_bytes = proxy.store().resident_bytes();
+                             sample.resident_docs = proxy.store().resident_count();
+                             point.proxies.push_back(sample);
+                           }
+                           result.proxy_series.push_back(std::move(point));
+                         });
+  }
+
   for (const SimulationOptions::FlushEvent& flush : options.flush_events) {
     queue.schedule_at(flush.at, [&group, proxy = flush.proxy](TimePoint at) {
       group.flush_proxy(proxy, at);
@@ -38,12 +73,17 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
     queue.run_until(request.at);  // fire any periodic/flush events due now
     group.serve(request);
   }
+  if (timings != nullptr) timings->sim_ms = elapsed_ms(sim_started);
 
+  const auto report_started = std::chrono::steady_clock::now();
+  group.export_final_gauges();
   result.metrics = group.metrics();
   result.transport = group.transport_stats();
   result.coherence = group.coherence_stats();
   result.prefetch = group.prefetch_stats();
   result.prefetch.still_pending = group.pending_prefetches();
+  result.registry = group.registry();    // snapshot: copies data, not handles
+  result.trace_log = group.trace_log();
   result.average_cache_expiration_age = group.average_cache_expiration_age();
   for (std::size_t p = 0; p < group.num_proxies(); ++p) {
     result.per_cache_expiration_age.push_back(group.proxy(static_cast<ProxyId>(p))
@@ -54,6 +94,7 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
   result.total_resident_copies = group.total_resident_copies();
   result.unique_resident_documents = group.unique_resident_documents();
   result.replication_factor = group.replication_factor();
+  if (timings != nullptr) timings->report_ms = elapsed_ms(report_started);
   return result;
 }
 

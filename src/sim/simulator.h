@@ -11,6 +11,8 @@
 #include "group/cache_group.h"
 #include "metrics/metrics.h"
 #include "net/transport.h"
+#include "obs/metric_registry.h"
+#include "obs/trace_log.h"
 #include "proxy/proxy_cache.h"
 #include "trace/trace.h"
 
@@ -29,11 +31,42 @@ struct SimulationOptions {
   std::vector<FlushEvent> flush_events;
 };
 
+/// One proxy's entry in a periodic observability sample.
+struct ProxySeriesSample {
+  double exp_age_ms = 0.0;       // windowed CacheExpAge (only if `finite`)
+  bool finite = false;           // false = infinite (no contention observed)
+  Bytes resident_bytes = 0;
+  std::size_t resident_docs = 0;
+};
+
+/// Periodic per-proxy CacheExpAge/occupancy sample (GroupConfig::obs
+/// series_points samples spread over the trace's time span).
+struct ProxySeriesPoint {
+  TimePoint at{};
+  std::vector<ProxySeriesSample> proxies;
+};
+
+/// Wall-clock cost of one simulation, split by phase. Reported on sweep job
+/// rows (NOT inside the SimulationResult JSON, which must stay a pure
+/// function of the simulated world).
+struct PhaseTimings {
+  double sim_ms = 0.0;     // group construction + trace replay
+  double report_ms = 0.0;  // end-of-run collection into SimulationResult
+};
+
 struct SimulationResult {
   GroupMetrics metrics;
   TransportStats transport;
   CoherenceStats coherence;
   PrefetchStats prefetch;
+
+  /// Observability: snapshot of the group's metric registry (empty when
+  /// GroupConfig::obs.registry is off), the request-lifecycle span ring
+  /// (empty unless obs.trace_capacity > 0) and the periodic per-proxy
+  /// series (empty unless obs.series_points > 0).
+  MetricRegistry registry;
+  TraceLog trace_log;
+  std::vector<ProxySeriesPoint> proxy_series;
 
   /// Table 1's metric, measured over the whole run.
   ExpAge average_cache_expiration_age = ExpAge::infinite();
@@ -49,8 +82,10 @@ struct SimulationResult {
 };
 
 /// Run `trace` through a fresh group built from `config`. The trace must be
-/// time-ordered (throws std::invalid_argument otherwise).
+/// time-ordered (throws std::invalid_argument otherwise). When `timings` is
+/// non-null it receives the wall-clock phase split.
 [[nodiscard]] SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
-                                              const SimulationOptions& options = {});
+                                              const SimulationOptions& options = {},
+                                              PhaseTimings* timings = nullptr);
 
 }  // namespace eacache

@@ -8,9 +8,45 @@
 #include <thread>
 #include <utility>
 
+#include <string>
+
 #include "common/config.h"
+#include "common/logging.h"
 
 namespace eacache {
+
+namespace {
+
+/// Wall-clock cost of building each trace, keyed by the trace object, so
+/// sweep rows can report "trace load" separately from simulation time. A
+/// trace loaded once and replayed by N jobs charges its cost to each row
+/// that uses it (the lookup is free; the load happened once).
+std::mutex& trace_load_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+std::map<const Trace*, double>& trace_load_table() {
+  static std::map<const Trace*, double> table;
+  return table;
+}
+
+void note_trace_load(const Trace* trace, double ms) {
+  std::lock_guard<std::mutex> lock(trace_load_mutex());
+  trace_load_table()[trace] = ms;
+}
+
+double trace_load_ms_for(const Trace* trace) {
+  std::lock_guard<std::mutex> lock(trace_load_mutex());
+  const auto it = trace_load_table().find(trace);
+  return it != trace_load_table().end() ? it->second : 0.0;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+}  // namespace
 
 TraceRef TraceCache::get_or_create(const std::string& key, const Factory& factory) {
   std::shared_ptr<Entry> entry;
@@ -20,8 +56,11 @@ TraceRef TraceCache::get_or_create(const std::string& key, const Factory& factor
     if (!slot) slot = std::make_shared<Entry>();
     entry = slot;
   }
-  std::call_once(entry->once,
-                 [&] { entry->trace = std::make_shared<const Trace>(factory()); });
+  std::call_once(entry->once, [&] {
+    const auto start = std::chrono::steady_clock::now();
+    entry->trace = std::make_shared<const Trace>(factory());
+    note_trace_load(entry->trace.get(), elapsed_ms(start));
+  });
   return entry->trace;
 }
 
@@ -56,15 +95,6 @@ std::size_t SweepRunner::add(std::string label, GroupConfig config, TraceRef tra
                       std::move(options)});
 }
 
-namespace {
-
-double elapsed_ms(std::chrono::steady_clock::time_point start) {
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  return std::chrono::duration<double, std::milli>(elapsed).count();
-}
-
-}  // namespace
-
 std::vector<SweepRunResult> SweepRunner::run() {
   const std::size_t count = jobs_.size();
   std::vector<SweepRunResult> results(count);
@@ -76,10 +106,13 @@ std::vector<SweepRunResult> SweepRunner::run() {
     const SweepJob& job = jobs_[i];
     SweepRunResult& out = results[i];
     out.label = job.label;
-    out.config = job.config;
+    GroupConfig config = job.config;
+    if (options_.obs_override) config.obs = *options_.obs_override;
+    out.config = config;
+    out.trace_load_ms = trace_load_ms_for(job.trace.get());
     const auto start = std::chrono::steady_clock::now();
     try {
-      out.result = run_simulation(*job.trace, job.config, job.options);
+      out.result = run_simulation(*job.trace, config, job.options, &out.timings);
     } catch (...) {
       errors[i] = std::current_exception();
     }
@@ -90,6 +123,7 @@ std::vector<SweepRunResult> SweepRunner::run() {
   if (workers <= 1) {
     // Serial fast path: no pool, sink fires as each job completes.
     for (std::size_t i = 0; i < count; ++i) {
+      const ScopedLogTag tag("j" + std::to_string(i));
       execute(i);
       if (options_.sink && !errors[i]) options_.sink(results[i]);
     }
@@ -102,10 +136,12 @@ std::vector<SweepRunResult> SweepRunner::run() {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, w] {
         while (true) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= count) return;
+          // Worker/job tag so interleaved log lines stay attributable.
+          const ScopedLogTag tag("w" + std::to_string(w) + "/j" + std::to_string(i));
           execute(i);
           {
             std::lock_guard<std::mutex> lock(mutex);

@@ -23,9 +23,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/obs_config.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
@@ -78,12 +80,17 @@ struct SweepJob {
 };
 
 /// A completed job: its identity plus the simulation output and the
-/// wall-clock cost of this single run.
+/// wall-clock cost of this single run. Per-phase wall-clock lives HERE and
+/// not in SimulationResult, so the simulation JSON stays a pure function of
+/// the simulated world (the parallel-determinism tests depend on that).
 struct SweepRunResult {
   std::string label;
-  GroupConfig config;
+  GroupConfig config;        // as run (after any obs_override)
   SimulationResult result;
   double wall_ms = 0.0;
+  double trace_load_ms = 0.0;  // factory cost of this job's trace (0 if
+                               // borrowed or already cached)
+  PhaseTimings timings;        // sim/report split of wall_ms
 };
 
 struct SweepOptions {
@@ -94,6 +101,11 @@ struct SweepOptions {
   /// Streaming consumer of completed runs, invoked in submission order on
   /// the thread that called run(). May be empty.
   std::function<void(const SweepRunResult&)> sink;
+
+  /// When set, every job runs with this ObsConfig in place of its own —
+  /// how the bench flags (--trace-out, --no-obs) reach all jobs without
+  /// every bench threading observability through its config construction.
+  std::optional<ObsConfig> obs_override;
 };
 
 /// Fixed-size thread pool over a queue of sweep jobs.

@@ -39,6 +39,7 @@ std::optional<CacheEntry> CacheStore::touch_without_promote(DocumentId id, TimeP
   policy_->on_silent_hit(id, now);
   ++stats_.hits;
   ++stats_.silent_hits;
+  obs_silent_hits_.inc();
   return it->second;
 }
 
@@ -110,8 +111,10 @@ EvictionRecord CacheStore::evict_one(TimePoint now, EvictionCause cause, Documen
   resident_bytes_ -= entry.size;
   if (cause == EvictionCause::kCapacity) {
     ++stats_.capacity_evictions;
+    obs_capacity_evictions_.inc();
   } else {
     ++stats_.explicit_removals;
+    obs_explicit_removals_.inc();
   }
   stats_.bytes_evicted += entry.size;
   entries_.erase(it);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metric_registry.h"
 #include "storage/document.h"
 #include "storage/eviction.h"
 #include "storage/replacement_policy.h"
@@ -56,6 +57,17 @@ class CacheStore {
   /// Observers receive every eviction (capacity and explicit). Observers
   /// must outlive the store. Must not be null.
   void add_eviction_observer(EvictionObserver* observer);
+
+  /// Optional registry instrumentation (null handles = off): evictions
+  /// split by cause, plus silent (non-promoting) hits — the store-level
+  /// trace of the EA responder rule suppressing LRU promotions.
+  void bind_counters(MetricRegistry::Counter capacity_evictions,
+                     MetricRegistry::Counter explicit_removals,
+                     MetricRegistry::Counter silent_hits) {
+    obs_capacity_evictions_ = capacity_evictions;
+    obs_explicit_removals_ = explicit_removals;
+    obs_silent_hits_ = silent_hits;
+  }
 
   /// Presence probe with NO metadata side effects. This is what an ICP
   /// query does: asking "do you have it?" is not a hit.
@@ -114,6 +126,9 @@ class CacheStore {
   std::unordered_map<DocumentId, CacheEntry> entries_;
   std::vector<EvictionObserver*> observers_;
   CacheStoreStats stats_;
+  MetricRegistry::Counter obs_capacity_evictions_;
+  MetricRegistry::Counter obs_explicit_removals_;
+  MetricRegistry::Counter obs_silent_hits_;
 };
 
 }  // namespace eacache

@@ -2,13 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace eacache {
 namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
   void SetUp() override { saved_ = log_level(); }
-  void TearDown() override { set_log_level(saved_); }
+  void TearDown() override {
+    set_log_level(saved_);
+    set_log_sink(nullptr);
+    set_log_thread_tag("");
+  }
 
  private:
   LogLevel saved_ = LogLevel::kWarn;
@@ -64,6 +72,82 @@ TEST_F(LoggingTest, LogMessageHonoursOff) {
   // but the level guard is the contract under test).
   log_message(LogLevel::kError, "component", "message");
   SUCCEED();
+}
+
+TEST_F(LoggingTest, SinkReceivesFormattedLine) {
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  set_log_sink([&](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  EACACHE_LOG_INFO("sweep") << "job done in " << 42 << "ms";
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[INFO] sweep: job done in 42ms");
+}
+
+TEST_F(LoggingTest, ThreadTagAppearsInLine) {
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  set_log_sink([&](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  set_log_thread_tag("w2/j17");
+  EXPECT_EQ(log_thread_tag(), "w2/j17");
+  log_message(LogLevel::kWarn, "sweep", "slow job");
+  set_log_thread_tag("");
+  log_message(LogLevel::kWarn, "sweep", "untagged");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[WARN] [w2/j17] sweep: slow job");
+  EXPECT_EQ(lines[1], "[WARN] sweep: untagged");
+}
+
+TEST_F(LoggingTest, ScopedTagRestoresPrevious) {
+  set_log_thread_tag("outer");
+  {
+    const ScopedLogTag inner("inner");
+    EXPECT_EQ(log_thread_tag(), "inner");
+  }
+  EXPECT_EQ(log_thread_tag(), "outer");
+}
+
+TEST_F(LoggingTest, TagIsPerThread) {
+  set_log_thread_tag("main-thread");
+  std::string other_tag = "unset";
+  std::thread worker([&] {
+    other_tag = log_thread_tag();  // must start empty, not inherit
+    set_log_thread_tag("worker-thread");
+  });
+  worker.join();
+  EXPECT_EQ(other_tag, "");
+  EXPECT_EQ(log_thread_tag(), "main-thread");
+}
+
+TEST_F(LoggingTest, ConcurrentWritersNeverInterleaveWithinALine) {
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::string> lines;  // sink runs under the logger's lock
+  set_log_sink([&](LogLevel, std::string_view line) { lines.emplace_back(line); });
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      const ScopedLogTag tag("w" + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        EACACHE_LOG_INFO("stress") << "thread " << t << " line " << i;
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    // Every line must be exactly one whole statement from one thread:
+    // "[INFO] [wT] stress: thread T line I" with matching tag and body.
+    const auto tag_open = line.find("[w");
+    ASSERT_NE(tag_open, std::string::npos) << line;
+    const auto tag_close = line.find(']', tag_open);
+    ASSERT_NE(tag_close, std::string::npos) << line;
+    const std::string tag = line.substr(tag_open + 2, tag_close - tag_open - 2);
+    EXPECT_EQ(line.substr(0, tag_open), "[INFO] ") << line;
+    EXPECT_EQ(line.substr(tag_close + 1, 17), " stress: thread " + tag) << line;
+  }
 }
 
 TEST_F(LoggingTest, MacroInsideUnbracedIfIsSafe) {

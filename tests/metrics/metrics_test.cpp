@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace eacache {
@@ -103,6 +105,55 @@ TEST(GroupMetricsTest, OverflowLatencyClampsToTenSeconds) {
   EXPECT_DOUBLE_EQ(m.latency_percentile_ms(1.0), 10000.0);
 }
 
+TEST(GroupMetricsTest, PercentileRejectsOutOfRangeQuantiles) {
+  GroupMetrics m;
+  m.record(RequestOutcome::kLocalHit, 1, msec(100));
+  EXPECT_THROW((void)m.latency_percentile_ms(-0.01), std::invalid_argument);
+  EXPECT_THROW((void)m.latency_percentile_ms(1.01), std::invalid_argument);
+  EXPECT_THROW((void)m.latency_percentile_ms(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.latency_percentile_ms(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(GroupMetricsTest, PercentileRejectsNaNQuantile) {
+  // NaN fails every ordered comparison, so a naive `< 0 || > 1` guard lets
+  // it through and the histogram scan returns its upper bound (10 s).
+  GroupMetrics m;
+  m.record(RequestOutcome::kLocalHit, 1, msec(100));
+  EXPECT_THROW((void)m.latency_percentile_ms(std::nan("")), std::invalid_argument);
+  EXPECT_THROW((void)m.latency_percentile_ms(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(GroupMetricsTest, PercentileBoundaryQuantiles) {
+  GroupMetrics m;
+  m.record(RequestOutcome::kLocalHit, 1, msec(100));
+  m.record(RequestOutcome::kMiss, 1, msec(2000));
+  // Quantile 0: the smallest L with P(latency < L) >= 0 is the floor.
+  EXPECT_DOUBLE_EQ(m.latency_percentile_ms(0.0), 0.0);
+  // Quantile 1: the upper edge of the bucket holding the maximum sample.
+  EXPECT_NEAR(m.latency_percentile_ms(1.0), 2010.0, 1e-9);
+}
+
+TEST(GroupMetricsTest, EmptyPercentileIsZeroAtEveryQuantile) {
+  GroupMetrics m;
+  EXPECT_DOUBLE_EQ(m.latency_percentile_ms(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.latency_percentile_ms(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.latency_percentile_ms(1.0), 0.0);
+}
+
+TEST(GroupMetricsTest, OverflowBucketDominatesTailQuantiles) {
+  GroupMetrics m;
+  for (int i = 0; i < 90; ++i) m.record(RequestOutcome::kLocalHit, 1, msec(100));
+  for (int i = 0; i < 10; ++i) m.record(RequestOutcome::kMiss, 1, sec(60));
+  // The >10 s samples sit past the histogram range; quantiles that land
+  // among them clamp to the 10'000 ms ceiling instead of disappearing.
+  EXPECT_NEAR(m.latency_percentile_ms(0.90), 110.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.latency_percentile_ms(0.95), 10000.0);
+  EXPECT_DOUBLE_EQ(m.latency_percentile_ms(1.0), 10000.0);
+}
+
 TEST(GroupMetricsTest, MergeAddsEverything) {
   GroupMetrics a, b;
   a.record(RequestOutcome::kLocalHit, 10, msec(5));
@@ -113,6 +164,45 @@ TEST(GroupMetricsTest, MergeAddsEverything) {
   EXPECT_EQ(a.count(RequestOutcome::kMiss), 1u);
   EXPECT_EQ(a.bytes_requested(), 30u);
   EXPECT_EQ(a.measured_average_latency(), msec(10));
+}
+
+TEST(GroupMetricsTest, MergeWithEmptyIsIdentityBothWays) {
+  GroupMetrics a, empty;
+  a.record(RequestOutcome::kRemoteHit, 7, msec(42));
+  a.merge(empty);
+  EXPECT_EQ(a.total_requests(), 1u);
+  EXPECT_DOUBLE_EQ(a.remote_hit_rate(), 1.0);
+
+  GroupMetrics b;
+  b.merge(a);
+  EXPECT_EQ(b.total_requests(), 1u);
+  EXPECT_EQ(b.bytes(RequestOutcome::kRemoteHit), 7u);
+  EXPECT_EQ(b.measured_average_latency(), msec(42));
+}
+
+TEST(GroupMetricsTest, MergedRatesMatchRecordingEverythingInOne) {
+  GroupMetrics shard_a, shard_b, combined;
+  const auto feed = [](GroupMetrics& m, RequestOutcome outcome, int n) {
+    for (int i = 0; i < n; ++i) m.record(outcome, 100, msec(10));
+  };
+  feed(shard_a, RequestOutcome::kLocalHit, 6);
+  feed(shard_a, RequestOutcome::kMiss, 4);
+  feed(shard_b, RequestOutcome::kRemoteHit, 8);
+  feed(shard_b, RequestOutcome::kMiss, 2);
+  feed(combined, RequestOutcome::kLocalHit, 6);
+  feed(combined, RequestOutcome::kMiss, 4);
+  feed(combined, RequestOutcome::kRemoteHit, 8);
+  feed(combined, RequestOutcome::kMiss, 2);
+
+  shard_a.merge(shard_b);
+  EXPECT_EQ(shard_a.total_requests(), combined.total_requests());
+  EXPECT_DOUBLE_EQ(shard_a.hit_rate(), combined.hit_rate());
+  EXPECT_DOUBLE_EQ(shard_a.byte_hit_rate(), combined.byte_hit_rate());
+  EXPECT_DOUBLE_EQ(shard_a.local_hit_rate(), combined.local_hit_rate());
+  EXPECT_DOUBLE_EQ(shard_a.remote_hit_rate(), combined.remote_hit_rate());
+  EXPECT_DOUBLE_EQ(shard_a.miss_rate(), combined.miss_rate());
+  EXPECT_DOUBLE_EQ(shard_a.latency_percentile_ms(0.5),
+                   combined.latency_percentile_ms(0.5));
 }
 
 }  // namespace

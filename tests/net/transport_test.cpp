@@ -45,13 +45,40 @@ TEST(TransportTest, EaPiggybackCostsEightBytesPerHttpMessage) {
 
 TEST(TransportTest, OriginFetchCountsBothDirections) {
   Transport t;
-  t.record_origin_fetch(1000);
+  t.record_origin_fetch(/*requester=*/0, 1000);
   EXPECT_EQ(t.stats().origin_fetches, 1u);
   EXPECT_EQ(t.stats().http_body_bytes, 1000u);
   EXPECT_EQ(t.stats().http_header_bytes,
             t.costs().http_request_headers + t.costs().http_response_headers);
   // Origin traffic is not an inter-proxy message.
   EXPECT_EQ(t.stats().total_messages(), 0u);
+}
+
+TEST(TransportTest, PerLinkCountersAccumulateByEndpointPair) {
+  MetricRegistry registry;
+  Transport t;
+  t.bind_registry(&registry, 2);
+  t.record_icp_query(IcpQuery{0, 1, 42});
+  t.record_icp_reply(IcpReply{1, 0, 42, true});
+  t.record_origin_fetch(/*requester=*/1, 1000);
+  EXPECT_EQ(registry.counter_value("link.0->1.bytes"), t.costs().icp_message());
+  EXPECT_EQ(registry.counter_value("link.1->0.bytes"), t.costs().icp_message());
+  EXPECT_EQ(registry.counter_value("link.1->origin.bytes"),
+            t.costs().http_request_headers + t.costs().http_response_headers + 1000);
+  // Unused links register nothing (sparse accounting).
+  EXPECT_EQ(registry.counters().size(), 3u);
+}
+
+TEST(TransportTest, UnboundRegistryRecordsNoLinkCounters) {
+  Transport t;
+  t.record_icp_query(IcpQuery{0, 1, 42});  // must not crash; stats still move
+  EXPECT_EQ(t.stats().icp_queries, 1u);
+
+  MetricRegistry disabled(false);
+  Transport t2;
+  t2.bind_registry(&disabled, 2);
+  t2.record_icp_query(IcpQuery{0, 1, 42});
+  EXPECT_TRUE(disabled.empty());
 }
 
 TEST(TransportTest, TotalsAddUp) {

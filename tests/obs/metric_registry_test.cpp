@@ -1,0 +1,170 @@
+#include "obs/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eacache {
+namespace {
+
+TEST(MetricRegistryTest, CounterStartsAtZeroAndAccumulates) {
+  MetricRegistry registry;
+  const auto c = registry.counter("group.requests");
+  EXPECT_TRUE(c.bound());
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(registry.counter_value("group.requests"), 42u);
+}
+
+TEST(MetricRegistryTest, ReRegisteringReturnsSameSlot) {
+  MetricRegistry registry;
+  const auto a = registry.counter("proxy.0.local.hits");
+  const auto b = registry.counter("proxy.0.local.hits");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(registry.counter_value("proxy.0.local.hits"), 7u);
+  EXPECT_EQ(registry.counters().size(), 1u);
+}
+
+TEST(MetricRegistryTest, GaugeIsLastWriteWins) {
+  MetricRegistry registry;
+  const auto g = registry.gauge("proxy.0.resident_bytes");
+  g.set(100.0);
+  g.set(64.5);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("proxy.0.resident_bytes"), 64.5);
+}
+
+TEST(MetricRegistryTest, UnknownNamesReadAsZero) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.counter_value("no.such.counter"), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("no.such.gauge"), 0.0);
+}
+
+TEST(MetricRegistryTest, NullHandlesSwallowEverything) {
+  MetricRegistry::Counter counter;  // default-constructed = unbound
+  MetricRegistry::Gauge gauge;
+  MetricRegistry::HistogramHandle hist;
+  EXPECT_FALSE(counter.bound());
+  EXPECT_FALSE(gauge.bound());
+  EXPECT_FALSE(hist.bound());
+  counter.inc();
+  gauge.set(1.0);
+  hist.observe(1.0);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricRegistryTest, DisabledRegistryHandsOutNullHandlesAndStaysEmpty) {
+  MetricRegistry registry(/*enabled=*/false);
+  EXPECT_FALSE(registry.enabled());
+  const auto c = registry.counter("x");
+  const auto g = registry.gauge("y");
+  const auto h = registry.histogram("z", 0.0, 10.0, 10);
+  EXPECT_FALSE(c.bound());
+  EXPECT_FALSE(g.bound());
+  EXPECT_FALSE(h.bound());
+  c.inc();
+  g.set(5.0);
+  h.observe(1.0);
+  EXPECT_TRUE(registry.empty());
+}
+
+TEST(MetricRegistryTest, HandlesSurviveManyLaterRegistrations) {
+  MetricRegistry registry;
+  const auto first = registry.counter("aaa.first");
+  // Node-based storage: inserting hundreds more must not move the slot.
+  for (int i = 0; i < 500; ++i) {
+    registry.counter("filler." + std::to_string(i)).inc();
+  }
+  first.inc(9);
+  EXPECT_EQ(registry.counter_value("aaa.first"), 9u);
+}
+
+TEST(MetricRegistryTest, HistogramObservationsLandInBuckets) {
+  MetricRegistry registry;
+  const auto h = registry.histogram("sizes", 0.0, 100.0, 10);
+  h.observe(5.0);    // bucket 0
+  h.observe(95.0);   // bucket 9
+  h.observe(-1.0);   // underflow
+  h.observe(100.0);  // overflow
+  const Histogram& hist = registry.histograms().at("sizes");
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(9), 1u);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(MetricRegistryTest, HistogramReRegistrationChecksGeometry) {
+  MetricRegistry registry;
+  (void)registry.histogram("sizes", 0.0, 100.0, 10);
+  EXPECT_NO_THROW((void)registry.histogram("sizes", 0.0, 100.0, 10));
+  EXPECT_THROW((void)registry.histogram("sizes", 0.0, 200.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("sizes", 0.0, 100.0, 20), std::invalid_argument);
+}
+
+TEST(MetricRegistryTest, ViewsIterateInSortedNameOrder) {
+  MetricRegistry registry;
+  registry.counter("zebra").inc();
+  registry.counter("alpha").inc();
+  registry.counter("mango").inc();
+  std::vector<std::string> names;
+  for (const auto& [name, value] : registry.counters()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mango", "zebra"}));
+}
+
+TEST(MetricRegistryTest, MergeSumsCountersAndAdoptsNewNames) {
+  MetricRegistry a, b;
+  a.counter("shared").inc(10);
+  b.counter("shared").inc(5);
+  b.counter("only_b").inc(7);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("shared"), 15u);
+  EXPECT_EQ(a.counter_value("only_b"), 7u);
+}
+
+TEST(MetricRegistryTest, MergeSumsGaugesAndMergesHistograms) {
+  MetricRegistry a, b;
+  a.gauge("occupancy").set(1.5);
+  b.gauge("occupancy").set(2.5);
+  a.histogram("sizes", 0.0, 10.0, 5).observe(1.0);
+  b.histogram("sizes", 0.0, 10.0, 5).observe(9.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.gauge_value("occupancy"), 4.0);
+  const Histogram& hist = a.histograms().at("sizes");
+  EXPECT_EQ(hist.total(), 2u);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(4), 1u);
+}
+
+TEST(MetricRegistryTest, MergeHistogramGeometryMismatchThrows) {
+  MetricRegistry a, b;
+  a.histogram("sizes", 0.0, 10.0, 5).observe(1.0);
+  b.histogram("sizes", 0.0, 20.0, 5).observe(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MetricRegistryTest, MergeIntoDisabledIsNoOp) {
+  MetricRegistry disabled(/*enabled=*/false);
+  MetricRegistry source;
+  source.counter("x").inc(3);
+  disabled.merge(source);
+  EXPECT_TRUE(disabled.empty());
+}
+
+TEST(MetricRegistryTest, CopyIsASnapshotHandlesKeepPointingAtOriginal) {
+  MetricRegistry original;
+  const auto c = original.counter("x");
+  c.inc(1);
+  MetricRegistry snapshot = original;
+  c.inc(1);  // handle still bound to `original`
+  EXPECT_EQ(original.counter_value("x"), 2u);
+  EXPECT_EQ(snapshot.counter_value("x"), 1u);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,158 @@
+#include "obs/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace eacache {
+namespace {
+
+SpanEvent make_event(std::uint64_t request, SpanKind kind) {
+  SpanEvent event;
+  event.request = request;
+  event.kind = kind;
+  return event;
+}
+
+TEST(TraceLogTest, DefaultConstructedIsDisabledAndRejectsEvents) {
+  TraceLog log;
+  EXPECT_FALSE(log.enabled());
+  EXPECT_EQ(log.capacity(), 0u);
+  log.record(make_event(1, SpanKind::kArrival));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.recorded(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(TraceLogTest, RecordsInOrderUntilCapacity) {
+  TraceLog log(4);
+  for (std::uint64_t i = 0; i < 3; ++i) log.record(make_event(i, SpanKind::kArrival));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.recorded(), 3u);
+  EXPECT_EQ(log.dropped(), 0u);
+  const std::vector<SpanEvent> events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(events[i].request, i);
+}
+
+TEST(TraceLogTest, RingOverwritesOldestFirst) {
+  TraceLog log(3);
+  for (std::uint64_t i = 0; i < 7; ++i) log.record(make_event(i, SpanKind::kArrival));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.recorded(), 7u);
+  EXPECT_EQ(log.dropped(), 4u);
+  const std::vector<SpanEvent> events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].request, 4u);  // oldest surviving
+  EXPECT_EQ(events[1].request, 5u);
+  EXPECT_EQ(events[2].request, 6u);
+}
+
+TEST(TraceLogTest, SpanKindNamesAreStable) {
+  // The JSONL "event" vocabulary is part of the documented schema.
+  EXPECT_EQ(to_string(SpanKind::kArrival), "arrival");
+  EXPECT_EQ(to_string(SpanKind::kLocalHit), "local_hit");
+  EXPECT_EQ(to_string(SpanKind::kIcpProbe), "icp_probe");
+  EXPECT_EQ(to_string(SpanKind::kIcpLoss), "icp_loss");
+  EXPECT_EQ(to_string(SpanKind::kSiblingFetch), "sibling_fetch");
+  EXPECT_EQ(to_string(SpanKind::kParentFetch), "parent_fetch");
+  EXPECT_EQ(to_string(SpanKind::kOriginFetch), "origin_fetch");
+  EXPECT_EQ(to_string(SpanKind::kPlacement), "placement");
+  EXPECT_EQ(to_string(SpanKind::kComplete), "complete");
+}
+
+TEST(TraceLogTest, JsonlOmitsUnsetOptionalFields) {
+  SpanEvent event;
+  event.request = 7;
+  event.at_ms = 1500;
+  event.document = 42;
+  event.proxy = 2;
+  event.kind = SpanKind::kArrival;
+  std::ostringstream out;
+  write_span_jsonl(out, event);
+  EXPECT_EQ(out.str(),
+            R"({"request":7,"at_ms":1500,"proxy":2,"event":"arrival","doc":42})");
+}
+
+TEST(TraceLogTest, JsonlFlagKeyDependsOnKind) {
+  const auto render = [](SpanKind kind, std::int8_t flag) {
+    SpanEvent event;
+    event.kind = kind;
+    event.flag = flag;
+    std::ostringstream out;
+    write_span_jsonl(out, event);
+    return out.str();
+  };
+  EXPECT_NE(render(SpanKind::kIcpProbe, 1).find("\"hit\":true"), std::string::npos);
+  EXPECT_NE(render(SpanKind::kSiblingFetch, 0).find("\"found\":false"), std::string::npos);
+  EXPECT_NE(render(SpanKind::kParentFetch, 1).find("\"found\":true"), std::string::npos);
+  EXPECT_NE(render(SpanKind::kPlacement, 1).find("\"accepted\":true"), std::string::npos);
+  EXPECT_NE(render(SpanKind::kOriginFetch, 0).find("\"speculative\":false"),
+            std::string::npos);
+  EXPECT_NE(render(SpanKind::kLocalHit, 1).find("\"validated\":true"), std::string::npos);
+}
+
+TEST(TraceLogTest, JsonlCompleteCarriesOutcomeName) {
+  SpanEvent event;
+  event.kind = SpanKind::kComplete;
+  for (const auto& [code, name] :
+       std::vector<std::pair<std::int64_t, std::string>>{
+           {0, "local-hit"}, {1, "remote-hit"}, {2, "miss"}}) {
+    event.value = code;
+    std::ostringstream out;
+    write_span_jsonl(out, event);
+    EXPECT_NE(out.str().find("\"outcome\":\"" + name + "\""), std::string::npos);
+  }
+}
+
+TEST(TraceLogTest, JsonlInfiniteAgeSerializesAsString) {
+  SpanEvent event;
+  event.kind = SpanKind::kSiblingFetch;
+  event.requester_ea_ms = std::numeric_limits<double>::infinity();
+  event.responder_ea_ms = 2500.0;
+  std::ostringstream out;
+  write_span_jsonl(out, event);
+  EXPECT_NE(out.str().find("\"requester_ea_ms\":\"inf\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"responder_ea_ms\":2500"), std::string::npos);
+}
+
+TEST(TraceLogTest, JsonlRunLabelLeadsAndIsEscaped) {
+  SpanEvent event;
+  std::ostringstream out;
+  write_span_jsonl(out, event, "EA \"quoted\"\n");
+  const std::string line = out.str();
+  EXPECT_EQ(line.rfind("{\"run\":\"EA \\\"quoted\\\"\\n\",", 0), 0u) << line;
+}
+
+TEST(TraceLogTest, WriteJsonlEmitsOneLinePerEvent) {
+  TraceLog log(8);
+  log.record(make_event(0, SpanKind::kArrival));
+  log.record(make_event(0, SpanKind::kComplete));
+  std::ostringstream out;
+  log.write_jsonl(out, "run-a");
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"run\":\"run-a\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(TraceLogTest, CopyIsASnapshot) {
+  TraceLog original(4);
+  original.record(make_event(1, SpanKind::kArrival));
+  TraceLog snapshot = original;
+  original.record(make_event(2, SpanKind::kComplete));
+  EXPECT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(original.size(), 2u);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,256 @@
+// The observability subsystem's two core guarantees, tested end to end:
+//
+//  1. Observability is FREE: running with the registry + tracer + series on
+//     must not change any simulation outcome. We compare full result JSON
+//     (with the obs-only fields neutralized) between an instrumented run and
+//     a --no-obs run, byte for byte.
+//  2. Observability is DETERMINISTIC: the same sweep run with jobs=1 and
+//     jobs=8 must serialize the registry dump and the span JSONL
+//     byte-identically — parallelism may reorder scheduling, never output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/result_json.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+Trace make_trace(std::uint64_t seed = 23) {
+  SyntheticTraceConfig config;
+  config.num_requests = 2000;
+  config.num_documents = 200;
+  config.num_users = 12;
+  config.span = hours(1);
+  config.seed = seed;
+  return generate_synthetic_trace(config);
+}
+
+GroupConfig make_config() {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 128 * kKiB;
+  config.placement = PlacementKind::kEa;
+  return config;
+}
+
+/// Blank out the fields only the observability layer writes, so the rest of
+/// the result can be compared byte-for-byte across obs on/off runs.
+std::string json_without_obs_fields(SimulationResult result) {
+  result.registry = MetricRegistry();
+  result.trace_log = TraceLog();
+  result.proxy_series.clear();
+  return simulation_result_to_json(result);
+}
+
+TEST(ObservabilityTest, InstrumentationNeverChangesSimulationOutcomes) {
+  const Trace trace = make_trace();
+  GroupConfig instrumented = make_config();
+  instrumented.obs = ObsConfig::with_tracing();  // registry + tracer + series
+  GroupConfig dark = make_config();
+  dark.obs = ObsConfig::disabled();
+
+  const SimulationResult with_obs = run_simulation(trace, instrumented);
+  const SimulationResult without_obs = run_simulation(trace, dark);
+
+  // The instrumented run actually observed things...
+  EXPECT_FALSE(with_obs.registry.empty());
+  EXPECT_GT(with_obs.trace_log.recorded(), 0u);
+  EXPECT_FALSE(with_obs.proxy_series.empty());
+  EXPECT_TRUE(without_obs.registry.empty());
+  EXPECT_EQ(without_obs.trace_log.recorded(), 0u);
+  EXPECT_TRUE(without_obs.proxy_series.empty());
+
+  // ...and everything else is bit-for-bit what the dark run produced.
+  EXPECT_EQ(json_without_obs_fields(with_obs), json_without_obs_fields(without_obs));
+}
+
+TEST(ObservabilityTest, RegistryCountersAgreeWithTopLevelMetrics) {
+  const Trace trace = make_trace();
+  const GroupConfig config = make_config();
+  const SimulationResult result = run_simulation(trace, config);
+  const MetricRegistry& registry = result.registry;
+
+  EXPECT_EQ(registry.counter_value("group.requests"), result.metrics.total_requests());
+  EXPECT_EQ(registry.counter_value("group.icp.queries"), result.transport.icp_queries);
+  EXPECT_EQ(registry.counter_value("group.icp.replies"), result.transport.icp_replies);
+  EXPECT_EQ(registry.counter_value("group.origin_fetches"), result.transport.origin_fetches);
+
+  // Per-proxy counters sum to the group totals reported via ProxyStats.
+  std::uint64_t local_hits = 0, accepted = 0, rejected = 0, suppressed = 0;
+  for (std::size_t p = 0; p < config.num_proxies; ++p) {
+    const std::string prefix = "proxy." + std::to_string(p) + ".";
+    local_hits += registry.counter_value(prefix + "local.hits");
+    accepted += registry.counter_value(prefix + "placement.accepted");
+    rejected += registry.counter_value(prefix + "placement.rejected");
+    suppressed += registry.counter_value(prefix + "promotions.suppressed");
+  }
+  std::uint64_t expected_hits = 0, expected_stored = 0, expected_declined = 0,
+                expected_suppressed = 0;
+  for (const ProxyStats& stats : result.proxy_stats) {
+    expected_hits += stats.local_hits;
+    expected_stored += stats.copies_stored;
+    expected_declined += stats.copies_declined;
+    expected_suppressed += stats.promotions_suppressed;
+  }
+  EXPECT_EQ(local_hits, expected_hits);
+  EXPECT_EQ(suppressed, expected_suppressed);
+  // Placement decisions are a superset of ProxyStats' copies_stored (the
+  // registry also counts decisions taken on origin-fetch and parent paths),
+  // so assert presence rather than equality where the books differ.
+  EXPECT_GE(accepted + rejected, 1u);
+  EXPECT_GT(expected_stored + expected_declined, 0u);
+
+  // The request-size histogram saw every request.
+  const auto it = registry.histograms().find("group.request_bytes");
+  ASSERT_NE(it, registry.histograms().end());
+  EXPECT_EQ(it->second.total(), result.metrics.total_requests());
+
+  // End-of-run gauges mirror the occupancy block.
+  EXPECT_DOUBLE_EQ(registry.gauge_value("group.replication_factor"),
+                   result.replication_factor);
+}
+
+TEST(ObservabilityTest, TraceRingCapturesRequestLifecycles) {
+  const Trace trace = make_trace();
+  GroupConfig config = make_config();
+  config.obs.trace_capacity = 1 << 20;  // large enough to keep everything
+  const SimulationResult result = run_simulation(trace, config);
+  const std::vector<SpanEvent> events = result.trace_log.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(result.trace_log.dropped(), 0u);
+
+  std::uint64_t arrivals = 0, completes = 0;
+  std::int64_t last_at = -1;
+  for (const SpanEvent& event : events) {
+    EXPECT_GE(event.at_ms, last_at);  // record order follows simulated time
+    last_at = event.at_ms;
+    if (event.kind == SpanKind::kArrival) ++arrivals;
+    if (event.kind == SpanKind::kComplete) {
+      ++completes;
+      ASSERT_GE(event.value, 0);
+      EXPECT_LE(event.value, 2);  // RequestOutcome codes
+    }
+  }
+  // Every request opens with an arrival and closes with a completion.
+  EXPECT_EQ(arrivals, trace.size());
+  EXPECT_EQ(completes, trace.size());
+}
+
+TEST(ObservabilityTest, BoundedRingDropsOldestButKeepsCounting) {
+  const Trace trace = make_trace();
+  GroupConfig config = make_config();
+  config.obs.trace_capacity = 64;
+  const SimulationResult result = run_simulation(trace, config);
+  EXPECT_EQ(result.trace_log.size(), 64u);
+  EXPECT_GT(result.trace_log.dropped(), 0u);
+  EXPECT_EQ(result.trace_log.recorded(),
+            result.trace_log.dropped() + result.trace_log.size());
+}
+
+TEST(ObservabilityTest, ProxySeriesSpansTheTrace) {
+  const Trace trace = make_trace();
+  GroupConfig config = make_config();
+  config.obs.series_points = 8;
+  const SimulationResult result = run_simulation(trace, config);
+  ASSERT_FALSE(result.proxy_series.empty());
+  TimePoint last = TimePoint::min();
+  for (const ProxySeriesPoint& point : result.proxy_series) {
+    EXPECT_GT(point.at, last);
+    last = point.at;
+    ASSERT_EQ(point.proxies.size(), config.num_proxies);
+    for (const ProxySeriesSample& sample : point.proxies) {
+      if (sample.finite) EXPECT_GE(sample.exp_age_ms, 0.0);
+    }
+  }
+  // The final sample reflects end-of-run occupancy: some proxy holds bytes.
+  Bytes resident = 0;
+  for (const ProxySeriesSample& sample : result.proxy_series.back().proxies) {
+    resident += sample.resident_bytes;
+  }
+  EXPECT_GT(resident, 0u);
+}
+
+TEST(ObservabilityTest, SeriesDisabledWhenPointsAreZero) {
+  const Trace trace = make_trace();
+  GroupConfig config = make_config();
+  config.obs.series_points = 0;
+  const SimulationResult result = run_simulation(trace, config);
+  EXPECT_TRUE(result.proxy_series.empty());
+}
+
+TEST(ObservabilityTest, PhaseTimingsArePopulated) {
+  const Trace trace = make_trace();
+  PhaseTimings timings;
+  (void)run_simulation(trace, make_config(), {}, &timings);
+  EXPECT_GT(timings.sim_ms, 0.0);
+  EXPECT_GE(timings.report_ms, 0.0);
+}
+
+// S3's parallel-determinism gate for the observability outputs themselves:
+// registry dump, span JSONL and proxy series must not depend on worker count.
+TEST(ObservabilityTest, TracedSweepIsByteIdenticalAcrossWorkerCounts) {
+  const TraceRef trace = std::make_shared<const Trace>(make_trace());
+
+  const auto run_with_jobs = [&](std::size_t jobs) {
+    SweepOptions options;
+    options.jobs = jobs;
+    options.obs_override = ObsConfig::with_tracing(4096);
+    std::vector<std::string> trace_dumps;
+    options.sink = [&](const SweepRunResult& run) {
+      std::ostringstream out;
+      run.result.trace_log.write_jsonl(out, run.label);
+      trace_dumps.push_back(out.str());
+    };
+    SweepRunner runner(options);
+    for (const Bytes capacity : {64 * kKiB, 128 * kKiB}) {
+      for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
+        GroupConfig config = make_config();
+        config.aggregate_capacity = capacity;
+        config.placement = placement;
+        runner.add(std::string(to_string(placement)) + "@" + format_bytes(capacity),
+                   config, trace);
+      }
+    }
+    std::vector<std::string> result_dumps;
+    for (const SweepRunResult& run : runner.run()) {
+      result_dumps.push_back(simulation_result_to_json(run.result));
+    }
+    return std::make_pair(result_dumps, trace_dumps);
+  };
+
+  const auto [serial_results, serial_traces] = run_with_jobs(1);
+  const auto [parallel_results, parallel_traces] = run_with_jobs(8);
+  ASSERT_EQ(serial_results.size(), parallel_results.size());
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    EXPECT_EQ(serial_results[i], parallel_results[i]) << "result " << i << " diverged";
+  }
+  ASSERT_EQ(serial_traces.size(), parallel_traces.size());
+  for (std::size_t i = 0; i < serial_traces.size(); ++i) {
+    EXPECT_FALSE(serial_traces[i].empty());
+    EXPECT_EQ(serial_traces[i], parallel_traces[i]) << "trace " << i << " diverged";
+  }
+}
+
+TEST(ObservabilityTest, SweepObsOverrideAppliesToEveryJob) {
+  const TraceRef trace = std::make_shared<const Trace>(make_trace());
+  SweepOptions options;
+  options.jobs = 1;
+  options.obs_override = ObsConfig::disabled();
+  SweepRunner runner(options);
+  GroupConfig config = make_config();  // default obs: registry ON
+  runner.add("dark", config, trace);
+  const auto runs = runner.run();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_FALSE(runs[0].config.obs.registry);
+  EXPECT_TRUE(runs[0].result.registry.empty());
+  EXPECT_EQ(runs[0].result.trace_log.recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace eacache

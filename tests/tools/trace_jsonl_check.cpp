@@ -1,0 +1,285 @@
+// trace_jsonl_check — validates a --trace-out JSONL file against the span
+// schema documented in DESIGN.md §8 (and mirrored in obs/trace_log.cpp).
+//
+// Run as a ctest fixture: bench_smoke --trace-out FILE produces the file
+// (FIXTURES_SETUP), this binary consumes it (FIXTURES_REQUIRED). Exits 0
+// iff every line is a well-formed flat JSON object whose keys, types and
+// vocabulary match the schema; prints the first violation otherwise.
+//
+// The parser is deliberately minimal: span lines are FLAT objects with
+// string / number / boolean values only, so a full JSON library is
+// unnecessary (and the independence from the producer's own serializer is
+// the point of the check).
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+namespace {
+
+enum class ValueType { kString, kNumber, kBool };
+
+struct Value {
+  ValueType type = ValueType::kString;
+  std::string text;  // raw string payload / numeric literal / "true"/"false"
+};
+
+// Parses `{"key":value,...}` with string/number/bool values into `out`.
+// Returns false with `error` set on malformed input or duplicate keys.
+bool parse_flat_object(const std::string& line, std::map<std::string, Value>& out,
+                       std::string& error) {
+  std::size_t i = 0;
+  const auto fail = [&](const std::string& what) {
+    error = what + " at byte " + std::to_string(i);
+    return false;
+  };
+  const auto parse_string = [&](std::string& into) {
+    if (line[i] != '"') return false;
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        if (i >= line.size()) return false;
+        switch (line[i]) {
+          case '"': into += '"'; break;
+          case '\\': into += '\\'; break;
+          case 'n': into += '\n'; break;
+          case 'r': into += '\r'; break;
+          case 't': into += '\t'; break;
+          case 'u':
+            if (i + 4 >= line.size()) return false;
+            into += '?';  // escaped control char; exact value irrelevant here
+            i += 4;
+            break;
+          default: return false;
+        }
+      } else {
+        into += line[i];
+      }
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  if (line.empty() || line.front() != '{') return fail("expected '{'");
+  ++i;
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+    return i == line.size() ? true : fail("trailing bytes after '}'");
+  }
+  while (true) {
+    std::string key;
+    if (i >= line.size() || !parse_string(key)) return fail("expected key string");
+    if (out.count(key) != 0) return fail("duplicate key \"" + key + "\"");
+    if (i >= line.size() || line[i] != ':') return fail("expected ':'");
+    ++i;
+    Value value;
+    if (i >= line.size()) return fail("expected value");
+    if (line[i] == '"') {
+      value.type = ValueType::kString;
+      if (!parse_string(value.text)) return fail("bad string value");
+    } else if (line.compare(i, 4, "true") == 0) {
+      value.type = ValueType::kBool;
+      value.text = "true";
+      i += 4;
+    } else if (line.compare(i, 5, "false") == 0) {
+      value.type = ValueType::kBool;
+      value.text = "false";
+      i += 5;
+    } else if (line[i] == '-' || std::isdigit(static_cast<unsigned char>(line[i]))) {
+      value.type = ValueType::kNumber;
+      const std::size_t start = i;
+      if (line[i] == '-') ++i;
+      while (i < line.size() &&
+             (std::isdigit(static_cast<unsigned char>(line[i])) || line[i] == '.' ||
+              line[i] == 'e' || line[i] == 'E' || line[i] == '+' || line[i] == '-')) {
+        ++i;
+      }
+      value.text = line.substr(start, i - start);
+    } else {
+      return fail("unrecognized value");
+    }
+    out.emplace(std::move(key), std::move(value));
+    if (i >= line.size()) return fail("unterminated object");
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') {
+      ++i;
+      return i == line.size() ? true : fail("trailing bytes after '}'");
+    }
+    return fail("expected ',' or '}'");
+  }
+}
+
+bool is_nonnegative_integer(const Value& value) {
+  if (value.type != ValueType::kNumber || value.text.empty()) return false;
+  for (const char c : value.text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool is_integer(const Value& value) {
+  if (value.type != ValueType::kNumber || value.text.empty()) return false;
+  std::size_t start = value.text[0] == '-' ? 1 : 0;
+  if (start == value.text.size()) return false;
+  for (std::size_t i = start; i < value.text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(value.text[i]))) return false;
+  }
+  return true;
+}
+
+// Expiration ages: non-negative number, or the string "inf" (a cold cache).
+bool is_age(const Value& value) {
+  if (value.type == ValueType::kString) return value.text == "inf";
+  return value.type == ValueType::kNumber && value.text[0] != '-';
+}
+
+const std::set<std::string>& event_vocabulary() {
+  static const std::set<std::string> kEvents = {
+      "arrival",      "local_hit",    "icp_probe", "icp_loss", "sibling_fetch",
+      "parent_fetch", "origin_fetch", "placement", "complete"};
+  return kEvents;
+}
+
+/// The boolean-flag key each event kind is allowed to carry (DESIGN.md §8).
+std::string flag_key_for(const std::string& event) {
+  if (event == "icp_probe") return "hit";
+  if (event == "sibling_fetch" || event == "parent_fetch") return "found";
+  if (event == "placement") return "accepted";
+  if (event == "origin_fetch") return "speculative";
+  if (event == "local_hit") return "validated";
+  return "flag";
+}
+
+bool validate_span(const std::map<std::string, Value>& fields, std::string& error) {
+  const auto get = [&](const std::string& key) -> const Value* {
+    const auto it = fields.find(key);
+    return it != fields.end() ? &it->second : nullptr;
+  };
+  const auto require = [&](const std::string& key, bool (*check)(const Value&),
+                           const char* what) {
+    const Value* value = get(key);
+    if (value == nullptr) {
+      error = "missing required key \"" + key + "\"";
+      return false;
+    }
+    if (!check(*value)) {
+      error = "key \"" + key + "\" is not " + what;
+      return false;
+    }
+    return true;
+  };
+
+  if (!require("request", is_nonnegative_integer, "a non-negative integer")) return false;
+  if (!require("at_ms", is_integer, "an integer")) return false;
+  if (!require("proxy", is_nonnegative_integer, "a non-negative integer")) return false;
+  if (!require("doc", is_nonnegative_integer, "a non-negative integer")) return false;
+
+  const Value* event = get("event");
+  if (event == nullptr || event->type != ValueType::kString) {
+    error = "missing or non-string \"event\"";
+    return false;
+  }
+  if (event_vocabulary().count(event->text) == 0) {
+    error = "unknown event kind \"" + event->text + "\"";
+    return false;
+  }
+
+  std::set<std::string> allowed = {"run", "request", "at_ms", "proxy", "doc", "event",
+                                  "peer", "requester_ea_ms", "responder_ea_ms"};
+  allowed.insert(flag_key_for(event->text));
+  allowed.insert(event->text == "complete" ? "outcome" : "bytes");
+  for (const auto& [key, value] : fields) {
+    if (allowed.count(key) == 0) {
+      error = "key \"" + key + "\" not allowed on event \"" + event->text + "\"";
+      return false;
+    }
+  }
+
+  if (const Value* run = get("run"); run != nullptr && run->type != ValueType::kString) {
+    error = "\"run\" must be a string";
+    return false;
+  }
+  if (const Value* peer = get("peer");
+      peer != nullptr && !is_nonnegative_integer(*peer)) {
+    error = "\"peer\" must be a non-negative integer";
+    return false;
+  }
+  for (const char* key : {"requester_ea_ms", "responder_ea_ms"}) {
+    if (const Value* age = get(key); age != nullptr && !is_age(*age)) {
+      error = std::string("\"") + key + "\" must be a non-negative number or \"inf\"";
+      return false;
+    }
+  }
+  if (const Value* flag = get(flag_key_for(event->text));
+      flag != nullptr && flag->type != ValueType::kBool) {
+    error = "\"" + flag_key_for(event->text) + "\" must be a boolean";
+    return false;
+  }
+  if (const Value* outcome = get("outcome"); outcome != nullptr) {
+    if (outcome->type != ValueType::kString ||
+        (outcome->text != "local-hit" && outcome->text != "remote-hit" &&
+         outcome->text != "miss")) {
+      error = "\"outcome\" must be one of local-hit/remote-hit/miss";
+      return false;
+    }
+  }
+  if (const Value* bytes = get("bytes");
+      bytes != nullptr && !is_nonnegative_integer(*bytes)) {
+    error = "\"bytes\" must be a non-negative integer";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s TRACE.jsonl\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t events = 0;
+  std::set<std::string> runs;
+  std::map<std::string, std::size_t> by_kind;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::map<std::string, Value> fields;
+    std::string error;
+    if (!parse_flat_object(line, fields, error) || !validate_span(fields, error)) {
+      std::fprintf(stderr, "%s:%zu: %s\n  %s\n", argv[1], line_number, error.c_str(),
+                   line.c_str());
+      return 1;
+    }
+    ++events;
+    if (const auto it = fields.find("run"); it != fields.end()) runs.insert(it->second.text);
+    ++by_kind[fields.at("event").text];
+  }
+  if (events == 0) {
+    std::fprintf(stderr, "%s: no span events found\n", argv[1]);
+    return 1;
+  }
+
+  std::printf("%s: %zu events across %zu runs, all schema-valid\n", argv[1], events,
+              runs.size());
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-14s %zu\n", kind.c_str(), count);
+  }
+  return 0;
+}
