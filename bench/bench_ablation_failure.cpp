@@ -1,5 +1,9 @@
-// ABL-FAIL — failure tolerance: crash-restart one proxy (losing its disk)
-// at the midpoint of the trace and measure the damage per scheme.
+// ABL-FAIL — fault tolerance: inject faults from a FaultPlan and measure
+// the damage per scheme. Two fault shapes:
+//   * crash  — one proxy loses its whole disk at the trace midpoint and
+//              rejoins cold;
+//   * outage — the same proxy stays up but answers no ICP probes for the
+//              middle half of the trace (transient network partition).
 //
 // Expected shape: ad-hoc's uncontrolled replication is accidental fault
 // tolerance — copies of the lost documents survive elsewhere, so its
@@ -14,11 +18,16 @@ using namespace eacache;
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  bench::print_banner("ABL-FAIL", "Hit-rate cost of losing one proxy's disk mid-trace");
+  bench::print_banner("ABL-FAIL", "Hit-rate cost of proxy crashes and outages mid-trace");
   const TraceRef trace = bench::small_trace();
 
   SimulationOptions crash_options;
-  crash_options.flush_events.push_back({trace->requests[trace->size() / 2].at, 0});
+  crash_options.faults.flushes.push_back({trace->requests[trace->size() / 2].at, 0});
+
+  SimulationOptions outage_options;
+  outage_options.faults.outages.push_back(PeerOutage{
+      /*proxy=*/0, trace->requests[trace->size() / 4].at,
+      trace->requests[3 * trace->size() / 4].at});
 
   struct Scheme {
     const char* label;
@@ -47,20 +56,23 @@ int main(int argc, char** argv) {
           std::string(scheme.label) + "@" + bench::capacity_label(capacity);
       runner.add(point + "/clean", config, trace);
       runner.add(point + "/crash", config, trace, crash_options);
+      runner.add(point + "/outage", config, trace, outage_options);
       rows.push_back({capacity, scheme.label});
     }
   }
   const auto runs = runner.run();
 
   TextTable table({"aggregate memory", "scheme", "hit rate (clean)", "hit rate (crash)",
-                   "damage"});
+                   "crash damage", "hit rate (outage)"});
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const SimulationResult& clean = runs[2 * i].result;
-    const SimulationResult& crash = runs[2 * i + 1].result;
+    const SimulationResult& clean = runs[3 * i].result;
+    const SimulationResult& crash = runs[3 * i + 1].result;
+    const SimulationResult& outage = runs[3 * i + 2].result;
     table.add_row({bench::capacity_label(rows[i].capacity), rows[i].scheme,
                    fmt_percent(clean.metrics.hit_rate()),
                    fmt_percent(crash.metrics.hit_rate()),
-                   fmt_percent(clean.metrics.hit_rate() - crash.metrics.hit_rate())});
+                   fmt_percent(clean.metrics.hit_rate() - crash.metrics.hit_rate()),
+                   fmt_percent(outage.metrics.hit_rate())});
   }
   bench::print_table_and_csv(table);
   return 0;

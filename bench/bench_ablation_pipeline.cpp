@@ -1,0 +1,71 @@
+// ABL-PIPE — event-driven pipeline ablation: the legacy synchronous driver
+// vs the staged pipeline (DESIGN.md §9) with its knobs toggled one at a
+// time, swept over ICP loss rates.
+//
+// Expected shape: with no loss the pipeline's measured latency matches the
+// legacy charged latency (same stage delays, no contention on this
+// single-stream trace). Under loss the pipeline pays real discovery
+// timeouts, so latency climbs steeply; retries convert a slice of those
+// timeouts back into remote hits (recoveries) at the cost of extra probe
+// rounds; coalescing collapses concurrent same-document misses and shows up
+// as joins. Hit rates barely move — the knobs trade latency and origin
+// traffic, not cache contents.
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace eacache;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_banner("ABL-PIPE",
+                      "Legacy driver vs staged pipeline under ICP loss");
+  const TraceRef trace = bench::small_trace();
+
+  struct Arm {
+    const char* label;
+    bool event_driven;
+    std::uint32_t retries;
+    bool coalesce;
+  };
+  const Arm arms[] = {
+      {"legacy", false, 0, false},
+      {"pipeline", true, 0, false},
+      {"pipeline+retry2", true, 2, false},
+      {"pipeline+coalesce", true, 0, true},
+  };
+  const double loss_rates[] = {0.0, 0.1, 0.3};
+
+  SweepRunner runner = bench::make_runner(opts);
+  for (const double loss : loss_rates) {
+    for (const Arm& arm : arms) {
+      GroupConfig config = bench::paper_group(4);
+      config.aggregate_capacity = 10 * kMiB;
+      config.icp_loss_probability = loss;
+      config.pipeline.event_driven = arm.event_driven;
+      config.pipeline.icp_retries = arm.retries;
+      config.pipeline.coalesce = arm.coalesce;
+      runner.add(std::string(arm.label) + "@loss=" + fmt_percent(loss), config, trace);
+    }
+  }
+  const auto runs = runner.run();
+
+  TextTable table({"icp loss", "driver", "hit rate", "avg latency (ms)",
+                   "timeouts", "retries", "recoveries", "joins", "max in-flight"});
+  std::size_t i = 0;
+  for (const double loss : loss_rates) {
+    for (const Arm& arm : arms) {
+      const SimulationResult& result = runs[i++].result;
+      const PipelineStats& pipe = result.pipeline;
+      table.add_row({fmt_percent(loss), arm.label,
+                     fmt_percent(result.metrics.hit_rate()),
+                     fmt_double(to_seconds(result.metrics.measured_average_latency()) * 1000.0, 1),
+                     std::to_string(pipe.icp_timeouts), std::to_string(pipe.icp_retries),
+                     std::to_string(pipe.icp_recoveries), std::to_string(pipe.coalesced_joins),
+                     pipe.enabled ? std::to_string(pipe.max_in_flight) : "-"});
+    }
+  }
+  bench::print_table_and_csv(table);
+  return 0;
+}

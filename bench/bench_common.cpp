@@ -12,52 +12,178 @@ namespace eacache::bench {
 
 namespace {
 
-[[noreturn]] void usage_and_exit(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--jobs N] [--json] [--trace-out FILE] [--no-obs]\n"
-               "  --jobs N          sweep worker threads (default: EACACHE_JOBS env,\n"
-               "                    then hardware concurrency)\n"
-               "  --json            stream one JSON row per completed run\n"
-               "  --trace-out FILE  trace request lifecycles on every run; append\n"
-               "                    span events to FILE as JSONL (run-labelled)\n"
-               "  --no-obs          disable the metric registry and tracing\n",
-               argv0);
+const char* g_argv0 = "bench";
+
+// Pipeline knobs captured by the last parse_args() call; paper_group() folds
+// them into every config it hands out so `--pipeline` flips a whole bench.
+PipelineConfig g_cli_pipeline;
+
+/// Parser scratch: the options being built plus enough bookkeeping to
+/// diagnose flag combinations after the loop.
+struct ParseState {
+  BenchOptions options;
+  bool saw_pipeline_knob = false;  // --icp-*/--coalesce given
+};
+
+/// One CLI flag. The whole surface — parsing, usage line, and the --help
+/// text — is generated from the kFlags table below; adding a flag is one
+/// entry, never a second switch statement.
+struct FlagSpec {
+  const char* name;        // without the leading "--"
+  const char* value_name;  // metavar for value flags; nullptr = boolean switch
+  const char* help;
+  void (*apply)(ParseState&, const char* value);  // value null for switches
+};
+
+void print_usage(std::FILE* out);
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", g_argv0, message.c_str());
+  print_usage(stderr);
   std::exit(2);
+}
+
+/// Strict base-10 parse; rejects trailing junk and negatives.
+long non_negative_long(const char* text, const char* flag) {
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || parsed < 0) {
+    fail(std::string("bad value for --") + flag + ": " + text);
+  }
+  return parsed;
+}
+
+constexpr FlagSpec kFlags[] = {
+    {"jobs", "N",
+     "sweep worker threads (default: EACACHE_JOBS env, then hardware)",
+     [](ParseState& state, const char* value) {
+       const long jobs = non_negative_long(value, "jobs");
+       if (jobs == 0) fail("--jobs must be at least 1");
+       state.options.jobs = static_cast<std::size_t>(jobs);
+     }},
+    {"json", nullptr, "stream one JSON row per completed run",
+     [](ParseState& state, const char*) { state.options.stream_json = true; }},
+    {"trace-out", "FILE",
+     "trace request lifecycles; append span events to FILE as JSONL",
+     [](ParseState& state, const char* value) { state.options.trace_out = value; }},
+    {"no-obs", nullptr, "disable the metric registry and tracing",
+     [](ParseState& state, const char*) { state.options.no_obs = true; }},
+    {"pipeline", nullptr,
+     "serve through the event-driven request pipeline (DESIGN.md §9)",
+     [](ParseState& state, const char*) {
+       state.options.pipeline.event_driven = true;
+     }},
+    {"icp-timeout-ms", "MS", "ICP probe-round timeout (requires --pipeline)",
+     [](ParseState& state, const char* value) {
+       state.options.pipeline.icp_timeout =
+           msec(non_negative_long(value, "icp-timeout-ms"));
+       state.saw_pipeline_knob = true;
+     }},
+    {"icp-retries", "N",
+     "re-probe silent peers up to N times (requires --pipeline)",
+     [](ParseState& state, const char* value) {
+       state.options.pipeline.icp_retries =
+           static_cast<std::uint32_t>(non_negative_long(value, "icp-retries"));
+       state.saw_pipeline_knob = true;
+     }},
+    {"coalesce", nullptr,
+     "collapse concurrent same-document misses (requires --pipeline)",
+     [](ParseState& state, const char*) {
+       state.options.pipeline.coalesce = true;
+       state.saw_pipeline_knob = true;
+     }},
+    {"help", nullptr, "print this message and exit", nullptr},
+};
+
+void print_usage(std::FILE* out) {
+  std::string line = std::string("usage: ") + g_argv0;
+  for (const FlagSpec& flag : kFlags) {
+    line += " [--";
+    line += flag.name;
+    if (flag.value_name) {
+      line += ' ';
+      line += flag.value_name;
+    }
+    line += ']';
+  }
+  std::fprintf(out, "%s\n", line.c_str());
+  for (const FlagSpec& flag : kFlags) {
+    std::string left = std::string("--") + flag.name;
+    if (flag.value_name) {
+      left += ' ';
+      left += flag.value_name;
+    }
+    std::fprintf(out, "  %-20s %s\n", left.c_str(), flag.help);
+  }
 }
 
 }  // namespace
 
 BenchOptions parse_args(int argc, char** argv) {
-  BenchOptions options;
+  g_argv0 = argv[0];
+  ParseState state;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      options.stream_json = true;
-    } else if (arg == "--jobs") {
-      if (i + 1 >= argc) usage_and_exit(argv[0]);
-      const long parsed = std::strtol(argv[++i], nullptr, 10);
-      if (parsed <= 0) usage_and_exit(argv[0]);
-      options.jobs = static_cast<std::size_t>(parsed);
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      const long parsed = std::strtol(arg.c_str() + 7, nullptr, 10);
-      if (parsed <= 0) usage_and_exit(argv[0]);
-      options.jobs = static_cast<std::size_t>(parsed);
-    } else if (arg == "--trace-out") {
-      if (i + 1 >= argc) usage_and_exit(argv[0]);
-      options.trace_out = argv[++i];
-    } else if (arg.rfind("--trace-out=", 0) == 0) {
-      options.trace_out = arg.substr(12);
-    } else if (arg == "--no-obs") {
-      options.no_obs = true;
-    } else {
-      usage_and_exit(argv[0]);
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) fail("unknown argument: " + arg);
+    arg.erase(0, 2);
+
+    std::string inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      has_inline = true;
+      arg.erase(eq);
     }
+    if (arg == "help") {
+      print_usage(stdout);
+      std::exit(0);
+    }
+
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& flag : kFlags) {
+      if (arg == flag.name) {
+        spec = &flag;
+        break;
+      }
+    }
+    if (spec == nullptr) fail("unknown flag: --" + arg);
+
+    const char* value = nullptr;
+    if (spec->value_name != nullptr) {
+      if (has_inline) {
+        value = inline_value.c_str();
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        fail("--" + arg + " needs a value");
+      }
+    } else if (has_inline) {
+      fail("--" + arg + " takes no value");
+    }
+    spec->apply(state, value);
   }
-  if (options.no_obs && !options.trace_out.empty()) {
-    std::fprintf(stderr, "%s: --no-obs and --trace-out are mutually exclusive\n", argv[0]);
-    std::exit(2);
+
+  if (state.options.no_obs && !state.options.trace_out.empty()) {
+    fail("--no-obs and --trace-out are mutually exclusive");
   }
-  return options;
+  if (state.saw_pipeline_knob && !state.options.pipeline.event_driven) {
+    fail("--icp-timeout-ms/--icp-retries/--coalesce require --pipeline");
+  }
+  if (state.options.pipeline.event_driven) {
+    // Reject bad knob values here with a usage error rather than letting
+    // GroupConfig::validate_or_throw() abort a sweep worker thread later.
+    GroupConfig probe;
+    probe.latency = LatencyModel::paper_defaults();
+    probe.pipeline = state.options.pipeline;
+    std::string joined;
+    for (const std::string& error : probe.validate()) {
+      if (!joined.empty()) joined += "; ";
+      joined += error;
+    }
+    if (!joined.empty()) fail(joined);
+  }
+  g_cli_pipeline = state.options.pipeline;
+  return state.options;
 }
 
 SweepOptions sweep_options(const BenchOptions& options) {
@@ -153,6 +279,7 @@ GroupConfig paper_group(std::size_t num_proxies) {
   config.replacement = PolicyKind::kLru;
   config.topology = TopologyKind::kDistributed;
   config.latency = LatencyModel::paper_defaults();
+  config.pipeline = g_cli_pipeline;
   return config;
 }
 

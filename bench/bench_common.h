@@ -6,14 +6,26 @@
 // figure/table, and (b) a machine-readable CSV block for EXPERIMENTS.md.
 //
 // All benches fan their simulations out through SweepRunner (sim/sweep.h).
-// Common CLI, accepted by every bench binary:
-//   --jobs N          worker threads (default: EACACHE_JOBS env, then hardware)
-//   --json            additionally stream one JSON row per completed run
-//   --trace-out FILE  enable request-lifecycle tracing on every run and
-//                     append each run's span events to FILE as JSONL, one
-//                     "run"-labelled line per event, in submission order
-//   --no-obs          disable the metric registry (and tracing) entirely —
-//                     the control arm of the observability-is-free guarantee
+// The CLI is declarative: every flag lives in one spec table in
+// bench_common.cpp, which also generates `--help`, so all ~20 binaries
+// accept the identical surface:
+//   --jobs N            worker threads (default: EACACHE_JOBS env, then hardware)
+//   --json              additionally stream one JSON row per completed run
+//   --trace-out FILE    enable request-lifecycle tracing on every run and
+//                       append each run's span events to FILE as JSONL, one
+//                       "run"-labelled line per event, in submission order
+//   --no-obs            disable the metric registry (and tracing) entirely —
+//                       the control arm of the observability-is-free guarantee
+//   --pipeline          serve through the event-driven request pipeline
+//                       (DESIGN.md §9) instead of the legacy synchronous driver
+//   --icp-timeout-ms MS ICP probe-round timeout (requires --pipeline)
+//   --icp-retries N     re-probe silent peers up to N times (requires --pipeline)
+//   --coalesce          collapse concurrent same-document misses (requires
+//                       --pipeline)
+//
+// The pipeline flags flow into every GroupConfig built by paper_group(), so
+// any figure/ablation bench can be re-run under the event-driven driver
+// without per-bench plumbing.
 #pragma once
 
 #include <cstddef>
@@ -29,12 +41,14 @@
 
 namespace eacache::bench {
 
-/// Parsed bench CLI (see header comment). Unknown flags abort with usage.
+/// Parsed bench CLI (see header comment). Unknown flags abort with the
+/// generated usage text; `--help` prints it and exits 0.
 struct BenchOptions {
   std::size_t jobs = 0;      // 0 = resolve_job_count() (env, then hardware)
   bool stream_json = false;  // --json: per-run JSON rows on stdout
   std::string trace_out;     // --trace-out FILE; empty = tracing off
   bool no_obs = false;       // --no-obs: registry + tracing disabled
+  PipelineConfig pipeline;   // --pipeline/--icp-*/--coalesce; default = legacy
 };
 
 [[nodiscard]] BenchOptions parse_args(int argc, char** argv);
@@ -61,7 +75,9 @@ struct BenchOptions {
 [[nodiscard]] TraceRef small_trace();
 
 /// The paper's experimental group: distributed architecture, LRU
-/// replacement, N caches with equal shares of the aggregate budget.
+/// replacement, N caches with equal shares of the aggregate budget. Carries
+/// the pipeline knobs from the most recent parse_args() call, so `--pipeline`
+/// switches every bench onto the event-driven driver.
 [[nodiscard]] GroupConfig paper_group(std::size_t num_proxies = 4);
 
 /// Pretty banner: experiment id + description + workload summary.

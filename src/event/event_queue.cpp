@@ -6,42 +6,64 @@
 
 namespace eacache {
 
-void EventQueue::schedule_at(TimePoint at, EventFn fn) {
+EventId EventQueue::schedule_at(TimePoint at, EventFn fn) {
   if (at < now_) {
     throw std::logic_error("EventQueue: scheduling in the past");
   }
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  const EventId id = next_seq_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Only ids still awaiting their turn can be cancelled; anything else
+  // (fired, already cancelled, kNoEvent) is a no-op so callers need not
+  // track whether their deadline raced its cancellation.
+  if (live_.erase(id) > 0) cancelled_.insert(id);
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && cancelled_.erase(heap_.top().seq) > 0) {
+    heap_.pop();
+  }
 }
 
 void EventQueue::fire(Entry entry) {
+  live_.erase(entry.seq);
   now_ = entry.at;
   entry.fn(now_);
 }
 
 std::uint64_t EventQueue::run() {
   std::uint64_t executed = 0;
+  skip_cancelled();
   while (!heap_.empty()) {
     Entry e = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
     fire(std::move(e));
     ++executed;
+    skip_cancelled();
   }
   return executed;
 }
 
 std::uint64_t EventQueue::run_until(TimePoint deadline) {
   std::uint64_t executed = 0;
+  skip_cancelled();
   while (!heap_.empty() && heap_.top().at <= deadline) {
     Entry e = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
     fire(std::move(e));
     ++executed;
+    skip_cancelled();
   }
   if (now_ < deadline) now_ = deadline;
   return executed;
 }
 
 bool EventQueue::step() {
+  skip_cancelled();
   if (heap_.empty()) return false;
   Entry e = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();

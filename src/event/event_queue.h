@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -22,6 +23,11 @@ namespace eacache {
 
 /// Callback invoked when an event fires. Receives the simulated firing time.
 using EventFn = std::function<void(TimePoint)>;
+
+/// Opaque handle identifying a scheduled (not yet fired) event; used to
+/// cancel it. kNoEvent (0) never names a real event.
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
 
 class EventQueue {
  public:
@@ -34,11 +40,20 @@ class EventQueue {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedule `fn` at the absolute simulated time `at`. Scheduling in the
-  /// past is a programming error and throws std::logic_error.
-  void schedule_at(TimePoint at, EventFn fn);
+  /// past is a programming error and throws std::logic_error. Returns a
+  /// handle that cancel() accepts until the event fires.
+  EventId schedule_at(TimePoint at, EventFn fn);
 
   /// Schedule `fn` `delay` after the current time.
-  void schedule_after(Duration delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
+  EventId schedule_after(Duration delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a scheduled event: it still occupies its heap slot but fires as
+  /// a no-op (lazy deletion — the request pipeline cancels ICP timeouts
+  /// whose discovery window completed early). Cancelling an already-fired,
+  /// already-cancelled or kNoEvent id is a harmless no-op.
+  void cancel(EventId id);
 
   /// Run events until the queue is empty. Returns number of events executed.
   std::uint64_t run();
@@ -50,8 +65,9 @@ class EventQueue {
   /// Execute exactly one event if any is pending. Returns false if empty.
   bool step();
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.size() == cancelled_.size(); }
+  /// Live (uncancelled) events still scheduled.
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
 
  private:
   struct Entry {
@@ -67,10 +83,14 @@ class EventQueue {
   };
 
   void fire(Entry entry);
+  /// Pop cancelled entries off the top without firing them.
+  void skip_cancelled();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   TimePoint now_ = kSimEpoch;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 1;  // 0 is kNoEvent
+  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet fired/cancelled
+  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, still in heap_
 };
 
 /// Recurring event helper: reschedules itself every `period` until cancelled

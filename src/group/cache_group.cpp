@@ -10,11 +10,16 @@
 namespace eacache {
 
 namespace {
+
+/// Validation gate for the constructor: runs before any member that depends
+/// on the config (the topology is built in the initializer list).
+const GroupConfig& validated(const GroupConfig& config) {
+  config.validate_or_throw();
+  return config;
+}
+
 Topology build_topology(const GroupConfig& config) {
   if (!config.custom_parents.empty()) {
-    if (config.topology != TopologyKind::kHierarchical) {
-      throw std::invalid_argument("CacheGroup: custom_parents requires kHierarchical");
-    }
     return Topology::from_parents(TopologyKind::kHierarchical, config.custom_parents);
   }
   switch (config.topology) {
@@ -23,40 +28,137 @@ Topology build_topology(const GroupConfig& config) {
   }
   throw std::invalid_argument("CacheGroup: bad topology kind");
 }
+
+/// Per-cache byte budgets: equal split (the paper's setup) unless explicit
+/// weights are given. Assumes a validated config.
+std::vector<Bytes> split_budgets(const GroupConfig& config, std::size_t total_caches) {
+  std::vector<Bytes> budgets(total_caches, config.aggregate_capacity / total_caches);
+  if (!config.capacity_weights.empty()) {
+    double weight_sum = 0.0;
+    for (const double w : config.capacity_weights) weight_sum += w;
+    for (std::size_t p = 0; p < total_caches; ++p) {
+      budgets[p] = static_cast<Bytes>(static_cast<double>(config.aggregate_capacity) *
+                                      config.capacity_weights[p] / weight_sum);
+    }
+  }
+  return budgets;
+}
+
 }  // namespace
 
+std::size_t GroupConfig::total_cache_count() const {
+  if (!custom_parents.empty()) return custom_parents.size();
+  return num_proxies + (topology == TopologyKind::kHierarchical ? 1 : 0);
+}
+
+std::vector<std::string> GroupConfig::validate() const {
+  std::vector<std::string> errors;
+  const auto fail = [&errors](std::string message) { errors.push_back(std::move(message)); };
+
+  if (custom_parents.empty() && num_proxies == 0) {
+    fail("num_proxies must be positive");
+  }
+  if (!custom_parents.empty() && topology != TopologyKind::kHierarchical) {
+    fail("custom_parents requires the kHierarchical topology");
+  }
+
+  const std::size_t total_caches = total_cache_count();
+  bool weights_usable = true;
+  if (!capacity_weights.empty()) {
+    if (capacity_weights.size() != total_caches) {
+      fail("capacity_weights has " + std::to_string(capacity_weights.size()) +
+           " entries but the group has " + std::to_string(total_caches) + " caches");
+      weights_usable = false;
+    }
+    for (const double w : capacity_weights) {
+      if (!(w > 0.0)) {
+        fail("capacity_weights entries must be positive");
+        weights_usable = false;
+        break;
+      }
+    }
+  }
+  if (total_caches > 0 && weights_usable) {
+    for (const Bytes budget : split_budgets(*this, total_caches)) {
+      if (budget == 0) {
+        fail("aggregate_capacity too small: some cache's budget rounds to zero bytes");
+        break;
+      }
+    }
+  }
+
+  if (coherence.enabled) {
+    if (coherence.fresh_ttl <= Duration::zero()) {
+      fail("coherence.fresh_ttl must be positive");
+    }
+    if (coherence.rule == FreshnessRule::kLmFactor &&
+        (!(coherence.lm_factor > 0.0) || coherence.min_ttl <= Duration::zero() ||
+         coherence.max_ttl < coherence.min_ttl)) {
+      fail("coherence LM-factor parameters are inconsistent (lm_factor > 0, "
+           "0 < min_ttl <= max_ttl required)");
+    }
+  }
+
+  if (routing == RoutingMode::kHashPartition) {
+    if (topology != TopologyKind::kDistributed) {
+      fail("hash partitioning requires a flat (kDistributed) group");
+    }
+    if (placement != PlacementKind::kAdHoc) {
+      fail("hash partitioning IS the placement scheme; placement must be kAdHoc");
+    }
+    if (prefetch.enabled) {
+      fail("prefetching is a cooperative-mode feature (document homes are fixed "
+           "under hash partitioning)");
+    }
+  }
+
+  if (prefetch.enabled &&
+      !(prefetch.min_confidence >= 0.0 && prefetch.min_confidence <= 1.0)) {
+    fail("prefetch.min_confidence must be in [0, 1]");
+  }
+
+  if (icp_loss_probability < 0.0 || icp_loss_probability > 1.0) {
+    fail("icp_loss_probability must be in [0, 1]");
+  }
+
+  if (pipeline.event_driven) {
+    if (pipeline.icp_timeout <= Duration::zero()) {
+      fail("pipeline.icp_timeout must be positive");
+    } else if (pipeline.icp_timeout <= latency.icp_rtt) {
+      fail("pipeline.icp_timeout must exceed latency.icp_rtt (replies would "
+           "always time out)");
+    }
+  } else if (pipeline.icp_retries > 0 || pipeline.coalesce) {
+    fail("pipeline.icp_retries / pipeline.coalesce require pipeline.event_driven");
+  }
+  if (!(pipeline.retry_backoff >= 1.0)) {
+    fail("pipeline.retry_backoff must be >= 1");
+  }
+
+  return errors;
+}
+
+void GroupConfig::validate_or_throw() const {
+  const std::vector<std::string> errors = validate();
+  if (errors.empty()) return;
+  std::string message = "invalid GroupConfig: ";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += errors[i];
+  }
+  throw std::invalid_argument(message);
+}
+
 CacheGroup::CacheGroup(const GroupConfig& config)
-    : config_(config),
-      topology_(build_topology(config)),
+    : config_(validated(config)),
+      topology_(build_topology(config_)),
       placement_(make_placement(config.placement, config.ea_hysteresis)),
       registry_(config.obs.registry),
       trace_log_(config.obs.trace_capacity),
       transport_(config.wire),
       digest_directory_(config.digest) {
   const std::size_t total_caches = topology_.num_proxies();
-
-  // Per-cache byte budgets: equal split (the paper's setup) unless
-  // explicit weights are given.
-  std::vector<Bytes> budgets(total_caches, config_.aggregate_capacity / total_caches);
-  if (!config_.capacity_weights.empty()) {
-    if (config_.capacity_weights.size() != total_caches) {
-      throw std::invalid_argument("CacheGroup: capacity_weights size != total cache count");
-    }
-    double weight_sum = 0.0;
-    for (const double w : config_.capacity_weights) {
-      if (!(w > 0.0)) throw std::invalid_argument("CacheGroup: weights must be positive");
-      weight_sum += w;
-    }
-    for (std::size_t p = 0; p < total_caches; ++p) {
-      budgets[p] = static_cast<Bytes>(static_cast<double>(config_.aggregate_capacity) *
-                                      config_.capacity_weights[p] / weight_sum);
-    }
-  }
-  for (const Bytes budget : budgets) {
-    if (budget == 0) {
-      throw std::invalid_argument("CacheGroup: aggregate capacity too small for group size");
-    }
-  }
+  const std::vector<Bytes> budgets = split_budgets(config_, total_caches);
 
   const DigestConfig* digest =
       config_.discovery == DiscoveryMode::kDigest ? &config_.digest : nullptr;
@@ -82,47 +184,18 @@ CacheGroup::CacheGroup(const GroupConfig& config)
                                              static_cast<double>(kMiB), 64);
   }
 
-  if (config_.coherence.enabled) {
-    if (config_.coherence.fresh_ttl <= Duration::zero()) {
-      throw std::invalid_argument("CacheGroup: freshness TTL must be positive");
-    }
-    if (config_.coherence.rule == FreshnessRule::kLmFactor &&
-        (!(config_.coherence.lm_factor > 0.0) ||
-         config_.coherence.min_ttl <= Duration::zero() ||
-         config_.coherence.max_ttl < config_.coherence.min_ttl)) {
-      throw std::invalid_argument("CacheGroup: bad LM-factor freshness parameters");
-    }
-    origin_.emplace(config_.origin);
-  }
+  if (config_.coherence.enabled) origin_.emplace(config_.origin);
 
   if (config_.routing == RoutingMode::kHashPartition) {
-    if (config_.topology != TopologyKind::kDistributed) {
-      throw std::invalid_argument("CacheGroup: hash partitioning requires a flat group");
-    }
-    if (config_.placement != PlacementKind::kAdHoc) {
-      throw std::invalid_argument(
-          "CacheGroup: hash partitioning IS the placement scheme; use kAdHoc");
-    }
-    if (config_.prefetch.enabled) {
-      throw std::invalid_argument(
-          "CacheGroup: prefetching is a cooperative-mode feature (document homes are "
-          "fixed under hash partitioning)");
-    }
     hash_ring_.emplace(config_.hash_virtual_nodes);
     for (const ProxyId p : topology_.client_facing()) hash_ring_->add_proxy(p);
   }
 
   if (config_.prefetch.enabled) {
-    if (!(config_.prefetch.min_confidence >= 0.0 && config_.prefetch.min_confidence <= 1.0)) {
-      throw std::invalid_argument("CacheGroup: prefetch confidence must be in [0, 1]");
-    }
     predictors_.assign(total_caches, MarkovPredictor{});
     pending_prefetch_.assign(total_caches, {});
   }
 
-  if (config_.icp_loss_probability < 0.0 || config_.icp_loss_probability > 1.0) {
-    throw std::invalid_argument("CacheGroup: ICP loss probability must be in [0, 1]");
-  }
   network_rng_.reseed(config_.network_seed);
 }
 
@@ -138,7 +211,8 @@ std::size_t CacheGroup::pending_prefetches() const {
   return pending;
 }
 
-void CacheGroup::learn_and_prefetch(ProxyCache& requester, const Request& request) {
+void CacheGroup::learn_and_prefetch(ProxyCache& requester, const Request& request,
+                                    TimePoint now) {
   const ProxyId p = requester.id();
   known_sizes_[request.document] = request.size;
 
@@ -162,9 +236,9 @@ void CacheGroup::learn_and_prefetch(ProxyCache& requester, const Request& reques
   if (size_it == known_sizes_.end()) return;  // size unknown: cannot speculate
 
   Document speculative{prediction->document, size_it->second, 0};
-  if (origin_) speculative.version = origin_->version_at(speculative.id, request.at);
-  note_origin_fetch(p, speculative, request.at, /*speculative=*/true);
-  requester.cache_after_origin_fetch(speculative, request.at);
+  if (origin_) speculative.version = origin_->version_at(speculative.id, now);
+  note_origin_fetch(p, speculative, now, /*speculative=*/true);
+  requester.cache_after_origin_fetch(speculative, now);
   if (requester.store().contains(speculative.id)) {
     pending_prefetch_[p].insert(speculative.id);
     ++prefetch_stats_.issued;
@@ -198,69 +272,98 @@ void CacheGroup::sort_by_ring_distance(std::vector<ProxyId>& peers, ProxyId requ
   });
 }
 
+bool CacheGroup::peer_down(ProxyId proxy, TimePoint at) const {
+  for (const PeerOutage& outage : outages_) {
+    if (outage.proxy == proxy && at >= outage.start && at < outage.end) return true;
+  }
+  return false;
+}
+
+std::vector<ProxyId> CacheGroup::probe_targets(ProxyId requester) const {
+  std::vector<ProxyId> targets = topology_.siblings_of(requester);
+  if (const auto parent = topology_.parent_of(requester)) targets.push_back(*parent);
+  return targets;
+}
+
+CacheGroup::ProbeResult CacheGroup::probe_peer(ProxyCache& requester, ProxyId target,
+                                               const Request& request, TimePoint now) {
+  const IcpQuery query{requester.id(), target, request.document};
+  transport_.record_icp_query(query);
+  obs_icp_queries_.inc();
+  // UDP is best-effort: a lost query or reply looks like a peer miss and
+  // the requester falls back to the origin (a duplicate fetch). A peer in
+  // an injected outage window behaves exactly like a loss — it never
+  // answers. The outage check precedes the RNG draw so that configurations
+  // without outages consume loss draws identically with or without this
+  // feature compiled into the flow.
+  const bool down = peer_down(target, now);
+  if (down || (config_.icp_loss_probability > 0.0 &&
+               network_rng_.next_bool(config_.icp_loss_probability))) {
+    transport_.record_icp_loss();
+    obs_icp_losses_.inc();
+    if (trace_log_.enabled()) {
+      SpanEvent event;
+      event.request = current_request_;
+      event.at_ms = sim_ms(now);
+      event.document = request.document;
+      event.proxy = requester.id();
+      event.peer = static_cast<std::int32_t>(target);
+      event.kind = SpanKind::kIcpLoss;
+      trace_log_.record(event);
+    }
+    return ProbeResult::kLost;
+  }
+  // A proxy only advertises copies it could legally serve: with coherence
+  // on, TTL-stale copies answer "miss".
+  const bool hit = copy_is_fresh(*proxies_[target], request.document, now);
+  proxies_[target]->note_icp_answer(hit);
+  transport_.record_icp_reply(IcpReply{target, requester.id(), request.document, hit});
+  obs_icp_replies_.inc();
+  if (trace_log_.enabled()) {
+    SpanEvent event;
+    event.request = current_request_;
+    event.at_ms = sim_ms(now);
+    event.document = request.document;
+    event.proxy = requester.id();
+    event.peer = static_cast<std::int32_t>(target);
+    event.kind = SpanKind::kIcpProbe;
+    event.flag = hit ? 1 : 0;
+    trace_log_.record(event);
+  }
+  return hit ? ProbeResult::kHit : ProbeResult::kMiss;
+}
+
+std::vector<ProxyId> CacheGroup::digest_candidates(ProxyId requester,
+                                                   DocumentId document) const {
+  const std::vector<ProxyId> claimed = digest_directory_.candidates(document);
+  std::vector<ProxyId> candidates;
+  for (const ProxyId target : probe_targets(requester)) {
+    if (std::binary_search(claimed.begin(), claimed.end(), target)) {
+      candidates.push_back(target);
+    }
+  }
+  return candidates;
+}
+
 std::vector<ProxyId> CacheGroup::discover_candidates(ProxyCache& requester,
                                                      const Request& request) {
-  std::vector<ProxyId> targets = topology_.siblings_of(requester.id());
-  if (const auto parent = topology_.parent_of(requester.id())) targets.push_back(*parent);
-
   std::vector<ProxyId> candidates;
   if (config_.discovery == DiscoveryMode::kIcp) {
-    for (const ProxyId target : targets) {
-      const IcpQuery query{requester.id(), target, request.document};
-      transport_.record_icp_query(query);
-      obs_icp_queries_.inc();
-      // UDP is best-effort: a lost query or reply looks like a peer miss
-      // and the requester falls back to the origin (a duplicate fetch).
-      if (config_.icp_loss_probability > 0.0 &&
-          network_rng_.next_bool(config_.icp_loss_probability)) {
-        transport_.record_icp_loss();
-        obs_icp_losses_.inc();
-        if (trace_log_.enabled()) {
-          SpanEvent event;
-          event.request = current_request_;
-          event.at_ms = sim_ms(request.at);
-          event.document = request.document;
-          event.proxy = requester.id();
-          event.peer = static_cast<std::int32_t>(target);
-          event.kind = SpanKind::kIcpLoss;
-          trace_log_.record(event);
-        }
-        continue;
-      }
-      // A proxy only advertises copies it could legally serve: with
-      // coherence on, TTL-stale copies answer "miss".
-      const bool hit = copy_is_fresh(*proxies_[target], request.document, request.at);
-      proxies_[target]->note_icp_answer(hit);
-      transport_.record_icp_reply(IcpReply{target, requester.id(), request.document, hit});
-      obs_icp_replies_.inc();
-      if (trace_log_.enabled()) {
-        SpanEvent event;
-        event.request = current_request_;
-        event.at_ms = sim_ms(request.at);
-        event.document = request.document;
-        event.proxy = requester.id();
-        event.peer = static_cast<std::int32_t>(target);
-        event.kind = SpanKind::kIcpProbe;
-        event.flag = hit ? 1 : 0;
-        trace_log_.record(event);
-      }
-      if (hit) candidates.push_back(target);
-    }
-  } else {
-    const std::vector<ProxyId> claimed = digest_directory_.candidates(request.document);
-    for (const ProxyId target : targets) {
-      if (std::binary_search(claimed.begin(), claimed.end(), target)) {
+    for (const ProxyId target : probe_targets(requester.id())) {
+      if (probe_peer(requester, target, request, request.at) == ProbeResult::kHit) {
         candidates.push_back(target);
       }
     }
+  } else {
+    candidates = digest_candidates(requester.id(), request.document);
   }
   sort_by_ring_distance(candidates, requester.id());
   return candidates;
 }
 
-Document CacheGroup::document_from(const Request& request) const {
+Document CacheGroup::document_from(const Request& request, TimePoint now) const {
   Document document{request.document, request.size, 0};
-  if (origin_) document.version = origin_->version_at(request.document, request.at);
+  if (origin_) document.version = origin_->version_at(request.document, now);
   return document;
 }
 
@@ -285,8 +388,8 @@ bool CacheGroup::copy_is_fresh(const ProxyCache& proxy, DocumentId document,
   return now - entry->last_validated < freshness_lifetime(*entry);
 }
 
-CacheGroup::LocalLookup CacheGroup::local_lookup(ProxyCache& proxy, const Request& request) {
-  const TimePoint now = request.at;
+CacheGroup::LocalLookup CacheGroup::local_lookup(ProxyCache& proxy, const Request& request,
+                                                 TimePoint now) {
   const auto entry = proxy.store().peek(request.document);
   if (!entry) return {LocalState::kMiss, 0};
 
@@ -344,11 +447,8 @@ void CacheGroup::flush_proxy(ProxyId proxy, TimePoint now) {
   proxies_.at(proxy)->flush(now);
 }
 
-RequestOutcome CacheGroup::serve(const Request& request) {
-  if (config_.discovery == DiscoveryMode::kDigest) refresh_digests(request.at);
-  ProxyCache& requester = *proxies_[home_proxy(request.user)];
+std::uint64_t CacheGroup::begin_request(ProxyCache& requester, const Request& request) {
   requester.note_client_request();
-
   current_request_ = request_seq_++;
   obs_requests_.inc();
   obs_request_bytes_.observe(static_cast<double>(request.size));
@@ -362,61 +462,76 @@ RequestOutcome CacheGroup::serve(const Request& request) {
     event.value = static_cast<std::int64_t>(request.size);
     trace_log_.record(event);
   }
+  return current_request_;
+}
 
-  RequestOutcome outcome;
+void CacheGroup::record_complete_span(ProxyId proxy, DocumentId document,
+                                      std::uint64_t request_id, TimePoint at,
+                                      RequestOutcome outcome) {
+  if (!trace_log_.enabled()) return;
+  SpanEvent event;
+  event.request = request_id;
+  event.at_ms = sim_ms(at);
+  event.document = document;
+  event.proxy = proxy;
+  event.kind = SpanKind::kComplete;
+  event.value = static_cast<std::int64_t>(outcome);
+  trace_log_.record(event);
+}
+
+RequestOutcome CacheGroup::serve(const Request& request) {
+  if (config_.discovery == DiscoveryMode::kDigest) refresh_digests(request.at);
+  ProxyCache& requester = *proxies_[home_proxy(request.user)];
+  const std::uint64_t request_id = begin_request(requester, request);
+
+  Resolution resolved;
   if (config_.routing == RoutingMode::kHashPartition) {
-    outcome = serve_hash_partition(requester, request);
+    resolved = resolve_hash_partition(requester, request, request.at);
+    metrics_.record(resolved.outcome, resolved.bytes, resolved.latency);
   } else {
     // A speculative copy stops being speculative the moment it is demanded.
     const bool was_prefetched =
         config_.prefetch.enabled &&
         pending_prefetch_[requester.id()].erase(request.document) > 0;
 
-    outcome = serve_at_proxy(requester, request);
+    resolved = resolve_cooperative(requester, request, request.at);
+    metrics_.record(resolved.outcome, resolved.bytes, resolved.latency);
 
     if (config_.prefetch.enabled) {
-      if (was_prefetched && outcome == RequestOutcome::kLocalHit) {
+      if (was_prefetched && resolved.outcome == RequestOutcome::kLocalHit) {
         ++prefetch_stats_.useful;
       }
-      learn_and_prefetch(requester, request);
+      learn_and_prefetch(requester, request, request.at);
     }
   }
 
-  if (trace_log_.enabled()) {
-    SpanEvent event;
-    event.request = current_request_;
-    event.at_ms = sim_ms(request.at);
-    event.document = request.document;
-    event.proxy = requester.id();
-    event.kind = SpanKind::kComplete;
-    event.value = static_cast<std::int64_t>(outcome);
-    trace_log_.record(event);
-  }
-  return outcome;
+  record_complete_span(requester.id(), request.document, request_id, request.at,
+                       resolved.outcome);
+  return resolved.outcome;
 }
 
-RequestOutcome CacheGroup::serve_hash_partition(ProxyCache& requester, const Request& request) {
-  const TimePoint now = request.at;
+CacheGroup::Resolution CacheGroup::resolve_hash_partition(ProxyCache& requester,
+                                                          const Request& request,
+                                                          TimePoint now) {
   const ProxyId home_id = hash_ring_->home_of(request.document);
 
-  const Document document = document_from(request);
+  const Document document = document_from(request, now);
 
   if (home_id == requester.id()) {
     // The requester IS the document's home.
-    const LocalLookup local = local_lookup(requester, request);
+    const LocalLookup local = local_lookup(requester, request, now);
     if (local.state == LocalState::kFreshHit) {
-      metrics_.record(RequestOutcome::kLocalHit, local.size, config_.latency.local_hit);
-      return RequestOutcome::kLocalHit;
+      return {RequestOutcome::kLocalHit, local.size, config_.latency.local_hit};
     }
     if (local.state == LocalState::kValidatedHit) {
-      metrics_.record(RequestOutcome::kLocalHit, local.size,
-                      config_.latency.local_hit + config_.coherence.validation_rtt);
-      return RequestOutcome::kLocalHit;
+      return {RequestOutcome::kLocalHit, local.size,
+              config_.latency.local_hit + config_.coherence.validation_rtt};
     }
     note_origin_fetch(requester.id(), document, now, /*speculative=*/false);
-    requester.cache_after_origin_fetch(document, now);
-    metrics_.record(RequestOutcome::kMiss, document.size, config_.latency.miss);
-    return RequestOutcome::kMiss;
+    if (!requester.store().contains(document.id)) {
+      requester.cache_after_origin_fetch(document, now);
+    }
+    return {RequestOutcome::kMiss, document.size, config_.latency.miss};
   }
 
   // Forward to the home cache; the requester never keeps a copy (pure
@@ -428,7 +543,7 @@ RequestOutcome CacheGroup::serve_hash_partition(ProxyCache& requester, const Req
   forward.document = request.document;
   transport_.record_http_request(forward);
 
-  const LocalLookup at_home = local_lookup(home, request);
+  const LocalLookup at_home = local_lookup(home, request, now);
   if (at_home.state == LocalState::kFreshHit || at_home.state == LocalState::kValidatedHit) {
     HttpResponse response;
     response.from = home_id;
@@ -440,14 +555,14 @@ RequestOutcome CacheGroup::serve_hash_partition(ProxyCache& requester, const Req
     const Duration extra = at_home.state == LocalState::kValidatedHit
                                ? config_.coherence.validation_rtt
                                : Duration::zero();
-    metrics_.record(RequestOutcome::kRemoteHit, at_home.size,
-                    config_.latency.remote_hit + extra);
-    return RequestOutcome::kRemoteHit;
+    return {RequestOutcome::kRemoteHit, at_home.size, config_.latency.remote_hit + extra};
   }
 
   // Home miss (or changed at origin): the home fetches and keeps the copy.
   note_origin_fetch(home_id, document, now, /*speculative=*/false);
-  home.cache_after_origin_fetch(document, now);
+  if (!home.store().contains(document.id)) {
+    home.cache_after_origin_fetch(document, now);
+  }
   HttpResponse response;
   response.from = home_id;
   response.to = requester.id();
@@ -455,31 +570,28 @@ RequestOutcome CacheGroup::serve_hash_partition(ProxyCache& requester, const Req
   response.body_size = document.size;
   response.source = ResponseSource::kOrigin;
   transport_.record_http_response(response);
-  metrics_.record(RequestOutcome::kMiss, document.size, config_.latency.miss);
-  return RequestOutcome::kMiss;
+  return {RequestOutcome::kMiss, document.size, config_.latency.miss};
 }
 
-RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& request) {
-  const TimePoint now = request.at;
-
+CacheGroup::Resolution CacheGroup::resolve_cooperative(ProxyCache& requester,
+                                                       const Request& request, TimePoint now) {
   // 1. Local lookup (a promoting hit if resident; with coherence on this
   // runs the freshness/validation state machine).
-  const LocalLookup local = local_lookup(requester, request);
+  const LocalLookup local = local_lookup(requester, request, now);
   switch (local.state) {
     case LocalState::kFreshHit:
-      metrics_.record(RequestOutcome::kLocalHit, local.size, config_.latency.local_hit);
-      return RequestOutcome::kLocalHit;
+      return {RequestOutcome::kLocalHit, local.size, config_.latency.local_hit};
     case LocalState::kValidatedHit:
-      metrics_.record(RequestOutcome::kLocalHit, local.size,
-                      config_.latency.local_hit + config_.coherence.validation_rtt);
-      return RequestOutcome::kLocalHit;
+      return {RequestOutcome::kLocalHit, local.size,
+              config_.latency.local_hit + config_.coherence.validation_rtt};
     case LocalState::kChanged: {
       // The If-Modified-Since reply carried the new body: an origin fetch.
-      const Document document = document_from(request);
+      const Document document = document_from(request, now);
       note_origin_fetch(requester.id(), document, now, /*speculative=*/false);
-      requester.cache_after_origin_fetch(document, now);
-      metrics_.record(RequestOutcome::kMiss, document.size, config_.latency.miss);
-      return RequestOutcome::kMiss;
+      if (!requester.store().contains(document.id)) {
+        requester.cache_after_origin_fetch(document, now);
+      }
+      return {RequestOutcome::kMiss, document.size, config_.latency.miss};
     }
     case LocalState::kMiss:
       break;
@@ -489,10 +601,20 @@ RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& 
   // (approximate), best candidate first.
   const std::vector<ProxyId> candidates = discover_candidates(requester, request);
 
-  // 3. Fetch from the first candidate that actually has the document. ICP
-  // candidates always do; digest candidates can be stale (failed probes
+  // 3. Fetch through the candidates, falling back to the group-miss
+  // resolution.
+  return try_candidates(requester, request, candidates, now);
+}
+
+CacheGroup::Resolution CacheGroup::try_candidates(ProxyCache& requester, const Request& request,
+                                                  const std::vector<ProxyId>& candidates,
+                                                  TimePoint now) {
+  // Fetch from the first candidate that actually has the document. ICP
+  // candidates always do (in the synchronous driver); digest candidates can
+  // be stale, and under the event-driven driver an ICP candidate may have
+  // evicted the copy while the reply was in flight. Failed probes
   // accumulate a latency penalty that carries into whatever resolves the
-  // request).
+  // request.
   Duration probe_penalty = Duration::zero();
   for (const ProxyId responder_id : candidates) {
     ProxyCache& responder = *proxies_[responder_id];
@@ -507,7 +629,7 @@ RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& 
     transport_.record_http_request(fetch);
     obs_sibling_fetches_.inc();
 
-    // Digest candidates can be stale in two ways: the copy is gone, or (with
+    // Stale candidates answer in two ways: the copy is gone, or (with
     // coherence on) it is TTL-expired and the responder will not serve it.
     HttpResponse response;
     if (coherence_on() && responder.store().contains(request.document) &&
@@ -539,7 +661,7 @@ RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& 
       continue;
     }
 
-    if (coherence_on() && response.version != document_from(request).version) {
+    if (coherence_on() && response.version != document_from(request, now).version) {
       ++coherence_stats_.stale_served;
     }
     const bool kept = requester.consider_caching(
@@ -548,32 +670,31 @@ RequestOutcome CacheGroup::serve_at_proxy(ProxyCache& requester, const Request& 
         coherence_on() ? std::optional<TimePoint>(response.validated_at) : std::nullopt);
     trace_placement(requester.id(), request.document, now, fetch.requester_age,
                     response.responder_age, kept);
-    metrics_.record(RequestOutcome::kRemoteHit, response.body_size,
-                    config_.latency.remote_hit + probe_penalty);
-    return RequestOutcome::kRemoteHit;
+    return {RequestOutcome::kRemoteHit, response.body_size,
+            config_.latency.remote_hit + probe_penalty};
   }
 
-  return resolve_group_miss(requester, request, probe_penalty);
+  return resolve_group_miss(requester, request, probe_penalty, now);
 }
 
-RequestOutcome CacheGroup::resolve_group_miss(ProxyCache& requester, const Request& request,
-                                              Duration probe_penalty) {
-  const TimePoint now = request.at;
+CacheGroup::Resolution CacheGroup::resolve_group_miss(ProxyCache& requester,
+                                                      const Request& request,
+                                                      Duration probe_penalty, TimePoint now) {
   const auto parent = topology_.parent_of(requester.id());
 
   if (!parent) {
     // 4. Distributed architecture: fetch from the origin, cache locally
     // (conventional step — identical under both schemes).
-    const Document document = document_from(request);
+    const Document document = document_from(request, now);
     note_origin_fetch(requester.id(), document, now, /*speculative=*/false);
-    requester.cache_after_origin_fetch(document, now);
-    metrics_.record(RequestOutcome::kMiss, document.size,
-                    config_.latency.miss + probe_penalty);
-    return RequestOutcome::kMiss;
+    if (!requester.store().contains(document.id)) {
+      requester.cache_after_origin_fetch(document, now);
+    }
+    return {RequestOutcome::kMiss, document.size, config_.latency.miss + probe_penalty};
   }
 
   // 5. Hierarchical architecture: the parent chain resolves the miss.
-  const HttpResponse response = fetch_via_parent(requester, *parent, request);
+  const HttpResponse response = fetch_via_parent(requester, *parent, request, now);
   const bool kept = requester.consider_caching(
       Document{request.document, response.body_size, response.version},
       response.responder_age, now,
@@ -583,18 +704,14 @@ RequestOutcome CacheGroup::resolve_group_miss(ProxyCache& requester, const Reque
   if (response.source == ResponseSource::kCache) {
     // A cache above the ICP horizon (grandparent or higher) had the
     // document: the group served it after all.
-    metrics_.record(RequestOutcome::kRemoteHit, response.body_size,
-                    config_.latency.remote_hit + probe_penalty);
-    return RequestOutcome::kRemoteHit;
+    return {RequestOutcome::kRemoteHit, response.body_size,
+            config_.latency.remote_hit + probe_penalty};
   }
-  metrics_.record(RequestOutcome::kMiss, response.body_size,
-                  config_.latency.miss + probe_penalty);
-  return RequestOutcome::kMiss;
+  return {RequestOutcome::kMiss, response.body_size, config_.latency.miss + probe_penalty};
 }
 
 HttpResponse CacheGroup::fetch_via_parent(ProxyCache& child, ProxyId parent_id,
-                                          const Request& request) {
-  const TimePoint now = request.at;
+                                          const Request& request, TimePoint now) {
   ProxyCache& parent = *proxies_[parent_id];
 
   HttpRequest hop;
@@ -617,14 +734,16 @@ HttpResponse CacheGroup::fetch_via_parent(ProxyCache& child, ProxyId parent_id,
 
   HttpResponse response;
   if (parent.store().contains(request.document)) {
-    // Only reachable above the ICP horizon (the direct parent answered a
-    // negative ICP probe just now): a cache hit at a higher level.
+    // Reachable above the ICP horizon (the direct parent answered a
+    // negative ICP probe just now) and, under the event-driven driver, when
+    // a concurrent request populated the parent meanwhile: a cache hit at a
+    // higher level.
     response = parent.serve_remote(hop, now);
   } else if (const auto grandparent = topology_.parent_of(parent_id)) {
     // The parent obtains the document through its own parent, deciding as a
     // requester whether to keep a copy, then answers the child with its own
     // expiration age.
-    const HttpResponse upper = fetch_via_parent(parent, *grandparent, request);
+    const HttpResponse upper = fetch_via_parent(parent, *grandparent, request, now);
     const bool kept = parent.consider_caching(
         Document{request.document, upper.body_size, upper.version}, upper.responder_age, now,
         coherence_on() ? std::optional<TimePoint>(upper.validated_at) : std::nullopt);
@@ -643,7 +762,7 @@ HttpResponse CacheGroup::fetch_via_parent(ProxyCache& child, ProxyId parent_id,
   } else {
     // Top of the chain: fetch from the origin; the parent placement rule
     // (paper section 3.3) decides whether this cache keeps a copy.
-    const Document document = document_from(request);
+    const Document document = document_from(request, now);
     note_origin_fetch(parent_id, document, now, /*speculative=*/false);
     response = parent.resolve_miss_as_parent(document, hop, now);
   }

@@ -19,6 +19,7 @@
 
 #include <cassert>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "ea/contention.h"
 #include "ea/placement.h"
 #include "group/hash_ring.h"
+#include "group/pipeline_config.h"
 #include "group/topology.h"
 #include "metrics/metrics.h"
 #include "net/latency_model.h"
@@ -119,6 +121,16 @@ struct PrefetchStats {
   }
 };
 
+/// A transient peer outage (fault injection): while active, ICP probes to
+/// `proxy` go unanswered — the serialized driver books them as losses, the
+/// event-driven pipeline sees them as discovery timeouts. The window is
+/// half-open: [start, end).
+struct PeerOutage {
+  ProxyId proxy = 0;
+  TimePoint start{};
+  TimePoint end{};
+};
+
 /// Coherence outcome counters (all zero when coherence is off).
 struct CoherenceStats {
   std::uint64_t validations = 0;    // If-Modified-Since round trips
@@ -172,9 +184,27 @@ struct GroupConfig {
   double icp_loss_probability = 0.0;
   std::uint64_t network_seed = 99;
 
+  /// Request-pipeline driver selection + timeout/retry/coalescing knobs.
+  PipelineConfig pipeline{};
+
   /// Observability: metric registry + request-lifecycle tracing. Pure
   /// accounting — simulation outcomes are identical for every setting.
   ObsConfig obs{};
+
+  /// Every violated configuration rule, in a stable order; empty means the
+  /// config is usable. Aggregates ALL problems instead of failing on the
+  /// first one, so a misconfigured sweep reports its whole diagnosis at
+  /// once.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Throws std::invalid_argument listing every violation ("; "-joined)
+  /// when validate() is non-empty. Called by the CacheGroup constructor and
+  /// by run_simulation.
+  void validate_or_throw() const;
+
+  /// Total cache count this config builds: custom_parents when given,
+  /// otherwise num_proxies plus a hierarchical root.
+  [[nodiscard]] std::size_t total_cache_count() const;
 };
 
 class CacheGroup {
@@ -184,13 +214,21 @@ class CacheGroup {
   CacheGroup(const CacheGroup&) = delete;
   CacheGroup& operator=(const CacheGroup&) = delete;
 
-  /// Serve one trace request at simulated time `request.at`.
+  /// Serve one trace request at simulated time `request.at`, start to
+  /// finish, with the legacy synchronous driver. The event-driven
+  /// alternative is group/request_pipeline.h, which stages the SAME
+  /// resolution helpers over the event queue.
   RequestOutcome serve(const Request& request);
 
   /// Failure injection: simulate a proxy crash/restart that loses its whole
   /// cache (explicit removals — not contention signals). The proxy rejoins
   /// cold immediately; digests catch up at the next refresh.
   void flush_proxy(ProxyId proxy, TimePoint now);
+
+  /// Fault injection: transient peer outages. While an outage is active,
+  /// ICP probes to the affected proxy go unanswered.
+  void set_outages(std::vector<PeerOutage> outages) { outages_ = std::move(outages); }
+  [[nodiscard]] bool peer_down(ProxyId proxy, TimePoint at) const;
 
   [[nodiscard]] const GroupConfig& config() const { return config_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
@@ -229,12 +267,38 @@ class CacheGroup {
   [[nodiscard]] double replication_factor() const;
 
  private:
-  RequestOutcome serve_at_proxy(ProxyCache& requester, const Request& request);
-  RequestOutcome serve_hash_partition(ProxyCache& requester, const Request& request);
+  /// The event-driven driver schedules the private stage helpers below on
+  /// the event queue; it lives in its own translation unit to keep this one
+  /// free of event-engine concerns.
+  friend class RequestPipeline;
 
-  /// The document a request resolves to, stamped with the CURRENT origin
-  /// version when coherence is on.
-  [[nodiscard]] Document document_from(const Request& request) const;
+  /// What resolving one request produced. `latency` is the LEGACY charge —
+  /// the paper's per-outcome aggregate plus any probe penalties — which the
+  /// synchronous driver records directly and the event-driven driver uses
+  /// to place the completion event (measuring latency instead).
+  struct Resolution {
+    RequestOutcome outcome = RequestOutcome::kMiss;
+    Bytes bytes = 0;
+    Duration latency = Duration::zero();
+  };
+
+  /// Request preamble shared by both drivers: per-proxy accounting, the
+  /// request id, registry counters and the arrival span. Returns the id.
+  std::uint64_t begin_request(ProxyCache& requester, const Request& request);
+  /// Completion span shared by both drivers (no-op when tracing is off).
+  void record_complete_span(ProxyId proxy, DocumentId document, std::uint64_t request_id,
+                            TimePoint at, RequestOutcome outcome);
+
+  /// Full cooperative resolution (local lookup → discovery → fetch), used
+  /// by the synchronous driver. Mutates caches and records spans/transport
+  /// but NOT metrics — the driver does that.
+  Resolution resolve_cooperative(ProxyCache& requester, const Request& request, TimePoint now);
+  Resolution resolve_hash_partition(ProxyCache& requester, const Request& request,
+                                    TimePoint now);
+
+  /// The document a request resolves to, stamped with the origin version
+  /// current at `now` when coherence is on.
+  [[nodiscard]] Document document_from(const Request& request, TimePoint now) const;
   [[nodiscard]] bool coherence_on() const { return config_.coherence.enabled; }
   /// Freshness lifetime of an entry under the configured rule.
   [[nodiscard]] Duration freshness_lifetime(const CacheEntry& entry) const;
@@ -248,15 +312,35 @@ class CacheGroup {
     LocalState state = LocalState::kMiss;
     Bytes size = 0;
   };
-  LocalLookup local_lookup(ProxyCache& proxy, const Request& request);
+  LocalLookup local_lookup(ProxyCache& proxy, const Request& request, TimePoint now);
+
+  /// One ICP query/reply exchange with `target`: transport + registry +
+  /// span accounting, the outage check, the (seeded) UDP-loss draw and the
+  /// freshness-aware presence answer. Both drivers issue probes through
+  /// here, in the same target order, so the loss RNG consumes draws
+  /// identically under either driver.
+  enum class ProbeResult { kLost, kMiss, kHit };
+  ProbeResult probe_peer(ProxyCache& requester, ProxyId target, const Request& request,
+                         TimePoint now);
+  /// Peers the probe fan-out targets: siblings plus the parent, if any.
+  [[nodiscard]] std::vector<ProxyId> probe_targets(ProxyId requester) const;
+  /// Digest-mode candidates (free, approximate), unsorted.
+  [[nodiscard]] std::vector<ProxyId> digest_candidates(ProxyId requester,
+                                                       DocumentId document) const;
   /// Peer ids that may hold the document, best-first. ICP mode returns
   /// exact answers (and records the query/reply traffic); digest mode
   /// consults peers' published snapshots (free, but approximate).
   std::vector<ProxyId> discover_candidates(ProxyCache& requester, const Request& request);
-  RequestOutcome resolve_group_miss(ProxyCache& requester, const Request& request,
-                                    Duration probe_penalty);
+
+  /// Fetch from the first candidate that actually has the document, falling
+  /// through to the group-miss resolution. Mutations + spans, no metrics.
+  Resolution try_candidates(ProxyCache& requester, const Request& request,
+                            const std::vector<ProxyId>& candidates, TimePoint now);
+  Resolution resolve_group_miss(ProxyCache& requester, const Request& request,
+                                Duration probe_penalty, TimePoint now);
   /// Forward up the parent chain; returns the response the child receives.
-  HttpResponse fetch_via_parent(ProxyCache& child, ProxyId parent_id, const Request& request);
+  HttpResponse fetch_via_parent(ProxyCache& child, ProxyId parent_id, const Request& request,
+                                TimePoint now);
   /// Digest mode: republish any snapshot older than the refresh period.
   void refresh_digests(TimePoint now);
   /// Deterministic best-first order: ring distance from the requester.
@@ -317,8 +401,11 @@ class CacheGroup {
   // Simulated UDP loss for ICP (icp_loss_probability > 0 only).
   Rng network_rng_{0};
 
+  // Fault injection: transient peer outages (see set_outages()).
+  std::vector<PeerOutage> outages_;
+
   // Prefetch state (PrefetchConfig::enabled only).
-  void learn_and_prefetch(ProxyCache& requester, const Request& request);
+  void learn_and_prefetch(ProxyCache& requester, const Request& request, TimePoint now);
   std::vector<MarkovPredictor> predictors_;              // one per proxy
   std::unordered_map<UserId, DocumentId> last_document_; // per-user stream
   std::unordered_map<DocumentId, Bytes> known_sizes_;    // for speculation

@@ -1,0 +1,64 @@
+// Configuration and counters for the staged request pipeline.
+//
+// Kept in a leaf header so GroupConfig (group/cache_group.h) can embed the
+// config while the driver itself (group/request_pipeline.h) depends on the
+// full CacheGroup definition.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace eacache {
+
+/// How requests move through the group's serving machinery.
+///
+/// Default (event_driven = false): the legacy synchronous driver — each
+/// request is served start-to-finish in one call, latencies are charged
+/// from the paper's per-outcome aggregates, and results are byte-identical
+/// to every release before the pipeline existed.
+///
+/// event_driven = true: requests become staged in-flight state machines
+/// (arrival → local lookup → discovery → fetch → placement → completion)
+/// whose transitions are scheduled on the discrete-event queue at the
+/// LatencyModel's stage delays, so requests genuinely overlap in simulated
+/// time. Latency is then MEASURED (completion − arrival) instead of charged,
+/// ICP losses manifest as discovery timeouts, and the timeout/retry and
+/// coalescing knobs below take effect.
+struct PipelineConfig {
+  bool event_driven = false;
+
+  /// How long a requester waits for ICP replies before giving up on the
+  /// peers that stayed silent (lost queries/replies, peer outages). Must
+  /// exceed LatencyModel::icp_rtt.
+  Duration icp_timeout = msec(2000);
+
+  /// Bounded re-probing of unanswered peers after a discovery timeout:
+  /// 0 = give up immediately (classic ICP), k = up to k extra rounds.
+  std::uint32_t icp_retries = 0;
+
+  /// Timeout multiplier per retry round (round n waits
+  /// icp_timeout * retry_backoff^n). Must be >= 1.
+  double retry_backoff = 2.0;
+
+  /// Collapsed forwarding: while a proxy has a fetch in flight for a
+  /// document, later local misses for the same document at the same proxy
+  /// join the in-flight request instead of probing/fetching again.
+  bool coalesce = false;
+};
+
+/// Pipeline-only counters. `enabled` is false (and everything zero) unless
+/// the run used the event-driven driver, which keeps legacy result JSON
+/// byte-identical.
+struct PipelineStats {
+  bool enabled = false;
+  std::uint64_t started = 0;          // requests entering the pipeline
+  std::uint64_t completed = 0;        // requests that reached completion
+  std::uint64_t coalesced_joins = 0;  // requests that joined an in-flight fetch
+  std::uint64_t icp_timeouts = 0;     // discovery windows that expired
+  std::uint64_t icp_retries = 0;      // extra probe rounds issued
+  std::uint64_t icp_recoveries = 0;   // positive replies won by a retry round
+  std::uint64_t max_in_flight = 0;    // peak concurrently open requests
+};
+
+}  // namespace eacache

@@ -1,0 +1,288 @@
+#include "group/request_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace eacache {
+
+RequestPipeline::RequestPipeline(CacheGroup& group, EventQueue& queue)
+    : group_(group), queue_(queue) {
+  stats_.enabled = true;
+  if (group_.registry_.enabled()) {
+    obs_coalesced_joins_ = group_.registry_.counter("group.coalesced_joins");
+    obs_icp_timeouts_ = group_.registry_.counter("group.icp.timeouts");
+    obs_icp_retries_ = group_.registry_.counter("group.icp.retries");
+    obs_icp_recoveries_ = group_.registry_.counter("group.icp.recoveries");
+  }
+}
+
+Duration RequestPipeline::round_timeout(std::uint32_t attempt) const {
+  const double scaled = static_cast<double>(cfg().icp_timeout.count()) *
+                        std::pow(cfg().retry_backoff, static_cast<double>(attempt));
+  return Duration{static_cast<SimClock::rep>(scaled)};
+}
+
+void RequestPipeline::start(const Request& request) {
+  // Same preamble cadence as the synchronous driver: digests refresh at
+  // arrival, then per-request accounting + the arrival span.
+  if (group_.config().discovery == DiscoveryMode::kDigest) {
+    group_.refresh_digests(request.at);
+  }
+  ProxyCache& requester = *group_.proxies_[group_.home_proxy(request.user)];
+  const std::uint64_t rid = group_.begin_request(requester, request);
+
+  auto ctx = std::make_unique<Context>();
+  ctx->request = request;
+  ctx->rid = rid;
+  ctx->proxy = requester.id();
+  ctx->arrival = request.at;
+  ctx->spent = latency().local_lookup;
+
+  ++stats_.started;
+  ++in_flight_;
+  stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+
+  Context* raw = ctx.get();
+  open_.emplace(rid, std::move(ctx));
+  queue_.schedule_at(request.at + latency().local_lookup,
+                     [this, rid](TimePoint t) {
+                       const auto it = open_.find(rid);
+                       if (it != open_.end()) on_lookup(it->second.get(), t);
+                     });
+  (void)raw;
+}
+
+void RequestPipeline::on_lookup(Context* ctx, TimePoint t) {
+  group_.current_request_ = ctx->rid;
+  ProxyCache& requester = *group_.proxies_[ctx->proxy];
+  const Request& request = ctx->request;
+
+  if (group_.config().routing == RoutingMode::kHashPartition) {
+    finish(ctx, t, group_.resolve_hash_partition(requester, request, t));
+    return;
+  }
+
+  // A speculative copy stops being speculative the moment it is demanded.
+  ctx->was_prefetched = group_.config().prefetch.enabled &&
+                        group_.pending_prefetch_[ctx->proxy].erase(request.document) > 0;
+
+  const CacheGroup::LocalLookup local = group_.local_lookup(requester, request, t);
+  switch (local.state) {
+    case CacheGroup::LocalState::kFreshHit:
+      finish(ctx, t,
+             {RequestOutcome::kLocalHit, local.size, group_.config().latency.local_hit});
+      return;
+    case CacheGroup::LocalState::kValidatedHit:
+      finish(ctx, t,
+             {RequestOutcome::kLocalHit, local.size,
+              group_.config().latency.local_hit + group_.config().coherence.validation_rtt});
+      return;
+    case CacheGroup::LocalState::kChanged: {
+      const Document document = group_.document_from(request, t);
+      group_.note_origin_fetch(ctx->proxy, document, t, /*speculative=*/false);
+      if (!requester.store().contains(document.id)) {
+        requester.cache_after_origin_fetch(document, t);
+      }
+      finish(ctx, t, {RequestOutcome::kMiss, document.size, group_.config().latency.miss});
+      return;
+    }
+    case CacheGroup::LocalState::kMiss:
+      break;
+  }
+
+  // Collapsed forwarding: join an in-flight fetch for the same document at
+  // this proxy, or become the leader later misses can join.
+  if (cfg().coalesce) {
+    const auto key = std::make_pair(ctx->proxy, request.document);
+    const auto pending = pending_.find(key);
+    if (pending != pending_.end()) {
+      join(pending->second, ctx, t);
+      return;
+    }
+    pending_.emplace(key, ctx);
+  }
+
+  if (group_.config().discovery == DiscoveryMode::kDigest) {
+    // Digest lookups are local (no wire wait): discovery settles now.
+    ctx->hits = group_.digest_candidates(ctx->proxy, request.document);
+    close_discovery(ctx, t);
+    return;
+  }
+
+  // ICP: open the discovery window. The round trip is simulated for real,
+  // so it joins the spent budget exactly once.
+  ctx->spent += latency().icp_rtt;
+  issue_probe_round(ctx, group_.probe_targets(ctx->proxy), t);
+}
+
+void RequestPipeline::issue_probe_round(Context* ctx, const std::vector<ProxyId>& targets,
+                                        TimePoint t) {
+  if (targets.empty()) {
+    close_discovery(ctx, t);
+    return;
+  }
+  group_.current_request_ = ctx->rid;
+  ProxyCache& requester = *group_.proxies_[ctx->proxy];
+  ctx->expected_replies = targets.size();
+  ctx->answered = 0;
+  ctx->lost_targets.clear();
+
+  const std::uint64_t rid = ctx->rid;
+  for (const ProxyId target : targets) {
+    const CacheGroup::ProbeResult result =
+        group_.probe_peer(requester, target, ctx->request, t);
+    if (result == CacheGroup::ProbeResult::kLost) {
+      // A lost query or reply: the requester never hears back and can only
+      // discover the silence by timeout.
+      ctx->lost_targets.push_back(target);
+      continue;
+    }
+    const bool hit = result == CacheGroup::ProbeResult::kHit;
+    queue_.schedule_at(t + latency().icp_rtt, [this, rid, target, hit](TimePoint rt) {
+      const auto it = open_.find(rid);
+      if (it != open_.end()) on_reply(it->second.get(), target, hit, rt);
+    });
+  }
+
+  ctx->timeout_event = queue_.schedule_at(t + round_timeout(ctx->attempt),
+                                          [this, rid](TimePoint tt) {
+                                            const auto it = open_.find(rid);
+                                            if (it != open_.end()) {
+                                              on_timeout(it->second.get(), tt);
+                                            }
+                                          });
+}
+
+void RequestPipeline::on_reply(Context* ctx, ProxyId target, bool hit, TimePoint t) {
+  ++ctx->answered;
+  if (hit) {
+    ctx->hits.push_back(target);
+    if (ctx->attempt > 0) {
+      // A retry round won a positive reply the classic lose-once-give-up
+      // flow would have missed.
+      ++stats_.icp_recoveries;
+      obs_icp_recoveries_.inc();
+    }
+  }
+  if (ctx->answered == ctx->expected_replies) {
+    queue_.cancel(ctx->timeout_event);
+    ctx->timeout_event = kNoEvent;
+    close_discovery(ctx, t);
+  }
+}
+
+void RequestPipeline::on_timeout(Context* ctx, TimePoint t) {
+  ctx->timeout_event = kNoEvent;
+  ++stats_.icp_timeouts;
+  obs_icp_timeouts_.inc();
+  if (group_.trace_log_.enabled()) {
+    SpanEvent event;
+    event.request = ctx->rid;
+    event.at_ms = CacheGroup::sim_ms(t);
+    event.document = ctx->request.document;
+    event.proxy = ctx->proxy;
+    event.kind = SpanKind::kIcpTimeout;
+    event.value =
+        static_cast<std::int64_t>(ctx->expected_replies - ctx->answered);
+    group_.trace_log_.record(event);
+  }
+
+  if (ctx->attempt < cfg().icp_retries && !ctx->lost_targets.empty()) {
+    ++ctx->attempt;
+    ++stats_.icp_retries;
+    obs_icp_retries_.inc();
+    if (group_.trace_log_.enabled()) {
+      SpanEvent event;
+      event.request = ctx->rid;
+      event.at_ms = CacheGroup::sim_ms(t);
+      event.document = ctx->request.document;
+      event.proxy = ctx->proxy;
+      event.kind = SpanKind::kIcpRetry;
+      event.value = static_cast<std::int64_t>(ctx->attempt);
+      group_.trace_log_.record(event);
+    }
+    // Re-probe only the peers that stayed silent; fresh loss draws, longer
+    // timeout (retry_backoff), and any reply they send now still counts.
+    const std::vector<ProxyId> targets = std::move(ctx->lost_targets);
+    issue_probe_round(ctx, targets, t);
+    return;
+  }
+  close_discovery(ctx, t);
+}
+
+void RequestPipeline::close_discovery(Context* ctx, TimePoint t) {
+  group_.current_request_ = ctx->rid;
+  ProxyCache& requester = *group_.proxies_[ctx->proxy];
+  group_.sort_by_ring_distance(ctx->hits, ctx->proxy);
+  finish(ctx, t, group_.try_candidates(requester, ctx->request, ctx->hits, t));
+}
+
+void RequestPipeline::finish(Context* ctx, TimePoint t_resolve, CacheGroup::Resolution res) {
+  // The resolution's latency is the legacy charge; whatever part of it the
+  // pipeline already simulated (ctx->spent) must not be paid twice. Any
+  // time beyond the legacy charge — timeout windows — is already baked
+  // into t_resolve, so it inflates the measured latency naturally.
+  const Duration remaining =
+      res.latency > ctx->spent ? res.latency - ctx->spent : Duration::zero();
+  const std::uint64_t rid = ctx->rid;
+  queue_.schedule_at(t_resolve + remaining, [this, rid, res](TimePoint tc) {
+    const auto it = open_.find(rid);
+    if (it != open_.end()) on_complete(it->second.get(), tc, res);
+  });
+}
+
+void RequestPipeline::on_complete(Context* ctx, TimePoint tc, CacheGroup::Resolution res) {
+  // Close the coalescing window first: requests arriving after this instant
+  // start a fetch of their own.
+  if (cfg().coalesce) {
+    const auto key = std::make_pair(ctx->proxy, ctx->request.document);
+    const auto pending = pending_.find(key);
+    if (pending != pending_.end() && pending->second == ctx) pending_.erase(pending);
+  }
+
+  group_.metrics_.record(res.outcome, res.bytes, tc - ctx->arrival);
+  if (group_.config().prefetch.enabled) {
+    if (ctx->was_prefetched && res.outcome == RequestOutcome::kLocalHit) {
+      ++group_.prefetch_stats_.useful;
+    }
+    group_.current_request_ = ctx->rid;
+    group_.learn_and_prefetch(*group_.proxies_[ctx->proxy], ctx->request, tc);
+  }
+  group_.record_complete_span(ctx->proxy, ctx->request.document, ctx->rid, tc, res.outcome);
+  ++stats_.completed;
+  --in_flight_;
+
+  // Joiners complete with the leader: same outcome class and bytes, their
+  // own measured latency. (They never learn/prefetch — the leader already
+  // recorded this document's transition at this proxy.)
+  for (const auto& joiner : ctx->joiners) {
+    group_.metrics_.record(res.outcome, res.bytes, tc - joiner->arrival);
+    group_.record_complete_span(joiner->proxy, joiner->request.document, joiner->rid, tc,
+                                res.outcome);
+    ++stats_.completed;
+    --in_flight_;
+  }
+
+  open_.erase(ctx->rid);  // destroys ctx and its joiners
+}
+
+void RequestPipeline::join(Context* leader, Context* joiner, TimePoint t) {
+  ++stats_.coalesced_joins;
+  obs_coalesced_joins_.inc();
+  if (group_.trace_log_.enabled()) {
+    SpanEvent event;
+    event.request = joiner->rid;
+    event.at_ms = CacheGroup::sim_ms(t);
+    event.document = joiner->request.document;
+    event.proxy = joiner->proxy;
+    event.kind = SpanKind::kCoalescedJoin;
+    event.value = static_cast<std::int64_t>(leader->rid);
+    group_.trace_log_.record(event);
+  }
+  const auto it = open_.find(joiner->rid);
+  leader->joiners.push_back(std::move(it->second));
+  open_.erase(it);
+}
+
+}  // namespace eacache

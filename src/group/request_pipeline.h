@@ -1,0 +1,140 @@
+// RequestPipeline: the event-driven request driver.
+//
+// CacheGroup::serve() resolves one request start-to-finish in a single call
+// and charges the paper's per-outcome latency aggregates. This driver
+// instead turns each request into a staged in-flight state machine
+//
+//   Arrival -> LocalLookup -> Discovery -> {RemoteFetch | ParentChain |
+//   OriginFetch} -> Placement -> Complete
+//
+// whose transitions are scheduled on the discrete-event queue at the
+// LatencyModel's stage delays, so requests genuinely OVERLAP in simulated
+// time. It invokes exactly the same private CacheGroup stage helpers as the
+// synchronous driver (the cache/transport/span mutations are shared code);
+// what changes is when they run and how latency is obtained: MEASURED as
+// completion minus arrival rather than charged from the aggregate table.
+//
+// Semantics only this driver has:
+//  * ICP discovery is a real wait: probes whose query or reply was lost
+//    (or whose target is in an injected outage window) simply never answer,
+//    and the requester discovers that by TIMEOUT (PipelineConfig::
+//    icp_timeout), inflating that request's latency.
+//  * Bounded retry: after a timeout the requester may re-probe the silent
+//    peers (icp_retries rounds, timeout growing by retry_backoff each
+//    round). A positive reply won by a retry is a RECOVERY — a remote hit
+//    the classic lose-once-give-up flow would have turned into a duplicate
+//    origin fetch.
+//  * Collapsed forwarding (coalesce): while a proxy has a fetch in flight
+//    for a document, later local misses for the same document at that proxy
+//    join the in-flight request instead of probing/fetching again; joiners
+//    complete with the leader and inherit its outcome class and bytes.
+//
+// With timeouts/retries/coalescing idle (loss 0, no outages, coalesce off)
+// and requests spaced far enough apart not to overlap, completion times
+// reduce exactly to the legacy aggregates — the stage decomposition in
+// LatencyModel guarantees it, and tests/sim/pipeline_test.cpp asserts it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "event/event_queue.h"
+#include "group/cache_group.h"
+#include "group/pipeline_config.h"
+
+namespace eacache {
+
+class RequestPipeline {
+ public:
+  /// Both references must outlive the pipeline. Registers the pipeline-only
+  /// registry counters (group.coalesced_joins, group.icp.*) when the
+  /// group's registry is enabled.
+  RequestPipeline(CacheGroup& group, EventQueue& queue);
+
+  RequestPipeline(const RequestPipeline&) = delete;
+  RequestPipeline& operator=(const RequestPipeline&) = delete;
+
+  /// Admit one trace request. Must be called with the queue's clock at (or
+  /// before) request.at; the request's first transition is scheduled at
+  /// request.at + LatencyModel::local_lookup.
+  void start(const Request& request);
+
+  /// Requests admitted but not yet completed. The simulator drains the
+  /// queue until this reaches zero.
+  [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
+
+  [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+
+ private:
+  /// One in-flight request's mutable state.
+  struct Context {
+    Request request;
+    std::uint64_t rid = 0;      // trace-log request id
+    ProxyId proxy = 0;          // home proxy
+    TimePoint arrival{};
+    /// Simulated time already spent in stages that the legacy aggregate
+    /// also contains (local lookup, one ICP round trip). The completion
+    /// event lands at t_resolve + (legacy_latency - spent), so a request
+    /// with no timeouts measures exactly the legacy latency.
+    Duration spent = Duration::zero();
+    bool was_prefetched = false;
+
+    // ---- Discovery window (ICP mode) ----
+    std::uint32_t attempt = 0;           // 0 = first round, 1.. = retries
+    std::size_t expected_replies = 0;    // probes issued this round
+    std::size_t answered = 0;            // replies received this round
+    std::vector<ProxyId> hits;           // positive repliers, all rounds
+    std::vector<ProxyId> lost_targets;   // silent peers this round
+    EventId timeout_event = kNoEvent;
+
+    // ---- Coalescing ----
+    std::vector<std::unique_ptr<Context>> joiners;  // folded-in requests
+  };
+
+  void on_lookup(Context* ctx, TimePoint t);
+  /// Issue one probe round to `targets`; schedules reply events for
+  /// answered probes and the round's timeout.
+  void issue_probe_round(Context* ctx, const std::vector<ProxyId>& targets, TimePoint t);
+  void on_reply(Context* ctx, ProxyId target, bool hit, TimePoint t);
+  void on_timeout(Context* ctx, TimePoint t);
+  /// Discovery settled (all replies in, or timed out past the last retry):
+  /// fetch through the hits, or resolve the group miss.
+  void close_discovery(Context* ctx, TimePoint t);
+  /// Schedule the completion event from the resolution's legacy latency.
+  void finish(Context* ctx, TimePoint t_resolve, CacheGroup::Resolution res);
+  void on_complete(Context* ctx, TimePoint tc, CacheGroup::Resolution res);
+  /// Fold a joining request into the leader's context (collapsed
+  /// forwarding); the joiner emits no further events of its own.
+  void join(Context* leader, Context* joiner, TimePoint t);
+
+  [[nodiscard]] const PipelineConfig& cfg() const { return group_.config().pipeline; }
+  [[nodiscard]] const LatencyModel& latency() const { return group_.config().latency; }
+  /// This round's timeout: icp_timeout * retry_backoff^attempt.
+  [[nodiscard]] Duration round_timeout(std::uint32_t attempt) const;
+
+  CacheGroup& group_;
+  EventQueue& queue_;
+  PipelineStats stats_;
+  std::uint64_t in_flight_ = 0;
+
+  /// Open requests by request id. Every scheduled event captures a request
+  /// id and re-resolves its context here, so context lifetime is owned in
+  /// exactly one place; joiner contexts move into their leader's `joiners`.
+  std::map<std::uint64_t, std::unique_ptr<Context>> open_;
+
+  /// Collapsed-forwarding table: (proxy, document) -> leader context, alive
+  /// from the leader's local miss until its completion event (covering the
+  /// transfer window, so joins during the fetch still collapse).
+  std::map<std::pair<ProxyId, DocumentId>, Context*> pending_;
+
+  // Pipeline-only registry counters (null handles when the registry is off).
+  MetricRegistry::Counter obs_coalesced_joins_;
+  MetricRegistry::Counter obs_icp_timeouts_;
+  MetricRegistry::Counter obs_icp_retries_;
+  MetricRegistry::Counter obs_icp_recoveries_;
+};
+
+}  // namespace eacache

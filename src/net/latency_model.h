@@ -26,6 +26,35 @@ struct LatencyModel {
   /// digest discovery mode only): lighter than a full 4 KB remote hit.
   Duration failed_probe = msec(200);
 
+  // ---- Stage decomposition (event-driven pipeline) ----------------------
+  //
+  // The staged pipeline needs per-stage delays rather than per-outcome
+  // aggregates. We decompose the paper's aggregates so that a request with
+  // no concurrency effects measures exactly the legacy constants:
+  //   local hit:  local_lookup-to-completion = local_hit
+  //   remote hit: local_lookup + icp_rtt + remote_transfer() = remote_hit
+  //   miss:       local_lookup + icp_rtt + origin_transfer() = miss
+  // The split values are not from the paper (it only reports aggregates);
+  // icp_rtt ~ one LAN UDP round trip, local_lookup ~ disk index probe.
+
+  /// One ICP query/reply round trip between sibling proxies.
+  Duration icp_rtt = msec(40);
+  /// Local cache index lookup + (on hit) start of local service.
+  Duration local_lookup = msec(10);
+
+  /// Sibling HTTP transfer time such that a remote hit's stages sum to
+  /// remote_hit. Clamped at zero for pathological models.
+  [[nodiscard]] constexpr Duration remote_transfer() const {
+    const Duration d = remote_hit - local_lookup - icp_rtt;
+    return d > Duration::zero() ? d : Duration::zero();
+  }
+
+  /// Origin fetch transfer time such that a miss's stages sum to miss.
+  [[nodiscard]] constexpr Duration origin_transfer() const {
+    const Duration d = miss - local_lookup - icp_rtt;
+    return d > Duration::zero() ? d : Duration::zero();
+  }
+
   /// Latency of one request by outcome class (the paper's model: outcome
   /// class determines latency; body size was fixed at 4 KB in their
   /// measurement).

@@ -16,6 +16,9 @@ std::string_view to_string(SpanKind kind) {
     case SpanKind::kOriginFetch: return "origin_fetch";
     case SpanKind::kPlacement: return "placement";
     case SpanKind::kComplete: return "complete";
+    case SpanKind::kIcpTimeout: return "icp_timeout";
+    case SpanKind::kIcpRetry: return "icp_retry";
+    case SpanKind::kCoalescedJoin: return "coalesced_join";
   }
   return "?";
 }
@@ -121,10 +124,14 @@ void write_span_jsonl(std::ostream& out, const SpanEvent& event, std::string_vie
     }
   }
   if (event.value >= 0) {
-    if (event.kind == SpanKind::kComplete) {
-      out << ",\"outcome\":\"" << outcome_name(event.value) << '"';
-    } else {
-      out << ",\"bytes\":" << event.value;
+    switch (event.kind) {
+      case SpanKind::kComplete:
+        out << ",\"outcome\":\"" << outcome_name(event.value) << '"';
+        break;
+      case SpanKind::kIcpTimeout: out << ",\"unanswered\":" << event.value; break;
+      case SpanKind::kIcpRetry: out << ",\"attempt\":" << event.value; break;
+      case SpanKind::kCoalescedJoin: out << ",\"leader\":" << event.value; break;
+      default: out << ",\"bytes\":" << event.value; break;
     }
   }
   out << '}';

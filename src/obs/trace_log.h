@@ -34,6 +34,10 @@ enum class SpanKind : std::uint8_t {
   kOriginFetch,   // fetch from the origin server
   kPlacement,     // keep-a-copy decision (requester or parent rule)
   kComplete,      // request resolved; value = RequestOutcome
+  // Event-driven pipeline only (never emitted by the synchronous driver):
+  kIcpTimeout,    // discovery window expired; value = unanswered probes
+  kIcpRetry,      // re-probing unanswered peers; value = retry round (1-based)
+  kCoalescedJoin, // joined an in-flight fetch; value = leader request id
 };
 
 [[nodiscard]] std::string_view to_string(SpanKind kind);

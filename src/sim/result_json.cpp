@@ -56,6 +56,21 @@ void append_simulation_result(JsonWriter& json, const SimulationResult& result) 
   json.field("bytes_prefetched", result.prefetch.bytes_prefetched);
   json.end_object();
 
+  // Event-driven pipeline counters. Emitted ONLY for pipeline runs so that
+  // legacy (synchronous) result JSON stays byte-identical to pre-pipeline
+  // releases — the golden regression tests depend on this.
+  if (result.pipeline.enabled) {
+    json.key("pipeline").begin_object();
+    json.field("started", result.pipeline.started);
+    json.field("completed", result.pipeline.completed);
+    json.field("coalesced_joins", result.pipeline.coalesced_joins);
+    json.field("icp_timeouts", result.pipeline.icp_timeouts);
+    json.field("icp_retries", result.pipeline.icp_retries);
+    json.field("icp_recoveries", result.pipeline.icp_recoveries);
+    json.field("max_in_flight", result.pipeline.max_in_flight);
+    json.end_object();
+  }
+
   json.key("expiration_age").begin_object();
   if (result.average_cache_expiration_age.is_infinite()) {
     json.key("average_seconds").null();
@@ -205,6 +220,17 @@ void append_sweep_run(JsonWriter& json, const SweepRunResult& run) {
   json.field("trace_capacity", static_cast<std::uint64_t>(run.config.obs.trace_capacity));
   json.field("series_points", static_cast<std::uint64_t>(run.config.obs.series_points));
   json.end_object();
+  // Pipeline knobs, only for event-driven runs (legacy rows byte-stable).
+  if (run.config.pipeline.event_driven) {
+    json.key("pipeline").begin_object();
+    json.field("event_driven", true);
+    json.field("icp_timeout_ms",
+               static_cast<std::int64_t>(run.config.pipeline.icp_timeout.count()));
+    json.field("icp_retries", static_cast<std::uint64_t>(run.config.pipeline.icp_retries));
+    json.field("retry_backoff", run.config.pipeline.retry_backoff);
+    json.field("coalesce", run.config.pipeline.coalesce);
+    json.end_object();
+  }
   json.end_object();
 
   json.key("result");

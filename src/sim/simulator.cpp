@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "event/event_queue.h"
+#include "group/request_pipeline.h"
 
 namespace eacache {
 
@@ -17,12 +18,14 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
 
 SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
                                 const SimulationOptions& options, PhaseTimings* timings) {
+  config.validate_or_throw();  // aggregate ALL config errors up front
   if (!is_time_ordered(trace.requests)) {
     throw std::invalid_argument("run_simulation: trace must be time-ordered");
   }
 
   const auto sim_started = std::chrono::steady_clock::now();
   CacheGroup group(config);
+  if (!options.faults.outages.empty()) group.set_outages(options.faults.outages);
   EventQueue queue;
   SimulationResult result;
 
@@ -63,15 +66,35 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
                          });
   }
 
+  FaultPlan faults = options.faults;
   for (const SimulationOptions::FlushEvent& flush : options.flush_events) {
+    faults.flushes.push_back({flush.at, flush.proxy});  // legacy-API shim
+  }
+  for (const FaultPlan::Flush& flush : faults.flushes) {
     queue.schedule_at(flush.at, [&group, proxy = flush.proxy](TimePoint at) {
       group.flush_proxy(proxy, at);
     });
   }
 
-  for (const Request& request : trace.requests) {
-    queue.run_until(request.at);  // fire any periodic/flush events due now
-    group.serve(request);
+  if (config.pipeline.event_driven) {
+    // Event-driven driver: requests are admitted at their trace timestamps
+    // and progress as staged state machines on the queue, overlapping in
+    // simulated time. The explicit drain (rather than queue.run()) stops as
+    // soon as the last request completes — periodic snapshot events would
+    // otherwise reschedule forever.
+    RequestPipeline pipeline(group, queue);
+    for (const Request& request : trace.requests) {
+      queue.run_until(request.at);
+      pipeline.start(request);
+    }
+    while (pipeline.in_flight() > 0 && queue.step()) {
+    }
+    result.pipeline = pipeline.stats();
+  } else {
+    for (const Request& request : trace.requests) {
+      queue.run_until(request.at);  // fire any periodic/flush events due now
+      group.serve(request);
+    }
   }
   if (timings != nullptr) timings->sim_ms = elapsed_ms(sim_started);
 

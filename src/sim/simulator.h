@@ -9,6 +9,8 @@
 
 #include "ea/expiration_age.h"
 #include "group/cache_group.h"
+#include "group/pipeline_config.h"
+#include "sim/fault_plan.h"
 #include "metrics/metrics.h"
 #include "net/transport.h"
 #include "obs/metric_registry.h"
@@ -22,8 +24,12 @@ struct SimulationOptions {
   /// Period for hit-rate time-series snapshots; zero disables them.
   Duration snapshot_period = Duration::zero();
 
-  /// Failure injection: each event flushes one proxy's entire cache at the
-  /// given simulated time (a crash/restart losing its disk).
+  /// Declarative fault injection: proxy flushes (crash/restart) and
+  /// transient peer-outage windows. See sim/fault_plan.h.
+  FaultPlan faults;
+
+  /// DEPRECATED shim for the original flush-only API: merged into
+  /// `faults.flushes` by run_simulation. Prefer FaultPlan.
   struct FlushEvent {
     TimePoint at{};
     ProxyId proxy = 0;
@@ -79,6 +85,11 @@ struct SimulationResult {
 
   std::vector<ProxyStats> proxy_stats;
   std::vector<MetricsSnapshot> snapshots;
+
+  /// Event-driven pipeline counters; `pipeline.enabled` is false (and the
+  /// whole struct zero) for legacy synchronous runs, which keeps their
+  /// result JSON byte-identical to pre-pipeline releases.
+  PipelineStats pipeline;
 };
 
 /// Run `trace` through a fresh group built from `config`. The trace must be

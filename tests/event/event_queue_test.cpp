@@ -116,6 +116,71 @@ TEST(EventQueueTest, EventsMayScheduleMoreEvents) {
   EXPECT_EQ(depth, 2);  // one recursion level scheduled, then executed
 }
 
+TEST(EventQueueTest, CancelledEventNeverFires) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(kSimEpoch + sec(1), [&](TimePoint) { ++fired; });
+  q.schedule_at(kSimEpoch + sec(2), [&](TimePoint) { ++fired; });
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.run();
+  EXPECT_EQ(fired, 1);  // only the uncancelled event
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancellingOnlyEventEmptiesTheQueue) {
+  EventQueue q;
+  const EventId id = q.schedule_at(kSimEpoch + sec(1), [](TimePoint) {});
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.step());  // nothing fireable remains
+}
+
+TEST(EventQueueTest, CancelAfterFireIsHarmless) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(kSimEpoch + sec(1), [&](TimePoint) { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 1);
+  q.cancel(id);  // already fired: no-op, must not corrupt bookkeeping
+  q.cancel(id);  // double-cancel: still a no-op
+  q.cancel(kNoEvent);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  int later = 0;
+  q.schedule_at(kSimEpoch + sec(2), [&](TimePoint) { ++later; });
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(later, 1);
+}
+
+TEST(EventQueueTest, CancelFromInsideAnEarlierEvent) {
+  // The ICP pattern: a reply handler cancels the discovery timeout that is
+  // already sitting in the heap.
+  EventQueue q;
+  int timeout_fired = 0;
+  const EventId timeout = q.schedule_at(kSimEpoch + sec(10),
+                                        [&](TimePoint) { ++timeout_fired; });
+  q.schedule_at(kSimEpoch + sec(1), [&](TimePoint) { q.cancel(timeout); });
+  EXPECT_EQ(q.run(), 1u);  // only the reply executes
+  EXPECT_EQ(timeout_fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RunUntilSkipsCancelledHead) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId first = q.schedule_at(kSimEpoch + sec(1),
+                                      [&](TimePoint) { order.push_back(1); });
+  q.schedule_at(kSimEpoch + sec(2), [&](TimePoint) { order.push_back(2); });
+  q.cancel(first);
+  EXPECT_EQ(q.run_until(kSimEpoch + sec(3)), 1u);
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  EXPECT_EQ(q.now(), kSimEpoch + sec(3));
+}
+
 TEST(PeriodicEventTest, FiresEveryPeriodUntilDeadline) {
   EventQueue q;
   std::vector<Duration> fires;

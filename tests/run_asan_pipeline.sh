@@ -1,0 +1,34 @@
+#!/bin/sh
+# Runs the event-driven pipeline suites under AddressSanitizer+UBSan.
+#
+# The sanitizer binaries live in a separate build tree configured with
+#   cmake -S . -B build-asan -DEACACHE_ASAN=ON -DEACACHE_UBSAN=ON
+#   cmake --build build-asan -j
+# Registered in ctest with SKIP_RETURN_CODE 77: when the build-asan tree (or
+# the binaries) are absent this script self-skips instead of failing, so the
+# plain tier-1 run stays green on machines that never configured it.
+#
+# Why a dedicated pass: the pipeline is the one subsystem that keeps
+# heap-allocated per-request state machines alive across event-queue
+# callbacks (open_/pending_/joiners ownership transfers, lazy-cancelled
+# timeout events), which is exactly the shape of code ASan exists for.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+asan_dir=${EACACHE_ASAN_BUILD_DIR:-"$repo_root/build-asan"}
+
+if [ ! -x "$asan_dir/tests/test_sim" ] || [ ! -x "$asan_dir/tests/test_event" ] ||
+   [ ! -x "$asan_dir/tests/test_group" ]; then
+  echo "asan_pipeline: no sanitizer build at $asan_dir (configure with -DEACACHE_ASAN=ON); skipping"
+  exit 77
+fi
+
+export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+
+"$asan_dir/tests/test_event" --gtest_brief=1
+"$asan_dir/tests/test_group" --gtest_filter='ConfigValidateTest.*' --gtest_brief=1
+"$asan_dir/tests/test_sim" \
+  --gtest_filter='PipelineTest.*:PipelineRegression.*:FailureInjectionTest.*' \
+  --gtest_brief=1
+echo "asan_pipeline: all pipeline suites clean under ASan+UBSan"

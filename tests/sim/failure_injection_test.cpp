@@ -54,8 +54,8 @@ TEST(FailureInjectionTest, GroupKeepsServingAfterFlush) {
   const Trace trace = failure_trace();
   SimulationOptions options;
   const TimePoint mid = trace.requests[trace.size() / 2].at;
-  options.flush_events.push_back({mid, 0});
-  options.flush_events.push_back({mid, 2});
+  options.faults.flushes.push_back({mid, 0});
+  options.faults.flushes.push_back({mid, 2});
   const SimulationResult result = run_simulation(trace, group_config(PlacementKind::kEa), options);
   EXPECT_EQ(result.metrics.total_requests(), trace.size());
 }
@@ -68,7 +68,7 @@ TEST(FailureInjectionTest, FlushCostsHitRate) {
   SimulationOptions options;
   // Crash every proxy at the midpoint: the second half restarts cold.
   const TimePoint mid = trace.requests[trace.size() / 2].at;
-  for (ProxyId p = 0; p < 4; ++p) options.flush_events.push_back({mid, p});
+  for (ProxyId p = 0; p < 4; ++p) options.faults.flushes.push_back({mid, p});
   const SimulationResult crashed = run_simulation(trace, config, options);
 
   EXPECT_LT(crashed.metrics.hit_rate(), undisturbed.metrics.hit_rate());
@@ -80,7 +80,7 @@ TEST(FailureInjectionTest, BothSchemesSurviveRepeatedCrashes) {
   for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
     SimulationOptions options;
     for (int k = 1; k <= 8; ++k) {
-      options.flush_events.push_back(
+      options.faults.flushes.push_back(
           {trace.requests[trace.size() * static_cast<std::size_t>(k) / 9].at,
            static_cast<ProxyId>(k % 4)});
     }
@@ -100,10 +100,60 @@ TEST(FailureInjectionTest, DigestModeRecoversViaRefresh) {
   config.digest.refresh_period = minutes(10);
 
   SimulationOptions options;
-  options.flush_events.push_back({trace.requests[trace.size() / 2].at, 0});
+  options.faults.flushes.push_back({trace.requests[trace.size() / 2].at, 0});
   const SimulationResult result = run_simulation(trace, config, options);
   EXPECT_EQ(result.metrics.total_requests(), trace.size());
   EXPECT_GT(result.transport.failed_probes, 0u);
+}
+
+TEST(FailureInjectionTest, DeprecatedFlushEventsShimMatchesFaultPlan) {
+  // The pre-FaultPlan API must keep working and produce identical results.
+  const Trace trace = failure_trace();
+  const GroupConfig config = group_config(PlacementKind::kEa);
+  const TimePoint mid = trace.requests[trace.size() / 2].at;
+
+  SimulationOptions legacy;
+  legacy.flush_events.push_back({mid, 1});
+  SimulationOptions plan;
+  plan.faults.flushes.push_back({mid, 1});
+
+  const SimulationResult a = run_simulation(trace, config, legacy);
+  const SimulationResult b = run_simulation(trace, config, plan);
+  EXPECT_EQ(a.metrics.hit_rate(), b.metrics.hit_rate());
+  EXPECT_EQ(a.metrics.measured_average_latency(), b.metrics.measured_average_latency());
+  EXPECT_EQ(a.transport.total_messages(), b.transport.total_messages());
+  EXPECT_EQ(a.total_resident_copies, b.total_resident_copies);
+}
+
+TEST(FailureInjectionTest, PeerOutageSilencesProbesUnderTheSerializedDriver) {
+  // The serialized driver books unanswered probes as ICP losses; outside
+  // the window the run is untouched.
+  const Trace trace = failure_trace();
+  const GroupConfig config = group_config(PlacementKind::kEa);
+
+  SimulationOptions options;
+  options.faults.outages.push_back(
+      PeerOutage{/*proxy=*/1, trace.requests[trace.size() / 4].at,
+                 trace.requests[trace.size() / 2].at});
+
+  const SimulationResult down = run_simulation(trace, config, options);
+  const SimulationResult clean = run_simulation(trace, config);
+  EXPECT_GT(down.transport.icp_losses, 0u);
+  EXPECT_EQ(clean.transport.icp_losses, 0u);
+  EXPECT_EQ(down.metrics.total_requests(), trace.size());
+  // Silent peers cannot answer hits: cooperative hit rate can only drop.
+  EXPECT_LE(down.metrics.hit_rate(), clean.metrics.hit_rate());
+}
+
+TEST(FailureInjectionTest, OutageWindowIsHalfOpen) {
+  GroupConfig config = group_config(PlacementKind::kEa);
+  CacheGroup group(config);
+  group.set_outages({PeerOutage{2, kSimEpoch + sec(10), kSimEpoch + sec(20)}});
+  EXPECT_FALSE(group.peer_down(2, kSimEpoch + sec(9)));
+  EXPECT_TRUE(group.peer_down(2, kSimEpoch + sec(10)));
+  EXPECT_TRUE(group.peer_down(2, kSimEpoch + sec(19)));
+  EXPECT_FALSE(group.peer_down(2, kSimEpoch + sec(20)));
+  EXPECT_FALSE(group.peer_down(1, kSimEpoch + sec(15)));
 }
 
 TEST(FailureInjectionTest, HeterogeneousCapacitiesRespectWeights) {

@@ -1,0 +1,143 @@
+// Legacy-result pinning for the request-pipeline redesign.
+//
+// These tests replay a fixed synthetic trace through every major
+// configuration axis and compare the FULL result JSON byte-for-byte against
+// goldens generated from the pre-pipeline synchronous CacheGroup::serve().
+// They are the enforcement behind the redesign's compatibility contract:
+// with the pipeline's concurrency effects disabled (the default —
+// event_driven off, retries off, coalescing off), the staged request
+// machine must reproduce the legacy figures exactly.
+//
+// Regenerate (only when a change is MEANT to alter legacy results):
+//   EACACHE_UPDATE_GOLDEN=1 ./test_sim --gtest_filter='PipelineRegression*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "group/cache_group.h"
+#include "sim/result_json.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+#ifndef EACACHE_GOLDEN_DIR
+#error "EACACHE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace eacache {
+namespace {
+
+const Trace& regression_trace() {
+  static const Trace trace = [] {
+    SyntheticTraceConfig config;
+    config.num_requests = 6000;
+    config.num_documents = 900;
+    config.num_users = 32;
+    config.span = hours(6);
+    config.seed = 424242;
+    return generate_synthetic_trace(config);
+  }();
+  return trace;
+}
+
+GroupConfig base_config() {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  config.placement = PlacementKind::kEa;
+  return config;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(EACACHE_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+void check_against_golden(const std::string& name, const GroupConfig& config) {
+  const SimulationResult result = run_simulation(regression_trace(), config);
+  const std::string json = simulation_result_to_json(result);
+
+  const std::string path = golden_path(name);
+  if (std::getenv("EACACHE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write golden " << path;
+    out << json << '\n';
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " (regenerate with EACACHE_UPDATE_GOLDEN=1)";
+  std::ostringstream stored;
+  stored << in.rdbuf();
+  std::string expected = stored.str();
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+
+  // Byte-identical, not merely equal-parsed: the pre-pipeline serialization
+  // is part of the contract (downstream plots diff these files).
+  EXPECT_EQ(json, expected) << "result JSON diverged from the pre-pipeline golden '"
+                            << name << "'";
+}
+
+TEST(PipelineRegression, EaDistributed) { check_against_golden("ea_distributed", base_config()); }
+
+TEST(PipelineRegression, AdHocDistributed) {
+  GroupConfig config = base_config();
+  config.placement = PlacementKind::kAdHoc;
+  check_against_golden("adhoc_distributed", config);
+}
+
+TEST(PipelineRegression, EaHierarchical) {
+  GroupConfig config = base_config();
+  config.topology = TopologyKind::kHierarchical;
+  check_against_golden("ea_hierarchical", config);
+}
+
+TEST(PipelineRegression, EaDigestDiscovery) {
+  GroupConfig config = base_config();
+  config.discovery = DiscoveryMode::kDigest;
+  config.digest.expected_items = 2048;
+  config.digest.refresh_period = minutes(15);
+  check_against_golden("ea_digest", config);
+}
+
+TEST(PipelineRegression, EaIcpLoss) {
+  // Pins the network RNG draw order: one deterministic draw per probed peer.
+  GroupConfig config = base_config();
+  config.icp_loss_probability = 0.2;
+  check_against_golden("ea_icp_loss", config);
+}
+
+TEST(PipelineRegression, EaCoherence) {
+  GroupConfig config = base_config();
+  config.coherence.enabled = true;
+  config.coherence.fresh_ttl = minutes(30);
+  config.origin.min_update_interval = minutes(30);
+  config.origin.max_update_interval = hours(8);
+  check_against_golden("ea_coherence", config);
+}
+
+TEST(PipelineRegression, HashPartition) {
+  GroupConfig config = base_config();
+  config.placement = PlacementKind::kAdHoc;
+  config.routing = RoutingMode::kHashPartition;
+  check_against_golden("hash_partition", config);
+}
+
+TEST(PipelineRegression, EaPrefetch) {
+  GroupConfig config = base_config();
+  config.prefetch.enabled = true;
+  check_against_golden("ea_prefetch", config);
+}
+
+TEST(PipelineRegression, EaTraced) {
+  // Tracing on: the result JSON carries the span-ring occupancy, so this
+  // golden pins the NUMBER of spans the legacy path records per request.
+  GroupConfig config = base_config();
+  config.obs.trace_capacity = 4096;
+  check_against_golden("ea_traced", config);
+}
+
+}  // namespace
+}  // namespace eacache

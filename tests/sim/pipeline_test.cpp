@@ -1,0 +1,264 @@
+// Behavioral tests for the event-driven request pipeline: equivalence with
+// the synchronous driver when concurrency effects are disabled, determinism
+// under sweep parallelism, collapsed forwarding, and ICP timeout/retry
+// semantics. The byte-identity of LEGACY runs is covered separately by
+// pipeline_regression_test.cpp (goldens).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/result_json.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+Trace synthetic_trace(std::size_t requests = 3000, std::uint64_t seed = 7) {
+  SyntheticTraceConfig config;
+  config.num_requests = requests;
+  config.num_documents = 300;
+  config.num_users = 16;
+  config.span = hours(1);
+  config.seed = seed;
+  return generate_synthetic_trace(config);
+}
+
+/// The same trace re-stamped so consecutive requests are 5 s apart: every
+/// request completes (max legacy latency 2.784 s) before the next arrives,
+/// so the event-driven run has no overlap, no coalescing window pressure
+/// and no concurrency effects at all.
+Trace spaced_trace(std::size_t requests = 2000) {
+  Trace trace = synthetic_trace(requests);
+  trace.requests.resize(std::min<std::size_t>(requests, trace.requests.size()));
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    trace.requests[i].at = kSimEpoch + sec(5 * static_cast<SimClock::rep>(i));
+  }
+  return trace;
+}
+
+GroupConfig base_group(PlacementKind placement = PlacementKind::kEa) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 256 * kKiB;
+  config.placement = placement;
+  return config;
+}
+
+TEST(PipelineTest, EventDrivenMatchesSerializedWhenRequestsDoNotOverlap) {
+  const Trace trace = spaced_trace();
+  GroupConfig legacy = base_group();
+  GroupConfig event = base_group();
+  event.pipeline.event_driven = true;
+
+  const SimulationResult a = run_simulation(trace, legacy);
+  const SimulationResult b = run_simulation(trace, event);
+
+  // Outcomes, bytes and latency agree exactly: the stage decomposition
+  // guarantees a no-overlap event-driven request measures the legacy
+  // aggregate to the millisecond.
+  EXPECT_EQ(a.metrics.total_requests(), b.metrics.total_requests());
+  EXPECT_EQ(a.metrics.count(RequestOutcome::kLocalHit),
+            b.metrics.count(RequestOutcome::kLocalHit));
+  EXPECT_EQ(a.metrics.count(RequestOutcome::kRemoteHit),
+            b.metrics.count(RequestOutcome::kRemoteHit));
+  EXPECT_EQ(a.metrics.count(RequestOutcome::kMiss), b.metrics.count(RequestOutcome::kMiss));
+  EXPECT_EQ(a.metrics.bytes_requested(), b.metrics.bytes_requested());
+  EXPECT_EQ(a.metrics.measured_average_latency().count(),
+            b.metrics.measured_average_latency().count());
+
+  // Identical wire traffic: both drivers issue the same probes and fetches
+  // in the same order (shared stage helpers, shared RNG draw order).
+  EXPECT_EQ(a.transport.icp_queries, b.transport.icp_queries);
+  EXPECT_EQ(a.transport.icp_replies, b.transport.icp_replies);
+  EXPECT_EQ(a.transport.http_requests, b.transport.http_requests);
+  EXPECT_EQ(a.transport.http_responses, b.transport.http_responses);
+  EXPECT_EQ(a.transport.origin_fetches, b.transport.origin_fetches);
+  EXPECT_EQ(a.transport.total_bytes(), b.transport.total_bytes());
+
+  // End state of the disks is identical too.
+  EXPECT_EQ(a.total_resident_copies, b.total_resident_copies);
+  EXPECT_EQ(a.unique_resident_documents, b.unique_resident_documents);
+
+  // The pipeline block exists only on the event-driven side.
+  EXPECT_FALSE(a.pipeline.enabled);
+  ASSERT_TRUE(b.pipeline.enabled);
+  EXPECT_EQ(b.pipeline.started, trace.size());
+  EXPECT_EQ(b.pipeline.completed, trace.size());
+  EXPECT_EQ(b.pipeline.icp_timeouts, 0u);
+  EXPECT_EQ(b.pipeline.max_in_flight, 1u);
+}
+
+TEST(PipelineTest, EventDrivenIsDeterministicAcrossSweepJobs) {
+  // Overlapping trace + loss + retries + coalescing: the full concurrent
+  // machinery, swept serialized (jobs=1) and parallel (jobs=8). Results
+  // must be byte-identical — parallelism may reorder scheduling, never
+  // results.
+  const TraceRef trace = std::make_shared<const Trace>(synthetic_trace());
+  const auto make_jobs = [&] {
+    std::vector<SweepJob> jobs;
+    for (const bool coalesce : {false, true}) {
+      GroupConfig config = base_group();
+      config.pipeline.event_driven = true;
+      config.pipeline.icp_retries = 2;
+      config.pipeline.coalesce = coalesce;
+      config.icp_loss_probability = 0.3;
+      jobs.push_back({coalesce ? "coalesce" : "plain", config, trace, {}});
+    }
+    return jobs;
+  };
+  const auto sweep = [&](std::size_t n) {
+    SweepOptions options;
+    options.jobs = n;
+    SweepRunner runner(options);
+    for (SweepJob& job : make_jobs()) runner.add(std::move(job));
+    return runner.run();
+  };
+
+  const auto serial = sweep(1);
+  const auto parallel = sweep(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(simulation_result_to_json(serial[i].result),
+              simulation_result_to_json(parallel[i].result))
+        << serial[i].label << " diverged between jobs=1 and jobs=8";
+  }
+}
+
+/// N back-to-back misses for the same document at the same proxy while the
+/// first fetch is still in flight.
+Trace burst_trace(std::size_t n) {
+  Trace trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.requests.push_back(
+        Request{kSimEpoch + msec(5 * static_cast<SimClock::rep>(i)), /*user=*/1,
+                /*document=*/42, /*size=*/4096});
+  }
+  return trace;
+}
+
+TEST(PipelineTest, CoalescingCollapsesConcurrentMissesIntoOneOriginFetch) {
+  constexpr std::size_t kBurst = 4;
+  GroupConfig config = base_group(PlacementKind::kAdHoc);
+  config.pipeline.event_driven = true;
+  config.pipeline.coalesce = true;
+
+  const SimulationResult result = run_simulation(burst_trace(kBurst), config);
+  EXPECT_EQ(result.transport.origin_fetches, 1u);
+  EXPECT_EQ(result.pipeline.coalesced_joins, kBurst - 1);
+  EXPECT_EQ(result.pipeline.completed, kBurst);
+  EXPECT_EQ(result.metrics.total_requests(), kBurst);
+  // Joiners inherit the leader's outcome class.
+  EXPECT_EQ(result.metrics.count(RequestOutcome::kMiss), kBurst);
+}
+
+TEST(PipelineTest, WithoutCoalescingConcurrentMissesDuplicateTheFetch) {
+  constexpr std::size_t kBurst = 4;
+  GroupConfig config = base_group(PlacementKind::kAdHoc);
+  config.pipeline.event_driven = true;  // coalesce stays off
+
+  const SimulationResult result = run_simulation(burst_trace(kBurst), config);
+  EXPECT_EQ(result.transport.origin_fetches, kBurst);
+  EXPECT_EQ(result.pipeline.coalesced_joins, 0u);
+  EXPECT_EQ(result.metrics.count(RequestOutcome::kMiss), kBurst);
+}
+
+TEST(PipelineTest, LostProbesTimeOutAndInflateLatency) {
+  GroupConfig config = base_group();
+  config.pipeline.event_driven = true;
+  config.icp_loss_probability = 1.0;  // every probe vanishes
+
+  Trace trace;
+  trace.requests.push_back(Request{kSimEpoch + sec(1), 1, 7, 4096});
+  const SimulationResult result = run_simulation(trace, config);
+
+  ASSERT_TRUE(result.pipeline.enabled);
+  EXPECT_EQ(result.pipeline.icp_timeouts, 1u);
+  EXPECT_EQ(result.pipeline.icp_retries, 0u);
+  EXPECT_EQ(result.metrics.count(RequestOutcome::kMiss), 1u);
+  // local_lookup (10) + full timeout window (2000) + origin transfer
+  // (2784 - 10 - 40): the silent window's excess over one ICP round trip
+  // (2000 - 40 = 1960 ms) inflates the legacy 2784 ms miss.
+  EXPECT_EQ(result.metrics.measured_average_latency().count(), msec(4744).count());
+}
+
+TEST(PipelineTest, RetriesReprobeSilentPeersAndRecoverRemoteHits) {
+  GroupConfig config = base_group();
+  config.pipeline.event_driven = true;
+  config.pipeline.icp_retries = 3;
+  config.icp_loss_probability = 0.4;
+  config.obs.registry = true;
+
+  const SimulationResult result = run_simulation(synthetic_trace(), config);
+  ASSERT_TRUE(result.pipeline.enabled);
+  EXPECT_GT(result.pipeline.icp_timeouts, 0u);
+  EXPECT_GT(result.pipeline.icp_retries, 0u);
+  // With 40% loss over 3000 requests and peers that do hold copies, some
+  // retry round must win a positive reply the first round lost.
+  EXPECT_GT(result.pipeline.icp_recoveries, 0u);
+
+  // The pipeline counters surface in the registry dump.
+  const auto& counters = result.registry.counters();
+  const auto timeouts = counters.find("group.icp.timeouts");
+  ASSERT_NE(timeouts, counters.end());
+  EXPECT_EQ(timeouts->second, result.pipeline.icp_timeouts);
+  const auto recoveries = counters.find("group.icp.recoveries");
+  ASSERT_NE(recoveries, counters.end());
+  EXPECT_EQ(recoveries->second, result.pipeline.icp_recoveries);
+  ASSERT_NE(counters.find("group.icp.retries"), counters.end());
+  ASSERT_NE(counters.find("group.coalesced_joins"), counters.end());
+}
+
+TEST(PipelineTest, TimeoutAndRetryAndJoinSpansAppearInTheTraceLog) {
+  GroupConfig config = base_group(PlacementKind::kAdHoc);
+  config.pipeline.event_driven = true;
+  config.pipeline.coalesce = true;
+  config.pipeline.icp_retries = 1;
+  config.icp_loss_probability = 1.0;
+  config.obs.trace_capacity = 4096;
+
+  const SimulationResult result = run_simulation(burst_trace(4), config);
+  const std::vector<SpanEvent> events = result.trace_log.events();
+  const auto count_kind = [&](SpanKind kind) {
+    return std::count_if(events.begin(), events.end(),
+                         [kind](const SpanEvent& e) { return e.kind == kind; });
+  };
+  // Every probe is lost, so the leader times out, retries once (against
+  // peers that stayed silent), and times out again; the three followers
+  // coalesce onto it at their lookup stage.
+  EXPECT_EQ(count_kind(SpanKind::kIcpTimeout), 2);
+  EXPECT_EQ(count_kind(SpanKind::kIcpRetry), 1);
+  EXPECT_EQ(count_kind(SpanKind::kCoalescedJoin), 3);
+  // Joiners still get arrival + completion spans of their own.
+  EXPECT_EQ(count_kind(SpanKind::kArrival), 4);
+  EXPECT_EQ(count_kind(SpanKind::kComplete), 4);
+}
+
+TEST(PipelineTest, PeerOutageWindowCausesTimeoutsOnlyWhileOpen) {
+  // Overlap-free trace, no UDP loss: the ONLY silence source is the outage
+  // window, so every timeout maps to a probe into [start, end).
+  GroupConfig config = base_group();
+  config.pipeline.event_driven = true;
+
+  Trace trace = spaced_trace(200);
+  SimulationOptions options;
+  const TimePoint start = trace.requests[50].at;
+  const TimePoint end = trace.requests[100].at;
+  // All four proxies serve users; take one down for a stretch of the run.
+  options.faults.outages.push_back(PeerOutage{/*proxy=*/2, start, end});
+
+  const SimulationResult down = run_simulation(trace, config, options);
+  const SimulationResult clean = run_simulation(trace, config);
+  EXPECT_GT(down.pipeline.icp_timeouts, 0u);
+  EXPECT_EQ(clean.pipeline.icp_timeouts, 0u);
+  // Outside the window behavior is identical, so the outage run can only
+  // have fewer remote hits / more misses, never more hits.
+  EXPECT_LE(down.metrics.count(RequestOutcome::kRemoteHit),
+            clean.metrics.count(RequestOutcome::kRemoteHit));
+}
+
+}  // namespace
+}  // namespace eacache

@@ -144,8 +144,21 @@ bool is_age(const Value& value) {
 const std::set<std::string>& event_vocabulary() {
   static const std::set<std::string> kEvents = {
       "arrival",      "local_hit",    "icp_probe", "icp_loss", "sibling_fetch",
-      "parent_fetch", "origin_fetch", "placement", "complete"};
+      "parent_fetch", "origin_fetch", "placement", "complete",
+      // Pipeline-only kinds (event-driven driver, DESIGN.md §9).
+      "icp_timeout",  "icp_retry",    "coalesced_join"};
   return kEvents;
+}
+
+/// The value-carrying key each event kind uses (DESIGN.md §8): most spans
+/// record "bytes", but completion records the outcome and the pipeline kinds
+/// carry their own counters.
+std::string value_key_for(const std::string& event) {
+  if (event == "complete") return "outcome";
+  if (event == "icp_timeout") return "unanswered";  // peers that stayed silent
+  if (event == "icp_retry") return "attempt";       // 1-based retry round
+  if (event == "coalesced_join") return "leader";   // request id joined
+  return "bytes";
 }
 
 /// The boolean-flag key each event kind is allowed to carry (DESIGN.md §8).
@@ -195,7 +208,7 @@ bool validate_span(const std::map<std::string, Value>& fields, std::string& erro
   std::set<std::string> allowed = {"run", "request", "at_ms", "proxy", "doc", "event",
                                   "peer", "requester_ea_ms", "responder_ea_ms"};
   allowed.insert(flag_key_for(event->text));
-  allowed.insert(event->text == "complete" ? "outcome" : "bytes");
+  allowed.insert(value_key_for(event->text));
   for (const auto& [key, value] : fields) {
     if (allowed.count(key) == 0) {
       error = "key \"" + key + "\" not allowed on event \"" + event->text + "\"";
@@ -231,10 +244,11 @@ bool validate_span(const std::map<std::string, Value>& fields, std::string& erro
       return false;
     }
   }
-  if (const Value* bytes = get("bytes");
-      bytes != nullptr && !is_nonnegative_integer(*bytes)) {
-    error = "\"bytes\" must be a non-negative integer";
-    return false;
+  for (const char* key : {"bytes", "unanswered", "attempt", "leader"}) {
+    if (const Value* count = get(key); count != nullptr && !is_nonnegative_integer(*count)) {
+      error = std::string("\"") + key + "\" must be a non-negative integer";
+      return false;
+    }
   }
   return true;
 }
