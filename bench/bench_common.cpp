@@ -92,6 +92,9 @@ constexpr FlagSpec kFlags[] = {
        state.options.pipeline.coalesce = true;
        state.saw_pipeline_knob = true;
      }},
+    {"validate", nullptr,
+     "attach the invariant checker to every run (DESIGN.md §10)",
+     [](ParseState& state, const char*) { state.options.validate = true; }},
     {"help", nullptr, "print this message and exit", nullptr},
 };
 
@@ -189,6 +192,7 @@ BenchOptions parse_args(int argc, char** argv) {
 SweepOptions sweep_options(const BenchOptions& options) {
   SweepOptions sweep;
   sweep.jobs = options.jobs;
+  sweep.validate = options.validate;
   if (options.no_obs) {
     sweep.obs_override = ObsConfig::disabled();
   } else if (!options.trace_out.empty()) {

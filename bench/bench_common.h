@@ -22,6 +22,9 @@
 //   --icp-retries N     re-probe silent peers up to N times (requires --pipeline)
 //   --coalesce          collapse concurrent same-document misses (requires
 //                       --pipeline)
+//   --validate          attach the invariant checker to every run and embed
+//                       its report under "validation" in the result JSON
+//                       (DESIGN.md §10)
 //
 // The pipeline flags flow into every GroupConfig built by paper_group(), so
 // any figure/ablation bench can be re-run under the event-driven driver
@@ -49,6 +52,7 @@ struct BenchOptions {
   std::string trace_out;     // --trace-out FILE; empty = tracing off
   bool no_obs = false;       // --no-obs: registry + tracing disabled
   PipelineConfig pipeline;   // --pipeline/--icp-*/--coalesce; default = legacy
+  bool validate = false;     // --validate: invariant checker on every run
 };
 
 [[nodiscard]] BenchOptions parse_args(int argc, char** argv);

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   SweepOptions serial_options;
   serial_options.jobs = 1;
   serial_options.obs_override = parallel_options.obs_override;
+  serial_options.validate = parallel_options.validate;
   SweepRunner serial_runner(serial_options);
   enqueue(serial_runner);
   const auto serial_runs = serial_runner.run();

@@ -135,6 +135,10 @@ std::vector<std::string> GroupConfig::validate() const {
     fail("pipeline.retry_backoff must be >= 1");
   }
 
+  if (placement_override && placement_override->kind() != placement) {
+    fail("placement_override's kind() disagrees with the `placement` enum");
+  }
+
   return errors;
 }
 
@@ -152,7 +156,10 @@ void GroupConfig::validate_or_throw() const {
 CacheGroup::CacheGroup(const GroupConfig& config)
     : config_(validated(config)),
       topology_(build_topology(config_)),
-      placement_(make_placement(config.placement, config.ea_hysteresis)),
+      placement_(config_.placement_override
+                     ? config_.placement_override
+                     : std::shared_ptr<const PlacementPolicy>(
+                           make_placement(config_.placement, config_.ea_hysteresis))),
       registry_(config.obs.registry),
       trace_log_(config.obs.trace_capacity),
       transport_(config.wire),
@@ -668,8 +675,8 @@ CacheGroup::Resolution CacheGroup::try_candidates(ProxyCache& requester, const R
         Document{request.document, response.body_size, response.version},
         response.responder_age, now,
         coherence_on() ? std::optional<TimePoint>(response.validated_at) : std::nullopt);
-    trace_placement(requester.id(), request.document, now, fetch.requester_age,
-                    response.responder_age, kept);
+    trace_placement(requester.id(), request.document, now, response.body_size,
+                    fetch.requester_age, response.responder_age, kept);
     return {RequestOutcome::kRemoteHit, response.body_size,
             config_.latency.remote_hit + probe_penalty};
   }
@@ -699,7 +706,7 @@ CacheGroup::Resolution CacheGroup::resolve_group_miss(ProxyCache& requester,
       Document{request.document, response.body_size, response.version},
       response.responder_age, now,
       coherence_on() ? std::optional<TimePoint>(response.validated_at) : std::nullopt);
-  trace_placement(requester.id(), request.document, now, std::nullopt,
+  trace_placement(requester.id(), request.document, now, response.body_size, std::nullopt,
                   response.responder_age, kept);
   if (response.source == ResponseSource::kCache) {
     // A cache above the ICP horizon (grandparent or higher) had the
@@ -747,8 +754,8 @@ HttpResponse CacheGroup::fetch_via_parent(ProxyCache& child, ProxyId parent_id,
     const bool kept = parent.consider_caching(
         Document{request.document, upper.body_size, upper.version}, upper.responder_age, now,
         coherence_on() ? std::optional<TimePoint>(upper.validated_at) : std::nullopt);
-    trace_placement(parent_id, request.document, now, std::nullopt, upper.responder_age,
-                    kept);
+    trace_placement(parent_id, request.document, now, upper.body_size, std::nullopt,
+                    upper.responder_age, kept);
     response.from = parent_id;
     response.to = child.id();
     response.document = request.document;
@@ -801,9 +808,12 @@ void CacheGroup::note_origin_fetch(ProxyId requester, const Document& document, 
   }
 }
 
-void CacheGroup::trace_placement(ProxyId proxy, DocumentId document, TimePoint at,
+void CacheGroup::trace_placement(ProxyId proxy, DocumentId document, TimePoint at, Bytes size,
                                  std::optional<ExpAge> requester_age,
                                  std::optional<ExpAge> responder_age, bool accepted) {
+  if (auditor_ != nullptr) {
+    auditor_->on_placement(proxy, document, at, size, requester_age, responder_age, accepted);
+  }
   if (!trace_log_.enabled()) return;
   SpanEvent event;
   event.request = current_request_;

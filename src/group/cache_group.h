@@ -165,6 +165,13 @@ struct GroupConfig {
   PolicyKind replacement = PolicyKind::kLru;
   PlacementKind placement = PlacementKind::kEa;
   double ea_hysteresis = 2.0;  // replication threshold (kEaHysteresis only)
+
+  /// Test seam: substitute a hand-built placement policy for the one
+  /// `placement` would construct. The override's kind() must match
+  /// `placement` (validated) so every consumer that dispatches on the enum
+  /// still agrees with the object actually deciding. Shared because
+  /// GroupConfig is copied freely into sweep jobs; policies are stateless.
+  std::shared_ptr<const PlacementPolicy> placement_override;
   WindowConfig window{};
   TopologyKind topology = TopologyKind::kDistributed;
   LatencyModel latency{};
@@ -205,6 +212,20 @@ struct GroupConfig {
   /// Total cache count this config builds: custom_parents when given,
   /// otherwise num_proxies plus a hierarchical root.
   [[nodiscard]] std::size_t total_cache_count() const;
+};
+
+/// Observer for every placement decision the group makes (requester
+/// keep-a-copy and parent keep-a-copy alike). `requester_age`/`responder_age`
+/// are the expiration ages the two sides actually exchanged on the wire —
+/// the hook never re-queries an estimator. Used by the invariant checker
+/// (src/validate/) to audit decisions against the paper's §3.3 rules;
+/// callbacks may read the group but must not mutate it.
+class PlacementAuditor {
+ public:
+  virtual ~PlacementAuditor() = default;
+  virtual void on_placement(ProxyId proxy, DocumentId document, TimePoint at, Bytes size,
+                            std::optional<ExpAge> requester_age,
+                            std::optional<ExpAge> responder_age, bool accepted) = 0;
 };
 
 class CacheGroup {
@@ -265,6 +286,15 @@ class CacheGroup {
   [[nodiscard]] std::size_t unique_resident_documents() const;
   /// copies / unique (1.0 = no replication). 0 when the group is empty.
   [[nodiscard]] double replication_factor() const;
+
+  /// Attach (or detach, with nullptr) the single placement auditor. The
+  /// auditor must outlive the group or detach itself first.
+  void attach_auditor(PlacementAuditor* auditor) { auditor_ = auditor; }
+  /// Forward an eviction observer onto one proxy's store (validation hook;
+  /// see CacheStore::add_eviction_observer for the observer contract).
+  void add_eviction_observer(ProxyId proxy, EvictionObserver* observer) {
+    proxies_.at(proxy)->add_eviction_observer(observer);
+  }
 
  private:
   /// The event-driven driver schedules the private stage helpers below on
@@ -353,7 +383,7 @@ class CacheGroup {
   /// Placement-decision span (requester or parent rule). EA values are the
   /// ones ALREADY exchanged on the wire — tracing never re-queries an
   /// estimator, so counters match between traced and untraced runs.
-  void trace_placement(ProxyId proxy, DocumentId document, TimePoint at,
+  void trace_placement(ProxyId proxy, DocumentId document, TimePoint at, Bytes size,
                        std::optional<ExpAge> requester_age,
                        std::optional<ExpAge> responder_age, bool accepted);
   [[nodiscard]] static std::int64_t sim_ms(TimePoint at) { return (at - kSimEpoch).count(); }
@@ -363,7 +393,8 @@ class CacheGroup {
 
   GroupConfig config_;
   Topology topology_;
-  std::unique_ptr<PlacementPolicy> placement_;
+  std::shared_ptr<const PlacementPolicy> placement_;
+  PlacementAuditor* auditor_ = nullptr;
   MetricRegistry registry_;  // before proxies_: they hold handles into it
   TraceLog trace_log_;
   std::vector<std::unique_ptr<ProxyCache>> proxies_;

@@ -133,6 +133,12 @@ class ProxyCache {
   [[nodiscard]] const ContentionEstimator& contention() const { return contention_; }
   [[nodiscard]] const ProxyStats& stats() const { return stats_; }
 
+  /// Validation hook: observe this proxy's evictions (same contract as
+  /// CacheStore::add_eviction_observer — the observer must outlive us).
+  void add_eviction_observer(EvictionObserver* observer) {
+    store_.add_eviction_observer(observer);
+  }
+
  private:
   [[nodiscard]] bool uses_ea() const { return placement_->kind() != PlacementKind::kAdHoc; }
   /// Admit into the store, mirroring the admission into the local digest.

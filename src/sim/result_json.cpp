@@ -71,6 +71,24 @@ void append_simulation_result(JsonWriter& json, const SimulationResult& result) 
     json.end_object();
   }
 
+  // Invariant-checker report. Emitted ONLY for validated runs, for the same
+  // byte-identity reason as the pipeline block above.
+  if (result.validation.enabled) {
+    json.key("validation").begin_object();
+    json.field("checks", result.validation.checks);
+    json.field("violations", result.validation.violations);
+    json.key("first_violations").begin_array();
+    for (const ValidationViolation& violation : result.validation.first_violations) {
+      json.begin_object();
+      json.field("law", violation.law);
+      json.field("detail", violation.detail);
+      json.field("at_ms", violation.at_ms);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
   json.key("expiration_age").begin_object();
   if (result.average_cache_expiration_age.is_infinite()) {
     json.key("average_seconds").null();

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "event/event_queue.h"
 #include "group/request_pipeline.h"
+#include "validate/invariants.h"
 
 namespace eacache {
 
@@ -76,6 +78,11 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
     });
   }
 
+  // Invariant net (DESIGN.md §10): attaches to the group's observer seams,
+  // audits every driver hook, and is torn down before the group.
+  std::optional<InvariantChecker> checker;
+  if (options.validate) checker.emplace(group);
+
   if (config.pipeline.event_driven) {
     // Event-driven driver: requests are admitted at their trace timestamps
     // and progress as staged state machines on the queue, overlapping in
@@ -86,16 +93,22 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
     for (const Request& request : trace.requests) {
       queue.run_until(request.at);
       pipeline.start(request);
+      if (checker) checker->after_request(request, request.at);
     }
     while (pipeline.in_flight() > 0 && queue.step()) {
+      if (checker) checker->after_step(queue.now());
     }
     result.pipeline = pipeline.stats();
+    if (checker) checker->finish(trace.size(), &result.pipeline);
   } else {
     for (const Request& request : trace.requests) {
       queue.run_until(request.at);  // fire any periodic/flush events due now
       group.serve(request);
+      if (checker) checker->after_request(request, request.at);
     }
+    if (checker) checker->finish(trace.size(), nullptr);
   }
+  if (checker) result.validation = checker->take_report();
   if (timings != nullptr) timings->sim_ms = elapsed_ms(sim_started);
 
   const auto report_started = std::chrono::steady_clock::now();

@@ -17,12 +17,20 @@
 #include "obs/trace_log.h"
 #include "proxy/proxy_cache.h"
 #include "trace/trace.h"
+#include "validate/validation_report.h"
 
 namespace eacache {
 
 struct SimulationOptions {
   /// Period for hit-rate time-series snapshots; zero disables them.
   Duration snapshot_period = Duration::zero();
+
+  /// Attach the invariant checker (src/validate/invariants.h) to the run:
+  /// every request is audited against the paper's conservation laws and the
+  /// outcome lands in SimulationResult::validation (and under "validation"
+  /// in result JSON). Off by default — auditing re-queries expiration ages,
+  /// which shifts obs counters (never simulation outcomes).
+  bool validate = false;
 
   /// Declarative fault injection: proxy flushes (crash/restart) and
   /// transient peer-outage windows. See sim/fault_plan.h.
@@ -90,6 +98,11 @@ struct SimulationResult {
   /// whole struct zero) for legacy synchronous runs, which keeps their
   /// result JSON byte-identical to pre-pipeline releases.
   PipelineStats pipeline;
+
+  /// Invariant-checker outcome; `validation.enabled` is false (and the
+  /// "validation" JSON block absent) unless SimulationOptions::validate was
+  /// set, preserving byte-identity of unvalidated result JSON.
+  ValidationReport validation;
 };
 
 /// Run `trace` through a fresh group built from `config`. The trace must be

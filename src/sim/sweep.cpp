@@ -109,10 +109,12 @@ std::vector<SweepRunResult> SweepRunner::run() {
     GroupConfig config = job.config;
     if (options_.obs_override) config.obs = *options_.obs_override;
     out.config = config;
+    SimulationOptions sim_options = job.options;
+    if (options_.validate) sim_options.validate = true;
     out.trace_load_ms = trace_load_ms_for(job.trace.get());
     const auto start = std::chrono::steady_clock::now();
     try {
-      out.result = run_simulation(*job.trace, config, job.options, &out.timings);
+      out.result = run_simulation(*job.trace, config, sim_options, &out.timings);
     } catch (...) {
       errors[i] = std::current_exception();
     }

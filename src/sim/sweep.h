@@ -106,6 +106,12 @@ struct SweepOptions {
   /// how the bench flags (--trace-out, --no-obs) reach all jobs without
   /// every bench threading observability through its config construction.
   std::optional<ObsConfig> obs_override;
+
+  /// Validate-sweep mode: force SimulationOptions::validate on for every
+  /// job, attaching the invariant checker (DESIGN.md §10) to each run. How
+  /// the --validate bench flag reaches all jobs, and how the fuzz harness
+  /// shards invariant-checked cases across the pool deterministically.
+  bool validate = false;
 };
 
 /// Fixed-size thread pool over a queue of sweep jobs.

@@ -25,8 +25,11 @@ struct EvictionRecord {
   EvictionCause cause = EvictionCause::kCapacity;
 };
 
-/// Observer for evictions. Implementations must not call back into the
-/// emitting CacheStore (reentrancy is a programming error).
+/// Observer for evictions. Implementations must not MUTATE the emitting
+/// CacheStore (reentrant admits/removes are a programming error). Const
+/// reads are fine: the store erases the victim before notifying, so
+/// resident_ids()/peek()/resident_bytes() see a consistent post-eviction
+/// view (the invariant checker audits the LRU stack property this way).
 class EvictionObserver {
  public:
   virtual ~EvictionObserver() = default;

@@ -1,0 +1,337 @@
+#include "validate/fuzz_driver.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/random.h"
+#include "obs/obs_config.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+
+namespace {
+
+/// Request i of a respaced trace fires at epoch + (i+1) * kGrid. The widest
+/// generated lifecycle is local_lookup (10 ms) + icp_timeout (<= 2 s) +
+/// origin transfer (2784 - 50 ms), well under one grid step, so no two
+/// pipeline requests ever overlap and faults pinned at grid + kGrid/2 land
+/// between complete lifecycles under BOTH drivers.
+constexpr Duration kGrid = sec(10);
+
+[[nodiscard]] TimePoint grid_point(std::size_t index) {
+  return kSimEpoch + kGrid * static_cast<SimClock::rep>(index + 1);
+}
+
+template <typename T>
+[[nodiscard]] T pick(Rng& rng, std::initializer_list<T> choices) {
+  return *(choices.begin() + rng.next_below(choices.size()));
+}
+
+}  // namespace
+
+FuzzCase make_fuzz_case(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase fuzz_case;
+  fuzz_case.seed = seed;
+
+  GroupConfig& config = fuzz_case.config;
+  config.num_proxies = pick<std::size_t>(rng, {2, 4, 8});
+  config.replacement = pick(rng, {PolicyKind::kLru, PolicyKind::kLru, PolicyKind::kLfu,
+                                  PolicyKind::kGreedyDualSize});
+  config.placement = pick(rng, {PlacementKind::kEa, PlacementKind::kEa, PlacementKind::kEa,
+                                PlacementKind::kAdHoc, PlacementKind::kEaHysteresis});
+  config.ea_hysteresis = 1.5;
+  switch (rng.next_below(3)) {
+    case 0: config.window = WindowConfig::cumulative(); break;
+    case 1: config.window = WindowConfig::victims(pick<std::size_t>(rng, {8, 32, 128})); break;
+    default: config.window = WindowConfig::time(pick(rng, {minutes(30), minutes(120)})); break;
+  }
+  config.topology = pick(rng, {TopologyKind::kDistributed, TopologyKind::kDistributed,
+                               TopologyKind::kHierarchical});
+  config.latency = LatencyModel::paper_defaults();
+  config.discovery = pick(rng, {DiscoveryMode::kIcp, DiscoveryMode::kIcp, DiscoveryMode::kIcp,
+                                DiscoveryMode::kDigest});
+  if (config.discovery == DiscoveryMode::kDigest) {
+    config.digest.expected_items = 1024;
+    config.digest.refresh_period = minutes(10);
+  }
+  // Small aggregate budgets force steady capacity evictions — the whole
+  // point: exercise the EA machinery, not a cold cache.
+  config.aggregate_capacity = pick<Bytes>(rng, {32 * kKiB, 64 * kKiB, 128 * kKiB, 256 * kKiB});
+  config.icp_loss_probability = pick(rng, {0.0, 0.0, 0.0, 0.05, 0.2});
+  config.network_seed = seed ^ 0x9e3779b97f4a7c15ull;
+
+  // The consistent-hashing baseline constrains placement/topology/prefetch
+  // (GroupConfig::validate()); apply it after the draws above so the RNG
+  // consumption stays identical for every seed.
+  const bool hash_partition =
+      config.topology == TopologyKind::kDistributed && rng.next_below(8) == 0;
+  if (hash_partition) {
+    config.routing = RoutingMode::kHashPartition;
+    config.placement = PlacementKind::kAdHoc;
+  } else if (rng.next_below(5) == 0) {
+    config.prefetch.enabled = true;
+    config.prefetch.min_confidence = 0.3;
+    config.prefetch.min_observations = 2;
+    // Prefetch arms pin placement to ad-hoc: speculative admissions happen
+    // at driver-dependent instants, and ad-hoc is the one placement family
+    // whose decisions cannot flip on a timestamp shift — so these arms stay
+    // under the strict oracle instead of masking real prefetch bugs.
+    config.placement = PlacementKind::kAdHoc;
+  }
+
+  // EA-family arms run with every latency component zeroed: the staged
+  // pipeline then mutates caches at exactly the instants the legacy driver
+  // does, so the expiration ages the two sides exchange are bit-identical
+  // and a near-tie EA comparison cannot flip on ±stage-delay jitter.
+  // Ad-hoc arms are age-independent, so they keep the paper's model and
+  // carry the measured-latency == charged-latency law.
+  if (config.placement != PlacementKind::kAdHoc) {
+    LatencyModel zero;
+    zero.local_hit = zero.remote_hit = zero.miss = Duration::zero();
+    zero.failed_probe = Duration::zero();
+    zero.icp_rtt = Duration::zero();
+    zero.local_lookup = Duration::zero();
+    config.latency = zero;
+  }
+
+  // Pipeline knobs for the event-driven arm. Retries stay off: a retry
+  // round re-draws probe losses, legitimately diverging the transport
+  // counters from the legacy driver's single round.
+  config.pipeline.event_driven = false;
+  config.pipeline.icp_timeout = pick(rng, {msec(500), msec(2000)});
+  config.pipeline.icp_retries = 0;
+  config.pipeline.coalesce = false;
+
+  // Observability off: the oracle diffs outcome counters, and obs work
+  // would dominate the corpus runtime.
+  config.obs = ObsConfig::disabled();
+
+  SyntheticTraceConfig trace_config;
+  trace_config.seed = seed ^ 0xabcdef12345ull;
+  trace_config.num_requests = 300 + rng.next_below(501);
+  trace_config.num_documents = 60 + rng.next_below(181);
+  trace_config.num_users = 8 + static_cast<std::uint32_t>(rng.next_below(25));
+  trace_config.span = hours(6);  // irrelevant: respaced below
+  trace_config.zipf_alpha = 0.6 + 0.5 * rng.next_double();
+  trace_config.max_size = 32 * kKiB;  // keep documents admissible everywhere
+  if (rng.next_bool(0.5)) {
+    trace_config.repeat_probability = 0.3;
+    trace_config.repeat_window = 64;
+  }
+  Trace trace = generate_synthetic_trace(trace_config);
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    trace.requests[i].at = grid_point(i);
+  }
+  const std::size_t n = trace.requests.size();
+  fuzz_case.trace = std::make_shared<const Trace>(std::move(trace));
+
+  // Faults: flushes and outage boundaries sit at grid + kGrid/2, strictly
+  // inside the trace, so they fire between complete request lifecycles and
+  // are reached by both drivers (the legacy loop only pumps the event queue
+  // up to the last request's timestamp).
+  const std::size_t total_caches = config.total_cache_count();
+  if (rng.next_bool(0.3)) {
+    const std::size_t flush_count = 1 + rng.next_below(2);
+    for (std::size_t f = 0; f < flush_count; ++f) {
+      FaultPlan::Flush flush;
+      flush.at = grid_point(5 + rng.next_below(n - 8)) + kGrid / 2;
+      flush.proxy = static_cast<ProxyId>(rng.next_below(total_caches));
+      fuzz_case.faults.flushes.push_back(flush);
+    }
+  }
+  if (config.discovery == DiscoveryMode::kIcp && rng.next_bool(0.3)) {
+    const std::size_t outage_count = 1 + rng.next_below(2);
+    for (std::size_t o = 0; o < outage_count; ++o) {
+      const std::size_t start = 1 + rng.next_below(n - 4);
+      PeerOutage outage;
+      outage.proxy = static_cast<ProxyId>(rng.next_below(total_caches));
+      outage.start = grid_point(start) + kGrid / 2;
+      outage.end = grid_point(start + 1 + rng.next_below(n - start - 2)) + kGrid / 2;
+      fuzz_case.faults.outages.push_back(outage);
+    }
+  }
+
+  fuzz_case.strict =
+      config.icp_loss_probability == 0.0 && fuzz_case.faults.outages.empty();
+
+  fuzz_case.label = "seed=" + std::to_string(seed) + "/p" +
+                    std::to_string(config.num_proxies) + "/" +
+                    std::string(to_string(config.replacement)) + "/" +
+                    (config.placement == PlacementKind::kAdHoc         ? "adhoc"
+                     : config.placement == PlacementKind::kEa          ? "ea"
+                                                                      : "ea-hyst") +
+                    (config.topology == TopologyKind::kHierarchical ? "/hier" : "/dist") +
+                    (config.discovery == DiscoveryMode::kDigest ? "/digest" : "/icp") +
+                    (config.routing == RoutingMode::kHashPartition ? "/hash" : "") +
+                    (config.prefetch.enabled ? "/prefetch" : "") +
+                    (config.icp_loss_probability > 0.0 ? "/loss" : "") +
+                    (fuzz_case.faults.empty() ? "" : "/faults");
+  return fuzz_case;
+}
+
+std::vector<std::string> diff_outcomes(const SimulationResult& legacy,
+                                       const SimulationResult& pipeline, bool strict) {
+  std::vector<std::string> mismatches;
+  const auto compare = [&mismatches](const char* name, auto a, auto b) {
+    if (a != b) {
+      mismatches.push_back(std::string(name) + ": legacy=" + std::to_string(a) +
+                           " pipeline=" + std::to_string(b));
+    }
+  };
+
+  // Conservation laws that hold no matter what: every trace request is
+  // served exactly once, at its home proxy, for its full size.
+  compare("metrics.total_requests", legacy.metrics.total_requests(),
+          pipeline.metrics.total_requests());
+  compare("metrics.bytes_requested", legacy.metrics.bytes_requested(),
+          pipeline.metrics.bytes_requested());
+  compare("proxy_stats.size", legacy.proxy_stats.size(), pipeline.proxy_stats.size());
+  if (legacy.proxy_stats.size() == pipeline.proxy_stats.size()) {
+    for (std::size_t p = 0; p < legacy.proxy_stats.size(); ++p) {
+      compare(("proxy[" + std::to_string(p) + "].client_requests").c_str(),
+              legacy.proxy_stats[p].client_requests, pipeline.proxy_stats[p].client_requests);
+    }
+  }
+
+  // Everything below is exact only when no discovery timeout can fire: a
+  // timeout resolves the request seconds later than the legacy driver did,
+  // and EA placement compares real-valued ages built from those shifted
+  // timestamps — near-ties legitimately flip. With no loss and no outages
+  // every probe answers within icp_rtt, admission shifts stay bounded by
+  // the transfer delays, and the drivers must agree counter for counter.
+  if (!strict) return mismatches;
+
+  compare("metrics.local_hits", legacy.metrics.count(RequestOutcome::kLocalHit),
+          pipeline.metrics.count(RequestOutcome::kLocalHit));
+  compare("metrics.remote_hits", legacy.metrics.count(RequestOutcome::kRemoteHit),
+          pipeline.metrics.count(RequestOutcome::kRemoteHit));
+  compare("metrics.misses", legacy.metrics.count(RequestOutcome::kMiss),
+          pipeline.metrics.count(RequestOutcome::kMiss));
+  compare("metrics.local_hit_bytes", legacy.metrics.bytes(RequestOutcome::kLocalHit),
+          pipeline.metrics.bytes(RequestOutcome::kLocalHit));
+  compare("metrics.remote_hit_bytes", legacy.metrics.bytes(RequestOutcome::kRemoteHit),
+          pipeline.metrics.bytes(RequestOutcome::kRemoteHit));
+  compare("metrics.miss_bytes", legacy.metrics.bytes(RequestOutcome::kMiss),
+          pipeline.metrics.bytes(RequestOutcome::kMiss));
+  // Nothing can time out here, so measured latency == the legacy charge.
+  compare("metrics.total_latency_ms", legacy.metrics.total_latency().count(),
+          pipeline.metrics.total_latency().count());
+
+  compare("transport.icp_queries", legacy.transport.icp_queries,
+          pipeline.transport.icp_queries);
+  compare("transport.icp_replies", legacy.transport.icp_replies,
+          pipeline.transport.icp_replies);
+  compare("transport.icp_losses", legacy.transport.icp_losses, pipeline.transport.icp_losses);
+  compare("transport.http_requests", legacy.transport.http_requests,
+          pipeline.transport.http_requests);
+  compare("transport.http_responses", legacy.transport.http_responses,
+          pipeline.transport.http_responses);
+  compare("transport.failed_probes", legacy.transport.failed_probes,
+          pipeline.transport.failed_probes);
+  compare("transport.digest_publications", legacy.transport.digest_publications,
+          pipeline.transport.digest_publications);
+  compare("transport.origin_fetches", legacy.transport.origin_fetches,
+          pipeline.transport.origin_fetches);
+  compare("transport.total_bytes", legacy.transport.total_bytes(),
+          pipeline.transport.total_bytes());
+
+  if (legacy.proxy_stats.size() == pipeline.proxy_stats.size()) {
+    for (std::size_t p = 0; p < legacy.proxy_stats.size(); ++p) {
+      const ProxyStats& a = legacy.proxy_stats[p];
+      const ProxyStats& b = pipeline.proxy_stats[p];
+      const std::string prefix = "proxy[" + std::to_string(p) + "].";
+      compare((prefix + "local_hits").c_str(), a.local_hits, b.local_hits);
+      compare((prefix + "remote_fetches_served").c_str(), a.remote_fetches_served,
+              b.remote_fetches_served);
+      compare((prefix + "copies_stored").c_str(), a.copies_stored, b.copies_stored);
+      compare((prefix + "copies_declined").c_str(), a.copies_declined, b.copies_declined);
+      compare((prefix + "promotions_suppressed").c_str(), a.promotions_suppressed,
+              b.promotions_suppressed);
+    }
+  }
+
+  compare("occupancy.total_resident_copies", legacy.total_resident_copies,
+          pipeline.total_resident_copies);
+  compare("occupancy.unique_resident_documents", legacy.unique_resident_documents,
+          pipeline.unique_resident_documents);
+
+  compare("prefetch.issued", legacy.prefetch.issued, pipeline.prefetch.issued);
+  compare("prefetch.useful", legacy.prefetch.useful, pipeline.prefetch.useful);
+  return mismatches;
+}
+
+std::string FuzzDiff::summary() const {
+  std::string text = label + ": ";
+  if (ok()) return text + "ok";
+  if (!mismatches.empty()) {
+    text += std::to_string(mismatches.size()) + " counter mismatch(es)";
+    for (const std::string& m : mismatches) text += "\n    " + m;
+  }
+  if (!legacy_validation.ok()) text += "\n  legacy invariants: " + legacy_validation.summary();
+  if (!pipeline_validation.ok()) {
+    text += "\n  pipeline invariants: " + pipeline_validation.summary();
+  }
+  return text;
+}
+
+namespace {
+
+[[nodiscard]] FuzzDiff pair_up(const FuzzCase& fuzz_case, const SimulationResult& legacy,
+                               const SimulationResult& pipeline) {
+  FuzzDiff diff;
+  diff.label = fuzz_case.label;
+  diff.mismatches = diff_outcomes(legacy, pipeline, fuzz_case.strict);
+  diff.legacy_validation = legacy.validation;
+  diff.pipeline_validation = pipeline.validation;
+  return diff;
+}
+
+[[nodiscard]] GroupConfig pipeline_arm(const FuzzCase& fuzz_case) {
+  GroupConfig config = fuzz_case.config;
+  config.pipeline.event_driven = true;
+  return config;
+}
+
+}  // namespace
+
+FuzzDiff run_fuzz_case(const FuzzCase& fuzz_case) {
+  SimulationOptions options;
+  options.faults = fuzz_case.faults;
+  options.validate = true;
+  const SimulationResult legacy = run_simulation(*fuzz_case.trace, fuzz_case.config, options);
+  const SimulationResult pipeline =
+      run_simulation(*fuzz_case.trace, pipeline_arm(fuzz_case), options);
+  return pair_up(fuzz_case, legacy, pipeline);
+}
+
+std::vector<FuzzDiff> run_fuzz_corpus(std::uint64_t base_seed, std::size_t count,
+                                      std::size_t jobs) {
+  std::vector<FuzzCase> cases;
+  cases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cases.push_back(make_fuzz_case(base_seed + i));
+  }
+
+  SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  sweep_options.validate = true;
+  SweepRunner runner(sweep_options);
+  for (const FuzzCase& fuzz_case : cases) {
+    SimulationOptions options;
+    options.faults = fuzz_case.faults;
+    runner.add(fuzz_case.label + "/legacy", fuzz_case.config, fuzz_case.trace, options);
+    runner.add(fuzz_case.label + "/pipeline", pipeline_arm(fuzz_case), fuzz_case.trace,
+               options);
+  }
+  const std::vector<SweepRunResult> runs = runner.run();
+
+  std::vector<FuzzDiff> diffs;
+  diffs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    diffs.push_back(pair_up(cases[i], runs[2 * i].result, runs[2 * i + 1].result));
+  }
+  return diffs;
+}
+
+}  // namespace eacache

@@ -1,0 +1,84 @@
+// Randomized differential harness over both request drivers (DESIGN.md §10).
+//
+// A FuzzCase is a seeded random (GroupConfig, FaultPlan, trace) triple,
+// shaped so the event-driven pipeline cannot overlap requests: the trace is
+// respaced onto a 10 s grid, wider than the worst-case request lifecycle
+// (local_lookup + icp_timeout + origin transfer < 5 s for every generated
+// config), and fault instants are pinned midway between grid points. Under
+// those conditions, whenever nothing can time out (no ICP loss, no peer
+// outages) the two drivers must be observationally equivalent — identical
+// hit/miss/placement/transport counters, and the pipeline's measured
+// latency must equal the legacy driver's charged latency. Timeout-prone
+// arms are held to the conservation subset only (a timeout resolves a
+// request seconds late, and EA near-ties may legitimately flip). Every arm
+// also runs with the invariant checker attached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "group/cache_group.h"
+#include "sim/fault_plan.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "validate/validation_report.h"
+
+namespace eacache {
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  std::string label;            // human-readable config digest
+  GroupConfig config;           // legacy arm; the pipeline arm flips event_driven
+  FaultPlan faults;
+  TraceRef trace;               // respaced, overlap-free
+  /// No ICP loss and no outages: nothing can time out, so the drivers must
+  /// agree on EVERY counter (including measured vs charged latency). When
+  /// false, a timeout shifts resolution by seconds and EA near-ties may
+  /// legitimately flip — only the conservation subset is compared.
+  bool strict = false;
+};
+
+/// Deterministic generator: same seed, same case. Dimensions covered:
+/// 2/4/8 proxies, LRU/LFU/GDS replacement, ad-hoc/EA/EA-hysteresis
+/// placement, distributed/hierarchical topologies, ICP/digest discovery,
+/// cooperative/hash-partition routing, all three Eq. 5 windows, ICP loss
+/// rates, prefetching, and fault plans with flushes and peer outages.
+[[nodiscard]] FuzzCase make_fuzz_case(std::uint64_t seed);
+
+/// The two arms' results diffed under the differential oracle, plus each
+/// arm's invariant-checker report.
+struct FuzzDiff {
+  std::string label;
+  std::vector<std::string> mismatches;  // empty = the drivers agree
+  ValidationReport legacy_validation;
+  ValidationReport pipeline_validation;
+
+  [[nodiscard]] bool ok() const {
+    return mismatches.empty() && legacy_validation.ok() && pipeline_validation.ok();
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The differential oracle. `strict` arms are compared counter for counter
+/// (metrics, transport, per-proxy stats, occupancy, total latency);
+/// non-strict arms (loss/outage configs, where timeouts fire) only on the
+/// conservation subset. Exposed for targeted tests.
+[[nodiscard]] std::vector<std::string> diff_outcomes(const SimulationResult& legacy,
+                                                     const SimulationResult& pipeline,
+                                                     bool strict);
+
+/// Run one case through both drivers serially, invariants on.
+[[nodiscard]] FuzzDiff run_fuzz_case(const FuzzCase& fuzz_case);
+
+/// The validate_sweep mode: shard `count` seeded cases (seeds base_seed,
+/// base_seed+1, ...) across a SweepRunner thread pool with
+/// SweepOptions::validate on — each case contributes its legacy and
+/// pipeline arms as two jobs, and results pair up in submission order, so
+/// the corpus verdict is deterministic for any worker count. `jobs` as in
+/// SweepOptions (0 = resolve_job_count()).
+[[nodiscard]] std::vector<FuzzDiff> run_fuzz_corpus(std::uint64_t base_seed, std::size_t count,
+                                                    std::size_t jobs);
+
+}  // namespace eacache

@@ -1,0 +1,381 @@
+#include "validate/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/cache_store.h"
+
+namespace eacache {
+
+namespace {
+
+[[nodiscard]] std::int64_t sim_ms(TimePoint at) { return (at - kSimEpoch).count(); }
+
+/// Float-tolerant ExpAge equality: the shadow window replays the same
+/// additions in the same order, but the estimator's time window flushes its
+/// running sum on different query schedules, so allow rounding slack.
+[[nodiscard]] bool ages_close(ExpAge a, ExpAge b) {
+  if (a.is_infinite() || b.is_infinite()) return a.is_infinite() && b.is_infinite();
+  const double scale = std::max(std::abs(a.millis()), std::abs(b.millis()));
+  return std::abs(a.millis() - b.millis()) <= 1e-3 + 1e-9 * scale;
+}
+
+[[nodiscard]] std::string age_str(ExpAge age) {
+  return age.is_infinite() ? "inf" : std::to_string(age.millis());
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(CacheGroup& group)
+    : InvariantChecker(group, Options()) {}
+
+InvariantChecker::InvariantChecker(CacheGroup& group, Options options)
+    : group_(&group), options_(options) {
+  if (options_.heavy_stride == 0) options_.heavy_stride = 1;
+  if (options_.lru_stack_stride == 0) options_.lru_stack_stride = 1;
+  report_.enabled = true;
+
+  audits_.reserve(group_->num_proxies());
+  for (ProxyId p = 0; p < group_->num_proxies(); ++p) {
+    const ProxyCache& proxy = group_->proxy(p);
+    auto audit = std::make_unique<CacheAudit>();
+    audit->owner = this;
+    audit->id = p;
+    audit->store = &proxy.store();
+    audit->form = age_form_for_policy(proxy.store().policy().name());
+    audit->lru_stack = proxy.store().policy().name() == "lru";
+    const WindowConfig& window = group_->config().window;
+    audit->window_kind = window.kind;
+    audit->time_window = window.time_window;
+    if (window.kind == WindowKind::kVictimCount) {
+      audit->ring.assign(window.victim_count, 0.0);
+    }
+    group_->add_eviction_observer(p, audit.get());
+    audits_.push_back(std::move(audit));
+  }
+  group_->attach_auditor(this);
+}
+
+InvariantChecker::~InvariantChecker() { group_->attach_auditor(nullptr); }
+
+void InvariantChecker::violate(const char* law, TimePoint at, std::string detail) {
+  report_.add(law, std::move(detail), sim_ms(at));
+}
+
+void InvariantChecker::hook(TimePoint now) {
+  note_check();
+  if (now < last_now_) {
+    violate("time-monotone", now,
+            "hook time ran backwards: " + std::to_string(sim_ms(last_now_)) + "ms then " +
+                std::to_string(sim_ms(now)) + "ms");
+  } else {
+    last_now_ = now;
+  }
+  ++hook_calls_;
+  check_counts_partition(now);
+  if (hook_calls_ % options_.heavy_stride == 0) heavy_checks(now);
+}
+
+void InvariantChecker::after_request(const Request& request, TimePoint now) {
+  ++requests_seen_;
+  hook(now);
+  if (!group_->config().pipeline.event_driven) {
+    note_check();
+    const std::uint64_t total = group_->metrics().total_requests();
+    if (total != requests_seen_) {
+      violate("counts-partition", now,
+              "legacy driver served " + std::to_string(requests_seen_) +
+                  " requests but metrics.total_requests() is " + std::to_string(total));
+    }
+  }
+  (void)request;
+}
+
+void InvariantChecker::after_step(TimePoint now) { hook(now); }
+
+void InvariantChecker::check_counts_partition(TimePoint now) {
+  note_check();
+  const GroupMetrics& metrics = group_->metrics();
+  const std::uint64_t total = metrics.total_requests();
+  const std::uint64_t parts = metrics.count(RequestOutcome::kLocalHit) +
+                              metrics.count(RequestOutcome::kRemoteHit) +
+                              metrics.count(RequestOutcome::kMiss);
+  if (parts != total) {
+    violate("counts-partition", now,
+            "hits+remote+misses == " + std::to_string(parts) + " but total_requests == " +
+                std::to_string(total));
+  }
+  note_check();
+  const Bytes byte_parts = metrics.bytes(RequestOutcome::kLocalHit) +
+                           metrics.bytes(RequestOutcome::kRemoteHit) +
+                           metrics.bytes(RequestOutcome::kMiss);
+  if (byte_parts != metrics.bytes_requested()) {
+    violate("counts-partition", now,
+            "per-outcome bytes sum to " + std::to_string(byte_parts) +
+                " but bytes_requested is " + std::to_string(metrics.bytes_requested()));
+  }
+}
+
+void InvariantChecker::heavy_checks(TimePoint now) {
+  for (ProxyId p = 0; p < group_->num_proxies(); ++p) {
+    const ProxyCache& proxy = group_->proxy(p);
+    const CacheStore& store = proxy.store();
+
+    note_check();
+    Bytes sum = 0;
+    for (const DocumentId id : store.resident_ids()) {
+      const auto entry = store.peek(id);
+      if (entry) sum += entry->size;
+    }
+    if (sum != store.resident_bytes()) {
+      violate("byte-accounting", now,
+              "proxy " + std::to_string(p) + ": sum of resident sizes " + std::to_string(sum) +
+                  " != resident_bytes " + std::to_string(store.resident_bytes()));
+    }
+    note_check();
+    if (store.resident_bytes() > store.capacity()) {
+      violate("capacity", now,
+              "proxy " + std::to_string(p) + ": resident_bytes " +
+                  std::to_string(store.resident_bytes()) + " exceeds capacity " +
+                  std::to_string(store.capacity()));
+    }
+
+    note_check();
+    const ExpAge reported = proxy.expiration_age(now);
+    const ExpAge shadow = audits_[p]->shadow_age(now);
+    if (!ages_close(reported, shadow)) {
+      violate("eq5-window-mean", now,
+              "proxy " + std::to_string(p) + ": reported CacheExpAge " + age_str(reported) +
+                  "ms != shadow window mean " + age_str(shadow) + "ms");
+    }
+  }
+}
+
+bool InvariantChecker::requester_rule_allows(ExpAge requester, ExpAge responder) const {
+  switch (group_->config().placement) {
+    case PlacementKind::kAdHoc:
+      return true;
+    case PlacementKind::kEa:
+      return requester >= responder;  // paper §3.3
+    case PlacementKind::kEaHysteresis: {
+      if (responder.is_infinite()) return requester.is_infinite();
+      if (requester.is_infinite()) return true;
+      return requester.millis() >= group_->config().ea_hysteresis * responder.millis();
+    }
+  }
+  return true;
+}
+
+void InvariantChecker::on_placement(ProxyId proxy, DocumentId document, TimePoint at,
+                                    Bytes size, std::optional<ExpAge> requester_age,
+                                    std::optional<ExpAge> responder_age, bool accepted) {
+  // Only requester-side decisions carry a wire requester age (sibling remote
+  // hits); parent-chain placements audit nothing here — their requester age
+  // never flowed through this hook, and guessing it would re-query the
+  // estimator and perturb the very counters under test.
+  if (!requester_age.has_value()) return;
+
+  const CacheStore& store = group_->proxy(proxy).store();
+  const bool rule_yes =
+      requester_rule_allows(*requester_age, responder_age.value_or(ExpAge::infinite()));
+  const bool fits = size <= store.capacity();
+
+  note_check();
+  if (accepted && !(rule_yes && fits)) {
+    violate("placement-rule", at,
+            "proxy " + std::to_string(proxy) + " kept doc " + std::to_string(document) +
+                " but the rule said no (req=" + age_str(*requester_age) +
+                "ms resp=" + age_str(responder_age.value_or(ExpAge::infinite())) +
+                "ms fits=" + (fits ? "yes" : "no") + ")");
+  }
+  note_check();
+  if (!accepted && rule_yes && fits && !store.contains(document)) {
+    violate("placement-rule", at,
+            "proxy " + std::to_string(proxy) + " declined doc " + std::to_string(document) +
+                " although EA(req)=" + age_str(*requester_age) +
+                "ms >= EA(resp)=" + age_str(responder_age.value_or(ExpAge::infinite())) +
+                "ms, it fits, and no copy is resident");
+  }
+}
+
+void InvariantChecker::CacheAudit::on_eviction(const EvictionRecord& record) {
+  owner->report_.checks += 3;  // temporal, monotone, capacity
+  if (record.last_hit_time < record.entry_time || record.evict_time < record.last_hit_time) {
+    owner->violate("eviction-temporal", record.evict_time,
+                   "proxy " + std::to_string(id) + " victim " + std::to_string(record.id) +
+                       ": entry/last-hit/evict times out of order");
+  }
+  if (record.evict_time < last_evict) {
+    owner->violate("time-monotone", record.evict_time,
+                   "proxy " + std::to_string(id) + ": eviction at " +
+                       std::to_string(sim_ms(record.evict_time)) + "ms after one at " +
+                       std::to_string(sim_ms(last_evict)) + "ms");
+  } else {
+    last_evict = record.evict_time;
+  }
+
+  if (store->resident_bytes() > store->capacity()) {
+    owner->violate("capacity", record.evict_time,
+                   "proxy " + std::to_string(id) + ": resident_bytes " +
+                       std::to_string(store->resident_bytes()) + " exceeds capacity " +
+                       std::to_string(store->capacity()) + " mid-eviction");
+  }
+
+  if (record.cause != EvictionCause::kCapacity) return;
+  ++capacity_evictions;
+
+  // LRU stack property, sampled: the victim must be the least-recently-
+  // promoted entry — nothing still resident may have an older last hit.
+  // (Safe: the store erases the victim before notifying, see eviction.h.)
+  if (lru_stack && (capacity_evictions - 1) % owner->options_.lru_stack_stride == 0) {
+    owner->note_check();
+    for (const DocumentId resident : store->resident_ids()) {
+      const auto entry = store->peek(resident);
+      if (entry && entry->last_hit_time < record.last_hit_time) {
+        owner->violate("lru-stack", record.evict_time,
+                       "proxy " + std::to_string(id) + " evicted doc " +
+                           std::to_string(record.id) + " (last hit " +
+                           std::to_string(sim_ms(record.last_hit_time)) + "ms) while doc " +
+                           std::to_string(resident) + " (last hit " +
+                           std::to_string(sim_ms(entry->last_hit_time)) +
+                           "ms) was less recently promoted");
+        break;
+      }
+    }
+  }
+
+  // Shadow Eq. 5 window (independent mirror of ContentionEstimator).
+  const double age_ms = doc_exp_age(form, record).millis();
+  ++victims;
+  lifetime_sum_ms += age_ms;
+  switch (window_kind) {
+    case WindowKind::kCumulative:
+      break;
+    case WindowKind::kVictimCount:
+      if (ring_filled == ring.size()) {
+        ring_sum -= ring[ring_next];
+      } else {
+        ++ring_filled;
+      }
+      ring[ring_next] = age_ms;
+      ring_sum += age_ms;
+      ring_next = (ring_next + 1) % ring.size();
+      break;
+    case WindowKind::kTimeWindow:
+      samples.push_back(Sample{record.evict_time, age_ms});
+      window_sum += age_ms;
+      break;
+  }
+}
+
+ExpAge InvariantChecker::CacheAudit::shadow_age(TimePoint now) {
+  switch (window_kind) {
+    case WindowKind::kCumulative:
+      if (victims == 0) return ExpAge::infinite();
+      return ExpAge::from_millis(lifetime_sum_ms / static_cast<double>(victims));
+    case WindowKind::kVictimCount:
+      if (ring_filled == 0) return ExpAge::infinite();
+      return ExpAge::from_millis(ring_sum / static_cast<double>(ring_filled));
+    case WindowKind::kTimeWindow: {
+      const TimePoint cutoff =
+          now - time_window >= kSimEpoch ? now - time_window : kSimEpoch;
+      while (!samples.empty() && samples.front().at < cutoff) {
+        window_sum -= samples.front().age_ms;
+        samples.pop_front();
+      }
+      if (samples.empty()) {
+        window_sum = 0.0;
+        return ExpAge::infinite();
+      }
+      return ExpAge::from_millis(window_sum / static_cast<double>(samples.size()));
+    }
+  }
+  return ExpAge::infinite();
+}
+
+void InvariantChecker::finish(std::size_t trace_requests, const PipelineStats* pipeline) {
+  const TimePoint now = last_now_;
+
+  note_check();
+  const std::uint64_t total = group_->metrics().total_requests();
+  if (total != trace_requests) {
+    violate("counts-partition", now,
+            "end of run: metrics.total_requests() == " + std::to_string(total) +
+                " but the trace had " + std::to_string(trace_requests) + " requests");
+  }
+  check_counts_partition(now);
+  heavy_checks(now);
+
+  for (ProxyId p = 0; p < group_->num_proxies(); ++p) {
+    const ContentionEstimator& estimator = group_->proxy(p).contention();
+    CacheAudit& audit = *audits_[p];
+    note_check();
+    if (estimator.victims_observed() != audit.victims) {
+      violate("eq5-window-mean", now,
+              "proxy " + std::to_string(p) + ": estimator saw " +
+                  std::to_string(estimator.victims_observed()) +
+                  " capacity victims, the shadow saw " + std::to_string(audit.victims));
+    }
+    note_check();
+    const ExpAge lifetime = estimator.lifetime_average();
+    const ExpAge shadow_lifetime =
+        audit.victims == 0
+            ? ExpAge::infinite()
+            : ExpAge::from_millis(audit.lifetime_sum_ms / static_cast<double>(audit.victims));
+    if (!ages_close(lifetime, shadow_lifetime)) {
+      violate("eq5-window-mean", now,
+              "proxy " + std::to_string(p) + ": lifetime average " + age_str(lifetime) +
+                  "ms != shadow " + age_str(shadow_lifetime) + "ms");
+    }
+  }
+
+  if (pipeline != nullptr && pipeline->enabled) {
+    note_check();
+    if (pipeline->started != trace_requests) {
+      violate("pipeline-conservation", now,
+              "pipeline started " + std::to_string(pipeline->started) + " of " +
+                  std::to_string(trace_requests) + " trace requests");
+    }
+    note_check();
+    if (pipeline->completed != pipeline->started) {
+      violate("pipeline-conservation", now,
+              "pipeline completed " + std::to_string(pipeline->completed) + " of " +
+                  std::to_string(pipeline->started) + " started requests");
+    }
+    note_check();
+    if (!group_->config().pipeline.coalesce && pipeline->coalesced_joins != 0) {
+      violate("pipeline-coalesce", now,
+              "coalescing is off but " + std::to_string(pipeline->coalesced_joins) +
+                  " joins were recorded");
+    }
+    note_check();
+    if (pipeline->started > 0 && pipeline->coalesced_joins >= pipeline->started) {
+      violate("pipeline-coalesce", now,
+              std::to_string(pipeline->coalesced_joins) +
+                  " joins need more leaders than the " + std::to_string(pipeline->started) +
+                  " requests started");
+    }
+    note_check();
+    if (group_->config().pipeline.icp_retries == 0 &&
+        (pipeline->icp_retries != 0 || pipeline->icp_recoveries != 0)) {
+      violate("pipeline-retry", now,
+              "retries are configured off but the pipeline recorded " +
+                  std::to_string(pipeline->icp_retries) + " retries / " +
+                  std::to_string(pipeline->icp_recoveries) + " recoveries");
+    }
+    note_check();
+    if (pipeline->icp_retries > 0 && pipeline->icp_timeouts == 0) {
+      violate("pipeline-retry", now, "retry rounds were issued without any probe timeout");
+    }
+    note_check();
+    if (pipeline->max_in_flight > pipeline->started ||
+        (pipeline->started > 0 && pipeline->max_in_flight == 0)) {
+      violate("pipeline-conservation", now,
+              "max_in_flight " + std::to_string(pipeline->max_in_flight) +
+                  " inconsistent with " + std::to_string(pipeline->started) +
+                  " started requests");
+    }
+  }
+}
+
+}  // namespace eacache

@@ -1,0 +1,135 @@
+// Runtime invariant net over a simulation run (DESIGN.md §10).
+//
+// The InvariantChecker attaches to a CacheGroup through the existing
+// observer seams — the placement auditor hook and per-store eviction
+// observers — plus read-only accessors, and audits the laws the paper's
+// quantities must obey:
+//
+//   * counts partition:  local hits + remote hits + misses == requests;
+//   * byte accounting:   resident_bytes == Σ resident document sizes, and
+//                        never exceeds the cache's capacity;
+//   * LRU stack property: a capacity victim was the least-recently-promoted
+//                        resident (sampled; O(residents) per sample);
+//   * Eq. 5:             the reported CacheExpAge equals the mean victim
+//                        DocExpAge over the configured window, recomputed
+//                        by an independent shadow implementation;
+//   * §3.3 placement:    a requester with wire ages stores a copy iff
+//                        EA(req) >= EA(resp) (scheme-dependent rule), the
+//                        only legal declines being an already-resident copy
+//                        or a document bigger than the whole cache;
+//   * time monotonicity: eviction and hook timestamps never run backwards;
+//   * pipeline laws:     started == completed == trace requests, coalesced
+//                        joins bounded by outstanding fetches, retry/timeout
+//                        counters consistent with the config.
+//
+// Checks are always compiled; a run opts in via SimulationOptions::validate
+// (or any bench's --validate flag). Failures aggregate into a
+// ValidationReport — the checker never throws or aborts the run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ea/expiration_age.h"
+#include "group/cache_group.h"
+#include "group/pipeline_config.h"
+#include "storage/eviction.h"
+#include "validate/validation_report.h"
+
+namespace eacache {
+
+class InvariantChecker final : public PlacementAuditor {
+ public:
+  struct Options {
+    /// Run the O(residents) heavy checks every Nth hook call. They also run
+    /// unconditionally at finish(), so a light stride only coarsens WHEN a
+    /// corruption is pinpointed, never whether it is detected.
+    std::size_t heavy_stride = 4096;
+    /// Audit the LRU stack property on every Nth capacity eviction.
+    std::size_t lru_stack_stride = 64;
+  };
+
+  /// Attaches to `group` (placement auditor + one eviction observer per
+  /// cache). The checker must be destroyed — or the group must outlive it —
+  /// before the group goes away; destruction detaches the auditor.
+  explicit InvariantChecker(CacheGroup& group);
+  InvariantChecker(CacheGroup& group, Options options);
+  ~InvariantChecker() override;
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Driver hooks. The legacy driver calls after_request() once per served
+  /// request; the event-driven driver calls it at request start and
+  /// after_step() after every event-queue step.
+  void after_request(const Request& request, TimePoint now);
+  void after_step(TimePoint now);
+
+  /// End-of-run laws. `pipeline` is null for legacy runs.
+  void finish(std::size_t trace_requests, const PipelineStats* pipeline);
+
+  [[nodiscard]] const ValidationReport& report() const { return report_; }
+  [[nodiscard]] ValidationReport take_report() { return std::move(report_); }
+
+  // PlacementAuditor
+  void on_placement(ProxyId proxy, DocumentId document, TimePoint at, Bytes size,
+                    std::optional<ExpAge> requester_age, std::optional<ExpAge> responder_age,
+                    bool accepted) override;
+
+ private:
+  /// Per-cache shadow state: an independent re-implementation of the
+  /// Eq. 5 window arithmetic plus the cheap per-eviction laws.
+  struct CacheAudit final : public EvictionObserver {
+    InvariantChecker* owner = nullptr;
+    ProxyId id = 0;
+    const CacheStore* store = nullptr;  // cached: on_eviction runs per victim
+    AgeForm form = AgeForm::kLru;
+    bool lru_stack = false;  // policy is plain LRU: stack property applies
+
+    // Shadow Eq. 5 state (mirrors ea/contention.cpp independently).
+    WindowKind window_kind = WindowKind::kVictimCount;
+    Duration time_window{};
+    std::uint64_t victims = 0;
+    double lifetime_sum_ms = 0.0;
+    std::vector<double> ring;
+    std::size_t ring_next = 0;
+    std::size_t ring_filled = 0;
+    double ring_sum = 0.0;
+    struct Sample {
+      TimePoint at;
+      double age_ms;
+    };
+    std::deque<Sample> samples;
+    double window_sum = 0.0;
+
+    TimePoint last_evict = kSimEpoch;
+    std::uint64_t capacity_evictions = 0;
+
+    void on_eviction(const EvictionRecord& record) override;
+    /// The CacheExpAge the shadow state predicts at `now`.
+    [[nodiscard]] ExpAge shadow_age(TimePoint now);
+  };
+
+  void note_check() { ++report_.checks; }
+  void violate(const char* law, TimePoint at, std::string detail);
+  void hook(TimePoint now);
+  void check_counts_partition(TimePoint now);
+  void heavy_checks(TimePoint now);
+  /// Does the configured placement scheme tell the requester to keep a copy?
+  [[nodiscard]] bool requester_rule_allows(ExpAge requester, ExpAge responder) const;
+
+  CacheGroup* group_;
+  Options options_;
+  ValidationReport report_;
+  std::vector<std::unique_ptr<CacheAudit>> audits_;
+  std::uint64_t hook_calls_ = 0;
+  std::uint64_t requests_seen_ = 0;
+  TimePoint last_now_ = kSimEpoch;
+};
+
+}  // namespace eacache

@@ -1,0 +1,55 @@
+// The outcome of an invariant-checked simulation run (DESIGN.md §10).
+//
+// Leaf header: included by sim/simulator.h so every SimulationResult can
+// carry a report without dragging the checker (and its group/storage
+// dependencies) into the simulator's public interface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eacache {
+
+/// One violated law, with enough context to reproduce it.
+struct ValidationViolation {
+  std::string law;     // stable identifier, e.g. "placement-rule"
+  std::string detail;  // human-readable expected-vs-actual
+  std::int64_t at_ms = 0;  // simulated time of the check
+};
+
+/// Aggregated result of an InvariantChecker run. `checks` counts every law
+/// evaluation; violations beyond kMaxRecorded are counted but not stored,
+/// so a systematically-broken run cannot balloon the report.
+struct ValidationReport {
+  static constexpr std::size_t kMaxRecorded = 32;
+
+  bool enabled = false;  // was SimulationOptions::validate on?
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+  std::vector<ValidationViolation> first_violations;
+
+  [[nodiscard]] bool ok() const { return violations == 0; }
+
+  void add(std::string law, std::string detail, std::int64_t at_ms) {
+    ++violations;
+    if (first_violations.size() < kMaxRecorded) {
+      first_violations.push_back({std::move(law), std::move(detail), at_ms});
+    }
+  }
+
+  /// One-line digest for test failure messages and logs.
+  [[nodiscard]] std::string summary() const {
+    if (ok()) return "ok (" + std::to_string(checks) + " checks)";
+    std::string text = std::to_string(violations) + " violation(s) in " +
+                       std::to_string(checks) + " checks";
+    for (const ValidationViolation& v : first_violations) {
+      text += "; [" + v.law + " @" + std::to_string(v.at_ms) + "ms] " + v.detail;
+    }
+    return text;
+  }
+};
+
+}  // namespace eacache

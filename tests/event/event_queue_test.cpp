@@ -208,5 +208,38 @@ TEST(PeriodicEventTest, InterleavesWithOtherEvents) {
   EXPECT_EQ(log, (std::vector<std::string>{"tick", "event", "tick"}));
 }
 
+TEST(EventQueueTest, CancelChurnWithStaleIdsStaysConsistent) {
+  // Regression guard for the lazy-cancellation bookkeeping: interleave
+  // schedules, fires, cancels of live events, and cancels of ALREADY-FIRED
+  // (stale) ids, then verify exactly the never-cancelled events ran. A
+  // stale cancel must not resurrect, double-fire, or suppress anything.
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.schedule_at(kSimEpoch + sec(i + 1), [&fired, i](TimePoint) {
+      fired.push_back(i);
+    }));
+  }
+  // Cancel every third event up front (these must never fire).
+  for (int i = 0; i < 64; i += 3) q.cancel(ids[i]);
+  // Fire the first half; after each step, cancel an id that just fired and
+  // schedule-then-cancel a brand-new event so the live/cancelled sets churn.
+  for (int step = 0; step < 32; ++step) {
+    q.run_until(kSimEpoch + sec(step + 1));
+    q.cancel(ids[step]);  // stale for non-multiples of 3: must be a no-op
+    const EventId ephemeral =
+        q.schedule_at(kSimEpoch + sec(200), [&fired](TimePoint) { fired.push_back(-1); });
+    q.cancel(ephemeral);
+  }
+  q.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 64; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(fired, expected);
+  EXPECT_TRUE(q.empty());
+}
+
 }  // namespace
 }  // namespace eacache

@@ -159,6 +159,31 @@ TEST(IcpCodecTest, SimulatorWireCostsApproximateRealPackets) {
   EXPECT_NEAR(modeled, real, 0.4 * real);
 }
 
+TEST(IcpCodecTest, FuzzRejectsEveryTruncationPoint) {
+  // The length field in the header covers the whole message, so NO proper
+  // prefix of a valid encoding may decode — random packets, random cuts.
+  Rng rng(0xcafe);
+  for (int trial = 0; trial < 500; ++trial) {
+    IcpPacket packet;
+    packet.opcode = rng.next_bool(0.5) ? IcpOpcode::kQuery : IcpOpcode::kHit;
+    packet.request_number = static_cast<std::uint32_t>(rng.next());
+    packet.sender_address = static_cast<std::uint32_t>(rng.next());
+    if (packet.opcode == IcpOpcode::kQuery) {
+      packet.requester_address = static_cast<std::uint32_t>(rng.next());
+    }
+    const std::size_t url_len = rng.next_below(120);
+    for (std::size_t i = 0; i < url_len; ++i) {
+      packet.url.push_back(static_cast<char>('!' + rng.next_below(90)));
+    }
+    const auto bytes = icp_encode(packet);
+    ASSERT_TRUE(icp_decode(bytes).has_value());
+    const std::size_t cut = rng.next_below(bytes.size());  // in [0, size)
+    EXPECT_FALSE(icp_decode(std::span(bytes).first(cut)).has_value())
+        << "trial " << trial << ": prefix of " << cut << " of " << bytes.size()
+        << " bytes decoded";
+  }
+}
+
 TEST(IcpCodecTest, OpcodeNames) {
   EXPECT_EQ(to_string(IcpOpcode::kQuery), "ICP_OP_QUERY");
   EXPECT_EQ(to_string(IcpOpcode::kMissNoFetch), "ICP_OP_MISS_NOFETCH");

@@ -18,7 +18,7 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 asan_dir=${EACACHE_ASAN_BUILD_DIR:-"$repo_root/build-asan"}
 
 if [ ! -x "$asan_dir/tests/test_sim" ] || [ ! -x "$asan_dir/tests/test_event" ] ||
-   [ ! -x "$asan_dir/tests/test_group" ]; then
+   [ ! -x "$asan_dir/tests/test_group" ] || [ ! -x "$asan_dir/tests/test_validate" ]; then
   echo "asan_pipeline: no sanitizer build at $asan_dir (configure with -DEACACHE_ASAN=ON); skipping"
   exit 77
 fi
@@ -31,4 +31,10 @@ export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
 "$asan_dir/tests/test_sim" \
   --gtest_filter='PipelineTest.*:PipelineRegression.*:FailureInjectionTest.*' \
   --gtest_brief=1
+# The invariant checker + differential fuzz harness (DESIGN.md §10): every
+# fuzz arm allocates per-request pipeline state, so this is prime ASan food.
+# A smaller corpus than the release default keeps the sanitizer run quick;
+# override EACACHE_FUZZ_CASES for a deeper soak.
+EACACHE_FUZZ_CASES=${EACACHE_FUZZ_CASES:-64} \
+  "$asan_dir/tests/test_validate" --gtest_brief=1
 echo "asan_pipeline: all pipeline suites clean under ASan+UBSan"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerate the pipeline-regression goldens in tests/golden/ and show what
+# changed before you commit anything.
+#
+# Usage:
+#   tests/tools/refresh_goldens.sh            # uses ./build
+#   EACACHE_BUILD_DIR=build-asan tests/tools/refresh_goldens.sh
+#
+# The goldens are written straight into the source tree (the test binary
+# bakes in EACACHE_GOLDEN_DIR), so the git diff below IS the review: an
+# empty diff means the refresh was a no-op, anything else deserves a close
+# read before `git add tests/golden`.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+build_dir="${EACACHE_BUILD_DIR:-build}"
+test_sim="$repo_root/$build_dir/tests/test_sim"
+
+if [[ ! -x "$test_sim" ]]; then
+  echo "error: $test_sim not found or not executable" >&2
+  echo "build it first: cmake --build $build_dir --target test_sim" >&2
+  exit 1
+fi
+
+echo "== regenerating goldens via $test_sim =="
+EACACHE_UPDATE_GOLDEN=1 "$test_sim" --gtest_filter='PipelineRegression*' --gtest_brief=1
+
+echo
+echo "== resulting diff in tests/golden =="
+if git -C "$repo_root" diff --quiet -- tests/golden; then
+  echo "(no changes — goldens already matched)"
+else
+  git -C "$repo_root" diff --stat -- tests/golden
+  echo
+  git -C "$repo_root" diff -- tests/golden
+  echo
+  echo "review the diff above, then: git add tests/golden"
+fi

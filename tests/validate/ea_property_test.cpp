@@ -1,0 +1,183 @@
+// Property tests for the EA math (DESIGN.md §10, satellite of the invariant
+// net): the Eq. 5 window estimators must equal a brute-force mean over the
+// same victim stream, the LFU DocExpAge with HIT_COUNTER == 1 must collapse
+// to plain residence time, and an empty window must read as infinite.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ea/contention.h"
+#include "ea/expiration_age.h"
+#include "storage/eviction.h"
+
+namespace eacache {
+namespace {
+
+/// Randomized victim stream: monotone evict times, entry <= last_hit <=
+/// evict, occasional kExplicit records (which Eq. 5 must IGNORE — explicit
+/// invalidations are not contention).
+std::vector<EvictionRecord> random_victims(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<EvictionRecord> records;
+  records.reserve(count);
+  TimePoint now = kSimEpoch;
+  for (std::size_t i = 0; i < count; ++i) {
+    now += msec(static_cast<std::int64_t>(1 + rng.next_below(120'000)));
+    EvictionRecord record;
+    record.id = i;
+    record.size = 1 + rng.next_below(64 * kKiB);
+    record.evict_time = now;
+    const Duration residence = msec(static_cast<std::int64_t>(rng.next_below(7'200'000)));
+    record.entry_time = now - residence;
+    record.last_hit_time =
+        record.entry_time +
+        msec(static_cast<std::int64_t>(rng.next_below(
+            static_cast<std::uint64_t>(residence.count()) + 1)));
+    record.hit_count = 1 + rng.next_below(20);
+    record.cause = rng.next_bool(0.2) ? EvictionCause::kExplicit : EvictionCause::kCapacity;
+    records.push_back(record);
+  }
+  return records;
+}
+
+/// Brute-force Eq. 5: the mean victim DocExpAge over whichever suffix of
+/// the capacity-eviction stream the window selects.
+ExpAge brute_force_age(AgeForm form, const WindowConfig& window,
+                       const std::vector<EvictionRecord>& records, TimePoint now) {
+  std::vector<const EvictionRecord*> capacity;
+  for (const EvictionRecord& record : records) {
+    if (record.cause == EvictionCause::kCapacity) capacity.push_back(&record);
+  }
+  std::size_t first = 0;
+  switch (window.kind) {
+    case WindowKind::kCumulative:
+      break;
+    case WindowKind::kVictimCount:
+      first = capacity.size() > window.victim_count ? capacity.size() - window.victim_count : 0;
+      break;
+    case WindowKind::kTimeWindow: {
+      const TimePoint cutoff =
+          now - window.time_window >= kSimEpoch ? now - window.time_window : kSimEpoch;
+      while (first < capacity.size() && capacity[first]->evict_time < cutoff) ++first;
+      break;
+    }
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = first; i < capacity.size(); ++i) {
+    sum += doc_exp_age(form, *capacity[i]).millis();
+    ++n;
+  }
+  if (n == 0) return ExpAge::infinite();
+  return ExpAge::from_millis(sum / static_cast<double>(n));
+}
+
+void expect_ages_near(ExpAge actual, ExpAge expected, const char* context) {
+  if (expected.is_infinite() || actual.is_infinite()) {
+    EXPECT_EQ(actual.is_infinite(), expected.is_infinite()) << context;
+    return;
+  }
+  EXPECT_NEAR(actual.millis(), expected.millis(), 1e-6 * (1.0 + expected.millis())) << context;
+}
+
+TEST(EaPropertyTest, Eq5WindowMeansMatchBruteForce) {
+  const WindowConfig windows[] = {
+      WindowConfig::cumulative(),
+      WindowConfig::victims(1),
+      WindowConfig::victims(16),
+      WindowConfig::victims(1000),  // larger than the stream: all victims
+      WindowConfig::time(minutes(5)),
+      WindowConfig::time(hours(6)),
+  };
+  for (const AgeForm form : {AgeForm::kLru, AgeForm::kLfu}) {
+    for (const WindowConfig& window : windows) {
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const std::vector<EvictionRecord> records = random_victims(seed * 17, 200);
+        ContentionEstimator estimator(form, window);
+        TimePoint now = kSimEpoch;
+        for (const EvictionRecord& record : records) {
+          estimator.on_eviction(record);
+          now = record.evict_time;
+        }
+        const std::string context = "form=" + std::to_string(static_cast<int>(form)) +
+                                    " window_kind=" +
+                                    std::to_string(static_cast<int>(window.kind)) +
+                                    " seed=" + std::to_string(seed);
+        expect_ages_near(estimator.cache_expiration_age(now),
+                         brute_force_age(form, window, records, now), context.c_str());
+        // Querying must be idempotent (the time window prunes lazily).
+        expect_ages_near(estimator.cache_expiration_age(now),
+                         brute_force_age(form, window, records, now), context.c_str());
+      }
+    }
+  }
+}
+
+TEST(EaPropertyTest, Eq5IgnoresExplicitRemovals) {
+  ContentionEstimator estimator(AgeForm::kLru, WindowConfig::cumulative());
+  EvictionRecord record;
+  record.entry_time = kSimEpoch;
+  record.last_hit_time = kSimEpoch + sec(5);
+  record.evict_time = kSimEpoch + sec(30);
+  record.cause = EvictionCause::kExplicit;
+  estimator.on_eviction(record);
+  EXPECT_EQ(estimator.victims_observed(), 0u);
+  EXPECT_TRUE(estimator.cache_expiration_age(record.evict_time).is_infinite());
+}
+
+TEST(EaPropertyTest, LfuWithSingleHitDegeneratesToResidenceTime) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    EvictionRecord record;
+    record.entry_time = kSimEpoch + msec(static_cast<std::int64_t>(rng.next_below(100'000)));
+    const Duration residence = msec(static_cast<std::int64_t>(1 + rng.next_below(3'600'000)));
+    record.evict_time = record.entry_time + residence;
+    record.last_hit_time = record.entry_time;  // admission was the only "hit"
+    record.hit_count = 1;                      // paper convention: starts at 1
+    const ExpAge lfu = doc_exp_age(AgeForm::kLfu, record);
+    EXPECT_DOUBLE_EQ(lfu.millis(), static_cast<double>(residence.count()));
+    // With no promoting hit the LRU form measures the same interval.
+    EXPECT_DOUBLE_EQ(doc_exp_age(AgeForm::kLru, record).millis(), lfu.millis());
+  }
+}
+
+TEST(EaPropertyTest, LfuDividesResidenceByHitCount) {
+  EvictionRecord record;
+  record.entry_time = kSimEpoch;
+  record.evict_time = kSimEpoch + sec(100);
+  record.last_hit_time = kSimEpoch + sec(90);
+  record.hit_count = 4;
+  EXPECT_DOUBLE_EQ(doc_exp_age(AgeForm::kLfu, record).millis(), 100'000.0 / 4.0);
+}
+
+TEST(EaPropertyTest, EmptyWindowsReadInfinite) {
+  for (const WindowConfig& window :
+       {WindowConfig::cumulative(), WindowConfig::victims(8), WindowConfig::time(minutes(5))}) {
+    ContentionEstimator estimator(AgeForm::kLru, window);
+    EXPECT_TRUE(estimator.cache_expiration_age(kSimEpoch + hours(1)).is_infinite());
+    EXPECT_TRUE(estimator.lifetime_average().is_infinite());
+  }
+}
+
+TEST(EaPropertyTest, TimeWindowForgetsAndGoesInfinite) {
+  // Per DESIGN.md: a window that slid past every victim reports infinite —
+  // the cache exhibits no RECENT contention, so EA treats it as
+  // unconstrained (exactly like a cold cache).
+  ContentionEstimator estimator(AgeForm::kLru, WindowConfig::time(minutes(5)));
+  EvictionRecord record;
+  record.entry_time = kSimEpoch;
+  record.last_hit_time = kSimEpoch + sec(10);
+  record.evict_time = kSimEpoch + sec(60);
+  record.cause = EvictionCause::kCapacity;
+  estimator.on_eviction(record);
+  EXPECT_FALSE(estimator.cache_expiration_age(record.evict_time).is_infinite());
+  EXPECT_TRUE(estimator.cache_expiration_age(record.evict_time + hours(1)).is_infinite());
+  // The lifetime (Table 1) aggregate is windowless and must survive.
+  EXPECT_FALSE(estimator.lifetime_average().is_infinite());
+  EXPECT_EQ(estimator.victims_observed(), 1u);
+}
+
+}  // namespace
+}  // namespace eacache

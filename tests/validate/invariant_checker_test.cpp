@@ -1,0 +1,150 @@
+// InvariantChecker integration tests (DESIGN.md §10): clean runs stay
+// clean under both drivers, the "validation" JSON block appears exactly
+// when requested, and a deliberately broken placement policy is caught —
+// the negative control proving the checker can actually fail.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ea/placement.h"
+#include "sim/result_json.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+SyntheticTraceConfig small_trace_config() {
+  SyntheticTraceConfig config;
+  config.seed = 7001;
+  config.num_requests = 1500;
+  config.num_documents = 200;
+  config.num_users = 16;
+  config.span = hours(2);
+  config.max_size = 32 * kKiB;
+  config.repeat_probability = 0.3;  // drive remote hits between proxies
+  return config;
+}
+
+GroupConfig small_group_config() {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 256 * kKiB;  // tight: steady evictions
+  config.obs = ObsConfig::disabled();
+  return config;
+}
+
+TEST(InvariantCheckerTest, CleanRunsPassUnderBothDrivers) {
+  const Trace trace = generate_synthetic_trace(small_trace_config());
+  SimulationOptions options;
+  options.validate = true;
+
+  for (const PlacementKind placement :
+       {PlacementKind::kAdHoc, PlacementKind::kEa, PlacementKind::kEaHysteresis}) {
+    for (const bool event_driven : {false, true}) {
+      GroupConfig config = small_group_config();
+      config.placement = placement;
+      config.pipeline.event_driven = event_driven;
+      const SimulationResult result = run_simulation(trace, config, options);
+      EXPECT_TRUE(result.validation.enabled);
+      EXPECT_GT(result.validation.checks, trace.size());
+      EXPECT_TRUE(result.validation.ok())
+          << "placement=" << to_string(placement) << " event_driven=" << event_driven
+          << ": " << result.validation.summary();
+    }
+  }
+}
+
+TEST(InvariantCheckerTest, CleanRunAcrossPoliciesAndWindows) {
+  const Trace trace = generate_synthetic_trace(small_trace_config());
+  SimulationOptions options;
+  options.validate = true;
+
+  struct Variant {
+    PolicyKind replacement;
+    WindowConfig window;
+  };
+  const Variant variants[] = {
+      {PolicyKind::kLru, WindowConfig::cumulative()},
+      {PolicyKind::kLfu, WindowConfig::victims(32)},
+      {PolicyKind::kGreedyDualSize, WindowConfig::time(minutes(30))},
+  };
+  for (const Variant& variant : variants) {
+    GroupConfig config = small_group_config();
+    config.replacement = variant.replacement;
+    config.window = variant.window;
+    config.topology = TopologyKind::kHierarchical;
+    const SimulationResult result = run_simulation(trace, config, options);
+    EXPECT_TRUE(result.validation.ok())
+        << to_string(variant.replacement) << ": " << result.validation.summary();
+  }
+}
+
+TEST(InvariantCheckerTest, ValidationBlockAppearsExactlyWhenRequested) {
+  const Trace trace = generate_synthetic_trace(small_trace_config());
+  const GroupConfig config = small_group_config();
+
+  const SimulationResult plain = run_simulation(trace, config);
+  EXPECT_FALSE(plain.validation.enabled);
+  EXPECT_EQ(simulation_result_to_json(plain).find("\"validation\""), std::string::npos);
+
+  SimulationOptions options;
+  options.validate = true;
+  const SimulationResult validated = run_simulation(trace, config, options);
+  EXPECT_TRUE(validated.validation.enabled);
+  const std::string json = simulation_result_to_json(validated);
+  EXPECT_NE(json.find("\"validation\""), std::string::npos);
+  EXPECT_NE(json.find("\"checks\""), std::string::npos);
+  EXPECT_NE(json.find("\"first_violations\""), std::string::npos);
+}
+
+/// Negative control: claims to be the EA scheme (kind() == kEa) but applies
+/// the requester rule with the comparison FLIPPED — the exact bug class the
+/// checker exists to catch.
+class FlippedEaPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] bool requester_should_cache(ExpAge requester, ExpAge responder) const override {
+    return requester < responder;  // wrong on purpose (paper §3.4 says >=)
+  }
+  [[nodiscard]] bool responder_should_promote(ExpAge responder, ExpAge requester) const override {
+    return responder > requester;
+  }
+  [[nodiscard]] bool parent_should_cache(ExpAge parent, ExpAge requester) const override {
+    return parent > requester;
+  }
+  [[nodiscard]] bool requester_should_cache_after_origin_fetch() const override { return true; }
+  [[nodiscard]] PlacementKind kind() const override { return PlacementKind::kEa; }
+  [[nodiscard]] std::string_view name() const override { return "ea-flipped"; }
+};
+
+TEST(InvariantCheckerTest, FlippedEaComparisonIsCaught) {
+  const Trace trace = generate_synthetic_trace(small_trace_config());
+  GroupConfig config = small_group_config();
+  config.placement = PlacementKind::kEa;
+  config.placement_override = std::make_shared<FlippedEaPlacement>();
+  ASSERT_TRUE(config.validate().empty());
+
+  SimulationOptions options;
+  options.validate = true;
+  const SimulationResult result = run_simulation(trace, config, options);
+  EXPECT_FALSE(result.validation.ok()) << "the flipped >= went unnoticed";
+  ASSERT_FALSE(result.validation.first_violations.empty());
+  bool saw_placement_rule = false;
+  for (const ValidationViolation& violation : result.validation.first_violations) {
+    if (violation.law == "placement-rule") saw_placement_rule = true;
+  }
+  EXPECT_TRUE(saw_placement_rule) << result.validation.summary();
+}
+
+TEST(InvariantCheckerTest, PlacementOverrideKindMismatchIsRejected) {
+  GroupConfig config = small_group_config();
+  config.placement = PlacementKind::kAdHoc;
+  config.placement_override = std::make_shared<EaPlacement>();
+  const std::vector<std::string> errors = config.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_THROW(config.validate_or_throw(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacache

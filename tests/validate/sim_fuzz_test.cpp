@@ -1,0 +1,91 @@
+// Randomized differential harness (DESIGN.md §10): seeded random
+// (config, faults, trace) cases replayed through BOTH request drivers with
+// the invariant checker attached, then diffed counter-for-counter.
+//
+// Environment knobs (for soak runs and triage):
+//   EACACHE_FUZZ_SEED   — corpus base seed (default 20260806)
+//   EACACHE_FUZZ_CASES  — corpus size (default 200)
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "validate/fuzz_driver.h"
+
+namespace eacache {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+constexpr std::uint64_t kDefaultBaseSeed = 20260806;
+
+TEST(SimFuzzTest, GeneratorIsDeterministic) {
+  const FuzzCase a = make_fuzz_case(kDefaultBaseSeed);
+  const FuzzCase b = make_fuzz_case(kDefaultBaseSeed);
+  EXPECT_EQ(a.label, b.label);
+  ASSERT_EQ(a.trace->size(), b.trace->size());
+  EXPECT_EQ(a.trace->requests.front().document, b.trace->requests.front().document);
+  EXPECT_EQ(a.faults.flushes.size(), b.faults.flushes.size());
+  EXPECT_EQ(a.faults.outages.size(), b.faults.outages.size());
+  EXPECT_EQ(a.config.num_proxies, b.config.num_proxies);
+  EXPECT_EQ(a.strict, b.strict);
+}
+
+TEST(SimFuzzTest, GeneratedCasesAreWellFormed) {
+  for (std::uint64_t seed = kDefaultBaseSeed; seed < kDefaultBaseSeed + 32; ++seed) {
+    const FuzzCase fuzz_case = make_fuzz_case(seed);
+    EXPECT_TRUE(fuzz_case.config.validate().empty()) << fuzz_case.label;
+    EXPECT_FALSE(fuzz_case.config.pipeline.event_driven) << fuzz_case.label;
+    EXPECT_GE(fuzz_case.trace->size(), 300u) << fuzz_case.label;
+    EXPECT_TRUE(is_time_ordered(fuzz_case.trace->requests)) << fuzz_case.label;
+    for (const FaultPlan::Flush& flush : fuzz_case.faults.flushes) {
+      EXPECT_GT(flush.at, fuzz_case.trace->requests.front().at) << fuzz_case.label;
+      EXPECT_LT(flush.at, fuzz_case.trace->requests.back().at) << fuzz_case.label;
+    }
+    for (const PeerOutage& outage : fuzz_case.faults.outages) {
+      EXPECT_LT(outage.start, outage.end) << fuzz_case.label;
+    }
+  }
+}
+
+TEST(SimFuzzTest, SingleCaseSerialRun) {
+  const FuzzDiff diff = run_fuzz_case(make_fuzz_case(kDefaultBaseSeed));
+  EXPECT_TRUE(diff.ok()) << diff.summary();
+}
+
+TEST(SimFuzzTest, CorpusAgreesUnderBothDrivers) {
+  const std::uint64_t base_seed = env_u64("EACACHE_FUZZ_SEED", kDefaultBaseSeed);
+  const std::size_t count =
+      static_cast<std::size_t>(env_u64("EACACHE_FUZZ_CASES", 200));
+  const std::vector<FuzzDiff> diffs = run_fuzz_corpus(base_seed, count, /*jobs=*/0);
+  ASSERT_EQ(diffs.size(), count);
+  std::size_t failures = 0;
+  for (const FuzzDiff& diff : diffs) {
+    if (!diff.ok()) {
+      ++failures;
+      ADD_FAILURE() << diff.summary();
+    }
+  }
+  EXPECT_EQ(failures, 0u) << failures << " of " << count << " fuzz cases diverged";
+}
+
+TEST(SimFuzzTest, CorpusVerdictIndependentOfWorkerCount) {
+  // The validate_sweep sharding must be deterministic: the same 8 cases
+  // through a serial pool and a 4-worker pool give identical verdicts and
+  // identical per-case summaries.
+  const std::vector<FuzzDiff> serial = run_fuzz_corpus(kDefaultBaseSeed, 8, /*jobs=*/1);
+  const std::vector<FuzzDiff> parallel = run_fuzz_corpus(kDefaultBaseSeed, 8, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    EXPECT_EQ(serial[i].ok(), parallel[i].ok());
+    EXPECT_EQ(serial[i].summary(), parallel[i].summary());
+  }
+}
+
+}  // namespace
+}  // namespace eacache
