@@ -8,9 +8,38 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/thread_annotations.h"
+
 namespace eacache {
 
 namespace {
+
+/// Process-wide default for resolve_job_count (0 = unset). Mutex-guarded:
+/// benches set it from config handling on the main thread while sweep
+/// pools from an earlier run may still be resolving their worker counts.
+class JobCountDefault {
+ public:
+  static JobCountDefault& instance() {
+    static JobCountDefault slot;
+    return slot;
+  }
+
+  void set(std::size_t jobs) EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    jobs_ = jobs;
+  }
+
+  [[nodiscard]] std::size_t get() const EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return jobs_;
+  }
+
+ private:
+  JobCountDefault() = default;
+
+  mutable Mutex mutex_;
+  std::size_t jobs_ EACACHE_GUARDED_BY(mutex_) = 0;
+};
 
 std::string_view trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
@@ -205,8 +234,13 @@ std::size_t resolve_job_count(std::size_t preferred) {
     const auto parsed = parse_int(env);
     if (parsed && *parsed > 0) return static_cast<std::size_t>(*parsed);
   }
+  if (const std::size_t configured = JobCountDefault::instance().get(); configured > 0) {
+    return configured;
+  }
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware > 0 ? hardware : 1;
 }
+
+void set_default_job_count(std::size_t jobs) { JobCountDefault::instance().set(jobs); }
 
 }  // namespace eacache

@@ -63,8 +63,17 @@ class Config {
 ///   1. `preferred` when non-zero (a `--jobs N` flag or `jobs =` config key),
 ///   2. the EACACHE_JOBS environment variable (must be a positive integer;
 ///      anything else is ignored),
-///   3. std::thread::hardware_concurrency().
+///   3. the process-wide default installed by set_default_job_count(),
+///   4. std::thread::hardware_concurrency().
 /// Always returns at least 1.
 [[nodiscard]] std::size_t resolve_job_count(std::size_t preferred = 0);
+
+/// Installs a process-wide default consulted by resolve_job_count() after
+/// the explicit argument and the environment (a harness applying a `jobs =`
+/// config key once, instead of threading it through every SweepOptions).
+/// Thread-safe — the slot is mutex-guarded (common/thread_annotations.h),
+/// so a harness may retune it between sweeps while worker pools from a
+/// previous run are still winding down. Pass 0 to clear.
+void set_default_job_count(std::size_t jobs);
 
 }  // namespace eacache

@@ -2,24 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace eacache {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-// Guards the sink slot and serializes the final write of each line.
-std::mutex& sink_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+/// The injectable sink plus the lock that both guards the slot and
+/// serializes the final write of each line (one locked write per line is
+/// the logger's whole thread-safety story — see common/logging.h).
+struct SinkSlot {
+  static SinkSlot& instance() {
+    static SinkSlot slot;
+    return slot;
+  }
 
-LogSink& sink_slot() {
-  static LogSink sink;
-  return sink;
-}
+  Mutex mutex;
+  LogSink sink EACACHE_GUARDED_BY(mutex);
+};
 
 thread_local std::string t_thread_tag;
 
@@ -50,8 +53,9 @@ ScopedLogTag::ScopedLogTag(std::string tag) : previous_(std::move(t_thread_tag))
 ScopedLogTag::~ScopedLogTag() { t_thread_tag = std::move(previous_); }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  sink_slot() = std::move(sink);
+  SinkSlot& slot = SinkSlot::instance();
+  MutexLock lock(slot.mutex);
+  slot.sink = std::move(sink);
 }
 
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
@@ -74,9 +78,10 @@ void log_message(LogLevel level, std::string_view component, std::string_view me
   line += ": ";
   line += message;
 
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  if (sink_slot()) {
-    sink_slot()(level, line);
+  SinkSlot& slot = SinkSlot::instance();
+  MutexLock lock(slot.mutex);
+  if (slot.sink) {
+    slot.sink(level, line);
     return;
   }
   line += '\n';

@@ -1,0 +1,130 @@
+// Portable Clang Thread Safety Analysis annotations plus the annotated
+// synchronization primitives the rest of the tree locks with.
+//
+// Under Clang, the EACACHE_* macros expand to the attributes consumed by
+// -Wthread-safety (see DESIGN.md §11): the compiler then PROVES, per
+// translation unit, that every EACACHE_GUARDED_BY member is only touched
+// with its mutex held and that every EACACHE_REQUIRES contract is honoured
+// at each call site. Under any other compiler they expand to nothing, so
+// GCC builds are byte-identical to the unannotated tree.
+//
+// std::mutex carries no capability attributes in libstdc++, which makes it
+// invisible to the analysis — hence the thin Mutex/MutexLock/CondVar
+// wrappers below. They add no state and no behaviour beyond std::mutex /
+// std::lock_guard / std::condition_variable_any; they exist only so the
+// analysis can see acquire/release edges.
+//
+// Convention (enforced by the EACACHE_WERROR_THREAD_SAFETY build, see the
+// top-level CMakeLists.txt): every mutex-protected member is declared with
+// EACACHE_GUARDED_BY, every function that expects the caller to hold a lock
+// is declared with EACACHE_REQUIRES, and every function that takes a lock
+// itself is declared with EACACHE_EXCLUDES so the analysis can reject
+// self-deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define EACACHE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EACACHE_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Declares a type to be a capability (lockable) the analysis tracks.
+#define EACACHE_CAPABILITY(x) EACACHE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases.
+#define EACACHE_SCOPED_CAPABILITY EACACHE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read or written while `x` is held.
+#define EACACHE_GUARDED_BY(x) EACACHE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be touched while `x` is held.
+#define EACACHE_PT_GUARDED_BY(x) EACACHE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must already hold the listed capabilities.
+#define EACACHE_REQUIRES(...) \
+  EACACHE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and does not release them.
+#define EACACHE_ACQUIRE(...) \
+  EACACHE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define EACACHE_RELEASE(...) \
+  EACACHE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define EACACHE_TRY_ACQUIRE(result, ...) \
+  EACACHE_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define EACACHE_EXCLUDES(...) EACACHE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding something.
+#define EACACHE_RETURN_CAPABILITY(x) EACACHE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from analysis. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define EACACHE_NO_THREAD_SAFETY_ANALYSIS \
+  EACACHE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace eacache {
+
+/// std::mutex made visible to the analysis. Satisfies BasicLockable /
+/// Lockable, so it composes with std::unique_lock and
+/// std::condition_variable_any where needed.
+class EACACHE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EACACHE_ACQUIRE() { mutex_.lock(); }
+  void unlock() EACACHE_RELEASE() { mutex_.unlock(); }
+  bool try_lock() EACACHE_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis as a scoped acquire.
+class EACACHE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) EACACHE_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() EACACHE_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable that waits on a Mutex. Spurious wakeups are NOT
+/// filtered: call wait() in a `while (!predicate)` loop, with the loop body
+/// inside the annotated critical section so the analysis checks the
+/// predicate's member reads against EACACHE_GUARDED_BY. (No predicate
+/// overload on purpose — a lambda predicate would read guarded members from
+/// an unannotated scope the analysis rejects.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and reacquires before returning;
+  /// externally the caller's hold on `mutex` is continuous, which is
+  /// exactly what EACACHE_REQUIRES models.
+  void wait(Mutex& mutex) EACACHE_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace eacache

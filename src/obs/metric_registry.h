@@ -21,6 +21,17 @@
 // Copying a registry copies the data only (a snapshot); handles held
 // elsewhere keep pointing at the original. SimulationResult exploits this to
 // carry a snapshot out of a destroyed CacheGroup.
+//
+// Threading contract (checked by the DESIGN.md §11 analysis stack): a
+// registry is SINGLE-OWNER state — it belongs to one simulation run, which
+// executes on exactly one sweep worker, so it carries no internal locking
+// and its handles are deliberately lock-free pointer writes. The only
+// cross-thread motion is the completed SimulationResult (registry snapshot
+// included) travelling from a sweep worker to the caller's sink thread,
+// which the sweep engine orders through its completion mutex
+// (sim/sweep.cpp CompletionBoard). Never share one live registry between
+// concurrently running simulations; snapshot() documents the one sanctioned
+// copy point.
 #pragma once
 
 #include <cstdint>
@@ -100,6 +111,14 @@ class MetricRegistry {
   /// Point reads for tests/exporters (0 / empty when the name is unknown).
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] double gauge_value(const std::string& name) const;
+
+  /// Explicit snapshot: copies names and values, never handles — handles
+  /// held elsewhere keep pointing at *this, and later increments through
+  /// them leave the snapshot untouched. The caller must ensure no writer is
+  /// concurrently instrumenting *this for the duration of the copy (the
+  /// simulator snapshots only in its report phase, after the run's last
+  /// event). Pinned by MetricRegistryTest.SnapshotIsolatesLiveInstruments.
+  [[nodiscard]] MetricRegistry snapshot() const { return *this; }
 
   /// Element-wise aggregation: counters and gauges sum by name, histograms
   /// merge by name (identical geometry required — Histogram::merge throws on

@@ -12,6 +12,13 @@
 //
 // Serialization is JSONL (one JSON object per line), the schema documented
 // in DESIGN.md §8 and validated by the trace_jsonl_check ctest target.
+//
+// Threading contract (DESIGN.md §11): like MetricRegistry, a TraceLog is
+// SINGLE-OWNER — one simulation run, one sweep worker — so record() and
+// events() are unlocked by design. The completed ring only crosses threads
+// inside a finished SimulationResult, ordered by the sweep engine's
+// completion mutex; --trace-out serialization happens on the sink thread
+// after that handoff.
 #pragma once
 
 #include <cstdint>

@@ -118,7 +118,10 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
   result.coherence = group.coherence_stats();
   result.prefetch = group.prefetch_stats();
   result.prefetch.still_pending = group.pending_prefetches();
-  result.registry = group.registry();    // snapshot: copies data, not handles
+  // Snapshot-while-instrumenting is the hazard here: the copy must happen
+  // only after the group's last metric write. export_final_gauges() above
+  // is that last write; snapshot() copies data, never handles.
+  result.registry = group.registry().snapshot();
   result.trace_log = group.trace_log();
   result.average_cache_expiration_age = group.average_cache_expiration_age();
   for (std::size_t p = 0; p < group.num_proxies(); ++p) {

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -12,69 +11,164 @@
 
 #include "common/config.h"
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace eacache {
 
 namespace {
 
-/// Wall-clock cost of building each trace, keyed by the trace object, so
-/// sweep rows can report "trace load" separately from simulation time. A
-/// trace loaded once and replayed by N jobs charges its cost to each row
-/// that uses it (the lookup is free; the load happened once).
-std::mutex& trace_load_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-std::map<const Trace*, double>& trace_load_table() {
-  static std::map<const Trace*, double> table;
-  return table;
-}
+/// Wall-clock cost of building each trace, keyed by trace address, so sweep
+/// rows can report "trace load" separately from simulation time. A trace
+/// loaded once and replayed by N jobs charges its cost to each row that
+/// uses it (the lookup is free; the load happened once).
+///
+/// Rows are erased by the owning shared_ptr's deleter when the trace dies:
+/// a later allocation recycling the address can never read a stale cost,
+/// and the table cannot grow without bound across cleared caches
+/// (pinned by TraceCacheTest.TraceLoadTableRowsDieWithTheirTrace).
+class TraceLoadTable {
+ public:
+  /// Deliberately leaked: trace deleters call back in during static
+  /// destruction (e.g. TraceCache::global() tearing down at exit), so the
+  /// table must outlive every static TraceRef holder.
+  static TraceLoadTable& instance() {
+    static TraceLoadTable* table = new TraceLoadTable;
+    return *table;
+  }
 
-void note_trace_load(const Trace* trace, double ms) {
-  std::lock_guard<std::mutex> lock(trace_load_mutex());
-  trace_load_table()[trace] = ms;
-}
+  void note(const Trace* trace, double ms) EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    table_[trace] = ms;
+  }
 
-double trace_load_ms_for(const Trace* trace) {
-  std::lock_guard<std::mutex> lock(trace_load_mutex());
-  const auto it = trace_load_table().find(trace);
-  return it != trace_load_table().end() ? it->second : 0.0;
-}
+  [[nodiscard]] double lookup(const Trace* trace) const EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const auto it = table_.find(trace);
+    return it != table_.end() ? it->second : 0.0;
+  }
+
+  void forget(const Trace* trace) EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    table_.erase(trace);
+  }
+
+  [[nodiscard]] std::size_t size() const EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return table_.size();
+  }
+
+ private:
+  TraceLoadTable() = default;
+
+  mutable Mutex mutex_;
+  std::map<const Trace*, double> table_ EACACHE_GUARDED_BY(mutex_);
+};
 
 double elapsed_ms(std::chrono::steady_clock::time_point start) {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   return std::chrono::duration<double, std::milli>(elapsed).count();
 }
 
+/// Submission-order completion tracker for the worker pool: workers mark
+/// jobs done, the caller thread drains the contiguous completed prefix.
+/// The mutex doubles as the publication edge for each job's results[i] /
+/// errors[i] slots — the worker's writes happen-before mark_done's release,
+/// which happens-before wait_completed_prefix's acquire on the drain
+/// thread, so the sink reads fully written rows without its own locking.
+class CompletionBoard {
+ public:
+  explicit CompletionBoard(std::size_t count) : completed_(count, 0) {}
+
+  void mark_done(std::size_t index) EACACHE_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      completed_[index] = 1;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until job `from` completes, then returns one past the end of
+  /// the contiguous completed run starting there. Flags are monotonic, so
+  /// a stale snapshot can only undershoot — never report an unfinished job.
+  [[nodiscard]] std::size_t wait_completed_prefix(std::size_t from) EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (completed_[from] == 0) cv_.wait(mutex_);
+    std::size_t end = from + 1;
+    while (end < completed_.size() && completed_[end] != 0) ++end;
+    return end;
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar cv_;
+  std::vector<char> completed_ EACACHE_GUARDED_BY(mutex_);
+};
+
 }  // namespace
+
+namespace detail {
+std::size_t trace_load_table_size() { return TraceLoadTable::instance().size(); }
+}  // namespace detail
 
 TraceRef TraceCache::get_or_create(const std::string& key, const Factory& factory) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto& slot = entries_[key];
     if (!slot) slot = std::make_shared<Entry>();
     entry = slot;
   }
-  std::call_once(entry->once, [&] {
+  return load_entry(entry, factory);
+}
+
+TraceRef TraceCache::load_entry(const std::shared_ptr<Entry>& entry, const Factory& factory) {
+  {
+    MutexLock lock(entry->mutex);
+    for (;;) {
+      if (entry->state == Entry::State::kReady) return entry->trace;
+      if (entry->state == Entry::State::kIdle) break;
+      entry->ready_cv.wait(entry->mutex);  // someone else is loading
+    }
+    entry->state = Entry::State::kLoading;
+  }
+
+  try {
     const auto start = std::chrono::steady_clock::now();
-    entry->trace = std::make_shared<const Trace>(factory());
-    note_trace_load(entry->trace.get(), elapsed_ms(start));
-  });
-  return entry->trace;
+    // The deleter retires this trace's cost row with the trace itself —
+    // address reuse must never resurface a stale load time.
+    std::shared_ptr<const Trace> trace(new Trace(factory()), [](const Trace* dead) {
+      TraceLoadTable::instance().forget(dead);
+      delete dead;
+    });
+    TraceLoadTable::instance().note(trace.get(), elapsed_ms(start));
+    MutexLock lock(entry->mutex);
+    entry->trace = std::move(trace);
+    entry->state = Entry::State::kReady;
+    entry->ready_cv.notify_all();
+    return entry->trace;
+  } catch (...) {
+    // Roll back to kIdle so the next caller retries the factory.
+    MutexLock lock(entry->mutex);
+    entry->state = Entry::State::kIdle;
+    entry->ready_cv.notify_all();
+    throw;
+  }
 }
 
 std::size_t TraceCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void TraceCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
 }
 
 TraceCache& TraceCache::global() {
+  // Touch the (leaked) load table before constructing the cache: entry
+  // deleters call into it when this static is destroyed at exit.
+  TraceLoadTable::instance();
   static TraceCache cache;
   return cache;
 }
@@ -111,7 +205,7 @@ std::vector<SweepRunResult> SweepRunner::run() {
     out.config = config;
     SimulationOptions sim_options = job.options;
     if (options_.validate) sim_options.validate = true;
-    out.trace_load_ms = trace_load_ms_for(job.trace.get());
+    out.trace_load_ms = TraceLoadTable::instance().lookup(job.trace.get());
     const auto start = std::chrono::steady_clock::now();
     try {
       out.result = run_simulation(*job.trace, config, sim_options, &out.timings);
@@ -131,11 +225,23 @@ std::vector<SweepRunResult> SweepRunner::run() {
     }
   } else {
     std::atomic<std::size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable completed_cv;
-    std::vector<char> completed(count, 0);  // guarded by mutex
+    CompletionBoard board(count);
 
     std::vector<std::thread> pool;
+    // Join-on-unwind guard: a sink that throws mid-drain must not let the
+    // exception reach ~thread() on joinable workers (std::terminate).
+    // Workers always run their queue to exhaustion, so "every job runs"
+    // holds even when the caller's sink gives up early — pinned by
+    // SweepRunnerTest.SinkExceptionJoinsWorkersAndPropagates.
+    struct PoolJoiner {
+      std::vector<std::thread>& pool;
+      ~PoolJoiner() {
+        for (std::thread& thread : pool) {
+          if (thread.joinable()) thread.join();
+        }
+      }
+    } joiner{pool};
+
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
@@ -145,11 +251,7 @@ std::vector<SweepRunResult> SweepRunner::run() {
           // Worker/job tag so interleaved log lines stay attributable.
           const ScopedLogTag tag("w" + std::to_string(w) + "/j" + std::to_string(i));
           execute(i);
-          {
-            std::lock_guard<std::mutex> lock(mutex);
-            completed[i] = 1;
-          }
-          completed_cv.notify_one();
+          board.mark_done(i);
         }
       });
     }
@@ -157,20 +259,12 @@ std::vector<SweepRunResult> SweepRunner::run() {
     // Drain the completed prefix in submission order; the sink runs here,
     // on the caller's thread, so sinks need no locking of their own.
     std::size_t emitted = 0;
-    std::unique_lock<std::mutex> lock(mutex);
     while (emitted < count) {
-      completed_cv.wait(lock, [&] { return completed[emitted] != 0; });
-      while (emitted < count && completed[emitted] != 0) {
-        const std::size_t i = emitted++;
-        if (options_.sink && !errors[i]) {
-          lock.unlock();
-          options_.sink(results[i]);
-          lock.lock();
-        }
+      const std::size_t ready = board.wait_completed_prefix(emitted);
+      for (; emitted < ready; ++emitted) {
+        if (options_.sink && !errors[emitted]) options_.sink(results[emitted]);
       }
     }
-    lock.unlock();
-    for (std::thread& thread : pool) thread.join();
   }
 
   jobs_.clear();

@@ -19,14 +19,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/obs_config.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -51,23 +52,39 @@ class TraceCache {
  public:
   using Factory = std::function<Trace()>;
 
-  [[nodiscard]] TraceRef get_or_create(const std::string& key, const Factory& factory);
+  [[nodiscard]] TraceRef get_or_create(const std::string& key, const Factory& factory)
+      EACACHE_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
-  void clear();
+  [[nodiscard]] std::size_t size() const EACACHE_EXCLUDES(mutex_);
+  void clear() EACACHE_EXCLUDES(mutex_);
 
   /// Process-wide cache shared by the bench binaries.
   [[nodiscard]] static TraceCache& global();
 
  private:
-  // once_flag is immovable, so entries live behind shared_ptr.
+  // Entries live behind shared_ptr (Mutex is immovable) and carry their own
+  // lock: publication happens through the entry's kIdle→kLoading→kReady
+  // state machine, NOT through cache-wide mutex_, so loads of different
+  // keys overlap and the factory never runs under any lock. A throwing
+  // factory resets kLoading→kIdle and wakes waiters so the next caller
+  // retries (TraceCacheTest.ThrowingFactoryIsRetried). This used to be
+  // std::call_once, whose exceptional path deadlocks under TSan's
+  // pthread_once interceptor — found by tests/run_tsan_pipeline.sh.
   struct Entry {
-    std::once_flag once;
-    TraceRef trace;
+    enum class State : std::uint8_t { kIdle, kLoading, kReady };
+
+    Mutex mutex;
+    CondVar ready_cv;
+    State state EACACHE_GUARDED_BY(mutex) = State::kIdle;
+    TraceRef trace EACACHE_GUARDED_BY(mutex);
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  /// Blocks until `entry` is ready (loading it here if idle), then returns
+  /// its trace. Runs `factory` outside both locks.
+  TraceRef load_entry(const std::shared_ptr<Entry>& entry, const Factory& factory);
+
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_ EACACHE_GUARDED_BY(mutex_);
 };
 
 /// One unit of sweep work: replay `trace` through a group built from
@@ -143,5 +160,14 @@ class SweepRunner {
   SweepOptions options_;
   std::vector<SweepJob> jobs_;
 };
+
+namespace detail {
+/// Rows currently held by the process-wide trace-load cost table
+/// (sweep.cpp). Keyed by Trace address; each row is erased by its trace's
+/// deleter, so the table never resurfaces a stale cost after an address is
+/// recycled and cannot grow without bound across cleared caches. Exposed
+/// only so tests/sim/sweep_test.cpp can pin that lifetime contract.
+[[nodiscard]] std::size_t trace_load_table_size();
+}  // namespace detail
 
 }  // namespace eacache

@@ -305,6 +305,14 @@ FuzzDiff run_fuzz_case(const FuzzCase& fuzz_case) {
   return pair_up(fuzz_case, legacy, pipeline);
 }
 
+// Corpus-sharding threading contract (DESIGN.md §11): every shared object
+// crossing a worker boundary here is immutable — each FuzzCase's trace is a
+// shared_ptr<const Trace> built before the pool starts, and configs are
+// copied into SweepJobs by value. Workers therefore share nothing mutable;
+// the verdict is assembled on the caller's thread from run() results, which
+// SweepRunner returns in submission order regardless of worker count (the
+// property SimFuzzTest.CorpusVerdictIndependentOfWorkerCount pins, and the
+// run_tsan_pipeline.sh corpus re-proves under ThreadSanitizer at jobs=8).
 std::vector<FuzzDiff> run_fuzz_corpus(std::uint64_t base_seed, std::size_t count,
                                       std::size_t jobs) {
   std::vector<FuzzCase> cases;

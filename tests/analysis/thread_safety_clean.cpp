@@ -1,0 +1,37 @@
+// Correct twin of thread_safety_violation.cpp.
+//
+// Same shape — a counter guarded by an annotated eacache::Mutex — but every
+// access takes the lock, so Clang's -Wthread-safety accepts it. The negative
+// control (tests/tools/check_thread_safety_negative.sh) compiles this file
+// first to prove the include paths and flags are sound before asserting that
+// the violation twin fails; tier-1 builds also compile it (see
+// tests/CMakeLists.txt) so the fixture can never rot out of sync with the
+// annotation macros.
+#include "common/thread_annotations.h"
+
+namespace eacache::analysis_fixture {
+
+class GuardedCounter {
+ public:
+  void bump() EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  [[nodiscard]] int read() const EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  int count_ EACACHE_GUARDED_BY(mutex_) = 0;
+};
+
+int clean_fixture_probe() {
+  GuardedCounter counter;
+  counter.bump();
+  return counter.read();
+}
+
+}  // namespace eacache::analysis_fixture

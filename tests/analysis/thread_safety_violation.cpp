@@ -1,0 +1,36 @@
+// Deliberate thread-safety violation — the annotation layer's negative
+// control. NOT part of any build target.
+//
+// tests/tools/check_thread_safety_negative.sh compiles this file with
+// clang++ -Wthread-safety -Werror=thread-safety and requires the compile to
+// FAIL with a thread-safety diagnostic. If it ever compiles cleanly, the
+// annotation macros have silently degraded to no-ops under Clang and the
+// whole tier-1 analysis (DESIGN.md §11) is vacuous — which is exactly the
+// failure mode this fixture exists to catch.
+#include "common/thread_annotations.h"
+
+namespace eacache::analysis_fixture {
+
+class LeakyCounter {
+ public:
+  void bump() EACACHE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  // BUG (intentional): reads the guarded member without holding mutex_.
+  // Clang must reject this with -Werror=thread-safety.
+  [[nodiscard]] int read_without_lock() const { return count_; }
+
+ private:
+  mutable Mutex mutex_;
+  int count_ EACACHE_GUARDED_BY(mutex_) = 0;
+};
+
+int violation_fixture_probe() {
+  LeakyCounter counter;
+  counter.bump();
+  return counter.read_without_lock();
+}
+
+}  // namespace eacache::analysis_fixture

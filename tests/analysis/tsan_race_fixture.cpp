@@ -1,0 +1,30 @@
+// Deliberate data race — the TSan pipeline's negative control.
+//
+// Two threads increment a plain int with no synchronization. A healthy
+// ThreadSanitizer build MUST flag this; tests/run_tsan_pipeline.sh runs it
+// first with TSAN_OPTIONS=exitcode=66 and treats a clean exit as proof that
+// the sanitizer is not actually armed (wrong build tree, stripped
+// instrumentation), failing the whole pipeline rather than reporting a
+// meaningless green. Never wired into the tier-1 suite.
+#include <cstdio>
+#include <thread>
+
+namespace {
+
+int unguarded_counter = 0;  // intentionally not atomic, not mutex-protected
+
+void hammer() {
+  for (int i = 0; i < 100000; ++i) ++unguarded_counter;
+}
+
+}  // namespace
+
+int main() {
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+  // The printed value is typically < 200000 — the lost updates are the race.
+  std::printf("tsan_race_fixture: counter=%d\n", unguarded_counter);
+  return 0;
+}

@@ -222,12 +222,13 @@ TEST(EventQueueTest, CancelChurnWithStaleIdsStaysConsistent) {
     }));
   }
   // Cancel every third event up front (these must never fire).
-  for (int i = 0; i < 64; i += 3) q.cancel(ids[i]);
+  for (std::size_t i = 0; i < 64; i += 3) q.cancel(ids[i]);
   // Fire the first half; after each step, cancel an id that just fired and
   // schedule-then-cancel a brand-new event so the live/cancelled sets churn.
   for (int step = 0; step < 32; ++step) {
     q.run_until(kSimEpoch + sec(step + 1));
-    q.cancel(ids[step]);  // stale for non-multiples of 3: must be a no-op
+    // Stale for non-multiples of 3: must be a no-op.
+    q.cancel(ids[static_cast<std::size_t>(step)]);
     const EventId ephemeral =
         q.schedule_at(kSimEpoch + sec(200), [&fired](TimePoint) { fired.push_back(-1); });
     q.cancel(ephemeral);

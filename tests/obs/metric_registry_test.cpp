@@ -156,6 +156,33 @@ TEST(MetricRegistryTest, MergeIntoDisabledIsNoOp) {
   EXPECT_TRUE(disabled.empty());
 }
 
+// Regression (PR 5): the sweep engine copies each group's registry into the
+// completed SimulationResult while handles on the live registry may still be
+// written (export_final_gauges is merely the *last* writer today). snapshot()
+// is the explicit API for that handoff: later writes through live handles
+// must never bleed into the already-captured copy.
+TEST(MetricRegistryTest, SnapshotIsolatesLiveInstruments) {
+  MetricRegistry live;
+  const auto requests = live.counter("group.requests");
+  const auto occupancy = live.gauge("proxy.0.resident_bytes");
+  const auto sizes = live.histogram("sizes", 0.0, 10.0, 5);
+  requests.inc(7);
+  occupancy.set(3.5);
+  sizes.observe(1.0);
+
+  const MetricRegistry frozen = live.snapshot();
+
+  requests.inc(100);
+  occupancy.set(99.0);
+  sizes.observe(9.0);
+
+  EXPECT_EQ(frozen.counter_value("group.requests"), 7u);
+  EXPECT_DOUBLE_EQ(frozen.gauge_value("proxy.0.resident_bytes"), 3.5);
+  EXPECT_EQ(frozen.histograms().at("sizes").total(), 1u);
+  EXPECT_EQ(live.counter_value("group.requests"), 107u);
+  EXPECT_EQ(live.histograms().at("sizes").total(), 2u);
+}
+
 TEST(MetricRegistryTest, CopyIsASnapshotHandlesKeepPointingAtOriginal) {
   MetricRegistry original;
   const auto c = original.counter("x");

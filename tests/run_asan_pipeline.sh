@@ -2,7 +2,7 @@
 # Runs the event-driven pipeline suites under AddressSanitizer+UBSan.
 #
 # The sanitizer binaries live in a separate build tree configured with
-#   cmake -S . -B build-asan -DEACACHE_ASAN=ON -DEACACHE_UBSAN=ON
+#   cmake -S . -B build-asan -DEACACHE_ASAN=ON -DEACACHE_UBSAN=ON -DEACACHE_WERROR=ON
 #   cmake --build build-asan -j
 # Registered in ctest with SKIP_RETURN_CODE 77: when the build-asan tree (or
 # the binaries) are absent this script self-skips instead of failing, so the
@@ -21,6 +21,10 @@ if [ ! -x "$asan_dir/tests/test_sim" ] || [ ! -x "$asan_dir/tests/test_event" ] 
    [ ! -x "$asan_dir/tests/test_group" ] || [ ! -x "$asan_dir/tests/test_validate" ]; then
   echo "asan_pipeline: no sanitizer build at $asan_dir (configure with -DEACACHE_ASAN=ON); skipping"
   exit 77
+fi
+
+if ! grep -q '^EACACHE_WERROR:BOOL=ON' "$asan_dir/CMakeCache.txt" 2>/dev/null; then
+  echo "asan_pipeline: note: $asan_dir lacks EACACHE_WERROR=ON (recommended configure shown above)"
 fi
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Runs the concurrent subsystems under ThreadSanitizer (DESIGN.md §11, tier 2).
+#
+# The TSan binaries live in a separate build tree configured with
+#   cmake -S . -B build-tsan -DEACACHE_TSAN=ON -DEACACHE_WERROR=ON
+#   cmake --build build-tsan -j
+# Registered in ctest with SKIP_RETURN_CODE 77: when the build-tsan tree (or
+# the binaries) are absent this script self-skips instead of failing, so the
+# plain tier-1 run stays green on machines that never configured it.
+#
+# Why a dedicated pass: the sweep engine is the one subsystem where multiple
+# threads touch shared state on purpose — the trace cache's once_flag
+# publication, the trace-load cost table, the completion board that orders
+# sink delivery, log-sink swaps, and the fuzz harness's sharded corpus. The
+# Clang annotations (tier 1) prove lock discipline statically; TSan proves
+# the happens-before story dynamically, on real interleavings at jobs=8.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+tsan_dir=${EACACHE_TSAN_BUILD_DIR:-"$repo_root/build-tsan"}
+
+if [ ! -x "$tsan_dir/tests/test_sim" ] || [ ! -x "$tsan_dir/tests/test_validate" ] ||
+   [ ! -x "$tsan_dir/tests/tsan_race_fixture" ] || [ ! -x "$tsan_dir/bench/bench_smoke" ]; then
+  echo "tsan_pipeline: no TSan build at $tsan_dir (configure with -DEACACHE_TSAN=ON); skipping"
+  exit 77
+fi
+
+if ! grep -q '^EACACHE_TSAN:BOOL=ON' "$tsan_dir/CMakeCache.txt" 2>/dev/null; then
+  echo "tsan_pipeline: $tsan_dir was not configured with -DEACACHE_TSAN=ON; skipping"
+  exit 77
+fi
+
+if ! grep -q '^EACACHE_WERROR:BOOL=ON' "$tsan_dir/CMakeCache.txt" 2>/dev/null; then
+  echo "tsan_pipeline: note: $tsan_dir lacks EACACHE_WERROR=ON (recommended configure shown above)"
+fi
+
+# Negative control first: the deliberate race in tests/analysis/ MUST trip
+# the sanitizer (exit 66). A clean exit means TSan is not actually armed in
+# this tree — stale cache, stripped flags — and every "pass" below would be
+# meaningless, so we fail loudly instead.
+echo "tsan_pipeline: negative control (deliberate race must be flagged)..."
+set +e
+TSAN_OPTIONS="exitcode=66:halt_on_error=1" "$tsan_dir/tests/tsan_race_fixture" >/dev/null 2>&1
+race_status=$?
+set -e
+if [ "$race_status" -ne 66 ]; then
+  echo "tsan_pipeline: FAIL — deliberate race exited $race_status (expected 66)."
+  echo "tsan_pipeline: ThreadSanitizer is not armed in $tsan_dir; rebuild it."
+  exit 1
+fi
+echo "tsan_pipeline: negative control flagged as expected"
+
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
+
+# Sweep engine + trace cache + observability handoff at a worker count high
+# enough to force real contention on the completion board.
+EACACHE_JOBS=8 "$tsan_dir/tests/test_sim" \
+  --gtest_filter='SweepRunnerTest.*:TraceCacheTest.*:ResolveJobCountTest.*:ObservabilityTest.*' \
+  --gtest_brief=1
+
+# The bench harness drives the same pool through its CLI surface: a plain
+# multi-job sweep, then the event-driven pipeline arm with retries+coalescing
+# (per-request state machines shared across queue callbacks).
+"$tsan_dir/bench/bench_smoke" --jobs 8 --json >/dev/null
+"$tsan_dir/bench/bench_smoke" --jobs 8 --pipeline --coalesce --icp-retries 2 --json >/dev/null
+
+# Differential fuzz corpus with sharded execution: 64 cases at jobs=8
+# re-proves the corpus verdict is independent of worker count while TSan
+# watches the sharding itself.
+EACACHE_FUZZ_CASES=64 EACACHE_JOBS=8 \
+  "$tsan_dir/tests/test_validate" --gtest_filter='SimFuzzTest.*' --gtest_brief=1
+
+echo "tsan_pipeline: all concurrent suites clean under ThreadSanitizer"

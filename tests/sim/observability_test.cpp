@@ -165,7 +165,9 @@ TEST(ObservabilityTest, ProxySeriesSpansTheTrace) {
     last = point.at;
     ASSERT_EQ(point.proxies.size(), config.num_proxies);
     for (const ProxySeriesSample& sample : point.proxies) {
-      if (sample.finite) EXPECT_GE(sample.exp_age_ms, 0.0);
+      if (sample.finite) {
+        EXPECT_GE(sample.exp_age_ms, 0.0);
+      }
     }
   }
   // The final sample reflects end-of-run occupancy: some proxy holds bytes.

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
@@ -67,6 +68,31 @@ TEST(TraceCacheTest, FactoryRunsOncePerKey) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+// Regression (PR 5): entry publication is a Mutex/CondVar state machine
+// (kIdle→kLoading→kReady) instead of std::call_once, whose exceptional
+// path deadlocks under TSan's pthread_once interceptor. Winner loads,
+// losers block until kReady, everyone shares one Trace.
+TEST(TraceCacheTest, ConcurrentGetOrCreateLoadsOnce) {
+  TraceCache cache;
+  std::atomic<int> calls{0};
+  std::vector<TraceRef> seen(8);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    threads.emplace_back([&cache, &calls, &seen, t] {
+      seen[t] = cache.get_or_create("shared", [&calls] {
+        ++calls;
+        return make_trace();
+      });
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(calls.load(), 1);
+  for (const TraceRef& ref : seen) {
+    ASSERT_NE(ref, nullptr);
+    EXPECT_EQ(ref.get(), seen[0].get());
+  }
+}
+
 TEST(TraceCacheTest, ThrowingFactoryIsRetried) {
   TraceCache cache;
   int calls = 0;
@@ -86,7 +112,7 @@ TEST(TraceCacheTest, ThrowingFactoryIsRetried) {
 
 TEST(SweepRunnerTest, ResultsArriveInSubmissionOrder) {
   const TraceRef trace = std::make_shared<const Trace>(make_trace());
-  SweepRunner runner(SweepOptions{.jobs = 4, .sink = {}});
+  SweepRunner runner(SweepOptions{.jobs = 4, .sink = {}, .obs_override = {}, .validate = false});
   std::vector<std::string> expected;
   for (SweepJob& job : sweep_jobs(trace)) {
     expected.push_back(job.label);
@@ -178,6 +204,40 @@ TEST(SweepRunnerTest, EveryJobRunsEvenWhenOneThrows) {
   EXPECT_EQ(streamed, (std::vector<std::string>{"ok-1", "ok-2"}));
 }
 
+// Regression (PR 5): a sink that throws used to unwind run() while pool
+// threads were still joinable, so ~thread() called std::terminate and took
+// the whole process down. The join-on-unwind guard drains the pool first;
+// "every job runs" still holds because workers run the queue to exhaustion.
+TEST(SweepRunnerTest, SinkExceptionJoinsWorkersAndPropagates) {
+  const TraceRef trace = std::make_shared<const Trace>(make_trace());
+  SweepOptions options;
+  options.jobs = 4;
+  int sink_calls = 0;
+  options.sink = [&](const SweepRunResult&) {
+    ++sink_calls;
+    throw std::runtime_error("sink gave up");
+  };
+  SweepRunner runner(options);
+  for (SweepJob& job : sweep_jobs(trace)) runner.add(std::move(job));
+  EXPECT_THROW((void)runner.run(), std::runtime_error);
+  EXPECT_EQ(sink_calls, 1);
+}
+
+// Regression (PR 5): the trace-load cost table used to keep rows forever.
+// Beyond unbounded growth across cleared caches, a later Trace recycling a
+// dead trace's address would inherit its stale load cost — nondeterministic
+// trace_load_ms on sweep rows. Rows now die with their trace.
+TEST(TraceCacheTest, TraceLoadTableRowsDieWithTheirTrace) {
+  const std::size_t base = detail::trace_load_table_size();
+  {
+    TraceCache cache;
+    const TraceRef trace = cache.get_or_create("lifetime", [] { return make_trace(); });
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(detail::trace_load_table_size(), base + 1);
+  }  // the cache and the last TraceRef die here, taking the row with them
+  EXPECT_EQ(detail::trace_load_table_size(), base);
+}
+
 TEST(SweepRunnerTest, RejectsJobWithoutTrace) {
   SweepRunner runner;
   GroupConfig config;
@@ -197,6 +257,18 @@ TEST(ResolveJobCountTest, PreferredWinsOverEnvironment) {
   ::setenv("EACACHE_JOBS", "not-a-number", 1);
   EXPECT_GE(resolve_job_count(), 1u);
   ::unsetenv("EACACHE_JOBS");
+  EXPECT_GE(resolve_job_count(), 1u);
+}
+
+TEST(ResolveJobCountTest, ProcessDefaultBeatsHardwareButNotEnvOrArgument) {
+  ::unsetenv("EACACHE_JOBS");
+  set_default_job_count(3);
+  EXPECT_EQ(resolve_job_count(), 3u);
+  EXPECT_EQ(resolve_job_count(2), 2u);  // explicit argument still wins
+  ::setenv("EACACHE_JOBS", "5", 1);
+  EXPECT_EQ(resolve_job_count(), 5u);  // environment still wins
+  ::unsetenv("EACACHE_JOBS");
+  set_default_job_count(0);  // clear the process-wide slot for other tests
   EXPECT_GE(resolve_job_count(), 1u);
 }
 

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Format leg of the analysis gate (DESIGN.md §11, tier 3): clang-format
+# --dry-run -Werror over the files the static-analysis stack owns.
+#
+# Scoped to a curated list rather than the whole tree on purpose — the
+# repo-wide style predates .clang-format and a wholesale reformat would bury
+# real diffs. Files added here are expected to stay clean forever; grow the
+# list as files are touched, never shrink it.
+#
+# Self-skips (exit 77) when clang-format is not on PATH.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+clang_format=${EACACHE_CLANG_FORMAT:-clang-format}
+
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "check_format: no $clang_format on PATH; skipping"
+  exit 77
+fi
+
+# Files owned by the analysis stack (this PR) — kept formatted under the
+# checked-in .clang-format profile.
+files="
+src/common/thread_annotations.h
+tests/analysis/thread_safety_clean.cpp
+tests/analysis/thread_safety_violation.cpp
+tests/analysis/tsan_race_fixture.cpp
+"
+
+status=0
+for file in $files; do
+  path="$repo_root/$file"
+  if [ ! -f "$path" ]; then
+    echo "check_format: FAIL — listed file missing: $file"
+    status=1
+    continue
+  fi
+  if ! "$clang_format" --dry-run -Werror --style=file "$path"; then
+    echo "check_format: needs formatting: $file"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_format: FAIL — run: clang-format -i --style=file <file>"
+  exit 1
+fi
+echo "check_format: all listed files match .clang-format"

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Negative control for the Clang Thread Safety annotations (DESIGN.md §11).
+#
+# Proves the annotation layer has teeth: a fixture with a deliberate
+# GUARDED_BY violation must FAIL to compile under
+#   clang++ -Wthread-safety -Werror=thread-safety
+# while its corrected twin compiles cleanly under the same flags. If the
+# violation ever compiles, the macros in src/common/thread_annotations.h have
+# degraded to no-ops under Clang and the entire static tier is vacuous.
+#
+# Self-skips (exit 77) when no clang++ is on PATH — GCC cannot run the
+# analysis (the macros expand to nothing there by design), so there is
+# nothing to check. The clean twin is still compiled by every tier-1 build
+# via tests/CMakeLists.txt, which keeps the fixtures from rotting.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+clangxx=${EACACHE_CLANGXX:-clang++}
+
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+  echo "thread_safety_negative: no $clangxx on PATH; skipping (GCC cannot run -Wthread-safety)"
+  exit 77
+fi
+
+flags="-std=c++20 -fsyntax-only -I$repo_root/src -Wthread-safety -Werror=thread-safety"
+
+# Sanity leg: the clean twin must compile, or the failure below would prove
+# nothing (bad include path and a missing-header error also "fail").
+# shellcheck disable=SC2086  # $flags is a deliberate word-split flag list
+if ! "$clangxx" $flags "$repo_root/tests/analysis/thread_safety_clean.cpp"; then
+  echo "thread_safety_negative: FAIL — the CLEAN fixture does not compile; fix flags/fixture first"
+  exit 1
+fi
+
+stderr_file=$(mktemp)
+trap 'rm -f "$stderr_file"' EXIT
+
+set +e
+# shellcheck disable=SC2086
+"$clangxx" $flags "$repo_root/tests/analysis/thread_safety_violation.cpp" 2>"$stderr_file"
+violation_status=$?
+set -e
+
+if [ "$violation_status" -eq 0 ]; then
+  echo "thread_safety_negative: FAIL — the violation fixture compiled cleanly."
+  echo "thread_safety_negative: the annotations are no-ops under Clang; check thread_annotations.h"
+  exit 1
+fi
+
+if ! grep -q 'thread-safety' "$stderr_file"; then
+  echo "thread_safety_negative: FAIL — compile failed but not with a thread-safety diagnostic:"
+  cat "$stderr_file"
+  exit 1
+fi
+
+echo "thread_safety_negative: clean twin compiles, violation rejected with -Werror=thread-safety"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules (DESIGN.md §11, tier 3).
+
+Codifies repo conventions no generic linter knows about. Runs as the
+``project_lint`` ctest (``ctest -L analysis``) with no dependencies beyond
+the Python 3 the build already requires, so unlike the clang-tidy leg it can
+never self-skip.
+
+Rules
+-----
+1. no-bare-stdout   src/ never prints to stdout directly (no ``std::cout``,
+                    no bare ``printf``). Library code reports through
+                    ostream parameters, the logging layer, or result JSON;
+                    only bench/example/tool mains own stdout. ``snprintf``
+                    and ``fprintf(stderr, ...)`` stay legal.
+2. metrics-documented
+                    every metric name literal registered through
+                    ``registry.counter/gauge/histogram`` in src/ appears in
+                    DESIGN.md (the §11 name tables). A metric nobody can
+                    look up is write-only telemetry.
+3. json-keys-documented
+                    every ``key("...")``/``field("...")`` literal in
+                    src/sim/result_json.cpp appears in DESIGN.md. The result
+                    JSON is the contract the bench/plot layer parses.
+4. no-ambient-rng   src/ never reaches for ``rand``/``srand``/
+                    ``std::random_device``. Simulations must be replayable
+                    from their config seed alone (common/random.h).
+5. annotated-sync-only
+                    raw ``std::mutex``/``std::lock_guard``/
+                    ``std::unique_lock``/``std::scoped_lock``/
+                    ``std::condition_variable``/``std::shared_mutex`` appear
+                    nowhere in src/ outside common/thread_annotations.h.
+                    Locking goes through the annotated Mutex/MutexLock/
+                    CondVar wrappers so Clang's -Wthread-safety sees every
+                    acquisition. ``std::once_flag``/``call_once`` remain
+                    legal (one-shot init, not a lock).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = REPO_ROOT / "src"
+DESIGN = REPO_ROOT / "DESIGN.md"
+
+ANNOTATIONS_HEADER = SRC / "common" / "thread_annotations.h"
+
+BARE_STDOUT = re.compile(r"std::cout|(?<![a-zA-Z_0-9])printf\s*\(")
+AMBIENT_RNG = re.compile(r"(?<![a-zA-Z_0-9:])s?rand\s*\(|std::random_device")
+RAW_SYNC = re.compile(
+    r"std::(?:mutex|shared_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"condition_variable(?:_any)?)\b"
+)
+METRIC_CALL = re.compile(r"\.\s*(?:counter|gauge|histogram)\s*\(")
+STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)+)"')
+JSON_KEY = re.compile(r'\.(?:key|field)\s*\(\s*"((?:[^"\\]|\\.)+)"')
+
+
+def strip_line_comment(line: str) -> str:
+    """Drop // comments so prose mentioning std::mutex etc. stays legal."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def source_files() -> list[Path]:
+    return sorted(p for p in SRC.rglob("*") if p.suffix in (".h", ".cpp"))
+
+
+def main() -> int:
+    design_text = DESIGN.read_text(encoding="utf-8")
+    failures: list[str] = []
+
+    for path in source_files():
+        rel = path.relative_to(REPO_ROOT)
+        for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            line = strip_line_comment(raw)
+
+            if BARE_STDOUT.search(line):
+                failures.append(
+                    f"{rel}:{lineno}: [no-bare-stdout] src/ must not print to "
+                    f"stdout; use an ostream parameter or the logging layer"
+                )
+            if AMBIENT_RNG.search(line):
+                failures.append(
+                    f"{rel}:{lineno}: [no-ambient-rng] use the seeded RNG in "
+                    f"common/random.h; runs must replay from their config seed"
+                )
+            if path != ANNOTATIONS_HEADER and RAW_SYNC.search(line):
+                failures.append(
+                    f"{rel}:{lineno}: [annotated-sync-only] use Mutex/MutexLock/"
+                    f"CondVar from common/thread_annotations.h so "
+                    f"-Wthread-safety sees the acquisition"
+                )
+            if METRIC_CALL.search(line):
+                for literal in STRING_LITERAL.findall(line):
+                    if literal not in design_text:
+                        failures.append(
+                            f"{rel}:{lineno}: [metrics-documented] metric name "
+                            f'piece "{literal}" is not mentioned in DESIGN.md '
+                            f"(add it to the §11 metric table)"
+                        )
+
+    result_json = SRC / "sim" / "result_json.cpp"
+    for lineno, raw in enumerate(result_json.read_text(encoding="utf-8").splitlines(), 1):
+        for literal in JSON_KEY.findall(strip_line_comment(raw)):
+            if literal not in design_text:
+                failures.append(
+                    f"{result_json.relative_to(REPO_ROOT)}:{lineno}: "
+                    f'[json-keys-documented] result-JSON key "{literal}" is not '
+                    f"mentioned in DESIGN.md (add it to the §11 key table)"
+                )
+
+    if failures:
+        print(f"project_lint: {len(failures)} finding(s):")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(f"project_lint: {len(source_files())} src files clean across 5 rules")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

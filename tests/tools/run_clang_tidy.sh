@@ -1,0 +1,53 @@
+#!/bin/sh
+# clang-tidy leg of the analysis gate (DESIGN.md §11, tier 3).
+#
+# Runs the checked-in .clang-tidy profile (WarningsAsErrors: '*') over every
+# translation unit under src/, using the compile_commands.json that each
+# build exports (CMAKE_EXPORT_COMPILE_COMMANDS is ON unconditionally in the
+# root CMakeLists). Any finding fails the ctest.
+#
+# Self-skips (exit 77) when clang-tidy is not on PATH or no build tree has
+# exported a compilation database yet, so plain tier-1 runs stay green on
+# machines without the LLVM toolchain.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+clang_tidy=${EACACHE_CLANG_TIDY:-clang-tidy}
+
+if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: no $clang_tidy on PATH; skipping"
+  exit 77
+fi
+
+# Prefer an explicit build dir, else the conventional trees in preference
+# order (the default tree first — it matches how developers actually build).
+build_dir=${EACACHE_BUILD_DIR:-}
+if [ -z "$build_dir" ]; then
+  for candidate in "$repo_root/build" "$repo_root/build-asan" "$repo_root/build-tsan"; do
+    if [ -f "$candidate/compile_commands.json" ]; then
+      build_dir=$candidate
+      break
+    fi
+  done
+fi
+
+if [ -z "$build_dir" ] || [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json found (configure a build first); skipping"
+  exit 77
+fi
+
+echo "run_clang_tidy: using $build_dir/compile_commands.json"
+
+status=0
+for source in $(find "$repo_root/src" -name '*.cpp' | sort); do
+  if ! "$clang_tidy" -p "$build_dir" --quiet "$source"; then
+    echo "run_clang_tidy: FINDINGS in $source"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: FAIL — findings above (profile: $repo_root/.clang-tidy)"
+  exit 1
+fi
+echo "run_clang_tidy: all src/ translation units clean"
