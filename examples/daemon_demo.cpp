@@ -1,0 +1,88 @@
+// Daemon demo: the same EA cache core that powers the simulator, run LIVE —
+// N in-process proxy instances, one worker thread each, cooperating over the
+// lock-based in-memory wire while a load generator replays a synthetic trace
+// at a configurable wall-clock compression.
+//
+//   $ ./daemon_demo [requests] [proxies] [speedup] [json-path]
+//
+// Defaults: 100000 requests, 4 proxies, speedup 86400 (a day of trace per
+// wall-clock second). The demo then runs the *simulator* on the identical
+// workload and compares: the EA hit rate of the live run must land within
+// two points of the simulated one (the paper-level acceptance bound for the
+// libeacache extraction). Exit status 0 iff the bound holds, so the demo
+// doubles as an end-to-end check under sanitizers.
+//
+// With a json-path, the live run's result is written in the exact schema
+// `run_simulation` emits (core/run_result_json.h) — same keys, same layout.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/run_result_json.h"
+#include "daemon/daemon.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+using namespace eacache;
+
+int main(int argc, char** argv) {
+  try {
+    const std::uint64_t requests =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+    const std::size_t proxies =
+        argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10)) : 4;
+    const double speedup = argc > 3 ? std::strtod(argv[3], nullptr) : 86'400.0;
+
+    SyntheticTraceConfig workload;
+    workload.num_requests = requests;
+    workload.num_documents = requests / 10;
+    workload.num_users = 64;
+    workload.span = hours(24);
+    workload.seed = 7;
+    const Trace trace = generate_synthetic_trace(workload);
+
+    GroupConfig config;
+    config.num_proxies = proxies;
+    config.aggregate_capacity = (requests / 10) * kKiB;  // ~capacity pressure
+    config.placement = PlacementKind::kEa;
+    config.obs.series_points = 0;  // the daemon has no mid-run sampling hook
+
+    std::printf("daemon_demo: %llu requests over %zu proxy threads, "
+                "trace compressed %.0fx\n",
+                static_cast<unsigned long long>(trace.size()), proxies, speedup);
+
+    DaemonOptions options;
+    options.mode = DaemonMode::kWallClock;
+    options.load.speedup = speedup;
+    LoadGenReport report;
+    const RunResult live = run_daemon(trace, config, options, &report);
+    std::printf("  live: %llu/%llu completed in %.2f s (%.0f req/s), "
+                "hit rate %6.2f%%, byte hit rate %6.2f%%\n",
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.submitted), report.wall_seconds,
+                static_cast<double>(report.completed) / report.wall_seconds,
+                100.0 * live.metrics.hit_rate(), 100.0 * live.metrics.byte_hit_rate());
+
+    const RunResult simulated = run_simulation(trace, config);
+    std::printf("  sim:  hit rate %6.2f%%, byte hit rate %6.2f%%\n",
+                100.0 * simulated.metrics.hit_rate(),
+                100.0 * simulated.metrics.byte_hit_rate());
+
+    if (argc > 4) {
+      std::ofstream out(argv[4]);
+      out << run_result_to_json(live) << '\n';
+      std::printf("  wrote live result JSON to %s\n", argv[4]);
+    }
+
+    const double delta = std::abs(live.metrics.hit_rate() - simulated.metrics.hit_rate());
+    const bool complete = report.completed == trace.size();
+    std::printf("  hit-rate delta %.4f (bound 0.02) — %s\n", delta,
+                delta < 0.02 && complete ? "OK" : "FAIL");
+    return delta < 0.02 && complete ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -22,6 +22,7 @@
 // self-deadlock.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -119,6 +120,14 @@ class CondVar {
   /// externally the caller's hold on `mutex` is continuous, which is
   /// exactly what EACACHE_REQUIRES models.
   void wait(Mutex& mutex) EACACHE_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  /// Timed wait: like wait(), but gives up after `timeout`. Returns false
+  /// iff the timeout elapsed (subject to the same spurious-wakeup caveat —
+  /// always recheck the predicate). Used by the in-memory transport's
+  /// deadline receive.
+  bool wait_for(Mutex& mutex, std::chrono::nanoseconds timeout) EACACHE_REQUIRES(mutex) {
+    return cv_.wait_for(mutex, timeout) == std::cv_status::no_timeout;
+  }
 
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }

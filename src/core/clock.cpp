@@ -1,0 +1,49 @@
+#include "core/clock.h"
+
+#include <stdexcept>
+#include <thread>
+
+namespace eacache {
+
+TimePoint FakeClock::now() const {
+  MutexLock lock(mutex_);
+  return now_;
+}
+
+void FakeClock::sleep_until(TimePoint) {
+  // Manual time: the driver advances the clock explicitly. Sleeping here
+  // would block forever, so pacing against a FakeClock is a no-op.
+}
+
+TimePoint FakeClock::advance(Duration by) {
+  if (by < Duration::zero()) {
+    throw std::logic_error("FakeClock::advance: negative duration moves time backwards");
+  }
+  MutexLock lock(mutex_);
+  now_ += by;
+  return now_;
+}
+
+void FakeClock::set(TimePoint to) {
+  MutexLock lock(mutex_);
+  if (to < now_) {
+    throw std::logic_error("FakeClock::set: target precedes current time");
+  }
+  now_ = to;
+}
+
+SteadyClock::SteadyClock(TimePoint origin)
+    : anchor_(std::chrono::steady_clock::now()), origin_(origin) {}
+
+TimePoint SteadyClock::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - anchor_;
+  return origin_ + std::chrono::duration_cast<Duration>(elapsed);
+}
+
+void SteadyClock::sleep_until(TimePoint at) {
+  const TimePoint current = now();
+  if (at <= current) return;
+  std::this_thread::sleep_for(std::chrono::duration_cast<std::chrono::nanoseconds>(at - current));
+}
+
+}  // namespace eacache

@@ -1,0 +1,79 @@
+// Clock: the time seam between the EA cache core and whoever drives it.
+//
+// Everything in libeacache is parameterized on `TimePoint` (common/types.h,
+// millisecond resolution). Where those instants come from is the driver's
+// business:
+//   * the discrete-event simulator stamps requests with trace timestamps
+//     and advances a virtual clock (sim/ owns that — the core never sees
+//     an EventQueue);
+//   * the daemon stamps requests with a real clock mapped onto the same
+//     timeline.
+// This header provides the seam: an abstract Clock, a manual FakeClock for
+// tests and deterministic closed-loop replay, and a SteadyClock that maps
+// std::chrono::steady_clock onto the TimePoint timeline.
+//
+// Monotonicity contract: now() never goes backwards. FakeClock enforces it
+// by rejecting backwards set()/advance() calls; SteadyClock inherits it
+// from std::chrono::steady_clock (truncation to milliseconds preserves
+// monotonicity).
+#pragma once
+
+#include <chrono>
+
+#include "common/thread_annotations.h"
+#include "common/types.h"
+
+namespace eacache {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// The current instant on the shared timeline. Thread-safe.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Block the calling thread until now() >= at. Wall clocks genuinely
+  /// sleep; manual clocks return immediately (their driver advances time
+  /// explicitly, so sleeping would deadlock).
+  virtual void sleep_until(TimePoint at) = 0;
+};
+
+/// Manual clock for tests and deterministic closed-loop replay: time moves
+/// only when the driver says so. Thread-safe; rejects any attempt to move
+/// time backwards (std::logic_error) so a buggy driver cannot violate the
+/// monotonicity contract the cache core's window estimators rely on.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(TimePoint start = kSimEpoch) : now_(start) {}
+
+  [[nodiscard]] TimePoint now() const override EACACHE_EXCLUDES(mutex_);
+  void sleep_until(TimePoint at) override;
+
+  /// Jump ahead by `by` (>= 0; negative throws). Returns the new now().
+  TimePoint advance(Duration by) EACACHE_EXCLUDES(mutex_);
+  /// Jump to the absolute instant `to` (>= now(); backwards throws).
+  /// Setting to the current instant is a no-op, so replaying a trace with
+  /// duplicate timestamps is legal.
+  void set(TimePoint to) EACACHE_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  TimePoint now_ EACACHE_GUARDED_BY(mutex_);
+};
+
+/// Wall clock: maps std::chrono::steady_clock onto the TimePoint timeline,
+/// anchored so that now() == `origin` at construction. Stateless after
+/// construction, hence trivially thread-safe.
+class SteadyClock final : public Clock {
+ public:
+  explicit SteadyClock(TimePoint origin = kSimEpoch);
+
+  [[nodiscard]] TimePoint now() const override;
+  void sleep_until(TimePoint at) override;
+
+ private:
+  std::chrono::steady_clock::time_point anchor_;
+  TimePoint origin_;
+};
+
+}  // namespace eacache

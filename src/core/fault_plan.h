@@ -1,0 +1,34 @@
+// Declarative fault injection for a run.
+//
+// Generalizes the original flush-only failure injection: a FaultPlan can
+// crash/restart proxies (losing their disk) and open transient PEER OUTAGE
+// windows during which the affected proxy answers no ICP probes. Outages
+// are visible under both simulation drivers — the serialized driver books
+// the silent probes as losses; the event-driven pipeline experiences them
+// as discovery timeouts (and, with retries on, possible recoveries once the
+// window closes). The daemon's closed-loop replay honours flushes (the load
+// generator injects them between requests at their trace instants); outages
+// are simulator-only and rejected by daemon-run validation.
+#pragma once
+
+#include <vector>
+
+#include "group/cache_group.h"
+
+namespace eacache {
+
+struct FaultPlan {
+  /// A proxy crash/restart at `at`: the whole cache is lost (explicit
+  /// removals — not contention signals); the proxy rejoins cold.
+  struct Flush {
+    TimePoint at{};
+    ProxyId proxy = 0;
+  };
+
+  std::vector<Flush> flushes;
+  std::vector<PeerOutage> outages;
+
+  [[nodiscard]] bool empty() const { return flushes.empty() && outages.empty(); }
+};
+
+}  // namespace eacache

@@ -1,0 +1,66 @@
+#include "core/inmemory_transport.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eacache {
+
+InMemoryTransport::InMemoryTransport(std::size_t num_endpoints) {
+  if (num_endpoints == 0) {
+    throw std::invalid_argument("InMemoryTransport: need at least one endpoint");
+  }
+  mailboxes_.reserve(num_endpoints);
+  for (std::size_t i = 0; i < num_endpoints; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+InMemoryTransport::Mailbox& InMemoryTransport::mailbox_at(ProxyId at) {
+  if (at >= mailboxes_.size()) {
+    throw std::out_of_range("InMemoryTransport: endpoint id out of range");
+  }
+  return *mailboxes_[at];
+}
+
+void InMemoryTransport::send(ProxyId to, WireMessage message) {
+  Mailbox& box = mailbox_at(to);
+  {
+    MutexLock lock(box.mutex);
+    box.queue.push_back(std::move(message));
+  }
+  // Notify outside the lock: the woken receiver can acquire immediately.
+  box.ready.notify_one();
+}
+
+std::optional<WireMessage> InMemoryTransport::receive(ProxyId at, std::chrono::nanoseconds timeout) {
+  Mailbox& box = mailbox_at(at);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(box.mutex);
+  while (box.queue.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    // Re-derive the remaining budget each lap so spurious wakeups cannot
+    // extend the overall deadline.
+    box.ready.wait_for(box.mutex, deadline - now);
+  }
+  WireMessage head = std::move(box.queue.front());
+  box.queue.pop_front();
+  return head;
+}
+
+std::optional<WireMessage> InMemoryTransport::try_receive(ProxyId at) {
+  Mailbox& box = mailbox_at(at);
+  MutexLock lock(box.mutex);
+  if (box.queue.empty()) return std::nullopt;
+  WireMessage head = std::move(box.queue.front());
+  box.queue.pop_front();
+  return head;
+}
+
+std::size_t InMemoryTransport::pending(ProxyId at) {
+  Mailbox& box = mailbox_at(at);
+  MutexLock lock(box.mutex);
+  return box.queue.size();
+}
+
+}  // namespace eacache

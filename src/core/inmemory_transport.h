@@ -1,0 +1,132 @@
+// The message seam between proxies when there is no event queue.
+//
+// The discrete-event simulator moves protocol messages by direct function
+// call: the orchestrator IS the network, so delivery is implicit and the
+// `Transport` class only does accounting. A live daemon has no orchestrator
+// — each proxy runs on its own thread and messages must actually travel.
+// This header provides that wire: a flat `WireMessage` envelope carrying
+// any of the protocol payloads from net/message.h, a `MessageTransport`
+// delivery interface, and an `InMemoryTransport` that connects N in-process
+// endpoints through locked FIFO mailboxes.
+//
+// Delivery contract (what the daemon's correctness rests on, and what
+// tests/core/inmemory_transport_test.cpp proves):
+//   * no loss — every send() is eventually receivable exactly once;
+//   * per-sender FIFO — two messages from the same sender to the same
+//     receiver arrive in send order (messages from DIFFERENT senders may
+//     interleave arbitrarily, like IP);
+//   * receive() blocks with a deadline, so a worker can multiplex its
+//     mailbox against shutdown without spinning.
+//
+// Wire accounting stays with the existing net/transport.h `Transport`; this
+// class only moves envelopes. The daemon records costs at send sites, same
+// as the simulator's orchestrator does.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace eacache {
+
+/// One envelope on the in-memory wire. A flat tagged union (plain fields,
+/// not std::variant) so the struct is trivially copyable and the daemon's
+/// request-correlation code can read common fields without visitation.
+struct WireMessage {
+  enum class Kind : std::uint8_t {
+    kClientRequest,  ///< load generator -> home proxy: serve `document`
+    kIcpQuery,       ///< proxy -> peer: do you hold `document`?
+    kIcpReply,       ///< peer -> proxy: hit/miss answer to a query
+    kHttpRequest,    ///< proxy -> peer: transfer `document` (EA age piggybacked)
+    kHttpResponse,   ///< peer -> proxy: body (or not-found) + EA age
+    kFlush,          ///< driver -> proxy: drop all cached documents (fault injection)
+    kShutdown,       ///< driver -> proxy: drain and exit the worker loop
+    kCompletion,     ///< home proxy -> load generator: request fully resolved
+  };
+
+  Kind kind = Kind::kClientRequest;
+  ProxyId from = 0;
+  ProxyId to = 0;
+  DocumentId document = 0;
+  /// Correlates replies/responses with the client request that caused them.
+  /// Assigned by the load generator; echoed by every hop.
+  std::uint64_t request_id = 0;
+  /// When the client request entered the system (trace timestamp in smoke
+  /// mode, clock reading in wall-clock mode). Echoed so the home proxy can
+  /// charge latency against the original arrival instant.
+  TimePoint stamp{};
+  UserId user = 0;
+
+  // kIcpReply / kHttpResponse payload.
+  bool hit = false;
+  bool found = true;
+  Bytes body_size = 0;
+  ResponseSource source = ResponseSource::kCache;
+  std::uint64_t version = 0;
+  TimePoint validated_at{};
+
+  // EA piggyback fields (nullopt under ad-hoc placement).
+  std::optional<ExpAge> requester_age;
+  std::optional<ExpAge> responder_age;
+};
+
+/// Where envelopes go. The daemon group sends through this interface so a
+/// test can substitute a recording fake; InMemoryTransport is the real one.
+class MessageTransport {
+ public:
+  virtual ~MessageTransport() = default;
+
+  /// Deliver `message` to endpoint `to`'s mailbox. Never blocks the sender
+  /// beyond the mailbox lock; never drops.
+  virtual void send(ProxyId to, WireMessage message) = 0;
+};
+
+/// N locked FIFO mailboxes. Endpoint ids are dense [0, num_endpoints); the
+/// daemon maps proxy ids directly and reserves the last endpoint for the
+/// load generator's completion mailbox.
+class InMemoryTransport final : public MessageTransport {
+ public:
+  explicit InMemoryTransport(std::size_t num_endpoints);
+
+  InMemoryTransport(const InMemoryTransport&) = delete;
+  InMemoryTransport& operator=(const InMemoryTransport&) = delete;
+
+  void send(ProxyId to, WireMessage message) override;
+
+  /// Block until a message is available at `at` or `timeout` elapses.
+  /// Returns nullopt on timeout. FIFO per mailbox (hence per-sender FIFO,
+  /// since send() enqueues under the same lock).
+  [[nodiscard]] std::optional<WireMessage> receive(ProxyId at, std::chrono::nanoseconds timeout);
+
+  /// Non-blocking drain step: returns the head of `at`'s mailbox, or
+  /// nullopt if it is empty right now.
+  [[nodiscard]] std::optional<WireMessage> try_receive(ProxyId at);
+
+  [[nodiscard]] std::size_t num_endpoints() const { return mailboxes_.size(); }
+
+  /// Messages currently queued at `at` (test/diagnostic use; the value is
+  /// stale the moment it returns).
+  [[nodiscard]] std::size_t pending(ProxyId at);
+
+ private:
+  struct Mailbox {
+    Mutex mutex;
+    CondVar ready;
+    std::deque<WireMessage> queue EACACHE_GUARDED_BY(mutex);
+  };
+
+  Mailbox& mailbox_at(ProxyId at);
+
+  // deque of Mailbox directly is impossible (Mutex is not movable), so the
+  // fixed-size table is built once in the constructor.
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace eacache

@@ -1,0 +1,100 @@
+// RunResult: the driver-independent outcome of replaying a workload
+// through a cache group — the paper's section-4 metrics plus transport,
+// coherence, prefetch, observability and validation blocks.
+//
+// This struct used to live inside sim/simulator.h; it moved into the
+// simulation-free core (libeacache) so that BOTH request drivers can fill
+// it with identical schema:
+//   * the discrete-event simulator (sim/simulator.h) — synchronous or
+//     event-driven replay on virtual time;
+//   * the multi-threaded daemon (daemon/daemon_group.h) — live serving on
+//     a Clock seam over the in-memory transport.
+// core/run_result_json.h renders either one as the same result JSON, which
+// is what lets AdHoc-vs-EA comparisons span simulated and live runs.
+//
+// The historical name `SimulationResult` is kept as the primary type name
+// (every sim-side consumer and the golden suite use it); `RunResult` is the
+// alias the daemon side prefers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "ea/expiration_age.h"
+#include "group/cache_group.h"
+#include "group/pipeline_config.h"
+#include "metrics/metrics.h"
+#include "net/transport.h"
+#include "obs/metric_registry.h"
+#include "obs/trace_log.h"
+#include "proxy/proxy_cache.h"
+#include "validate/validation_report.h"
+
+namespace eacache {
+
+/// One proxy's entry in a periodic observability sample.
+struct ProxySeriesSample {
+  double exp_age_ms = 0.0;       // windowed CacheExpAge (only if `finite`)
+  bool finite = false;           // false = infinite (no contention observed)
+  Bytes resident_bytes = 0;
+  std::size_t resident_docs = 0;
+};
+
+/// Periodic per-proxy CacheExpAge/occupancy sample (GroupConfig::obs
+/// series_points samples spread over the trace's time span).
+struct ProxySeriesPoint {
+  TimePoint at{};
+  std::vector<ProxySeriesSample> proxies;
+};
+
+/// Wall-clock cost of one simulation, split by phase. Reported on sweep job
+/// rows (NOT inside the SimulationResult JSON, which must stay a pure
+/// function of the simulated world).
+struct PhaseTimings {
+  double sim_ms = 0.0;     // group construction + trace replay
+  double report_ms = 0.0;  // end-of-run collection into SimulationResult
+};
+
+struct SimulationResult {
+  GroupMetrics metrics;
+  TransportStats transport;
+  CoherenceStats coherence;
+  PrefetchStats prefetch;
+
+  /// Observability: snapshot of the group's metric registry (empty when
+  /// GroupConfig::obs.registry is off), the request-lifecycle span ring
+  /// (empty unless obs.trace_capacity > 0) and the periodic per-proxy
+  /// series (empty unless obs.series_points > 0).
+  MetricRegistry registry;
+  TraceLog trace_log;
+  std::vector<ProxySeriesPoint> proxy_series;
+
+  /// Table 1's metric, measured over the whole run.
+  ExpAge average_cache_expiration_age = ExpAge::infinite();
+  std::vector<ExpAge> per_cache_expiration_age;
+
+  /// End-of-run occupancy diagnostics.
+  std::size_t total_resident_copies = 0;
+  std::size_t unique_resident_documents = 0;
+  double replication_factor = 0.0;
+
+  std::vector<ProxyStats> proxy_stats;
+  std::vector<MetricsSnapshot> snapshots;
+
+  /// Event-driven pipeline counters; `pipeline.enabled` is false (and the
+  /// whole struct zero) for legacy synchronous runs, which keeps their
+  /// result JSON byte-identical to pre-pipeline releases.
+  PipelineStats pipeline;
+
+  /// Invariant-checker outcome; `validation.enabled` is false (and the
+  /// "validation" JSON block absent) unless SimulationOptions::validate was
+  /// set, preserving byte-identity of unvalidated result JSON.
+  ValidationReport validation;
+};
+
+/// What the daemon layer calls the same struct: one run's result,
+/// whichever driver produced it.
+using RunResult = SimulationResult;
+
+}  // namespace eacache

@@ -1,0 +1,209 @@
+#include "core/run_result_json.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "metrics/json.h"
+
+namespace eacache {
+
+void append_simulation_result(JsonWriter& json, const SimulationResult& result) {
+  json.begin_object();
+
+  json.key("metrics").begin_object();
+  json.field("total_requests", result.metrics.total_requests());
+  json.field("hit_rate", result.metrics.hit_rate());
+  json.field("byte_hit_rate", result.metrics.byte_hit_rate());
+  json.field("local_hit_rate", result.metrics.local_hit_rate());
+  json.field("remote_hit_rate", result.metrics.remote_hit_rate());
+  json.field("miss_rate", result.metrics.miss_rate());
+  json.field("bytes_requested", result.metrics.bytes_requested());
+  json.field("avg_latency_ms",
+             static_cast<std::int64_t>(result.metrics.measured_average_latency().count()));
+  json.field("p75_latency_ms", result.metrics.latency_percentile_ms(0.75));
+  json.field("p90_latency_ms", result.metrics.latency_percentile_ms(0.90));
+  json.field("p99_latency_ms", result.metrics.latency_percentile_ms(0.99));
+  json.end_object();
+
+  json.key("transport").begin_object();
+  json.field("icp_queries", result.transport.icp_queries);
+  json.field("icp_replies", result.transport.icp_replies);
+  json.field("icp_losses", result.transport.icp_losses);
+  json.field("http_requests", result.transport.http_requests);
+  json.field("http_responses", result.transport.http_responses);
+  json.field("failed_probes", result.transport.failed_probes);
+  json.field("digest_publications", result.transport.digest_publications);
+  json.field("origin_fetches", result.transport.origin_fetches);
+  json.field("total_messages", result.transport.total_messages());
+  json.field("total_bytes", result.transport.total_bytes());
+  json.field("piggyback_bytes", result.transport.piggyback_bytes);
+  json.end_object();
+
+  json.key("coherence").begin_object();
+  json.field("validations", result.coherence.validations);
+  json.field("validated_304", result.coherence.validated_304);
+  json.field("validated_200", result.coherence.validated_200);
+  json.field("stale_served", result.coherence.stale_served);
+  json.end_object();
+
+  json.key("prefetch").begin_object();
+  json.field("issued", result.prefetch.issued);
+  json.field("useful", result.prefetch.useful);
+  json.field("wasted", result.prefetch.wasted());
+  json.field("still_pending", result.prefetch.still_pending);
+  json.field("bytes_prefetched", result.prefetch.bytes_prefetched);
+  json.end_object();
+
+  // Event-driven pipeline counters. Emitted ONLY for pipeline runs so that
+  // legacy (synchronous) result JSON stays byte-identical to pre-pipeline
+  // releases — the golden regression tests depend on this.
+  if (result.pipeline.enabled) {
+    json.key("pipeline").begin_object();
+    json.field("started", result.pipeline.started);
+    json.field("completed", result.pipeline.completed);
+    json.field("coalesced_joins", result.pipeline.coalesced_joins);
+    json.field("icp_timeouts", result.pipeline.icp_timeouts);
+    json.field("icp_retries", result.pipeline.icp_retries);
+    json.field("icp_recoveries", result.pipeline.icp_recoveries);
+    json.field("max_in_flight", result.pipeline.max_in_flight);
+    json.end_object();
+  }
+
+  // Invariant-checker report. Emitted ONLY for validated runs, for the same
+  // byte-identity reason as the pipeline block above.
+  if (result.validation.enabled) {
+    json.key("validation").begin_object();
+    json.field("checks", result.validation.checks);
+    json.field("violations", result.validation.violations);
+    json.key("first_violations").begin_array();
+    for (const ValidationViolation& violation : result.validation.first_violations) {
+      json.begin_object();
+      json.field("law", violation.law);
+      json.field("detail", violation.detail);
+      json.field("at_ms", violation.at_ms);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+  json.key("expiration_age").begin_object();
+  if (result.average_cache_expiration_age.is_infinite()) {
+    json.key("average_seconds").null();
+  } else {
+    json.field("average_seconds", result.average_cache_expiration_age.seconds());
+  }
+  json.key("per_cache_seconds").begin_array();
+  for (const ExpAge age : result.per_cache_expiration_age) {
+    if (age.is_infinite()) {
+      json.null();
+    } else {
+      json.value(age.seconds());
+    }
+  }
+  json.end_array();
+  json.end_object();
+
+  json.key("occupancy").begin_object();
+  json.field("total_resident_copies", static_cast<std::uint64_t>(result.total_resident_copies));
+  json.field("unique_resident_documents",
+             static_cast<std::uint64_t>(result.unique_resident_documents));
+  json.field("replication_factor", result.replication_factor);
+  json.end_object();
+
+  // Full metric-registry dump. Maps iterate in sorted name order, so the
+  // serialization is deterministic; all three sections are empty when the
+  // registry is disabled.
+  json.key("registry").begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : result.registry.counters()) json.field(name, value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : result.registry.gauges()) json.field(name, value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, hist] : result.registry.histograms()) {
+    json.key(name).begin_object();
+    json.field("lo", hist.lo());
+    json.field("hi", hist.hi());
+    json.field("underflow", hist.underflow());
+    json.field("overflow", hist.overflow());
+    json.field("total", hist.total());
+    json.key("buckets").begin_array();
+    for (std::size_t i = 0; i < hist.num_buckets(); ++i) json.value(hist.bucket(i));
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+
+  // Span-ring occupancy summary (the events themselves go to --trace-out).
+  json.key("trace").begin_object();
+  json.field("capacity", static_cast<std::uint64_t>(result.trace_log.capacity()));
+  json.field("recorded", result.trace_log.recorded());
+  json.field("dropped", result.trace_log.dropped());
+  json.end_object();
+
+  json.key("proxies").begin_array();
+  for (const ProxyStats& stats : result.proxy_stats) {
+    json.begin_object();
+    json.field("client_requests", stats.client_requests);
+    json.field("local_hits", stats.local_hits);
+    json.field("remote_fetches_served", stats.remote_fetches_served);
+    json.field("copies_stored", stats.copies_stored);
+    json.field("copies_declined", stats.copies_declined);
+    json.field("promotions_suppressed", stats.promotions_suppressed);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("snapshots").begin_array();
+  for (const MetricsSnapshot& snapshot : result.snapshots) {
+    json.begin_object();
+    json.field("at_ms",
+               static_cast<std::int64_t>((snapshot.at - kSimEpoch).count()));
+    json.field("hit_rate", snapshot.hit_rate);
+    json.field("byte_hit_rate", snapshot.byte_hit_rate);
+    json.field("total_requests", snapshot.total_requests);
+    json.end_object();
+  }
+  json.end_array();
+
+  // Periodic per-proxy CacheExpAge/occupancy series (obs.series_points).
+  // exp_age_ms is null while the proxy has observed no contention.
+  json.key("proxy_series").begin_array();
+  for (const ProxySeriesPoint& point : result.proxy_series) {
+    json.begin_object();
+    json.field("at_ms", static_cast<std::int64_t>((point.at - kSimEpoch).count()));
+    json.key("proxies").begin_array();
+    for (const ProxySeriesSample& sample : point.proxies) {
+      json.begin_object();
+      if (sample.finite) {
+        json.field("exp_age_ms", sample.exp_age_ms);
+      } else {
+        json.key("exp_age_ms").null();
+      }
+      json.field("resident_bytes", sample.resident_bytes);
+      json.field("resident_docs", static_cast<std::uint64_t>(sample.resident_docs));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+}
+
+void write_simulation_result_json(std::ostream& out, const SimulationResult& result) {
+  JsonWriter json(out);
+  append_simulation_result(json, result);
+}
+
+std::string simulation_result_to_json(const SimulationResult& result) {
+  std::ostringstream out;
+  write_simulation_result_json(out, result);
+  return out.str();
+}
+
+}  // namespace eacache

@@ -1,0 +1,39 @@
+// JSON serialization of RunResult — one self-describing object per run,
+// consumed by plotting scripts, the experiment_runner's --json output and
+// the daemon demo's result dump.
+//
+// Lives in the simulation-free core so BOTH drivers (discrete-event
+// simulator and live daemon) emit the exact same schema; sim/result_json.h
+// layers the sweep-row serialization on top. Every key literal here is
+// documented in DESIGN.md §11 (enforced by project_lint.py).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/run_result.h"
+#include "metrics/json.h"
+
+namespace eacache {
+
+/// Emit the result as the NEXT VALUE of an existing writer (for embedding
+/// in larger documents, e.g. the experiment_runner's per-run array).
+void append_simulation_result(JsonWriter& json, const SimulationResult& result);
+
+/// Emit the result as a standalone JSON document.
+void write_simulation_result_json(std::ostream& out, const SimulationResult& result);
+
+[[nodiscard]] std::string simulation_result_to_json(const SimulationResult& result);
+
+/// Daemon-side names for the same three entry points.
+inline void append_run_result(JsonWriter& json, const RunResult& result) {
+  append_simulation_result(json, result);
+}
+inline void write_run_result_json(std::ostream& out, const RunResult& result) {
+  write_simulation_result_json(out, result);
+}
+[[nodiscard]] inline std::string run_result_to_json(const RunResult& result) {
+  return simulation_result_to_json(result);
+}
+
+}  // namespace eacache

@@ -1,0 +1,97 @@
+#include "daemon/daemon.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace eacache {
+
+namespace {
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  const auto d = std::chrono::steady_clock::now() - since;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+}  // namespace
+
+std::vector<std::string> validate_daemon_run(const GroupConfig& config,
+                                             const DaemonOptions& options) {
+  std::vector<std::string> errors = config.validate_for_daemon();
+  const auto fail = [&errors](std::string message) { errors.push_back(std::move(message)); };
+
+  if (options.mode == DaemonMode::kWallClock) {
+    if (options.load.pacing == PacingMode::kTraceSpeedup &&
+        !(options.load.speedup > 0.0 && std::isfinite(options.load.speedup))) {
+      fail("load.speedup must be positive and finite (zero-rate load never "
+           "submits a request)");
+    }
+    if (options.load.pacing == PacingMode::kFixedRate &&
+        !(options.load.requests_per_second > 0.0 &&
+          std::isfinite(options.load.requests_per_second))) {
+      fail("load.requests_per_second must be positive and finite under "
+           "kFixedRate pacing (zero-rate load never submits a request)");
+    }
+    if (!options.faults.empty()) {
+      fail("wall-clock daemon runs cannot honour a FaultPlan: its timestamps "
+           "are simulated trace instants, not wall instants");
+    }
+    if (options.load.max_in_flight == 0) {
+      fail("load.max_in_flight must be >= 1 (a zero admission window never "
+           "submits a request)");
+    }
+  }
+  if (!options.faults.outages.empty()) {
+    fail("peer outages are simulator-only fault injection (the daemon's "
+         "in-memory wire has no loss hook); only flushes are supported");
+  }
+  if (options.load.drain_timeout <= Duration::zero()) {
+    fail("load.drain_timeout must be positive");
+  }
+  return errors;
+}
+
+void validate_daemon_run_or_throw(const GroupConfig& config, const DaemonOptions& options) {
+  const std::vector<std::string> errors = validate_daemon_run(config, options);
+  if (errors.empty()) return;
+  std::string message = "invalid daemon run: ";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += errors[i];
+  }
+  throw std::invalid_argument(message);
+}
+
+RunResult run_daemon(const Trace& trace, const GroupConfig& config,
+                     const DaemonOptions& options, LoadGenReport* report,
+                     PhaseTimings* timings) {
+  validate_daemon_run_or_throw(config, options);
+  if (!is_time_ordered(trace.requests)) {
+    throw std::invalid_argument("run_daemon: trace must be time-ordered");
+  }
+
+  const auto drive_started = std::chrono::steady_clock::now();
+  const TimePoint trace_start = trace.empty() ? kSimEpoch : trace.requests.front().at;
+
+  // The clock seam: manual time pinned to trace stamps for deterministic
+  // smoke replay, a steady clock anchored at the trace start for live runs.
+  FakeClock fake(trace_start);
+  SteadyClock steady(trace_start);
+  const bool smoke = options.mode == DaemonMode::kSmokeReplay;
+  Clock& clock = smoke ? static_cast<Clock&>(fake) : static_cast<Clock&>(steady);
+
+  DaemonGroup group(config, clock, options.mode);
+  group.start();
+  LoadGen gen(group, clock, smoke ? &fake : nullptr, options.mode, options.load,
+              options.faults);
+  const LoadGenReport gen_report = gen.replay(trace);
+  group.stop();
+  if (report != nullptr) *report = gen_report;
+  if (timings != nullptr) timings->sim_ms = elapsed_ms(drive_started);
+
+  const auto report_started = std::chrono::steady_clock::now();
+  RunResult result = group.collect_result();
+  if (timings != nullptr) timings->report_ms = elapsed_ms(report_started);
+  return result;
+}
+
+}  // namespace eacache

@@ -1,0 +1,49 @@
+// run_daemon: the daemon-mode counterpart of sim/simulator.h's
+// run_simulation. Builds a DaemonGroup (N proxy worker threads over the
+// in-memory wire), replays the trace through a LoadGen, and assembles the
+// SAME RunResult schema the simulator produces — core/run_result_json.h
+// serializes both, so plotting scripts and goldens consume either driver's
+// output unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fault_plan.h"
+#include "core/run_result.h"
+#include "daemon/daemon_group.h"
+#include "daemon/load_gen.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+struct DaemonOptions {
+  DaemonMode mode = DaemonMode::kSmokeReplay;
+  LoadGenOptions load;
+  /// Declarative faults. Only flushes, and only in smoke replay (timestamps
+  /// are trace instants; a wall-clock run cannot honour them) — anything
+  /// else is rejected by validate_daemon_run.
+  FaultPlan faults;
+};
+
+/// Every rule a daemon run would violate, aggregated in a stable order:
+/// GroupConfig::validate_for_daemon() first, then the option rules
+/// (zero-rate or non-positive pacing, wall-clock FaultPlans, outage
+/// injection, non-positive drain timeout). Empty means runnable.
+[[nodiscard]] std::vector<std::string> validate_daemon_run(const GroupConfig& config,
+                                                           const DaemonOptions& options);
+
+/// Throwing wrapper over validate_daemon_run (std::invalid_argument with
+/// every violation "; "-joined), mirroring GroupConfig::validate_or_throw.
+void validate_daemon_run_or_throw(const GroupConfig& config, const DaemonOptions& options);
+
+/// Run `trace` through a fresh daemon group built from `config`. The trace
+/// must be time-ordered. When `report` is non-null it receives the load
+/// generator's submission/completion accounting; when `timings` is non-null
+/// it receives the wall-clock phase split (drive vs report).
+[[nodiscard]] RunResult run_daemon(const Trace& trace, const GroupConfig& config,
+                                   const DaemonOptions& options = {},
+                                   LoadGenReport* report = nullptr,
+                                   PhaseTimings* timings = nullptr);
+
+}  // namespace eacache

@@ -1,0 +1,146 @@
+// DaemonGroup: the cooperative cache group as N live proxy instances, one
+// worker thread each, exchanging protocol messages over an in-memory wire
+// instead of being orchestrated by the simulator.
+//
+// Concurrency design (checked by the DESIGN.md §11 analysis stack and the
+// TSan pipeline's daemon stage):
+//  * SHARE NOTHING between workers. Each worker exclusively owns its
+//    ProxyCache, its accounting Transport, its GroupMetrics and its
+//    MetricRegistry — no per-cache locks exist because no cache is ever
+//    touched by two threads. The only shared mutable state is the
+//    InMemoryTransport's locked mailboxes and the Clock (both annotated).
+//  * All cross-worker interaction is message passing: a local miss fans out
+//    kIcpQuery envelopes, peers answer kIcpReply, the home worker fetches
+//    over kHttpRequest/kHttpResponse. Workers never block waiting for a
+//    specific peer — every handler runs to completion and returns to the
+//    mailbox loop, so mutual probing cannot deadlock.
+//  * Per-request progress lives in a per-worker table keyed by request id
+//    (requests are pinned to their home worker, so the table is single-
+//    owner too). Many requests can be in flight at once in wall-clock mode.
+//  * collect_result() merges the per-worker shards AFTER stop() has joined
+//    every thread; thread join is the only synchronization the merge needs.
+//
+// The serve semantics deliberately mirror CacheGroup::serve for the config
+// subset daemon-run validation admits (flat ICP group, no coherence /
+// prefetch / losses): local lookup -> ICP fan-out -> ring-distance-ordered
+// sibling fetch with EA piggybacking -> origin fallback, charging the
+// paper's per-outcome aggregate latencies. In closed-loop smoke replay
+// (FakeClock pinned to trace stamps) the run is deterministic and its
+// RunResult serializes byte-identically to run_simulation's — the
+// extraction proof tests/daemon/daemon_vs_sim_test.cpp pins that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/inmemory_transport.h"
+#include "core/run_result.h"
+#include "group/cache_group.h"
+
+namespace eacache {
+
+/// How the load generator paces submissions and how workers read "now".
+///  * kSmokeReplay — closed loop, one request in flight, a FakeClock pinned
+///    to each request's trace stamp: deterministic, comparable to the
+///    simulator byte for byte.
+///  * kWallClock  — open loop against a SteadyClock: requests are submitted
+///    at real instants (trace timestamps compressed by a speedup factor, or
+///    a fixed rate) and overlap in flight.
+enum class DaemonMode { kSmokeReplay, kWallClock };
+
+class DaemonGroup {
+ public:
+  /// `config` must satisfy GroupConfig::validate_for_daemon() (the
+  /// constructor throws otherwise); `clock` must outlive the group.
+  DaemonGroup(const GroupConfig& config, Clock& clock, DaemonMode mode);
+  ~DaemonGroup();
+
+  DaemonGroup(const DaemonGroup&) = delete;
+  DaemonGroup& operator=(const DaemonGroup&) = delete;
+
+  /// Spawn one worker thread per proxy. Call once.
+  void start();
+  /// Deliver kShutdown to every worker and join. Idempotent. The caller
+  /// must have drained its in-flight requests first (completions for
+  /// requests still in flight at shutdown are lost, not corrupted).
+  void stop();
+
+  [[nodiscard]] std::size_t num_proxies() const { return workers_.size(); }
+  /// Same stable user->proxy pinning as CacheGroup::home_proxy.
+  [[nodiscard]] ProxyId home_proxy(UserId user) const;
+  /// The extra wire endpoint reserved for the load generator's completions.
+  [[nodiscard]] ProxyId load_endpoint() const {
+    return static_cast<ProxyId>(workers_.size());
+  }
+  [[nodiscard]] InMemoryTransport& wire() { return wire_; }
+
+  /// Assemble the RunResult from the per-worker shards. Requires stop() —
+  /// the merge is unsynchronized by design and relies on thread join.
+  [[nodiscard]] RunResult collect_result();
+
+ private:
+  /// One request's progress at its home worker (single-owner, no locks).
+  struct PendingRequest {
+    std::uint64_t id = 0;
+    DocumentId document = 0;
+    Bytes size = 0;            // trace request size (origin fetch body)
+    TimePoint stamp{};         // arrival instant echoed on every hop
+    std::size_t awaiting_replies = 0;
+    std::vector<ProxyId> hits;       // positive ICP answers so far
+    std::vector<ProxyId> candidates; // ring-distance order, tried in turn
+    std::size_t next_candidate = 0;
+    Duration probe_penalty = Duration::zero();
+  };
+
+  /// Everything one worker thread owns exclusively. The registry is built
+  /// first so the proxy and transport can register handles into it; all
+  /// registration happens on the constructing thread before start().
+  struct Worker {
+    std::unique_ptr<MetricRegistry> registry;
+    std::unique_ptr<ProxyCache> proxy;
+    Transport transport;
+    GroupMetrics metrics;
+    std::unordered_map<std::uint64_t, PendingRequest> pending;
+
+    MetricRegistry::Counter obs_requests;
+    MetricRegistry::Counter obs_icp_queries;
+    MetricRegistry::Counter obs_icp_replies;
+    MetricRegistry::Counter obs_icp_losses;
+    MetricRegistry::Counter obs_sibling_fetches;
+    MetricRegistry::Counter obs_parent_fetches;
+    MetricRegistry::Counter obs_origin_fetches;
+    MetricRegistry::HistogramHandle obs_request_bytes;
+
+    std::thread thread;
+  };
+
+  void worker_main(std::size_t index);
+  /// "now" for one protocol step: the request's trace stamp in smoke replay
+  /// (deterministic), the live clock in wall-clock mode.
+  [[nodiscard]] TimePoint step_now(const WireMessage& message) const;
+
+  void handle_client_request(Worker& w, const WireMessage& message, TimePoint now);
+  void handle_icp_query(Worker& w, const WireMessage& message, TimePoint now);
+  void handle_icp_reply(Worker& w, const WireMessage& message, TimePoint now);
+  void handle_http_request(Worker& w, const WireMessage& message, TimePoint now);
+  void handle_http_response(Worker& w, const WireMessage& message, TimePoint now);
+  /// Send the next candidate fetch, or fall through to the origin.
+  void advance_candidates(Worker& w, PendingRequest& ctx, TimePoint now);
+  void resolve_origin(Worker& w, PendingRequest& ctx, TimePoint now);
+  void complete(Worker& w, const PendingRequest& ctx);
+
+  GroupConfig config_;
+  Clock& clock_;
+  DaemonMode mode_;
+  std::shared_ptr<const PlacementPolicy> placement_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  InMemoryTransport wire_;  // workers' mailboxes + the load endpoint
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace eacache

@@ -1,0 +1,83 @@
+// LoadGen: replays a trace against a live DaemonGroup.
+//
+// Two pacing disciplines, matching DaemonMode:
+//  * closed-loop smoke replay — pin the FakeClock to each request's trace
+//    stamp, submit, block for the completion. One request in flight at a
+//    time, so the run is deterministic; FaultPlan flushes are injected
+//    between requests at their trace instants with the same at <= next.at
+//    ordering the simulator's event queue uses.
+//  * open-loop wall clock — submit each request at its compressed trace
+//    instant (span / speedup) or at a fixed rate, stamping with the live
+//    clock; completions are drained opportunistically and the tail is
+//    awaited with a bounded drain timeout. An admission window caps the
+//    number of requests in flight, so when the offered rate exceeds what
+//    the workers can absorb the generator degrades to bounded closed-loop
+//    instead of flooding the mailboxes (unbounded backlog destroys the
+//    trace's temporal locality: duplicate requests race ahead of caching
+//    and the measured hit rate collapses).
+#pragma once
+
+#include <cstdint>
+
+#include "core/fault_plan.h"
+#include "daemon/daemon_group.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+/// How open-loop submission instants are derived.
+///  * kTraceSpeedup — request i lands at trace_start + (at_i - at_0)/speedup.
+///  * kFixedRate    — request i lands at trace_start + i/requests_per_second,
+///                    ignoring trace timestamps (rate-controlled soak).
+enum class PacingMode { kTraceSpeedup, kFixedRate };
+
+struct LoadGenOptions {
+  PacingMode pacing = PacingMode::kTraceSpeedup;
+  /// Trace-time compression for kTraceSpeedup: 3600 replays an hour of
+  /// trace per wall-clock second. Must be > 0.
+  double speedup = 1.0;
+  /// Submission rate for kFixedRate. Must be > 0 — a zero rate never
+  /// submits anything and the run would hang (rejected by validation).
+  double requests_per_second = 0.0;
+  /// How long to wait for in-flight completions after the last submission
+  /// (wall-clock mode) or for any single completion (smoke mode).
+  Duration drain_timeout = sec(30);
+  /// Wall-clock admission window: the generator blocks for completions
+  /// before submitting while this many requests are in flight. Must be
+  /// >= 1 (rejected by validation otherwise); smoke replay ignores it
+  /// (effectively 1 by construction).
+  std::uint64_t max_in_flight = 32;
+};
+
+struct LoadGenReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t flushes_injected = 0;
+  /// Wall-clock driving time, submission of the first request to the last
+  /// completion received.
+  double wall_seconds = 0.0;
+};
+
+class LoadGen {
+ public:
+  /// `manual` must be the FakeClock the group runs on for kSmokeReplay mode
+  /// and may be null for kWallClock (where `clock` paces the submissions).
+  LoadGen(DaemonGroup& group, Clock& clock, FakeClock* manual, DaemonMode mode,
+          LoadGenOptions options, FaultPlan faults = {});
+
+  /// Replay the (time-ordered) trace, blocking until every submitted
+  /// request completed or the drain timeout expired. Smoke mode throws
+  /// std::runtime_error on a completion timeout (a wedged worker);
+  /// wall-clock mode reports the shortfall in the returned counts instead.
+  LoadGenReport replay(const Trace& trace);
+
+ private:
+  DaemonGroup& group_;
+  Clock& clock_;
+  FakeClock* manual_;
+  DaemonMode mode_;
+  LoadGenOptions options_;
+  FaultPlan faults_;
+};
+
+}  // namespace eacache

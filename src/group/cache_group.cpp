@@ -142,6 +142,45 @@ std::vector<std::string> GroupConfig::validate() const {
   return errors;
 }
 
+std::vector<std::string> GroupConfig::validate_for_daemon() const {
+  std::vector<std::string> errors = validate();
+  const auto fail = [&errors](std::string message) { errors.push_back(std::move(message)); };
+
+  if (topology != TopologyKind::kDistributed || !custom_parents.empty()) {
+    fail("daemon mode serves flat (kDistributed) groups only: the hierarchical "
+         "parent chain is resolved recursively by the simulator's orchestrator");
+  }
+  if (routing == RoutingMode::kHashPartition) {
+    fail("daemon mode requires kCooperative routing (hash-partition forwarding "
+         "is a simulator baseline)");
+  }
+  if (discovery == DiscoveryMode::kDigest) {
+    fail("daemon mode requires kIcp discovery (digest refresh is scheduled by "
+         "the simulated clock)");
+  }
+  if (coherence.enabled) {
+    fail("daemon mode cannot run coherence: freshness checks consult the "
+         "simulated origin's version oracle");
+  }
+  if (prefetch.enabled) {
+    fail("daemon mode cannot run prefetching: speculative fetches are "
+         "orchestrated group-side in the simulator");
+  }
+  if (icp_loss_probability != 0.0) {
+    fail("daemon mode requires icp_loss_probability == 0: the in-memory wire "
+         "never drops, so the seeded loss draw has nothing to model");
+  }
+  if (pipeline.event_driven) {
+    fail("daemon mode has real concurrency; pipeline.event_driven selects the "
+         "simulator's staged driver and must stay off");
+  }
+  if (obs.trace_capacity > 0) {
+    fail("daemon mode does not record request spans: the span ring is "
+         "single-writer and belongs to the simulator's orchestrator");
+  }
+  return errors;
+}
+
 void GroupConfig::validate_or_throw() const {
   const std::vector<std::string> errors = validate();
   if (errors.empty()) return;

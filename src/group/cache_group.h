@@ -209,6 +209,16 @@ struct GroupConfig {
   /// by run_simulation.
   void validate_or_throw() const;
 
+  /// validate() plus the rules a LIVE (daemon-mode) group adds: features
+  /// whose semantics only exist inside the discrete-event simulator —
+  /// coherence's origin oracle, the seeded ICP-loss draw, digest refresh
+  /// scheduling, the hierarchical parent chain, prefetch learning, hash
+  /// partitioning, the event-driven pipeline driver and the span ring —
+  /// are all rejected here with aggregated messages, same contract as
+  /// validate(). The daemon runner (daemon/daemon.h) folds these into its
+  /// own option checks.
+  [[nodiscard]] std::vector<std::string> validate_for_daemon() const;
+
   /// Total cache count this config builds: custom_parents when given,
   /// otherwise num_proxies plus a hierarchical root.
   [[nodiscard]] std::size_t total_cache_count() const;
@@ -237,7 +247,7 @@ class CacheGroup {
 
   /// Serve one trace request at simulated time `request.at`, start to
   /// finish, with the legacy synchronous driver. The event-driven
-  /// alternative is group/request_pipeline.h, which stages the SAME
+  /// alternative is sim/request_pipeline.h, which stages the SAME
   /// resolution helpers over the event queue.
   RequestOutcome serve(const Request& request);
 

@@ -1,7 +1,7 @@
 // Configuration and counters for the staged request pipeline.
 //
 // Kept in a leaf header so GroupConfig (group/cache_group.h) can embed the
-// config while the driver itself (group/request_pipeline.h) depends on the
+// config while the driver itself (sim/request_pipeline.h) depends on the
 // full CacheGroup definition.
 #pragma once
 

@@ -36,6 +36,25 @@ struct TransportStats {
   Bytes piggyback_bytes = 0;
   Bytes digest_bytes = 0;
 
+  /// Field-wise accumulation, for aggregating per-worker accounting shards
+  /// (the daemon keeps one Transport per worker thread and merges after
+  /// join; the simulator's single instance never needs this).
+  void merge(const TransportStats& other) {
+    icp_queries += other.icp_queries;
+    icp_replies += other.icp_replies;
+    icp_losses += other.icp_losses;
+    http_requests += other.http_requests;
+    http_responses += other.http_responses;
+    failed_probes += other.failed_probes;
+    digest_publications += other.digest_publications;
+    origin_fetches += other.origin_fetches;
+    icp_bytes += other.icp_bytes;
+    http_header_bytes += other.http_header_bytes;
+    http_body_bytes += other.http_body_bytes;
+    piggyback_bytes += other.piggyback_bytes;
+    digest_bytes += other.digest_bytes;
+  }
+
   [[nodiscard]] std::uint64_t total_messages() const {
     return icp_queries + icp_replies + http_requests + http_responses + digest_publications;
   }

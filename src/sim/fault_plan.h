@@ -1,32 +1,7 @@
-// Declarative fault injection for a simulation run.
-//
-// Generalizes the original flush-only failure injection: a FaultPlan can
-// crash/restart proxies (losing their disk) and open transient PEER OUTAGE
-// windows during which the affected proxy answers no ICP probes. Outages
-// are visible under both drivers — the serialized driver books the silent
-// probes as losses; the event-driven pipeline experiences them as discovery
-// timeouts (and, with retries on, possible recoveries once the window
-// closes).
+// Compatibility shim: FaultPlan moved to core/fault_plan.h so the daemon
+// layer (which schedules flushes through the load generator rather than the
+// event queue) can share the declarative fault vocabulary without touching
+// sim/ headers. Include core/fault_plan.h directly in new code.
 #pragma once
 
-#include <vector>
-
-#include "group/cache_group.h"
-
-namespace eacache {
-
-struct FaultPlan {
-  /// A proxy crash/restart at `at`: the whole cache is lost (explicit
-  /// removals — not contention signals); the proxy rejoins cold.
-  struct Flush {
-    TimePoint at{};
-    ProxyId proxy = 0;
-  };
-
-  std::vector<Flush> flushes;
-  std::vector<PeerOutage> outages;
-
-  [[nodiscard]] bool empty() const { return flushes.empty() && outages.empty(); }
-};
-
-}  // namespace eacache
+#include "core/fault_plan.h"

@@ -1,4 +1,4 @@
-#include "group/request_pipeline.h"
+#include "sim/request_pipeline.h"
 
 #include <algorithm>
 #include <cmath>

@@ -1,26 +1,19 @@
-// JSON serialization of SimulationResult — one self-describing object per
-// run, consumed by plotting scripts and the experiment_runner's --json
-// output.
+// JSON serialization of sweep rows. The per-run result serializer itself
+// (append_simulation_result & friends) lives in core/run_result_json.h —
+// the simulation-free core owns the result schema so the daemon emits the
+// same JSON; this header re-exports it and adds the sweep-row layer.
 #pragma once
 
 #include <functional>
 #include <iosfwd>
 #include <string>
 
+#include "core/run_result_json.h"
 #include "metrics/json.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 
 namespace eacache {
-
-/// Emit the result as the NEXT VALUE of an existing writer (for embedding
-/// in larger documents, e.g. the experiment_runner's per-run array).
-void append_simulation_result(JsonWriter& json, const SimulationResult& result);
-
-/// Emit the result as a standalone JSON document.
-void write_simulation_result_json(std::ostream& out, const SimulationResult& result);
-
-[[nodiscard]] std::string simulation_result_to_json(const SimulationResult& result);
 
 /// Emit one sweep run as the next value of an existing writer: the job's
 /// label, the wall-clock cost of the run, a summary of the GroupConfig it

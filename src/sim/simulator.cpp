@@ -6,7 +6,7 @@
 #include <stdexcept>
 
 #include "event/event_queue.h"
-#include "group/request_pipeline.h"
+#include "sim/request_pipeline.h"
 #include "validate/invariants.h"
 
 namespace eacache {

@@ -7,17 +7,10 @@
 
 #include <vector>
 
-#include "ea/expiration_age.h"
+#include "core/run_result.h"
 #include "group/cache_group.h"
-#include "group/pipeline_config.h"
 #include "sim/fault_plan.h"
-#include "metrics/metrics.h"
-#include "net/transport.h"
-#include "obs/metric_registry.h"
-#include "obs/trace_log.h"
-#include "proxy/proxy_cache.h"
 #include "trace/trace.h"
-#include "validate/validation_report.h"
 
 namespace eacache {
 
@@ -45,65 +38,9 @@ struct SimulationOptions {
   std::vector<FlushEvent> flush_events;
 };
 
-/// One proxy's entry in a periodic observability sample.
-struct ProxySeriesSample {
-  double exp_age_ms = 0.0;       // windowed CacheExpAge (only if `finite`)
-  bool finite = false;           // false = infinite (no contention observed)
-  Bytes resident_bytes = 0;
-  std::size_t resident_docs = 0;
-};
-
-/// Periodic per-proxy CacheExpAge/occupancy sample (GroupConfig::obs
-/// series_points samples spread over the trace's time span).
-struct ProxySeriesPoint {
-  TimePoint at{};
-  std::vector<ProxySeriesSample> proxies;
-};
-
-/// Wall-clock cost of one simulation, split by phase. Reported on sweep job
-/// rows (NOT inside the SimulationResult JSON, which must stay a pure
-/// function of the simulated world).
-struct PhaseTimings {
-  double sim_ms = 0.0;     // group construction + trace replay
-  double report_ms = 0.0;  // end-of-run collection into SimulationResult
-};
-
-struct SimulationResult {
-  GroupMetrics metrics;
-  TransportStats transport;
-  CoherenceStats coherence;
-  PrefetchStats prefetch;
-
-  /// Observability: snapshot of the group's metric registry (empty when
-  /// GroupConfig::obs.registry is off), the request-lifecycle span ring
-  /// (empty unless obs.trace_capacity > 0) and the periodic per-proxy
-  /// series (empty unless obs.series_points > 0).
-  MetricRegistry registry;
-  TraceLog trace_log;
-  std::vector<ProxySeriesPoint> proxy_series;
-
-  /// Table 1's metric, measured over the whole run.
-  ExpAge average_cache_expiration_age = ExpAge::infinite();
-  std::vector<ExpAge> per_cache_expiration_age;
-
-  /// End-of-run occupancy diagnostics.
-  std::size_t total_resident_copies = 0;
-  std::size_t unique_resident_documents = 0;
-  double replication_factor = 0.0;
-
-  std::vector<ProxyStats> proxy_stats;
-  std::vector<MetricsSnapshot> snapshots;
-
-  /// Event-driven pipeline counters; `pipeline.enabled` is false (and the
-  /// whole struct zero) for legacy synchronous runs, which keeps their
-  /// result JSON byte-identical to pre-pipeline releases.
-  PipelineStats pipeline;
-
-  /// Invariant-checker outcome; `validation.enabled` is false (and the
-  /// "validation" JSON block absent) unless SimulationOptions::validate was
-  /// set, preserving byte-identity of unvalidated result JSON.
-  ValidationReport validation;
-};
+// ProxySeriesSample/ProxySeriesPoint, PhaseTimings and SimulationResult
+// itself live in core/run_result.h — the driver-independent result schema
+// shared with the daemon layer.
 
 /// Run `trace` through a fresh group built from `config`. The trace must be
 /// time-ordered (throws std::invalid_argument otherwise). When `timings` is

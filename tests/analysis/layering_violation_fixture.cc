@@ -1,0 +1,16 @@
+// Negative control for project_lint.py's core-no-sim-includes rule
+// (DESIGN.md §12): a hypothetical libeacache-core source that reaches back
+// into the simulator layer. The `project_lint_negative` ctest runs the lint
+// in --layering-fixture mode against this file and PASSES only if the rule
+// flags both includes below. Never compiled; the .cc suffix keeps it out of
+// every build glob and out of the lint's own src/ scan.
+#include "sim/simulator.h"  // VIOLATION: core must not depend on the simulator
+#include "event/event_queue.h"  // VIOLATION: nor on the event loop driving it
+
+namespace eacache {
+
+inline double core_helper_peeking_at_sim(const Trace& trace, const GroupConfig& config) {
+  return run_simulation(trace, config).metrics.hit_rate();
+}
+
+}  // namespace eacache

@@ -1,0 +1,127 @@
+// The Clock seam's contract: now() never goes backwards, manual time only
+// moves when the driver says so, and SteadyClock maps the wall clock onto
+// the TimePoint timeline from its anchor.
+#include "core/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace eacache {
+namespace {
+
+TEST(FakeClockTest, StartsAtConfiguredOrigin) {
+  FakeClock at_epoch;
+  EXPECT_EQ(at_epoch.now(), kSimEpoch);
+
+  const TimePoint later = kSimEpoch + hours(3);
+  FakeClock at_later(later);
+  EXPECT_EQ(at_later.now(), later);
+}
+
+TEST(FakeClockTest, AdvanceMovesTimeAndReturnsNewNow) {
+  FakeClock clock;
+  EXPECT_EQ(clock.advance(msec(250)), kSimEpoch + msec(250));
+  EXPECT_EQ(clock.advance(sec(1)), kSimEpoch + msec(1250));
+  EXPECT_EQ(clock.now(), kSimEpoch + msec(1250));
+}
+
+TEST(FakeClockTest, ZeroAdvanceIsLegalNoOp) {
+  FakeClock clock;
+  clock.advance(msec(10));
+  EXPECT_EQ(clock.advance(Duration::zero()), kSimEpoch + msec(10));
+}
+
+TEST(FakeClockTest, NegativeAdvanceThrows) {
+  FakeClock clock;
+  clock.advance(sec(5));
+  EXPECT_THROW(clock.advance(msec(-1)), std::logic_error);
+  // The failed call must not have moved time.
+  EXPECT_EQ(clock.now(), kSimEpoch + sec(5));
+}
+
+TEST(FakeClockTest, SetJumpsAheadToAbsoluteInstant) {
+  FakeClock clock;
+  clock.set(kSimEpoch + minutes(90));
+  EXPECT_EQ(clock.now(), kSimEpoch + minutes(90));
+}
+
+TEST(FakeClockTest, SetToCurrentInstantIsLegal) {
+  // Traces carry duplicate timestamps; replaying them re-sets the same
+  // instant and must not trip the monotonicity guard.
+  FakeClock clock;
+  clock.set(kSimEpoch + sec(7));
+  EXPECT_NO_THROW(clock.set(kSimEpoch + sec(7)));
+  EXPECT_EQ(clock.now(), kSimEpoch + sec(7));
+}
+
+TEST(FakeClockTest, SetBackwardsThrows) {
+  FakeClock clock;
+  clock.set(kSimEpoch + sec(10));
+  EXPECT_THROW(clock.set(kSimEpoch + sec(9)), std::logic_error);
+  EXPECT_EQ(clock.now(), kSimEpoch + sec(10));
+}
+
+TEST(FakeClockTest, SleepUntilNeverBlocks) {
+  // Manual time: sleeping would deadlock the driver, so it's a no-op even
+  // for instants far in the future.
+  FakeClock clock;
+  clock.sleep_until(kSimEpoch + hours(24 * 365));
+  EXPECT_EQ(clock.now(), kSimEpoch);
+}
+
+TEST(FakeClockTest, ReadersOnOtherThreadsSeeMonotonicTime) {
+  FakeClock clock;
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&clock] {
+      TimePoint last = clock.now();
+      for (int i = 0; i < 10'000; ++i) {
+        const TimePoint now = clock.now();
+        ASSERT_GE(now, last);
+        last = now;
+      }
+    });
+  }
+  for (int i = 0; i < 1'000; ++i) clock.advance(msec(1));
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(clock.now(), kSimEpoch + msec(1'000));
+}
+
+TEST(SteadyClockTest, StartsAtItsAnchorOrigin) {
+  const TimePoint origin = kSimEpoch + hours(12);
+  SteadyClock clock(origin);
+  const TimePoint first = clock.now();
+  EXPECT_GE(first, origin);
+  // Constructing and reading happen well within a second of each other.
+  EXPECT_LT(first - origin, sec(1));
+}
+
+TEST(SteadyClockTest, NowIsMonotonic) {
+  SteadyClock clock;
+  TimePoint last = clock.now();
+  for (int i = 0; i < 10'000; ++i) {
+    const TimePoint now = clock.now();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(SteadyClockTest, SleepUntilPastInstantReturnsImmediately) {
+  SteadyClock clock;
+  clock.sleep_until(kSimEpoch - hours(1));  // already in the past: no block
+  SUCCEED();
+}
+
+TEST(SteadyClockTest, SleepUntilReachesTheTarget) {
+  SteadyClock clock;
+  const TimePoint target = clock.now() + msec(30);
+  clock.sleep_until(target);
+  EXPECT_GE(clock.now(), target);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,148 @@
+// Daemon-run validation: configurations whose semantics only exist inside
+// the discrete-event simulator, and load options that could never finish
+// (zero-rate pacing, wall-clock fault plans), are rejected with aggregated
+// messages — same contract as GroupConfig::validate().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "daemon/daemon.h"
+
+namespace eacache {
+namespace {
+
+bool mentions(const std::vector<std::string>& errors, const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(), [&needle](const std::string& error) {
+    return error.find(needle) != std::string::npos;
+  });
+}
+
+GroupConfig runnable_config() {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  return config;
+}
+
+TEST(DaemonValidateTest, DefaultConfigAndOptionsAreRunnable) {
+  EXPECT_TRUE(validate_daemon_run(runnable_config(), DaemonOptions{}).empty());
+  EXPECT_NO_THROW(validate_daemon_run_or_throw(runnable_config(), DaemonOptions{}));
+}
+
+TEST(DaemonValidateTest, SimulatorOnlyFeaturesAreRejected) {
+  GroupConfig config = runnable_config();
+  config.topology = TopologyKind::kHierarchical;
+  config.discovery = DiscoveryMode::kDigest;
+  config.coherence.enabled = true;
+  config.prefetch.enabled = true;
+  config.icp_loss_probability = 0.05;
+  config.pipeline.event_driven = true;
+  config.obs.trace_capacity = 1024;
+
+  const std::vector<std::string> errors = config.validate_for_daemon();
+  EXPECT_TRUE(mentions(errors, "kDistributed"));
+  EXPECT_TRUE(mentions(errors, "kIcp discovery"));
+  EXPECT_TRUE(mentions(errors, "coherence"));
+  EXPECT_TRUE(mentions(errors, "prefetch"));
+  EXPECT_TRUE(mentions(errors, "icp_loss_probability"));
+  EXPECT_TRUE(mentions(errors, "event_driven"));
+  EXPECT_TRUE(mentions(errors, "span"));
+  // All aggregated, not first-failure-only.
+  EXPECT_GE(errors.size(), 7u);
+}
+
+TEST(DaemonValidateTest, HashPartitionRoutingIsRejected) {
+  GroupConfig config = runnable_config();
+  config.routing = RoutingMode::kHashPartition;
+  config.placement = PlacementKind::kAdHoc;  // valid for the simulator...
+  EXPECT_TRUE(config.validate().empty());
+  // ...but not for the daemon.
+  EXPECT_TRUE(mentions(config.validate_for_daemon(), "kCooperative"));
+}
+
+TEST(DaemonValidateTest, BaseValidationErrorsAreIncluded) {
+  GroupConfig config = runnable_config();
+  config.num_proxies = 0;
+  const std::vector<std::string> errors = validate_daemon_run(config, DaemonOptions{});
+  EXPECT_TRUE(mentions(errors, "num_proxies"));
+}
+
+TEST(DaemonValidateTest, ZeroRateWallClockLoadIsRejected) {
+  const GroupConfig config = runnable_config();
+
+  DaemonOptions zero_speedup;
+  zero_speedup.mode = DaemonMode::kWallClock;
+  zero_speedup.load.speedup = 0.0;
+  EXPECT_TRUE(mentions(validate_daemon_run(config, zero_speedup), "speedup"));
+
+  DaemonOptions zero_rate;
+  zero_rate.mode = DaemonMode::kWallClock;
+  zero_rate.load.pacing = PacingMode::kFixedRate;
+  zero_rate.load.requests_per_second = 0.0;
+  EXPECT_TRUE(
+      mentions(validate_daemon_run(config, zero_rate), "requests_per_second"));
+
+  DaemonOptions zero_window;
+  zero_window.mode = DaemonMode::kWallClock;
+  zero_window.load.max_in_flight = 0;
+  EXPECT_TRUE(mentions(validate_daemon_run(config, zero_window), "max_in_flight"));
+
+  // Smoke replay ignores pacing knobs entirely: closed-loop submission is
+  // driven by completions, so a zero speedup is not an error there.
+  DaemonOptions smoke = zero_speedup;
+  smoke.mode = DaemonMode::kSmokeReplay;
+  smoke.load.max_in_flight = 0;
+  EXPECT_TRUE(validate_daemon_run(config, smoke).empty());
+}
+
+TEST(DaemonValidateTest, WallClockFaultPlanIsRejected) {
+  const GroupConfig config = runnable_config();
+  DaemonOptions options;
+  options.mode = DaemonMode::kWallClock;
+  options.faults.flushes.push_back({kSimEpoch + sec(10), 0});
+  EXPECT_TRUE(mentions(validate_daemon_run(config, options), "FaultPlan"));
+
+  // The same plan is fine in smoke replay, where timestamps ARE trace time.
+  options.mode = DaemonMode::kSmokeReplay;
+  EXPECT_TRUE(validate_daemon_run(config, options).empty());
+}
+
+TEST(DaemonValidateTest, OutageInjectionIsAlwaysRejected) {
+  const GroupConfig config = runnable_config();
+  DaemonOptions options;
+  options.faults.outages.push_back({1, kSimEpoch, kSimEpoch + sec(5)});
+  EXPECT_TRUE(mentions(validate_daemon_run(config, options), "outages"));
+}
+
+TEST(DaemonValidateTest, NonPositiveDrainTimeoutIsRejected) {
+  const GroupConfig config = runnable_config();
+  DaemonOptions options;
+  options.load.drain_timeout = Duration::zero();
+  EXPECT_TRUE(mentions(validate_daemon_run(config, options), "drain_timeout"));
+}
+
+TEST(DaemonValidateTest, ThrowingWrapperAggregatesEverything) {
+  GroupConfig config = runnable_config();
+  config.coherence.enabled = true;
+  DaemonOptions options;
+  options.load.drain_timeout = Duration::zero();
+  try {
+    validate_daemon_run_or_throw(config, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("coherence"), std::string::npos);
+    EXPECT_NE(message.find("drain_timeout"), std::string::npos);
+  }
+}
+
+TEST(DaemonValidateTest, RunDaemonRefusesInvalidRuns) {
+  GroupConfig config = runnable_config();
+  config.pipeline.event_driven = true;
+  EXPECT_THROW((void)run_daemon(Trace{}, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -166,5 +166,60 @@ TEST(ConfigValidateTest, RunSimulationEnforcesValidation) {
   EXPECT_THROW((void)run_simulation(Trace{}, config), std::invalid_argument);
 }
 
+// --- validate_for_daemon: the live-daemon subset of the config space ------
+//
+// The daemon (src/daemon/) serves the flat distributed ICP group only; every
+// simulator-only feature must be called out, aggregated with the base
+// validate() findings rather than replacing them.
+
+TEST(ConfigValidateTest, DaemonValidationAcceptsTheDefaultGroup) {
+  GroupConfig config;
+  config.num_proxies = 4;
+  config.aggregate_capacity = 1 * kMiB;
+  EXPECT_TRUE(config.validate().empty());
+  EXPECT_TRUE(config.validate_for_daemon().empty());
+}
+
+TEST(ConfigValidateTest, DaemonValidationIsASupersetOfBaseValidation) {
+  GroupConfig config;
+  config.num_proxies = 0;           // base violation
+  config.coherence.enabled = true;  // daemon-only violation
+  const std::vector<std::string> base = config.validate();
+  const std::vector<std::string> daemon = config.validate_for_daemon();
+  EXPECT_GT(daemon.size(), base.size());
+  EXPECT_TRUE(mentions(daemon, "num_proxies"));
+  EXPECT_TRUE(mentions(daemon, "coherence"));
+}
+
+TEST(ConfigValidateTest, DaemonValidationRejectsSimulatorOnlyFeatures) {
+  // Each feature individually: valid for the simulator, rejected for the
+  // daemon with a message naming the offending knob.
+  const auto daemon_only_error = [](auto&& mutate, const std::string& needle) {
+    GroupConfig config;
+    config.num_proxies = 4;
+    config.aggregate_capacity = 1 * kMiB;
+    mutate(config);
+    EXPECT_TRUE(config.validate().empty()) << needle;
+    EXPECT_TRUE(mentions(config.validate_for_daemon(), needle)) << needle;
+  };
+  daemon_only_error([](GroupConfig& c) { c.topology = TopologyKind::kHierarchical; },
+                    "kDistributed");
+  daemon_only_error(
+      [](GroupConfig& c) {
+        c.routing = RoutingMode::kHashPartition;
+        c.placement = PlacementKind::kAdHoc;  // hash routing owns placement
+      },
+      "kCooperative");
+  daemon_only_error([](GroupConfig& c) { c.discovery = DiscoveryMode::kDigest; },
+                    "kIcp discovery");
+  daemon_only_error([](GroupConfig& c) { c.coherence.enabled = true; }, "coherence");
+  daemon_only_error([](GroupConfig& c) { c.prefetch.enabled = true; }, "prefetch");
+  daemon_only_error([](GroupConfig& c) { c.icp_loss_probability = 0.25; },
+                    "icp_loss_probability");
+  daemon_only_error([](GroupConfig& c) { c.pipeline.event_driven = true; },
+                    "event_driven");
+  daemon_only_error([](GroupConfig& c) { c.obs.trace_capacity = 64; }, "span");
+}
+
 }  // namespace
 }  // namespace eacache

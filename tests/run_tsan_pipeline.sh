@@ -70,4 +70,17 @@ EACACHE_JOBS=8 "$tsan_dir/tests/test_sim" \
 EACACHE_FUZZ_CASES=64 EACACHE_JOBS=8 \
   "$tsan_dir/tests/test_validate" --gtest_filter='SimFuzzTest.*' --gtest_brief=1
 
+# Daemon mode: 4 proxy worker threads cooperating over the in-memory wire
+# while the load generator replays 10k requests open-loop — the share-nothing
+# worker design (per-worker registries merged after join) and the mailbox
+# CondVar handoffs are exactly what TSan exists to check. The demo binary
+# also asserts live-vs-simulated hit-rate parity, so a rate bound failure
+# surfaces here too.
+if [ -x "$tsan_dir/examples/daemon_demo" ]; then
+  echo "tsan_pipeline: daemon demo (4 worker threads, 10k requests)..."
+  "$tsan_dir/examples/daemon_demo" 10000 4 1000000 >/dev/null
+else
+  echo "tsan_pipeline: note: $tsan_dir/examples/daemon_demo not built; daemon leg skipped"
+fi
+
 echo "tsan_pipeline: all concurrent suites clean under ThreadSanitizer"

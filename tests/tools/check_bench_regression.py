@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate over the microbenchmarks and the smoke sweep.
+
+Usage:
+    check_bench_regression.py <bench_micro_ops> <bench_smoke> <baseline.json>
+        [--recalibrate]
+
+Captures a machine-fingerprinted baseline (BENCH_baseline.json at the repo
+root) from ``bench_micro_ops`` (google-benchmark JSON, best-of-N repetitions)
+and ``bench_smoke --json`` (per-run sim_ms), then fails when any tracked
+metric regresses by more than the tolerance (default 10%, override with
+EACACHE_BENCH_TOLERANCE).
+
+The baseline is only comparable on the machine that captured it: when the
+fingerprint (cpu count + nominal MHz) differs — or no baseline exists yet —
+the script rewrites the baseline for the current machine and exits 77 so
+ctest reports SKIP, not FAIL. ``--recalibrate`` forces that rewrite.
+
+Shared machines (CI VMs) show double-digit run-to-run noise, so the gate is
+asymmetric: the baseline records the MEDIAN rate across repetitions while a
+comparison run only needs its BEST sample to clear the floor. The noise
+spread is thereby built into the headroom — a lucky baseline can't strand
+later runs — yet a real regression shifts the whole distribution down and
+still trips the gate. A failing comparison is additionally remeasured up to
+MAX_ROUNDS times (keeping the best rate seen) so transient neighbor load
+can clear.
+
+Exit codes: 0 ok, 1 regression (or harness error), 77 skip/recalibrated.
+"""
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+SKIP = 77
+
+# Fast, steady microbenchmark families; the multi-second trace-analysis
+# benches (BM_SyntheticTraceGeneration, BM_StackDistances) are excluded to
+# keep the gate quick.
+MICRO_FILTER = (
+    "BM_ZipfSample|BM_CacheStoreChurn|BM_GroupServe|"
+    "BM_CountingBloomChurn|BM_IcpCodecRoundTrip"
+)
+REPETITIONS = 5
+MAX_ROUNDS = 6
+ROUND_BACKOFF_SECONDS = 2.0  # let transient neighbor load drain before remeasuring
+
+
+def run_micro(binary):
+    """Per-benchmark items_per_second (or 1/real_time) samples, one per rep."""
+    out = subprocess.run(
+        [
+            binary,
+            f"--benchmark_filter={MICRO_FILTER}",
+            "--benchmark_format=json",
+            "--benchmark_min_time=0.02",
+            f"--benchmark_repetitions={REPETITIONS}",
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    doc = json.loads(out.stdout)
+    samples = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") != "iteration":
+            continue  # aggregate rows
+        name = bench["run_name"]
+        rate = bench.get("items_per_second")
+        if rate is None:
+            real = float(bench["real_time"])
+            rate = 0.0 if real <= 0 else 1e9 / real  # ops/s from ns/op
+        samples.setdefault(name, []).append(float(rate))
+    context = doc.get("context", {})
+    fingerprint = {
+        "num_cpus": context.get("num_cpus"),
+        "mhz_per_cpu": context.get("mhz_per_cpu"),
+    }
+    return samples, fingerprint
+
+
+def run_smoke(binary):
+    """Total simulated-requests-per-second samples, one per sweep run."""
+    samples = []
+    for _ in range(3):
+        out = subprocess.run(
+            [binary, "--json"], check=True, capture_output=True, text=True
+        )
+        total_requests = 0
+        total_sim_ms = 0.0
+        for line in out.stdout.splitlines():
+            if not line.startswith("json,"):
+                continue
+            run = json.loads(line[len("json,") :])
+            total_requests += run["result"]["metrics"]["total_requests"]
+            total_sim_ms += run["timings"]["sim_ms"]
+        if total_sim_ms > 0:
+            samples.append(1000.0 * total_requests / total_sim_ms)
+    return samples
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__)
+        return 1
+    micro_bin, smoke_bin, baseline_path = argv[1], argv[2], argv[3]
+    recalibrate = "--recalibrate" in argv[4:]
+    tolerance = float(os.environ.get("EACACHE_BENCH_TOLERANCE", "0.10"))
+
+    for binary in (micro_bin, smoke_bin):
+        if not os.path.exists(binary):
+            print(f"SKIP: {binary} not built")
+            return SKIP
+
+    micro_samples, fingerprint = run_micro(micro_bin)
+    smoke_samples = run_smoke(smoke_bin)
+    # Comparison uses the best sample; calibration stores the median (see
+    # the module docstring for why the asymmetry).
+    micro = {name: max(rates) for name, rates in micro_samples.items()}
+    smoke_rps = max(smoke_samples) if smoke_samples else 0.0
+
+    baseline = None
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+
+    if recalibrate or baseline is None or baseline.get("fingerprint") != fingerprint:
+        calibrated = {
+            "fingerprint": fingerprint,
+            "micro_items_per_second": {
+                name: statistics.median(rates)
+                for name, rates in micro_samples.items()
+            },
+            "smoke_requests_per_second": (
+                statistics.median(smoke_samples) if smoke_samples else 0.0
+            ),
+        }
+        with open(baseline_path, "w") as handle:
+            json.dump(calibrated, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        why = (
+            "forced"
+            if recalibrate
+            else "no baseline" if baseline is None else "machine fingerprint changed"
+        )
+        print(f"SKIP: recalibrated {baseline_path} ({why})")
+        return SKIP
+
+    floor = 1.0 - tolerance
+
+    def compare():
+        failures = []
+        for name, base_rate in sorted(baseline["micro_items_per_second"].items()):
+            rate = micro.get(name)
+            if rate is None:
+                failures.append(f"{name}: benchmark disappeared from bench_micro_ops")
+            elif rate < base_rate * floor:
+                failures.append(
+                    f"{name}: {rate:,.0f} items/s vs baseline {base_rate:,.0f} "
+                    f"({100 * (1 - rate / base_rate):.1f}% slower)"
+                )
+        base_smoke = baseline["smoke_requests_per_second"]
+        if smoke_rps < base_smoke * floor:
+            failures.append(
+                f"bench_smoke: {smoke_rps:,.0f} req/s vs baseline {base_smoke:,.0f} "
+                f"({100 * (1 - smoke_rps / base_smoke):.1f}% slower)"
+            )
+        return failures
+
+    failures = compare()
+    rounds = 1
+    while failures and rounds < MAX_ROUNDS:
+        # Transient noise defense: remeasure and keep the best rate seen.
+        print(f"round {rounds}: {len(failures)} metric(s) low, remeasuring...")
+        rounds += 1
+        time.sleep(ROUND_BACKOFF_SECONDS)
+        remicro, _ = run_micro(micro_bin)
+        for name, rates in remicro.items():
+            micro[name] = max(micro.get(name, 0.0), max(rates))
+        smoke_rps = max([smoke_rps] + run_smoke(smoke_bin))
+        failures = compare()
+
+    if failures:
+        print(f"throughput regression (> {100 * tolerance:.0f}% below baseline):")
+        for failure in failures:
+            print(f"  {failure}")
+        print(
+            "If intentional, recalibrate: "
+            f"check_bench_regression.py <micro> <smoke> {baseline_path} --recalibrate"
+        )
+        return 1
+
+    checked = len(baseline["micro_items_per_second"]) + 1
+    print(f"ok: {checked} throughput metrics within {100 * tolerance:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,8 +20,9 @@ Rules
                     look up is write-only telemetry.
 3. json-keys-documented
                     every ``key("...")``/``field("...")`` literal in
-                    src/sim/result_json.cpp appears in DESIGN.md. The result
-                    JSON is the contract the bench/plot layer parses.
+                    src/core/run_result_json.cpp and src/sim/result_json.cpp
+                    appears in DESIGN.md. The result JSON is the contract
+                    the bench/plot layer parses.
 4. no-ambient-rng   src/ never reaches for ``rand``/``srand``/
                     ``std::random_device``. Simulations must be replayable
                     from their config seed alone (common/random.h).
@@ -34,6 +35,15 @@ Rules
                     CondVar wrappers so Clang's -Wthread-safety sees every
                     acquisition. ``std::once_flag``/``call_once`` remain
                     legal (one-shot init, not a lock).
+6. core-no-sim-includes
+                    the libeacache core layer — everything under src/ except
+                    src/sim/, src/event/ and the eacache_fuzz sources
+                    (validate/fuzz_driver.*) — never ``#include`` a sim/ or
+                    event/ header. This is the DESIGN.md §12 layering seam:
+                    the simulator is a CLIENT of the core, never a
+                    dependency. Run with ``--layering-fixture <file>`` to
+                    self-test the rule against a deliberately violating
+                    source (exit 0 iff the violation is caught).
 """
 
 from __future__ import annotations
@@ -57,6 +67,16 @@ RAW_SYNC = re.compile(
 METRIC_CALL = re.compile(r"\.\s*(?:counter|gauge|histogram)\s*\(")
 STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)+)"')
 JSON_KEY = re.compile(r'\.(?:key|field)\s*\(\s*"((?:[^"\\]|\\.)+)"')
+SIM_INCLUDE = re.compile(r'#\s*include\s+"(?:sim|event)/')
+
+# The simulator layer plus the eacache_fuzz differential harness (which by
+# design drives run_simulation); everything else is the libeacache core.
+CORE_LAYER_EXEMPT = (
+    Path("src/sim"),
+    Path("src/event"),
+    Path("src/validate/fuzz_driver.h"),
+    Path("src/validate/fuzz_driver.cpp"),
+)
 
 
 def strip_line_comment(line: str) -> str:
@@ -69,13 +89,54 @@ def source_files() -> list[Path]:
     return sorted(p for p in SRC.rglob("*") if p.suffix in (".h", ".cpp"))
 
 
+def in_core_layer(rel: Path) -> bool:
+    return not any(
+        rel == exempt or exempt in rel.parents for exempt in CORE_LAYER_EXEMPT
+    )
+
+
+def layering_findings(rel: Path, text: str) -> list[str]:
+    findings = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        if SIM_INCLUDE.search(strip_line_comment(raw)):
+            findings.append(
+                f"{rel}:{lineno}: [core-no-sim-includes] the libeacache core "
+                f"layer must not include sim/ or event/ headers (DESIGN.md "
+                f"§12); the simulator is a client of the core, not a "
+                f"dependency"
+            )
+    return findings
+
+
+def layering_selftest(fixture: Path) -> int:
+    """Negative control: the fixture MUST trip the layering rule."""
+    findings = layering_findings(fixture, fixture.read_text(encoding="utf-8"))
+    if not findings:
+        print(
+            f"project_lint: negative control FAILED — {fixture} contains a "
+            f"sim/ include but the core-no-sim-includes rule missed it"
+        )
+        return 1
+    print(
+        f"project_lint: negative control ok — core-no-sim-includes caught "
+        f"{len(findings)} violation(s) in {fixture.name}"
+    )
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--layering-fixture":
+        return layering_selftest(Path(sys.argv[2]))
+
     design_text = DESIGN.read_text(encoding="utf-8")
     failures: list[str] = []
 
     for path in source_files():
         rel = path.relative_to(REPO_ROOT)
-        for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        text = path.read_text(encoding="utf-8")
+        if in_core_layer(rel):
+            failures.extend(layering_findings(rel, text))
+        for lineno, raw in enumerate(text.splitlines(), 1):
             line = strip_line_comment(raw)
 
             if BARE_STDOUT.search(line):
@@ -103,22 +164,22 @@ def main() -> int:
                             f"(add it to the §11 metric table)"
                         )
 
-    result_json = SRC / "sim" / "result_json.cpp"
-    for lineno, raw in enumerate(result_json.read_text(encoding="utf-8").splitlines(), 1):
-        for literal in JSON_KEY.findall(strip_line_comment(raw)):
-            if literal not in design_text:
-                failures.append(
-                    f"{result_json.relative_to(REPO_ROOT)}:{lineno}: "
-                    f'[json-keys-documented] result-JSON key "{literal}" is not '
-                    f"mentioned in DESIGN.md (add it to the §11 key table)"
-                )
+    for serializer in (SRC / "core" / "run_result_json.cpp", SRC / "sim" / "result_json.cpp"):
+        for lineno, raw in enumerate(serializer.read_text(encoding="utf-8").splitlines(), 1):
+            for literal in JSON_KEY.findall(strip_line_comment(raw)):
+                if literal not in design_text:
+                    failures.append(
+                        f"{serializer.relative_to(REPO_ROOT)}:{lineno}: "
+                        f'[json-keys-documented] result-JSON key "{literal}" is not '
+                        f"mentioned in DESIGN.md (add it to the §11 key table)"
+                    )
 
     if failures:
         print(f"project_lint: {len(failures)} finding(s):")
         for failure in failures:
             print("  " + failure)
         return 1
-    print(f"project_lint: {len(source_files())} src files clean across 5 rules")
+    print(f"project_lint: {len(source_files())} src files clean across 6 rules")
     return 0
 
 
