@@ -3,7 +3,7 @@
 // lock-based in-memory wire while a load generator replays a synthetic trace
 // at a configurable wall-clock compression.
 //
-//   $ ./daemon_demo [requests] [proxies] [speedup] [json-path]
+//   $ ./daemon_demo [requests] [proxies] [speedup] [json-path] [flags]
 //
 // Defaults: 100000 requests, 4 proxies, speedup 86400 (a day of trace per
 // wall-clock second). The demo then runs the *simulator* on the identical
@@ -12,6 +12,23 @@
 // libeacache extraction). Exit status 0 iff the bound holds, so the demo
 // doubles as an end-to-end check under sanitizers.
 //
+// Telemetry flags (DESIGN.md §13; may be interleaved with the positionals):
+//   --stats-out=PATH       write a fresh stats snapshot each poller tick
+//                          (atomic rename; JSON unless --stats-format=prom)
+//   --stats-format=FMT     json|prom for --stats-out
+//   --stats-port=N         serve /metrics + /stats.json on 127.0.0.1:N
+//                          (0 picks an ephemeral port, printed at startup)
+//   --stats-period-ms=N    poller tick period (default 1000)
+//   --flight-capacity=N    per-worker flight-recorder ring size (default 256)
+//   --flight-out=PATH      flight-dump target, armed on admission-window
+//                          saturation
+//   --no-obs               disable the whole telemetry plane (poller, spans,
+//                          exporters) — the baseline arm of the obs-overhead
+//                          bench
+//
+// While the run is live a one-line summary lands on stderr each tick:
+// req/s over the window, cumulative hit %, requests in flight.
+//
 // With a json-path, the live run's result is written in the exact schema
 // `run_simulation` emits (core/run_result_json.h) — same keys, same layout.
 #include <cmath>
@@ -19,6 +36,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/run_result_json.h"
 #include "daemon/daemon.h"
@@ -29,11 +47,51 @@ using namespace eacache;
 
 int main(int argc, char** argv) {
   try {
+    std::vector<std::string> positional;
+    std::string stats_out;
+    std::string stats_format = "json";
+    std::string flight_out;
+    long stats_port = -1;
+    long stats_period_ms = 1000;
+    std::size_t flight_capacity = 256;
+    bool no_obs = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto after = [&arg](std::size_t prefix) {
+        return arg.substr(prefix);
+      };
+      if (arg == "--no-obs") {
+        no_obs = true;
+      } else if (arg.rfind("--stats-out=", 0) == 0) {
+        stats_out = after(12);
+      } else if (arg.rfind("--stats-format=", 0) == 0) {
+        stats_format = after(15);
+      } else if (arg.rfind("--stats-port=", 0) == 0) {
+        stats_port = std::strtol(after(13).c_str(), nullptr, 10);
+      } else if (arg.rfind("--stats-period-ms=", 0) == 0) {
+        stats_period_ms = std::strtol(after(18).c_str(), nullptr, 10);
+      } else if (arg.rfind("--flight-capacity=", 0) == 0) {
+        flight_capacity =
+            static_cast<std::size_t>(std::strtoull(after(18).c_str(), nullptr, 10));
+      } else if (arg.rfind("--flight-out=", 0) == 0) {
+        flight_out = after(13);
+      } else if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "daemon_demo: unknown flag %s\n", arg.c_str());
+        return 2;
+      } else {
+        positional.push_back(arg);
+      }
+    }
+
     const std::uint64_t requests =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+        positional.size() > 0 ? std::strtoull(positional[0].c_str(), nullptr, 10)
+                              : 100'000;
     const std::size_t proxies =
-        argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10)) : 4;
-    const double speedup = argc > 3 ? std::strtod(argv[3], nullptr) : 86'400.0;
+        positional.size() > 1
+            ? static_cast<std::size_t>(std::strtoull(positional[1].c_str(), nullptr, 10))
+            : 4;
+    const double speedup =
+        positional.size() > 2 ? std::strtod(positional[2].c_str(), nullptr) : 86'400.0;
 
     SyntheticTraceConfig workload;
     workload.num_requests = requests;
@@ -50,12 +108,35 @@ int main(int argc, char** argv) {
     config.obs.series_points = 0;  // the daemon has no mid-run sampling hook
 
     std::printf("daemon_demo: %llu requests over %zu proxy threads, "
-                "trace compressed %.0fx\n",
-                static_cast<unsigned long long>(trace.size()), proxies, speedup);
+                "trace compressed %.0fx%s\n",
+                static_cast<unsigned long long>(trace.size()), proxies, speedup,
+                no_obs ? " (telemetry off)" : "");
 
     DaemonOptions options;
     options.mode = DaemonMode::kWallClock;
     options.load.speedup = speedup;
+    std::uint16_t bound_port = 0;
+    if (!no_obs) {
+      options.telemetry.flight_capacity = flight_capacity;
+      options.telemetry.stats_period = msec(stats_period_ms);
+      options.telemetry.stats_out = stats_out;
+      options.telemetry.stats_format = stats_format;
+      options.telemetry.stats_port = static_cast<int>(stats_port);
+      options.telemetry.flight_out = flight_out;
+      options.telemetry.bound_port = &bound_port;
+      const bool announce = stats_port >= 0;
+      options.telemetry.on_sample = [&bound_port, announce](const TelemetrySnapshot& s) {
+        if (announce && s.tick == 1) {
+          std::fprintf(stderr, "stats: serving http://127.0.0.1:%u/metrics\n",
+                       static_cast<unsigned>(bound_port));
+        }
+        std::fprintf(stderr,
+                     "stats: tick %llu  %8.0f req/s  hit %6.2f%%  in-flight %llu\n",
+                     static_cast<unsigned long long>(s.tick), s.requests_per_second,
+                     100.0 * s.hit_rate, static_cast<unsigned long long>(s.in_flight));
+      };
+    }
+
     LoadGenReport report;
     const RunResult live = run_daemon(trace, config, options, &report);
     std::printf("  live: %llu/%llu completed in %.2f s (%.0f req/s), "
@@ -64,16 +145,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.submitted), report.wall_seconds,
                 static_cast<double>(report.completed) / report.wall_seconds,
                 100.0 * live.metrics.hit_rate(), 100.0 * live.metrics.byte_hit_rate());
+    // Machine-parsable throughput for the obs-overhead bench arm.
+    std::printf("  throughput_rps=%.1f\n",
+                static_cast<double>(report.completed) / report.wall_seconds);
 
     const RunResult simulated = run_simulation(trace, config);
     std::printf("  sim:  hit rate %6.2f%%, byte hit rate %6.2f%%\n",
                 100.0 * simulated.metrics.hit_rate(),
                 100.0 * simulated.metrics.byte_hit_rate());
 
-    if (argc > 4) {
-      std::ofstream out(argv[4]);
+    if (positional.size() > 3) {
+      std::ofstream out(positional[3]);
       out << run_result_to_json(live) << '\n';
-      std::printf("  wrote live result JSON to %s\n", argv[4]);
+      std::printf("  wrote live result JSON to %s\n", positional[3].c_str());
     }
 
     const double delta = std::abs(live.metrics.hit_rate() - simulated.metrics.hit_rate());

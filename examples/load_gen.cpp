@@ -20,6 +20,17 @@
 //   max_in_flight      admission window              (default 32)
 //   json               path to write the result JSON (same schema as the
 //                      simulator's result_json; omit to skip)
+//   stats_out          per-tick stats snapshot path  (atomic rename; omit
+//                      to skip)
+//   stats_format       json|prom for stats_out       (default json)
+//   stats_port         loopback HTTP stats endpoint  (default -1 = off;
+//                      0 = ephemeral, printed at startup)
+//   stats_period_ms    poller tick period            (default 1000)
+//   flight_capacity    per-worker span ring size     (default 0 = off)
+//   flight_out         flight-dump path, armed on admission-window
+//                      saturation (wall mode)
+//   obs                on|off — "off" disables the whole telemetry plane
+//                      including the per-tick stderr summary (default on)
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -87,6 +98,33 @@ int main(int argc, char** argv) {
     options.load.requests_per_second = cfg.get_double("requests_per_second", 0.0);
     options.load.max_in_flight =
         static_cast<std::uint64_t>(cfg.get_int("max_in_flight", 32));
+
+    // Live telemetry plane (DESIGN.md §13) — wall-clock mode only; the
+    // validator rejects live exporters for smoke replays.
+    std::uint16_t bound_port = 0;
+    const bool obs_on = cfg.get_string("obs", "on") != "off";
+    if (obs_on && options.mode == DaemonMode::kWallClock) {
+      options.telemetry.flight_capacity =
+          static_cast<std::size_t>(cfg.get_int("flight_capacity", 0));
+      options.telemetry.stats_period =
+          msec(cfg.get_int("stats_period_ms", 1000));
+      options.telemetry.stats_out = cfg.get_string("stats_out", "");
+      options.telemetry.stats_format = cfg.get_string("stats_format", "json");
+      options.telemetry.stats_port = static_cast<int>(cfg.get_int("stats_port", -1));
+      options.telemetry.flight_out = cfg.get_string("flight_out", "");
+      options.telemetry.bound_port = &bound_port;
+      const bool announce = options.telemetry.stats_port >= 0;
+      options.telemetry.on_sample = [&bound_port, announce](const TelemetrySnapshot& s) {
+        if (announce && s.tick == 1) {
+          std::fprintf(stderr, "stats: serving http://127.0.0.1:%u/metrics\n",
+                       static_cast<unsigned>(bound_port));
+        }
+        std::fprintf(stderr,
+                     "stats: tick %llu  %8.0f req/s  hit %6.2f%%  in-flight %llu\n",
+                     static_cast<unsigned long long>(s.tick), s.requests_per_second,
+                     100.0 * s.hit_rate, static_cast<unsigned long long>(s.in_flight));
+      };
+    }
 
     std::printf("driving %zu proxy threads (%s placement, %s mode)...\n",
                 config.num_proxies, std::string(to_string(config.placement)).c_str(),

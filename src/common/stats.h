@@ -76,6 +76,7 @@ class Histogram {
       ++counts_[std::min(idx, counts_.size() - 1)];
     }
     ++total_;
+    sum_ += x;
   }
 
   /// Merge another histogram with IDENTICAL geometry (throws otherwise).
@@ -87,6 +88,7 @@ class Histogram {
     underflow_ += other.underflow_;
     overflow_ += other.overflow_;
     total_ += other.total_;
+    sum_ += other.sum_;
   }
 
   /// Smallest value V (at bucket-width resolution) with
@@ -111,6 +113,9 @@ class Histogram {
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Sum of every observed sample (including under/overflow), for
+  /// Prometheus-style `_sum` exposition; 0 on an empty histogram.
+  [[nodiscard]] double sum() const { return sum_; }
 
  private:
   double lo_;
@@ -119,6 +124,7 @@ class Histogram {
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace eacache

@@ -28,7 +28,16 @@ struct FaultPlan {
   std::vector<Flush> flushes;
   std::vector<PeerOutage> outages;
 
-  [[nodiscard]] bool empty() const { return flushes.empty() && outages.empty(); }
+  /// Daemon-only: trace instants at which the load generator triggers a
+  /// flight-recorder dump (deterministic forensics points in smoke replay;
+  /// the simulator ignores them — it has no flight recorder). Ordered
+  /// against flushes/requests the same way flushes are: everything due at
+  /// or before a request's stamp fires first.
+  std::vector<TimePoint> flight_dumps;
+
+  [[nodiscard]] bool empty() const {
+    return flushes.empty() && outages.empty() && flight_dumps.empty();
+  }
 };
 
 }  // namespace eacache

@@ -49,6 +49,8 @@ struct WireMessage {
     kFlush,          ///< driver -> proxy: drop all cached documents (fault injection)
     kShutdown,       ///< driver -> proxy: drain and exit the worker loop
     kCompletion,     ///< home proxy -> load generator: request fully resolved
+    kStatsRequest,   ///< stats poller -> proxy: publish a registry snapshot
+    kStatsReply,     ///< proxy -> stats poller: snapshot published (ack)
   };
 
   Kind kind = Kind::kClientRequest;
@@ -75,6 +77,17 @@ struct WireMessage {
   // EA piggyback fields (nullopt under ad-hoc placement).
   std::optional<ExpAge> requester_age;
   std::optional<ExpAge> responder_age;
+
+  // Cross-hop trace header (DESIGN.md §13). The home proxy mints a root
+  // span id at arrival and every outgoing protocol message carries it plus
+  // the hop depth, so the remote side can link its spans under the root.
+  // 0 means "no trace identity" (tracing disabled, or a driver message).
+  std::uint64_t span_id = 0;
+  std::int32_t hop = -1;
+
+  // kStatsRequest only: also publish the recent-span flight ring (used by
+  // the flight recorder; plain poller ticks leave it false — cheaper).
+  bool want_spans = false;
 };
 
 /// Where envelopes go. The daemon group sends through this interface so a

@@ -7,6 +7,37 @@
 
 namespace eacache {
 
+void append_metric_registry(JsonWriter& json, const MetricRegistry& registry) {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : registry.counters()) json.field(name, value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : registry.gauges()) json.field(name, value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, hist] : registry.histograms()) {
+    json.key(name).begin_object();
+    json.field("lo", hist.lo());
+    json.field("hi", hist.hi());
+    json.field("underflow", hist.underflow());
+    json.field("overflow", hist.overflow());
+    json.field("total", hist.total());
+    // Histogram::percentile is total-count-aware: an empty histogram
+    // reports lo() for every quantile (never NaN), and sum() starts at 0.
+    json.field("sum", hist.sum());
+    json.field("p50", hist.percentile(0.50));
+    json.field("p90", hist.percentile(0.90));
+    json.field("p99", hist.percentile(0.99));
+    json.key("buckets").begin_array();
+    for (std::size_t i = 0; i < hist.num_buckets(); ++i) json.value(hist.bucket(i));
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
 void append_simulation_result(JsonWriter& json, const SimulationResult& result) {
   json.begin_object();
 
@@ -114,28 +145,8 @@ void append_simulation_result(JsonWriter& json, const SimulationResult& result) 
   // Full metric-registry dump. Maps iterate in sorted name order, so the
   // serialization is deterministic; all three sections are empty when the
   // registry is disabled.
-  json.key("registry").begin_object();
-  json.key("counters").begin_object();
-  for (const auto& [name, value] : result.registry.counters()) json.field(name, value);
-  json.end_object();
-  json.key("gauges").begin_object();
-  for (const auto& [name, value] : result.registry.gauges()) json.field(name, value);
-  json.end_object();
-  json.key("histograms").begin_object();
-  for (const auto& [name, hist] : result.registry.histograms()) {
-    json.key(name).begin_object();
-    json.field("lo", hist.lo());
-    json.field("hi", hist.hi());
-    json.field("underflow", hist.underflow());
-    json.field("overflow", hist.overflow());
-    json.field("total", hist.total());
-    json.key("buckets").begin_array();
-    for (std::size_t i = 0; i < hist.num_buckets(); ++i) json.value(hist.bucket(i));
-    json.end_array();
-    json.end_object();
-  }
-  json.end_object();
-  json.end_object();
+  json.key("registry");
+  append_metric_registry(json, result.registry);
 
   // Span-ring occupancy summary (the events themselves go to --trace-out).
   json.key("trace").begin_object();

@@ -20,6 +20,13 @@ namespace eacache {
 /// in larger documents, e.g. the experiment_runner's per-run array).
 void append_simulation_result(JsonWriter& json, const SimulationResult& result);
 
+/// Emit one MetricRegistry as the writer's next value: {"counters":{...},
+/// "gauges":{...},"histograms":{...}} with per-histogram geometry, raw
+/// buckets, sum and p50/p90/p99 interpolated at bucket resolution. Shared
+/// between the end-of-run result dump above and the daemon's live telemetry
+/// JSON exporter so both emit the same registry schema.
+void append_metric_registry(JsonWriter& json, const MetricRegistry& registry);
+
 /// Emit the result as a standalone JSON document.
 void write_simulation_result_json(std::ostream& out, const SimulationResult& result);
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -47,6 +48,34 @@ std::vector<std::string> validate_daemon_run(const GroupConfig& config,
   if (options.load.drain_timeout <= Duration::zero()) {
     fail("load.drain_timeout must be positive");
   }
+
+  const TelemetryOptions& telemetry = options.telemetry;
+  if (telemetry.poller_enabled()) {
+    if (options.mode == DaemonMode::kSmokeReplay) {
+      fail("live stats export (stats_out / stats_port / on_sample) needs "
+           "wall-clock mode: a smoke replay has no wall time to poll on");
+    }
+    if (telemetry.stats_period <= Duration::zero()) {
+      fail("telemetry.stats_period must be positive");
+    }
+    if (telemetry.sample_timeout <= Duration::zero()) {
+      fail("telemetry.sample_timeout must be positive");
+    }
+  }
+  if (telemetry.stats_port > 65535) {
+    fail("telemetry.stats_port must fit a TCP port (<= 65535)");
+  }
+  if (telemetry.stats_format != "json" && telemetry.stats_format != "prom") {
+    fail("telemetry.stats_format must be \"json\" or \"prom\"");
+  }
+  if (!telemetry.flight_out.empty() && telemetry.flight_capacity == 0) {
+    fail("telemetry.flight_out needs telemetry.flight_capacity > 0 (an empty "
+         "ring would dump nothing)");
+  }
+  if (!options.faults.flight_dumps.empty() && telemetry.flight_out.empty()) {
+    fail("FaultPlan flight_dumps need telemetry.flight_out (and a non-zero "
+         "flight_capacity) to land anywhere");
+  }
   return errors;
 }
 
@@ -79,11 +108,49 @@ RunResult run_daemon(const Trace& trace, const GroupConfig& config,
   const bool smoke = options.mode == DaemonMode::kSmokeReplay;
   Clock& clock = smoke ? static_cast<Clock&>(fake) : static_cast<Clock&>(steady);
 
-  DaemonGroup group(config, clock, options.mode);
+  DaemonGroup group(config, clock, options.mode, options.telemetry.flight_capacity);
   group.start();
-  LoadGen gen(group, clock, smoke ? &fake : nullptr, options.mode, options.load,
+
+  // Telemetry plane: poller + exporters (wall-clock only, validated above)
+  // and the flight-dump trigger, torn down before group.stop() so nothing
+  // samples a stopped group.
+  const TelemetryOptions& telemetry = options.telemetry;
+  std::unique_ptr<StatsPoller> poller;
+  std::unique_ptr<StatsHttpServer> server;
+  if (telemetry.poller_enabled()) {
+    StatsPoller::Options poll_options;
+    poll_options.period = telemetry.stats_period;
+    poll_options.sample_timeout = telemetry.sample_timeout;
+    poll_options.on_sample = [&telemetry](const TelemetrySnapshot& snapshot) {
+      if (!telemetry.stats_out.empty()) {
+        write_stats_file(telemetry.stats_out, snapshot, telemetry.stats_format);
+      }
+      if (telemetry.on_sample) telemetry.on_sample(snapshot);
+    };
+    poller = std::make_unique<StatsPoller>(group, poll_options);
+    // Bind + publish the port BEFORE the first poll tick so an on_sample
+    // observer announcing the endpoint never reads it half-initialized.
+    if (telemetry.stats_port >= 0) {
+      server = std::make_unique<StatsHttpServer>(
+          StatsHttpHandler(*poller), static_cast<std::uint16_t>(telemetry.stats_port));
+      server->start();
+      if (telemetry.bound_port != nullptr) *telemetry.bound_port = server->bound_port();
+    }
+    poller->start();
+  }
+
+  LoadGenOptions load = options.load;
+  if (!telemetry.flight_out.empty()) {
+    load.on_flight_dump = [&group, &poller, &telemetry] {
+      dump_flight_recording(group, poller.get(), telemetry.flight_out);
+    };
+  }
+
+  LoadGen gen(group, clock, smoke ? &fake : nullptr, options.mode, load,
               options.faults);
   const LoadGenReport gen_report = gen.replay(trace);
+  if (server) server->stop();
+  if (poller) poller->stop();
   group.stop();
   if (report != nullptr) *report = gen_report;
   if (timings != nullptr) timings->sim_ms = elapsed_ms(drive_started);

@@ -6,6 +6,8 @@
 // output unchanged.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -13,17 +15,52 @@
 #include "core/run_result.h"
 #include "daemon/daemon_group.h"
 #include "daemon/load_gen.h"
+#include "daemon/telemetry.h"
 #include "trace/trace.h"
 
 namespace eacache {
 
+/// Live telemetry plane knobs (DESIGN.md §13). The poller/exporters are
+/// wall-clock-only (a smoke replay has no live wall time to poll on); the
+/// flight recorder works in both modes — FaultPlan::flight_dumps instants
+/// in smoke replay, admission-window saturation in wall-clock runs.
+struct TelemetryOptions {
+  /// Per-worker flight-recorder ring capacity (recent spans). 0 disables
+  /// span recording entirely — the request hot path skips all span work.
+  std::size_t flight_capacity = 0;
+  /// StatsPoller tick period and per-tick worker-ack timeout.
+  Duration stats_period = msec(1000);
+  Duration sample_timeout = sec(5);
+  /// Atomic-rename file exporter target; empty disables. `stats_format`
+  /// selects the serialization: "json" or "prom".
+  std::string stats_out;
+  std::string stats_format = "json";
+  /// Loopback HTTP endpoint (/metrics, /stats.json). Negative disables;
+  /// 0 binds an ephemeral port, reported through `bound_port`.
+  int stats_port = -1;
+  /// Where flight-recorder dumps land (truncating); empty disables the
+  /// dump triggers even when the ring is recording.
+  std::string flight_out;
+  /// Per-tick observer, called from the poller thread after the file
+  /// export (stderr one-liners live here).
+  std::function<void(const TelemetrySnapshot&)> on_sample;
+  /// When non-null, receives the HTTP endpoint's actual port once bound.
+  std::uint16_t* bound_port = nullptr;
+
+  /// Any consumer of live snapshots configured?
+  [[nodiscard]] bool poller_enabled() const {
+    return !stats_out.empty() || stats_port >= 0 || static_cast<bool>(on_sample);
+  }
+};
+
 struct DaemonOptions {
   DaemonMode mode = DaemonMode::kSmokeReplay;
   LoadGenOptions load;
-  /// Declarative faults. Only flushes, and only in smoke replay (timestamps
-  /// are trace instants; a wall-clock run cannot honour them) — anything
-  /// else is rejected by validate_daemon_run.
+  /// Declarative faults. Only flushes + flight-dump instants, and only in
+  /// smoke replay (timestamps are trace instants; a wall-clock run cannot
+  /// honour them) — anything else is rejected by validate_daemon_run.
   FaultPlan faults;
+  TelemetryOptions telemetry;
 };
 
 /// Every rule a daemon run would violate, aggregated in a stable order:

@@ -13,6 +13,11 @@ namespace {
 
 constexpr std::chrono::milliseconds kMailboxPoll{20};
 
+/// Simulated-epoch-relative milliseconds, the span-schema time base.
+std::int64_t span_ms(TimePoint at) {
+  return static_cast<std::int64_t>((at - kSimEpoch).count());
+}
+
 /// Per-cache byte budgets, identical to CacheGroup's split: equal shares of
 /// the aggregate unless explicit weights are given.
 std::vector<Bytes> split_budgets(const GroupConfig& config, std::size_t total_caches) {
@@ -30,7 +35,8 @@ std::vector<Bytes> split_budgets(const GroupConfig& config, std::size_t total_ca
 
 }  // namespace
 
-DaemonGroup::DaemonGroup(const GroupConfig& config, Clock& clock, DaemonMode mode)
+DaemonGroup::DaemonGroup(const GroupConfig& config, Clock& clock, DaemonMode mode,
+                         std::size_t flight_capacity)
     : config_(config),
       clock_(clock),
       mode_(mode),
@@ -38,7 +44,7 @@ DaemonGroup::DaemonGroup(const GroupConfig& config, Clock& clock, DaemonMode mod
                      ? config.placement_override
                      : std::shared_ptr<const PlacementPolicy>(
                            make_placement(config.placement, config.ea_hysteresis))),
-      wire_(config.num_proxies + 1) {
+      wire_(config.num_proxies + 2) {
   {
     const std::vector<std::string> errors = config_.validate_for_daemon();
     if (!errors.empty()) {
@@ -75,6 +81,7 @@ DaemonGroup::DaemonGroup(const GroupConfig& config, Clock& clock, DaemonMode mod
       worker->obs_request_bytes = worker->registry->histogram(
           "group.request_bytes", 0.0, static_cast<double>(kMiB), 64);
     }
+    worker->flight = TraceLog(flight_capacity);
     workers_.push_back(std::move(worker));
   }
 }
@@ -147,10 +154,103 @@ void DaemonGroup::worker_main(std::size_t index) {
       case WireMessage::Kind::kHttpResponse:
         handle_http_response(w, *message, now);
         break;
+      case WireMessage::Kind::kStatsRequest:
+        handle_stats_request(w, *message);
+        break;
       case WireMessage::Kind::kCompletion:
-        break;  // only the load endpoint receives completions
+      case WireMessage::Kind::kStatsReply:
+        break;  // only the load/stats endpoints receive these
     }
   }
+}
+
+std::uint64_t DaemonGroup::mint_span(Worker& w) {
+  return ((static_cast<std::uint64_t>(w.proxy->id()) + 1) << 40) | ++w.next_span;
+}
+
+void DaemonGroup::record_complete_span(Worker& w, const PendingRequest& ctx, TimePoint now,
+                                       std::int64_t outcome) {
+  if (!w.flight.enabled() || ctx.root_span == 0) return;
+  SpanEvent done;
+  done.request = ctx.id;
+  done.at_ms = span_ms(now);
+  done.document = ctx.document;
+  done.value = outcome;
+  done.span = mint_span(w);
+  done.parent_span = static_cast<std::int64_t>(ctx.root_span);
+  done.proxy = w.proxy->id();
+  done.hop = 0;
+  done.kind = SpanKind::kComplete;
+  w.flight.record(done);
+}
+
+void DaemonGroup::handle_stats_request(Worker& w, const WireMessage& message) {
+  {
+    MutexLock lock(w.stats.mutex);
+    WorkerStatsSample& sample = w.stats.data;
+    sample.proxy = w.proxy->id();
+    sample.registry = w.registry->snapshot();
+    sample.metrics = w.metrics;
+    sample.transport = w.transport.stats();
+    sample.in_flight = w.pending.size();
+    sample.resident_bytes = w.proxy->store().resident_bytes();
+    sample.resident_docs = w.proxy->store().resident_count();
+    // peek_: a telemetry sample must not bump ea.age_queries (obs-is-free).
+    sample.expiration_age = w.proxy->peek_expiration_age(clock_.now());
+    sample.spans_recorded = w.flight.recorded();
+    sample.spans_dropped = w.flight.dropped();
+    if (message.want_spans) {
+      sample.spans = w.flight.events();
+    } else {
+      sample.spans.clear();
+    }
+  }
+  WireMessage ack;
+  ack.kind = WireMessage::Kind::kStatsReply;
+  ack.from = w.proxy->id();
+  ack.to = message.from;
+  ack.request_id = message.request_id;  // the sampler's epoch stamp
+  wire_.send(ack.to, ack);
+}
+
+std::optional<std::vector<DaemonGroup::WorkerStatsSample>> DaemonGroup::sample_stats(
+    bool want_spans, std::chrono::nanoseconds timeout) {
+  MutexLock lock(stats_mutex_);
+  const std::uint64_t epoch = ++stats_epoch_;
+  for (std::size_t p = 0; p < workers_.size(); ++p) {
+    WireMessage request;
+    request.kind = WireMessage::Kind::kStatsRequest;
+    request.from = stats_endpoint();
+    request.to = static_cast<ProxyId>(p);
+    request.request_id = epoch;
+    request.want_spans = want_spans;
+    wire_.send(request.to, request);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<bool> acked(workers_.size(), false);
+  std::size_t acks = 0;
+  while (acks < workers_.size()) {
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    if (remaining <= std::chrono::nanoseconds::zero()) return std::nullopt;
+    const std::optional<WireMessage> reply = wire_.receive(stats_endpoint(), remaining);
+    if (!reply) return std::nullopt;
+    if (reply->kind != WireMessage::Kind::kStatsReply || reply->request_id != epoch) {
+      continue;  // straggler from a timed-out earlier round
+    }
+    if (reply->from < workers_.size() && !acked[reply->from]) {
+      acked[reply->from] = true;
+      ++acks;
+    }
+  }
+
+  std::vector<WorkerStatsSample> samples;
+  samples.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    MutexLock slot(worker->stats.mutex);
+    samples.push_back(worker->stats.data);
+  }
+  return samples;
 }
 
 void DaemonGroup::handle_client_request(Worker& w, const WireMessage& message, TimePoint now) {
@@ -164,9 +264,38 @@ void DaemonGroup::handle_client_request(Worker& w, const WireMessage& message, T
   ctx.size = message.body_size;
   ctx.stamp = message.stamp;
 
+  if (w.flight.enabled()) {
+    // Root of this request's cross-hop span tree (hop 0, no parent).
+    ctx.root_span = mint_span(w);
+    SpanEvent arrival;
+    arrival.request = ctx.id;
+    arrival.at_ms = span_ms(now);
+    arrival.document = ctx.document;
+    arrival.value = static_cast<std::int64_t>(ctx.size);
+    arrival.span = ctx.root_span;
+    arrival.proxy = w.proxy->id();
+    arrival.hop = 0;
+    arrival.kind = SpanKind::kArrival;
+    w.flight.record(arrival);
+  }
+
   // 1. Local lookup: a promoting hit if resident.
   if (const auto size = w.proxy->serve_local(message.document, now)) {
     w.metrics.record(RequestOutcome::kLocalHit, *size, config_.latency.local_hit);
+    if (w.flight.enabled()) {
+      SpanEvent hit;
+      hit.request = ctx.id;
+      hit.at_ms = span_ms(now);
+      hit.document = ctx.document;
+      hit.value = static_cast<std::int64_t>(*size);
+      hit.span = mint_span(w);
+      hit.parent_span = static_cast<std::int64_t>(ctx.root_span);
+      hit.proxy = w.proxy->id();
+      hit.hop = 0;
+      hit.kind = SpanKind::kLocalHit;
+      w.flight.record(hit);
+    }
+    record_complete_span(w, ctx, now, 0);  // RequestOutcome::kLocalHit
     complete(w, ctx);
     return;
   }
@@ -192,6 +321,9 @@ void DaemonGroup::handle_client_request(Worker& w, const WireMessage& message, T
     query.document = message.document;
     query.request_id = message.request_id;
     query.stamp = message.stamp;
+    // Cross-hop trace header: the peer's probe span links under our root.
+    query.span_id = it->second.root_span;
+    query.hop = 1;
     wire_.send(to, query);
   }
 }
@@ -205,6 +337,20 @@ void DaemonGroup::handle_icp_query(Worker& w, const WireMessage& message, TimePo
   w.proxy->note_icp_answer(hit);
   w.transport.record_icp_reply(IcpReply{w.proxy->id(), message.from, message.document, hit});
   w.obs_icp_replies.inc();
+  if (w.flight.enabled() && message.span_id != 0) {
+    SpanEvent probe;
+    probe.request = message.request_id;
+    probe.at_ms = span_ms(now);
+    probe.document = message.document;
+    probe.span = mint_span(w);
+    probe.parent_span = static_cast<std::int64_t>(message.span_id);
+    probe.proxy = w.proxy->id();
+    probe.peer = static_cast<std::int32_t>(message.from);
+    probe.hop = message.hop;
+    probe.kind = SpanKind::kIcpProbe;
+    probe.flag = hit ? 1 : 0;
+    w.flight.record(probe);
+  }
   WireMessage reply = message;
   reply.kind = WireMessage::Kind::kIcpReply;
   reply.from = w.proxy->id();
@@ -258,6 +404,8 @@ void DaemonGroup::advance_candidates(Worker& w, PendingRequest& ctx, TimePoint n
   message.request_id = ctx.id;
   message.stamp = ctx.stamp;
   message.requester_age = fetch.requester_age;
+  message.span_id = ctx.root_span;
+  message.hop = 1;
   wire_.send(responder, message);
 }
 
@@ -272,6 +420,21 @@ void DaemonGroup::handle_http_request(Worker& w, const WireMessage& message, Tim
   // responder then answers found=false instead of asserting.
   const HttpResponse response = w.proxy->serve_fetch(fetch, now);
   w.transport.record_http_response(response);
+  if (w.flight.enabled() && message.span_id != 0) {
+    SpanEvent serve;
+    serve.request = message.request_id;
+    serve.at_ms = span_ms(now);
+    serve.document = message.document;
+    serve.value = static_cast<std::int64_t>(response.body_size);
+    serve.span = mint_span(w);
+    serve.parent_span = static_cast<std::int64_t>(message.span_id);
+    serve.proxy = w.proxy->id();
+    serve.peer = static_cast<std::int32_t>(message.from);
+    serve.hop = message.hop;
+    serve.kind = SpanKind::kSiblingFetch;
+    serve.flag = response.found ? 1 : 0;
+    w.flight.record(serve);
+  }
 
   WireMessage out = message;
   out.kind = WireMessage::Kind::kHttpResponse;
@@ -301,6 +464,7 @@ void DaemonGroup::handle_http_response(Worker& w, const WireMessage& message, Ti
                             message.responder_age, now);
   w.metrics.record(RequestOutcome::kRemoteHit, message.body_size,
                    config_.latency.remote_hit + ctx.probe_penalty);
+  record_complete_span(w, ctx, now, 1);  // RequestOutcome::kRemoteHit
   complete(w, ctx);
   w.pending.erase(message.request_id);
 }
@@ -312,8 +476,22 @@ void DaemonGroup::resolve_origin(Worker& w, PendingRequest& ctx, TimePoint now) 
   if (!w.proxy->store().contains(document.id)) {
     w.proxy->cache_after_origin_fetch(document, now);
   }
+  if (w.flight.enabled() && ctx.root_span != 0) {
+    SpanEvent origin;
+    origin.request = ctx.id;
+    origin.at_ms = span_ms(now);
+    origin.document = ctx.document;
+    origin.value = static_cast<std::int64_t>(document.size);
+    origin.span = mint_span(w);
+    origin.parent_span = static_cast<std::int64_t>(ctx.root_span);
+    origin.proxy = w.proxy->id();
+    origin.hop = 0;
+    origin.kind = SpanKind::kOriginFetch;
+    w.flight.record(origin);
+  }
   w.metrics.record(RequestOutcome::kMiss, document.size,
                    config_.latency.miss + ctx.probe_penalty);
+  record_complete_span(w, ctx, now, 2);  // RequestOutcome::kMiss
   complete(w, ctx);
 }
 

@@ -30,16 +30,20 @@
 // extraction proof tests/daemon/daemon_vs_sim_test.cpp pins that.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/clock.h"
 #include "core/inmemory_transport.h"
 #include "core/run_result.h"
 #include "group/cache_group.h"
+#include "obs/trace_log.h"
 
 namespace eacache {
 
@@ -54,9 +58,30 @@ enum class DaemonMode { kSmokeReplay, kWallClock };
 
 class DaemonGroup {
  public:
+  /// One worker's state as published through the stats seam: a registry
+  /// snapshot plus the cheap live scalars the poller derives rates from.
+  /// `spans` is filled only when the sample asked for the flight ring.
+  struct WorkerStatsSample {
+    ProxyId proxy = 0;
+    MetricRegistry registry;
+    GroupMetrics metrics;
+    TransportStats transport;
+    std::uint64_t in_flight = 0;       // requests pending at this worker
+    Bytes resident_bytes = 0;
+    std::uint64_t resident_docs = 0;
+    ExpAge expiration_age = ExpAge::infinite();
+    std::vector<SpanEvent> spans;      // flight-recorder ring, oldest first
+    std::uint64_t spans_recorded = 0;
+    std::uint64_t spans_dropped = 0;
+  };
+
   /// `config` must satisfy GroupConfig::validate_for_daemon() (the
   /// constructor throws otherwise); `clock` must outlive the group.
-  DaemonGroup(const GroupConfig& config, Clock& clock, DaemonMode mode);
+  /// `flight_capacity` sizes each worker's bounded recent-span ring for the
+  /// flight recorder (0 disables span recording entirely — the default, and
+  /// the zero-overhead state smoke-replay byte-identity is pinned against).
+  DaemonGroup(const GroupConfig& config, Clock& clock, DaemonMode mode,
+              std::size_t flight_capacity = 0);
   ~DaemonGroup();
 
   DaemonGroup(const DaemonGroup&) = delete;
@@ -76,7 +101,26 @@ class DaemonGroup {
   [[nodiscard]] ProxyId load_endpoint() const {
     return static_cast<ProxyId>(workers_.size());
   }
+  /// The extra wire endpoint the stats sampler receives kStatsReply on.
+  [[nodiscard]] ProxyId stats_endpoint() const {
+    return static_cast<ProxyId>(workers_.size() + 1);
+  }
   [[nodiscard]] InMemoryTransport& wire() { return wire_; }
+
+  /// Live stats sample: send every worker a kStatsRequest, wait for all
+  /// acks, then copy the published per-worker samples. The request is
+  /// handled at the top of each worker's mailbox loop like any other
+  /// message, so the hot path takes no locks and the snapshot of each
+  /// worker is internally consistent (between two requests, never mid-
+  /// request). Returns nullopt if any worker fails to ack within `timeout`
+  /// (e.g. the group is stopped). Thread-safe: concurrent samplers (poller
+  /// tick vs flight dump) serialize on an internal mutex.
+  [[nodiscard]] std::optional<std::vector<WorkerStatsSample>> sample_stats(
+      bool want_spans, std::chrono::nanoseconds timeout);
+
+  [[nodiscard]] DaemonMode mode() const { return mode_; }
+  /// The clock the group runs on (the poller stamps snapshots with it).
+  [[nodiscard]] Clock& clock() const { return clock_; }
 
   /// Assemble the RunResult from the per-worker shards. Requires stop() —
   /// the merge is unsynchronized by design and relies on thread join.
@@ -94,6 +138,7 @@ class DaemonGroup {
     std::vector<ProxyId> candidates; // ring-distance order, tried in turn
     std::size_t next_candidate = 0;
     Duration probe_penalty = Duration::zero();
+    std::uint64_t root_span = 0;  // cross-hop trace root (0 = tracing off)
   };
 
   /// Everything one worker thread owns exclusively. The registry is built
@@ -115,6 +160,21 @@ class DaemonGroup {
     MetricRegistry::Counter obs_origin_fetches;
     MetricRegistry::HistogramHandle obs_request_bytes;
 
+    // Flight recorder: bounded ring of this worker's recent spans, plus the
+    // per-worker span-id counter. Both single-owner like everything above.
+    TraceLog flight;
+    std::uint64_t next_span = 0;
+
+    // The one piece of worker state another thread may read: the stats
+    // sample the worker publishes when it handles kStatsRequest. The worker
+    // only touches it inside that handler, so the mutex is never contended
+    // on the request hot path.
+    struct StatsSlot {
+      Mutex mutex;
+      WorkerStatsSample data EACACHE_GUARDED_BY(mutex);
+    };
+    StatsSlot stats;
+
     std::thread thread;
   };
 
@@ -122,6 +182,16 @@ class DaemonGroup {
   /// "now" for one protocol step: the request's trace stamp in smoke replay
   /// (deterministic), the live clock in wall-clock mode.
   [[nodiscard]] TimePoint step_now(const WireMessage& message) const;
+
+  /// Mint a span id unique across workers without shared state: the worker
+  /// id in the high bits, a per-worker counter below. Never returns 0 (the
+  /// "no trace identity" sentinel).
+  [[nodiscard]] static std::uint64_t mint_span(Worker& w);
+  /// Record the kComplete span under the request's root (no-op when the
+  /// flight ring is off or the request predates it).
+  static void record_complete_span(Worker& w, const PendingRequest& ctx, TimePoint now,
+                                   std::int64_t outcome);
+  void handle_stats_request(Worker& w, const WireMessage& message);
 
   void handle_client_request(Worker& w, const WireMessage& message, TimePoint now);
   void handle_icp_query(Worker& w, const WireMessage& message, TimePoint now);
@@ -138,9 +208,16 @@ class DaemonGroup {
   DaemonMode mode_;
   std::shared_ptr<const PlacementPolicy> placement_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  InMemoryTransport wire_;  // workers' mailboxes + the load endpoint
+  InMemoryTransport wire_;  // workers' mailboxes + load and stats endpoints
   bool started_ = false;
   bool stopped_ = false;
+
+  // Serializes concurrent sample_stats callers (poller tick vs flight
+  // dump): both share the stats endpoint's mailbox, so only one sample may
+  // be in flight. The epoch stamps each round's kStatsRequest so a reply
+  // straggling in after a timeout is recognized as stale and dropped.
+  Mutex stats_mutex_;
+  std::uint64_t stats_epoch_ EACACHE_GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace eacache

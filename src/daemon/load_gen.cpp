@@ -45,6 +45,14 @@ LoadGenReport LoadGen::replay(const Trace& trace) {
                    });
   std::size_t next_flush = 0;
 
+  std::vector<TimePoint> dumps = faults_.flight_dumps;
+  std::stable_sort(dumps.begin(), dumps.end());
+  std::size_t next_dump = 0;
+  bool saturation_reported = false;
+  const auto fire_flight_dump = [&] {
+    if (options_.on_flight_dump) options_.on_flight_dump();
+  };
+
   const auto submit_flush = [&](const FaultPlan::Flush& flush) {
     WireMessage message;
     message.kind = WireMessage::Kind::kFlush;
@@ -70,6 +78,13 @@ LoadGenReport LoadGen::replay(const Trace& trace) {
     // at or before this request's stamp fires first.
     while (next_flush < flushes.size() && flushes[next_flush].at <= request.at) {
       submit_flush(flushes[next_flush++]);
+    }
+    while (next_dump < dumps.size() && dumps[next_dump] <= request.at) {
+      if (manual_ != nullptr && dumps[next_dump] > manual_->now()) {
+        manual_->set(dumps[next_dump]);
+      }
+      ++next_dump;
+      fire_flight_dump();
     }
 
     WireMessage message;
@@ -105,6 +120,20 @@ LoadGenReport LoadGen::replay(const Trace& trace) {
       // than piling an unbounded backlog into the mailboxes.
       while (wire.try_receive(completions)) ++report.completed;
       while (report.submitted - report.completed >= options_.max_in_flight) {
+        // Overload forensics: the first time the window stays saturated
+        // past the grace period, capture a flight-recorder dump, then keep
+        // waiting out the full drain timeout before declaring a wedge.
+        if (options_.on_flight_dump && !saturation_reported) {
+          if (const auto done =
+                  wire.receive(completions, to_ns(options_.saturation_grace))) {
+            (void)done;
+            ++report.completed;
+            continue;
+          }
+          saturation_reported = true;
+          fire_flight_dump();
+          continue;
+        }
         if (!wire.receive(completions, to_ns(options_.drain_timeout))) {
           throw std::runtime_error("LoadGen: admission window wait timed out with " +
                                    std::to_string(report.submitted - report.completed) +
@@ -118,6 +147,13 @@ LoadGenReport LoadGen::replay(const Trace& trace) {
     }
   }
   while (next_flush < flushes.size()) submit_flush(flushes[next_flush++]);
+  while (next_dump < dumps.size()) {
+    if (manual_ != nullptr && dumps[next_dump] > manual_->now()) {
+      manual_->set(dumps[next_dump]);
+    }
+    ++next_dump;
+    fire_flight_dump();
+  }
 
   // Await the in-flight tail (wall-clock mode; smoke replay is already
   // fully drained). A shortfall after the timeout is reported, not thrown —

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/fault_plan.h"
 #include "daemon/daemon_group.h"
@@ -47,6 +48,15 @@ struct LoadGenOptions {
   /// >= 1 (rejected by validation otherwise); smoke replay ignores it
   /// (effectively 1 by construction).
   std::uint64_t max_in_flight = 32;
+  /// Flight-recorder trigger. Invoked from the generator thread (a) at
+  /// each FaultPlan::flight_dumps instant during smoke replay, and (b) at
+  /// most ONCE per wall-clock run when the admission window stays
+  /// saturated past `saturation_grace` — the overload signal. Null
+  /// disables both. The callback must not submit load of its own.
+  std::function<void()> on_flight_dump;
+  /// How long a saturated admission window waits before declaring overload
+  /// and firing on_flight_dump (wall-clock mode only).
+  Duration saturation_grace = sec(2);
 };
 
 struct LoadGenReport {

@@ -1,0 +1,462 @@
+#include "daemon/telemetry.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/run_result_json.h"
+#include "metrics/json.h"
+#include "obs/prometheus.h"
+
+namespace eacache {
+
+namespace {
+
+std::chrono::nanoseconds to_ns(Duration d) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d);
+}
+
+std::int64_t epoch_ms(TimePoint at) {
+  return static_cast<std::int64_t>((at - kSimEpoch).count());
+}
+
+}  // namespace
+
+StatsPoller::StatsPoller(DaemonGroup& group, Options options)
+    : group_(group), options_(std::move(options)) {}
+
+StatsPoller::~StatsPoller() { stop(); }
+
+void StatsPoller::start() {
+  if (started_) throw std::logic_error("StatsPoller::start: already started");
+  started_ = true;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void StatsPoller::stop() {
+  {
+    MutexLock lock(mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsPoller::thread_main() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (stop_requested_) return;
+      wake_.wait_for(mutex_, to_ns(options_.period));
+      if (stop_requested_) return;
+    }
+    poll_once();
+  }
+}
+
+bool StatsPoller::poll_once() {
+  const auto samples = group_.sample_stats(/*want_spans=*/false, to_ns(options_.sample_timeout));
+  if (!samples) return false;
+
+  TelemetrySnapshot snapshot;
+  snapshot.at_ms = epoch_ms(group_.clock().now());
+  MetricRegistry merged(true);
+  GroupMetrics metrics;
+  std::vector<MetricRegistry> baselines;
+  baselines.reserve(samples->size());
+  for (const DaemonGroup::WorkerStatsSample& sample : *samples) {
+    merged.merge(sample.registry);
+    metrics.merge(sample.metrics);
+    snapshot.in_flight += sample.in_flight;
+    snapshot.resident_bytes += sample.resident_bytes;
+    snapshot.resident_docs += sample.resident_docs;
+    baselines.push_back(sample.registry);
+  }
+  snapshot.total_requests = metrics.total_requests();
+  snapshot.hit_rate = metrics.hit_rate();
+  const double hits = snapshot.hit_rate * static_cast<double>(snapshot.total_requests);
+  const std::uint64_t icp_queries = merged.counter_value("group.icp.queries");
+  const std::uint64_t origin_fetches = merged.counter_value("group.origin_fetches");
+
+  {
+    MutexLock lock(mutex_);
+    snapshot.tick = latest_.tick + 1;
+    if (latest_.tick > 0 && snapshot.at_ms > latest_.at_ms) {
+      // Windowed deltas against the previous tick; totals are monotone, so
+      // the deltas are non-negative whenever the clock moved forward.
+      const double window =
+          static_cast<double>(snapshot.at_ms - latest_.at_ms) / 1000.0;
+      snapshot.window_seconds = window;
+      const double prev_requests = static_cast<double>(latest_.total_requests);
+      const double prev_hits =
+          latest_.hit_rate * static_cast<double>(latest_.total_requests);
+      const double delta_requests =
+          static_cast<double>(snapshot.total_requests) - prev_requests;
+      snapshot.requests_per_second = delta_requests / window;
+      snapshot.window_hit_rate =
+          delta_requests > 0.0 ? (hits - prev_hits) / delta_requests : 0.0;
+      snapshot.icp_queries_per_second =
+          static_cast<double>(icp_queries -
+                              latest_.registry.counter_value("group.icp.queries")) /
+          window;
+      snapshot.origin_fetches_per_second =
+          static_cast<double>(origin_fetches -
+                              latest_.registry.counter_value("group.origin_fetches")) /
+          window;
+    }
+
+    // Fold the derived view into the merged registry so both exporters
+    // serialize one object (names documented in DESIGN.md §11/§13).
+    merged.gauge("telemetry.window_seconds").set(snapshot.window_seconds);
+    merged.gauge("telemetry.requests_per_second").set(snapshot.requests_per_second);
+    merged.gauge("telemetry.hit_rate").set(snapshot.hit_rate);
+    merged.gauge("telemetry.window_hit_rate").set(snapshot.window_hit_rate);
+    merged.gauge("telemetry.icp_queries_per_second").set(snapshot.icp_queries_per_second);
+    merged.gauge("telemetry.origin_fetches_per_second")
+        .set(snapshot.origin_fetches_per_second);
+    merged.gauge("telemetry.in_flight").set(static_cast<double>(snapshot.in_flight));
+    merged.gauge("telemetry.resident_bytes")
+        .set(static_cast<double>(snapshot.resident_bytes));
+    merged.gauge("telemetry.resident_docs")
+        .set(static_cast<double>(snapshot.resident_docs));
+    merged.gauge("telemetry.tick").set(static_cast<double>(snapshot.tick));
+    snapshot.registry = merged.snapshot();
+
+    latest_ = snapshot;
+    baselines_ = std::move(baselines);
+  }
+  if (options_.on_sample) options_.on_sample(snapshot);
+  return true;
+}
+
+TelemetrySnapshot StatsPoller::latest() const {
+  MutexLock lock(mutex_);
+  return latest_;
+}
+
+std::uint64_t StatsPoller::ticks() const {
+  MutexLock lock(mutex_);
+  return latest_.tick;
+}
+
+std::vector<MetricRegistry> StatsPoller::worker_baselines() const {
+  MutexLock lock(mutex_);
+  return baselines_;
+}
+
+void write_telemetry_json(std::ostream& out, const TelemetrySnapshot& snapshot) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("at_ms", snapshot.at_ms);
+  json.field("tick", snapshot.tick);
+  json.field("window_seconds", snapshot.window_seconds);
+  json.key("derived").begin_object();
+  json.field("total_requests", snapshot.total_requests);
+  json.field("in_flight", snapshot.in_flight);
+  json.field("resident_bytes", snapshot.resident_bytes);
+  json.field("resident_docs", snapshot.resident_docs);
+  json.field("hit_rate", snapshot.hit_rate);
+  json.field("window_hit_rate", snapshot.window_hit_rate);
+  json.field("requests_per_second", snapshot.requests_per_second);
+  json.field("icp_queries_per_second", snapshot.icp_queries_per_second);
+  json.field("origin_fetches_per_second", snapshot.origin_fetches_per_second);
+  json.end_object();
+  json.key("registry");
+  append_metric_registry(json, snapshot.registry);
+  json.end_object();
+  out << '\n';
+}
+
+std::string telemetry_snapshot_to_json(const TelemetrySnapshot& snapshot) {
+  std::ostringstream out;
+  write_telemetry_json(out, snapshot);
+  return out.str();
+}
+
+void write_telemetry_prometheus(std::ostream& out, const TelemetrySnapshot& snapshot) {
+  write_prometheus_exposition(out, snapshot.registry);
+}
+
+bool write_stats_file(const std::string& path, const TelemetrySnapshot& snapshot,
+                      const std::string& format) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      EACACHE_LOG_WARN("telemetry") << "cannot open " << tmp << " for writing";
+      return false;
+    }
+    if (format == "prom") {
+      write_telemetry_prometheus(out, snapshot);
+    } else {
+      write_telemetry_json(out, snapshot);
+    }
+    out.flush();
+    if (!out) {
+      EACACHE_LOG_WARN("telemetry") << "short write to " << tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    EACACHE_LOG_WARN("telemetry") << "rename " << tmp << " -> " << path << " failed: "
+                                  << std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+StatsHttpHandler::Response StatsHttpHandler::handle(std::string_view path) const {
+  if (const std::size_t query = path.find('?'); query != std::string_view::npos) {
+    path = path.substr(0, query);
+  }
+  Response response;
+  if (path == "/metrics") {
+    std::ostringstream body;
+    write_telemetry_prometheus(body, poller_->latest());
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = body.str();
+    return response;
+  }
+  if (path == "/stats.json" || path == "/stats") {
+    response.content_type = "application/json";
+    response.body = telemetry_snapshot_to_json(poller_->latest());
+    return response;
+  }
+  if (path == "/") {
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "eacache daemon telemetry\n  /metrics     Prometheus exposition\n"
+                    "  /stats.json  JSON snapshot\n";
+    return response;
+  }
+  response.status = 404;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = "not found\n";
+  return response;
+}
+
+namespace {
+
+/// Write all of `text`, tolerating short writes; false on error.
+bool write_all(int fd, std::string_view text) {
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + written, text.size() - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+  }
+  return "Internal Server Error";
+}
+
+}  // namespace
+
+StatsHttpServer::StatsHttpServer(StatsHttpHandler handler, std::uint16_t port)
+    : handler_(handler) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("StatsHttpServer: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("StatsHttpServer: bind/listen 127.0.0.1:" +
+                             std::to_string(port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+}
+
+StatsHttpServer::~StatsHttpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void StatsHttpServer::start() {
+  if (started_) throw std::logic_error("StatsHttpServer::start: already started");
+  started_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+  EACACHE_LOG_INFO("telemetry") << "stats endpoint listening on 127.0.0.1:" << port_;
+}
+
+void StatsHttpServer::stop() {
+  {
+    MutexLock lock(mutex_);
+    stop_requested_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsHttpServer::serve_loop() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (stop_requested_) return;
+    }
+    // Short poll timeout so stop() is honoured promptly even with no
+    // clients — a plain blocking accept() would pin the thread forever.
+    pollfd waiter{};
+    waiter.fd = listen_fd_;
+    waiter.events = POLLIN;
+    const int ready = ::poll(&waiter, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void StatsHttpServer::serve_one(int client_fd) {
+  // Bound how long a stalled client can hold the (single) serving thread.
+  timeval read_timeout{};
+  read_timeout.tv_sec = 2;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &read_timeout, sizeof(read_timeout));
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 && request.find("\r\n") == std::string::npos) {
+    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  StatsHttpHandler::Response response;
+  const std::size_t method_end = request.find(' ');
+  const std::size_t path_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : request.find(' ', method_end + 1);
+  if (method_end == std::string::npos || path_end == std::string::npos ||
+      request.compare(0, method_end, "GET") != 0) {
+    response.status = 400;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "only GET is supported\n";
+  } else {
+    const std::string_view path(request.data() + method_end + 1,
+                                path_end - method_end - 1);
+    response = handler_.handle(path);
+  }
+
+  std::ostringstream head;
+  head << "HTTP/1.0 " << response.status << ' ' << status_reason(response.status)
+       << "\r\nContent-Type: " << response.content_type
+       << "\r\nContent-Length: " << response.body.size()
+       << "\r\nConnection: close\r\n\r\n";
+  if (write_all(client_fd, head.str())) write_all(client_fd, response.body);
+}
+
+std::size_t write_flight_dump(std::ostream& out,
+                              const std::vector<DaemonGroup::WorkerStatsSample>& samples,
+                              const std::vector<MetricRegistry>* baselines) {
+  std::size_t span_lines = 0;
+  // Span lines first (trace JSONL schema, cross-hop fields included) ...
+  for (const DaemonGroup::WorkerStatsSample& sample : samples) {
+    for (const SpanEvent& span : sample.spans) {
+      write_span_jsonl(out, span);
+      out << '\n';
+      ++span_lines;
+    }
+  }
+  // ... then one delta line per counter and one line per gauge, tagged with
+  // the owning worker. Deltas are against the poller's last tick when a
+  // baseline is available, otherwise they equal the absolute value.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const DaemonGroup::WorkerStatsSample& sample = samples[i];
+    const MetricRegistry* baseline =
+        baselines != nullptr && i < baselines->size() ? &(*baselines)[i] : nullptr;
+    {
+      JsonWriter json(out);
+      json.begin_object();
+      json.field("worker", static_cast<std::uint64_t>(sample.proxy));
+      json.field("in_flight", sample.in_flight);
+      json.field("spans_recorded", sample.spans_recorded);
+      json.field("spans_dropped", sample.spans_dropped);
+      json.end_object();
+      out << '\n';
+    }
+    for (const auto& [name, value] : sample.registry.counters()) {
+      const std::uint64_t base = baseline != nullptr ? baseline->counter_value(name) : 0;
+      JsonWriter json(out);
+      json.begin_object();
+      json.field("worker", static_cast<std::uint64_t>(sample.proxy));
+      json.field("metric", name);
+      json.field("value", value);
+      json.field("delta", value >= base ? value - base : value);
+      json.end_object();
+      out << '\n';
+    }
+    for (const auto& [name, value] : sample.registry.gauges()) {
+      JsonWriter json(out);
+      json.begin_object();
+      json.field("worker", static_cast<std::uint64_t>(sample.proxy));
+      json.field("gauge", name);
+      json.field("value", value);
+      json.end_object();
+      out << '\n';
+    }
+  }
+  return span_lines;
+}
+
+std::optional<std::size_t> dump_flight_recording(DaemonGroup& group, const StatsPoller* poller,
+                                                 const std::string& path) {
+  const auto samples = group.sample_stats(/*want_spans=*/true, to_ns(sec(5)));
+  if (!samples) {
+    EACACHE_LOG_WARN("telemetry") << "flight dump: stats sample timed out";
+    return std::nullopt;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    EACACHE_LOG_WARN("telemetry") << "flight dump: cannot open " << path;
+    return std::nullopt;
+  }
+  const std::vector<MetricRegistry> baselines =
+      poller != nullptr ? poller->worker_baselines() : std::vector<MetricRegistry>{};
+  const std::size_t spans = write_flight_dump(out, *samples, &baselines);
+  out.flush();
+  if (!out) {
+    EACACHE_LOG_WARN("telemetry") << "flight dump: short write to " << path;
+    return std::nullopt;
+  }
+  EACACHE_LOG_INFO("telemetry") << "flight dump: " << spans << " spans -> " << path;
+  return spans;
+}
+
+}  // namespace eacache

@@ -1,0 +1,204 @@
+// Live telemetry plane for daemon mode (DESIGN.md §13).
+//
+// While the simulator only surfaces its MetricRegistry after the run, a
+// daemon must be observable WHILE it serves. The plane is three layers,
+// each reusable without the next:
+//
+//   StatsPoller      — a wall-clock aggregator thread. Every period it asks
+//                      each worker for a registry snapshot through the
+//                      DaemonGroup stats seam (a kStatsRequest handled at
+//                      the top of the worker's mailbox loop — the request
+//                      hot path stays lock-free), merges the per-worker
+//                      shards into one group-wide TelemetrySnapshot, and
+//                      derives windowed rates (req/s, hit %, ICP queries/s)
+//                      from the deltas against the previous tick.
+//   Exporters        — Prometheus text exposition (obs/prometheus.h) and a
+//                      JSON snapshot (schema below, registry block shared
+//                      with the end-of-run result dump), written on demand:
+//                      to a file via atomic tmp+rename (--stats-out), or
+//                      served by the minimal HTTP endpoint (--stats-port).
+//                      StatsHttpHandler is the in-process seam: path in,
+//                      bytes out, no sockets — tests drive it directly;
+//                      StatsHttpServer is the thin blocking TCP wrapper.
+//   Flight recorder  — dumps every worker's bounded ring of recent spans
+//                      plus per-worker registry deltas (vs the poller's
+//                      last tick) as JSONL, for post-incident forensics.
+//                      Triggered by admission-window saturation in the load
+//                      generator or by FaultPlan::flight_dumps instants.
+//
+// Consistency contract: one TelemetrySnapshot is per-worker consistent
+// (each worker publishes between two requests, never mid-request) but only
+// loosely consistent across workers — worker A's sample may include a
+// request whose ICP probe has not yet reached worker B's counters. Derived
+// group-wide rates therefore converge over a window rather than balancing
+// exactly at every instant; end-of-run numbers come from collect_result(),
+// which merges after join and stays exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "daemon/daemon_group.h"
+
+namespace eacache {
+
+/// One group-wide view, produced by StatsPoller::poll_once. The registry is
+/// the merge of every worker's snapshot plus the derived "telemetry.*"
+/// gauges, so both exporters serialize a single object.
+struct TelemetrySnapshot {
+  std::int64_t at_ms = 0;          // group-clock reading, epoch-relative ms
+  std::uint64_t tick = 0;          // 1-based poll count
+  double window_seconds = 0.0;     // wall span the windowed rates cover
+  std::uint64_t total_requests = 0;
+  std::uint64_t in_flight = 0;     // sum of per-worker pending tables
+  Bytes resident_bytes = 0;
+  std::uint64_t resident_docs = 0;
+  double hit_rate = 0.0;           // cumulative, from the merged metrics
+  double window_hit_rate = 0.0;    // over the last window only
+  double requests_per_second = 0.0;
+  double icp_queries_per_second = 0.0;
+  double origin_fetches_per_second = 0.0;
+  MetricRegistry registry;
+};
+
+class StatsPoller {
+ public:
+  struct Options {
+    Duration period = msec(1000);
+    /// Per-tick observer (stderr one-liners, --stats-out files). Called
+    /// from the poller thread, outside the poller's lock.
+    std::function<void(const TelemetrySnapshot&)> on_sample;
+    /// How long one tick waits for every worker's ack before skipping.
+    Duration sample_timeout = sec(5);
+  };
+
+  StatsPoller(DaemonGroup& group, Options options);
+  ~StatsPoller();
+
+  StatsPoller(const StatsPoller&) = delete;
+  StatsPoller& operator=(const StatsPoller&) = delete;
+
+  /// Spawn the wall-clock poll thread. Call once; stop() joins it.
+  void start();
+  void stop();
+
+  /// One synchronous sample+aggregate round (the thread calls this; tests
+  /// call it directly for deterministic scrapes). Returns false when the
+  /// group failed to answer within the sample timeout (e.g. stopped).
+  bool poll_once();
+
+  /// Copy of the most recent snapshot (default-constructed before the
+  /// first tick).
+  [[nodiscard]] TelemetrySnapshot latest() const;
+  [[nodiscard]] std::uint64_t ticks() const;
+
+  /// Per-worker registry snapshots from the latest tick, for flight-dump
+  /// deltas. Empty before the first tick.
+  [[nodiscard]] std::vector<MetricRegistry> worker_baselines() const;
+
+ private:
+  void thread_main();
+
+  DaemonGroup& group_;
+  Options options_;
+
+  mutable Mutex mutex_;
+  CondVar wake_;
+  bool stop_requested_ EACACHE_GUARDED_BY(mutex_) = false;
+  TelemetrySnapshot latest_ EACACHE_GUARDED_BY(mutex_);
+  std::vector<MetricRegistry> baselines_ EACACHE_GUARDED_BY(mutex_);
+
+  bool started_ = false;
+  std::thread thread_;
+};
+
+/// JSON snapshot exporter. Schema (keys documented in DESIGN.md §13):
+/// {"at_ms","tick","window_seconds","derived":{...},"registry":{...}} with
+/// the registry block byte-compatible with the end-of-run result dump's
+/// (core/run_result_json.h append_metric_registry).
+void write_telemetry_json(std::ostream& out, const TelemetrySnapshot& snapshot);
+[[nodiscard]] std::string telemetry_snapshot_to_json(const TelemetrySnapshot& snapshot);
+
+/// Prometheus exposition of the snapshot's merged registry (derived gauges
+/// included). Thin wrapper over obs/prometheus.h for symmetry.
+void write_telemetry_prometheus(std::ostream& out, const TelemetrySnapshot& snapshot);
+
+/// Atomic file target: serialize to `path` + ".tmp", then rename over
+/// `path` so a concurrent reader never sees a torn snapshot. Returns false
+/// (and logs) on I/O failure. `format` is "json" or "prom".
+bool write_stats_file(const std::string& path, const TelemetrySnapshot& snapshot,
+                      const std::string& format = "json");
+
+/// The in-process HTTP seam: maps a request path to a full response, no
+/// sockets involved. "/metrics" serves Prometheus exposition, "/stats.json"
+/// the JSON snapshot, "/" a plain-text index; anything else is a 404.
+class StatsHttpHandler {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+
+  explicit StatsHttpHandler(const StatsPoller& poller) : poller_(&poller) {}
+
+  [[nodiscard]] Response handle(std::string_view path) const;
+
+ private:
+  const StatsPoller* poller_;
+};
+
+/// Minimal blocking HTTP/1.0 endpoint over the handler: one accept loop
+/// thread, one request per connection, loopback only. Enough for curl and
+/// a Prometheus scrape job; emphatically not a general web server.
+class StatsHttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` immediately (throws std::runtime_error on
+  /// failure); `port` 0 picks an ephemeral port — read it back with
+  /// bound_port(). start() begins serving.
+  StatsHttpServer(StatsHttpHandler handler, std::uint16_t port);
+  ~StatsHttpServer();
+
+  StatsHttpServer(const StatsHttpServer&) = delete;
+  StatsHttpServer& operator=(const StatsHttpServer&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint16_t bound_port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void serve_one(int client_fd);
+
+  StatsHttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  Mutex mutex_;
+  bool stop_requested_ EACACHE_GUARDED_BY(mutex_) = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+/// Flight-recorder dump: every worker's recent-span ring as trace-schema
+/// JSONL lines (obs/trace_log.h write_span_jsonl — cross-hop span/
+/// parent_span/hop fields included), followed by one registry-delta line
+/// per counter: {"worker":W,"metric":NAME,"value":V,"delta":D} where the
+/// delta is against `baselines` (the poller's previous tick) when given,
+/// else equals the value. Returns the number of span lines written.
+std::size_t write_flight_dump(std::ostream& out,
+                              const std::vector<DaemonGroup::WorkerStatsSample>& samples,
+                              const std::vector<MetricRegistry>* baselines);
+
+/// Sample the group (spans included) and dump to `path` (truncating).
+/// Returns the span-line count, or nullopt when sampling or I/O failed.
+std::optional<std::size_t> dump_flight_recording(DaemonGroup& group, const StatsPoller* poller,
+                                                 const std::string& path);
+
+}  // namespace eacache

@@ -50,31 +50,33 @@ void ContentionEstimator::on_eviction(const EvictionRecord& record) {
   }
 }
 
+ExpAge ContentionEstimator::peek_expiration_age(TimePoint now) const {
+  switch (window_.kind) {
+    case WindowKind::kCumulative:
+      return lifetime_average();
+    case WindowKind::kVictimCount:
+      if (ring_filled_ == 0) return ExpAge::infinite();
+      return ExpAge::from_millis(ring_sum_ / static_cast<double>(ring_filled_));
+    case WindowKind::kTimeWindow: {
+      const TimePoint cutoff =
+          now - window_.time_window >= kSimEpoch ? now - window_.time_window : kSimEpoch;
+      while (!samples_.empty() && samples_.front().at < cutoff) {
+        window_sum_ -= samples_.front().age_ms;
+        samples_.pop_front();
+      }
+      if (samples_.empty()) {
+        window_sum_ = 0.0;  // flush accumulated float error
+        return ExpAge::infinite();
+      }
+      return ExpAge::from_millis(window_sum_ / static_cast<double>(samples_.size()));
+    }
+  }
+  throw std::logic_error("ContentionEstimator: bad window kind");
+}
+
 ExpAge ContentionEstimator::cache_expiration_age(TimePoint now) const {
   obs_age_queries_.inc();
-  const ExpAge age = [&]() -> ExpAge {
-    switch (window_.kind) {
-      case WindowKind::kCumulative:
-        return lifetime_average();
-      case WindowKind::kVictimCount:
-        if (ring_filled_ == 0) return ExpAge::infinite();
-        return ExpAge::from_millis(ring_sum_ / static_cast<double>(ring_filled_));
-      case WindowKind::kTimeWindow: {
-        const TimePoint cutoff =
-            now - window_.time_window >= kSimEpoch ? now - window_.time_window : kSimEpoch;
-        while (!samples_.empty() && samples_.front().at < cutoff) {
-          window_sum_ -= samples_.front().age_ms;
-          samples_.pop_front();
-        }
-        if (samples_.empty()) {
-          window_sum_ = 0.0;  // flush accumulated float error
-          return ExpAge::infinite();
-        }
-        return ExpAge::from_millis(window_sum_ / static_cast<double>(samples_.size()));
-      }
-    }
-    throw std::logic_error("ContentionEstimator: bad window kind");
-  }();
+  const ExpAge age = peek_expiration_age(now);
   if (age.is_infinite()) obs_cold_age_queries_.inc();
   return age;
 }

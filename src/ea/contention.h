@@ -54,6 +54,14 @@ class ContentionEstimator final : public EvictionObserver {
   /// CacheExpAge at simulated time `now` (needed by the time window).
   [[nodiscard]] ExpAge cache_expiration_age(TimePoint now) const;
 
+  /// cache_expiration_age WITHOUT the ea.age_queries counter increments:
+  /// the daemon's live stats seam reads the age through this so a telemetry
+  /// sample never perturbs the protocol counters (smoke-replay result
+  /// byte-identity depends on it). Time-window pruning still happens — it is
+  /// idempotent at a given `now` and a later protocol query would prune the
+  /// same samples anyway.
+  [[nodiscard]] ExpAge peek_expiration_age(TimePoint now) const;
+
   /// Total victims ever observed (diagnostics).
   [[nodiscard]] std::uint64_t victims_observed() const { return victims_observed_; }
 

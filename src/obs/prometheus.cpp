@@ -1,0 +1,155 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/metric_registry.h"
+
+namespace eacache {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes an
+/// underscore (so "icp.queries" -> "icp_queries", "a->b" -> "a__b").
+std::string sanitize(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+/// %.12g, matching metrics/json.h JsonWriter::value(double) so the JSON and
+/// Prometheus exporters render identical numbers for the same sample.
+std::string render_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+bool all_digits(std::string_view text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+/// One internal dotted name, resolved to its exposition family + labels +
+/// a normalized internal pattern for the HELP line.
+struct ParsedName {
+  std::string family;   // exposition name, no "_total" suffix yet
+  std::string labels;   // rendered "{k=\"v\"}" or empty
+  std::string pattern;  // internal name with ids normalized, for HELP
+};
+
+ParsedName parse_name(const std::string& name) {
+  // "proxy.<id>.<rest>" -> per-proxy series.
+  if (name.rfind("proxy.", 0) == 0) {
+    const std::size_t dot = name.find('.', 6);
+    if (dot != std::string::npos && all_digits(std::string_view(name).substr(6, dot - 6))) {
+      const std::string id = name.substr(6, dot - 6);
+      const std::string rest = name.substr(dot + 1);
+      return {"eacache_proxy_" + sanitize(rest), "{proxy=\"" + id + "\"}",
+              "proxy.<id>." + rest};
+    }
+  }
+  // "link.<from>-><to>.<rest>" -> per-link series.
+  if (name.rfind("link.", 0) == 0) {
+    const std::size_t arrow = name.find("->", 5);
+    const std::size_t dot = arrow == std::string::npos ? std::string::npos
+                                                       : name.find('.', arrow + 2);
+    if (arrow != std::string::npos && dot != std::string::npos) {
+      const std::string from = name.substr(5, arrow - 5);
+      const std::string to = name.substr(arrow + 2, dot - arrow - 2);
+      const std::string rest = name.substr(dot + 1);
+      if (all_digits(from) && (all_digits(to) || to == "origin")) {
+        return {"eacache_link_" + sanitize(rest),
+                "{from=\"" + from + "\",to=\"" + to + "\"}",
+                "link.<from>-><to>." + rest};
+      }
+    }
+  }
+  // "group.*", "telemetry.*" and anything else: flatten the whole name.
+  return {"eacache_" + sanitize(name), "", name};
+}
+
+struct Family {
+  std::string type;     // "counter" | "gauge" | "histogram"
+  std::string pattern;  // internal pattern for the HELP line
+  std::vector<std::string> lines;
+};
+
+void emit_histogram(Family& family, const std::string& exposition_name,
+                    const std::string& labels, const Histogram& hist) {
+  // Cumulative le-buckets: underflow folds into every bound (a sample below
+  // lo is certainly <= any upper edge); le="+Inf" covers overflow too.
+  const std::string label_prefix =
+      labels.empty() ? "{" : labels.substr(0, labels.size() - 1) + ",";
+  const double width = (hist.hi() - hist.lo()) / static_cast<double>(hist.num_buckets());
+  std::uint64_t cumulative = hist.underflow();
+  for (std::size_t i = 0; i < hist.num_buckets(); ++i) {
+    cumulative += hist.bucket(i);
+    const double bound = hist.lo() + width * static_cast<double>(i + 1);
+    family.lines.push_back(exposition_name + "_bucket" + label_prefix + "le=\"" +
+                           render_double(bound) + "\"} " + std::to_string(cumulative));
+  }
+  family.lines.push_back(exposition_name + "_bucket" + label_prefix + "le=\"+Inf\"} " +
+                         std::to_string(hist.total()));
+  family.lines.push_back(exposition_name + "_sum" + labels + " " +
+                         render_double(hist.sum()));
+  family.lines.push_back(exposition_name + "_count" + labels + " " +
+                         std::to_string(hist.total()));
+}
+
+}  // namespace
+
+std::string prometheus_family_name(const std::string& internal_name) {
+  return parse_name(internal_name).family;
+}
+
+void write_prometheus_exposition(std::ostream& out, const MetricRegistry& registry) {
+  // Group series into families first: Prometheus forbids interleaving two
+  // families, but the registry's name-sorted maps interleave them (e.g.
+  // proxy.0.resident_bytes / proxy.0.resident_docs / proxy.1.resident_bytes).
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, value] : registry.counters()) {
+    ParsedName parsed = parse_name(name);
+    const std::string exposition = parsed.family + "_total";
+    Family& family = families[exposition];
+    family.type = "counter";
+    family.pattern = parsed.pattern;
+    family.lines.push_back(exposition + parsed.labels + " " + std::to_string(value));
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    ParsedName parsed = parse_name(name);
+    Family& family = families[parsed.family];
+    family.type = "gauge";
+    family.pattern = parsed.pattern;
+    family.lines.push_back(parsed.family + parsed.labels + " " + render_double(value));
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    ParsedName parsed = parse_name(name);
+    Family& family = families[parsed.family];
+    family.type = "histogram";
+    family.pattern = parsed.pattern;
+    emit_histogram(family, parsed.family, parsed.labels, hist);
+  }
+
+  for (const auto& [exposition, family] : families) {
+    out << "# HELP " << exposition << " eacache registry " << family.type << " "
+        << family.pattern << "\n";
+    out << "# TYPE " << exposition << " " << family.type << "\n";
+    for (const std::string& line : family.lines) out << line << "\n";
+  }
+}
+
+}  // namespace eacache

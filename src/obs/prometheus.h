@@ -1,0 +1,43 @@
+// Prometheus text-exposition writer for MetricRegistry snapshots.
+//
+// The registry's internal dotted names map onto the flat Prometheus
+// namespace by explicit rules (DESIGN.md §13; every exported family name
+// appears in the DESIGN.md §11 table — project_lint.py rule 7 enforces
+// that):
+//   * "group.<x>"            -> "eacache_group_<x>" (dots -> underscores);
+//                               counters gain the "_total" suffix.
+//   * "proxy.<id>.<x>"       -> "eacache_proxy_<x>"  {proxy="<id>"}
+//   * "link.<f>-><t>.bytes"  -> "eacache_link_bytes_total" {from=..,to=..}
+//   * "telemetry.<x>"        -> "eacache_telemetry_<x>" (derived gauges the
+//                               stats poller computes; never counters)
+//   * anything else          -> "eacache_<sanitized>" (fallback)
+// Histograms expose the standard triplet: cumulative "_bucket" series with
+// le="upper edge" (underflow folds into the first bucket, le="+Inf" equals
+// the sample count), "_sum" and "_count".
+//
+// Output is deterministic: families emit in sorted exposition-name order,
+// series within a family in sorted internal-name order, so two snapshots of
+// the same registry serialize identically (the stats_exposition_test golden
+// relies on this).
+//
+// Lives in obs (depends only on common) so any layer can serialize a
+// registry without pulling in the metrics/JSON stack.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace eacache {
+
+class MetricRegistry;
+
+/// Serialize `registry` in Prometheus text exposition format (version
+/// 0.0.4): "# HELP"/"# TYPE" headers per family, one "name{labels} value"
+/// line per series, families sorted by exposition name.
+void write_prometheus_exposition(std::ostream& out, const MetricRegistry& registry);
+
+/// Exposition name for one internal metric name (without the "_total"
+/// counter suffix and without labels) — exposed for the name-mapping tests.
+[[nodiscard]] std::string prometheus_family_name(const std::string& internal_name);
+
+}  // namespace eacache

@@ -104,6 +104,11 @@ void write_span_jsonl(std::ostream& out, const SpanEvent& event, std::string_vie
   out << "\"request\":" << event.request << ",\"at_ms\":" << event.at_ms
       << ",\"proxy\":" << event.proxy << ",\"event\":\"" << to_string(event.kind)
       << "\",\"doc\":" << event.document;
+  // Distributed-trace identity (daemon mode only; simulator spans carry the
+  // zero/negative sentinels and serialize byte-identically to before).
+  if (event.span != 0) out << ",\"span\":" << event.span;
+  if (event.parent_span >= 0) out << ",\"parent_span\":" << event.parent_span;
+  if (event.hop >= 0) out << ",\"hop\":" << event.hop;
   if (event.peer >= 0) out << ",\"peer\":" << event.peer;
   if (event.requester_ea_ms >= 0.0) write_age(out, "requester_ea_ms", event.requester_ea_ms);
   if (event.responder_ea_ms >= 0.0) write_age(out, "responder_ea_ms", event.responder_ea_ms);

@@ -56,6 +56,9 @@ enum class SpanKind : std::uint8_t {
 ///     (infinity is a VALID age: a cold cache piggybacks +inf)
 ///   * flag < 0                 — no boolean payload
 ///   * value < 0                — no numeric payload
+///   * span == 0                — no distributed-trace identity (simulator)
+///   * parent_span < 0          — root span (or no trace identity at all)
+///   * hop < 0                  — no hop depth recorded
 struct SpanEvent {
   std::uint64_t request = 0;     // sequential id assigned at arrival
   std::int64_t at_ms = 0;        // simulated time since the epoch
@@ -63,8 +66,11 @@ struct SpanEvent {
   double requester_ea_ms = -1.0;
   double responder_ea_ms = -1.0;
   std::int64_t value = -1;       // kind-specific: bytes moved, outcome code
+  std::uint64_t span = 0;        // daemon cross-hop trace: this span's id
+  std::int64_t parent_span = -1; // daemon cross-hop trace: parent span id
   ProxyId proxy = 0;             // acting proxy
   std::int32_t peer = -1;        // probe/fetch counterpart
+  std::int32_t hop = -1;         // hops from the home proxy (root = 0)
   SpanKind kind = SpanKind::kArrival;
   std::int8_t flag = -1;         // kind-specific: hit/found/accepted/speculative
 };

@@ -77,6 +77,12 @@ class ProxyCache {
     return contention_.cache_expiration_age(now);
   }
 
+  /// expiration_age without the ea.age_queries instrumentation — for the
+  /// live stats seam, which must not perturb the protocol counters.
+  [[nodiscard]] ExpAge peek_expiration_age(TimePoint now) const {
+    return contention_.peek_expiration_age(now);
+  }
+
   /// Client request that can be answered locally: promoting touch.
   /// Returns the (resident) document size, or nullopt on local miss.
   std::optional<Bytes> serve_local(DocumentId document, TimePoint now);

@@ -1,0 +1,16 @@
+// Negative control for project_lint.py's prom-names-documented rule
+// (DESIGN.md §13): a hypothetical exporter that invents a Prometheus family
+// no documentation mentions. The `project_lint_prom_negative` ctest runs the
+// lint in --prom-fixture mode against this file and PASSES only if the rule
+// flags the literal below. Never compiled; the .cc suffix keeps it out of
+// every build glob and out of the lint's own src/ scan.
+#include <string>
+
+namespace eacache {
+
+// VIOLATION: this family name appears in no DESIGN.md exposition table.
+inline std::string undocumented_family() {
+  return "eacache_undocumented_bogus_family_total";
+}
+
+}  // namespace eacache

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/random.h"
@@ -130,6 +131,33 @@ TEST(HistogramTest, BoundaryGoesToLowerEdgeBucket) {
   EXPECT_EQ(h.bucket(0), 1u);
   h.add(9.999999);
   EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(HistogramTest, SumCoversEverySampleIncludingOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);  // empty histogram: 0, never NaN
+  h.add(2.0);
+  h.add(-3.0);   // underflow still contributes its true value
+  h.add(100.0);  // overflow too
+  EXPECT_DOUBLE_EQ(h.sum(), 99.0);
+  EXPECT_EQ(h.total(), 3u);
+
+  Histogram other(0.0, 10.0, 10);
+  other.add(1.0);
+  h.merge(other);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.0);
+}
+
+TEST(HistogramTest, EmptyPercentilesAreLoNeverNaN) {
+  // The registry JSON serializer leans on this: an unused histogram must
+  // render finite p50/p90/p99 (DESIGN.md §11).
+  const Histogram h(5.0, 10.0, 4);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    const double p = h.percentile(q);
+    EXPECT_DOUBLE_EQ(p, 5.0) << "q=" << q;
+    EXPECT_FALSE(std::isnan(p));
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+// Prometheus text-exposition exporter (obs/prometheus.h): exact output for
+// a small registry covering every name-mapping branch DESIGN.md §13
+// documents — group.* / telemetry.* flattening, proxy.<id>.* labels,
+// link.<from>-><to>.* labels, histogram bucket cumulation — plus the
+// family-grouping rule (no interleaving despite name-sorted inputs).
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metric_registry.h"
+
+namespace eacache {
+namespace {
+
+TEST(PrometheusTest, FamilyNameMapping) {
+  EXPECT_EQ(prometheus_family_name("group.requests"), "eacache_group_requests");
+  EXPECT_EQ(prometheus_family_name("group.icp.queries"), "eacache_group_icp_queries");
+  EXPECT_EQ(prometheus_family_name("telemetry.requests_per_second"),
+            "eacache_telemetry_requests_per_second");
+  EXPECT_EQ(prometheus_family_name("proxy.3.local.hits"), "eacache_proxy_local_hits");
+  EXPECT_EQ(prometheus_family_name("link.0->2.bytes"), "eacache_link_bytes");
+  EXPECT_EQ(prometheus_family_name("link.1->origin.bytes"), "eacache_link_bytes");
+  // Names that only look structured fall back to whole-name sanitizing.
+  EXPECT_EQ(prometheus_family_name("proxy.fleet.size"), "eacache_proxy_fleet_size");
+  EXPECT_EQ(prometheus_family_name("link.broken"), "eacache_link_broken");
+}
+
+TEST(PrometheusTest, ExactExpositionForSmallRegistry) {
+  MetricRegistry registry(true);
+  registry.counter("group.requests").inc(7);
+  registry.counter("proxy.0.local.hits").inc(3);
+  registry.counter("proxy.1.local.hits").inc(4);
+  registry.counter("link.0->1.bytes").inc(512);
+  registry.counter("link.1->origin.bytes").inc(2048);
+  registry.gauge("telemetry.hit_rate").set(0.5);
+  const MetricRegistry::HistogramHandle sizes =
+      registry.histogram("group.request_bytes", 0.0, 100.0, 2);
+  sizes.observe(-5.0);   // underflow: folds into every cumulative bucket
+  sizes.observe(10.0);   // bucket le="50"
+  sizes.observe(60.0);   // bucket le="100"
+  sizes.observe(500.0);  // overflow: only in le="+Inf"
+
+  std::ostringstream out;
+  write_prometheus_exposition(out, registry);
+  EXPECT_EQ(out.str(),
+            "# HELP eacache_group_request_bytes eacache registry histogram "
+            "group.request_bytes\n"
+            "# TYPE eacache_group_request_bytes histogram\n"
+            "eacache_group_request_bytes_bucket{le=\"50\"} 2\n"
+            "eacache_group_request_bytes_bucket{le=\"100\"} 3\n"
+            "eacache_group_request_bytes_bucket{le=\"+Inf\"} 4\n"
+            "eacache_group_request_bytes_sum 565\n"
+            "eacache_group_request_bytes_count 4\n"
+            "# HELP eacache_group_requests_total eacache registry counter "
+            "group.requests\n"
+            "# TYPE eacache_group_requests_total counter\n"
+            "eacache_group_requests_total 7\n"
+            "# HELP eacache_link_bytes_total eacache registry counter "
+            "link.<from>-><to>.bytes\n"
+            "# TYPE eacache_link_bytes_total counter\n"
+            "eacache_link_bytes_total{from=\"0\",to=\"1\"} 512\n"
+            "eacache_link_bytes_total{from=\"1\",to=\"origin\"} 2048\n"
+            "# HELP eacache_proxy_local_hits_total eacache registry counter "
+            "proxy.<id>.local.hits\n"
+            "# TYPE eacache_proxy_local_hits_total counter\n"
+            "eacache_proxy_local_hits_total{proxy=\"0\"} 3\n"
+            "eacache_proxy_local_hits_total{proxy=\"1\"} 4\n"
+            "# HELP eacache_telemetry_hit_rate eacache registry gauge "
+            "telemetry.hit_rate\n"
+            "# TYPE eacache_telemetry_hit_rate gauge\n"
+            "eacache_telemetry_hit_rate 0.5\n");
+}
+
+TEST(PrometheusTest, InterleavedNamesRegroupIntoFamilies) {
+  // The registry's sorted map interleaves proxy.0.* and proxy.1.* series of
+  // different families; the exporter must regroup them under one TYPE each.
+  MetricRegistry registry(true);
+  registry.gauge("proxy.0.resident_bytes").set(1.0);
+  registry.gauge("proxy.0.resident_docs").set(2.0);
+  registry.gauge("proxy.1.resident_bytes").set(3.0);
+  registry.gauge("proxy.1.resident_docs").set(4.0);
+
+  std::ostringstream out;
+  write_prometheus_exposition(out, registry);
+  const std::string text = out.str();
+  // One TYPE per family and both samples adjacent under it.
+  EXPECT_EQ(text,
+            "# HELP eacache_proxy_resident_bytes eacache registry gauge "
+            "proxy.<id>.resident_bytes\n"
+            "# TYPE eacache_proxy_resident_bytes gauge\n"
+            "eacache_proxy_resident_bytes{proxy=\"0\"} 1\n"
+            "eacache_proxy_resident_bytes{proxy=\"1\"} 3\n"
+            "# HELP eacache_proxy_resident_docs eacache registry gauge "
+            "proxy.<id>.resident_docs\n"
+            "# TYPE eacache_proxy_resident_docs gauge\n"
+            "eacache_proxy_resident_docs{proxy=\"0\"} 2\n"
+            "eacache_proxy_resident_docs{proxy=\"1\"} 4\n");
+}
+
+TEST(PrometheusTest, EmptyAndDisabledRegistriesExposeNothing) {
+  std::ostringstream out;
+  write_prometheus_exposition(out, MetricRegistry(true));
+  EXPECT_EQ(out.str(), "");
+
+  MetricRegistry disabled(false);
+  disabled.counter("group.requests").inc(5);  // swallowed by the null handle
+  std::ostringstream out2;
+  write_prometheus_exposition(out2, disabled);
+  EXPECT_EQ(out2.str(), "");
+}
+
+}  // namespace
+}  // namespace eacache

@@ -76,11 +76,34 @@ EACACHE_FUZZ_CASES=64 EACACHE_JOBS=8 \
 # CondVar handoffs are exactly what TSan exists to check. The demo binary
 # also asserts live-vs-simulated hit-rate parity, so a rate bound failure
 # surfaces here too.
+#
+# The second run arms the full telemetry plane (DESIGN.md §13): the
+# StatsPoller thread samples every worker through the kStatsRequest seam
+# while requests are in flight, the HTTP endpoint thread serves concurrent
+# scrapes, the file exporter renames snapshots, and the flight ring records
+# spans — every cross-thread edge the plane added runs under TSan here.
 if [ -x "$tsan_dir/examples/daemon_demo" ]; then
   echo "tsan_pipeline: daemon demo (4 worker threads, 10k requests)..."
   "$tsan_dir/examples/daemon_demo" 10000 4 1000000 >/dev/null
+  echo "tsan_pipeline: daemon demo + live telemetry plane (poller, exporters, flight ring)..."
+  stats_tmp="${TMPDIR:-/tmp}/eacache_tsan_stats.$$.json"
+  "$tsan_dir/examples/daemon_demo" 20000 4 200000 \
+    --stats-port=0 --stats-out="$stats_tmp" --stats-period-ms=20 \
+    --flight-capacity=1024 >/dev/null 2>&1
+  rm -f "$stats_tmp"
 else
   echo "tsan_pipeline: note: $tsan_dir/examples/daemon_demo not built; daemon leg skipped"
+fi
+
+# Live-scrape leg: the StatsExposition suite drives real TCP scrapes against
+# the endpoint while poll_once samples the group — the sampler/worker/server
+# interleaving under TSan.
+if [ -x "$tsan_dir/tests/test_daemon" ]; then
+  echo "tsan_pipeline: live stats scrape (StatsExposition + SampleStats suites)..."
+  "$tsan_dir/tests/test_daemon" \
+    --gtest_filter='StatsExpositionTest.*:SampleStatsTest.*' --gtest_brief=1
+else
+  echo "tsan_pipeline: note: $tsan_dir/tests/test_daemon not built; scrape leg skipped"
 fi
 
 echo "tsan_pipeline: all concurrent suites clean under ThreadSanitizer"

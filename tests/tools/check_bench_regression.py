@@ -3,7 +3,7 @@
 
 Usage:
     check_bench_regression.py <bench_micro_ops> <bench_smoke> <baseline.json>
-        [--recalibrate]
+        [daemon_demo] [--recalibrate]
 
 Captures a machine-fingerprinted baseline (BENCH_baseline.json at the repo
 root) from ``bench_micro_ops`` (google-benchmark JSON, best-of-N repetitions)
@@ -15,6 +15,15 @@ The baseline is only comparable on the machine that captured it: when the
 fingerprint (cpu count + nominal MHz) differs — or no baseline exists yet —
 the script rewrites the baseline for the current machine and exits 77 so
 ctest reports SKIP, not FAIL. ``--recalibrate`` forces that rewrite.
+
+When a ``daemon_demo`` binary is given, a SELF-RELATIVE obs-overhead arm
+also runs (DESIGN.md §12): the live daemon replays the same workload twice —
+telemetry plane armed (poller + HTTP endpoint + flight ring) vs ``--no-obs``
+— and the telemetry arm's throughput must stay within 5% (override with
+EACACHE_OBS_TOLERANCE) of the baseline arm's. Both arms run in the same
+invocation on the same machine, so no fingerprint gating applies; the
+measured pair is recorded in the baseline file under ``daemon_obs_overhead``
+for trend visibility only.
 
 Shared machines (CI VMs) show double-digit run-to-run noise, so the gate is
 asymmetric: the baseline records the MEDIAN rate across repetitions while a
@@ -102,18 +111,49 @@ def run_smoke(binary):
     return samples
 
 
+# Obs-overhead arm: a small wall-clock daemon replay, full speed (speedup so
+# high that submission is never the bottleneck), compared with/without the
+# telemetry plane. Keep it short — each arm runs up to OBS_RUNS times.
+OBS_DEMO_ARGS = ["40000", "4", "1e9"]
+OBS_TELEMETRY_FLAGS = ["--stats-port=0", "--stats-period-ms=100", "--flight-capacity=256"]
+OBS_RUNS = 3
+
+
+def run_daemon_arm(binary, flags):
+    """Best throughput_rps over OBS_RUNS daemon_demo runs (0.0 on failure)."""
+    best = 0.0
+    for _ in range(OBS_RUNS):
+        out = subprocess.run(
+            [binary, *OBS_DEMO_ARGS, *flags],
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        for line in out.stdout.splitlines():
+            line = line.strip()
+            if line.startswith("throughput_rps="):
+                best = max(best, float(line.split("=", 1)[1]))
+    return best
+
+
 def main(argv):
     if len(argv) < 4:
         print(__doc__)
         return 1
     micro_bin, smoke_bin, baseline_path = argv[1], argv[2], argv[3]
-    recalibrate = "--recalibrate" in argv[4:]
+    extras = argv[4:]
+    recalibrate = "--recalibrate" in extras
+    daemon_bin = next((a for a in extras if not a.startswith("--")), None)
     tolerance = float(os.environ.get("EACACHE_BENCH_TOLERANCE", "0.10"))
+    obs_tolerance = float(os.environ.get("EACACHE_OBS_TOLERANCE", "0.05"))
 
     for binary in (micro_bin, smoke_bin):
         if not os.path.exists(binary):
             print(f"SKIP: {binary} not built")
             return SKIP
+    if daemon_bin is not None and not os.path.exists(daemon_bin):
+        print(f"note: {daemon_bin} not built; skipping the obs-overhead arm")
+        daemon_bin = None
 
     micro_samples, fingerprint = run_micro(micro_bin)
     smoke_samples = run_smoke(smoke_bin)
@@ -121,6 +161,15 @@ def main(argv):
     # the module docstring for why the asymmetry).
     micro = {name: max(rates) for name, rates in micro_samples.items()}
     smoke_rps = max(smoke_samples) if smoke_samples else 0.0
+
+    # Self-relative obs-overhead arm: both rates measured now, on this
+    # machine, so the verdict never depends on the stored baseline.
+    obs_rates = None
+    if daemon_bin is not None:
+        obs_rates = {
+            "telemetry_rps": run_daemon_arm(daemon_bin, OBS_TELEMETRY_FLAGS),
+            "no_obs_rps": run_daemon_arm(daemon_bin, ["--no-obs"]),
+        }
 
     baseline = None
     if os.path.exists(baseline_path):
@@ -138,6 +187,8 @@ def main(argv):
                 statistics.median(smoke_samples) if smoke_samples else 0.0
             ),
         }
+        if obs_rates is not None:
+            calibrated["daemon_obs_overhead"] = obs_rates
         with open(baseline_path, "w") as handle:
             json.dump(calibrated, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -153,7 +204,7 @@ def main(argv):
 
     def compare():
         failures = []
-        for name, base_rate in sorted(baseline["micro_items_per_second"].items()):
+        for name, base_rate in sorted(baseline.get("micro_items_per_second", {}).items()):
             rate = micro.get(name)
             if rate is None:
                 failures.append(f"{name}: benchmark disappeared from bench_micro_ops")
@@ -162,12 +213,22 @@ def main(argv):
                     f"{name}: {rate:,.0f} items/s vs baseline {base_rate:,.0f} "
                     f"({100 * (1 - rate / base_rate):.1f}% slower)"
                 )
-        base_smoke = baseline["smoke_requests_per_second"]
+        base_smoke = baseline.get("smoke_requests_per_second", 0.0)
         if smoke_rps < base_smoke * floor:
             failures.append(
                 f"bench_smoke: {smoke_rps:,.0f} req/s vs baseline {base_smoke:,.0f} "
                 f"({100 * (1 - smoke_rps / base_smoke):.1f}% slower)"
             )
+        if obs_rates is not None and obs_rates["no_obs_rps"] > 0:
+            with_obs = obs_rates["telemetry_rps"]
+            without = obs_rates["no_obs_rps"]
+            if with_obs < without * (1.0 - obs_tolerance):
+                failures.append(
+                    f"daemon_obs_overhead: {with_obs:,.0f} req/s with telemetry vs "
+                    f"{without:,.0f} with --no-obs "
+                    f"({100 * (1 - with_obs / without):.1f}% overhead, "
+                    f"bound {100 * obs_tolerance:.0f}%)"
+                )
         return failures
 
     failures = compare()
@@ -181,6 +242,11 @@ def main(argv):
         for name, rates in remicro.items():
             micro[name] = max(micro.get(name, 0.0), max(rates))
         smoke_rps = max([smoke_rps] + run_smoke(smoke_bin))
+        if obs_rates is not None and any("daemon_obs_overhead" in f for f in failures):
+            obs_rates["telemetry_rps"] = max(
+                obs_rates["telemetry_rps"],
+                run_daemon_arm(daemon_bin, OBS_TELEMETRY_FLAGS),
+            )
         failures = compare()
 
     if failures:
@@ -193,7 +259,11 @@ def main(argv):
         )
         return 1
 
-    checked = len(baseline["micro_items_per_second"]) + 1
+    checked = len(baseline.get("micro_items_per_second", {})) + 1
+    if obs_rates is not None:
+        checked += 1
+        overhead = 1 - obs_rates["telemetry_rps"] / max(obs_rates["no_obs_rps"], 1e-9)
+        print(f"daemon_obs_overhead: {100 * overhead:.1f}% (bound {100 * obs_tolerance:.0f}%)")
     print(f"ok: {checked} throughput metrics within {100 * tolerance:.0f}% of baseline")
     return 0
 

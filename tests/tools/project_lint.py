@@ -44,6 +44,16 @@ Rules
                     dependency. Run with ``--layering-fixture <file>`` to
                     self-test the rule against a deliberately violating
                     source (exit 0 iff the violation is caught).
+7. prom-names-documented
+                    every ``"eacache_..."`` Prometheus name literal in src/
+                    appears in DESIGN.md (the §13 exposition table). The
+                    scrape names are as much a contract as the result-JSON
+                    keys: a dashboard built on an undocumented family breaks
+                    silently on rename. Substring match, so prefix literals
+                    (``"eacache_proxy_"``) pass once the full family names
+                    are documented. Run with ``--prom-fixture <file>`` to
+                    self-test against a deliberately undocumented name
+                    (exit 0 iff the violation is caught).
 """
 
 from __future__ import annotations
@@ -68,6 +78,7 @@ METRIC_CALL = re.compile(r"\.\s*(?:counter|gauge|histogram)\s*\(")
 STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)+)"')
 JSON_KEY = re.compile(r'\.(?:key|field)\s*\(\s*"((?:[^"\\]|\\.)+)"')
 SIM_INCLUDE = re.compile(r'#\s*include\s+"(?:sim|event)/')
+PROM_NAME = re.compile(r'"(eacache_[a-zA-Z0-9_]*)"')
 
 # The simulator layer plus the eacache_fuzz differential harness (which by
 # design drives run_simulation); everything else is the libeacache core.
@@ -124,9 +135,42 @@ def layering_selftest(fixture: Path) -> int:
     return 0
 
 
+def prom_findings(rel: Path, text: str, design_text: str) -> list[str]:
+    findings = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        for literal in PROM_NAME.findall(strip_line_comment(raw)):
+            if literal not in design_text:
+                findings.append(
+                    f"{rel}:{lineno}: [prom-names-documented] Prometheus name "
+                    f'piece "{literal}" is not mentioned in DESIGN.md (add the '
+                    f"family to the §13 exposition table)"
+                )
+    return findings
+
+
+def prom_selftest(fixture: Path) -> int:
+    """Negative control: the fixture MUST trip the prom-name rule."""
+    design_text = DESIGN.read_text(encoding="utf-8")
+    findings = prom_findings(fixture, fixture.read_text(encoding="utf-8"), design_text)
+    if not findings:
+        print(
+            f"project_lint: negative control FAILED — {fixture} exports an "
+            f"undocumented eacache_* name but the prom-names-documented rule "
+            f"missed it"
+        )
+        return 1
+    print(
+        f"project_lint: negative control ok — prom-names-documented caught "
+        f"{len(findings)} violation(s) in {fixture.name}"
+    )
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] == "--layering-fixture":
         return layering_selftest(Path(sys.argv[2]))
+    if len(sys.argv) == 3 and sys.argv[1] == "--prom-fixture":
+        return prom_selftest(Path(sys.argv[2]))
 
     design_text = DESIGN.read_text(encoding="utf-8")
     failures: list[str] = []
@@ -136,6 +180,7 @@ def main() -> int:
         text = path.read_text(encoding="utf-8")
         if in_core_layer(rel):
             failures.extend(layering_findings(rel, text))
+        failures.extend(prom_findings(rel, text, design_text))
         for lineno, raw in enumerate(text.splitlines(), 1):
             line = strip_line_comment(raw)
 
@@ -164,7 +209,11 @@ def main() -> int:
                             f"(add it to the §11 metric table)"
                         )
 
-    for serializer in (SRC / "core" / "run_result_json.cpp", SRC / "sim" / "result_json.cpp"):
+    for serializer in (
+        SRC / "core" / "run_result_json.cpp",
+        SRC / "sim" / "result_json.cpp",
+        SRC / "daemon" / "telemetry.cpp",
+    ):
         for lineno, raw in enumerate(serializer.read_text(encoding="utf-8").splitlines(), 1):
             for literal in JSON_KEY.findall(strip_line_comment(raw)):
                 if literal not in design_text:
@@ -179,7 +228,7 @@ def main() -> int:
         for failure in failures:
             print("  " + failure)
         return 1
-    print(f"project_lint: {len(source_files())} src files clean across 6 rules")
+    print(f"project_lint: {len(source_files())} src files clean across 7 rules")
     return 0
 
 

@@ -28,11 +28,14 @@ echo "== regenerating goldens via $test_sim =="
 EACACHE_UPDATE_GOLDEN=1 "$test_sim" --gtest_filter='PipelineRegression*' --gtest_brief=1
 
 # Daemon smoke-replay pin: 4 live worker threads must keep reproducing the
-# simulator's bytes on the fixed regression workload.
+# simulator's bytes on the fixed regression workload. The TelemetryGolden
+# filter also refreshes the telemetry JSON schema pin
+# (tests/golden/telemetry_snapshot.json, DESIGN.md §13).
 if [[ -x "$test_daemon" ]]; then
   echo
-  echo "== regenerating daemon smoke golden via $test_daemon =="
-  EACACHE_UPDATE_GOLDEN=1 "$test_daemon" --gtest_filter='DaemonGolden*' --gtest_brief=1
+  echo "== regenerating daemon smoke + telemetry goldens via $test_daemon =="
+  EACACHE_UPDATE_GOLDEN=1 "$test_daemon" \
+    --gtest_filter='DaemonGolden*:TelemetryGolden*' --gtest_brief=1
 else
   echo "warning: $test_daemon not built; skipping tests/golden/daemon_smoke.json" >&2
 fi

@@ -206,7 +206,9 @@ bool validate_span(const std::map<std::string, Value>& fields, std::string& erro
   }
 
   std::set<std::string> allowed = {"run", "request", "at_ms", "proxy", "doc", "event",
-                                  "peer", "requester_ea_ms", "responder_ea_ms"};
+                                  "peer", "requester_ea_ms", "responder_ea_ms",
+                                  // Daemon cross-hop trace identity (DESIGN.md §8).
+                                  "span", "parent_span", "hop"};
   allowed.insert(flag_key_for(event->text));
   allowed.insert(value_key_for(event->text));
   for (const auto& [key, value] : fields) {
@@ -249,6 +251,18 @@ bool validate_span(const std::map<std::string, Value>& fields, std::string& erro
       error = std::string("\"") + key + "\" must be a non-negative integer";
       return false;
     }
+  }
+  // Cross-hop trace identity: "span" is a positive integer id; "parent_span"
+  // links to another line's "span"; "hop" is the distance from the home proxy.
+  for (const char* key : {"span", "parent_span", "hop"}) {
+    if (const Value* id = get(key); id != nullptr && !is_nonnegative_integer(*id)) {
+      error = std::string("\"") + key + "\" must be a non-negative integer";
+      return false;
+    }
+  }
+  if (get("parent_span") != nullptr && get("span") == nullptr) {
+    error = "\"parent_span\" requires a \"span\" id on the same line";
+    return false;
   }
   return true;
 }
