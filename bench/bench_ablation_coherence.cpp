@@ -49,9 +49,9 @@ int main(int argc, char** argv) {
     config.origin.max_update_interval = hours(24 * 60);
     config.aggregate_capacity = 10 * kMiB;
     config.placement = PlacementKind::kAdHoc;
-    runner.add("adhoc@" + rule.label, config, trace);
+    runner.add("adhoc@" + rule.label, bench::make_spec(config), trace);
     config.placement = PlacementKind::kEa;
-    runner.add("ea@" + rule.label, config, trace);
+    runner.add("ea@" + rule.label, bench::make_spec(config), trace);
   }
   const auto runs = runner.run();
 

@@ -21,11 +21,11 @@ int main(int argc, char** argv) {
   bench::print_banner("ABL-FAIL", "Hit-rate cost of proxy crashes and outages mid-trace");
   const TraceRef trace = bench::small_trace();
 
-  SimulationOptions crash_options;
-  crash_options.faults.flushes.push_back({trace->requests[trace->size() / 2].at, 0});
+  FaultPlan crash_plan;
+  crash_plan.flushes.push_back({trace->requests[trace->size() / 2].at, 0});
 
-  SimulationOptions outage_options;
-  outage_options.faults.outages.push_back(PeerOutage{
+  FaultPlan outage_plan;
+  outage_plan.outages.push_back(PeerOutage{
       /*proxy=*/0, trace->requests[trace->size() / 4].at,
       trace->requests[3 * trace->size() / 4].at});
 
@@ -54,9 +54,9 @@ int main(int argc, char** argv) {
       config.routing = scheme.routing;
       const std::string point =
           std::string(scheme.label) + "@" + bench::capacity_label(capacity);
-      runner.add(point + "/clean", config, trace);
-      runner.add(point + "/crash", config, trace, crash_options);
-      runner.add(point + "/outage", config, trace, outage_options);
+      runner.add(point + "/clean", bench::make_spec(config), trace);
+      runner.add(point + "/crash", bench::make_spec(config, crash_plan), trace);
+      runner.add(point + "/outage", bench::make_spec(config, outage_plan), trace);
       rows.push_back({capacity, scheme.label});
     }
   }

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
         config.placement = placement;
         runner.add(std::string(to_string(placement)) + "@" + split.label + "/" +
                        bench::capacity_label(capacity),
-                   config, trace);
+                   bench::make_spec(config), trace);
         rows.push_back({capacity, split.label, placement});
       }
     }

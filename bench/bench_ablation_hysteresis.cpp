@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     base.aggregate_capacity = capacity;
 
     base.placement = PlacementKind::kAdHoc;
-    runner.add("adhoc@" + bench::capacity_label(capacity), base, trace);
+    runner.add("adhoc@" + bench::capacity_label(capacity), bench::make_spec(base), trace);
     rows.push_back({capacity, "ad-hoc"});
 
     for (const double factor : factors) {
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
       base.ea_hysteresis = factor;
       const std::string scheme =
           factor == 1.0 ? "ea (x1)" : ("ea-hyst x" + fmt_double(factor, 1));
-      runner.add(scheme + "@" + bench::capacity_label(capacity), base, trace);
+      runner.add(scheme + "@" + bench::capacity_label(capacity), bench::make_spec(base), trace);
       rows.push_back({capacity, scheme});
     }
   }

@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
       const std::string point =
           std::string(to_string(policy)) + "/" + bench::capacity_label(capacity);
       config.placement = PlacementKind::kAdHoc;
-      runner.add("adhoc@" + point, config, trace);
+      runner.add("adhoc@" + point, bench::make_spec(config), trace);
       config.placement = PlacementKind::kEa;
-      runner.add("ea@" + point, config, trace);
+      runner.add("ea@" + point, bench::make_spec(config), trace);
       rows.push_back({policy, capacity});
     }
   }

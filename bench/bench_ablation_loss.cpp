@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       config.placement = placement;
       config.icp_loss_probability = loss;
       runner.add(std::string(to_string(placement)) + "@loss-" + fmt_percent(loss, 0),
-                 config, trace);
+                 bench::make_spec(config), trace);
       rows.push_back({loss, placement});
     }
   }

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       config.pipeline.event_driven = arm.event_driven;
       config.pipeline.icp_retries = arm.retries;
       config.pipeline.coalesce = arm.coalesce;
-      runner.add(std::string(arm.label) + "@loss=" + fmt_percent(loss), config, trace);
+      runner.add(std::string(arm.label) + "@loss=" + fmt_percent(loss), bench::make_spec(config), trace);
     }
   }
   const auto runs = runner.run();

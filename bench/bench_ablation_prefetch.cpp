@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
       config.prefetch.enabled = mode.enabled;
       config.prefetch.min_confidence = mode.confidence;
       config.prefetch.min_observations = 3;
-      runner.add(std::string(to_string(placement)) + "@" + mode.label, config, trace);
+      runner.add(std::string(to_string(placement)) + "@" + mode.label, bench::make_spec(config), trace);
       rows.push_back({placement, mode.label});
     }
   }

@@ -43,9 +43,9 @@ int main(int argc, char** argv) {
       config.aggregate_capacity = capacity;
       const std::string point = option.label + "/" + bench::capacity_label(capacity);
       config.placement = PlacementKind::kAdHoc;
-      runner.add("adhoc@" + point, config, trace);
+      runner.add("adhoc@" + point, bench::make_spec(config), trace);
       config.placement = PlacementKind::kEa;
-      runner.add("ea@" + point, config, trace);
+      runner.add("ea@" + point, bench::make_spec(config), trace);
       rows.push_back({option.label, capacity});
     }
   }

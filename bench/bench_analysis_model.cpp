@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       config.aggregate_capacity = capacity;
       config.placement = placement;
       runner.add(std::string(to_string(placement)) + "@" + bench::capacity_label(capacity),
-                 config, trace);
+                 bench::make_spec(config), trace);
       rows.push_back({capacity, placement});
     }
   }

@@ -32,14 +32,14 @@ int main(int argc, char** argv) {
     base.aggregate_capacity = capacity;
 
     base.placement = PlacementKind::kAdHoc;
-    runner.add("adhoc@" + bench::capacity_label(capacity), base, trace);
+    runner.add("adhoc@" + bench::capacity_label(capacity), bench::make_spec(base), trace);
     rows.push_back({capacity, "ad-hoc"});
     base.placement = PlacementKind::kEa;
-    runner.add("ea@" + bench::capacity_label(capacity), base, trace);
+    runner.add("ea@" + bench::capacity_label(capacity), bench::make_spec(base), trace);
     rows.push_back({capacity, "ea"});
     base.placement = PlacementKind::kAdHoc;
     base.routing = RoutingMode::kHashPartition;
-    runner.add("hash@" + bench::capacity_label(capacity), base, trace);
+    runner.add("hash@" + bench::capacity_label(capacity), bench::make_spec(base), trace);
     rows.push_back({capacity, "hash"});
   }
   const auto runs = runner.run();

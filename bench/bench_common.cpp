@@ -18,6 +18,10 @@ const char* g_argv0 = "bench";
 // them into every config it hands out so `--pipeline` flips a whole bench.
 PipelineConfig g_cli_pipeline;
 
+// Execution policy captured the same way; make_spec() folds it into every
+// RunSpec so `--shards N` moves a whole bench onto the sharded engine.
+std::size_t g_cli_shards = 0;
+
 /// Parser scratch: the options being built plus enough bookkeeping to
 /// diagnose flag combinations after the loop.
 struct ParseState {
@@ -95,6 +99,11 @@ constexpr FlagSpec kFlags[] = {
     {"validate", nullptr,
      "attach the invariant checker to every run (DESIGN.md §10)",
      [](ParseState& state, const char*) { state.options.validate = true; }},
+    {"shards", "N",
+     "run on the sharded parallel engine with N shards (0 = classic driver)",
+     [](ParseState& state, const char* value) {
+       state.options.shards = static_cast<std::size_t>(non_negative_long(value, "shards"));
+     }},
     {"help", nullptr, "print this message and exit", nullptr},
 };
 
@@ -185,7 +194,13 @@ BenchOptions parse_args(int argc, char** argv) {
     }
     if (!joined.empty()) fail(joined);
   }
+  if (state.options.shards >= 1 &&
+      (state.options.pipeline.event_driven || state.options.validate)) {
+    fail("--shards is incompatible with --pipeline and --validate "
+         "(the sharded engine is its own driver; see RunSpec::validate)");
+  }
   g_cli_pipeline = state.options.pipeline;
+  g_cli_shards = state.options.shards;
   return state.options;
 }
 
@@ -285,6 +300,14 @@ GroupConfig paper_group(std::size_t num_proxies) {
   config.latency = LatencyModel::paper_defaults();
   config.pipeline = g_cli_pipeline;
   return config;
+}
+
+RunSpec make_spec(GroupConfig config, FaultPlan faults) {
+  RunSpec spec;
+  spec.group = std::move(config);
+  spec.faults = std::move(faults);
+  spec.exec.shards = g_cli_shards;
+  return spec;
 }
 
 void print_banner(const std::string& experiment_id, const std::string& title) {

@@ -25,15 +25,20 @@
 //   --validate          attach the invariant checker to every run and embed
 //                       its report under "validation" in the result JSON
 //                       (DESIGN.md §10)
+//   --shards N          run every simulation on the sharded parallel engine
+//                       with N shards (DESIGN.md §14; default 0 = the classic
+//                       single-queue driver)
 //
-// The pipeline flags flow into every GroupConfig built by paper_group(), so
-// any figure/ablation bench can be re-run under the event-driven driver
-// without per-bench plumbing.
+// The pipeline flags flow into every GroupConfig built by paper_group(), and
+// the execution policy flows into every RunSpec built by make_spec(), so any
+// figure/ablation bench can be re-run under the event-driven driver or the
+// sharded engine without per-bench plumbing.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
+#include "core/run_spec.h"
 #include "group/cache_group.h"
 #include "metrics/table.h"
 #include "sim/experiment.h"
@@ -53,6 +58,7 @@ struct BenchOptions {
   bool no_obs = false;       // --no-obs: registry + tracing disabled
   PipelineConfig pipeline;   // --pipeline/--icp-*/--coalesce; default = legacy
   bool validate = false;     // --validate: invariant checker on every run
+  std::size_t shards = 0;    // --shards: sharded engine; 0 = classic driver
 };
 
 [[nodiscard]] BenchOptions parse_args(int argc, char** argv);
@@ -83,6 +89,13 @@ struct BenchOptions {
 /// the pipeline knobs from the most recent parse_args() call, so `--pipeline`
 /// switches every bench onto the event-driven driver.
 [[nodiscard]] GroupConfig paper_group(std::size_t num_proxies = 4);
+
+/// The RunSpec a bench enqueues for one run: `config` plus the execution
+/// policy from the most recent parse_args() call (`--shards`) and an
+/// optional per-run fault plan. Canonical job-construction path — every
+/// bench goes through here so one CLI flag re-runs a whole figure on the
+/// sharded engine.
+[[nodiscard]] RunSpec make_spec(GroupConfig config, FaultPlan faults = {});
 
 /// Pretty banner: experiment id + description + workload summary.
 void print_banner(const std::string& experiment_id, const std::string& title);

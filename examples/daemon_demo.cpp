@@ -137,8 +137,10 @@ int main(int argc, char** argv) {
       };
     }
 
+    RunSpec spec;
+    spec.group = config;
     LoadGenReport report;
-    const RunResult live = run_daemon(trace, config, options, &report);
+    const RunResult live = run_daemon(trace, spec, options, &report);
     std::printf("  live: %llu/%llu completed in %.2f s (%.0f req/s), "
                 "hit rate %6.2f%%, byte hit rate %6.2f%%\n",
                 static_cast<unsigned long long>(report.completed),
@@ -149,7 +151,7 @@ int main(int argc, char** argv) {
     std::printf("  throughput_rps=%.1f\n",
                 static_cast<double>(report.completed) / report.wall_seconds);
 
-    const RunResult simulated = run_simulation(trace, config);
+    const RunResult simulated = run(trace, spec);
     std::printf("  sim:  hit rate %6.2f%%, byte hit rate %6.2f%%\n",
                 100.0 * simulated.metrics.hit_rate(),
                 100.0 * simulated.metrics.byte_hit_rate());

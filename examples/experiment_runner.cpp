@@ -144,7 +144,9 @@ int main(int argc, char** argv) {
         GroupConfig config = base;
         config.aggregate_capacity = *capacity;
         config.placement = placement_kind_from_string(scheme);
-        runner.add(scheme + "@" + capacity_label, config, shared);
+        RunSpec spec;
+        spec.group = config;
+        runner.add(scheme + "@" + capacity_label, std::move(spec), shared);
         rows.push_back({capacity_label, scheme});
       }
     }

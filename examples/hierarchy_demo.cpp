@@ -83,7 +83,9 @@ int main() {
       run_config.aggregate_capacity = 2 * kMiB;
       run_config.topology = topology;
       run_config.placement = placement;
-      const SimulationResult result = run_simulation(trace, run_config);
+      RunSpec spec;
+      spec.group = run_config;
+      const SimulationResult result = run(trace, spec);
       std::printf("%-13s %-8s %8.2f%% %8.2f%% %7.1fms\n",
                   topology == TopologyKind::kDistributed ? "distributed" : "hierarchical",
                   std::string(to_string(placement)).c_str(),

@@ -130,8 +130,10 @@ int main(int argc, char** argv) {
                 config.num_proxies, std::string(to_string(config.placement)).c_str(),
                 options.mode == DaemonMode::kSmokeReplay ? "smoke-replay" : "wall-clock");
 
+    RunSpec spec;
+    spec.group = config;
     LoadGenReport report;
-    const RunResult result = run_daemon(trace, config, options, &report);
+    const RunResult result = run_daemon(trace, spec, options, &report);
 
     std::printf("\n  completed       %llu/%llu (%llu flushes injected)\n",
                 static_cast<unsigned long long>(report.completed),

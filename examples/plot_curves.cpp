@@ -35,19 +35,23 @@ int main() {
     config.num_proxies = 4;
     config.aggregate_capacity = capacity;
 
+    RunSpec spec;
     config.placement = PlacementKind::kAdHoc;
-    SimulationResult r = run_simulation(trace, config);
+    spec.group = config;
+    SimulationResult r = run(trace, spec);
     adhoc_hits.push_back(r.metrics.hit_rate());
     adhoc_lat.push_back(r.metrics.estimated_average_latency_ms(model));
 
     config.placement = PlacementKind::kEa;
-    r = run_simulation(trace, config);
+    spec.group = config;
+    r = run(trace, spec);
     ea_hits.push_back(r.metrics.hit_rate());
     ea_lat.push_back(r.metrics.estimated_average_latency_ms(model));
 
     config.placement = PlacementKind::kAdHoc;
     config.routing = RoutingMode::kHashPartition;
-    r = run_simulation(trace, config);
+    spec.group = config;
+    r = run(trace, spec);
     hash_hits.push_back(r.metrics.hit_rate());
     hash_lat.push_back(r.metrics.estimated_average_latency_ms(model));
   }

@@ -32,8 +32,9 @@ int main() {
       config.aggregate_capacity = 2 * kMiB;
       config.replacement = policy;
       config.placement = placement;
-      rates[placement == PlacementKind::kEa ? 1 : 0] =
-          run_simulation(trace, config).metrics.hit_rate();
+      RunSpec spec;
+      spec.group = config;
+      rates[placement == PlacementKind::kEa ? 1 : 0] = run(trace, spec).metrics.hit_rate();
     }
     std::printf("%-10s %13.2f%% %13.2f%% %+9.2f%%\n", std::string(to_string(policy)).c_str(),
                 100.0 * rates[0], 100.0 * rates[1], 100.0 * (rates[1] - rates[0]));
@@ -58,7 +59,9 @@ int main() {
     config.aggregate_capacity = 2 * kMiB;
     config.placement = PlacementKind::kEa;
     config.window = option.window;
-    const SimulationResult result = run_simulation(trace, config);
+    RunSpec spec;
+    spec.group = config;
+    const SimulationResult result = run(trace, spec);
     std::printf("%-12s %9.2f%% %14.3f %12.1f\n", option.label,
                 100.0 * result.metrics.hit_rate(), result.replication_factor,
                 result.average_cache_expiration_age.is_infinite()

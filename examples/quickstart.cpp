@@ -6,8 +6,12 @@
 //
 // This is the 60-second tour of the public API:
 //   trace   = generate_synthetic_trace(SyntheticTraceConfig)
-//   config  = GroupConfig{...}
-//   result  = run_simulation(trace, config)
+//   spec    = RunSpec{.group = GroupConfig{...}}
+//   result  = run(trace, spec)
+// RunSpec (core/run_spec.h) is the one description of a run: the cache
+// group, the per-run knobs (faults, invariant checking) and the execution
+// policy — set spec.exec.shards >= 1 to run the same simulation on the
+// sharded parallel engine with a byte-identical result.
 #include <cstdio>
 
 #include "sim/simulator.h"
@@ -39,7 +43,9 @@ int main() {
   // 3. Run both placement schemes on the identical trace.
   for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
     config.placement = placement;
-    const SimulationResult result = run_simulation(trace, config);
+    RunSpec spec;
+    spec.group = config;
+    const SimulationResult result = run(trace, spec);
     const LatencyModel latency = LatencyModel::paper_defaults();
     std::printf("scheme %-6s  hit rate %6.2f%%  byte hit rate %6.2f%%  "
                 "est. latency %7.1f ms  replication %.3f\n",

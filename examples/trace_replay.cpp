@@ -96,7 +96,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.unique_users),
                 format_duration(stats.span()).c_str());
 
-    const SimulationResult result = run_simulation(parsed.trace, config);
+    RunSpec spec;
+    spec.group = config;
+    const SimulationResult result = run(parsed.trace, spec);
     const LatencyModel latency = LatencyModel::paper_defaults();
     std::printf("\nscheme=%s proxies=%zu capacity=%s replacement=%s\n",
                 std::string(to_string(config.placement)).c_str(), config.num_proxies,

@@ -1,0 +1,123 @@
+#include "core/run_spec.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace eacache {
+
+Duration default_lookahead(const LatencyModel& latency) {
+  // The four shard-crossing hop delays the engine uses (DESIGN.md §14):
+  // probe out, reply back (these two sum to icp_rtt), fetch/parent request
+  // hop, and the body return (remote_transfer minus the request hop,
+  // clamped to one tick). The window must not exceed any of them.
+  const Duration probe = latency.icp_rtt / 2;
+  const Duration reply = latency.icp_rtt - probe;
+  const Duration body = std::max(latency.remote_transfer() - probe, msec(1));
+  return std::max(msec(1), std::min({probe, reply, probe, body}));
+}
+
+std::vector<std::string> RunSpec::validate(RunTarget target) const {
+  // Group-level rules first (the old entry points, now internal): the
+  // daemon target layers its driver restrictions on top of the base set.
+  std::vector<std::string> errors =
+      target == RunTarget::kDaemon ? group.validate_for_daemon() : group.validate();
+  const auto fail = [&errors](std::string message) { errors.push_back(std::move(message)); };
+
+  if (target == RunTarget::kDaemon) {
+    if (snapshot_period > Duration::zero()) {
+      fail("snapshot_period is simulator machinery (virtual-clock snapshots); "
+           "daemon runs must leave it zero");
+    }
+    if (check_invariants) {
+      fail("check_invariants attaches the simulator's invariant checker; "
+           "daemon runs cannot carry it");
+    }
+    if (exec.sharded()) {
+      fail("ExecutionPolicy::shards selects the simulator's sharded engine; "
+           "daemon mode has real threads already");
+    }
+    return errors;
+  }
+
+  if (!exec.sharded()) {
+    if (exec.lookahead_override.has_value()) {
+      fail("ExecutionPolicy::lookahead_override requires shards >= 1 (the "
+           "classic driver has no synchronization windows)");
+    }
+    return errors;
+  }
+
+  // ---- Sharded-engine subset --------------------------------------------
+  // The sharded engine routes every cross-proxy interaction through
+  // deterministic shard-crossing messages; features whose semantics are
+  // tied to the single-queue orchestrator are rejected rather than
+  // silently approximated.
+  if (group.coherence.enabled) {
+    fail("sharded runs cannot use coherence: freshness validation consults "
+         "the origin oracle synchronously");
+  }
+  if (group.prefetch.enabled) {
+    fail("sharded runs cannot use prefetching: the Markov learner is "
+         "group-global state");
+  }
+  if (group.discovery == DiscoveryMode::kDigest) {
+    fail("sharded runs require kIcp discovery (the digest directory is "
+         "group-global state)");
+  }
+  if (group.routing == RoutingMode::kHashPartition) {
+    fail("sharded runs require kCooperative routing");
+  }
+  if (group.icp_loss_probability != 0.0) {
+    fail("sharded runs require icp_loss_probability == 0: the seeded loss "
+         "draw is consumed in single-queue serve order");
+  }
+  if (group.pipeline.event_driven) {
+    fail("sharded runs are their own event-driven driver; "
+         "pipeline.event_driven must stay off");
+  }
+  if (group.obs.trace_capacity > 0) {
+    fail("sharded runs do not record request spans (the span ring is "
+         "single-writer)");
+  }
+  if (snapshot_period > Duration::zero()) {
+    fail("sharded runs do not support snapshot_period: group-wide hit-rate "
+         "snapshots need a mid-run global merge");
+  }
+  if (check_invariants) {
+    fail("sharded runs do not support check_invariants: the checker attaches "
+         "to the single-queue drivers");
+  }
+
+  const Duration floor = default_lookahead(group.latency);
+  if (group.latency.icp_rtt < msec(2)) {
+    fail("sharded runs need latency.icp_rtt >= 2 ms so both ICP hop delays "
+         "are at least one tick");
+  }
+  if (group.latency.remote_transfer() <= group.latency.icp_rtt / 2) {
+    fail("sharded runs need latency.remote_transfer() > icp_rtt/2 so the "
+         "body-return hop is at least one tick");
+  }
+  if (exec.lookahead_override.has_value()) {
+    const Duration window = *exec.lookahead_override;
+    if (window < msec(1) || window > floor) {
+      fail("ExecutionPolicy::lookahead_override must lie in [1 ms, " +
+           std::to_string(floor.count()) + " ms] (the inter-proxy message floor)");
+    }
+  }
+
+  return errors;
+}
+
+void RunSpec::validate_or_throw(RunTarget target) const {
+  const std::vector<std::string> errors = validate(target);
+  if (errors.empty()) return;
+  std::string message = "invalid RunSpec: ";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += errors[i];
+  }
+  throw std::invalid_argument(message);
+}
+
+}  // namespace eacache

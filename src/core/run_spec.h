@@ -1,0 +1,100 @@
+// RunSpec: the single description of one run, whichever driver executes it.
+//
+// Historically a run was configured through three overlapping structs:
+//   * GroupConfig          — the cache group itself (kept, nested below);
+//   * SimulationOptions    — snapshot period, invariant checker, faults;
+//   * SweepOptions         — per-sweep validate/obs overrides leaking into
+//                            per-run semantics.
+// RunSpec collapses the per-run knobs into one aggregate with ONE
+// validation entry point, `RunSpec::validate(target)`, which absorbs
+// `GroupConfig::validate()` and `GroupConfig::validate_for_daemon()` (both
+// remain as thin internal helpers for one release — new code should only
+// ever call the RunSpec entry point). The DESIGN.md §14 table maps every
+// old field to its new home.
+//
+// Execution placement is explicit: ExecutionPolicy selects between the
+// classic single-queue discrete-event driver (shards == 0, the default —
+// golden-pinned, byte-identical to every previous release) and the sharded
+// conservative-lookahead engine (shards >= 1, sim/shard_engine.h). The
+// sharded engine is deterministic in the shard count: result JSON for
+// shards=1 equals shards=N bit for bit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/fault_plan.h"
+#include "group/cache_group.h"
+#include "net/latency_model.h"
+
+namespace eacache {
+
+/// How a run is placed onto the machine.
+///  * shards == 0 — the classic driver: one thread, one EventQueue
+///    (sim/simulator.h; the event-driven pipeline rides this path too).
+///  * shards >= 1 — the sharded parallel engine: the proxy topology is
+///    partitioned into `shards` shards, each with its own EventQueue and
+///    clock, synchronized by conservative lookahead windows
+///    (sim/shard_engine.h). shards == 1 runs the same message-driven
+///    semantics on one thread — the determinism baseline for N > 1.
+struct ExecutionPolicy {
+  std::size_t shards = 0;
+
+  /// Conservative synchronization window. Defaults to the LatencyModel's
+  /// inter-proxy message floor (see `default_lookahead`); an override must
+  /// lie in [1 ms, that floor] — larger would let a message land inside the
+  /// window that sent it, which breaks conservative synchronization.
+  std::optional<Duration> lookahead_override;
+
+  [[nodiscard]] bool sharded() const { return shards >= 1; }
+};
+
+/// Which driver family a RunSpec is being validated for.
+enum class RunTarget { kSimulation, kDaemon };
+
+/// The smallest delay any shard-crossing message can have under `latency`:
+/// min of the probe hop, reply hop, fetch hop and body-return delays. This
+/// is the widest safe lookahead window (20 ms under paper defaults:
+/// icp_rtt/2).
+[[nodiscard]] Duration default_lookahead(const LatencyModel& latency);
+
+struct RunSpec {
+  /// The cache group: topology, capacities, policies, protocol knobs,
+  /// observability. Unchanged from the pre-RunSpec API.
+  GroupConfig group;
+
+  /// Period for hit-rate time-series snapshots; zero disables them.
+  /// (Was SimulationOptions::snapshot_period.)
+  Duration snapshot_period = Duration::zero();
+
+  /// Attach the invariant checker (src/validate/invariants.h) to the run.
+  /// (Was SimulationOptions::validate / SweepOptions::validate.)
+  bool check_invariants = false;
+
+  /// Declarative fault injection: flushes + peer-outage windows.
+  /// (Was SimulationOptions::faults; the flush_events shim is gone.)
+  FaultPlan faults;
+
+  /// Sharding + lookahead. (New in the RunSpec API.)
+  ExecutionPolicy exec;
+
+  /// Every violated rule, in a stable order; empty means the spec is
+  /// runnable by the `target` driver family. THE validation entry point:
+  /// aggregates the group-level rules (GroupConfig::validate), the
+  /// daemon-restriction rules (the old validate_for_daemon) and the
+  /// execution-policy rules in one pass.
+  [[nodiscard]] std::vector<std::string> validate(
+      RunTarget target = RunTarget::kSimulation) const;
+
+  /// Throws std::invalid_argument with every violation ("; "-joined).
+  void validate_or_throw(RunTarget target = RunTarget::kSimulation) const;
+
+  /// The lookahead window the sharded engine will actually use.
+  [[nodiscard]] Duration effective_lookahead() const {
+    return exec.lookahead_override.value_or(default_lookahead(group.latency));
+  }
+};
+
+}  // namespace eacache

@@ -15,9 +15,11 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
 }
 }  // namespace
 
-std::vector<std::string> validate_daemon_run(const GroupConfig& config,
-                                             const DaemonOptions& options) {
-  std::vector<std::string> errors = config.validate_for_daemon();
+namespace {
+
+/// The option-level rules shared by both validation overloads; group-level
+/// rules come from RunSpec::validate (or the deprecated GroupConfig path).
+void append_option_rules(const DaemonOptions& options, std::vector<std::string>& errors) {
   const auto fail = [&errors](std::string message) { errors.push_back(std::move(message)); };
 
   if (options.mode == DaemonMode::kWallClock) {
@@ -76,18 +78,56 @@ std::vector<std::string> validate_daemon_run(const GroupConfig& config,
     fail("FaultPlan flight_dumps need telemetry.flight_out (and a non-zero "
          "flight_capacity) to land anywhere");
   }
-  return errors;
 }
 
-void validate_daemon_run_or_throw(const GroupConfig& config, const DaemonOptions& options) {
-  const std::vector<std::string> errors = validate_daemon_run(config, options);
-  if (errors.empty()) return;
+[[noreturn]] void throw_daemon_errors(const std::vector<std::string>& errors) {
   std::string message = "invalid daemon run: ";
   for (std::size_t i = 0; i < errors.size(); ++i) {
     if (i > 0) message += "; ";
     message += errors[i];
   }
   throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+std::vector<std::string> validate_daemon_run(const RunSpec& spec, const DaemonOptions& options) {
+  std::vector<std::string> errors = spec.validate(RunTarget::kDaemon);
+  if (!options.faults.empty()) {
+    errors.push_back(
+        "faults belong on the RunSpec (RunSpec::faults); leave "
+        "DaemonOptions::faults empty when running through the RunSpec API");
+  }
+  // Option rules see the fault plan the run would actually use.
+  DaemonOptions effective = options;
+  effective.faults = spec.faults;
+  append_option_rules(effective, errors);
+  return errors;
+}
+
+std::vector<std::string> validate_daemon_run(const GroupConfig& config,
+                                             const DaemonOptions& options) {
+  std::vector<std::string> errors = config.validate_for_daemon();
+  append_option_rules(options, errors);
+  return errors;
+}
+
+void validate_daemon_run_or_throw(const RunSpec& spec, const DaemonOptions& options) {
+  const std::vector<std::string> errors = validate_daemon_run(spec, options);
+  if (!errors.empty()) throw_daemon_errors(errors);
+}
+
+void validate_daemon_run_or_throw(const GroupConfig& config, const DaemonOptions& options) {
+  const std::vector<std::string> errors = validate_daemon_run(config, options);
+  if (!errors.empty()) throw_daemon_errors(errors);
+}
+
+RunResult run_daemon(const Trace& trace, const RunSpec& spec, const DaemonOptions& options,
+                     LoadGenReport* report, PhaseTimings* timings) {
+  validate_daemon_run_or_throw(spec, options);
+  DaemonOptions effective = options;
+  effective.faults = spec.faults;
+  return run_daemon(trace, spec.group, effective, report, timings);
 }
 
 RunResult run_daemon(const Trace& trace, const GroupConfig& config,

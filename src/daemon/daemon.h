@@ -13,6 +13,7 @@
 
 #include "core/fault_plan.h"
 #include "core/run_result.h"
+#include "core/run_spec.h"
 #include "daemon/daemon_group.h"
 #include "daemon/load_gen.h"
 #include "daemon/telemetry.h"
@@ -64,20 +65,36 @@ struct DaemonOptions {
 };
 
 /// Every rule a daemon run would violate, aggregated in a stable order:
-/// GroupConfig::validate_for_daemon() first, then the option rules
-/// (zero-rate or non-positive pacing, wall-clock FaultPlans, outage
-/// injection, non-positive drain timeout). Empty means runnable.
+/// `RunSpec::validate(RunTarget::kDaemon)` first (the one validation entry
+/// point — group rules plus the per-run knobs a daemon cannot carry), then
+/// the option rules (zero-rate or non-positive pacing, wall-clock
+/// FaultPlans, outage injection, non-positive drain timeout). Empty means
+/// runnable. Faults belong on the RunSpec; DaemonOptions::faults must be
+/// left empty with this overload.
+[[nodiscard]] std::vector<std::string> validate_daemon_run(const RunSpec& spec,
+                                                           const DaemonOptions& options);
+
+/// DEPRECATED pre-RunSpec shape, kept one release: wraps `config` into a
+/// RunSpec and validates with DaemonOptions::faults still honoured.
 [[nodiscard]] std::vector<std::string> validate_daemon_run(const GroupConfig& config,
                                                            const DaemonOptions& options);
 
-/// Throwing wrapper over validate_daemon_run (std::invalid_argument with
-/// every violation "; "-joined), mirroring GroupConfig::validate_or_throw.
+/// Throwing wrappers over validate_daemon_run (std::invalid_argument with
+/// every violation "; "-joined), mirroring RunSpec::validate_or_throw.
+void validate_daemon_run_or_throw(const RunSpec& spec, const DaemonOptions& options);
 void validate_daemon_run_or_throw(const GroupConfig& config, const DaemonOptions& options);
 
-/// Run `trace` through a fresh daemon group built from `config`. The trace
-/// must be time-ordered. When `report` is non-null it receives the load
-/// generator's submission/completion accounting; when `timings` is non-null
-/// it receives the wall-clock phase split (drive vs report).
+/// Run `trace` through a fresh daemon group built from `spec.group`, with
+/// `spec.faults` as the fault plan. The trace must be time-ordered. When
+/// `report` is non-null it receives the load generator's submission/
+/// completion accounting; when `timings` is non-null it receives the
+/// wall-clock phase split (drive vs report).
+[[nodiscard]] RunResult run_daemon(const Trace& trace, const RunSpec& spec,
+                                   const DaemonOptions& options = {},
+                                   LoadGenReport* report = nullptr,
+                                   PhaseTimings* timings = nullptr);
+
+/// DEPRECATED pre-RunSpec shape, kept one release.
 [[nodiscard]] RunResult run_daemon(const Trace& trace, const GroupConfig& config,
                                    const DaemonOptions& options = {},
                                    LoadGenReport* report = nullptr,

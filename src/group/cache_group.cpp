@@ -18,7 +18,9 @@ const GroupConfig& validated(const GroupConfig& config) {
   return config;
 }
 
-Topology build_topology(const GroupConfig& config) {
+}  // namespace
+
+Topology topology_from(const GroupConfig& config) {
   if (!config.custom_parents.empty()) {
     return Topology::from_parents(TopologyKind::kHierarchical, config.custom_parents);
   }
@@ -26,12 +28,10 @@ Topology build_topology(const GroupConfig& config) {
     case TopologyKind::kDistributed: return Topology::distributed(config.num_proxies);
     case TopologyKind::kHierarchical: return Topology::two_level(config.num_proxies);
   }
-  throw std::invalid_argument("CacheGroup: bad topology kind");
+  throw std::invalid_argument("topology_from: bad topology kind");
 }
 
-/// Per-cache byte budgets: equal split (the paper's setup) unless explicit
-/// weights are given. Assumes a validated config.
-std::vector<Bytes> split_budgets(const GroupConfig& config, std::size_t total_caches) {
+std::vector<Bytes> cache_budgets(const GroupConfig& config, std::size_t total_caches) {
   std::vector<Bytes> budgets(total_caches, config.aggregate_capacity / total_caches);
   if (!config.capacity_weights.empty()) {
     double weight_sum = 0.0;
@@ -44,7 +44,18 @@ std::vector<Bytes> split_budgets(const GroupConfig& config, std::size_t total_ca
   return budgets;
 }
 
-}  // namespace
+ProxyId home_proxy_in(const Topology& topology, UserId user) {
+  const auto& facing = topology.client_facing();
+  return facing[mix64(user) % facing.size()];
+}
+
+void sort_by_ring_distance(std::vector<ProxyId>& peers, ProxyId requester,
+                           std::size_t num_caches) {
+  std::sort(peers.begin(), peers.end(), [&](ProxyId a, ProxyId b) {
+    return (a + num_caches - requester) % num_caches <
+           (b + num_caches - requester) % num_caches;
+  });
+}
 
 std::size_t GroupConfig::total_cache_count() const {
   if (!custom_parents.empty()) return custom_parents.size();
@@ -79,7 +90,7 @@ std::vector<std::string> GroupConfig::validate() const {
     }
   }
   if (total_caches > 0 && weights_usable) {
-    for (const Bytes budget : split_budgets(*this, total_caches)) {
+    for (const Bytes budget : cache_budgets(*this, total_caches)) {
       if (budget == 0) {
         fail("aggregate_capacity too small: some cache's budget rounds to zero bytes");
         break;
@@ -194,7 +205,7 @@ void GroupConfig::validate_or_throw() const {
 
 CacheGroup::CacheGroup(const GroupConfig& config)
     : config_(validated(config)),
-      topology_(build_topology(config_)),
+      topology_(topology_from(config_)),
       placement_(config_.placement_override
                      ? config_.placement_override
                      : std::shared_ptr<const PlacementPolicy>(
@@ -204,7 +215,7 @@ CacheGroup::CacheGroup(const GroupConfig& config)
       transport_(config.wire),
       digest_directory_(config.digest) {
   const std::size_t total_caches = topology_.num_proxies();
-  const std::vector<Bytes> budgets = split_budgets(config_, total_caches);
+  const std::vector<Bytes> budgets = cache_budgets(config_, total_caches);
 
   const DigestConfig* digest =
       config_.discovery == DiscoveryMode::kDigest ? &config_.digest : nullptr;
@@ -312,10 +323,7 @@ void CacheGroup::refresh_digests(TimePoint now) {
 }
 
 void CacheGroup::sort_by_ring_distance(std::vector<ProxyId>& peers, ProxyId requester) const {
-  const std::size_t n = proxies_.size();
-  std::sort(peers.begin(), peers.end(), [&](ProxyId a, ProxyId b) {
-    return (a + n - requester) % n < (b + n - requester) % n;
-  });
+  eacache::sort_by_ring_distance(peers, requester, proxies_.size());
 }
 
 bool CacheGroup::peer_down(ProxyId proxy, TimePoint at) const {
@@ -484,10 +492,7 @@ CacheGroup::LocalLookup CacheGroup::local_lookup(ProxyCache& proxy, const Reques
   return {LocalState::kChanged, 0};
 }
 
-ProxyId CacheGroup::home_proxy(UserId user) const {
-  const auto& facing = topology_.client_facing();
-  return facing[mix64(user) % facing.size()];
-}
+ProxyId CacheGroup::home_proxy(UserId user) const { return home_proxy_in(topology_, user); }
 
 void CacheGroup::flush_proxy(ProxyId proxy, TimePoint now) {
   proxies_.at(proxy)->flush(now);

@@ -201,7 +201,9 @@ struct GroupConfig {
   /// Every violated configuration rule, in a stable order; empty means the
   /// config is usable. Aggregates ALL problems instead of failing on the
   /// first one, so a misconfigured sweep reports its whole diagnosis at
-  /// once.
+  /// once. Group-level rules only — `RunSpec::validate()` (core/run_spec.h)
+  /// is the public entry point; it calls this and layers the per-run and
+  /// execution-policy rules on top.
   [[nodiscard]] std::vector<std::string> validate() const;
 
   /// Throws std::invalid_argument listing every violation ("; "-joined)
@@ -215,14 +217,39 @@ struct GroupConfig {
   /// scheduling, the hierarchical parent chain, prefetch learning, hash
   /// partitioning, the event-driven pipeline driver and the span ring —
   /// are all rejected here with aggregated messages, same contract as
-  /// validate(). The daemon runner (daemon/daemon.h) folds these into its
-  /// own option checks.
+  /// validate(). Internal: reached through
+  /// `RunSpec::validate(RunTarget::kDaemon)`, which the daemon runner
+  /// (daemon/daemon.h) folds into its own option checks.
   [[nodiscard]] std::vector<std::string> validate_for_daemon() const;
 
   /// Total cache count this config builds: custom_parents when given,
   /// otherwise num_proxies plus a hierarchical root.
   [[nodiscard]] std::size_t total_cache_count() const;
 };
+
+// ---- Group construction helpers ------------------------------------------
+//
+// Shared by CacheGroup and the sharded engine (sim/shard_engine.h), which
+// builds the same proxies without a group orchestrator. Splitting them out
+// keeps the two construction paths agreeing by definition.
+
+/// The topology a config builds: custom_parents when given, otherwise the
+/// `topology` kind over num_proxies.
+[[nodiscard]] Topology topology_from(const GroupConfig& config);
+
+/// Per-cache byte budgets: equal split (the paper's setup) unless explicit
+/// weights are given. Assumes a validated config.
+[[nodiscard]] std::vector<Bytes> cache_budgets(const GroupConfig& config,
+                                               std::size_t total_caches);
+
+/// The client-facing proxy a user's requests arrive at (stable hash onto
+/// the client-facing set).
+[[nodiscard]] ProxyId home_proxy_in(const Topology& topology, UserId user);
+
+/// Deterministic best-first candidate order: ring distance from the
+/// requester over a group of `num_caches` caches.
+void sort_by_ring_distance(std::vector<ProxyId>& peers, ProxyId requester,
+                           std::size_t num_caches);
 
 /// Observer for every placement decision the group makes (requester
 /// keep-a-copy and parent keep-a-copy alike). `requester_age`/`responder_age`

@@ -1,0 +1,77 @@
+#include "group/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eacache {
+
+namespace {
+
+constexpr std::uint32_t kUnassigned = static_cast<std::uint32_t>(-1);
+
+/// Lowest-id client-facing descendant of `p` (p itself when client-facing).
+/// Iterative over the child lists; memoized in `min_leaf`.
+ProxyId min_client_leaf(ProxyId p, const std::vector<std::vector<ProxyId>>& children,
+                        const std::vector<bool>& is_client_facing,
+                        std::vector<ProxyId>& min_leaf) {
+  if (min_leaf[p] != static_cast<ProxyId>(-1)) return min_leaf[p];
+  ProxyId best = static_cast<ProxyId>(-1);
+  if (is_client_facing[p]) {
+    best = p;
+  } else {
+    for (const ProxyId child : children[p]) {
+      const ProxyId leaf = min_client_leaf(child, children, is_client_facing, min_leaf);
+      best = std::min(best, leaf);
+    }
+  }
+  min_leaf[p] = best;
+  return best;
+}
+
+}  // namespace
+
+TopologyPartition partition_topology(const Topology& topology, std::size_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("partition_topology: shards must be >= 1");
+  }
+  const std::size_t n = topology.num_proxies();
+  const std::vector<ProxyId>& facing = topology.client_facing();
+
+  TopologyPartition partition;
+  partition.shards = std::min(shards, facing.size());
+  partition.shard_of.assign(n, kUnassigned);
+
+  // Contiguous balanced blocks over the client-facing order: the first
+  // `remainder` shards take one extra proxy.
+  const std::size_t base = facing.size() / partition.shards;
+  const std::size_t remainder = facing.size() % partition.shards;
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < partition.shards; ++s) {
+    const std::size_t block = base + (s < remainder ? 1 : 0);
+    for (std::size_t i = 0; i < block; ++i) {
+      partition.shard_of[facing[next++]] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  // Internal caches follow their lowest-id client-facing descendant.
+  std::vector<std::vector<ProxyId>> children(n);
+  std::vector<bool> is_client_facing(n, false);
+  for (const ProxyId p : facing) is_client_facing[p] = true;
+  for (ProxyId p = 0; p < static_cast<ProxyId>(n); ++p) {
+    if (const auto parent = topology.parent_of(p)) children[*parent].push_back(p);
+  }
+  std::vector<ProxyId> min_leaf(n, static_cast<ProxyId>(-1));
+  for (ProxyId p = 0; p < static_cast<ProxyId>(n); ++p) {
+    if (partition.shard_of[p] != kUnassigned) continue;
+    const ProxyId leaf = min_client_leaf(p, children, is_client_facing, min_leaf);
+    partition.shard_of[p] = partition.shard_of[leaf];
+  }
+
+  partition.members.assign(partition.shards, {});
+  for (ProxyId p = 0; p < static_cast<ProxyId>(n); ++p) {
+    partition.members[partition.shard_of[p]].push_back(p);
+  }
+  return partition;
+}
+
+}  // namespace eacache

@@ -1,0 +1,52 @@
+// Sharded parallel simulation engine (ExecutionPolicy::shards >= 1).
+//
+// The classic drivers (sim/simulator.h) run the whole group on one
+// EventQueue. This engine partitions the proxy topology into shards
+// (group/partition.h), gives each shard its own EventQueue, clock and
+// private accounting, and synchronizes the shards with conservative
+// lookahead windows:
+//
+//   * the window width W is RunSpec::effective_lookahead() — by
+//     construction no shard-crossing message can have a delay below W, so
+//     a message sent inside window [S, S+W) always delivers at or after
+//     S+W: shards never need to roll back (classic conservative PDES);
+//   * every cross-proxy interaction (ICP probe/reply, sibling fetch,
+//     parent-chain hop) is an explicit ShardMessage
+//     (sim/shard_messages.h) exchanged through per-shard mailboxes at
+//     window barriers;
+//   * the next window start is the last barrier arriver's computation:
+//     the global minimum over all shards' earliest pending work, rounded
+//     down to a multiple of W — quiet stretches of the trace are skipped
+//     in one hop.
+//
+// Determinism guarantee (pinned by ShardEngineTest): the result JSON is
+// BYTE-IDENTICAL for shards=1 and shards=N. Everything order-sensitive is
+// normalized — mailbox batches are sorted by ShardMessageOrder before
+// injection, admissions are scheduled after the batch, same-shard messages
+// ride the mailbox exactly like cross-shard ones, and every merged
+// aggregate (GroupMetrics, TransportStats, MetricRegistry, series samples)
+// is commutative or merged in global proxy-id order.
+//
+// The engine accepts the RunSpec subset RunSpec::validate() admits for
+// sharded execution: ICP discovery, cooperative routing, no coherence, no
+// prefetch, no digests, no ICP loss, no span tracing. Latencies recorded
+// in GroupMetrics are the paper's per-outcome aggregate charges (matching
+// the classic synchronous driver), not elapsed window time.
+#pragma once
+
+#include "core/run_result.h"
+#include "core/run_spec.h"
+#include "trace/trace.h"
+
+namespace eacache {
+
+/// Run `trace` through the sharded engine. `spec.exec.shards` must be >= 1
+/// and `spec.validate(RunTarget::kSimulation)` empty (throws
+/// std::invalid_argument otherwise; shard counts above the client-facing
+/// proxy count are clamped, not rejected). shards == 1 executes the same
+/// message-driven schedule inline on the calling thread — the determinism
+/// baseline; shards >= 2 spawn one worker thread per shard.
+[[nodiscard]] SimulationResult run_sharded_simulation(const Trace& trace, const RunSpec& spec,
+                                                      PhaseTimings* timings = nullptr);
+
+}  // namespace eacache

@@ -1,0 +1,104 @@
+#include "sim/shard_messages.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace eacache {
+
+namespace {
+
+// Fixed wire layout, little-endian:
+//   kind:u8 request_index:u64 hop:u32 from:u32 to:u32 deliver_at:i64
+//   document:u64 size:u64 status:u8 found:u8 source:u8 has_age:u8
+//   [age_millis:f64 when has_age]
+constexpr std::size_t kFixedSize = 1 + 8 + 4 + 4 + 4 + 8 + 8 + 8 + 1 + 1 + 1 + 1;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint8_t raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  if constexpr (std::endian::native == std::endian::big) {
+    for (std::size_t i = sizeof(T); i-- > 0;) out.push_back(raw[i]);
+  } else {
+    out.insert(out.end(), raw, raw + sizeof(T));
+  }
+}
+
+template <typename T>
+T take(const std::vector<std::uint8_t>& wire, std::size_t& cursor) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (cursor + sizeof(T) > wire.size()) {
+    throw std::invalid_argument("decode_shard_message: truncated buffer");
+  }
+  std::uint8_t raw[sizeof(T)];
+  if constexpr (std::endian::native == std::endian::big) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) raw[sizeof(T) - 1 - i] = wire[cursor + i];
+  } else {
+    std::memcpy(raw, wire.data() + cursor, sizeof(T));
+  }
+  cursor += sizeof(T);
+  T value;
+  std::memcpy(&value, raw, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_shard_message(const ShardMessage& message) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(kFixedSize + 8);
+  put<std::uint8_t>(wire, static_cast<std::uint8_t>(message.kind));
+  put<std::uint64_t>(wire, message.request_index);
+  put<std::uint32_t>(wire, message.hop);
+  put<std::uint32_t>(wire, message.from);
+  put<std::uint32_t>(wire, message.to);
+  put<std::int64_t>(wire, message.deliver_at.time_since_epoch().count());
+  put<std::uint64_t>(wire, message.document);
+  put<std::uint64_t>(wire, message.size);
+  put<std::uint8_t>(wire, static_cast<std::uint8_t>(message.status));
+  put<std::uint8_t>(wire, message.found ? 1 : 0);
+  put<std::uint8_t>(wire, message.source == ResponseSource::kOrigin ? 1 : 0);
+  put<std::uint8_t>(wire, message.age.has_value() ? 1 : 0);
+  if (message.age.has_value()) {
+    // IEEE double survives the round trip bit-exactly, including +inf for
+    // the "no contention observed" age.
+    put<double>(wire, message.age->millis());
+  }
+  return wire;
+}
+
+ShardMessage decode_shard_message(const std::vector<std::uint8_t>& wire) {
+  std::size_t cursor = 0;
+  ShardMessage message;
+  const auto kind = take<std::uint8_t>(wire, cursor);
+  if (kind > static_cast<std::uint8_t>(ShardMessageKind::kParentBody)) {
+    throw std::invalid_argument("decode_shard_message: bad kind");
+  }
+  message.kind = static_cast<ShardMessageKind>(kind);
+  message.request_index = take<std::uint64_t>(wire, cursor);
+  message.hop = take<std::uint32_t>(wire, cursor);
+  message.from = take<std::uint32_t>(wire, cursor);
+  message.to = take<std::uint32_t>(wire, cursor);
+  message.deliver_at = TimePoint{Duration{take<std::int64_t>(wire, cursor)}};
+  message.document = take<std::uint64_t>(wire, cursor);
+  message.size = take<std::uint64_t>(wire, cursor);
+  const auto status = take<std::uint8_t>(wire, cursor);
+  if (status > static_cast<std::uint8_t>(ShardProbeStatus::kDown)) {
+    throw std::invalid_argument("decode_shard_message: bad status");
+  }
+  message.status = static_cast<ShardProbeStatus>(status);
+  message.found = take<std::uint8_t>(wire, cursor) != 0;
+  message.source =
+      take<std::uint8_t>(wire, cursor) != 0 ? ResponseSource::kOrigin : ResponseSource::kCache;
+  if (take<std::uint8_t>(wire, cursor) != 0) {
+    message.age = ExpAge::from_millis(take<double>(wire, cursor));
+  }
+  if (cursor != wire.size()) {
+    throw std::invalid_argument("decode_shard_message: trailing bytes");
+  }
+  return message;
+}
+
+}  // namespace eacache

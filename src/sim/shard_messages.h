@@ -1,0 +1,101 @@
+// Shard-crossing messages: every cross-proxy interaction of the sharded
+// engine, made explicit.
+//
+// The classic drivers resolve a request by calling straight into the peer
+// proxy's methods. The sharded engine cannot — the peer may live on another
+// shard's clock — so each interaction becomes a ShardMessage with a
+// deterministic delivery timestamp at least one lookahead window in the
+// future (core/run_spec.h::default_lookahead). Messages are exchanged at
+// window barriers and sorted by `ShardMessageOrder` before injection, which
+// erases mailbox arrival order from the schedule: the engine's event order,
+// and therefore its result JSON, is identical for 1 shard and N shards.
+//
+// The flat struct doubles as the wire format for a future cross-process
+// transport: encode/decode round-trip every field (fixed little-endian
+// layout, pinned by ShardMessageCodecTest).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "ea/expiration_age.h"
+#include "net/message.h"
+
+namespace eacache {
+
+/// One hop of the sharded request protocol.
+///  * kIcpProbe      requester -> target     presence query
+///  * kIcpReply      target -> requester     hit / miss / peer-down
+///  * kFetchRequest  requester -> responder  sibling HTTP fetch
+///  * kFetchBody     responder -> requester  body (or found=false)
+///  * kParentRequest child -> parent         hierarchical miss forwarding
+///  * kParentBody    parent -> child         body flowing back down
+enum class ShardMessageKind : std::uint8_t {
+  kIcpProbe = 0,
+  kIcpReply = 1,
+  kFetchRequest = 2,
+  kFetchBody = 3,
+  kParentRequest = 4,
+  kParentBody = 5,
+};
+
+/// ICP answer classes the reply hop carries. A peer inside an injected
+/// outage window never answers; the requester learns that at the reply
+/// deadline and books the probe as a loss (matching the classic driver).
+enum class ShardProbeStatus : std::uint8_t { kMiss = 0, kHit = 1, kDown = 2 };
+
+struct ShardMessage {
+  ShardMessageKind kind = ShardMessageKind::kIcpProbe;
+  /// Trace index of the request this hop serves — the deterministic
+  /// identity that keys requester-side contexts and the injection order.
+  std::uint64_t request_index = 0;
+  /// Per-request hop sequence at the sender (diagnostic; order uses kind).
+  std::uint32_t hop = 0;
+  ProxyId from = 0;
+  ProxyId to = 0;
+  /// Absolute simulated delivery instant; always >= send time + lookahead.
+  TimePoint deliver_at{};
+  DocumentId document = 0;
+  /// kFetchRequest/kParentRequest: the requested document's size (needed
+  /// for an origin fetch at the top of a parent chain). kFetchBody/
+  /// kParentBody: the body size.
+  Bytes size = 0;
+  /// kIcpReply: the probe answer. Other kinds: kMiss.
+  ShardProbeStatus status = ShardProbeStatus::kMiss;
+  /// kFetchBody: false when the responder evicted the copy after its ICP
+  /// reply (served as a header-only not-found, like a stale digest probe).
+  bool found = true;
+  /// kParentBody: who ultimately produced the body (cache above the ICP
+  /// horizon vs origin). Other kinds: kCache.
+  ResponseSource source = ResponseSource::kCache;
+  /// EA piggyback: requester age on request hops, responder age on body
+  /// hops; nullopt under ad-hoc placement.
+  std::optional<ExpAge> age;
+};
+
+/// Strict weak order for barrier injection: (deliver_at, request_index,
+/// kind, from, to). Total over any batch the engine can produce — a request
+/// never has two identical hops in flight — and independent of mailbox
+/// arrival order, which is what makes injection deterministic.
+struct ShardMessageOrder {
+  [[nodiscard]] bool operator()(const ShardMessage& a, const ShardMessage& b) const {
+    if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+    if (a.request_index != b.request_index) return a.request_index < b.request_index;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  }
+};
+
+/// Fixed little-endian wire encoding (the cross-process transport format).
+/// Infinite ages ride as the all-ones millisecond pattern; a missing age is
+/// a presence byte.
+[[nodiscard]] std::vector<std::uint8_t> encode_shard_message(const ShardMessage& message);
+
+/// Inverse of encode_shard_message. Throws std::invalid_argument on short
+/// buffers, trailing bytes or out-of-range enum values.
+[[nodiscard]] ShardMessage decode_shard_message(const std::vector<std::uint8_t>& wire);
+
+}  // namespace eacache

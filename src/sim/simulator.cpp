@@ -7,6 +7,7 @@
 
 #include "event/event_queue.h"
 #include "sim/request_pipeline.h"
+#include "sim/shard_engine.h"
 #include "validate/invariants.h"
 
 namespace eacache {
@@ -68,11 +69,7 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
                          });
   }
 
-  FaultPlan faults = options.faults;
-  for (const SimulationOptions::FlushEvent& flush : options.flush_events) {
-    faults.flushes.push_back({flush.at, flush.proxy});  // legacy-API shim
-  }
-  for (const FaultPlan::Flush& flush : faults.flushes) {
+  for (const FaultPlan::Flush& flush : options.faults.flushes) {
     queue.schedule_at(flush.at, [&group, proxy = flush.proxy](TimePoint at) {
       group.flush_proxy(proxy, at);
     });
@@ -135,6 +132,18 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
   result.replication_factor = group.replication_factor();
   if (timings != nullptr) timings->report_ms = elapsed_ms(report_started);
   return result;
+}
+
+SimulationResult run(const Trace& trace, const RunSpec& spec, PhaseTimings* timings) {
+  spec.validate_or_throw(RunTarget::kSimulation);
+  if (spec.exec.sharded()) {
+    return run_sharded_simulation(trace, spec, timings);
+  }
+  SimulationOptions options;
+  options.snapshot_period = spec.snapshot_period;
+  options.validate = spec.check_invariants;
+  options.faults = spec.faults;
+  return run_simulation(trace, spec.group, options, timings);
 }
 
 }  // namespace eacache

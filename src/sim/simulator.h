@@ -5,15 +5,18 @@
 // requests are dispatched in trace order at their own timestamps.
 #pragma once
 
-#include <vector>
-
+#include "core/fault_plan.h"
 #include "core/run_result.h"
+#include "core/run_spec.h"
 #include "group/cache_group.h"
-#include "sim/fault_plan.h"
 #include "trace/trace.h"
 
 namespace eacache {
 
+/// DEPRECATED alias for RunSpec's per-run knobs, kept one release so
+/// existing call sites compile. New code should build a RunSpec
+/// (core/run_spec.h) and call `run()` below; the old `flush_events` shim
+/// (deprecated since the FaultPlan release) is gone — use faults.flushes.
 struct SimulationOptions {
   /// Period for hit-rate time-series snapshots; zero disables them.
   Duration snapshot_period = Duration::zero();
@@ -26,16 +29,8 @@ struct SimulationOptions {
   bool validate = false;
 
   /// Declarative fault injection: proxy flushes (crash/restart) and
-  /// transient peer-outage windows. See sim/fault_plan.h.
+  /// transient peer-outage windows. See core/fault_plan.h.
   FaultPlan faults;
-
-  /// DEPRECATED shim for the original flush-only API: merged into
-  /// `faults.flushes` by run_simulation. Prefer FaultPlan.
-  struct FlushEvent {
-    TimePoint at{};
-    ProxyId proxy = 0;
-  };
-  std::vector<FlushEvent> flush_events;
 };
 
 // ProxySeriesSample/ProxySeriesPoint, PhaseTimings and SimulationResult
@@ -48,5 +43,13 @@ struct SimulationOptions {
 [[nodiscard]] SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
                                               const SimulationOptions& options = {},
                                               PhaseTimings* timings = nullptr);
+
+/// The RunSpec entry point: validates `spec` (aggregated errors) and
+/// dispatches on its ExecutionPolicy — shards == 0 runs the classic
+/// single-queue driver above (byte-identical to the pre-RunSpec API),
+/// shards >= 1 runs the sharded conservative-lookahead engine
+/// (sim/shard_engine.h).
+[[nodiscard]] SimulationResult run(const Trace& trace, const RunSpec& spec,
+                                   PhaseTimings* timings = nullptr);
 
 }  // namespace eacache

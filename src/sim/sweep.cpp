@@ -183,10 +183,18 @@ std::size_t SweepRunner::add(SweepJob job) {
   return jobs_.size() - 1;
 }
 
+std::size_t SweepRunner::add(std::string label, RunSpec spec, TraceRef trace) {
+  return add(SweepJob{std::move(label), std::move(spec), std::move(trace)});
+}
+
 std::size_t SweepRunner::add(std::string label, GroupConfig config, TraceRef trace,
                              SimulationOptions options) {
-  return add(SweepJob{std::move(label), std::move(config), std::move(trace),
-                      std::move(options)});
+  RunSpec spec;
+  spec.group = std::move(config);
+  spec.snapshot_period = options.snapshot_period;
+  spec.check_invariants = options.validate;
+  spec.faults = std::move(options.faults);
+  return add(std::move(label), std::move(spec), std::move(trace));
 }
 
 std::vector<SweepRunResult> SweepRunner::run() {
@@ -200,15 +208,14 @@ std::vector<SweepRunResult> SweepRunner::run() {
     const SweepJob& job = jobs_[i];
     SweepRunResult& out = results[i];
     out.label = job.label;
-    GroupConfig config = job.config;
-    if (options_.obs_override) config.obs = *options_.obs_override;
-    out.config = config;
-    SimulationOptions sim_options = job.options;
-    if (options_.validate) sim_options.validate = true;
+    RunSpec spec = job.spec;
+    if (options_.obs_override) spec.group.obs = *options_.obs_override;
+    if (options_.validate) spec.check_invariants = true;
+    out.config = spec.group;
     out.trace_load_ms = TraceLoadTable::instance().lookup(job.trace.get());
     const auto start = std::chrono::steady_clock::now();
     try {
-      out.result = run_simulation(*job.trace, config, sim_options, &out.timings);
+      out.result = eacache::run(*job.trace, spec, &out.timings);
     } catch (...) {
       errors[i] = std::current_exception();
     }

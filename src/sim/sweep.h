@@ -87,13 +87,14 @@ class TraceCache {
   std::map<std::string, std::shared_ptr<Entry>> entries_ EACACHE_GUARDED_BY(mutex_);
 };
 
-/// One unit of sweep work: replay `trace` through a group built from
-/// `config`. The label travels with the result row (tables, JSON).
+/// One unit of sweep work: replay `trace` through the run described by
+/// `spec`. The label travels with the result row (tables, JSON). Jobs with
+/// `spec.exec.shards >= 1` run the sharded engine; the sweep pool and the
+/// shard workers compose (jobs = pool width, shards = threads per job).
 struct SweepJob {
   std::string label;
-  GroupConfig config;
+  RunSpec spec;
   TraceRef trace;
-  SimulationOptions options;
 };
 
 /// A completed job: its identity plus the simulation output and the
@@ -102,7 +103,7 @@ struct SweepJob {
 /// the simulated world (the parallel-determinism tests depend on that).
 struct SweepRunResult {
   std::string label;
-  GroupConfig config;        // as run (after any obs_override)
+  GroupConfig config;        // spec.group as run (after any obs_override)
   SimulationResult result;
   double wall_ms = 0.0;
   double trace_load_ms = 0.0;  // factory cost of this job's trace (0 if
@@ -124,7 +125,7 @@ struct SweepOptions {
   /// every bench threading observability through its config construction.
   std::optional<ObsConfig> obs_override;
 
-  /// Validate-sweep mode: force SimulationOptions::validate on for every
+  /// Validate-sweep mode: force RunSpec::check_invariants on for every
   /// job, attaching the invariant checker (DESIGN.md §10) to each run. How
   /// the --validate bench flag reaches all jobs, and how the fuzz harness
   /// shards invariant-checked cases across the pool deterministically.
@@ -147,6 +148,9 @@ class SweepRunner {
 
   /// Enqueue a job; returns its index (== its slot in run()'s result).
   std::size_t add(SweepJob job);
+  std::size_t add(std::string label, RunSpec spec, TraceRef trace);
+  /// DEPRECATED: pre-RunSpec shape, kept one release. Wraps the pieces
+  /// into a RunSpec (config -> spec.group, options -> the per-run knobs).
   std::size_t add(std::string label, GroupConfig config, TraceRef trace,
                   SimulationOptions options = {});
 

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "group/cache_group.h"
-#include "sim/fault_plan.h"
+#include "core/fault_plan.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "validate/validation_report.h"

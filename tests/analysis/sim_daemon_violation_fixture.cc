@@ -1,0 +1,16 @@
+// Negative control for project_lint.py's sim-no-daemon-includes rule
+// (DESIGN.md §12): a hypothetical simulator source that borrows the daemon's
+// wall-clock machinery. The `project_lint_sim_negative` ctest runs the lint
+// in --sim-fixture mode against this file and PASSES only if the rule flags
+// both includes below. Never compiled; the .cc suffix keeps it out of every
+// build glob and out of the lint's own src/ scan.
+#include "daemon/daemon.h"  // VIOLATION: the simulator must not depend on the daemon
+#include "daemon/telemetry.h"  // VIOLATION: nor sample its telemetry plane
+
+namespace eacache {
+
+inline double shard_helper_peeking_at_daemon(const Trace& trace, const RunSpec& spec) {
+  return run_daemon(trace, spec).metrics.hit_rate();
+}
+
+}  // namespace eacache

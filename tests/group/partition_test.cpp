@@ -1,0 +1,100 @@
+// Topology partitioner contract (group/partition.h): deterministic,
+// balanced, connectivity-preserving cuts. The sharded engine's
+// shards=1-vs-N byte-identity proof leans on every property pinned here.
+#include "group/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace eacache {
+namespace {
+
+/// Every proxy appears in exactly one members[] list, lists are ascending,
+/// and shard_of agrees with members — the partition is a partition.
+void expect_well_formed(const Topology& topology, const TopologyPartition& partition) {
+  ASSERT_EQ(partition.members.size(), partition.shards);
+  ASSERT_EQ(partition.shard_of.size(), topology.num_proxies());
+  std::set<ProxyId> seen;
+  for (std::size_t s = 0; s < partition.members.size(); ++s) {
+    ASSERT_FALSE(partition.members[s].empty()) << "shard " << s << " empty";
+    for (std::size_t i = 0; i < partition.members[s].size(); ++i) {
+      const ProxyId p = partition.members[s][i];
+      EXPECT_EQ(partition.shard_of[p], s);
+      EXPECT_TRUE(seen.insert(p).second) << "proxy " << p << " assigned twice";
+      if (i > 0) EXPECT_LT(partition.members[s][i - 1], p) << "members not ascending";
+    }
+  }
+  EXPECT_EQ(seen.size(), topology.num_proxies());
+}
+
+TEST(PartitionTest, DistributedBlocksAreContiguousAndBalanced) {
+  const Topology topology = Topology::distributed(8);
+  const TopologyPartition partition = partition_topology(topology, 3);
+  expect_well_formed(topology, partition);
+  ASSERT_EQ(partition.shards, 3u);
+  // 8 client-facing proxies over 3 shards: sizes within one of each other.
+  std::size_t smallest = topology.num_proxies(), largest = 0;
+  for (const auto& members : partition.members) {
+    smallest = std::min(smallest, members.size());
+    largest = std::max(largest, members.size());
+  }
+  EXPECT_LE(largest - smallest, 1u);
+  // Contiguous id blocks: each shard's ids form a run with no gaps.
+  for (const auto& members : partition.members) {
+    EXPECT_EQ(members.back() - members.front() + 1, members.size());
+  }
+}
+
+TEST(PartitionTest, SingleShardTakesEverything) {
+  const Topology topology = Topology::two_level(6);
+  const TopologyPartition partition = partition_topology(topology, 1);
+  expect_well_formed(topology, partition);
+  EXPECT_EQ(partition.shards, 1u);
+  EXPECT_EQ(partition.members[0].size(), topology.num_proxies());
+}
+
+TEST(PartitionTest, ShardCountClampsToClientFacingProxies) {
+  const Topology topology = Topology::distributed(4);
+  const TopologyPartition partition = partition_topology(topology, 16);
+  expect_well_formed(topology, partition);
+  EXPECT_EQ(partition.shards, 4u);  // a shard with no leaf never admits
+}
+
+TEST(PartitionTest, InternalCachesFollowTheirLowestLeaf) {
+  // Three-level tree: leaves 0..7 under mid caches 8,9 (four each) under
+  // root 10. Internal caches must share a shard with their lowest-id
+  // client-facing descendant so every parent hop has one local child.
+  std::vector<std::optional<ProxyId>> parents(11);
+  for (ProxyId leaf = 0; leaf < 8; ++leaf) parents[leaf] = leaf < 4 ? ProxyId{8} : ProxyId{9};
+  parents[8] = 10;
+  parents[9] = 10;
+  parents[10] = std::nullopt;
+  const Topology topology = Topology::from_parents(TopologyKind::kHierarchical, parents);
+  const TopologyPartition partition = partition_topology(topology, 2);
+  expect_well_formed(topology, partition);
+  EXPECT_EQ(partition.shard_of[8], partition.shard_of[0]);   // mid over leaves 0..3
+  EXPECT_EQ(partition.shard_of[9], partition.shard_of[4]);   // mid over leaves 4..7
+  EXPECT_EQ(partition.shard_of[10], partition.shard_of[0]);  // root follows leaf 0
+}
+
+TEST(PartitionTest, DeterministicAcrossRepeatedCalls) {
+  const Topology topology = Topology::two_level(13);
+  const TopologyPartition first = partition_topology(topology, 5);
+  for (int i = 0; i < 3; ++i) {
+    const TopologyPartition again = partition_topology(topology, 5);
+    EXPECT_EQ(again.shards, first.shards);
+    EXPECT_EQ(again.shard_of, first.shard_of);
+    EXPECT_EQ(again.members, first.members);
+  }
+}
+
+TEST(PartitionTest, ZeroShardsThrows) {
+  EXPECT_THROW((void)partition_topology(Topology::distributed(4), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -135,7 +135,7 @@ TEST(CombinedModesTest, EverythingAtOnce) {
   config.coherence.fresh_ttl = hours(3);
 
   SimulationOptions options;
-  options.flush_events.push_back({combo_trace().requests[combo_trace().size() / 2].at, 1});
+  options.faults.flushes.push_back({combo_trace().requests[combo_trace().size() / 2].at, 1});
   options.snapshot_period = hours(1);
 
   const SimulationResult result = run_simulation(combo_trace(), config, options);

@@ -58,6 +58,14 @@ EACACHE_JOBS=8 "$tsan_dir/tests/test_sim" \
   --gtest_filter='SweepRunnerTest.*:TraceCacheTest.*:ResolveJobCountTest.*:ObservabilityTest.*' \
   --gtest_brief=1
 
+# Sharded parallel engine: the determinism suite runs the same trace at 1, 2,
+# 4 and 8 shard threads and byte-compares the result JSON, so every mailbox
+# handoff, barrier crossing and merge path runs under TSan while the
+# comparison proves the interleavings never leak into the result.
+"$tsan_dir/tests/test_sim" \
+  --gtest_filter='ShardEngineTest.*:ShardEngineValidationTest.*:ShardMessageCodecTest.*' \
+  --gtest_brief=1
+
 # The bench harness drives the same pool through its CLI surface: a plain
 # multi-job sweep, then the event-driven pipeline arm with retries+coalescing
 # (per-request state machines shared across queue callbacks).

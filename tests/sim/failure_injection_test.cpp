@@ -106,18 +106,21 @@ TEST(FailureInjectionTest, DigestModeRecoversViaRefresh) {
   EXPECT_GT(result.transport.failed_probes, 0u);
 }
 
-TEST(FailureInjectionTest, DeprecatedFlushEventsShimMatchesFaultPlan) {
-  // The pre-FaultPlan API must keep working and produce identical results.
+TEST(FailureInjectionTest, RunSpecFaultsMatchLegacySimulationOptions) {
+  // The RunSpec entry point (shards == 0) must drive the identical classic
+  // path: a fault plan expressed either way produces identical results.
+  // (The pre-FaultPlan flush_events shim was removed with the RunSpec API.)
   const Trace trace = failure_trace();
   const GroupConfig config = group_config(PlacementKind::kEa);
   const TimePoint mid = trace.requests[trace.size() / 2].at;
 
-  SimulationOptions legacy;
-  legacy.flush_events.push_back({mid, 1});
+  RunSpec spec;
+  spec.group = config;
+  spec.faults.flushes.push_back({mid, 1});
   SimulationOptions plan;
   plan.faults.flushes.push_back({mid, 1});
 
-  const SimulationResult a = run_simulation(trace, config, legacy);
+  const SimulationResult a = run(trace, spec);
   const SimulationResult b = run_simulation(trace, config, plan);
   EXPECT_EQ(a.metrics.hit_rate(), b.metrics.hit_rate());
   EXPECT_EQ(a.metrics.measured_average_latency(), b.metrics.measured_average_latency());

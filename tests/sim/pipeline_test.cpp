@@ -106,7 +106,9 @@ TEST(PipelineTest, EventDrivenIsDeterministicAcrossSweepJobs) {
       config.pipeline.icp_retries = 2;
       config.pipeline.coalesce = coalesce;
       config.icp_loss_probability = 0.3;
-      jobs.push_back({coalesce ? "coalesce" : "plain", config, trace, {}});
+      RunSpec spec;
+      spec.group = config;
+      jobs.push_back({coalesce ? "coalesce" : "plain", std::move(spec), trace});
     }
     return jobs;
   };

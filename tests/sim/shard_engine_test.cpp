@@ -1,0 +1,237 @@
+// Sharded engine contracts (sim/shard_engine.h):
+//  * the headline determinism guarantee — result JSON byte-identical for
+//    shards=1 and shards={2,4,8}, EA and ad-hoc placement, flat and
+//    three-level hierarchical topologies;
+//  * request conservation (every trace request lands in GroupMetrics);
+//  * the RunSpec validation rules that fence off the unsupported subset;
+//  * the ShardMessage wire codec round trip (sim/shard_messages.h).
+#include "sim/shard_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/run_result_json.h"
+#include "sim/shard_messages.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace eacache {
+namespace {
+
+// Dense short-span trace: ~3k requests inside one simulated minute keeps
+// the conservative-window count (span / 20 ms) in the thousands, so the
+// 1-vs-N sweep stays fast while every protocol path still fires.
+Trace dense_trace(std::uint64_t seed = 7) {
+  SyntheticTraceConfig config;
+  config.seed = seed;
+  config.num_requests = 3000;
+  config.num_documents = 400;
+  config.num_users = 64;
+  config.span = minutes(1);
+  return generate_synthetic_trace(config);
+}
+
+GroupConfig flat_group(PlacementKind placement) {
+  GroupConfig config;
+  config.num_proxies = 8;
+  config.aggregate_capacity = 2 * kMiB;
+  config.placement = placement;
+  return config;
+}
+
+// Three-level tree: 16 leaves under 4 mid caches under one root — the
+// parent chain crosses shard boundaries at every cut the partitioner makes.
+GroupConfig hierarchical_group(PlacementKind placement) {
+  GroupConfig config;
+  std::vector<std::optional<ProxyId>> parents(21);
+  for (ProxyId leaf = 0; leaf < 16; ++leaf) parents[leaf] = static_cast<ProxyId>(16 + leaf / 4);
+  for (ProxyId mid = 16; mid < 20; ++mid) parents[mid] = 20;
+  parents[20] = std::nullopt;
+  config.topology = TopologyKind::kHierarchical;
+  config.custom_parents = std::move(parents);
+  config.aggregate_capacity = 4 * kMiB;
+  config.placement = placement;
+  return config;
+}
+
+RunSpec sharded_spec(GroupConfig group, std::size_t shards) {
+  RunSpec spec;
+  spec.group = std::move(group);
+  spec.exec.shards = shards;
+  return spec;
+}
+
+/// The determinism pin: identical result JSON for every shard count.
+void expect_shard_count_invariant(const GroupConfig& group, const Trace& trace) {
+  const std::string baseline =
+      simulation_result_to_json(run_sharded_simulation(trace, sharded_spec(group, 1)));
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    const std::string json =
+        simulation_result_to_json(run_sharded_simulation(trace, sharded_spec(group, shards)));
+    EXPECT_EQ(json, baseline) << "shards=" << shards << " diverged from shards=1";
+  }
+}
+
+TEST(ShardEngineTest, FlatEaResultIsShardCountInvariant) {
+  expect_shard_count_invariant(flat_group(PlacementKind::kEa), dense_trace());
+}
+
+TEST(ShardEngineTest, FlatAdHocResultIsShardCountInvariant) {
+  expect_shard_count_invariant(flat_group(PlacementKind::kAdHoc), dense_trace());
+}
+
+TEST(ShardEngineTest, HierarchicalEaResultIsShardCountInvariant) {
+  expect_shard_count_invariant(hierarchical_group(PlacementKind::kEa), dense_trace(11));
+}
+
+TEST(ShardEngineTest, HierarchicalAdHocResultIsShardCountInvariant) {
+  expect_shard_count_invariant(hierarchical_group(PlacementKind::kAdHoc), dense_trace(11));
+}
+
+TEST(ShardEngineTest, EveryTraceRequestIsAccounted) {
+  const Trace trace = dense_trace();
+  const SimulationResult result =
+      run_sharded_simulation(trace, sharded_spec(flat_group(PlacementKind::kEa), 4));
+  EXPECT_EQ(result.metrics.total_requests(), trace.requests.size());
+  EXPECT_EQ(result.proxy_stats.size(), 8u);
+}
+
+TEST(ShardEngineTest, RunDispatcherRoutesShardedSpecs) {
+  // sim/simulator.h run() must hand sharded specs to this engine: same
+  // JSON as calling the engine directly.
+  const Trace trace = dense_trace();
+  const RunSpec spec = sharded_spec(flat_group(PlacementKind::kEa), 2);
+  EXPECT_EQ(simulation_result_to_json(run(trace, spec)),
+            simulation_result_to_json(run_sharded_simulation(trace, spec)));
+}
+
+TEST(ShardEngineTest, RejectsUnshardedSpec) {
+  const Trace trace = dense_trace();
+  EXPECT_THROW(
+      (void)run_sharded_simulation(trace, sharded_spec(flat_group(PlacementKind::kEa), 0)),
+      std::invalid_argument);
+}
+
+TEST(ShardEngineValidationTest, FencesOffTheUnsupportedSubset) {
+  const auto violates = [](RunSpec spec) { return !spec.validate(RunTarget::kSimulation).empty(); };
+
+  RunSpec loss = sharded_spec(flat_group(PlacementKind::kEa), 2);
+  loss.group.icp_loss_probability = 0.25;
+  EXPECT_TRUE(violates(loss)) << "seeded ICP loss draw is queue-order dependent";
+
+  RunSpec pipeline = sharded_spec(flat_group(PlacementKind::kEa), 2);
+  pipeline.group.pipeline.event_driven = true;
+  EXPECT_TRUE(violates(pipeline)) << "the sharded engine is its own driver";
+
+  RunSpec invariants = sharded_spec(flat_group(PlacementKind::kEa), 2);
+  invariants.check_invariants = true;
+  EXPECT_TRUE(violates(invariants));
+
+  RunSpec snapshots = sharded_spec(flat_group(PlacementKind::kEa), 2);
+  snapshots.snapshot_period = sec(10);
+  EXPECT_TRUE(violates(snapshots));
+
+  RunSpec spans = sharded_spec(flat_group(PlacementKind::kEa), 2);
+  spans.group.obs.trace_capacity = 128;
+  EXPECT_TRUE(violates(spans));
+
+  // The override window must stay within the inter-proxy message floor —
+  // wider would deliver a message inside the window that sent it.
+  RunSpec wide = sharded_spec(flat_group(PlacementKind::kEa), 2);
+  wide.exec.lookahead_override = default_lookahead(wide.group.latency) + msec(1);
+  EXPECT_TRUE(violates(wide));
+
+  RunSpec narrow = sharded_spec(flat_group(PlacementKind::kEa), 2);
+  narrow.exec.lookahead_override = default_lookahead(narrow.group.latency);
+  EXPECT_FALSE(violates(narrow)) << "the floor itself is a legal window";
+
+  // An unsharded spec must not accept a lookahead override.
+  RunSpec classic;
+  classic.group = flat_group(PlacementKind::kEa);
+  classic.exec.lookahead_override = msec(5);
+  EXPECT_TRUE(violates(classic));
+}
+
+TEST(ShardEngineTest, NarrowedLookaheadPreservesTheResult) {
+  // Any legal window width must give the same answer: the window is a
+  // scheduling artifact, not a semantic knob.
+  const Trace trace = dense_trace();
+  const GroupConfig group = flat_group(PlacementKind::kEa);
+  const std::string baseline =
+      simulation_result_to_json(run_sharded_simulation(trace, sharded_spec(group, 4)));
+  RunSpec narrowed = sharded_spec(group, 4);
+  narrowed.exec.lookahead_override = msec(7);
+  EXPECT_EQ(simulation_result_to_json(run_sharded_simulation(trace, narrowed)), baseline);
+}
+
+// ---- wire codec ----------------------------------------------------------
+
+TEST(ShardMessageCodecTest, RoundTripsEveryField) {
+  ShardMessage message;
+  message.kind = ShardMessageKind::kParentBody;
+  message.request_index = 0x1122334455667788ULL;
+  message.hop = 3;
+  message.from = 17;
+  message.to = 4;
+  message.deliver_at = kSimEpoch + msec(987654321);
+  message.document = 0xdeadbeefcafef00dULL;
+  message.size = 64 * 1024;
+  message.status = ShardProbeStatus::kHit;
+  message.found = false;
+  message.source = ResponseSource::kOrigin;
+  message.age = ExpAge::from_millis(1234.5);
+
+  const ShardMessage decoded = decode_shard_message(encode_shard_message(message));
+  EXPECT_EQ(decoded.kind, message.kind);
+  EXPECT_EQ(decoded.request_index, message.request_index);
+  EXPECT_EQ(decoded.hop, message.hop);
+  EXPECT_EQ(decoded.from, message.from);
+  EXPECT_EQ(decoded.to, message.to);
+  EXPECT_EQ(decoded.deliver_at, message.deliver_at);
+  EXPECT_EQ(decoded.document, message.document);
+  EXPECT_EQ(decoded.size, message.size);
+  EXPECT_EQ(decoded.status, message.status);
+  EXPECT_EQ(decoded.found, message.found);
+  EXPECT_EQ(decoded.source, message.source);
+  ASSERT_TRUE(decoded.age.has_value());
+  EXPECT_EQ(decoded.age->millis(), 1234.5);
+}
+
+TEST(ShardMessageCodecTest, RoundTripsMissingAndInfiniteAges) {
+  ShardMessage no_age;
+  no_age.kind = ShardMessageKind::kIcpProbe;
+  EXPECT_FALSE(decode_shard_message(encode_shard_message(no_age)).age.has_value());
+
+  ShardMessage infinite;
+  infinite.kind = ShardMessageKind::kFetchBody;
+  infinite.age = ExpAge::infinite();
+  const ShardMessage decoded = decode_shard_message(encode_shard_message(infinite));
+  ASSERT_TRUE(decoded.age.has_value());
+  EXPECT_TRUE(decoded.age->is_infinite());
+}
+
+TEST(ShardMessageCodecTest, RejectsMalformedBuffers) {
+  ShardMessage message;
+  message.age = ExpAge::from_millis(10.0);
+  std::vector<std::uint8_t> wire = encode_shard_message(message);
+
+  std::vector<std::uint8_t> truncated(wire.begin(), wire.end() - 3);
+  EXPECT_THROW((void)decode_shard_message(truncated), std::invalid_argument);
+
+  std::vector<std::uint8_t> trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decode_shard_message(trailing), std::invalid_argument);
+
+  std::vector<std::uint8_t> bad_kind = wire;
+  bad_kind[0] = 200;
+  EXPECT_THROW((void)decode_shard_message(bad_kind), std::invalid_argument);
+
+  EXPECT_THROW((void)decode_shard_message({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacache

@@ -34,8 +34,10 @@ std::vector<SweepJob> sweep_jobs(const TraceRef& trace) {
       config.num_proxies = 4;
       config.aggregate_capacity = capacity;
       config.placement = placement;
+      RunSpec spec;
+      spec.group = config;
       jobs.push_back({std::string(to_string(placement)) + "@" + format_bytes(capacity),
-                      config, trace, {}});
+                      std::move(spec), trace});
     }
   }
   return jobs;

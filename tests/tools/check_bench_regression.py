@@ -3,7 +3,7 @@
 
 Usage:
     check_bench_regression.py <bench_micro_ops> <bench_smoke> <baseline.json>
-        [daemon_demo] [--recalibrate]
+        [daemon_demo] [bench_scale_group_size] [--recalibrate]
 
 Captures a machine-fingerprinted baseline (BENCH_baseline.json at the repo
 root) from ``bench_micro_ops`` (google-benchmark JSON, best-of-N repetitions)
@@ -24,6 +24,14 @@ EACACHE_OBS_TOLERANCE) of the baseline arm's. Both arms run in the same
 invocation on the same machine, so no fingerprint gating applies; the
 measured pair is recorded in the baseline file under ``daemon_obs_overhead``
 for trend visibility only.
+
+When a ``bench_scale_group_size`` binary is given, a SELF-RELATIVE
+shard-scaling arm also runs (DESIGN.md §14): the sharded engine replays a
+1024-leaf hierarchical workload at 1, 2, 4 and 8 shards; each rate is
+recorded in the baseline under ``shard_scaling_rps``. On machines with at
+least MIN_SHARD_CPUS CPUs the 8-shard rate must reach SHARD_SPEEDUP_FLOOR
+(3x) the 1-shard rate; smaller machines record the rates without enforcing
+(8 worker threads cannot speed anything up on 1 core).
 
 Shared machines (CI VMs) show double-digit run-to-run noise, so the gate is
 asymmetric: the baseline records the MEDIAN rate across repetitions while a
@@ -119,6 +127,28 @@ OBS_TELEMETRY_FLAGS = ["--stats-port=0", "--stats-period-ms=100", "--flight-capa
 OBS_RUNS = 3
 
 
+# Shard-scaling arm: self-relative like the obs arm. Enforced only where the
+# hardware can plausibly deliver the speedup.
+MIN_SHARD_CPUS = 8
+SHARD_SPEEDUP_FLOOR = 3.0
+
+
+def run_shard_scaling(binary):
+    """{shards: requests_per_second} from the bench's SHARD_SCALING lines."""
+    out = subprocess.run(
+        [binary, "--shard-scaling"], check=True, capture_output=True, text=True
+    )
+    rates = {}
+    for line in out.stdout.splitlines():
+        if not line.startswith("SHARD_SCALING "):
+            continue
+        fields = dict(
+            item.split("=", 1) for item in line.split()[1:] if "=" in item
+        )
+        rates[int(fields["shards"])] = float(fields["rps"])
+    return rates
+
+
 def run_daemon_arm(binary, flags):
     """Best throughput_rps over OBS_RUNS daemon_demo runs (0.0 on failure)."""
     best = 0.0
@@ -143,7 +173,9 @@ def main(argv):
     micro_bin, smoke_bin, baseline_path = argv[1], argv[2], argv[3]
     extras = argv[4:]
     recalibrate = "--recalibrate" in extras
-    daemon_bin = next((a for a in extras if not a.startswith("--")), None)
+    positional = [a for a in extras if not a.startswith("--")]
+    daemon_bin = positional[0] if len(positional) > 0 else None
+    scale_bin = positional[1] if len(positional) > 1 else None
     tolerance = float(os.environ.get("EACACHE_BENCH_TOLERANCE", "0.10"))
     obs_tolerance = float(os.environ.get("EACACHE_OBS_TOLERANCE", "0.05"))
 
@@ -154,6 +186,9 @@ def main(argv):
     if daemon_bin is not None and not os.path.exists(daemon_bin):
         print(f"note: {daemon_bin} not built; skipping the obs-overhead arm")
         daemon_bin = None
+    if scale_bin is not None and not os.path.exists(scale_bin):
+        print(f"note: {scale_bin} not built; skipping the shard-scaling arm")
+        scale_bin = None
 
     micro_samples, fingerprint = run_micro(micro_bin)
     smoke_samples = run_smoke(smoke_bin)
@@ -170,6 +205,9 @@ def main(argv):
             "telemetry_rps": run_daemon_arm(daemon_bin, OBS_TELEMETRY_FLAGS),
             "no_obs_rps": run_daemon_arm(daemon_bin, ["--no-obs"]),
         }
+
+    # Self-relative shard-scaling arm: rates measured now, on this machine.
+    shard_rates = run_shard_scaling(scale_bin) if scale_bin is not None else None
 
     baseline = None
     if os.path.exists(baseline_path):
@@ -189,6 +227,10 @@ def main(argv):
         }
         if obs_rates is not None:
             calibrated["daemon_obs_overhead"] = obs_rates
+        if shard_rates is not None:
+            calibrated["shard_scaling_rps"] = {
+                str(shards): rate for shards, rate in sorted(shard_rates.items())
+            }
         with open(baseline_path, "w") as handle:
             json.dump(calibrated, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -229,6 +271,21 @@ def main(argv):
                     f"({100 * (1 - with_obs / without):.1f}% overhead, "
                     f"bound {100 * obs_tolerance:.0f}%)"
                 )
+        if (
+            shard_rates is not None
+            and shard_rates.get(1, 0.0) > 0
+            and (fingerprint.get("num_cpus") or 0) >= MIN_SHARD_CPUS
+        ):
+            speedup = shard_rates.get(8, 0.0) / shard_rates[1]
+            if speedup < SHARD_SPEEDUP_FLOOR:
+                failures.append(
+                    f"shard_scaling: 8-shard speedup {speedup:.2f}x over 1 shard "
+                    f"(floor {SHARD_SPEEDUP_FLOOR:.1f}x; rates "
+                    + ", ".join(
+                        f"{s}={r:,.0f} req/s" for s, r in sorted(shard_rates.items())
+                    )
+                    + ")"
+                )
         return failures
 
     failures = compare()
@@ -247,6 +304,9 @@ def main(argv):
                 obs_rates["telemetry_rps"],
                 run_daemon_arm(daemon_bin, OBS_TELEMETRY_FLAGS),
             )
+        if shard_rates is not None and any("shard_scaling" in f for f in failures):
+            for shards, rate in run_shard_scaling(scale_bin).items():
+                shard_rates[shards] = max(shard_rates.get(shards, 0.0), rate)
         failures = compare()
 
     if failures:
@@ -264,7 +324,33 @@ def main(argv):
         checked += 1
         overhead = 1 - obs_rates["telemetry_rps"] / max(obs_rates["no_obs_rps"], 1e-9)
         print(f"daemon_obs_overhead: {100 * overhead:.1f}% (bound {100 * obs_tolerance:.0f}%)")
+    if shard_rates is not None and shard_rates.get(1, 0.0) > 0:
+        checked += 1
+        speedup = shard_rates.get(8, 0.0) / shard_rates[1]
+        enforced = (fingerprint.get("num_cpus") or 0) >= MIN_SHARD_CPUS
+        print(
+            f"shard_scaling: 8-shard speedup {speedup:.2f}x "
+            f"({'enforced' if enforced else 'record-only, < ' + str(MIN_SHARD_CPUS) + ' cpus'})"
+        )
     print(f"ok: {checked} throughput metrics within {100 * tolerance:.0f}% of baseline")
+
+    # The self-relative arms are verdicts of this run, not of the stored
+    # baseline — but their latest rates go into the baseline file anyway so
+    # the JSON history shows the trend (the fingerprint-gated metrics are
+    # left untouched).
+    recorded = False
+    if obs_rates is not None:
+        baseline["daemon_obs_overhead"] = obs_rates
+        recorded = True
+    if shard_rates is not None:
+        baseline["shard_scaling_rps"] = {
+            str(shards): rate for shards, rate in sorted(shard_rates.items())
+        }
+        recorded = True
+    if recorded:
+        with open(baseline_path, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0
 
 

@@ -54,6 +54,16 @@ Rules
                     are documented. Run with ``--prom-fixture <file>`` to
                     self-test against a deliberately undocumented name
                     (exit 0 iff the violation is caught).
+8. sim-no-daemon-includes
+                    the simulator layer — src/sim/ and src/event/ — never
+                    ``#include`` a daemon/ header. Mirror of rule 6 on the
+                    other side of the DESIGN.md §12 seam: the simulator and
+                    the daemon are sibling CLIENTS of the core (the sharded
+                    engine reimplements parallelism on simulated time; it
+                    must not borrow the daemon's wall-clock machinery). Run
+                    with ``--sim-fixture <file>`` to self-test against a
+                    deliberately violating source (exit 0 iff the violation
+                    is caught).
 """
 
 from __future__ import annotations
@@ -78,6 +88,7 @@ METRIC_CALL = re.compile(r"\.\s*(?:counter|gauge|histogram)\s*\(")
 STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)+)"')
 JSON_KEY = re.compile(r'\.(?:key|field)\s*\(\s*"((?:[^"\\]|\\.)+)"')
 SIM_INCLUDE = re.compile(r'#\s*include\s+"(?:sim|event)/')
+DAEMON_INCLUDE = re.compile(r'#\s*include\s+"daemon/')
 PROM_NAME = re.compile(r'"(eacache_[a-zA-Z0-9_]*)"')
 
 # The simulator layer plus the eacache_fuzz differential harness (which by
@@ -87,6 +98,13 @@ CORE_LAYER_EXEMPT = (
     Path("src/event"),
     Path("src/validate/fuzz_driver.h"),
     Path("src/validate/fuzz_driver.cpp"),
+)
+
+# The simulator layer proper for rule 8: these directories must not reach
+# sideways into the daemon (wall-clock) layer.
+SIM_LAYER = (
+    Path("src/sim"),
+    Path("src/event"),
 )
 
 
@@ -104,6 +122,40 @@ def in_core_layer(rel: Path) -> bool:
     return not any(
         rel == exempt or exempt in rel.parents for exempt in CORE_LAYER_EXEMPT
     )
+
+
+def in_sim_layer(rel: Path) -> bool:
+    return any(rel == layer or layer in rel.parents for layer in SIM_LAYER)
+
+
+def sim_layer_findings(rel: Path, text: str) -> list[str]:
+    findings = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        if DAEMON_INCLUDE.search(strip_line_comment(raw)):
+            findings.append(
+                f"{rel}:{lineno}: [sim-no-daemon-includes] the simulator "
+                f"layer must not include daemon/ headers (DESIGN.md §12); "
+                f"the simulator and the daemon are sibling clients of the "
+                f"core — parallel simulation lives on simulated time, not "
+                f"the daemon's wall clock"
+            )
+    return findings
+
+
+def sim_layer_selftest(fixture: Path) -> int:
+    """Negative control: the fixture MUST trip the sim-layer rule."""
+    findings = sim_layer_findings(fixture, fixture.read_text(encoding="utf-8"))
+    if not findings:
+        print(
+            f"project_lint: negative control FAILED — {fixture} contains a "
+            f"daemon/ include but the sim-no-daemon-includes rule missed it"
+        )
+        return 1
+    print(
+        f"project_lint: negative control ok — sim-no-daemon-includes caught "
+        f"{len(findings)} violation(s) in {fixture.name}"
+    )
+    return 0
 
 
 def layering_findings(rel: Path, text: str) -> list[str]:
@@ -171,6 +223,8 @@ def main() -> int:
         return layering_selftest(Path(sys.argv[2]))
     if len(sys.argv) == 3 and sys.argv[1] == "--prom-fixture":
         return prom_selftest(Path(sys.argv[2]))
+    if len(sys.argv) == 3 and sys.argv[1] == "--sim-fixture":
+        return sim_layer_selftest(Path(sys.argv[2]))
 
     design_text = DESIGN.read_text(encoding="utf-8")
     failures: list[str] = []
@@ -180,6 +234,8 @@ def main() -> int:
         text = path.read_text(encoding="utf-8")
         if in_core_layer(rel):
             failures.extend(layering_findings(rel, text))
+        if in_sim_layer(rel):
+            failures.extend(sim_layer_findings(rel, text))
         failures.extend(prom_findings(rel, text, design_text))
         for lineno, raw in enumerate(text.splitlines(), 1):
             line = strip_line_comment(raw)
@@ -228,7 +284,7 @@ def main() -> int:
         for failure in failures:
             print("  " + failure)
         return 1
-    print(f"project_lint: {len(source_files())} src files clean across 7 rules")
+    print(f"project_lint: {len(source_files())} src files clean across 8 rules")
     return 0
 
 
