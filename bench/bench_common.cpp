@@ -104,6 +104,21 @@ constexpr FlagSpec kFlags[] = {
      [](ParseState& state, const char* value) {
        state.options.shards = static_cast<std::size_t>(non_negative_long(value, "shards"));
      }},
+    {"scenario", "NAME",
+     "restrict workload benches to one scenario pack (DESIGN.md §15)",
+     [](ParseState& state, const char* value) { state.options.scenario = value; }},
+    {"scenario-requests", "N",
+     "requests per scenario trace (0 = bench default)",
+     [](ParseState& state, const char* value) {
+       state.options.scenario_requests =
+           static_cast<std::uint64_t>(non_negative_long(value, "scenario-requests"));
+     }},
+    {"stream-requests", "N",
+     "streaming-only profiling arm over N requests (no materialization)",
+     [](ParseState& state, const char* value) {
+       state.options.stream_requests =
+           static_cast<std::uint64_t>(non_negative_long(value, "stream-requests"));
+     }},
     {"help", nullptr, "print this message and exit", nullptr},
 };
 

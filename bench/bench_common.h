@@ -59,6 +59,14 @@ struct BenchOptions {
   PipelineConfig pipeline;   // --pipeline/--icp-*/--coalesce; default = legacy
   bool validate = false;     // --validate: invariant checker on every run
   std::size_t shards = 0;    // --shards: sharded engine; 0 = classic driver
+
+  // Workload-DSL knobs (consumed by bench_workload_characterization):
+  std::string scenario;                 // --scenario NAME: run one pack only
+  std::uint64_t scenario_requests = 0;  // --scenario-requests N: per-scenario
+                                        // trace size (0 = bench default)
+  std::uint64_t stream_requests = 0;    // --stream-requests N: streaming-only
+                                        // profiling arm over N requests (no
+                                        // materialization, no simulations)
 };
 
 [[nodiscard]] BenchOptions parse_args(int argc, char** argv);

@@ -1,49 +1,148 @@
-// WORKLOAD — characterizes the BU-calibrated synthetic trace the way the
-// workload-measurement literature characterized the real BU logs, and
-// prints the EXACT single-cache LRU hit curve (Mattson stack distances)
-// alongside the Che-model prediction: three independent ways of computing
-// the same quantity (exact, analytic, simulated elsewhere) that must agree.
+// WORKLOAD — characterizes every shipped workload-DSL scenario pack and
+// runs the EA-vs-AdHoc head-to-head on each, reporting the capacity ladder
+// and where (if anywhere) the schemes cross over. One result-JSON row per
+// (scenario, capacity, scheme) run under --json, each echoing its canonical
+// scenario spec in the config summary ("workload" field).
 //
-// (Pure trace analytics — no simulations, so there is no sweep to fan out;
-// the bench still accepts the common CLI and shares the cached trace.)
-#include "analysis/che_approximation.h"
+// Arms:
+//   default               — every scenario pack (or just --scenario NAME),
+//                           scaled to --scenario-requests (default 60k):
+//                           trace profile table + EA/AdHoc sweep + crossover.
+//   --stream-requests N   — streaming-only profiling of one scenario
+//                           (default flash-crowd): the N-request stream is
+//                           pulled through StreamProfile without ever
+//                           materializing, so N = 100M runs under a fixed
+//                           RSS ceiling. No simulations.
+//
+// The flash-crowd-outage pack composes the existing FaultPlan machinery:
+// its sweep runs with flash_crowd_outage_plan(), a peer outage landing
+// mid-plateau.
+#include <cinttypes>
+#include <cstdio>
+
 #include "bench_common.h"
+#include "core/workload_faults.h"
 #include "trace/analysis.h"
+#include "trace/scenarios.h"
+#include "trace/workload.h"
+#include "trace/workload_stats.h"
 
 using namespace eacache;
 
-int main(int argc, char** argv) {
-  (void)bench::parse_args(argc, argv);
-  bench::print_banner("WORKLOAD", "Trace characterization + exact LRU hit curve");
+namespace {
 
-  const TraceRef trace = bench::paper_trace();
-  const TraceProfile profile = profile_trace(trace->requests);
+constexpr std::uint64_t kDefaultScenarioRequests = 60'000;
 
-  TextTable profile_table({"metric", "value"});
-  profile_table.add_row({"requests", std::to_string(profile.total_requests)});
-  profile_table.add_row({"unique documents", std::to_string(profile.unique_documents)});
-  profile_table.add_row({"one-timers", fmt_percent(profile.one_timer_fraction) +
-                                           " of uniques"});
-  profile_table.add_row({"compulsory misses", fmt_percent(profile.compulsory_miss_fraction)});
-  profile_table.add_row({"fitted Zipf alpha", fmt_double(profile.zipf_alpha, 3)});
-  profile_table.add_row({"mean / median / max size",
-                         format_bytes(profile.mean_size) + " / " +
-                             format_bytes(profile.median_size) + " / " +
-                             format_bytes(profile.max_size)});
-  bench::print_table_and_csv(profile_table);
-
-  const StackDistanceHistogram histogram = compute_stack_distances(trace->requests);
-  CheModel model;
-  model.popularity = zipf_popularity(profile.unique_documents, profile.zipf_alpha);
-
-  TextTable curve({"cache size (docs)", "exact LRU hit rate (Mattson)",
-                   "Che model (fitted alpha)", "difference"});
-  for (const std::uint64_t capacity : {64u, 256u, 1024u, 4096u, 16384u}) {
-    const double exact = histogram.hit_rate_at(capacity);
-    const double analytic = che_lru(model, static_cast<double>(capacity)).hit_rate;
-    curve.add_row({std::to_string(capacity), fmt_percent(exact), fmt_percent(analytic),
-                   fmt_percent(analytic - exact)});
+int run_stream_arm(const bench::BenchOptions& options) {
+  const std::string name = options.scenario.empty() ? "flash-crowd" : options.scenario;
+  const ScenarioPack* pack = find_scenario(name);
+  if (pack == nullptr) {
+    std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
+    return 2;
   }
-  bench::print_table_and_csv(curve);
+  const WorkloadSpec spec = scaled_spec(*pack, options.stream_requests);
+  std::printf("streaming %s: %" PRIu64 " requests (never materialized)\n",
+              pack->name.c_str(), options.stream_requests);
+  WorkloadSource source(spec);
+  const StreamProfile profile = profile_stream(source);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"scenario", pack->name});
+  table.add_row({"requests", std::to_string(profile.requests)});
+  table.add_row({"distinct ids", std::to_string(profile.distinct_documents)});
+  table.add_row({"chunk requests", std::to_string(profile.chunk_requests)});
+  table.add_row({"flash requests", std::to_string(profile.flash_requests)});
+  table.add_row({"total bytes", format_bytes(profile.total_bytes)});
+  table.add_row({"span (days)",
+                 fmt_double(to_seconds(profile.last - profile.first) / 86400.0, 2)});
+  table.add_row({"monotone", profile.monotone ? "yes" : "NO (contract violation)"});
+  bench::print_table_and_csv(table);
+  return profile.monotone ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::print_banner("WORKLOAD",
+                      "Workload-DSL scenarios: characterization + EA-vs-AdHoc crossover");
+
+  if (options.stream_requests > 0) return run_stream_arm(options);
+
+  const std::uint64_t requests = options.scenario_requests != 0
+                                     ? options.scenario_requests
+                                     : kDefaultScenarioRequests;
+  bool matched = false;
+  for (const ScenarioPack& pack : workload_scenarios()) {
+    if (!options.scenario.empty() && pack.name != options.scenario) continue;
+    matched = true;
+
+    const WorkloadSpec spec = scaled_spec(pack, requests);
+    const std::string canonical = format_workload_spec(spec);
+    const TraceRef trace = get_or_create_workload(TraceCache::global(), spec);
+    std::printf("\nscenario %s — %s\n  validated by %s\n", pack.name.c_str(),
+                pack.summary.c_str(), pack.validation_test.c_str());
+
+    const TraceProfile profile = profile_trace(trace->requests);
+    TextTable profile_table({"metric", "value"});
+    profile_table.add_row({"requests", std::to_string(profile.total_requests)});
+    profile_table.add_row({"unique documents", std::to_string(profile.unique_documents)});
+    profile_table.add_row(
+        {"one-timers", fmt_percent(profile.one_timer_fraction) + " of uniques"});
+    profile_table.add_row(
+        {"compulsory misses", fmt_percent(profile.compulsory_miss_fraction)});
+    profile_table.add_row({"fitted Zipf alpha", fmt_double(profile.zipf_alpha, 3)});
+    profile_table.add_row({"mean / median / max size",
+                           format_bytes(profile.mean_size) + " / " +
+                               format_bytes(profile.median_size) + " / " +
+                               format_bytes(profile.max_size)});
+    bench::print_table_and_csv(profile_table);
+
+    // EA vs AdHoc over the paper's capacity ladder, both schemes sharing
+    // the one immutable scenario trace. The outage pack additionally runs
+    // under its mid-flash-crowd peer outage.
+    FaultPlan faults;
+    if (pack.name == "flash-crowd-outage") {
+      faults = flash_crowd_outage_plan(spec, /*victim=*/1);
+    }
+    SweepRunner runner = bench::make_runner(options);
+    for (const Bytes capacity : paper_capacity_ladder()) {
+      for (const PlacementKind placement : {PlacementKind::kAdHoc, PlacementKind::kEa}) {
+        GroupConfig config = bench::paper_group(4);
+        config.aggregate_capacity = capacity;
+        config.placement = placement;
+        RunSpec run_spec = bench::make_spec(config, faults);
+        run_spec.workload = canonical;
+        runner.add(pack.name + "/" + bench::capacity_label(capacity) +
+                       (placement == PlacementKind::kEa ? "/ea" : "/adhoc"),
+                   std::move(run_spec), trace);
+      }
+    }
+    const std::vector<SweepRunResult> runs = runner.run();
+
+    TextTable curve({"aggregate memory", "ad-hoc hit rate", "EA hit rate", "EA - ad-hoc"});
+    std::string crossover = "none (EA ahead nowhere)";
+    bool ea_ahead_somewhere = false;
+    for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+      const SimulationResult& adhoc = runs[i].result;
+      const SimulationResult& ea = runs[i + 1].result;
+      const double delta = ea.metrics.hit_rate() - adhoc.metrics.hit_rate();
+      curve.add_row({bench::capacity_label(runs[i].config.aggregate_capacity),
+                     fmt_percent(adhoc.metrics.hit_rate()),
+                     fmt_percent(ea.metrics.hit_rate()), fmt_percent(delta)});
+      if (!ea_ahead_somewhere && delta > 0.0) {
+        ea_ahead_somewhere = true;
+        crossover = "EA ahead from " +
+                    bench::capacity_label(runs[i].config.aggregate_capacity);
+      }
+    }
+    bench::print_table_and_csv(curve);
+    std::printf("crossover: %s\n", crossover.c_str());
+  }
+
+  if (!matched) {
+    std::fprintf(stderr, "unknown scenario: %s\n", options.scenario.c_str());
+    return 2;
+  }
   return 0;
 }

@@ -2,13 +2,19 @@
 // configurable wall-clock rate (the daemon-mode counterpart of trace_replay).
 //
 //   $ ./load_gen <trace-file> [config-file]
+//   $ ./load_gen scenario:<pack> [config-file]
 //
 // Trace format is BU-style by default (see trace_replay); `format = squid`
 // switches parsers. With no arguments a bundled synthetic workload is
-// replayed so the binary is runnable out of the box.
+// replayed so the binary is runnable out of the box. A `scenario:` argument
+// selects a workload-DSL scenario pack (trace/scenarios.h — DESIGN.md §15)
+// and STREAMS it through the daemon: requests are pulled from the generator
+// one at a time, so a 100M-request soak never materializes its trace. The
+// `requests` config key rescales the pack (0 = the pack's default).
 //
 // The optional config file (key = value) understands:
 //   format             bu|squid                      (default bu)
+//   requests           rescale a scenario: pack      (default 0 = pack size)
 //   proxies            number of proxy worker threads (default 4)
 //   aggregate_capacity group-wide byte budget        (default 10MiB)
 //   replacement        lru|lfu|lfu-aging|size|gds    (default lru)
@@ -33,14 +39,17 @@
 //                      including the per-tick stderr summary (default on)
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "common/config.h"
 #include "core/run_result_json.h"
 #include "daemon/daemon.h"
 #include "trace/bu_parser.h"
+#include "trace/scenarios.h"
 #include "trace/squid_parser.h"
 #include "trace/synthetic.h"
+#include "trace/workload.h"
 
 using namespace eacache;
 
@@ -73,13 +82,34 @@ int main(int argc, char** argv) {
     Config cfg;
     if (argc > 2) cfg = Config::load(argv[2]);
 
-    const Trace trace = load_trace(argc, argv, cfg);
-    const TraceStats stats = compute_stats(trace.requests);
-    std::printf("trace: %llu requests, %llu documents, %llu users, span %s\n",
-                static_cast<unsigned long long>(stats.total_requests),
-                static_cast<unsigned long long>(stats.unique_documents),
-                static_cast<unsigned long long>(stats.unique_users),
-                format_duration(stats.span()).c_str());
+    // A scenario: argument streams a workload-DSL pack instead of
+    // materializing a trace; `requests` in the config rescales it.
+    std::optional<WorkloadSpec> workload;
+    Trace trace;
+    const std::string trace_arg = argc > 1 ? argv[1] : "";
+    if (trace_arg.rfind("scenario:", 0) == 0) {
+      const std::string name = trace_arg.substr(9);
+      const ScenarioPack* pack = find_scenario(name);
+      if (pack == nullptr) {
+        std::fprintf(stderr, "unknown scenario: %s (see trace/scenarios.h)\n",
+                     name.c_str());
+        return 2;
+      }
+      const auto requests = static_cast<std::uint64_t>(cfg.get_int("requests", 0));
+      workload = requests > 0 ? scaled_spec(*pack, requests) : pack->spec;
+      std::printf("scenario %s — %s\n", pack->name.c_str(), pack->summary.c_str());
+      std::printf("streaming %llu requests over %s (never materialized)\n",
+                  static_cast<unsigned long long>(workload->num_requests),
+                  format_duration(workload->span).c_str());
+    } else {
+      trace = load_trace(argc, argv, cfg);
+      const TraceStats stats = compute_stats(trace.requests);
+      std::printf("trace: %llu requests, %llu documents, %llu users, span %s\n",
+                  static_cast<unsigned long long>(stats.total_requests),
+                  static_cast<unsigned long long>(stats.unique_documents),
+                  static_cast<unsigned long long>(stats.unique_users),
+                  format_duration(stats.span()).c_str());
+    }
 
     GroupConfig config;
     config.num_proxies = static_cast<std::size_t>(cfg.get_int("proxies", 4));
@@ -133,7 +163,13 @@ int main(int argc, char** argv) {
     RunSpec spec;
     spec.group = config;
     LoadGenReport report;
-    const RunResult result = run_daemon(trace, spec, options, &report);
+    RunResult result;
+    if (workload) {
+      WorkloadSource source(*workload);
+      result = run_daemon(source, spec, options, &report);
+    } else {
+      result = run_daemon(trace, spec, options, &report);
+    }
 
     std::printf("\n  completed       %llu/%llu (%llu flushes injected)\n",
                 static_cast<unsigned long long>(report.completed),

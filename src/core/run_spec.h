@@ -80,6 +80,14 @@ struct RunSpec {
   /// Sharding + lookahead. (New in the RunSpec API.)
   ExecutionPolicy exec;
 
+  /// Provenance echo: the canonical workload-spec string
+  /// (format_workload_spec) of the trace this run replays, when it came
+  /// from the workload DSL. Purely descriptive — never read by the drivers
+  /// — and surfaced as the "workload" field of result-JSON config rows so
+  /// every row names the scenario that produced it. Empty for non-DSL
+  /// traces.
+  std::string workload;
+
   /// Every violated rule, in a stable order; empty means the spec is
   /// runnable by the `target` driver family. THE validation entry point:
   /// aggregates the group-level rules (GroupConfig::validate), the

@@ -1,0 +1,22 @@
+#include "core/workload_faults.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+FaultPlan flash_crowd_outage_plan(const WorkloadSpec& spec, ProxyId victim) {
+  if (!spec.flash.enabled()) {
+    throw std::invalid_argument(
+        "flash_crowd_outage_plan: spec has no flash-crowd component");
+  }
+  const Duration half_ramp = spec.flash.ramp / 2;
+  PeerOutage outage;
+  outage.proxy = victim;
+  outage.start = kSimEpoch + spec.flash.start + half_ramp;
+  outage.end = kSimEpoch + spec.flash.start + spec.flash.ramp + spec.flash.hold + half_ramp;
+  FaultPlan plan;
+  plan.outages.push_back(outage);
+  return plan;
+}
+
+}  // namespace eacache

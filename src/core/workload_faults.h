@@ -1,0 +1,19 @@
+// Composing FaultPlans with workload-DSL scenarios.
+//
+// Lives in core/ (not trace/) because FaultPlan depends on group/ while the
+// trace layer sits below it — the composition point is where both are
+// visible.
+#pragma once
+
+#include "core/fault_plan.h"
+#include "trace/workload.h"
+
+namespace eacache {
+
+/// A peer-outage window centred on the flash crowd's plateau: `victim` goes
+/// silent from the midpoint of the ramp-up until the midpoint of the
+/// ramp-down, so the group loses a peer exactly while the spike document is
+/// hottest. Requires spec.flash.enabled().
+[[nodiscard]] FaultPlan flash_crowd_outage_plan(const WorkloadSpec& spec, ProxyId victim);
+
+}  // namespace eacache

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -130,16 +131,50 @@ RunResult run_daemon(const Trace& trace, const RunSpec& spec, const DaemonOption
   return run_daemon(trace, spec.group, effective, report, timings);
 }
 
-RunResult run_daemon(const Trace& trace, const GroupConfig& config,
-                     const DaemonOptions& options, LoadGenReport* report,
-                     PhaseTimings* timings) {
-  validate_daemon_run_or_throw(config, options);
-  if (!is_time_ordered(trace.requests)) {
-    throw std::invalid_argument("run_daemon: trace must be time-ordered");
+namespace {
+
+/// Buffers the first pull of a source so run_daemon can anchor its clocks
+/// at the stream's first timestamp without materializing anything; reset()
+/// re-peeks so the contract's replay clause survives the wrapper.
+class PeekedSource final : public TraceSource {
+ public:
+  explicit PeekedSource(TraceSource& inner) : inner_(inner) { peek(); }
+
+  [[nodiscard]] TimePoint start() const { return head_ ? head_->at : kSimEpoch; }
+
+  bool next(Request& out) override {
+    if (head_) {
+      out = *head_;
+      head_.reset();
+      return true;
+    }
+    return inner_.next(out);
   }
 
+  void reset() override {
+    inner_.reset();
+    peek();
+  }
+
+ private:
+  void peek() {
+    Request first;
+    head_.reset();
+    if (inner_.next(first)) head_ = first;
+  }
+
+  TraceSource& inner_;
+  std::optional<Request> head_;
+};
+
+/// The shared drive: everything after validation + clock anchoring. Both
+/// run_daemon overloads funnel here (the Trace one through
+/// VectorTraceSource, so materialized and streamed runs are the same code
+/// path end to end).
+RunResult drive_daemon(TraceSource& source, TimePoint trace_start,
+                       const GroupConfig& config, const DaemonOptions& options,
+                       LoadGenReport* report, PhaseTimings* timings) {
   const auto drive_started = std::chrono::steady_clock::now();
-  const TimePoint trace_start = trace.empty() ? kSimEpoch : trace.requests.front().at;
 
   // The clock seam: manual time pinned to trace stamps for deterministic
   // smoke replay, a steady clock anchored at the trace start for live runs.
@@ -188,7 +223,7 @@ RunResult run_daemon(const Trace& trace, const GroupConfig& config,
 
   LoadGen gen(group, clock, smoke ? &fake : nullptr, options.mode, load,
               options.faults);
-  const LoadGenReport gen_report = gen.replay(trace);
+  const LoadGenReport gen_report = gen.replay(source);
   if (server) server->stop();
   if (poller) poller->stop();
   group.stop();
@@ -199,6 +234,30 @@ RunResult run_daemon(const Trace& trace, const GroupConfig& config,
   RunResult result = group.collect_result();
   if (timings != nullptr) timings->report_ms = elapsed_ms(report_started);
   return result;
+}
+
+}  // namespace
+
+RunResult run_daemon(const Trace& trace, const GroupConfig& config,
+                     const DaemonOptions& options, LoadGenReport* report,
+                     PhaseTimings* timings) {
+  validate_daemon_run_or_throw(config, options);
+  if (!is_time_ordered(trace.requests)) {
+    throw std::invalid_argument("run_daemon: trace must be time-ordered");
+  }
+  const TimePoint trace_start = trace.empty() ? kSimEpoch : trace.requests.front().at;
+  VectorTraceSource source(trace);
+  return drive_daemon(source, trace_start, config, options, report, timings);
+}
+
+RunResult run_daemon(TraceSource& source, const RunSpec& spec,
+                     const DaemonOptions& options, LoadGenReport* report,
+                     PhaseTimings* timings) {
+  validate_daemon_run_or_throw(spec, options);
+  DaemonOptions effective = options;
+  effective.faults = spec.faults;
+  PeekedSource peeked(source);
+  return drive_daemon(peeked, peeked.start(), spec.group, effective, report, timings);
 }
 
 }  // namespace eacache

@@ -94,6 +94,18 @@ void validate_daemon_run_or_throw(const GroupConfig& config, const DaemonOptions
                                    LoadGenReport* report = nullptr,
                                    PhaseTimings* timings = nullptr);
 
+/// Streaming counterpart: requests are pulled from `source` one at a time
+/// (the first pull anchors the clocks), so a workload-DSL soak never
+/// materializes its trace — memory stays bounded by the generator's
+/// universe at any request count. Identical semantics otherwise; a
+/// materialized Trace through the overload above takes this same path via
+/// VectorTraceSource, and the smoke-replay equality between the two is a
+/// ctest (DaemonWorkloadTest).
+[[nodiscard]] RunResult run_daemon(TraceSource& source, const RunSpec& spec,
+                                   const DaemonOptions& options = {},
+                                   LoadGenReport* report = nullptr,
+                                   PhaseTimings* timings = nullptr);
+
 /// DEPRECATED pre-RunSpec shape, kept one release.
 [[nodiscard]] RunResult run_daemon(const Trace& trace, const GroupConfig& config,
                                    const DaemonOptions& options = {},

@@ -32,6 +32,11 @@ LoadGenReport LoadGen::replay(const Trace& trace) {
   if (!is_time_ordered(trace.requests)) {
     throw std::invalid_argument("LoadGen::replay: trace must be time-ordered");
   }
+  VectorTraceSource source(trace);
+  return replay(source);
+}
+
+LoadGenReport LoadGen::replay(TraceSource& source) {
   LoadGenReport report;
   const auto wall_started = std::chrono::steady_clock::now();
   const ProxyId completions = group_.load_endpoint();
@@ -71,9 +76,17 @@ LoadGenReport LoadGen::replay(const Trace& trace) {
     }
   };
 
-  const TimePoint trace_start = trace.empty() ? kSimEpoch : trace.requests.front().at;
-  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
-    const Request& request = trace.requests[i];
+  TimePoint trace_start = kSimEpoch;
+  TimePoint last = kSimEpoch;
+  Request request;
+  for (std::uint64_t i = 0; source.next(request); ++i) {
+    if (i == 0) {
+      trace_start = request.at;
+    } else if (request.at < last) {
+      throw std::invalid_argument(
+          "LoadGen::replay: source must deliver time-ordered requests");
+    }
+    last = request.at;
     // Same ordering as EventQueue::run_until(request.at): every fault due
     // at or before this request's stamp fires first.
     while (next_flush < flushes.size() && flushes[next_flush].at <= request.at) {

@@ -23,6 +23,7 @@
 #include "core/fault_plan.h"
 #include "daemon/daemon_group.h"
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 
 namespace eacache {
 
@@ -80,6 +81,13 @@ class LoadGen {
   /// std::runtime_error on a completion timeout (a wedged worker);
   /// wall-clock mode reports the shortfall in the returned counts instead.
   LoadGenReport replay(const Trace& trace);
+
+  /// Streaming replay: identical semantics, but requests are pulled one at
+  /// a time from `source`, so a workload-DSL soak never materializes its
+  /// trace. The monotone-time contract is enforced incrementally (throws
+  /// std::invalid_argument on a regressing stamp). The vector overload
+  /// delegates here through VectorTraceSource.
+  LoadGenReport replay(TraceSource& source);
 
  private:
   DaemonGroup& group_;

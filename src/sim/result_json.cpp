@@ -34,6 +34,9 @@ void append_sweep_run(JsonWriter& json, const SweepRunResult& run) {
   json.field("routing",
              run.config.routing == RoutingMode::kHashPartition ? "hash-partition"
                                                                : "cooperative");
+  // Workload-DSL provenance echo; omitted for non-DSL traces so legacy rows
+  // stay byte-stable (DESIGN.md §11, §15).
+  if (!run.workload.empty()) json.field("workload", run.workload);
   json.key("obs").begin_object();
   json.field("registry", run.config.obs.registry);
   json.field("trace_capacity", static_cast<std::uint64_t>(run.config.obs.trace_capacity));

@@ -12,6 +12,7 @@
 #include "common/config.h"
 #include "common/logging.h"
 #include "common/thread_annotations.h"
+#include "trace/workload.h"
 
 namespace eacache {
 
@@ -173,6 +174,11 @@ TraceCache& TraceCache::global() {
   return cache;
 }
 
+TraceRef get_or_create_workload(TraceCache& cache, const WorkloadSpec& spec) {
+  return cache.get_or_create(format_workload_spec(spec),
+                             [&spec] { return generate_workload_trace(spec); });
+}
+
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
 
 std::size_t SweepRunner::add(SweepJob job) {
@@ -212,6 +218,7 @@ std::vector<SweepRunResult> SweepRunner::run() {
     if (options_.obs_override) spec.group.obs = *options_.obs_override;
     if (options_.validate) spec.check_invariants = true;
     out.config = spec.group;
+    out.workload = spec.workload;
     out.trace_load_ms = TraceLoadTable::instance().lookup(job.trace.get());
     const auto start = std::chrono::steady_clock::now();
     try {

@@ -34,6 +34,8 @@
 
 namespace eacache {
 
+struct WorkloadSpec;  // trace/workload.h
+
 /// Shared, immutable handle to a trace. Workers only ever read through it;
 /// ownership rules are documented in DESIGN.md (trace sharing).
 using TraceRef = std::shared_ptr<const Trace>;
@@ -87,6 +89,13 @@ class TraceCache {
   std::map<std::string, std::shared_ptr<Entry>> entries_ EACACHE_GUARDED_BY(mutex_);
 };
 
+/// Memoized workload-DSL trace: materializes generate_workload_trace(spec)
+/// through `cache` keyed by the canonical spec string
+/// (format_workload_spec), so every job sharing a scenario shares one
+/// immutable trace. Callers typically also copy the same canonical string
+/// into RunSpec::workload for the result-JSON echo.
+[[nodiscard]] TraceRef get_or_create_workload(TraceCache& cache, const WorkloadSpec& spec);
+
 /// One unit of sweep work: replay `trace` through the run described by
 /// `spec`. The label travels with the result row (tables, JSON). Jobs with
 /// `spec.exec.shards >= 1` run the sharded engine; the sweep pool and the
@@ -104,6 +113,7 @@ struct SweepJob {
 struct SweepRunResult {
   std::string label;
   GroupConfig config;        // spec.group as run (after any obs_override)
+  std::string workload;      // RunSpec::workload echo ("" for non-DSL traces)
   SimulationResult result;
   double wall_ms = 0.0;
   double trace_load_ms = 0.0;  // factory cost of this job's trace (0 if

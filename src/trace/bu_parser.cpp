@@ -77,4 +77,52 @@ BuParseResult parse_bu_log_file(const std::string& path, const BuParseOptions& o
   return parse_bu_log(in, options);
 }
 
+BuLogSource::BuLogSource(std::istream& in, const BuParseOptions& options)
+    : in_(&in), options_(options) {}
+
+bool BuLogSource::next(Request& out) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++lines_read_;
+    const std::string_view view{line};
+    const auto first_non_space = view.find_first_not_of(" \t\r");
+    if (first_non_space == std::string_view::npos || view[first_non_space] == '#') {
+      ++lines_skipped_;
+      continue;
+    }
+    Request request;
+    bool coerced = false;
+    if (!parse_line(view, options_, request, coerced)) {
+      ++lines_skipped_;
+      continue;
+    }
+    if (coerced) ++zero_sizes_coerced_;
+    if (!started_) {
+      if (options_.normalize_time) shift_ = request.at - kSimEpoch;
+      started_ = true;
+    }
+    request.at -= shift_;
+    if (request.at < last_) {
+      request.at = last_;  // clamp: streaming cannot sort (see header)
+      ++clamped_timestamps_;
+    }
+    last_ = request.at;
+    out = request;
+    return true;
+  }
+  return false;
+}
+
+void BuLogSource::reset() {
+  in_->clear();
+  in_->seekg(0);
+  shift_ = Duration::zero();
+  last_ = kSimEpoch;
+  started_ = false;
+  lines_read_ = 0;
+  lines_skipped_ = 0;
+  zero_sizes_coerced_ = 0;
+  clamped_timestamps_ = 0;
+}
+
 }  // namespace eacache

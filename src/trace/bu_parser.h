@@ -22,6 +22,7 @@
 
 #include "common/types.h"
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 
 namespace eacache {
 
@@ -43,5 +44,35 @@ struct BuParseResult {
 /// Parse a log file; throws std::runtime_error if the file cannot be opened.
 [[nodiscard]] BuParseResult parse_bu_log_file(const std::string& path,
                                               const BuParseOptions& options = {});
+
+/// Streaming counterpart of parse_bu_log: pulls one line per next() call, so
+/// arbitrarily large logs cost O(1) memory. Divergence from the batch path:
+/// the stream cannot sort, so a timestamp that regresses is clamped forward
+/// to the previous one (counted in clamped_timestamps) to honour the
+/// TraceSource monotone-time clause. Non-owning; reset() requires a
+/// seekable stream.
+class BuLogSource final : public TraceSource {
+ public:
+  explicit BuLogSource(std::istream& in, const BuParseOptions& options = {});
+
+  bool next(Request& out) override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t lines_read() const { return lines_read_; }
+  [[nodiscard]] std::uint64_t lines_skipped() const { return lines_skipped_; }
+  [[nodiscard]] std::uint64_t zero_sizes_coerced() const { return zero_sizes_coerced_; }
+  [[nodiscard]] std::uint64_t clamped_timestamps() const { return clamped_timestamps_; }
+
+ private:
+  std::istream* in_;
+  BuParseOptions options_;
+  Duration shift_ = Duration::zero();
+  TimePoint last_ = kSimEpoch;
+  bool started_ = false;
+  std::uint64_t lines_read_ = 0;
+  std::uint64_t lines_skipped_ = 0;
+  std::uint64_t zero_sizes_coerced_ = 0;
+  std::uint64_t clamped_timestamps_ = 0;
+};
 
 }  // namespace eacache

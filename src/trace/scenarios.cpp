@@ -1,0 +1,158 @@
+#include "trace/scenarios.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+namespace {
+
+// Registration style note: every pack is built as a sequence of
+// `pack.name = ...;` ... `pack.validation_test = ...;` statements —
+// project_lint rule 9 pairs those assignments textually to check that each
+// scenario names an existing test.
+std::vector<ScenarioPack> build_scenarios() {
+  std::vector<ScenarioPack> packs;
+
+  {
+    ScenarioPack pack;
+    pack.name = "stationary";
+    pack.summary =
+        "Paper-style stationary core: Zipf(0.75) documents, log-normal+Pareto "
+        "sizes, homogeneous Poisson arrivals";
+    pack.validation_test = "WorkloadStatsTest.StationaryZipfFitMatchesAlpha";
+    pack.spec.name = pack.name;
+    pack.spec.num_requests = 150'000;
+    pack.spec.num_documents = 12'000;
+    pack.spec.num_users = 160;
+    pack.spec.span = hours(24);
+    pack.spec.zipf_alpha = 0.75;
+    packs.push_back(std::move(pack));
+  }
+
+  {
+    ScenarioPack pack;
+    pack.name = "flash-crowd";
+    pack.summary =
+        "One document ramps to 30% of all traffic for a 30-minute window at "
+        "hour 8";
+    pack.validation_test = "WorkloadStatsTest.FlashCrowdSpikeMassMatchesPeak";
+    pack.spec.name = pack.name;
+    pack.spec.num_requests = 150'000;
+    pack.spec.num_documents = 12'000;
+    pack.spec.num_users = 160;
+    pack.spec.span = hours(24);
+    pack.spec.flash.peak = 0.30;
+    pack.spec.flash.start = hours(8);
+    pack.spec.flash.ramp = minutes(5);
+    pack.spec.flash.hold = minutes(30);
+    packs.push_back(std::move(pack));
+  }
+
+  {
+    ScenarioPack pack;
+    pack.name = "hot-set-drift";
+    pack.summary =
+        "Popularity churn: every 30 minutes a quarter of the hot window swaps "
+        "with the cold universe";
+    pack.validation_test = "WorkloadStatsTest.HotSetDriftFollowsChurnSchedule";
+    pack.spec.name = pack.name;
+    pack.spec.num_requests = 150'000;
+    pack.spec.num_documents = 12'000;
+    pack.spec.num_users = 160;
+    pack.spec.span = hours(24);
+    pack.spec.churn.interval = minutes(30);
+    pack.spec.churn.fraction = 0.25;
+    packs.push_back(std::move(pack));
+  }
+
+  {
+    ScenarioPack pack;
+    pack.name = "segmented-media";
+    pack.summary =
+        "5% of documents are large segmented objects emitting 4-16 chunk "
+        "trains of 256 KiB chunks";
+    pack.validation_test = "WorkloadDslTest.SegmentedMediaChunkTrains";
+    pack.spec.name = pack.name;
+    pack.spec.num_requests = 150'000;
+    pack.spec.num_documents = 12'000;
+    pack.spec.num_users = 160;
+    pack.spec.span = hours(24);
+    pack.spec.segments.fraction = 0.05;
+    pack.spec.segments.chunk_bytes = 256 * kKiB;
+    pack.spec.segments.min_chunks = 4;
+    pack.spec.segments.max_chunks = 16;
+    pack.spec.segments.gap = msec(200);
+    packs.push_back(std::move(pack));
+  }
+
+  {
+    ScenarioPack pack;
+    pack.name = "metro-users";
+    pack.summary =
+        "Metro-scale population: 2M users through 512 live sessions with 35% "
+        "affinity, diurnal rate curve";
+    pack.validation_test = "WorkloadStatsTest.MetroUsersSessionAffinity";
+    pack.spec.name = pack.name;
+    pack.spec.num_requests = 150'000;
+    pack.spec.num_documents = 12'000;
+    pack.spec.num_users = 2'000'000;
+    pack.spec.span = hours(24);
+    pack.spec.sessions.affinity = 0.35;
+    pack.spec.sessions.window = 8;
+    // 512 live sessions x 20-minute lifetimes gives each session a handful
+    // of requests at this scale, so the affinity signal is measurable (the
+    // re-reference coin only fires once a session has history).
+    pack.spec.sessions.active = 512;
+    pack.spec.sessions.mean_lifetime = minutes(20);
+    pack.spec.diurnal.amplitude = 0.6;
+    packs.push_back(std::move(pack));
+  }
+
+  {
+    ScenarioPack pack;
+    pack.name = "flash-crowd-outage";
+    pack.summary =
+        "flash-crowd plus a peer outage landing mid-plateau (compose with "
+        "flash_crowd_outage_plan)";
+    pack.validation_test = "WorkloadFaultsTest.OutageLandsMidFlashCrowd";
+    pack.spec.name = pack.name;
+    pack.spec.num_requests = 150'000;
+    pack.spec.num_documents = 12'000;
+    pack.spec.num_users = 160;
+    pack.spec.span = hours(24);
+    pack.spec.flash.peak = 0.30;
+    pack.spec.flash.start = hours(8);
+    pack.spec.flash.ramp = minutes(5);
+    pack.spec.flash.hold = minutes(30);
+    packs.push_back(std::move(pack));
+  }
+
+  for (const ScenarioPack& pack : packs) {
+    if (!pack.spec.validate().empty()) {
+      throw std::logic_error("shipped scenario fails validation: " + pack.name);
+    }
+  }
+  return packs;
+}
+
+}  // namespace
+
+const std::vector<ScenarioPack>& workload_scenarios() {
+  static const std::vector<ScenarioPack> packs = build_scenarios();
+  return packs;
+}
+
+const ScenarioPack* find_scenario(std::string_view name) {
+  for (const ScenarioPack& pack : workload_scenarios()) {
+    if (pack.name == name) return &pack;
+  }
+  return nullptr;
+}
+
+WorkloadSpec scaled_spec(const ScenarioPack& pack, std::uint64_t requests) {
+  WorkloadSpec spec = pack.spec;
+  spec.num_requests = requests;
+  return spec;
+}
+
+}  // namespace eacache

@@ -1,0 +1,37 @@
+// The shipped workload scenario packs (DESIGN.md §15).
+//
+// A ScenarioPack binds a named WorkloadSpec to the statistical test that
+// validates it — project_lint rule 9 enforces that every registered pack
+// names a real TEST(Suite, Test) in tests/**, so a scenario cannot ship
+// without its validation. bench_workload_characterization enumerates these
+// packs and emits one result-JSON row per scenario.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace eacache {
+
+struct ScenarioPack {
+  std::string name;             // stable identifier (also the spec's name)
+  std::string summary;          // one line for bench/doc output
+  std::string validation_test;  // "Suite.Test" in tests/** (lint rule 9)
+  WorkloadSpec spec;
+};
+
+/// All registered packs, in a stable order. Every spec validates clean.
+[[nodiscard]] const std::vector<ScenarioPack>& workload_scenarios();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const ScenarioPack* find_scenario(std::string_view name);
+
+/// The pack's spec rescaled to `requests` total emissions. The span (and so
+/// every absolute time offset: flash window, churn schedule) is untouched —
+/// only the arrival rate changes — so scaled runs stay statistically
+/// comparable.
+[[nodiscard]] WorkloadSpec scaled_spec(const ScenarioPack& pack, std::uint64_t requests);
+
+}  // namespace eacache

@@ -99,4 +99,58 @@ SquidParseResult parse_squid_log_file(const std::string& path,
   return parse_squid_log(in, options);
 }
 
+SquidLogSource::SquidLogSource(std::istream& in, const SquidParseOptions& options)
+    : in_(&in), options_(options) {}
+
+bool SquidLogSource::next(Request& out) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++lines_read_;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      ++lines_skipped_;
+      continue;
+    }
+    Request request;
+    bool coerced = false;
+    switch (parse_line(line, options_, request, coerced)) {
+      case LineResult::kMalformed:
+        ++lines_skipped_;
+        continue;
+      case LineResult::kFiltered:
+        ++lines_filtered_;
+        continue;
+      case LineResult::kParsed:
+        break;
+    }
+    if (coerced) ++zero_sizes_coerced_;
+    if (!started_) {
+      if (options_.normalize_time) shift_ = request.at - kSimEpoch;
+      started_ = true;
+    }
+    request.at -= shift_;
+    if (request.at < last_) {
+      request.at = last_;  // clamp: streaming cannot sort (see header)
+      ++clamped_timestamps_;
+    }
+    last_ = request.at;
+    out = request;
+    return true;
+  }
+  return false;
+}
+
+void SquidLogSource::reset() {
+  in_->clear();
+  in_->seekg(0);
+  shift_ = Duration::zero();
+  last_ = kSimEpoch;
+  started_ = false;
+  lines_read_ = 0;
+  lines_skipped_ = 0;
+  lines_filtered_ = 0;
+  zero_sizes_coerced_ = 0;
+  clamped_timestamps_ = 0;
+}
+
 }  // namespace eacache

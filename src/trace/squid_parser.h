@@ -22,6 +22,7 @@
 
 #include "common/types.h"
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 
 namespace eacache {
 
@@ -44,5 +45,35 @@ struct SquidParseResult {
 
 [[nodiscard]] SquidParseResult parse_squid_log_file(const std::string& path,
                                                     const SquidParseOptions& options = {});
+
+/// Streaming counterpart of parse_squid_log (one line per next(), O(1)
+/// memory). As with BuLogSource, out-of-order timestamps are clamped
+/// forward — streaming cannot sort — and counted. Non-owning; reset()
+/// requires a seekable stream.
+class SquidLogSource final : public TraceSource {
+ public:
+  explicit SquidLogSource(std::istream& in, const SquidParseOptions& options = {});
+
+  bool next(Request& out) override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t lines_read() const { return lines_read_; }
+  [[nodiscard]] std::uint64_t lines_skipped() const { return lines_skipped_; }
+  [[nodiscard]] std::uint64_t lines_filtered() const { return lines_filtered_; }
+  [[nodiscard]] std::uint64_t zero_sizes_coerced() const { return zero_sizes_coerced_; }
+  [[nodiscard]] std::uint64_t clamped_timestamps() const { return clamped_timestamps_; }
+
+ private:
+  std::istream* in_;
+  SquidParseOptions options_;
+  Duration shift_ = Duration::zero();
+  TimePoint last_ = kSimEpoch;
+  bool started_ = false;
+  std::uint64_t lines_read_ = 0;
+  std::uint64_t lines_skipped_ = 0;
+  std::uint64_t lines_filtered_ = 0;
+  std::uint64_t zero_sizes_coerced_ = 0;
+  std::uint64_t clamped_timestamps_ = 0;
+};
 
 }  // namespace eacache

@@ -38,6 +38,19 @@ Bytes synthetic_document_size(const SyntheticTraceConfig& config, std::uint64_t 
   return static_cast<Bytes>(clamped);
 }
 
+std::vector<std::uint64_t> synthetic_rank_order(const SyntheticTraceConfig& config) {
+  // Replays the permutation phase of generate_synthetic_trace: same seed,
+  // same draws, so the returned mapping is exactly the one the generator
+  // sampled through (pinned by SyntheticStatsTest).
+  Rng rng(config.seed);
+  std::vector<std::uint64_t> doc_of_rank(config.num_documents);
+  for (std::uint64_t i = 0; i < config.num_documents; ++i) doc_of_rank[i] = i;
+  for (std::uint64_t i = config.num_documents - 1; i > 0; --i) {
+    std::swap(doc_of_rank[i], doc_of_rank[rng.next_below(i + 1)]);
+  }
+  return doc_of_rank;
+}
+
 Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
   if (config.num_requests == 0) return Trace{};
   if (config.num_documents == 0) {

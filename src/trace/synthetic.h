@@ -73,4 +73,12 @@ struct SyntheticTraceConfig {
 [[nodiscard]] Bytes synthetic_document_size(const SyntheticTraceConfig& config,
                                             std::uint64_t doc_index);
 
+/// The generator's rank -> document permutation (element r is the document
+/// occupying popularity rank r). Exposed so statistical tests can count
+/// observed references by KNOWN rank — an unbiased chi-squared fit, instead
+/// of sorting observed counts. Deterministic in config.seed; the generator
+/// itself uses exactly this permutation.
+[[nodiscard]] std::vector<std::uint64_t> synthetic_rank_order(
+    const SyntheticTraceConfig& config);
+
 }  // namespace eacache

@@ -1,0 +1,24 @@
+#include "trace/trace_source.h"
+
+#include <stdexcept>
+
+namespace eacache {
+
+Trace materialize(TraceSource& source, std::uint64_t limit) {
+  Trace trace;
+  Request request;
+  TimePoint last = kSimEpoch;
+  bool first = true;
+  while (trace.requests.size() < limit && source.next(request)) {
+    if (!first && request.at < last) {
+      throw std::invalid_argument(
+          "materialize: TraceSource violated the monotone-time contract");
+    }
+    last = request.at;
+    first = false;
+    trace.requests.push_back(request);
+  }
+  return trace;
+}
+
+}  // namespace eacache

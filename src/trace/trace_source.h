@@ -1,0 +1,71 @@
+// Streaming trace delivery: the pull-based counterpart of the Trace vector.
+//
+// A 100M-request workload must never materialize in memory, so generators
+// and parsers expose a TraceSource — a pull iterator over requests with a
+// three-clause contract every implementation (and the contract test in
+// tests/trace/trace_source_test.cpp) is held to:
+//
+//   1. exactly-once  — each request of the underlying stream is delivered
+//      by exactly one successful next() call; after next() returns false it
+//      keeps returning false until reset().
+//   2. monotone time — timestamps are non-decreasing across successive
+//      next() calls (the simulator's event loop and the daemon load
+//      generator both require time-ordered input).
+//   3. bounded state — memory held by the source is a function of the
+//      workload's *universe* (documents, sessions, pending chunk trains),
+//      never of how many requests have been pulled. The contract test pins
+//      this with an allocation-counting fixture.
+//
+// The existing Trace-vector path stays as an adapter for small runs:
+// materialize() collects a (bounded) prefix into a Trace, and
+// VectorTraceSource replays an existing Trace through the streaming
+// interface so parsers and vectors plug into the same consumers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "trace/trace.h"
+
+namespace eacache {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Pull the next request into `out`. Returns false at end of stream (and
+  /// keeps returning false; `out` is untouched in that case).
+  virtual bool next(Request& out) = 0;
+
+  /// Rewind to the beginning: the source replays the identical sequence
+  /// (all sources here are pure functions of their construction inputs).
+  virtual void reset() = 0;
+};
+
+/// Streaming view of an existing Trace. Non-owning: the trace must outlive
+/// the source.
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(const Trace& trace) : trace_(&trace) {}
+
+  bool next(Request& out) override {
+    if (index_ >= trace_->requests.size()) return false;
+    out = trace_->requests[index_++];
+    return true;
+  }
+
+  void reset() override { index_ = 0; }
+
+ private:
+  const Trace* trace_;
+  std::size_t index_ = 0;
+};
+
+/// Collect up to `limit` requests into a Trace — the small-run adapter.
+/// Throws std::invalid_argument if the source violates the monotone-time
+/// clause while collecting.
+[[nodiscard]] Trace materialize(TraceSource& source,
+                                std::uint64_t limit = std::numeric_limits<std::uint64_t>::max());
+
+}  // namespace eacache

@@ -1,0 +1,674 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace eacache {
+
+namespace {
+
+// Seed salts: one independent stream per concern, so adding a component
+// never perturbs another's draws.
+constexpr std::uint64_t kSizeSalt = 0x5157a11c0ffee5ULL;  // matches synthetic.cpp
+constexpr std::uint64_t kChurnSalt = 0xd81f7c0ffee1234ULL;
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Reserved id layout: bit 63 tags chunk ids (base << 20 | index below it),
+// bit 62 tags the flash document. Normal ids stay below 2^40 (validated),
+// so the spaces never collide.
+constexpr DocumentId kChunkBit = DocumentId{1} << 63;
+constexpr DocumentId kFlashBit = DocumentId{1} << 62;
+constexpr std::uint32_t kChunkIndexBits = 20;
+
+// Backstop on pending chunk-train state so a pathological spec (huge trains,
+// long gaps, high rate) cannot grow the heap without bound: past this, a
+// train collapses to its first chunk. Never reached by the shipped
+// scenarios.
+constexpr std::size_t kMaxPendingChunks = 1 << 16;
+
+double lognormal_mu(const WorkloadSizeSpec& size) {
+  // E[X] = exp(mu + sigma^2/2) — choose mu so the body mean is mean_size.
+  return std::log(static_cast<double>(size.mean_size)) - size.sigma * size.sigma / 2.0;
+}
+
+}  // namespace
+
+DocumentId workload_flash_document() { return kFlashBit; }
+
+DocumentId workload_chunk_document(DocumentId base, std::uint32_t index) {
+  return kChunkBit | (base << kChunkIndexBits) | DocumentId{index};
+}
+
+bool is_flash_document(DocumentId id) { return (id & kFlashBit) != 0 && (id & kChunkBit) == 0; }
+
+bool is_chunk_document(DocumentId id) { return (id & kChunkBit) != 0; }
+
+DocumentId chunk_base_document(DocumentId id) {
+  return (id & ~kChunkBit) >> kChunkIndexBits;
+}
+
+bool workload_document_segmented(const WorkloadSpec& spec, DocumentId base) {
+  if (!spec.segments.enabled()) return false;
+  const std::uint64_t h = hash_combine(spec.seed ^ 0x5e9f3e4a7b1c2d8ULL, base);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < spec.segments.fraction;
+}
+
+namespace {
+
+std::uint32_t chunk_count(const WorkloadSpec& spec, DocumentId base) {
+  const std::uint32_t lo = spec.segments.min_chunks;
+  const std::uint32_t hi = spec.segments.max_chunks;
+  const std::uint64_t h = hash_combine(spec.seed ^ 0x3c0de5eb9a7f11dULL, base);
+  return lo + static_cast<std::uint32_t>(h % (hi - lo + 1));
+}
+
+}  // namespace
+
+Bytes workload_document_size(const WorkloadSpec& spec, DocumentId id) {
+  const WorkloadSizeSpec& size = spec.size;
+  if (is_chunk_document(id)) return spec.segments.chunk_bytes;
+  if (is_flash_document(id)) {
+    return std::clamp(size.mean_size, size.min_size, size.max_size);
+  }
+  // Per-document deterministic stream, independent of request order — the
+  // same construction as synthetic_document_size.
+  Rng rng(hash_combine(spec.seed ^ kSizeSalt, id));
+  double body = 0.0;
+  if (rng.next_bool(size.pareto_probability)) {
+    body = rng.next_pareto(static_cast<double>(size.pareto_scale), size.pareto_alpha);
+  } else {
+    body = rng.next_lognormal(lognormal_mu(size), size.sigma);
+  }
+  const double clamped = std::clamp(body, static_cast<double>(size.min_size),
+                                    static_cast<double>(size.max_size));
+  return static_cast<Bytes>(clamped);
+}
+
+std::uint64_t WorkloadSpec::churn_hot_window() const {
+  std::uint64_t window = churn.hot_window;
+  if (window == 0) window = std::max<std::uint64_t>(16, num_documents / 64);
+  return std::min(window, num_documents);
+}
+
+namespace {
+
+/// The rank -> document permutation after `epochs` churn intervals. Driven
+/// entirely by the dedicated churn rng stream so request draws never shift
+/// the schedule (and tests can replay it).
+std::vector<DocumentId> permutation_after(const WorkloadSpec& spec, std::uint64_t epochs) {
+  Rng rng(spec.seed ^ kChurnSalt);
+  std::vector<DocumentId> doc_of_rank(spec.num_documents);
+  for (std::uint64_t i = 0; i < spec.num_documents; ++i) doc_of_rank[i] = i;
+  // Initial shuffle decorrelates popularity from id (as in synthetic.cpp).
+  for (std::uint64_t i = spec.num_documents - 1; i > 0; --i) {
+    std::swap(doc_of_rank[i], doc_of_rank[rng.next_below(i + 1)]);
+  }
+  if (!spec.churn.enabled()) return doc_of_rank;
+  const std::uint64_t hot = spec.churn_hot_window();
+  const auto swaps = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(spec.churn.fraction * static_cast<double>(hot))));
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    for (std::uint64_t s = 0; s < swaps; ++s) {
+      const std::uint64_t i = rng.next_below(hot);
+      const std::uint64_t j = rng.next_below(spec.num_documents);
+      std::swap(doc_of_rank[i], doc_of_rank[j]);
+    }
+  }
+  return doc_of_rank;
+}
+
+}  // namespace
+
+std::vector<DocumentId> workload_hot_documents(const WorkloadSpec& spec, std::uint64_t epochs,
+                                               std::uint64_t k) {
+  std::vector<DocumentId> perm = permutation_after(spec, epochs);
+  perm.resize(std::min<std::uint64_t>(k, perm.size()));
+  return perm;
+}
+
+double workload_flash_share(const WorkloadSpec& spec, Duration t) {
+  if (!spec.flash.enabled()) return 0.0;
+  const auto offset = static_cast<double>((t - spec.flash.start).count());
+  if (offset < 0.0) return 0.0;
+  const auto ramp = static_cast<double>(spec.flash.ramp.count());
+  const auto hold = static_cast<double>(spec.flash.hold.count());
+  if (offset < ramp) return spec.flash.peak * (offset / ramp);
+  if (offset < ramp + hold) return spec.flash.peak;
+  if (offset < ramp + hold + ramp) {
+    return spec.flash.peak * (1.0 - (offset - ramp - hold) / ramp);
+  }
+  return 0.0;
+}
+
+std::vector<std::string> WorkloadSpec::validate() const {
+  std::vector<std::string> errors;
+  const auto check = [&errors](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  check(!name.empty() &&
+            name.find_first_of("=;#\n\r\t ") == std::string::npos,
+        "name must be non-empty and free of '=', ';', '#' and whitespace");
+  check(num_documents >= 1, "need at least one document");
+  check(num_documents < (DocumentId{1} << 40),
+        "num_documents must stay below 2^40 (reserved chunk-id space)");
+  check(num_users >= 1, "need at least one user");
+  check(num_users <= 0xffffffffULL, "num_users must fit UserId (2^32 - 1)");
+  check(span > Duration::zero(), "span must be positive");
+  check(zipf_alpha > 0.0, "zipf.alpha must be positive");
+  check(user_alpha > 0.0, "user.alpha must be positive");
+
+  check(size.mean_size > 0, "size.mean must be positive");
+  check(size.sigma >= 0.0, "size.sigma must be non-negative");
+  check(size.pareto_probability >= 0.0 && size.pareto_probability < 1.0,
+        "size.pareto_probability must lie in [0, 1)");
+  check(size.pareto_alpha > 0.0, "size.pareto_alpha must be positive");
+  check(size.min_size <= size.max_size, "size.min must not exceed size.max");
+
+  check(diurnal.amplitude >= 0.0 && diurnal.amplitude < 1.0,
+        "diurnal.amplitude must lie in [0, 1)");
+  check(!diurnal.enabled() || diurnal.period > Duration::zero(),
+        "diurnal.period must be positive");
+
+  check(churn.fraction >= 0.0 && churn.fraction <= 1.0,
+        "churn.fraction must lie in [0, 1]");
+  check(churn.interval >= Duration::zero(), "churn.interval must be non-negative");
+
+  check(flash.peak >= 0.0 && flash.peak < 1.0, "flash.peak must lie in [0, 1)");
+  check(!flash.enabled() || flash.ramp >= Duration::zero(),
+        "flash.ramp must be non-negative");
+  check(!flash.enabled() || flash.hold >= Duration::zero(),
+        "flash.hold must be non-negative");
+  check(!flash.enabled() || flash.ramp + flash.hold > Duration::zero(),
+        "flash window must have positive extent");
+
+  check(segments.fraction >= 0.0 && segments.fraction <= 1.0,
+        "segments.fraction must lie in [0, 1]");
+  check(!segments.enabled() || segments.chunk_bytes > 0,
+        "segments.chunk_bytes must be positive");
+  check(segments.min_chunks >= 1, "segments.min_chunks must be at least 1");
+  check(segments.max_chunks >= segments.min_chunks,
+        "segments.max_chunks must be >= segments.min_chunks");
+  check(segments.max_chunks < (1u << kChunkIndexBits),
+        "segments.max_chunks must stay below 2^20 (chunk-id space)");
+  check(segments.gap >= Duration::zero(), "segments.gap must be non-negative");
+
+  check(sessions.affinity >= 0.0 && sessions.affinity < 1.0,
+        "sessions.affinity must lie in [0, 1)");
+  check(sessions.window >= 1, "sessions.window must be at least 1");
+  check(sessions.active >= 1, "sessions.active must be at least 1");
+  check(sessions.mean_lifetime > Duration::zero(),
+        "sessions.mean_lifetime must be positive");
+  return errors;
+}
+
+void WorkloadSpec::validate_or_throw() const {
+  const std::vector<std::string> errors = validate();
+  if (errors.empty()) return;
+  std::string joined = "invalid WorkloadSpec: ";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) joined += "; ";
+    joined += errors[i];
+  }
+  throw std::invalid_argument(joined);
+}
+
+// ---- WorkloadSource ------------------------------------------------------
+
+WorkloadSource::WorkloadSource(WorkloadSpec spec)
+    : spec_(std::move(spec)),
+      rng_(spec_.seed),
+      churn_rng_(spec_.seed ^ kChurnSalt),
+      doc_sampler_((spec_.validate_or_throw(), spec_.num_documents), spec_.zipf_alpha),
+      user_sampler_(spec_.num_users, spec_.user_alpha) {
+  init_state();
+}
+
+void WorkloadSource::init_state() {
+  // Same construction as permutation_after(spec_, 0), but run on the live
+  // churn rng so subsequent epochs continue the replayable stream.
+  churn_rng_ = Rng(spec_.seed ^ kChurnSalt);
+  doc_of_rank_.resize(spec_.num_documents);
+  for (std::uint64_t i = 0; i < spec_.num_documents; ++i) doc_of_rank_[i] = i;
+  for (std::uint64_t i = spec_.num_documents - 1; i > 0; --i) {
+    std::swap(doc_of_rank_[i], doc_of_rank_[churn_rng_.next_below(i + 1)]);
+  }
+  sessions_.assign(spec_.sessions.active, Session{});
+  for (Session& session : sessions_) session.recent.reserve(spec_.sessions.window);
+  pending_ = {};
+  staged_.reset();
+  now_ms_ = 0.0;
+  emitted_ = 0;
+  chunk_sequence_ = 0;
+  churn_epochs_applied_ = 0;
+  base_rate_ = static_cast<double>(spec_.num_requests) /
+               static_cast<double>(spec_.span.count());
+  rng_.reseed(spec_.seed);
+}
+
+void WorkloadSource::reset() { init_state(); }
+
+void WorkloadSource::apply_churn_epochs(Duration now) {
+  if (!spec_.churn.enabled()) return;
+  const auto due = static_cast<std::uint64_t>(now.count() / spec_.churn.interval.count());
+  const std::uint64_t hot = spec_.churn_hot_window();
+  const auto swaps = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(spec_.churn.fraction * static_cast<double>(hot))));
+  while (churn_epochs_applied_ < due) {
+    for (std::uint64_t s = 0; s < swaps; ++s) {
+      const std::uint64_t i = churn_rng_.next_below(hot);
+      const std::uint64_t j = churn_rng_.next_below(spec_.num_documents);
+      std::swap(doc_of_rank_[i], doc_of_rank_[j]);
+    }
+    ++churn_epochs_applied_;
+  }
+}
+
+Request WorkloadSource::pick_base(TimePoint at) {
+  const Duration offset = at - kSimEpoch;
+
+  // Every request — flash traffic included — is issued through a session,
+  // so the user stream is one coherent population regardless of what the
+  // document components do.
+  Session& session = sessions_[rng_.next_below(sessions_.size())];
+  if (!session.live || at >= session.expires) {
+    session.user = static_cast<UserId>(user_sampler_.sample(rng_));
+    const double lifetime_ms = rng_.next_exponential(
+        1.0 / static_cast<double>(spec_.sessions.mean_lifetime.count()));
+    session.expires = at + Duration{static_cast<SimClock::rep>(lifetime_ms) + 1};
+    session.recent.clear();
+    session.next_slot = 0;
+    session.filled = 0;
+    session.live = true;
+  }
+
+  Request request;
+  request.at = at;
+  request.user = session.user;
+
+  const double flash = workload_flash_share(spec_, offset);
+  if (flash > 0.0 && rng_.next_bool(flash)) {
+    request.document = workload_flash_document();
+    return request;  // flash hits bypass the session's document memory
+  }
+
+  DocumentId doc = 0;
+  if (spec_.sessions.affinity > 0.0 && session.filled > 0 &&
+      rng_.next_bool(spec_.sessions.affinity)) {
+    doc = session.recent[rng_.next_below(session.filled)];
+  } else {
+    doc = doc_of_rank_[doc_sampler_.sample(rng_)];
+  }
+  if (session.recent.size() < spec_.sessions.window) {
+    session.recent.push_back(doc);
+  } else {
+    session.recent[session.next_slot] = doc;
+  }
+  session.next_slot = (session.next_slot + 1) % spec_.sessions.window;
+  session.filled = std::min(session.filled + 1, spec_.sessions.window);
+  request.document = doc;
+  return request;
+}
+
+void WorkloadSource::stage_base() {
+  // Non-homogeneous Poisson via thinning: draw at the ceiling rate, accept
+  // with probability rate(t)/ceiling. Collapses to plain exponential
+  // inter-arrivals when the diurnal component is off.
+  const double amplitude = spec_.diurnal.amplitude;
+  const double ceiling = base_rate_ * (1.0 + amplitude);
+  for (;;) {
+    now_ms_ += rng_.next_exponential(ceiling);
+    if (!spec_.diurnal.enabled()) break;
+    const double phase_ms = static_cast<double>(spec_.diurnal.phase.count());
+    const double period_ms = static_cast<double>(spec_.diurnal.period.count());
+    const double rate =
+        base_rate_ *
+        (1.0 + amplitude * std::sin(2.0 * kPi * (now_ms_ - phase_ms) / period_ms));
+    if (rng_.next_bool(rate / ceiling)) break;
+  }
+  const TimePoint at = kSimEpoch + Duration{static_cast<SimClock::rep>(now_ms_)};
+  apply_churn_epochs(at - kSimEpoch);
+  staged_ = pick_base(at);
+}
+
+bool WorkloadSource::next(Request& out) {
+  if (emitted_ >= spec_.num_requests) return false;
+  if (!staged_.has_value()) stage_base();
+
+  if (!pending_.empty() && pending_.top().at <= staged_->at) {
+    const PendingChunk chunk = pending_.top();
+    pending_.pop();
+    out.at = chunk.at;
+    out.user = chunk.user;
+    out.document = chunk.document;
+    out.size = spec_.segments.chunk_bytes;
+    ++emitted_;
+    return true;
+  }
+
+  const Request base = *staged_;
+  staged_.reset();
+  if (!is_flash_document(base.document) &&
+      workload_document_segmented(spec_, base.document)) {
+    const std::uint32_t chunks = chunk_count(spec_, base.document);
+    out.at = base.at;
+    out.user = base.user;
+    out.document = workload_chunk_document(base.document, 0);
+    out.size = spec_.segments.chunk_bytes;
+    if (pending_.size() + chunks < kMaxPendingChunks) {
+      for (std::uint32_t k = 1; k < chunks; ++k) {
+        PendingChunk chunk;
+        chunk.at = base.at + spec_.segments.gap * static_cast<SimClock::rep>(k);
+        chunk.document = workload_chunk_document(base.document, k);
+        chunk.user = base.user;
+        chunk.sequence = chunk_sequence_++;
+        pending_.push(chunk);
+      }
+    }
+  } else {
+    out = base;
+    out.size = workload_document_size(spec_, base.document);
+  }
+  ++emitted_;
+  return true;
+}
+
+Trace generate_workload_trace(const WorkloadSpec& spec) {
+  WorkloadSource source(spec);
+  return materialize(source);
+}
+
+// ---- Spec text format ----------------------------------------------------
+
+namespace {
+
+struct ParseErrors {
+  std::vector<std::string> messages;
+
+  void add(const std::string& message) { messages.push_back(message); }
+};
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  out = parsed;
+  return true;
+}
+
+bool parse_f64(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  out = parsed;
+  return true;
+}
+
+/// "1500ms", "90s", "15m", "24h", "3d"; a bare number means milliseconds.
+bool parse_duration(const std::string& text, Duration& out) {
+  if (text.empty()) return false;
+  std::size_t suffix = text.size();
+  while (suffix > 0 && !(std::isdigit(static_cast<unsigned char>(text[suffix - 1])) != 0 ||
+                         text[suffix - 1] == '.')) {
+    --suffix;
+  }
+  double value = 0.0;
+  if (!parse_f64(text.substr(0, suffix), value)) return false;
+  const std::string unit = text.substr(suffix);
+  double factor = 1.0;
+  if (unit.empty() || unit == "ms") {
+    factor = 1.0;
+  } else if (unit == "s") {
+    factor = 1000.0;
+  } else if (unit == "m") {
+    factor = 60.0 * 1000.0;
+  } else if (unit == "h") {
+    factor = 3600.0 * 1000.0;
+  } else if (unit == "d") {
+    factor = 24.0 * 3600.0 * 1000.0;
+  } else {
+    return false;
+  }
+  out = Duration{static_cast<SimClock::rep>(std::llround(value * factor))};
+  return true;
+}
+
+/// "4096", "64KiB", "8MiB", "1GiB".
+bool parse_bytes(const std::string& text, Bytes& out) {
+  std::size_t suffix = text.size();
+  while (suffix > 0 && std::isdigit(static_cast<unsigned char>(text[suffix - 1])) == 0) {
+    --suffix;
+  }
+  std::uint64_t value = 0;
+  if (!parse_u64(text.substr(0, suffix), value)) return false;
+  const std::string unit = text.substr(suffix);
+  if (unit.empty() || unit == "B") {
+    out = value;
+  } else if (unit == "KiB") {
+    out = value * kKiB;
+  } else if (unit == "MiB") {
+    out = value * kMiB;
+  } else if (unit == "GiB") {
+    out = value * kGiB;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+using Setter = std::function<bool(WorkloadSpec&, const std::string&)>;
+
+struct KeySpec {
+  const char* key;
+  Setter set;  // false = malformed value
+};
+
+#define EACACHE_WL_U64(field) \
+  [](WorkloadSpec& s, const std::string& v) { return parse_u64(v, s.field); }
+#define EACACHE_WL_U32(field)                              \
+  [](WorkloadSpec& s, const std::string& v) {              \
+    std::uint64_t parsed = 0;                              \
+    if (!parse_u64(v, parsed) || parsed > 0xffffffffULL) { \
+      return false;                                        \
+    }                                                      \
+    s.field = static_cast<std::uint32_t>(parsed);          \
+    return true;                                           \
+  }
+#define EACACHE_WL_F64(field) \
+  [](WorkloadSpec& s, const std::string& v) { return parse_f64(v, s.field); }
+#define EACACHE_WL_DUR(field) \
+  [](WorkloadSpec& s, const std::string& v) { return parse_duration(v, s.field); }
+#define EACACHE_WL_BYTES(field) \
+  [](WorkloadSpec& s, const std::string& v) { return parse_bytes(v, s.field); }
+
+const KeySpec kKeys[] = {
+    {"name", [](WorkloadSpec& s, const std::string& v) {
+       s.name = v;
+       return !v.empty();
+     }},
+    {"seed", EACACHE_WL_U64(seed)},
+    {"requests", EACACHE_WL_U64(num_requests)},
+    {"documents", EACACHE_WL_U64(num_documents)},
+    {"users", EACACHE_WL_U64(num_users)},
+    {"span", EACACHE_WL_DUR(span)},
+    {"zipf.alpha", EACACHE_WL_F64(zipf_alpha)},
+    {"user.alpha", EACACHE_WL_F64(user_alpha)},
+    {"size.mean", EACACHE_WL_BYTES(size.mean_size)},
+    {"size.sigma", EACACHE_WL_F64(size.sigma)},
+    {"size.pareto_probability", EACACHE_WL_F64(size.pareto_probability)},
+    {"size.pareto_scale", EACACHE_WL_BYTES(size.pareto_scale)},
+    {"size.pareto_alpha", EACACHE_WL_F64(size.pareto_alpha)},
+    {"size.min", EACACHE_WL_BYTES(size.min_size)},
+    {"size.max", EACACHE_WL_BYTES(size.max_size)},
+    {"diurnal.amplitude", EACACHE_WL_F64(diurnal.amplitude)},
+    {"diurnal.period", EACACHE_WL_DUR(diurnal.period)},
+    {"diurnal.phase", EACACHE_WL_DUR(diurnal.phase)},
+    {"churn.interval", EACACHE_WL_DUR(churn.interval)},
+    {"churn.fraction", EACACHE_WL_F64(churn.fraction)},
+    {"churn.hot_window", EACACHE_WL_U64(churn.hot_window)},
+    {"flash.peak", EACACHE_WL_F64(flash.peak)},
+    {"flash.start", EACACHE_WL_DUR(flash.start)},
+    {"flash.ramp", EACACHE_WL_DUR(flash.ramp)},
+    {"flash.hold", EACACHE_WL_DUR(flash.hold)},
+    {"segments.fraction", EACACHE_WL_F64(segments.fraction)},
+    {"segments.chunk_bytes", EACACHE_WL_BYTES(segments.chunk_bytes)},
+    {"segments.min_chunks", EACACHE_WL_U32(segments.min_chunks)},
+    {"segments.max_chunks", EACACHE_WL_U32(segments.max_chunks)},
+    {"segments.gap", EACACHE_WL_DUR(segments.gap)},
+    {"sessions.affinity", EACACHE_WL_F64(sessions.affinity)},
+    {"sessions.window", EACACHE_WL_U32(sessions.window)},
+    {"sessions.active", EACACHE_WL_U32(sessions.active)},
+    {"sessions.mean_lifetime", EACACHE_WL_DUR(sessions.mean_lifetime)},
+};
+
+#undef EACACHE_WL_U64
+#undef EACACHE_WL_U32
+#undef EACACHE_WL_F64
+#undef EACACHE_WL_DUR
+#undef EACACHE_WL_BYTES
+
+}  // namespace
+
+WorkloadSpec parse_workload_spec(std::string_view text) {
+  WorkloadSpec spec;
+  ParseErrors errors;
+
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find_first_of(";\n", begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string entry(text.substr(begin, end - begin));
+    begin = end + 1;
+
+    if (const std::size_t hash = entry.find('#'); hash != std::string::npos) {
+      entry.erase(hash);
+    }
+    entry = trim(entry);
+    if (entry.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      errors.add("missing '=' in \"" + entry + "\"");
+      if (end == text.size()) break;
+      continue;
+    }
+    const std::string key = trim(std::string_view(entry).substr(0, eq));
+    const std::string value = trim(std::string_view(entry).substr(eq + 1));
+
+    const KeySpec* found = nullptr;
+    for (const KeySpec& candidate : kKeys) {
+      if (key == candidate.key) {
+        found = &candidate;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      errors.add("unknown key \"" + key + "\"");
+    } else if (!found->set(spec, value)) {
+      errors.add("bad value for \"" + key + "\": \"" + value + "\"");
+    }
+    if (end == text.size()) break;
+  }
+
+  if (!errors.messages.empty()) {
+    std::string joined = "parse_workload_spec: ";
+    for (std::size_t i = 0; i < errors.messages.size(); ++i) {
+      if (i > 0) joined += "; ";
+      joined += errors.messages[i];
+    }
+    throw std::invalid_argument(joined);
+  }
+  return spec;
+}
+
+namespace {
+
+std::string render_f64(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Trim the representation when a short one round-trips exactly — keeps
+  // canonical strings human-readable ("0.75", not "0.75000000000000000").
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, value);
+    if (std::strtod(probe, nullptr) == value) return probe;
+  }
+  return buffer;
+}
+
+std::string render_duration(Duration d) {
+  return std::to_string(d.count()) + "ms";
+}
+
+}  // namespace
+
+std::string format_workload_spec(const WorkloadSpec& spec) {
+  std::string out;
+  const auto field = [&out](const char* key, const std::string& value) {
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  field("name", spec.name);
+  field("seed", std::to_string(spec.seed));
+  field("requests", std::to_string(spec.num_requests));
+  field("documents", std::to_string(spec.num_documents));
+  field("users", std::to_string(spec.num_users));
+  field("span", render_duration(spec.span));
+  field("zipf.alpha", render_f64(spec.zipf_alpha));
+  field("user.alpha", render_f64(spec.user_alpha));
+  field("size.mean", std::to_string(spec.size.mean_size));
+  field("size.sigma", render_f64(spec.size.sigma));
+  field("size.pareto_probability", render_f64(spec.size.pareto_probability));
+  field("size.pareto_scale", std::to_string(spec.size.pareto_scale));
+  field("size.pareto_alpha", render_f64(spec.size.pareto_alpha));
+  field("size.min", std::to_string(spec.size.min_size));
+  field("size.max", std::to_string(spec.size.max_size));
+  field("diurnal.amplitude", render_f64(spec.diurnal.amplitude));
+  field("diurnal.period", render_duration(spec.diurnal.period));
+  field("diurnal.phase", render_duration(spec.diurnal.phase));
+  field("churn.interval", render_duration(spec.churn.interval));
+  field("churn.fraction", render_f64(spec.churn.fraction));
+  field("churn.hot_window", std::to_string(spec.churn.hot_window));
+  field("flash.peak", render_f64(spec.flash.peak));
+  field("flash.start", render_duration(spec.flash.start));
+  field("flash.ramp", render_duration(spec.flash.ramp));
+  field("flash.hold", render_duration(spec.flash.hold));
+  field("segments.fraction", render_f64(spec.segments.fraction));
+  field("segments.chunk_bytes", std::to_string(spec.segments.chunk_bytes));
+  field("segments.min_chunks", std::to_string(spec.segments.min_chunks));
+  field("segments.max_chunks", std::to_string(spec.segments.max_chunks));
+  field("segments.gap", render_duration(spec.segments.gap));
+  field("sessions.affinity", render_f64(spec.sessions.affinity));
+  field("sessions.window", std::to_string(spec.sessions.window));
+  field("sessions.active", std::to_string(spec.sessions.active));
+  field("sessions.mean_lifetime", render_duration(spec.sessions.mean_lifetime));
+  return out;
+}
+
+}  // namespace eacache

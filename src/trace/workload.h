@@ -1,0 +1,270 @@
+// Composable workload DSL (DESIGN.md §15).
+//
+// The paper's evaluation rests on one BU-calibrated profile; this module
+// generalizes the synthetic generator into a spec of orthogonal, composable
+// components so modern scenarios — flash crowds, hot-set drift, diurnal
+// load, segmented media objects, metro-scale user populations — are data,
+// not code:
+//
+//  * stationary core   — Zipf(alpha) document popularity over a shuffled
+//                        rank->id permutation, log-normal + Pareto sizes
+//                        (per-document, draw-order independent), Poisson
+//                        arrivals over `span`.
+//  * diurnal           — the arrival rate is modulated by a sinusoid
+//                        (1 + A*sin) via Poisson thinning, so request
+//                        density follows a day/night curve.
+//  * churn (drift)     — every `interval`, `fraction` of the hot window's
+//                        ranks swap with uniformly drawn ranks, so the hot
+//                        set drifts over the trace. Driven by a DEDICATED
+//                        rng stream, so the permutation schedule is a pure
+//                        function of the spec (workload_hot_documents
+//                        replays it for tests).
+//  * flash crowd       — one reserved document (workload_flash_document())
+//                        ramps linearly to `peak` fraction of all traffic,
+//                        holds, and ramps back down.
+//  * segmented objects — a deterministic per-document coin marks documents
+//                        as segmented; every reference to one expands into
+//                        a chunk train (chunk 0 at the request instant,
+//                        chunks 1..K-1 spaced `gap` apart) over reserved
+//                        chunk ids, time-merged with the base arrival
+//                        process.
+//  * sessions          — requests are issued through a bounded table of
+//                        live sessions; each session pins a user drawn
+//                        Zipf-distributed from a population of up to 2^32-1
+//                        users and re-references its own recent documents
+//                        with probability `affinity`.
+//
+// Everything streams: WorkloadSource implements TraceSource with state
+// bounded by the universe (documents + sessions + pending chunks), never by
+// the request count, so a 100M-request trace costs O(documents) memory.
+// generate_workload_trace() is the small-run adapter.
+//
+// Determinism: a WorkloadSource is a pure function of its spec — same spec,
+// same stream, on any thread, pulled or materialized.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "common/zipf.h"
+#include "trace/trace.h"
+#include "trace/trace_source.h"
+
+namespace eacache {
+
+/// Sinusoidal arrival-rate modulation: rate(t) = base * (1 + A*sin(2*pi*(t -
+/// phase)/period)). amplitude 0 disables (homogeneous Poisson).
+struct DiurnalSpec {
+  double amplitude = 0.0;  // in [0, 1)
+  Duration period = hours(24);
+  Duration phase = Duration::zero();
+
+  [[nodiscard]] bool enabled() const { return amplitude > 0.0; }
+};
+
+/// Hot-set drift: every `interval`, ceil(fraction * hot_window) ranks inside
+/// the hot window swap with uniformly drawn ranks of the whole universe.
+struct ChurnSpec {
+  Duration interval = Duration::zero();  // zero disables
+  double fraction = 0.0;                 // of the hot window, per interval
+  std::uint64_t hot_window = 0;          // 0 = max(16, num_documents / 64)
+
+  [[nodiscard]] bool enabled() const {
+    return interval > Duration::zero() && fraction > 0.0;
+  }
+};
+
+/// One document ramps to `peak` fraction of all traffic: linear ramp-up over
+/// `ramp`, plateau for `hold`, linear ramp-down over `ramp`.
+struct FlashCrowdSpec {
+  double peak = 0.0;  // fraction of traffic at the plateau, in [0, 1)
+  Duration start = Duration::zero();  // offset from trace start
+  Duration ramp = minutes(5);
+  Duration hold = minutes(30);
+
+  [[nodiscard]] bool enabled() const { return peak > 0.0; }
+};
+
+/// Large segmented objects (video chunk trains / range requests). A
+/// deterministic per-document coin with success probability `fraction`
+/// marks documents segmented; every reference expands into its chunk train.
+struct SegmentSpec {
+  double fraction = 0.0;  // probability a document is segmented
+  Bytes chunk_bytes = 256 * kKiB;
+  std::uint32_t min_chunks = 4;
+  std::uint32_t max_chunks = 16;
+  Duration gap = msec(200);  // inter-chunk spacing within a train
+
+  [[nodiscard]] bool enabled() const { return fraction > 0.0; }
+};
+
+/// Session affinity over a metro-scale user population. Requests are issued
+/// through `active` concurrently live sessions; a session pins one user for
+/// an exponentially distributed lifetime and re-references one of its own
+/// last `window` documents with probability `affinity`.
+struct SessionSpec {
+  double affinity = 0.0;  // in [0, 1)
+  std::uint32_t window = 8;
+  std::uint32_t active = 1024;
+  Duration mean_lifetime = minutes(10);
+};
+
+/// Per-document size model (log-normal body, Pareto tail), identical in
+/// shape to SyntheticTraceConfig's — sizes derive from per-document hashes,
+/// never from draw order.
+struct WorkloadSizeSpec {
+  Bytes mean_size = 4 * kKiB;
+  double sigma = 1.0;
+  double pareto_probability = 0.01;
+  Bytes pareto_scale = 32 * kKiB;
+  double pareto_alpha = 1.5;
+  Bytes min_size = 64;
+  Bytes max_size = 8 * kMiB;
+};
+
+struct WorkloadSpec {
+  std::string name = "workload";
+  std::uint64_t seed = 42;
+  std::uint64_t num_requests = 150'000;  // total emissions, chunk trains included
+  std::uint64_t num_documents = 12'000;
+  std::uint64_t num_users = 160;  // up to 2^32 - 1 (UserId is 32-bit)
+  Duration span = hours(24);
+  double zipf_alpha = 0.75;
+  double user_alpha = 0.8;
+
+  WorkloadSizeSpec size{};
+  DiurnalSpec diurnal{};
+  ChurnSpec churn{};
+  FlashCrowdSpec flash{};
+  SegmentSpec segments{};
+  SessionSpec sessions{};
+
+  /// Every violated rule in a stable order; empty means the spec is
+  /// generable. Same aggregate-everything shape as GroupConfig::validate.
+  [[nodiscard]] std::vector<std::string> validate() const;
+  void validate_or_throw() const;
+
+  /// The effective churn hot window (resolves the 0 = auto default).
+  [[nodiscard]] std::uint64_t churn_hot_window() const;
+};
+
+// ---- Reserved document-id spaces -----------------------------------------
+// Normal documents occupy dense ids [0, num_documents) (< 2^40, validated).
+// The flash-crowd document and segment chunks live in disjoint reserved
+// ranges so analytics can classify any id without carrying side tables.
+
+/// The single flash-crowd document id.
+[[nodiscard]] DocumentId workload_flash_document();
+
+/// Chunk `index` of segmented document `base`.
+[[nodiscard]] DocumentId workload_chunk_document(DocumentId base, std::uint32_t index);
+
+[[nodiscard]] bool is_flash_document(DocumentId id);
+[[nodiscard]] bool is_chunk_document(DocumentId id);
+/// The base document of a chunk id (pass is_chunk_document() ids only).
+[[nodiscard]] DocumentId chunk_base_document(DocumentId id);
+
+/// True iff `base` is marked segmented under `spec` (deterministic
+/// per-document coin).
+[[nodiscard]] bool workload_document_segmented(const WorkloadSpec& spec, DocumentId base);
+
+/// Body size of any workload document id under `spec`: per-document hash
+/// draw for normal ids, `size.mean_size` for the flash document,
+/// `segments.chunk_bytes` for chunk ids.
+[[nodiscard]] Bytes workload_document_size(const WorkloadSpec& spec, DocumentId id);
+
+/// The documents occupying popularity ranks [0, k) after `epochs` churn
+/// intervals — replays the dedicated churn rng stream, so tests can measure
+/// the generator's drift against the schedule that produced it.
+[[nodiscard]] std::vector<DocumentId> workload_hot_documents(const WorkloadSpec& spec,
+                                                             std::uint64_t epochs,
+                                                             std::uint64_t k);
+
+/// The flash-crowd traffic share at offset `t` from trace start (0 when the
+/// component is disabled or t is outside the window).
+[[nodiscard]] double workload_flash_share(const WorkloadSpec& spec, Duration t);
+
+// ---- The generator -------------------------------------------------------
+
+class WorkloadSource final : public TraceSource {
+ public:
+  /// Throws std::invalid_argument (aggregated) on an invalid spec.
+  explicit WorkloadSource(WorkloadSpec spec);
+
+  bool next(Request& out) override;
+  void reset() override;
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+  /// Requests emitted since construction/reset().
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct Session {
+    UserId user = 0;
+    TimePoint expires = kSimEpoch;
+    std::vector<DocumentId> recent;  // ring of the last `window` documents
+    std::uint32_t next_slot = 0;
+    std::uint32_t filled = 0;
+    bool live = false;
+  };
+
+  struct PendingChunk {
+    TimePoint at{};
+    DocumentId document = 0;
+    UserId user = 0;
+    std::uint64_t sequence = 0;  // deterministic tie-break at equal stamps
+  };
+  struct ChunkAfter {
+    bool operator()(const PendingChunk& a, const PendingChunk& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void init_state();
+  void stage_base();           // draw the next base arrival into staged_
+  void apply_churn_epochs(Duration now);
+  Request pick_base(TimePoint at);
+
+  WorkloadSpec spec_;
+  Rng rng_;        // request stream
+  Rng churn_rng_;  // dedicated drift stream (see workload_hot_documents)
+  ZipfSampler doc_sampler_;
+  ZipfSampler user_sampler_;
+  std::vector<DocumentId> doc_of_rank_;
+  std::vector<Session> sessions_;
+  std::priority_queue<PendingChunk, std::vector<PendingChunk>, ChunkAfter> pending_;
+  std::optional<Request> staged_;
+  double now_ms_ = 0.0;
+  double base_rate_ = 0.0;  // requests per simulated ms (pre-modulation)
+  std::uint64_t emitted_ = 0;
+  std::uint64_t chunk_sequence_ = 0;
+  std::uint64_t churn_epochs_applied_ = 0;
+};
+
+/// Small-run adapter: pull the whole stream into a Trace (equals streaming
+/// pulls element for element — pinned by the equivalence tests).
+[[nodiscard]] Trace generate_workload_trace(const WorkloadSpec& spec);
+
+// ---- Spec text format ----------------------------------------------------
+// `key = value` pairs separated by newlines or ';'; '#' starts a comment.
+// Durations take ms/s/m/h/d suffixes ("90m", "1500ms"); byte values take
+// optional KiB/MiB/GiB suffixes. Unknown keys and malformed values are
+// aggregated into one std::invalid_argument. parse does NOT validate the
+// resulting spec — callers compose first, then validate_or_throw().
+// Grammar and key table: DESIGN.md §15.
+
+[[nodiscard]] WorkloadSpec parse_workload_spec(std::string_view text);
+
+/// Canonical one-line rendering (';'-separated, fixed key order, exact
+/// round-trip through parse_workload_spec). Used as the TraceCache key and
+/// echoed into result-JSON rows ("workload").
+[[nodiscard]] std::string format_workload_spec(const WorkloadSpec& spec);
+
+}  // namespace eacache

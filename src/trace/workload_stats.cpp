@@ -1,0 +1,182 @@
+#include "trace/workload_stats.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/zipf.h"
+#include "trace/workload.h"
+
+namespace eacache {
+
+double chi_squared_critical(std::uint64_t dof, double p) {
+  if (dof == 0) return 0.0;
+  // Standard-normal upper quantiles for the supported levels.
+  double z = 0.0;
+  if (p == 0.95) {
+    z = 1.6448536269514722;
+  } else if (p == 0.99) {
+    z = 2.3263478740408408;
+  } else if (p == 0.999) {
+    z = 3.0902323061678132;
+  } else {
+    throw std::invalid_argument("chi_squared_critical: p must be 0.95, 0.99 or 0.999");
+  }
+  // Wilson-Hilferty: chi2_p ~= dof * (1 - 2/(9 dof) + z sqrt(2/(9 dof)))^3.
+  const double k = static_cast<double>(dof);
+  const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * term * term * term;
+}
+
+ZipfFit zipf_chi_squared(const std::vector<std::uint64_t>& rank_counts, double alpha,
+                         std::uint64_t universe, double p) {
+  ZipfFit fit;
+  if (rank_counts.empty()) return fit;
+
+  const ZipfSampler law(universe, alpha);
+  // Condition on the covered ranks: expected share of rank r within the top
+  // R is pmf(r) / sum_{q<R} pmf(q).
+  std::vector<double> pmf(rank_counts.size());
+  double pmf_total = 0.0;
+  for (std::size_t r = 0; r < rank_counts.size(); ++r) {
+    pmf[r] = law.pmf(r);  // rank 0 = most popular
+    pmf_total += pmf[r];
+  }
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : rank_counts) total += count;
+  if (total == 0 || pmf_total <= 0.0) return fit;
+
+  // Drop tail ranks whose expected count falls below 5 (the classical
+  // validity floor). Expected counts decrease with rank, so a prefix scan
+  // suffices; renormalize within the kept prefix.
+  std::size_t keep = rank_counts.size();
+  while (keep > 1) {
+    const double expected =
+        static_cast<double>(total) * pmf[keep - 1] / pmf_total;
+    if (expected >= 5.0) break;
+    --keep;
+  }
+  double kept_pmf = 0.0;
+  std::uint64_t kept_total = 0;
+  for (std::size_t r = 0; r < keep; ++r) {
+    kept_pmf += pmf[r];
+    kept_total += rank_counts[r];
+  }
+  if (keep < 2 || kept_total == 0) return fit;
+
+  double chi = 0.0;
+  for (std::size_t r = 0; r < keep; ++r) {
+    const double expected = static_cast<double>(kept_total) * pmf[r] / kept_pmf;
+    const double delta = static_cast<double>(rank_counts[r]) - expected;
+    chi += delta * delta / expected;
+  }
+
+  fit.chi_squared = chi;
+  fit.dof = keep - 1;
+  fit.ranks_used = keep;
+  fit.total = kept_total;
+  fit.critical = chi_squared_critical(fit.dof, p);
+  fit.accepted = chi <= fit.critical;
+  return fit;
+}
+
+std::vector<std::uint64_t> count_by_rank(const Trace& trace,
+                                         const std::vector<DocumentId>& doc_of_rank,
+                                         std::uint64_t top) {
+  const std::uint64_t limit = std::min<std::uint64_t>(top, doc_of_rank.size());
+  std::unordered_map<DocumentId, std::uint64_t> rank_of_doc;
+  rank_of_doc.reserve(limit);
+  for (std::uint64_t r = 0; r < limit; ++r) rank_of_doc.emplace(doc_of_rank[r], r);
+
+  std::vector<std::uint64_t> counts(limit, 0);
+  for (const Request& request : trace.requests) {
+    DocumentId id = request.document;
+    if (is_flash_document(id)) continue;
+    if (is_chunk_document(id)) id = chunk_base_document(id);
+    const auto it = rank_of_doc.find(id);
+    if (it != rank_of_doc.end()) ++counts[it->second];
+  }
+  return counts;
+}
+
+double spike_mass(const Trace& trace, DocumentId document, TimePoint from, TimePoint to) {
+  std::uint64_t window = 0;
+  std::uint64_t hits = 0;
+  for (const Request& request : trace.requests) {
+    if (request.at < from || request.at >= to) continue;
+    ++window;
+    DocumentId id = request.document;
+    if (is_chunk_document(id)) id = chunk_base_document(id);
+    if (id == document) ++hits;
+  }
+  if (window == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(window);
+}
+
+double session_affinity_ratio(const Trace& trace, std::uint32_t window) {
+  struct History {
+    std::vector<DocumentId> recent;
+    std::uint32_t next_slot = 0;
+  };
+  std::unordered_map<UserId, History> users;
+  std::uint64_t considered = 0;
+  std::uint64_t repeats = 0;
+  for (const Request& request : trace.requests) {
+    History& history = users[request.user];
+    if (!history.recent.empty()) {
+      ++considered;
+      for (const DocumentId seen : history.recent) {
+        if (seen == request.document) {
+          ++repeats;
+          break;
+        }
+      }
+    }
+    if (history.recent.size() < window) {
+      history.recent.push_back(request.document);
+      history.next_slot = static_cast<std::uint32_t>(history.recent.size()) % window;
+    } else {
+      history.recent[history.next_slot] = request.document;
+      history.next_slot = (history.next_slot + 1) % window;
+    }
+  }
+  if (considered == 0) return 0.0;
+  return static_cast<double>(repeats) / static_cast<double>(considered);
+}
+
+double hot_set_overlap(const std::vector<DocumentId>& a, const std::vector<DocumentId>& b) {
+  if (a.empty()) return 0.0;
+  const std::unordered_set<DocumentId> in_b(b.begin(), b.end());
+  std::uint64_t shared = 0;
+  for (const DocumentId id : a) {
+    if (in_b.count(id) != 0) ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(a.size());
+}
+
+StreamProfile profile_stream(TraceSource& source) {
+  StreamProfile profile;
+  std::unordered_set<DocumentId> distinct;
+  Request request;
+  TimePoint last{};
+  while (source.next(request)) {
+    if (profile.requests == 0) {
+      profile.first = request.at;
+    } else if (request.at < last) {
+      profile.monotone = false;
+    }
+    last = request.at;
+    profile.last = request.at;
+    ++profile.requests;
+    profile.total_bytes += request.size;
+    if (is_chunk_document(request.document)) ++profile.chunk_requests;
+    if (is_flash_document(request.document)) ++profile.flash_requests;
+    distinct.insert(request.document);
+  }
+  profile.distinct_documents = distinct.size();
+  return profile;
+}
+
+}  // namespace eacache

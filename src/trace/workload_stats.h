@@ -1,0 +1,82 @@
+// Statistical property measurement for workload generators (DESIGN.md §15).
+//
+// The generator test battery needs to measure what a trace actually did —
+// rank-popularity fit, spike mass, affinity ratio, hot-set drift — and
+// compare it to what the spec promised. These helpers are deliberately
+// generator-agnostic: they take requests plus whatever ground truth the
+// caller has (the rank->document mapping, the flash window), so the same
+// machinery tests both the DSL and the legacy synthetic generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace.h"
+#include "trace/trace_source.h"
+
+namespace eacache {
+
+/// Chi-squared goodness-of-fit of observed top-rank counts against a
+/// Zipf(alpha) law over `universe` ranks. `rank_counts[r]` must be the
+/// number of references to the document the generator placed at popularity
+/// rank r — the test conditions on the top |rank_counts| ranks (expected
+/// shares renormalized within them), so it needs the KNOWN rank mapping and
+/// is unbiased (no sorting of observed counts).
+struct ZipfFit {
+  double chi_squared = 0.0;
+  double critical = 0.0;       // acceptance threshold at the requested p
+  std::uint64_t dof = 0;       // ranks used - 1 (after the min-expected cut)
+  std::uint64_t ranks_used = 0;
+  std::uint64_t total = 0;     // observations inside the ranks used
+  bool accepted = false;       // chi_squared <= critical
+};
+
+/// p must be one of 0.95, 0.99, 0.999. Ranks whose expected count would fall
+/// below 5 are dropped from the tail before computing the statistic.
+[[nodiscard]] ZipfFit zipf_chi_squared(const std::vector<std::uint64_t>& rank_counts,
+                                       double alpha, std::uint64_t universe,
+                                       double p = 0.999);
+
+/// Upper critical value of the chi-squared distribution with `dof` degrees
+/// of freedom at probability p in {0.95, 0.99, 0.999} (Wilson-Hilferty
+/// approximation — within a fraction of a percent for dof >= 3).
+[[nodiscard]] double chi_squared_critical(std::uint64_t dof, double p);
+
+/// Count references by popularity rank: result[r] = number of requests for
+/// doc_of_rank[r] among the top `top` ranks. Chunk requests count toward
+/// their base document's rank; the flash document is ignored.
+[[nodiscard]] std::vector<std::uint64_t> count_by_rank(
+    const Trace& trace, const std::vector<DocumentId>& doc_of_rank, std::uint64_t top);
+
+/// Fraction of requests inside [from, to) that reference `document`
+/// (chunk ids resolve to their base document first). 0 if the window is
+/// empty of requests.
+[[nodiscard]] double spike_mass(const Trace& trace, DocumentId document, TimePoint from,
+                                TimePoint to);
+
+/// Fraction of requests whose document already appeared among the same
+/// user's previous `window` requests — the empirical session-affinity
+/// signal. Requests by users seen fewer than 1 time before count as misses.
+[[nodiscard]] double session_affinity_ratio(const Trace& trace, std::uint32_t window);
+
+/// |a ∩ b| / |a| for two hot-set snapshots (a must be non-empty).
+[[nodiscard]] double hot_set_overlap(const std::vector<DocumentId>& a,
+                                     const std::vector<DocumentId>& b);
+
+/// One bounded pass over a stream: everything the battery needs to check a
+/// generator without materializing the trace. Memory is O(distinct ids).
+struct StreamProfile {
+  std::uint64_t requests = 0;
+  std::uint64_t distinct_documents = 0;  // distinct ids (chunks counted per id)
+  std::uint64_t chunk_requests = 0;
+  std::uint64_t flash_requests = 0;
+  Bytes total_bytes = 0;
+  TimePoint first{};
+  TimePoint last{};
+  bool monotone = true;  // timestamps never regressed
+};
+
+[[nodiscard]] StreamProfile profile_stream(TraceSource& source);
+
+}  // namespace eacache

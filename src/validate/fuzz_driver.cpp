@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "obs/obs_config.h"
 #include "trace/synthetic.h"
+#include "trace/workload.h"
 
 namespace eacache {
 
@@ -29,7 +30,54 @@ template <typename T>
 
 }  // namespace
 
+namespace {
+
+/// Random small DSL spec: every component joins with probability 1/2, all
+/// dimensions clamped so documents stay admissible under the smallest
+/// generated capacity and the materialized stream stays a few hundred
+/// requests.
+[[nodiscard]] WorkloadSpec random_workload_spec(std::uint64_t seed, Rng& rng) {
+  WorkloadSpec spec;
+  spec.name = "fuzz";
+  spec.seed = seed ^ 0xabcdef12345ull;
+  spec.num_requests = 300 + rng.next_below(501);
+  spec.num_documents = 60 + rng.next_below(181);
+  spec.num_users = 8 + rng.next_below(25);
+  spec.span = hours(6);  // irrelevant: respaced onto the grid afterwards
+  spec.zipf_alpha = 0.6 + 0.5 * rng.next_double();
+  spec.size.max_size = 32 * kKiB;  // keep documents admissible everywhere
+  if (rng.next_bool(0.5)) {
+    spec.churn.interval = minutes(45);
+    spec.churn.fraction = 0.2 + 0.3 * rng.next_double();
+  }
+  if (rng.next_bool(0.5)) {
+    spec.flash.peak = 0.2 + 0.2 * rng.next_double();
+    spec.flash.start = hours(1);
+    spec.flash.ramp = minutes(15);
+    spec.flash.hold = hours(1);
+  }
+  if (rng.next_bool(0.5)) {
+    spec.segments.fraction = 0.1;
+    spec.segments.chunk_bytes = 4 * kKiB + 4 * kKiB * rng.next_below(4);
+    spec.segments.min_chunks = 2;
+    spec.segments.max_chunks = 4;
+    spec.segments.gap = sec(1);
+  }
+  if (rng.next_bool(0.5)) {
+    spec.sessions.affinity = 0.2 + 0.3 * rng.next_double();
+    spec.sessions.active = 32;
+    spec.sessions.window = 4;
+  }
+  return spec;
+}
+
+}  // namespace
+
 FuzzCase make_fuzz_case(std::uint64_t seed) {
+  return make_fuzz_case(seed, FuzzTraceKind::kSynthetic);
+}
+
+FuzzCase make_fuzz_case(std::uint64_t seed, FuzzTraceKind kind) {
   Rng rng(seed);
   FuzzCase fuzz_case;
   fuzz_case.seed = seed;
@@ -107,19 +155,24 @@ FuzzCase make_fuzz_case(std::uint64_t seed) {
   // would dominate the corpus runtime.
   config.obs = ObsConfig::disabled();
 
-  SyntheticTraceConfig trace_config;
-  trace_config.seed = seed ^ 0xabcdef12345ull;
-  trace_config.num_requests = 300 + rng.next_below(501);
-  trace_config.num_documents = 60 + rng.next_below(181);
-  trace_config.num_users = 8 + static_cast<std::uint32_t>(rng.next_below(25));
-  trace_config.span = hours(6);  // irrelevant: respaced below
-  trace_config.zipf_alpha = 0.6 + 0.5 * rng.next_double();
-  trace_config.max_size = 32 * kKiB;  // keep documents admissible everywhere
-  if (rng.next_bool(0.5)) {
-    trace_config.repeat_probability = 0.3;
-    trace_config.repeat_window = 64;
+  Trace trace;
+  if (kind == FuzzTraceKind::kSynthetic) {
+    SyntheticTraceConfig trace_config;
+    trace_config.seed = seed ^ 0xabcdef12345ull;
+    trace_config.num_requests = 300 + rng.next_below(501);
+    trace_config.num_documents = 60 + rng.next_below(181);
+    trace_config.num_users = 8 + static_cast<std::uint32_t>(rng.next_below(25));
+    trace_config.span = hours(6);  // irrelevant: respaced below
+    trace_config.zipf_alpha = 0.6 + 0.5 * rng.next_double();
+    trace_config.max_size = 32 * kKiB;  // keep documents admissible everywhere
+    if (rng.next_bool(0.5)) {
+      trace_config.repeat_probability = 0.3;
+      trace_config.repeat_window = 64;
+    }
+    trace = generate_synthetic_trace(trace_config);
+  } else {
+    trace = generate_workload_trace(random_workload_spec(seed, rng));
   }
-  Trace trace = generate_synthetic_trace(trace_config);
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
     trace.requests[i].at = grid_point(i);
   }
@@ -166,7 +219,8 @@ FuzzCase make_fuzz_case(std::uint64_t seed) {
                     (config.routing == RoutingMode::kHashPartition ? "/hash" : "") +
                     (config.prefetch.enabled ? "/prefetch" : "") +
                     (config.icp_loss_probability > 0.0 ? "/loss" : "") +
-                    (fuzz_case.faults.empty() ? "" : "/faults");
+                    (fuzz_case.faults.empty() ? "" : "/faults") +
+                    (kind == FuzzTraceKind::kWorkloadDsl ? "/dsl" : "");
   return fuzz_case;
 }
 
@@ -314,11 +368,14 @@ FuzzDiff run_fuzz_case(const FuzzCase& fuzz_case) {
 // property SimFuzzTest.CorpusVerdictIndependentOfWorkerCount pins, and the
 // run_tsan_pipeline.sh corpus re-proves under ThreadSanitizer at jobs=8).
 std::vector<FuzzDiff> run_fuzz_corpus(std::uint64_t base_seed, std::size_t count,
-                                      std::size_t jobs) {
+                                      std::size_t jobs, bool include_workload) {
   std::vector<FuzzCase> cases;
   cases.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    cases.push_back(make_fuzz_case(base_seed + i));
+    const FuzzTraceKind kind = include_workload && (i % 2 == 1)
+                                   ? FuzzTraceKind::kWorkloadDsl
+                                   : FuzzTraceKind::kSynthetic;
+    cases.push_back(make_fuzz_case(base_seed + i, kind));
   }
 
   SweepOptions sweep_options;

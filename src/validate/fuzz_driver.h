@@ -40,12 +40,24 @@ struct FuzzCase {
   bool strict = false;
 };
 
+/// Which generator supplies a fuzz case's trace.
+///  * kSynthetic    — the legacy SyntheticTraceConfig path (the original
+///                    corpus; seed-for-seed unchanged).
+///  * kWorkloadDsl  — a random small workload-DSL spec (random composition
+///                    of churn/flash/segments/sessions, clamped to a few
+///                    hundred requests), so both drivers are differentially
+///                    tested under drift and spike traces too. The stream is
+///                    materialized and respaced onto the same overlap-free
+///                    grid as the synthetic path.
+enum class FuzzTraceKind { kSynthetic, kWorkloadDsl };
+
 /// Deterministic generator: same seed, same case. Dimensions covered:
 /// 2/4/8 proxies, LRU/LFU/GDS replacement, ad-hoc/EA/EA-hysteresis
 /// placement, distributed/hierarchical topologies, ICP/digest discovery,
 /// cooperative/hash-partition routing, all three Eq. 5 windows, ICP loss
 /// rates, prefetching, and fault plans with flushes and peer outages.
 [[nodiscard]] FuzzCase make_fuzz_case(std::uint64_t seed);
+[[nodiscard]] FuzzCase make_fuzz_case(std::uint64_t seed, FuzzTraceKind kind);
 
 /// The two arms' results diffed under the differential oracle, plus each
 /// arm's invariant-checker report.
@@ -77,8 +89,11 @@ struct FuzzDiff {
 /// SweepOptions::validate on — each case contributes its legacy and
 /// pipeline arms as two jobs, and results pair up in submission order, so
 /// the corpus verdict is deterministic for any worker count. `jobs` as in
-/// SweepOptions (0 = resolve_job_count()).
+/// SweepOptions (0 = resolve_job_count()). With `include_workload` true
+/// (the EACACHE_FUZZ_WORKLOAD=1 test knob), odd-indexed cases draw their
+/// traces from the workload DSL instead of the synthetic generator.
 [[nodiscard]] std::vector<FuzzDiff> run_fuzz_corpus(std::uint64_t base_seed, std::size_t count,
-                                                    std::size_t jobs);
+                                                    std::size_t jobs,
+                                                    bool include_workload = false);
 
 }  // namespace eacache

@@ -1,0 +1,23 @@
+// Negative-control fixture for project_lint rule 9 (scenario-tests-exist).
+// NEVER compiled — project_lint.py reads it as text via --scenario-fixture
+// and must flag the dangling validation test below; the negative-control
+// ctest FAILS if the rule ever stops firing.
+//
+// Mirrors the registration style of src/trace/scenarios.cpp: a pack.name
+// assignment paired with a pack.validation_test naming a test that does not
+// exist anywhere under tests/.
+#include "trace/scenarios.h"
+
+namespace eacache {
+
+std::vector<ScenarioPack> fixture_scenarios() {
+  std::vector<ScenarioPack> packs;
+  ScenarioPack pack;
+  pack.name = "dangling-scenario";
+  pack.summary = "a scenario whose validation test was never written";
+  pack.validation_test = "NoSuchSuite.NoSuchValidationTest";
+  packs.push_back(pack);
+  return packs;
+}
+
+}  // namespace eacache

@@ -1,0 +1,97 @@
+// Streaming workload-DSL traces through daemon mode (DESIGN.md §15):
+// run_daemon(TraceSource&, RunSpec) must equal run_daemon(Trace, RunSpec) on
+// the materialized trace byte-for-byte in smoke replay — the proof that a
+// never-materialized soak exercises the exact same path — and the streaming
+// monotone-time contract must be enforced incrementally.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/run_result_json.h"
+#include "daemon/daemon.h"
+#include "trace/scenarios.h"
+#include "trace/workload.h"
+
+namespace eacache {
+namespace {
+
+WorkloadSpec small_pack_spec(const char* name) {
+  const ScenarioPack* pack = find_scenario(name);
+  EXPECT_NE(pack, nullptr) << name;
+  return scaled_spec(*pack, 3'000);
+}
+
+RunSpec smoke_spec() {
+  RunSpec spec;
+  spec.group.num_proxies = 3;
+  spec.group.aggregate_capacity = 2 * kMiB;
+  spec.group.placement = PlacementKind::kEa;
+  spec.group.obs.series_points = 0;
+  return spec;
+}
+
+DaemonOptions smoke_options() {
+  DaemonOptions options;
+  options.mode = DaemonMode::kSmokeReplay;
+  return options;
+}
+
+TEST(DaemonWorkloadTest, StreamingSmokeReplayMatchesMaterialized) {
+  // segmented-media is the structurally richest pack (chunk trains merge
+  // into the arrival order), so it is the one to pin the equality on.
+  const WorkloadSpec workload = small_pack_spec("segmented-media");
+  const RunSpec spec = smoke_spec();
+
+  const Trace trace = generate_workload_trace(workload);
+  const RunResult materialized = run_daemon(trace, spec, smoke_options());
+
+  WorkloadSource source(workload);
+  LoadGenReport report;
+  const RunResult streamed = run_daemon(source, spec, smoke_options(), &report);
+
+  EXPECT_EQ(report.submitted, trace.size());
+  EXPECT_EQ(report.completed, trace.size());
+  EXPECT_EQ(run_result_to_json(streamed), run_result_to_json(materialized));
+}
+
+TEST(DaemonWorkloadTest, StreamingRunHonoursFaultPlanFlushes) {
+  const WorkloadSpec workload = small_pack_spec("stationary");
+  RunSpec spec = smoke_spec();
+  spec.faults.flushes.push_back({kSimEpoch + workload.span / 2, 0});
+
+  const Trace trace = generate_workload_trace(workload);
+  const RunResult materialized = run_daemon(trace, spec, smoke_options());
+
+  WorkloadSource source(workload);
+  LoadGenReport report;
+  const RunResult streamed = run_daemon(source, spec, smoke_options(), &report);
+
+  EXPECT_EQ(report.flushes_injected, 1u);
+  EXPECT_EQ(run_result_to_json(streamed), run_result_to_json(materialized));
+}
+
+TEST(DaemonWorkloadTest, StreamingRejectsTimestampRegression) {
+  class RegressingSource final : public TraceSource {
+   public:
+    bool next(Request& out) override {
+      if (emitted_ >= 3) return false;
+      out = Request{};
+      out.at = kSimEpoch + sec(emitted_ == 2 ? 1 : 10 * (emitted_ + 1));
+      out.document = static_cast<DocumentId>(emitted_);
+      out.size = 1024;
+      ++emitted_;
+      return true;
+    }
+    void reset() override { emitted_ = 0; }
+
+   private:
+    std::int64_t emitted_ = 0;
+  };
+
+  RegressingSource source;
+  EXPECT_THROW((void)run_daemon(source, smoke_spec(), smoke_options()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacache

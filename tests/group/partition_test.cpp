@@ -25,7 +25,9 @@ void expect_well_formed(const Topology& topology, const TopologyPartition& parti
       const ProxyId p = partition.members[s][i];
       EXPECT_EQ(partition.shard_of[p], s);
       EXPECT_TRUE(seen.insert(p).second) << "proxy " << p << " assigned twice";
-      if (i > 0) EXPECT_LT(partition.members[s][i - 1], p) << "members not ascending";
+      if (i > 0) {
+        EXPECT_LT(partition.members[s][i - 1], p) << "members not ascending";
+      }
     }
   }
   EXPECT_EQ(seen.size(), topology.num_proxies());

@@ -41,4 +41,18 @@ export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
 # override EACACHE_FUZZ_CASES for a deeper soak.
 EACACHE_FUZZ_CASES=${EACACHE_FUZZ_CASES:-64} \
   "$asan_dir/tests/test_validate" --gtest_brief=1
+# Workload-DSL battery (DESIGN.md §15): the streaming generator's chunk-heap
+# and session-table churn is allocation-heavy by design. The bounded-memory
+# test is filtered out — its operator new/delete replacement is compiled out
+# under sanitizers (the sanitizer runtime owns the allocator) — and the fuzz
+# corpus re-runs with the DSL trace mix armed.
+if [ -x "$asan_dir/tests/test_workload" ]; then
+  "$asan_dir/tests/test_workload" \
+    --gtest_filter='-TraceSourceTest.StreamingMemoryBoundedByUniverse' \
+    --gtest_brief=1
+  EACACHE_FUZZ_CASES=32 EACACHE_FUZZ_WORKLOAD=1 \
+    "$asan_dir/tests/test_validate" --gtest_filter='SimFuzzTest.*' --gtest_brief=1
+else
+  echo "asan_pipeline: note: $asan_dir/tests/test_workload not built; workload leg skipped"
+fi
 echo "asan_pipeline: all pipeline suites clean under ASan+UBSan"

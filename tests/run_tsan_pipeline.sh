@@ -74,9 +74,25 @@ EACACHE_JOBS=8 "$tsan_dir/tests/test_sim" \
 
 # Differential fuzz corpus with sharded execution: 64 cases at jobs=8
 # re-proves the corpus verdict is independent of worker count while TSan
-# watches the sharding itself.
-EACACHE_FUZZ_CASES=64 EACACHE_JOBS=8 \
+# watches the sharding itself. EACACHE_FUZZ_WORKLOAD=1 mixes workload-DSL
+# traces (chunk trains, flash spikes, session affinity) into the corpus so
+# the streaming generator also runs under the sharded pool.
+EACACHE_FUZZ_CASES=64 EACACHE_JOBS=8 EACACHE_FUZZ_WORKLOAD=1 \
   "$tsan_dir/tests/test_validate" --gtest_filter='SimFuzzTest.*' --gtest_brief=1
+
+# Workload-DSL battery (DESIGN.md §15): the cross-thread claims are that
+# seeded generation is bit-identical from concurrent threads and that the
+# shard engine's result JSON is invariant in the shard count on a DSL trace.
+# The bounded-memory fixture is filtered out — its operator new/delete
+# replacement is compiled out under sanitizers (TSan owns the allocator).
+if [ -x "$tsan_dir/tests/test_workload" ]; then
+  echo "tsan_pipeline: workload-DSL battery (concurrent generation + shard invariance)..."
+  "$tsan_dir/tests/test_workload" \
+    --gtest_filter='-TraceSourceTest.StreamingMemoryBoundedByUniverse' \
+    --gtest_brief=1
+else
+  echo "tsan_pipeline: note: $tsan_dir/tests/test_workload not built; workload leg skipped"
+fi
 
 # Daemon mode: 4 proxy worker threads cooperating over the in-memory wire
 # while the load generator replays 10k requests open-loop — the share-nothing

@@ -64,6 +64,16 @@ Rules
                     with ``--sim-fixture <file>`` to self-test against a
                     deliberately violating source (exit 0 iff the violation
                     is caught).
+9. scenario-tests-exist
+                    every workload scenario pack registered in
+                    src/trace/scenarios.cpp (``pack.name = "..."``) names a
+                    validation test (``pack.validation_test = "Suite.Test"``)
+                    that actually exists as a ``TEST(Suite, Test)`` under
+                    tests/. A scenario cannot ship without the statistical
+                    test that validates its generated traffic (DESIGN.md
+                    §15). Run with ``--scenario-fixture <file>`` to
+                    self-test against a deliberately dangling registration
+                    (exit 0 iff the violation is caught).
 """
 
 from __future__ import annotations
@@ -90,6 +100,12 @@ JSON_KEY = re.compile(r'\.(?:key|field)\s*\(\s*"((?:[^"\\]|\\.)+)"')
 SIM_INCLUDE = re.compile(r'#\s*include\s+"(?:sim|event)/')
 DAEMON_INCLUDE = re.compile(r'#\s*include\s+"daemon/')
 PROM_NAME = re.compile(r'"(eacache_[a-zA-Z0-9_]*)"')
+
+TESTS = REPO_ROOT / "tests"
+SCENARIOS = SRC / "trace" / "scenarios.cpp"
+PACK_NAME = re.compile(r'pack\.name\s*=\s*"((?:[^"\\]|\\.)+)"')
+PACK_TEST = re.compile(r'pack\.validation_test\s*=\s*"((?:[^"\\]|\\.)+)"')
+TEST_DECL = re.compile(r"TEST(?:_F|_P)?\s*\(\s*([A-Za-z0-9_]+)\s*,\s*([A-Za-z0-9_]+)\s*\)")
 
 # The simulator layer plus the eacache_fuzz differential harness (which by
 # design drives run_simulation); everything else is the libeacache core.
@@ -218,6 +234,65 @@ def prom_selftest(fixture: Path) -> int:
     return 0
 
 
+def declared_tests(tests_root: Path) -> set[str]:
+    """Every ``TEST*(Suite, Case)`` declared under tests/, as "Suite.Case"."""
+    declared: set[str] = set()
+    for test_file in sorted(tests_root.rglob("*.cpp")):
+        for suite, case in TEST_DECL.findall(test_file.read_text(encoding="utf-8")):
+            declared.add(f"{suite}.{case}")
+    return declared
+
+
+def scenario_findings(rel: Path, text: str, declared: set[str]) -> list[str]:
+    """Rule 9: every registered pack names an existing validation test.
+
+    Registration style is a textual contract (see the note atop
+    scenarios.cpp): each pack is a run of ``pack.name = "...";`` ...
+    ``pack.validation_test = "Suite.Test";`` assignments, so pairing the
+    k-th name with the k-th validation test is exact.
+    """
+    names = [(m.start(), m.group(1)) for m in PACK_NAME.finditer(text)]
+    tests = [(m.start(), m.group(1)) for m in PACK_TEST.finditer(text)]
+    findings = []
+    if len(names) != len(tests):
+        findings.append(
+            f"{rel}: [scenario-tests-exist] {len(names)} pack.name "
+            f"registration(s) but {len(tests)} pack.validation_test "
+            f"assignment(s) — every scenario pack must name its validation "
+            f"test (DESIGN.md §15)"
+        )
+        return findings
+    for (_, name), (offset, validation) in zip(names, tests):
+        if validation not in declared:
+            lineno = text.count("\n", 0, offset) + 1
+            findings.append(
+                f"{rel}:{lineno}: [scenario-tests-exist] scenario pack "
+                f'"{name}" names validation test "{validation}", but no such '
+                f"TEST(Suite, Case) exists under tests/ — a scenario cannot "
+                f"ship without its statistical validation (DESIGN.md §15)"
+            )
+    return findings
+
+
+def scenario_selftest(fixture: Path) -> int:
+    """Negative control: the fixture MUST trip the scenario rule."""
+    findings = scenario_findings(
+        fixture, fixture.read_text(encoding="utf-8"), declared_tests(TESTS)
+    )
+    if not findings:
+        print(
+            f"project_lint: negative control FAILED — {fixture} registers a "
+            f"scenario with a dangling validation test but the "
+            f"scenario-tests-exist rule missed it"
+        )
+        return 1
+    print(
+        f"project_lint: negative control ok — scenario-tests-exist caught "
+        f"{len(findings)} violation(s) in {fixture.name}"
+    )
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] == "--layering-fixture":
         return layering_selftest(Path(sys.argv[2]))
@@ -225,9 +300,19 @@ def main() -> int:
         return prom_selftest(Path(sys.argv[2]))
     if len(sys.argv) == 3 and sys.argv[1] == "--sim-fixture":
         return sim_layer_selftest(Path(sys.argv[2]))
+    if len(sys.argv) == 3 and sys.argv[1] == "--scenario-fixture":
+        return scenario_selftest(Path(sys.argv[2]))
 
     design_text = DESIGN.read_text(encoding="utf-8")
     failures: list[str] = []
+
+    failures.extend(
+        scenario_findings(
+            SCENARIOS.relative_to(REPO_ROOT),
+            SCENARIOS.read_text(encoding="utf-8"),
+            declared_tests(TESTS),
+        )
+    )
 
     for path in source_files():
         rel = path.relative_to(REPO_ROOT)
@@ -284,7 +369,7 @@ def main() -> int:
         for failure in failures:
             print("  " + failure)
         return 1
-    print(f"project_lint: {len(source_files())} src files clean across 8 rules")
+    print(f"project_lint: {len(source_files())} src files clean across 9 rules")
     return 0
 
 

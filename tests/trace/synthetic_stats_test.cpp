@@ -1,0 +1,129 @@
+// Statistical property tests for the legacy synthetic generator
+// (trace/synthetic.h) — the same battery the workload DSL gets, applied to
+// the paper-calibrated generator every bench replays: Zipf exponent
+// recovery via chi-squared on the KNOWN rank permutation, size-model
+// moments, and generation determinism under concurrency.
+#include "trace/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "trace/workload_stats.h"
+
+namespace eacache {
+namespace {
+
+SyntheticTraceConfig battery_config(std::uint64_t seed) {
+  SyntheticTraceConfig config;
+  config.seed = seed;
+  config.num_requests = 60'000;
+  config.num_documents = 12'000;
+  config.num_users = 160;
+  config.span = hours(24);
+  return config;
+}
+
+bool same_trace(const Trace& a, const Trace& b) {
+  if (a.requests.size() != b.requests.size()) return false;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    const Request& x = a.requests[i];
+    const Request& y = b.requests[i];
+    if (x.at != y.at || x.user != y.user || x.document != y.document || x.size != y.size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(SyntheticStatsTest, RankOrderMatchesGeneratorSampling) {
+  // The exposed permutation is exactly the one the generator samples
+  // through: rank-0 must be the most-referenced document (with 60k draws
+  // over Zipf(0.75), rank 0's expected count is ~4x rank 20's).
+  const SyntheticTraceConfig config = battery_config(42);
+  const Trace trace = generate_synthetic_trace(config);
+  const std::vector<std::uint64_t> doc_of_rank = synthetic_rank_order(config);
+  ASSERT_EQ(doc_of_rank.size(), config.num_documents);
+
+  const std::vector<std::uint64_t> counts = count_by_rank(trace, doc_of_rank, 50);
+  // Top ranks dominate deep ranks — the permutation lines up with observed
+  // popularity, so it is the generator's own mapping, not just any shuffle.
+  EXPECT_GT(counts[0], counts[40]);
+  std::uint64_t top_ten = 0;
+  for (std::size_t r = 0; r < 10; ++r) top_ten += counts[r];
+  EXPECT_GT(top_ten, counts[40] * 10);
+}
+
+TEST(SyntheticStatsTest, ZipfExponentRecovery) {
+  for (const std::uint64_t seed : {42ull, 7ull, 20'260'808ull}) {
+    const SyntheticTraceConfig config = battery_config(seed);
+    const Trace trace = generate_synthetic_trace(config);
+    const std::vector<std::uint64_t> doc_of_rank = synthetic_rank_order(config);
+
+    const std::vector<std::uint64_t> counts = count_by_rank(trace, doc_of_rank, 200);
+    const ZipfFit fit = zipf_chi_squared(counts, config.zipf_alpha, config.num_documents,
+                                         0.999);
+    EXPECT_TRUE(fit.accepted) << "seed " << seed << ": chi^2 " << fit.chi_squared << " > "
+                              << fit.critical << " (dof " << fit.dof << ")";
+
+    const ZipfFit wrong = zipf_chi_squared(counts, 1.4, config.num_documents, 0.999);
+    EXPECT_FALSE(wrong.accepted) << "seed " << seed << ": fit has no power";
+  }
+}
+
+TEST(SyntheticStatsTest, SizeModelMomentsMatchConfiguration) {
+  const SyntheticTraceConfig config = battery_config(42);
+  std::vector<Bytes> sizes;
+  sizes.reserve(config.num_documents);
+  double total = 0.0;
+  for (std::uint64_t doc = 0; doc < config.num_documents; ++doc) {
+    const Bytes size = synthetic_document_size(config, doc);
+    ASSERT_GE(size, config.min_size);
+    ASSERT_LE(size, config.max_size);
+    sizes.push_back(size);
+    total += static_cast<double>(size);
+  }
+
+  // Log-normal body calibrated to mean 4 KiB plus the 1% Pareto tail: the
+  // sample mean lands a little above 4 KiB (tail mass), the median near
+  // exp(mu) = 4096 * exp(-sigma^2/2) ~ 2.4 KiB.
+  const double mean = total / static_cast<double>(config.num_documents);
+  EXPECT_GT(mean, 4'000.0);
+  EXPECT_LT(mean, 7'500.0);
+
+  std::nth_element(sizes.begin(),
+                   sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2),
+                   sizes.end());
+  const double median = static_cast<double>(sizes[sizes.size() / 2]);
+  EXPECT_GT(median, 1'900.0);
+  EXPECT_LT(median, 3'200.0);
+}
+
+TEST(SyntheticStatsTest, SizesAreStablePerDocument) {
+  const SyntheticTraceConfig config = battery_config(7);
+  const Trace trace = generate_synthetic_trace(config);
+  for (const Request& request : trace.requests) {
+    EXPECT_EQ(request.size, synthetic_document_size(config, request.document));
+  }
+}
+
+TEST(SyntheticStatsTest, GenerationDeterministicUnderConcurrency) {
+  SyntheticTraceConfig config = battery_config(42);
+  config.num_requests = 20'000;  // keep the 5-way generation cheap
+  config.repeat_probability = 0.2;  // exercise the recency-window path too
+  const Trace baseline = generate_synthetic_trace(config);
+
+  std::vector<Trace> traces(4);
+  std::vector<std::thread> threads;
+  threads.reserve(traces.size());
+  for (Trace& slot : traces) {
+    threads.emplace_back([&config, &slot] { slot = generate_synthetic_trace(config); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const Trace& trace : traces) EXPECT_TRUE(same_trace(trace, baseline));
+}
+
+}  // namespace
+}  // namespace eacache

@@ -1,0 +1,309 @@
+// The TraceSource contract (trace/trace_source.h), held against every
+// implementation in the repo:
+//
+//   1. exactly-once  — the stream delivers each request through exactly one
+//      successful next(); after the end it keeps returning false and leaves
+//      `out` untouched.
+//   2. monotone time — timestamps never regress across next() calls.
+//   3. bounded state — streaming memory is a function of the workload's
+//      universe, never of how many requests were pulled. Pinned with a
+//      binary-wide allocation-counting operator new/delete (compiled out
+//      under ASan/TSan, whose runtimes own the allocator there — the
+//      sanitizer pipelines filter these tests by name as well).
+//
+// reset() must replay the identical sequence — every source here is a pure
+// function of its construction inputs (WorkloadSource of its spec, the log
+// sources of their seekable streams).
+#include "trace/trace_source.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "trace/bu_parser.h"
+#include "trace/scenarios.h"
+#include "trace/squid_parser.h"
+#include "trace/synthetic.h"
+#include "trace/workload.h"
+
+// ---- Allocation-counting fixture ------------------------------------------
+// Global live/peak byte counters fed by replacement operator new/delete. A
+// 16-byte header in front of every block records its size (16 keeps
+// malloc's max_align_t alignment); over-aligned allocations go through the
+// unreplaced aligned operators, which pair with the matching aligned
+// deletes, so the plain pair below never sees them.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define EACACHE_ALLOC_TRACKING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define EACACHE_ALLOC_TRACKING 0
+#else
+#define EACACHE_ALLOC_TRACKING 1
+#endif
+#else
+#define EACACHE_ALLOC_TRACKING 1
+#endif
+
+namespace {
+
+std::atomic<std::int64_t> g_live_bytes{0};
+std::atomic<std::int64_t> g_peak_bytes{0};
+
+#if EACACHE_ALLOC_TRACKING
+constexpr std::size_t kAllocHeader = 16;
+
+void* tracked_alloc(std::size_t size) {
+  void* raw = std::malloc(size + kAllocHeader);
+  if (raw == nullptr) throw std::bad_alloc{};
+  *static_cast<std::size_t*>(raw) = size;
+  const std::int64_t live =
+      g_live_bytes.fetch_add(static_cast<std::int64_t>(size), std::memory_order_relaxed) +
+      static_cast<std::int64_t>(size);
+  std::int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+  return static_cast<char*>(raw) + kAllocHeader;
+}
+
+void tracked_free(void* pointer) noexcept {
+  if (pointer == nullptr) return;
+  void* raw = static_cast<char*>(pointer) - kAllocHeader;
+  g_live_bytes.fetch_sub(static_cast<std::int64_t>(*static_cast<std::size_t*>(raw)),
+                         std::memory_order_relaxed);
+  std::free(raw);
+}
+#endif  // EACACHE_ALLOC_TRACKING
+
+}  // namespace
+
+#if EACACHE_ALLOC_TRACKING
+void* operator new(std::size_t size) { return tracked_alloc(size); }
+void* operator new[](std::size_t size) { return tracked_alloc(size); }
+void operator delete(void* pointer) noexcept { tracked_free(pointer); }
+void operator delete[](void* pointer) noexcept { tracked_free(pointer); }
+void operator delete(void* pointer, std::size_t) noexcept { tracked_free(pointer); }
+void operator delete[](void* pointer, std::size_t) noexcept { tracked_free(pointer); }
+#endif  // EACACHE_ALLOC_TRACKING
+
+namespace eacache {
+namespace {
+
+bool same_request(const Request& a, const Request& b) {
+  return a.at == b.at && a.user == b.user && a.document == b.document && a.size == b.size;
+}
+
+/// Drain `source` and assert all three contract clauses plus reset replay.
+/// `first` receives the initial drain so callers can make source-specific
+/// assertions (out-parameter because ASSERT_* needs a void function).
+void expect_contract(TraceSource& source, std::vector<Request>& first) {
+  first.clear();
+  Request request;
+  while (source.next(request)) first.push_back(request);
+
+  // Exhausted means exhausted, and `out` is untouched on false.
+  Request sentinel;
+  sentinel.at = kSimEpoch + hours(12345);
+  sentinel.user = 0xabcdef;
+  sentinel.document = 0xfeedbeef;
+  sentinel.size = 4242;
+  Request untouched = sentinel;
+  EXPECT_FALSE(source.next(untouched));
+  EXPECT_FALSE(source.next(untouched));
+  EXPECT_TRUE(same_request(untouched, sentinel));
+
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    ASSERT_GE(first[i].at.time_since_epoch().count(), first[i - 1].at.time_since_epoch().count())
+        << "timestamp regressed at position " << i;
+  }
+
+  // reset() replays the identical sequence, element for element.
+  source.reset();
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(source.next(request)) << "replay ended early at position " << i;
+    ASSERT_TRUE(same_request(request, first[i])) << "replay diverged at position " << i;
+  }
+  EXPECT_FALSE(source.next(request));
+}
+
+TEST(TraceSourceTest, VectorSourceHonoursContract) {
+  SyntheticTraceConfig config;
+  config.num_requests = 500;
+  config.num_documents = 64;
+  config.num_users = 8;
+  config.span = minutes(10);
+  const Trace trace = generate_synthetic_trace(config);
+
+  VectorTraceSource source(trace);
+  std::vector<Request> seen;
+  expect_contract(source, seen);
+  ASSERT_EQ(seen.size(), trace.requests.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(same_request(seen[i], trace.requests[i]));
+  }
+}
+
+TEST(TraceSourceTest, EveryScenarioPackHonoursContract) {
+  for (const ScenarioPack& pack : workload_scenarios()) {
+    WorkloadSource source(scaled_spec(pack, 4000));
+    std::vector<Request> seen;
+    expect_contract(source, seen);
+    EXPECT_EQ(seen.size(), 4000u) << pack.name;
+    EXPECT_EQ(source.emitted(), 4000u) << pack.name;
+  }
+}
+
+TEST(TraceSourceTest, MaterializeMatchesStreamingPulls) {
+  const ScenarioPack* pack = find_scenario("segmented-media");
+  ASSERT_NE(pack, nullptr);
+  const WorkloadSpec spec = scaled_spec(*pack, 3000);
+
+  WorkloadSource pulled(spec);
+  std::vector<Request> by_hand;
+  Request request;
+  while (pulled.next(request)) by_hand.push_back(request);
+
+  WorkloadSource fresh(spec);
+  const Trace collected = materialize(fresh);
+  ASSERT_EQ(collected.requests.size(), by_hand.size());
+  for (std::size_t i = 0; i < by_hand.size(); ++i) {
+    EXPECT_TRUE(same_request(collected.requests[i], by_hand[i])) << "position " << i;
+  }
+}
+
+TEST(TraceSourceTest, MaterializeHonoursLimit) {
+  const ScenarioPack* pack = find_scenario("stationary");
+  ASSERT_NE(pack, nullptr);
+  WorkloadSource source(scaled_spec(*pack, 5000));
+  const Trace prefix = materialize(source, 100);
+  EXPECT_EQ(prefix.requests.size(), 100u);
+  // The source keeps streaming after the bounded collection.
+  Request request;
+  EXPECT_TRUE(source.next(request));
+}
+
+TEST(TraceSourceTest, MaterializeThrowsOnTimestampRegression) {
+  class RegressingSource final : public TraceSource {
+   public:
+    bool next(Request& out) override {
+      if (index_ >= 2) return false;
+      out.at = kSimEpoch + (index_ == 0 ? sec(10) : sec(5));
+      out.document = index_;
+      out.size = 1;
+      ++index_;
+      return true;
+    }
+    void reset() override { index_ = 0; }
+
+   private:
+    std::uint64_t index_ = 0;
+  };
+
+  RegressingSource source;
+  EXPECT_THROW((void)materialize(source), std::invalid_argument);
+}
+
+TEST(TraceSourceTest, BuLogSourceMatchesBatchParser) {
+  const std::string log =
+      "# comment line\n"
+      "790358517.00 bugs_17 http://cs.bu.edu/ 2048\n"
+      "790358518.50 bugs_17 http://cs.bu.edu/faculty 0 120\n"
+      "not a parseable line\n"
+      "790358520.25 daffy_3 http://www.bu.edu/ 512\n";
+
+  std::istringstream batch_in(log);
+  const BuParseResult batch = parse_bu_log(batch_in);
+
+  std::istringstream stream_in(log);
+  BuLogSource source(stream_in);
+  std::vector<Request> streamed;
+  expect_contract(source, streamed);
+
+  ASSERT_EQ(streamed.size(), batch.trace.requests.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_TRUE(same_request(streamed[i], batch.trace.requests[i])) << "position " << i;
+  }
+  EXPECT_EQ(source.lines_read(), batch.lines_read);
+  EXPECT_EQ(source.lines_skipped(), batch.lines_skipped);
+  EXPECT_EQ(source.zero_sizes_coerced(), batch.zero_sizes_coerced);
+  EXPECT_EQ(source.clamped_timestamps(), 0u);
+}
+
+TEST(TraceSourceTest, BuLogSourceClampsRegressions) {
+  // The batch parser sorts; the stream cannot, so the documented divergence
+  // is a forward clamp (counted) that keeps the monotone clause intact.
+  const std::string log =
+      "790358520.00 a http://x/1 100\n"
+      "790358515.00 a http://x/2 100\n"
+      "790358521.00 a http://x/3 100\n";
+  std::istringstream in(log);
+  BuLogSource source(in);
+  std::vector<Request> streamed;
+  expect_contract(source, streamed);
+  ASSERT_EQ(streamed.size(), 3u);
+  EXPECT_EQ(streamed[1].at, streamed[0].at);  // clamped forward, not reordered
+  EXPECT_EQ(source.clamped_timestamps(), 1u);
+}
+
+TEST(TraceSourceTest, SquidLogSourceMatchesBatchParser) {
+  const std::string log =
+      "847087401.234  95 10.0.0.17 TCP_MISS/200 4218 GET http://www.bu.edu/ - "
+      "DIRECT/128.197.1.1 text/html\n"
+      "847087402.000 5 10.0.0.1 TCP_MISS/200 100 POST http://a/form - DIRECT/1.1.1.1 -\n"
+      "847087402.100 12 10.0.0.18 TCP_HIT/200 1024 GET http://www.bu.edu/cs - "
+      "NONE/- text/html\n";
+
+  std::istringstream batch_in(log);
+  const SquidParseResult batch = parse_squid_log(batch_in);
+
+  std::istringstream stream_in(log);
+  SquidLogSource source(stream_in);
+  std::vector<Request> streamed;
+  expect_contract(source, streamed);
+
+  ASSERT_EQ(streamed.size(), batch.trace.requests.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_TRUE(same_request(streamed[i], batch.trace.requests[i])) << "position " << i;
+  }
+  EXPECT_EQ(source.lines_filtered(), batch.lines_filtered);
+  EXPECT_EQ(source.clamped_timestamps(), 0u);
+}
+
+TEST(TraceSourceTest, StreamingMemoryBoundedByUniverse) {
+#if !EACACHE_ALLOC_TRACKING
+  GTEST_SKIP() << "allocation tracking is compiled out under sanitizers";
+#else
+  // 2M requests through the segmented-media pack (chunk trains keep the
+  // pending heap live the whole run). After a short warmup that lets every
+  // universe-sized structure (rank permutation, session table, heap
+  // capacity) reach steady state, pulling the remaining ~2M requests must
+  // not move the peak by more than scratch-allocation noise. A materialized
+  // run of the same stream would need ~60 MiB.
+  const ScenarioPack* pack = find_scenario("segmented-media");
+  ASSERT_NE(pack, nullptr);
+  constexpr std::uint64_t kRequests = 2'000'000;
+  WorkloadSource source(scaled_spec(*pack, kRequests));
+
+  Request request;
+  for (int i = 0; i < 10'000; ++i) ASSERT_TRUE(source.next(request));
+  const std::int64_t peak_after_warmup = g_peak_bytes.load(std::memory_order_relaxed);
+
+  while (source.next(request)) {
+  }
+  EXPECT_EQ(source.emitted(), kRequests);
+
+  const std::int64_t growth =
+      g_peak_bytes.load(std::memory_order_relaxed) - peak_after_warmup;
+  EXPECT_LT(growth, std::int64_t{1} << 20)
+      << "streaming 2M requests grew peak heap by " << growth
+      << " bytes — state is scaling with the request count";
+#endif
+}
+
+}  // namespace
+}  // namespace eacache

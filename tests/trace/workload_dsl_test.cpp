@@ -1,0 +1,296 @@
+// Workload-DSL mechanics (trace/workload.h): spec text round-trips, error
+// aggregation, the reserved id spaces, chunk-train structure, seeded
+// determinism (including across threads — the TSan leg replays this file),
+// and the sharded-engine acceptance pin: result JSON for a DSL trace is
+// byte-identical at shards=1 and shards=4.
+#include "trace/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/run_result_json.h"
+#include "sim/shard_engine.h"
+#include "trace/scenarios.h"
+
+namespace eacache {
+namespace {
+
+bool same_request(const Request& a, const Request& b) {
+  return a.at == b.at && a.user == b.user && a.document == b.document && a.size == b.size;
+}
+
+bool same_trace(const Trace& a, const Trace& b) {
+  if (a.requests.size() != b.requests.size()) return false;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    if (!same_request(a.requests[i], b.requests[i])) return false;
+  }
+  return true;
+}
+
+/// A small everything-on spec over a short span (the shard engine's
+/// conservative windows scale with span / lookahead, so tests keep spans in
+/// minutes, not days).
+WorkloadSpec everything_spec() {
+  WorkloadSpec spec;
+  spec.name = "dsl-e2e";
+  spec.num_requests = 4000;
+  spec.num_documents = 500;
+  spec.num_users = 400;
+  spec.span = minutes(1);
+  spec.diurnal.amplitude = 0.4;
+  spec.diurnal.period = sec(30);
+  spec.churn.interval = sec(15);
+  spec.churn.fraction = 0.2;
+  spec.flash.peak = 0.25;
+  spec.flash.start = sec(10);
+  spec.flash.ramp = sec(5);
+  spec.flash.hold = sec(20);
+  spec.segments.fraction = 0.1;
+  spec.segments.chunk_bytes = 16 * kKiB;
+  spec.segments.min_chunks = 2;
+  spec.segments.max_chunks = 4;
+  spec.segments.gap = msec(100);
+  spec.sessions.affinity = 0.3;
+  spec.sessions.window = 4;
+  spec.sessions.active = 64;
+  spec.sessions.mean_lifetime = sec(20);
+  return spec;
+}
+
+// ---- Spec text format -----------------------------------------------------
+
+TEST(WorkloadDslTest, CanonicalFormatRoundTripsEveryScenario) {
+  for (const ScenarioPack& pack : workload_scenarios()) {
+    const std::string canonical = format_workload_spec(pack.spec);
+    const WorkloadSpec reparsed = parse_workload_spec(canonical);
+    EXPECT_EQ(format_workload_spec(reparsed), canonical) << pack.name;
+  }
+  const std::string canonical = format_workload_spec(everything_spec());
+  EXPECT_EQ(format_workload_spec(parse_workload_spec(canonical)), canonical);
+}
+
+TEST(WorkloadDslTest, ParsesMultiLineSpecWithComments) {
+  const WorkloadSpec spec = parse_workload_spec(
+      "# flash crowd over a small universe\n"
+      "name = spike-demo\n"
+      "requests = 9000; documents = 300\n"
+      "span = 2h\n"
+      "zipf.alpha = 0.9\n"
+      "flash.peak = 0.4  # plateau share\n"
+      "flash.start = 30m; flash.ramp = 90s; flash.hold = 15m\n"
+      "size.mean = 8KiB\n"
+      "segments.gap = 250\n");  // bare number = milliseconds
+  EXPECT_EQ(spec.name, "spike-demo");
+  EXPECT_EQ(spec.num_requests, 9000u);
+  EXPECT_EQ(spec.num_documents, 300u);
+  EXPECT_EQ(spec.span, hours(2));
+  EXPECT_DOUBLE_EQ(spec.zipf_alpha, 0.9);
+  EXPECT_DOUBLE_EQ(spec.flash.peak, 0.4);
+  EXPECT_EQ(spec.flash.start, minutes(30));
+  EXPECT_EQ(spec.flash.ramp, sec(90));
+  EXPECT_EQ(spec.flash.hold, minutes(15));
+  EXPECT_EQ(spec.size.mean_size, 8 * kKiB);
+  EXPECT_EQ(spec.segments.gap, msec(250));
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(WorkloadDslTest, ParserAggregatesEveryError) {
+  try {
+    (void)parse_workload_spec(
+        "bogus.key = 1\n"
+        "zipf.alpha = not-a-number\n"
+        "span = 90q\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("bogus.key"), std::string::npos) << what;
+    EXPECT_NE(what.find("zipf.alpha"), std::string::npos) << what;
+    EXPECT_NE(what.find("span"), std::string::npos) << what;
+  }
+}
+
+TEST(WorkloadDslTest, ValidateAggregatesEveryViolation) {
+  WorkloadSpec spec;
+  spec.num_documents = 0;
+  spec.flash.peak = 1.5;
+  spec.segments.fraction = 0.5;
+  spec.segments.min_chunks = 8;
+  spec.segments.max_chunks = 2;
+  const std::vector<std::string> violations = spec.validate();
+  EXPECT_GE(violations.size(), 3u);
+  EXPECT_THROW(spec.validate_or_throw(), std::invalid_argument);
+  EXPECT_THROW(WorkloadSource{spec}, std::invalid_argument);
+}
+
+// ---- Reserved id spaces ---------------------------------------------------
+
+TEST(WorkloadDslTest, ReservedIdSpacesAreDisjoint) {
+  const DocumentId flash = workload_flash_document();
+  EXPECT_TRUE(is_flash_document(flash));
+  EXPECT_FALSE(is_chunk_document(flash));
+
+  for (const DocumentId base : {DocumentId{0}, DocumentId{12'345},
+                                (DocumentId{1} << 40) - 1}) {
+    EXPECT_FALSE(is_flash_document(base));
+    EXPECT_FALSE(is_chunk_document(base));
+    for (const std::uint32_t index : {0u, 1u, (1u << 20) - 1}) {
+      const DocumentId chunk = workload_chunk_document(base, index);
+      EXPECT_TRUE(is_chunk_document(chunk));
+      EXPECT_FALSE(is_flash_document(chunk));
+      EXPECT_EQ(chunk_base_document(chunk), base);
+    }
+  }
+}
+
+// ---- Determinism ----------------------------------------------------------
+
+TEST(WorkloadDslTest, SeededStreamsAreDeterministic) {
+  const WorkloadSpec spec = everything_spec();
+  const Trace first = generate_workload_trace(spec);
+  const Trace second = generate_workload_trace(spec);
+  EXPECT_TRUE(same_trace(first, second));
+
+  WorkloadSpec reseeded = spec;
+  reseeded.seed = spec.seed + 1;
+  EXPECT_FALSE(same_trace(first, generate_workload_trace(reseeded)));
+}
+
+TEST(WorkloadDslTest, GenerationIsDeterministicAcrossThreads) {
+  const WorkloadSpec spec = everything_spec();
+  const Trace baseline = generate_workload_trace(spec);
+
+  std::vector<Trace> traces(4);
+  std::vector<std::thread> threads;
+  threads.reserve(traces.size());
+  for (Trace& slot : traces) {
+    threads.emplace_back([&spec, &slot] { slot = generate_workload_trace(spec); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const Trace& trace : traces) EXPECT_TRUE(same_trace(trace, baseline));
+}
+
+// ---- Segmented objects ----------------------------------------------------
+
+// Validation test for the "segmented-media" scenario pack (lint rule 9).
+TEST(WorkloadDslTest, SegmentedMediaChunkTrains) {
+  const ScenarioPack* pack = find_scenario("segmented-media");
+  ASSERT_NE(pack, nullptr);
+  const WorkloadSpec spec = scaled_spec(*pack, 40'000);
+  const Trace trace = generate_workload_trace(spec);
+
+  std::uint64_t chunk_requests = 0;
+  // Per (base document, user): the last chunk index seen and its timestamp,
+  // to check in-train ordering and spacing.
+  std::map<std::pair<DocumentId, UserId>, std::pair<std::uint32_t, TimePoint>> last_chunk;
+  std::map<DocumentId, std::uint32_t> max_index_seen;
+
+  for (const Request& request : trace.requests) {
+    if (!is_chunk_document(request.document)) {
+      // A segmented document must never surface under its bare id — every
+      // reference expands into its train.
+      EXPECT_FALSE(workload_document_segmented(spec, request.document))
+          << "bare reference to segmented document " << request.document;
+      continue;
+    }
+    ++chunk_requests;
+    EXPECT_EQ(request.size, spec.segments.chunk_bytes);
+
+    const DocumentId base = chunk_base_document(request.document);
+    EXPECT_TRUE(workload_document_segmented(spec, base));
+    const auto index = static_cast<std::uint32_t>(request.document & ((1u << 20) - 1));
+    EXPECT_LT(index, spec.segments.max_chunks);
+    auto& top = max_index_seen[base];
+    top = std::max(top, index);
+
+    // Chunks 1..K-1 follow their predecessor by exactly `gap` (trains of
+    // the same document by the same user cannot interleave ambiguously at
+    // 200 ms spacing over this trace's arrival rate).
+    if (index > 0) {
+      const auto it = last_chunk.find({base, request.user});
+      ASSERT_NE(it, last_chunk.end()) << "chunk " << index << " without predecessor";
+      if (it->second.first == index - 1) {
+        EXPECT_EQ(request.at - it->second.second, spec.segments.gap);
+      }
+    }
+    last_chunk[{base, request.user}] = {index, request.at};
+  }
+
+  EXPECT_GT(chunk_requests, 0u);
+  // Train lengths land inside [min_chunks, max_chunks]: every base that got
+  // a full train shows a top index of K-1 with K in range.
+  std::uint64_t full_trains = 0;
+  for (const auto& [base, top] : max_index_seen) {
+    EXPECT_LT(top, spec.segments.max_chunks) << "base " << base;
+    if (top + 1 >= spec.segments.min_chunks) ++full_trains;
+  }
+  EXPECT_GT(full_trains, 0u);
+}
+
+TEST(WorkloadDslTest, DocumentSizesAreStablePerDocument) {
+  const WorkloadSpec spec = everything_spec();
+  const Trace trace = generate_workload_trace(spec);
+  for (const Request& request : trace.requests) {
+    EXPECT_EQ(request.size, workload_document_size(spec, request.document));
+    if (!is_chunk_document(request.document) && !is_flash_document(request.document)) {
+      EXPECT_GE(request.size, spec.size.min_size);
+      EXPECT_LE(request.size, spec.size.max_size);
+    }
+  }
+}
+
+// ---- Flash-crowd share curve ---------------------------------------------
+
+TEST(WorkloadDslTest, FlashShareFollowsTrapezoid) {
+  const ScenarioPack* pack = find_scenario("flash-crowd");
+  ASSERT_NE(pack, nullptr);
+  const WorkloadSpec& spec = pack->spec;
+  const Duration start = spec.flash.start;
+  const Duration ramp = spec.flash.ramp;
+  const Duration hold = spec.flash.hold;
+
+  EXPECT_DOUBLE_EQ(workload_flash_share(spec, start - msec(1)), 0.0);
+  EXPECT_NEAR(workload_flash_share(spec, start + ramp / 2), spec.flash.peak / 2, 1e-9);
+  EXPECT_NEAR(workload_flash_share(spec, start + ramp), spec.flash.peak, 1e-9);
+  EXPECT_NEAR(workload_flash_share(spec, start + ramp + hold / 2), spec.flash.peak, 1e-9);
+  EXPECT_DOUBLE_EQ(workload_flash_share(spec, start + ramp + hold + ramp + msec(1)), 0.0);
+
+  // Strictly increasing along the ramp, strictly decreasing down the far side.
+  EXPECT_LT(workload_flash_share(spec, start + ramp / 4),
+            workload_flash_share(spec, start + ramp / 2));
+  EXPECT_GT(workload_flash_share(spec, start + ramp + hold + ramp / 4),
+            workload_flash_share(spec, start + ramp + hold + ramp / 2));
+
+  WorkloadSpec plain;
+  EXPECT_DOUBLE_EQ(workload_flash_share(plain, hours(1)), 0.0);
+}
+
+// ---- Sharded engine acceptance -------------------------------------------
+
+TEST(WorkloadDslTest, ShardCountInvariantOnDslTrace) {
+  const Trace trace = generate_workload_trace(everything_spec());
+
+  GroupConfig group;
+  group.num_proxies = 8;
+  group.aggregate_capacity = 2 * kMiB;
+  group.placement = PlacementKind::kEa;
+
+  RunSpec spec;
+  spec.group = group;
+  spec.exec.shards = 1;
+  const std::string baseline =
+      simulation_result_to_json(run_sharded_simulation(trace, spec));
+
+  spec.exec.shards = 4;
+  EXPECT_EQ(simulation_result_to_json(run_sharded_simulation(trace, spec)), baseline)
+      << "shards=4 diverged from shards=1 on a DSL trace";
+}
+
+}  // namespace
+}  // namespace eacache

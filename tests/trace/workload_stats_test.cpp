@@ -1,0 +1,281 @@
+// The statistical generator battery (DESIGN.md §15): every shipped scenario
+// pack names one of these tests as its validation (lint rule 9 enforces the
+// pairing), so a scenario cannot ship without a measurement that its
+// generated traffic matches what the spec promised:
+//
+//   * stationary    — chi-squared goodness-of-fit of rank popularity
+//                     against the spec's Zipf exponent, at three seeds,
+//                     conditioning on the KNOWN rank permutation;
+//   * flash-crowd   — plateau traffic share within ±5 points of flash.peak;
+//   * hot-set-drift — the trace follows the replayed churn schedule: late
+//                     traffic concentrates on the CURRENT hot set, the
+//                     initial one decays, epoch-to-epoch overlap matches
+//                     churn.fraction;
+//   * metro-users   — measured session-affinity ratio well above the
+//                     incidental-recurrence baseline, metro-scale distinct
+//                     users;
+//   * flash-crowd-outage — the composed FaultPlan's outage window sits
+//                     inside the elevated flash-share window.
+//
+// Plus the analytic cross-checks: Che's approximation predicts the
+// simulated stationary hit rate, and the Wilson-Hilferty critical values
+// match tabulated chi-squared quantiles.
+#include "trace/workload_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/che_approximation.h"
+#include "core/workload_faults.h"
+#include "sim/simulator.h"
+#include "trace/scenarios.h"
+#include "trace/workload.h"
+
+namespace eacache {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {42, 1337, 20'260'808};
+
+WorkloadSpec seeded(const ScenarioPack& pack, std::uint64_t requests, std::uint64_t seed) {
+  WorkloadSpec spec = scaled_spec(pack, requests);
+  spec.seed = seed;
+  return spec;
+}
+
+/// Fraction of requests inside [from, to) whose document is in `set`.
+double mass_on(const Trace& trace, const std::vector<DocumentId>& set, TimePoint from,
+               TimePoint to) {
+  const std::set<DocumentId> members(set.begin(), set.end());
+  std::uint64_t inside = 0;
+  std::uint64_t total = 0;
+  for (const Request& request : trace.requests) {
+    if (request.at < from || request.at >= to) continue;
+    ++total;
+    if (members.count(request.document) != 0) ++inside;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(inside) / static_cast<double>(total);
+}
+
+// ---- Scenario validation: stationary --------------------------------------
+
+// Validation test for the "stationary" scenario pack (lint rule 9).
+TEST(WorkloadStatsTest, StationaryZipfFitMatchesAlpha) {
+  const ScenarioPack* pack = find_scenario("stationary");
+  ASSERT_NE(pack, nullptr);
+  for (const std::uint64_t seed : kSeeds) {
+    const WorkloadSpec spec = seeded(*pack, 60'000, seed);
+    const Trace trace = generate_workload_trace(spec);
+
+    // Condition on the generator's own rank permutation (no churn, so epoch
+    // 0 is the permutation for the whole trace) — an unbiased fit.
+    const std::vector<DocumentId> ranks = workload_hot_documents(spec, 0, 200);
+    const std::vector<std::uint64_t> counts = count_by_rank(trace, ranks, 200);
+    const ZipfFit fit = zipf_chi_squared(counts, spec.zipf_alpha, spec.num_documents, 0.999);
+    EXPECT_TRUE(fit.accepted) << "seed " << seed << ": chi^2 " << fit.chi_squared << " > "
+                              << fit.critical << " (dof " << fit.dof << ")";
+
+    // Power check: the same counts must REJECT a clearly wrong exponent,
+    // otherwise acceptance above is vacuous.
+    const ZipfFit wrong = zipf_chi_squared(counts, 1.4, spec.num_documents, 0.999);
+    EXPECT_FALSE(wrong.accepted) << "seed " << seed << ": fit has no power";
+  }
+}
+
+// ---- Scenario validation: flash-crowd -------------------------------------
+
+// Validation test for the "flash-crowd" scenario pack (lint rule 9).
+TEST(WorkloadStatsTest, FlashCrowdSpikeMassMatchesPeak) {
+  const ScenarioPack* pack = find_scenario("flash-crowd");
+  ASSERT_NE(pack, nullptr);
+  for (const std::uint64_t seed : kSeeds) {
+    const WorkloadSpec spec = seeded(*pack, 60'000, seed);
+    const Trace trace = generate_workload_trace(spec);
+
+    const TimePoint plateau_start = kSimEpoch + spec.flash.start + spec.flash.ramp;
+    const TimePoint plateau_end = plateau_start + spec.flash.hold;
+    const double plateau = spike_mass(trace, workload_flash_document(), plateau_start,
+                                      plateau_end);
+    EXPECT_NEAR(plateau, spec.flash.peak, 0.05) << "seed " << seed;
+
+    // Before the spike the reserved document carries no traffic at all.
+    const double before =
+        spike_mass(trace, workload_flash_document(), kSimEpoch, kSimEpoch + hours(4));
+    EXPECT_LT(before, 0.005) << "seed " << seed;
+  }
+}
+
+// ---- Scenario validation: hot-set-drift -----------------------------------
+
+// Validation test for the "hot-set-drift" scenario pack (lint rule 9).
+TEST(WorkloadStatsTest, HotSetDriftFollowsChurnSchedule) {
+  const ScenarioPack* pack = find_scenario("hot-set-drift");
+  ASSERT_NE(pack, nullptr);
+  const WorkloadSpec spec = pack->spec;
+  const Trace trace = generate_workload_trace(spec);
+  const std::uint64_t k = spec.churn_hot_window();
+
+  const std::vector<DocumentId> initial = workload_hot_documents(spec, 0, k);
+  EXPECT_DOUBLE_EQ(hot_set_overlap(initial, initial), 1.0);
+
+  // Epoch-to-epoch overlap reflects churn.fraction: ~25% of the hot window
+  // swaps per interval (swap targets are occasionally hot themselves, so
+  // the bound is loose on both sides).
+  const double step = hot_set_overlap(workload_hot_documents(spec, 10, k),
+                                      workload_hot_documents(spec, 11, k));
+  EXPECT_GT(step, 0.5);
+  EXPECT_LT(step, 0.995);
+
+  // After 40 intervals the original hot set has almost fully washed out.
+  const std::vector<DocumentId> late = workload_hot_documents(spec, 40, k);
+  EXPECT_LT(hot_set_overlap(initial, late), 0.5);
+
+  // The GENERATOR follows the same schedule: traffic inside epoch 40's
+  // window concentrates on the epoch-40 hot set, not the initial one.
+  const TimePoint window_start = kSimEpoch + spec.churn.interval * 40;
+  const TimePoint window_end = window_start + spec.churn.interval;
+  const double current_mass = mass_on(trace, late, window_start, window_end);
+  const double initial_mass = mass_on(trace, initial, window_start, window_end);
+  EXPECT_GT(current_mass, 0.2);   // top-k Zipf(0.75) mass is ~0.3
+  EXPECT_LT(initial_mass, 0.1);   // relegated to uniform ranks
+  EXPECT_GT(current_mass, initial_mass + 0.1);
+}
+
+// ---- Scenario validation: metro-users -------------------------------------
+
+// Validation test for the "metro-users" scenario pack (lint rule 9).
+TEST(WorkloadStatsTest, MetroUsersSessionAffinity) {
+  const ScenarioPack* metro = find_scenario("metro-users");
+  const ScenarioPack* stationary = find_scenario("stationary");
+  ASSERT_NE(metro, nullptr);
+  ASSERT_NE(stationary, nullptr);
+
+  const WorkloadSpec spec = metro->spec;
+  const Trace trace = generate_workload_trace(spec);
+  const double affine = session_affinity_ratio(trace, spec.sessions.window);
+
+  // Baseline: the same measurement on session-free traffic picks up only
+  // incidental recurrence of globally popular documents.
+  const Trace control = generate_workload_trace(scaled_spec(*stationary, 60'000));
+  const double incidental = session_affinity_ratio(control, spec.sessions.window);
+
+  EXPECT_GT(affine, 0.12);
+  EXPECT_LT(incidental, 0.05);
+  EXPECT_GT(affine, incidental + 0.1)
+      << "affinity " << affine << " vs incidental " << incidental;
+
+  // Metro scale: the 150k requests fan out over many thousands of distinct
+  // users drawn from the 2M population.
+  std::set<UserId> users;
+  for (const Request& request : trace.requests) users.insert(request.user);
+  EXPECT_GT(users.size(), 5'000u);
+}
+
+// ---- Scenario validation: flash-crowd-outage ------------------------------
+
+// Validation test for the "flash-crowd-outage" scenario pack (lint rule 9).
+TEST(WorkloadFaultsTest, OutageLandsMidFlashCrowd) {
+  const ScenarioPack* pack = find_scenario("flash-crowd-outage");
+  ASSERT_NE(pack, nullptr);
+  const WorkloadSpec& spec = pack->spec;
+
+  const FaultPlan plan = flash_crowd_outage_plan(spec, /*victim=*/2);
+  ASSERT_EQ(plan.outages.size(), 1u);
+  EXPECT_TRUE(plan.flushes.empty());
+  const PeerOutage& outage = plan.outages[0];
+  EXPECT_EQ(outage.proxy, 2u);
+  EXPECT_EQ(outage.start, kSimEpoch + spec.flash.start + spec.flash.ramp / 2);
+  EXPECT_EQ(outage.end, kSimEpoch + spec.flash.start + spec.flash.ramp + spec.flash.hold +
+                            spec.flash.ramp / 2);
+
+  // The whole window sits inside elevated flash share, and it covers the
+  // plateau (the document's hottest stretch).
+  EXPECT_GT(workload_flash_share(spec, outage.start - kSimEpoch), 0.0);
+  EXPECT_GT(workload_flash_share(spec, outage.end - kSimEpoch), 0.0);
+  const Duration plateau_mid = spec.flash.start + spec.flash.ramp + spec.flash.hold / 2;
+  EXPECT_LE(outage.start - kSimEpoch, plateau_mid);
+  EXPECT_GE(outage.end - kSimEpoch, plateau_mid);
+  EXPECT_DOUBLE_EQ(workload_flash_share(spec, plateau_mid), spec.flash.peak);
+
+  WorkloadSpec no_flash;
+  EXPECT_THROW((void)flash_crowd_outage_plan(no_flash, 0), std::invalid_argument);
+}
+
+// ---- Analytic cross-checks ------------------------------------------------
+
+TEST(WorkloadStatsTest, CheApproximationPredictsStationaryHitRate) {
+  // Degenerate the size model to fixed 4 KiB objects so aggregate_capacity
+  // maps exactly onto Che's capacity-in-objects, then compare the simulated
+  // single-LRU hit rate against the fixed point.
+  WorkloadSpec spec;
+  spec.name = "che-stationary";
+  spec.num_requests = 150'000;
+  spec.num_documents = 3'000;
+  spec.num_users = 64;
+  spec.span = hours(4);
+  spec.zipf_alpha = 0.75;
+  spec.size.mean_size = 4 * kKiB;
+  spec.size.sigma = 0.0;
+  spec.size.pareto_probability = 0.0;
+  spec.size.min_size = 4 * kKiB;
+  spec.size.max_size = 4 * kKiB;
+  const Trace trace = generate_workload_trace(spec);
+
+  constexpr double kCapacityObjects = 600.0;
+  GroupConfig config;
+  config.num_proxies = 1;  // a single LRU — exactly Che's model
+  config.aggregate_capacity = static_cast<Bytes>(kCapacityObjects) * 4 * kKiB;
+  config.placement = PlacementKind::kAdHoc;
+  config.replacement = PolicyKind::kLru;
+  const SimulationResult result = run_simulation(trace, config);
+
+  CheModel model;
+  model.popularity = zipf_popularity(spec.num_documents, spec.zipf_alpha);
+  const CheResult che = che_lru(model, kCapacityObjects);
+
+  EXPECT_NEAR(result.metrics.hit_rate(), che.hit_rate, 0.05)
+      << "simulated " << result.metrics.hit_rate() << " vs Che " << che.hit_rate
+      << " (T_C " << che.characteristic_time << ")";
+}
+
+TEST(WorkloadStatsTest, WilsonHilfertyMatchesTabulatedQuantiles) {
+  // Tabulated upper quantiles of the chi-squared distribution.
+  EXPECT_NEAR(chi_squared_critical(10, 0.95), 18.307, 0.15);
+  EXPECT_NEAR(chi_squared_critical(60, 0.99), 88.379, 0.5);
+  EXPECT_NEAR(chi_squared_critical(100, 0.999), 149.449, 0.8);
+  EXPECT_THROW((void)chi_squared_critical(10, 0.5), std::invalid_argument);
+}
+
+TEST(WorkloadStatsTest, CountByRankResolvesChunksAndIgnoresFlash) {
+  Trace trace;
+  const std::vector<DocumentId> doc_of_rank = {7, 3, 9};
+  const auto push = [&trace](DocumentId document) {
+    Request request;
+    request.at = kSimEpoch + msec(static_cast<std::int64_t>(trace.requests.size()));
+    request.document = document;
+    request.size = 1;
+    trace.requests.push_back(request);
+  };
+  push(7);
+  push(workload_chunk_document(7, 2));  // counts toward rank 0
+  push(3);
+  push(workload_flash_document());  // ignored
+  push(9);
+  push(11);  // outside the top ranks
+
+  const std::vector<std::uint64_t> counts = count_by_rank(trace, doc_of_rank, 3);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+
+  EXPECT_DOUBLE_EQ(spike_mass(trace, 7, kSimEpoch, kSimEpoch), 0.0);  // empty window
+  const double share = spike_mass(trace, 7, kSimEpoch, kSimEpoch + hours(1));
+  EXPECT_DOUBLE_EQ(share, 2.0 / 6.0);  // base + its chunk
+}
+
+}  // namespace
+}  // namespace eacache

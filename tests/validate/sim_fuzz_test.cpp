@@ -3,8 +3,12 @@
 // the invariant checker attached, then diffed counter-for-counter.
 //
 // Environment knobs (for soak runs and triage):
-//   EACACHE_FUZZ_SEED   — corpus base seed (default 20260806)
-//   EACACHE_FUZZ_CASES  — corpus size (default 200)
+//   EACACHE_FUZZ_SEED     — corpus base seed (default 20260806)
+//   EACACHE_FUZZ_CASES    — corpus size (default 200)
+//   EACACHE_FUZZ_WORKLOAD — non-zero mixes workload-DSL traces into the
+//                           main corpus (odd-indexed cases; see
+//                           random_workload_spec). A small DSL corpus also
+//                           runs unconditionally below.
 #include <cstdlib>
 #include <string>
 
@@ -61,7 +65,9 @@ TEST(SimFuzzTest, CorpusAgreesUnderBothDrivers) {
   const std::uint64_t base_seed = env_u64("EACACHE_FUZZ_SEED", kDefaultBaseSeed);
   const std::size_t count =
       static_cast<std::size_t>(env_u64("EACACHE_FUZZ_CASES", 200));
-  const std::vector<FuzzDiff> diffs = run_fuzz_corpus(base_seed, count, /*jobs=*/0);
+  const bool include_workload = env_u64("EACACHE_FUZZ_WORKLOAD", 0) != 0;
+  const std::vector<FuzzDiff> diffs =
+      run_fuzz_corpus(base_seed, count, /*jobs=*/0, include_workload);
   ASSERT_EQ(diffs.size(), count);
   std::size_t failures = 0;
   for (const FuzzDiff& diff : diffs) {
@@ -71,6 +77,34 @@ TEST(SimFuzzTest, CorpusAgreesUnderBothDrivers) {
     }
   }
   EXPECT_EQ(failures, 0u) << failures << " of " << count << " fuzz cases diverged";
+}
+
+TEST(SimFuzzTest, WorkloadDslCasesAreWellFormed) {
+  // Odd-indexed seeds carry DSL traces when the workload mix is on; the
+  // generated specs must validate clean and produce time-ordered traces.
+  std::size_t dsl_cases = 0;
+  for (std::uint64_t seed = kDefaultBaseSeed; seed < kDefaultBaseSeed + 16; ++seed) {
+    const FuzzCase fuzz_case =
+        make_fuzz_case(seed, seed % 2 == 1 ? FuzzTraceKind::kWorkloadDsl
+                                           : FuzzTraceKind::kSynthetic);
+    EXPECT_TRUE(fuzz_case.config.validate().empty()) << fuzz_case.label;
+    EXPECT_TRUE(is_time_ordered(fuzz_case.trace->requests)) << fuzz_case.label;
+    if (fuzz_case.label.find("/dsl") != std::string::npos) ++dsl_cases;
+  }
+  EXPECT_EQ(dsl_cases, 8u);
+}
+
+TEST(SimFuzzTest, WorkloadDslCorpusAgreesUnderBothDrivers) {
+  // A small always-on DSL corpus keeps the tier-1 runtime flat while still
+  // exercising chunk trains, flash spikes and session affinity through both
+  // request drivers every run; EACACHE_FUZZ_WORKLOAD=1 scales the mix up to
+  // the full corpus above.
+  const std::vector<FuzzDiff> diffs =
+      run_fuzz_corpus(kDefaultBaseSeed, 8, /*jobs=*/2, /*include_workload=*/true);
+  ASSERT_EQ(diffs.size(), 8u);
+  for (const FuzzDiff& diff : diffs) {
+    EXPECT_TRUE(diff.ok()) << diff.summary();
+  }
 }
 
 TEST(SimFuzzTest, CorpusVerdictIndependentOfWorkerCount) {
