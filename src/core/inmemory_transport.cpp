@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/wall_timer.h"
+
 namespace eacache {
 
 InMemoryTransport::InMemoryTransport(std::size_t num_endpoints) {
@@ -34,14 +36,14 @@ void InMemoryTransport::send(ProxyId to, WireMessage message) {
 
 std::optional<WireMessage> InMemoryTransport::receive(ProxyId at, std::chrono::nanoseconds timeout) {
   Mailbox& box = mailbox_at(at);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const Deadline deadline(timeout);
   MutexLock lock(box.mutex);
   while (box.queue.empty()) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return std::nullopt;
     // Re-derive the remaining budget each lap so spurious wakeups cannot
     // extend the overall deadline.
-    box.ready.wait_for(box.mutex, deadline - now);
+    const auto remaining = deadline.remaining();
+    if (remaining == std::chrono::nanoseconds::zero()) return std::nullopt;
+    box.ready.wait_for(box.mutex, remaining);
   }
   WireMessage head = std::move(box.queue.front());
   box.queue.pop_front();

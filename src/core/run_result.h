@@ -29,7 +29,7 @@
 #include "obs/metric_registry.h"
 #include "obs/trace_log.h"
 #include "proxy/proxy_cache.h"
-#include "validate/validation_report.h"
+#include "core/validation_report.h"
 
 namespace eacache {
 

@@ -1,8 +1,11 @@
 // The outcome of an invariant-checked simulation run (DESIGN.md §10).
 //
-// Leaf header: included by sim/simulator.h so every SimulationResult can
+// Leaf header in core/ (std includes only): both core/run_result.h and the
+// validate/ checker need it, and hosting it in validate/ made the core
+// library depend back on its own client — the core <-> validate include
+// cycle eacheck's DAG pass convicts. Living here, every RunResult can
 // carry a report without dragging the checker (and its group/storage
-// dependencies) into the simulator's public interface.
+// dependencies) into the core interface.
 #pragma once
 
 #include <cstddef>

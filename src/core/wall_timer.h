@@ -1,0 +1,56 @@
+#pragma once
+
+/// Wall-clock seam extension (DESIGN.md §16): `WallTimer` and `Deadline`
+/// are the only sanctioned monotonic-clock access outside src/core/clock.*
+/// and src/daemon/. Everything here is observability/timeout machinery —
+/// phase wall timings and blocking-wait budgets — which by construction
+/// never feeds simulated time or result counters, so the determinism
+/// contract (result JSON is a pure function of config/seed/trace) holds.
+/// eacheck's determinism pass flags any `steady_clock`/`system_clock` use
+/// that bypasses this header.
+
+#include <chrono>
+
+namespace eacache {
+
+/// Monotonic stopwatch for phase timings (`PhaseTimings::sim_ms` etc.).
+/// Starts at construction; `elapsed_ms()` reads without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double elapsed_ms() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Absolute timeout for blocking waits: fixes the deadline at construction
+/// so per-lap re-derivation of the remaining budget cannot be extended by
+/// spurious wakeups.
+class Deadline {
+ public:
+  explicit Deadline(std::chrono::nanoseconds budget)
+      : deadline_(std::chrono::steady_clock::now() + budget) {}
+
+  /// Remaining budget, clamped at zero once the deadline has passed.
+  [[nodiscard]] std::chrono::nanoseconds remaining() const {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_) return std::chrono::nanoseconds::zero();
+    return deadline_ - now;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return remaining() == std::chrono::nanoseconds::zero();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace eacache

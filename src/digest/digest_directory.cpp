@@ -18,6 +18,7 @@ void PeerDigestDirectory::update(ProxyId peer, BloomFilter snapshot, TimePoint p
 
 std::vector<ProxyId> PeerDigestDirectory::candidates(DocumentId id) const {
   std::vector<ProxyId> result;
+  // eacheck:allow(determinism): hash order is normalized by the sort below
   for (const auto& [peer, entry] : snapshots_) {
     if (entry.snapshot.maybe_contains(id)) result.push_back(peer);
   }

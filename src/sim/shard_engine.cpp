@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "core/wall_timer.h"
 #include "ea/placement.h"
 #include "event/event_queue.h"
 #include "group/cache_group.h"
@@ -24,11 +25,6 @@
 namespace eacache {
 
 namespace {
-
-double elapsed_ms(std::chrono::steady_clock::time_point since) {
-  const auto d = std::chrono::steady_clock::now() - since;
-  return std::chrono::duration<double, std::milli>(d).count();
-}
 
 /// One shard: an EventQueue, the proxies the partition assigned here, and
 /// private accounting merged only after the run. The mailbox is the ONLY
@@ -119,7 +115,7 @@ class ShardEngine {
   }
 
   SimulationResult run(PhaseTimings* timings) {
-    const auto sim_started = std::chrono::steady_clock::now();
+    const WallTimer sim_timer;
     {
       MutexLock lock(round_mutex_);
       for (auto& shard : shards_) publish_next_local(*shard);
@@ -138,11 +134,11 @@ class ShardEngine {
       }
     }
     rethrow_failure();
-    if (timings != nullptr) timings->sim_ms = elapsed_ms(sim_started);
+    if (timings != nullptr) timings->sim_ms = sim_timer.elapsed_ms();
 
-    const auto report_started = std::chrono::steady_clock::now();
+    const WallTimer report_timer;
     SimulationResult result = collect();
-    if (timings != nullptr) timings->report_ms = elapsed_ms(report_started);
+    if (timings != nullptr) timings->report_ms = report_timer.elapsed_ms();
     return result;
   }
 

@@ -5,19 +5,13 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/wall_timer.h"
 #include "event/event_queue.h"
 #include "sim/request_pipeline.h"
 #include "sim/shard_engine.h"
 #include "validate/invariants.h"
 
 namespace eacache {
-
-namespace {
-double elapsed_ms(std::chrono::steady_clock::time_point since) {
-  const auto d = std::chrono::steady_clock::now() - since;
-  return std::chrono::duration<double, std::milli>(d).count();
-}
-}  // namespace
 
 SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
                                 const SimulationOptions& options, PhaseTimings* timings) {
@@ -26,7 +20,7 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
     throw std::invalid_argument("run_simulation: trace must be time-ordered");
   }
 
-  const auto sim_started = std::chrono::steady_clock::now();
+  const WallTimer sim_timer;
   CacheGroup group(config);
   if (!options.faults.outages.empty()) group.set_outages(options.faults.outages);
   EventQueue queue;
@@ -106,9 +100,9 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
     if (checker) checker->finish(trace.size(), nullptr);
   }
   if (checker) result.validation = checker->take_report();
-  if (timings != nullptr) timings->sim_ms = elapsed_ms(sim_started);
+  if (timings != nullptr) timings->sim_ms = sim_timer.elapsed_ms();
 
-  const auto report_started = std::chrono::steady_clock::now();
+  const WallTimer report_timer;
   group.export_final_gauges();
   result.metrics = group.metrics();
   result.transport = group.transport_stats();
@@ -130,7 +124,7 @@ SimulationResult run_simulation(const Trace& trace, const GroupConfig& config,
   result.total_resident_copies = group.total_resident_copies();
   result.unique_resident_documents = group.unique_resident_documents();
   result.replication_factor = group.replication_factor();
-  if (timings != nullptr) timings->report_ms = elapsed_ms(report_started);
+  if (timings != nullptr) timings->report_ms = report_timer.elapsed_ms();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "common/config.h"
 #include "common/logging.h"
 #include "common/thread_annotations.h"
+#include "core/wall_timer.h"
 #include "trace/workload.h"
 
 namespace eacache {
@@ -64,11 +65,6 @@ class TraceLoadTable {
   mutable Mutex mutex_;
   std::map<const Trace*, double> table_ EACACHE_GUARDED_BY(mutex_);
 };
-
-double elapsed_ms(std::chrono::steady_clock::time_point start) {
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  return std::chrono::duration<double, std::milli>(elapsed).count();
-}
 
 /// Submission-order completion tracker for the worker pool: workers mark
 /// jobs done, the caller thread drains the contiguous completed prefix.
@@ -134,14 +130,14 @@ TraceRef TraceCache::load_entry(const std::shared_ptr<Entry>& entry, const Facto
   }
 
   try {
-    const auto start = std::chrono::steady_clock::now();
+    const WallTimer load_timer;
     // The deleter retires this trace's cost row with the trace itself —
     // address reuse must never resurface a stale load time.
     std::shared_ptr<const Trace> trace(new Trace(factory()), [](const Trace* dead) {
       TraceLoadTable::instance().forget(dead);
       delete dead;
     });
-    TraceLoadTable::instance().note(trace.get(), elapsed_ms(start));
+    TraceLoadTable::instance().note(trace.get(), load_timer.elapsed_ms());
     MutexLock lock(entry->mutex);
     entry->trace = std::move(trace);
     entry->state = Entry::State::kReady;
@@ -220,13 +216,13 @@ std::vector<SweepRunResult> SweepRunner::run() {
     out.config = spec.group;
     out.workload = spec.workload;
     out.trace_load_ms = TraceLoadTable::instance().lookup(job.trace.get());
-    const auto start = std::chrono::steady_clock::now();
+    const WallTimer job_timer;
     try {
       out.result = eacache::run(*job.trace, spec, &out.timings);
     } catch (...) {
       errors[i] = std::current_exception();
     }
-    out.wall_ms = elapsed_ms(start);
+    out.wall_ms = job_timer.elapsed_ms();
   };
 
   const std::size_t workers = std::min(resolve_job_count(options_.jobs), count);

@@ -1,5 +1,6 @@
 #include "storage/cache_store.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace eacache {
@@ -129,7 +130,13 @@ void CacheStore::notify(const EvictionRecord& record) {
 std::vector<DocumentId> CacheStore::resident_ids() const {
   std::vector<DocumentId> ids;
   ids.reserve(entries_.size());
+  // eacheck:allow(determinism): hash order is normalized by the sort below
   for (const auto& [id, entry] : entries_) ids.push_back(id);
+  // Sorted so hash order never escapes: callers iterate this vector on the
+  // flush path (removal order drives eviction-observer callbacks) and when
+  // collecting results, and both must be stable across stdlib hash
+  // implementations and shard counts.
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 

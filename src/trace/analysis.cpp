@@ -58,6 +58,7 @@ TraceProfile profile_trace(std::span<const Request> requests) {
   // Zipf fit: sort frequencies descending, regress log(freq) on log(rank).
   std::vector<std::uint64_t> counts;
   counts.reserve(frequency.size());
+  // eacheck:allow(determinism): hash order is normalized by the sort below
   for (const auto& [doc, count] : frequency) counts.push_back(count);
   std::sort(counts.rbegin(), counts.rend());
   if (counts.size() >= 2 && counts.front() > counts.back()) {
@@ -80,6 +81,7 @@ TraceProfile profile_trace(std::span<const Request> requests) {
   std::vector<Bytes> size_values;
   size_values.reserve(sizes.size());
   Bytes size_sum = 0;
+  // eacheck:allow(determinism): commutative integer sum; pushed values sorted below
   for (const auto& [doc, size] : sizes) {
     size_values.push_back(size);
     size_sum += size;

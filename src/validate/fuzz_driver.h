@@ -23,7 +23,7 @@
 #include "core/fault_plan.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
-#include "validate/validation_report.h"
+#include "core/validation_report.h"
 
 namespace eacache {
 

@@ -39,7 +39,7 @@
 #include "group/cache_group.h"
 #include "group/pipeline_config.h"
 #include "storage/eviction.h"
-#include "validate/validation_report.h"
+#include "core/validation_report.h"
 
 namespace eacache {
 

@@ -1,0 +1,50 @@
+// Negative control for eacheck's determinism pass (DESIGN.md §16).
+//
+// NEVER compiled or linked. The eacheck_determinism_negative ctest runs
+//   eacheck.py --pass determinism --fixture <this file>
+// and passes iff all three planted violation kinds are reported:
+//
+//  1. unordered-iteration-into-JSON: result_json() serializes an
+//     unordered_map in hash order — the exact escape the pass exists to
+//     catch (order differs across stdlib hash implementations).
+//  2. wall-clock-outside-the-seam: a system_clock stamp inside exported
+//     results, bypassing core/clock.* and core/wall_timer.h.
+//  3. float-accumulation-in-unordered-order: double += inside the hash-
+//     ordered loop, so the sum depends on bucket order.
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eacache {
+
+class BrokenExporter {
+ public:
+  std::string result_json() const;
+
+ private:
+  std::unordered_map<unsigned long, double> costs_;
+};
+
+std::string BrokenExporter::result_json() const {
+  std::string out = "[";
+  std::vector<unsigned long> ids;
+  double total = 0.0;
+  for (const auto& [id, cost] : costs_) {
+    ids.push_back(id);  // planted: hash order materialized into the output
+    total += cost;      // planted: float accumulation in hash order
+  }
+  for (const unsigned long id : ids) {
+    out += std::to_string(id);
+    out += ",";
+  }
+  // planted: wall-clock stamp inside exported results
+  const auto stamp = std::chrono::system_clock::now();
+  out += std::to_string(stamp.time_since_epoch().count());
+  out += "]";
+  out += std::to_string(total);
+  return out;
+}
+
+}  // namespace eacache

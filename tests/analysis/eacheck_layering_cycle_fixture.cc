@@ -1,0 +1,26 @@
+// Negative control for eacheck's architecture-DAG pass (DESIGN.md §16).
+//
+// NEVER compiled or linked. The eacheck_dag_negative ctest runs
+//   eacheck.py --pass dag --fixture <this file> --fixture-module core
+// which analyzes this file as if it lived in src/core/. Both planted
+// violations below must be reported for the test to pass:
+//
+//  * core -> sim is not a declared edge in layering.toml, and because
+//    sim -> core IS declared, the planted include closes a module cycle
+//    (core -> sim -> core) — the pass must report the undeclared edge AND
+//    the cycle it introduces.
+//  * core -> event is the layering rule PR 5's project_lint rule 6 used to
+//    police textually; the DAG pass must keep convicting it.
+//
+// If the DAG pass ever stops firing on this file, the negative-control
+// ctest fails — the analyzer cannot silently rot.
+
+#include "sim/sweep.h"          // planted: undeclared core -> sim, closes a cycle
+#include "event/event_queue.h"  // planted: undeclared core -> event
+
+namespace eacache {
+
+// A believable-looking consumer so the fixture reads like real code.
+inline int fixture_touch_sim_layer() { return 0; }
+
+}  // namespace eacache

@@ -1,0 +1,37 @@
+// Negative control for eacheck's static deadlock pass (DESIGN.md §16).
+//
+// NEVER compiled or linked. The eacheck_locks_negative ctest runs
+//   eacheck.py --pass locks --fixture <this file>
+// and passes iff the planted AB/BA lock-order cycle below is reported with
+// both acquisition stacks. Thread one takes ledger_mutex_ then index_mutex_;
+// thread two takes them in the opposite order — the classic deadlock the
+// lock-order graph exists to catch before a scheduler ever interleaves it.
+
+#include "common/thread_annotations.h"
+
+namespace eacache {
+
+class ShardLedger {
+ public:
+  // Thread one's path: ledger first, then the index.
+  void checkpoint() {
+    MutexLock ledger(ledger_mutex_);
+    MutexLock index(index_mutex_);  // planted: A -> B while holding A
+    ++checkpoints_;
+  }
+
+  // Thread two's path: index first, then the ledger — the BA half.
+  void rebuild_index() {
+    MutexLock index(index_mutex_);
+    MutexLock ledger(ledger_mutex_);  // planted: B -> A while holding B
+    ++rebuilds_;
+  }
+
+ private:
+  Mutex ledger_mutex_;
+  Mutex index_mutex_;
+  unsigned long checkpoints_ EACACHE_GUARDED_BY(ledger_mutex_) = 0;
+  unsigned long rebuilds_ EACACHE_GUARDED_BY(index_mutex_) = 0;
+};
+
+}  // namespace eacache

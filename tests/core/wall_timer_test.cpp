@@ -1,0 +1,64 @@
+// The wall-clock seam extension's contract (DESIGN.md §16): WallTimer and
+// Deadline are the only sanctioned monotonic-clock access outside
+// core/clock.* and src/daemon/ — eacheck's determinism pass convicts any
+// raw steady_clock use that bypasses them. These tests pin the behaviour
+// the ported call sites (sweep, simulator, shard_engine, the in-memory
+// transport's receive timeout) rely on.
+#include "core/wall_timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace eacache {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  const WallTimer timer;
+  const double first = timer.elapsed_ms();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(2ms);
+  const double second = timer.elapsed_ms();
+  EXPECT_GE(second, first);
+  EXPECT_GT(second, 0.0);
+}
+
+TEST(WallTimerTest, RestartResetsTheOrigin) {
+  WallTimer timer;
+  std::this_thread::sleep_for(2ms);
+  const double before = timer.elapsed_ms();
+  timer.restart();
+  const double after = timer.elapsed_ms();
+  EXPECT_LT(after, before);
+}
+
+TEST(DeadlineTest, RemainingStartsAtBudgetAndShrinks) {
+  const Deadline deadline(1h);
+  const auto first = deadline.remaining();
+  EXPECT_GT(first, 59min);
+  EXPECT_LE(first, 1h);
+  EXPECT_FALSE(deadline.expired());
+  const auto second = deadline.remaining();
+  EXPECT_LE(second, first);
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  const Deadline deadline(0ns);
+  EXPECT_EQ(deadline.remaining(), 0ns);
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, RemainingClampsAtZeroAfterExpiry) {
+  const Deadline deadline(1ms);
+  std::this_thread::sleep_for(3ms);
+  // Never negative: the transport's wait loop feeds remaining() straight
+  // into CondVar::wait_for, which must not see a negative budget.
+  EXPECT_EQ(deadline.remaining(), 0ns);
+  EXPECT_TRUE(deadline.expired());
+}
+
+}  // namespace
+}  // namespace eacache

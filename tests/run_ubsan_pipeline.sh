@@ -1,0 +1,66 @@
+#!/bin/sh
+# Runs the strict-UBSan tier: smoke sweep + fuzz corpus + workload battery.
+#
+# The binaries live in a dedicated build tree configured with
+#   cmake -S . -B build-ubsan -DEACACHE_UBSAN=ON -DEACACHE_WERROR=ON
+#   cmake --build build-ubsan -j
+# Registered in ctest with SKIP_RETURN_CODE 77: when the build-ubsan tree (or
+# the binaries) are absent this script self-skips instead of failing, so the
+# plain tier-1 run stays green on machines that never configured it.
+#
+# Why a tier beyond the ASan pipeline's piggybacked -fsanitize=undefined:
+# EACACHE_UBSAN arms the strict checks on top of the default group —
+# float-divide-by-zero everywhere, plus implicit-conversion, local-bounds and
+# nullability under Clang (bounds-strict under GCC, which lacks the other
+# three) — and compiles with -fno-sanitize-recover=all so any finding aborts
+# the run instead of scrolling past. Hit-rate and latency math divides by
+# request/byte counts all over the metrics plane; this tier is what proves
+# those denominators are guarded rather than quietly producing NaNs.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+ubsan_dir=${EACACHE_UBSAN_BUILD_DIR:-"$repo_root/build-ubsan"}
+
+if [ ! -x "$ubsan_dir/tests/test_sim" ] || [ ! -x "$ubsan_dir/tests/test_validate" ] ||
+   [ ! -x "$ubsan_dir/bench/bench_smoke" ]; then
+  echo "ubsan_pipeline: no strict-UBSan build at $ubsan_dir (configure with -DEACACHE_UBSAN=ON); skipping"
+  exit 77
+fi
+
+if ! grep -q '^EACACHE_UBSAN:BOOL=ON' "$ubsan_dir/CMakeCache.txt" 2>/dev/null; then
+  echo "ubsan_pipeline: $ubsan_dir was not configured with -DEACACHE_UBSAN=ON; skipping"
+  exit 77
+fi
+if ! grep -q '^EACACHE_WERROR:BOOL=ON' "$ubsan_dir/CMakeCache.txt" 2>/dev/null; then
+  echo "ubsan_pipeline: note: $ubsan_dir lacks EACACHE_WERROR=ON (recommended configure shown above)"
+fi
+
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+
+# Leg 1 — smoke sweep: one end-to-end simulation per protocol arm, the
+# densest concentration of hit-rate/latency divisions in the tree.
+"$ubsan_dir/bench/bench_smoke" --json > /dev/null
+"$ubsan_dir/bench/bench_smoke" --pipeline --coalesce --json > /dev/null
+
+# Leg 2 — fuzz corpus: the invariant checker + differential harness
+# (DESIGN.md §10) randomizes configs toward the edges (zero-capacity caches,
+# single-document universes) where unguarded denominators live. Override
+# EACACHE_FUZZ_CASES for a deeper soak.
+EACACHE_FUZZ_CASES=${EACACHE_FUZZ_CASES:-64} \
+  "$ubsan_dir/tests/test_validate" --gtest_brief=1
+
+# Leg 3 — workload battery (DESIGN.md §15): the DSL generators lean on
+# float weights and integer narrowing (Zipf tables, session inter-arrivals),
+# prime implicit-conversion territory. The bounded-memory test is filtered
+# out — its operator new/delete replacement is compiled out under sanitizers
+# — and the fuzz corpus re-runs with the DSL trace mix armed.
+if [ -x "$ubsan_dir/tests/test_workload" ]; then
+  "$ubsan_dir/tests/test_workload" \
+    --gtest_filter='-TraceSourceTest.StreamingMemoryBoundedByUniverse' \
+    --gtest_brief=1
+  EACACHE_FUZZ_CASES=32 EACACHE_FUZZ_WORKLOAD=1 \
+    "$ubsan_dir/tests/test_validate" --gtest_filter='SimFuzzTest.*' --gtest_brief=1
+else
+  echo "ubsan_pipeline: note: $ubsan_dir/tests/test_workload not built; workload leg skipped"
+fi
+echo "ubsan_pipeline: smoke + fuzz corpus + workload battery clean under strict UBSan"

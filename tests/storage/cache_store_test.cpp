@@ -192,6 +192,24 @@ TEST(CacheStoreTest, ResidentIdsMatchesContents) {
   EXPECT_EQ(ids, (std::vector<DocumentId>{1, 2, 3}));
 }
 
+// Regression pin for the eacheck determinism finding: resident_ids() used
+// to return hash order, which escaped into the flush path (removal order
+// drives eviction-observer callbacks) and result collection. The contract
+// is now sorted order, stable across stdlib hash implementations.
+TEST(CacheStoreTest, ResidentIdsAreSorted) {
+  auto store = make_lru_store(100000);
+  // Insertion order deliberately scrambled; ids chosen to collide-and-
+  // spread differently under typical unordered_map bucket counts.
+  for (const DocumentId id : {97u, 3u, 1024u, 7u, 511u, 2u, 65537u, 12u}) {
+    store.admit({id, 10}, at(0));
+  }
+  const auto ids = store.resident_ids();
+  ASSERT_EQ(ids.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(ids.front(), 2u);
+  EXPECT_EQ(ids.back(), 65537u);
+}
+
 TEST(CacheStoreTest, ZeroByteDocumentIsAdmissible) {
   auto store = make_lru_store(10);
   EXPECT_TRUE(store.admit({1, 0}, at(0)).has_value());

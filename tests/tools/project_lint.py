@@ -36,14 +36,15 @@ Rules
                     acquisition. ``std::once_flag``/``call_once`` remain
                     legal (one-shot init, not a lock).
 6. core-no-sim-includes
-                    the libeacache core layer — everything under src/ except
-                    src/sim/, src/event/ and the eacache_fuzz sources
-                    (validate/fuzz_driver.*) — never ``#include`` a sim/ or
-                    event/ header. This is the DESIGN.md §12 layering seam:
-                    the simulator is a CLIENT of the core, never a
-                    dependency. Run with ``--layering-fixture <file>`` to
-                    self-test the rule against a deliberately violating
-                    source (exit 0 iff the violation is caught).
+                    DELEGATED to the eacheck architecture-DAG pass
+                    (``tools/eacheck/eacheck.py --pass dag``, the
+                    ``eacheck_dag`` ctest): the declared module DAG in
+                    tools/eacheck/layering.toml generalizes this one seam to
+                    every module pair and adds cycle detection (DESIGN.md
+                    §16). The textual matcher survives here only to back the
+                    ``--layering-fixture <file>`` self-test mode (exit 0 iff
+                    the violation is caught); the main scan no longer runs
+                    it.
 7. prom-names-documented
                     every ``"eacache_..."`` Prometheus name literal in src/
                     appears in DESIGN.md (the §13 exposition table). The
@@ -55,15 +56,14 @@ Rules
                     self-test against a deliberately undocumented name
                     (exit 0 iff the violation is caught).
 8. sim-no-daemon-includes
-                    the simulator layer — src/sim/ and src/event/ — never
-                    ``#include`` a daemon/ header. Mirror of rule 6 on the
-                    other side of the DESIGN.md §12 seam: the simulator and
-                    the daemon are sibling CLIENTS of the core (the sharded
-                    engine reimplements parallelism on simulated time; it
-                    must not borrow the daemon's wall-clock machinery). Run
-                    with ``--sim-fixture <file>`` to self-test against a
-                    deliberately violating source (exit 0 iff the violation
-                    is caught).
+                    DELEGATED to the eacheck architecture-DAG pass, like
+                    rule 6: layering.toml declares no ``sim -> daemon`` edge,
+                    so the DAG pass convicts the include this rule used to
+                    police textually (the simulator and the daemon are
+                    sibling CLIENTS of the core — DESIGN.md §12, §16). The
+                    textual matcher survives here only to back the
+                    ``--sim-fixture <file>`` self-test mode (exit 0 iff the
+                    violation is caught); the main scan no longer runs it.
 9. scenario-tests-exist
                     every workload scenario pack registered in
                     src/trace/scenarios.cpp (``pack.name = "..."``) names a
@@ -107,23 +107,6 @@ PACK_NAME = re.compile(r'pack\.name\s*=\s*"((?:[^"\\]|\\.)+)"')
 PACK_TEST = re.compile(r'pack\.validation_test\s*=\s*"((?:[^"\\]|\\.)+)"')
 TEST_DECL = re.compile(r"TEST(?:_F|_P)?\s*\(\s*([A-Za-z0-9_]+)\s*,\s*([A-Za-z0-9_]+)\s*\)")
 
-# The simulator layer plus the eacache_fuzz differential harness (which by
-# design drives run_simulation); everything else is the libeacache core.
-CORE_LAYER_EXEMPT = (
-    Path("src/sim"),
-    Path("src/event"),
-    Path("src/validate/fuzz_driver.h"),
-    Path("src/validate/fuzz_driver.cpp"),
-)
-
-# The simulator layer proper for rule 8: these directories must not reach
-# sideways into the daemon (wall-clock) layer.
-SIM_LAYER = (
-    Path("src/sim"),
-    Path("src/event"),
-)
-
-
 def strip_line_comment(line: str) -> str:
     """Drop // comments so prose mentioning std::mutex etc. stays legal."""
     idx = line.find("//")
@@ -132,16 +115,6 @@ def strip_line_comment(line: str) -> str:
 
 def source_files() -> list[Path]:
     return sorted(p for p in SRC.rglob("*") if p.suffix in (".h", ".cpp"))
-
-
-def in_core_layer(rel: Path) -> bool:
-    return not any(
-        rel == exempt or exempt in rel.parents for exempt in CORE_LAYER_EXEMPT
-    )
-
-
-def in_sim_layer(rel: Path) -> bool:
-    return any(rel == layer or layer in rel.parents for layer in SIM_LAYER)
 
 
 def sim_layer_findings(rel: Path, text: str) -> list[str]:
@@ -314,13 +287,13 @@ def main() -> int:
         )
     )
 
+    # Rules 6 and 8 (the §12 layering seams) are delegated to the eacheck
+    # architecture-DAG pass, which checks the full declared module DAG in
+    # tools/eacheck/layering.toml rather than two hand-picked seams. The
+    # textual matchers above remain only for the fixture self-test modes.
     for path in source_files():
         rel = path.relative_to(REPO_ROOT)
         text = path.read_text(encoding="utf-8")
-        if in_core_layer(rel):
-            failures.extend(layering_findings(rel, text))
-        if in_sim_layer(rel):
-            failures.extend(sim_layer_findings(rel, text))
         failures.extend(prom_findings(rel, text, design_text))
         for lineno, raw in enumerate(text.splitlines(), 1):
             line = strip_line_comment(raw)
@@ -369,7 +342,10 @@ def main() -> int:
         for failure in failures:
             print("  " + failure)
         return 1
-    print(f"project_lint: {len(source_files())} src files clean across 9 rules")
+    print(
+        f"project_lint: {len(source_files())} src files clean across 7 rules "
+        f"(layering rules 6+8 delegated to eacheck --pass dag)"
+    )
     return 0
 
 

@@ -1,0 +1,68 @@
+#!/bin/sh
+# One-shot driver for the whole static-analysis stack (DESIGN.md §11 + §16):
+#
+#   format        clang-format dry-run        (tests/tools/check_format.sh)
+#   clang-tidy    .clang-tidy profile         (tests/tools/run_clang_tidy.sh)
+#   project_lint  repo-convention rules       (tests/tools/project_lint.py)
+#   eacheck-dag   architecture DAG pass       (tools/eacheck, layering.toml)
+#   eacheck-locks static deadlock pass        (tools/eacheck, lock-order graph)
+#   eacheck-det   determinism audit           (tools/eacheck)
+#
+# All six legs run CONCURRENTLY (they are independent read-only scans; the
+# slowest leg bounds wall time), then a single summary table reports each
+# leg's verdict. Exit is nonzero iff any leg FAILED; legs that self-skip
+# (exit 77 — e.g. no clang-tidy on PATH) count as SKIP, not failure, exactly
+# like their ctest registrations. Per-leg output is buffered to a temp file
+# and replayed only for failing legs, so a green run prints just the table.
+set -u
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+python=${EACACHE_PYTHON:-python3}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+run_leg() {
+  # $1 = leg name, rest = command. Records exit status alongside the log.
+  leg=$1
+  shift
+  "$@" > "$workdir/$leg.log" 2>&1
+  echo $? > "$workdir/$leg.status"
+}
+
+run_leg format       "$repo_root/tests/tools/check_format.sh" &
+run_leg clang-tidy   "$repo_root/tests/tools/run_clang_tidy.sh" &
+run_leg project_lint "$python" "$repo_root/tests/tools/project_lint.py" &
+run_leg eacheck-dag  "$python" "$repo_root/tools/eacheck/eacheck.py" --pass dag &
+run_leg eacheck-locks "$python" "$repo_root/tools/eacheck/eacheck.py" --pass locks &
+run_leg eacheck-det  "$python" "$repo_root/tools/eacheck/eacheck.py" --pass determinism &
+wait
+
+failed=0
+echo "run_all_analysis: summary"
+echo "  leg            verdict"
+echo "  -------------  -------"
+for leg in format clang-tidy project_lint eacheck-dag eacheck-locks eacheck-det; do
+  status=$(cat "$workdir/$leg.status" 2>/dev/null || echo 1)
+  case "$status" in
+    0)  verdict=PASS ;;
+    77) verdict=SKIP ;;
+    *)  verdict=FAIL; failed=1 ;;
+  esac
+  printf '  %-13s  %s\n' "$leg" "$verdict"
+done
+
+for leg in format clang-tidy project_lint eacheck-dag eacheck-locks eacheck-det; do
+  status=$(cat "$workdir/$leg.status" 2>/dev/null || echo 1)
+  if [ "$status" != 0 ] && [ "$status" != 77 ]; then
+    echo ""
+    echo "run_all_analysis: ---- $leg output ----"
+    cat "$workdir/$leg.log"
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo ""
+  echo "run_all_analysis: FAIL — see failing leg output above"
+  exit 1
+fi
+echo "run_all_analysis: all legs clean (SKIP legs need their tool installed)"

@@ -9,30 +9,26 @@
 # Self-skips (exit 77) when clang-tidy is not on PATH or no build tree has
 # exported a compilation database yet, so plain tier-1 runs stay green on
 # machines without the LLVM toolchain.
+#
+# Database discovery is shared with the eacheck analyzer: both shell out to
+# tools/eacheck/compdb.py, so the EACACHE_BUILD_DIR override and the
+# build/build-asan/build-tsan/build-ubsan preference order live in exactly
+# one place (DESIGN.md §16).
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/../.." && pwd)
 clang_tidy=${EACACHE_CLANG_TIDY:-clang-tidy}
+python=${EACACHE_PYTHON:-python3}
 
 if ! command -v "$clang_tidy" >/dev/null 2>&1; then
-  echo "run_clang_tidy: no $clang_tidy on PATH; skipping"
+  echo "run_clang_tidy: SKIP: no $clang_tidy on PATH (install the LLVM toolchain or point EACACHE_CLANG_TIDY at one)"
   exit 77
 fi
 
-# Prefer an explicit build dir, else the conventional trees in preference
-# order (the default tree first — it matches how developers actually build).
-build_dir=${EACACHE_BUILD_DIR:-}
-if [ -z "$build_dir" ]; then
-  for candidate in "$repo_root/build" "$repo_root/build-asan" "$repo_root/build-tsan"; do
-    if [ -f "$candidate/compile_commands.json" ]; then
-      build_dir=$candidate
-      break
-    fi
-  done
-fi
-
-if [ -z "$build_dir" ] || [ ! -f "$build_dir/compile_commands.json" ]; then
-  echo "run_clang_tidy: no compile_commands.json found (configure a build first); skipping"
+if ! build_dir=$("$python" "$repo_root/tools/eacheck/compdb.py" --print-dir); then
+  # compdb.py already printed the actionable reason (which trees it looked
+  # in, or why the EACACHE_BUILD_DIR override was rejected) on stdout.
+  echo "run_clang_tidy: SKIP: $build_dir"
   exit 77
 fi
 

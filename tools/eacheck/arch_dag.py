@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""eacheck pass 1: architecture DAG (DESIGN.md §16).
+
+Extracts the module-level include graph for every module under src/ and
+checks it against the declared DAG in tools/eacheck/layering.toml:
+
+* every observed edge must be declared (or carry a file-scoped
+  ``[[exception]]`` entry, or an ``// eacheck:allow(dag): why`` on the
+  include line);
+* the declared graph itself must be acyclic (topological order printed);
+* the observed graph must be acyclic — a cycle is reported with the
+  include chain that closes it;
+* declared-but-never-observed edges are reported as *unused* (warning) so
+  the declaration cannot drift above reality.
+
+This subsumes project_lint rules 6 (core-no-sim-includes) and 8
+(sim-no-daemon-includes): those are simply absent edges in the table.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+
+PASS = "dag"
+
+
+@dataclass
+class Layering:
+    dag: dict[str, set[str]]              # module -> allowed targets
+    exceptions: dict[tuple[str, str], str]  # (file, target) -> why
+
+
+def load_layering(path: Path) -> Layering:
+    with path.open("rb") as handle:
+        data = tomllib.load(handle)
+    dag = {mod: set(deps) for mod, deps in data.get("dag", {}).items()}
+    exceptions = {}
+    for entry in data.get("exception", []):
+        exceptions[(entry["file"], entry["target"])] = entry.get("why", "")
+    return Layering(dag, exceptions)
+
+
+def topo_order(dag: dict[str, set[str]]) -> tuple[list[str] | None, list[str]]:
+    """Kahn's algorithm over dependency edges (module depends-on targets).
+
+    Returns (order lowest-layer-first, leftover-cycle-members). Order is
+    None when the declared graph has a cycle.
+    """
+    indeg = {m: 0 for m in dag}
+    rdeps: dict[str, set[str]] = defaultdict(set)
+    for mod, deps in dag.items():
+        for dep in deps:
+            if dep in dag:
+                indeg[mod] += 1
+                rdeps[dep].add(mod)
+    ready = sorted(m for m, d in indeg.items() if d == 0)
+    order: list[str] = []
+    while ready:
+        mod = ready.pop(0)
+        order.append(mod)
+        for up in sorted(rdeps[mod]):
+            indeg[up] -= 1
+            if indeg[up] == 0:
+                ready.append(up)
+        ready.sort()
+    if len(order) != len(dag):
+        return None, sorted(m for m, d in indeg.items() if d > 0)
+    return order, []
+
+
+def find_cycle(edges: dict[str, set[str]]) -> list[str] | None:
+    """One directed cycle as [a, b, ..., a], or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+    stack: list[str] = []
+
+    def dfs(node: str) -> list[str] | None:
+        color[node] = GREY
+        stack.append(node)
+        for nxt in sorted(edges.get(node, ())):
+            if color.get(nxt, WHITE) == GREY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color.get(nxt, WHITE) == WHITE and nxt in edges:
+                found = dfs(nxt)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(edges):
+        if color[node] == WHITE:
+            found = dfs(node)
+            if found:
+                return found
+    return None
+
+
+def observed_edges(tus, modules: set[str]):
+    """(src_module -> {target_module: [(tu, Include), ...]}) over src/ TUs."""
+    edges: dict[str, dict[str, list]] = defaultdict(lambda: defaultdict(list))
+    for tu in tus:
+        if tu.module is None:
+            continue
+        for inc in tu.includes:
+            target = inc.target.split("/", 1)[0]
+            if "/" not in inc.target or target not in modules:
+                continue
+            if target == tu.module:
+                continue
+            edges[tu.module][target].append((tu, inc))
+    return edges
+
+
+def run(tus, layering: Layering, *, fixture_module: str | None = None,
+        out=print) -> dict:
+    """Run the pass; returns a summary dict with 'violations' and 'cycles'."""
+    modules = set(layering.dag)
+    violations: list[str] = []
+    suppressed = 0
+
+    order, cyclic = topo_order(layering.dag)
+    if order is None:
+        violations.append(
+            f"declared DAG in layering.toml is cyclic (involving: {', '.join(cyclic)})"
+        )
+        order = sorted(layering.dag)
+
+    edges = observed_edges(tus, modules)
+
+    # Per-edge check
+    edge_set: dict[str, set[str]] = defaultdict(set)
+    for src_mod, targets in sorted(edges.items()):
+        for target, sites in sorted(targets.items()):
+            kept_sites = []
+            for tu, inc in sites:
+                allow = tu.allowed(PASS, inc.line)
+                if allow is not None:
+                    suppressed += 1
+                    continue
+                if (tu.rel, target) in layering.exceptions:
+                    continue
+                kept_sites.append((tu, inc))
+            if not kept_sites:
+                continue
+            edge_set[src_mod].add(target)
+            if target not in layering.dag.get(src_mod, set()):
+                for tu, inc in kept_sites:
+                    violations.append(
+                        f"{tu.rel}:{inc.line}: undeclared edge {src_mod} -> {target} "
+                        f'(#include "{inc.target}"); declare it in layering.toml '
+                        f"or add an [[exception]] with justification"
+                    )
+
+    # Observed-graph cycle check (includes undeclared edges: a cycle through
+    # a violation is reported as both). In fixture mode the declared edges
+    # join the graph so a planted edge can close a cycle against the real
+    # architecture (one fixture file cannot form a module cycle alone).
+    for mod in modules:
+        edge_set.setdefault(mod, set())
+    if fixture_module is not None:
+        for mod, deps in layering.dag.items():
+            edge_set[mod] = edge_set[mod] | (deps & modules)
+    cycle = find_cycle(edge_set)
+    cycles: list[list[str]] = []
+    if cycle:
+        cycles.append(cycle)
+        violations.append(
+            "include cycle between modules: " + " -> ".join(cycle)
+        )
+
+    # Unused-edge report (warnings; meaningless when only a fixture is parsed)
+    unused: list[str] = []
+    for src_mod in sorted(layering.dag) if fixture_module is None else ():
+        for target in sorted(layering.dag[src_mod]):
+            if target not in edge_set.get(src_mod, set()):
+                unused.append(f"{src_mod} -> {target}")
+
+    known_files = {tu.rel for tu in tus}
+    stale_exceptions = [
+        f"{file} -> {target}" for (file, target) in sorted(layering.exceptions)
+        if fixture_module is None and file not in known_files
+    ]
+
+    out(f"eacheck[dag]: {len(modules)} modules, "
+        f"{sum(len(t) for t in edge_set.values())} observed edges, "
+        f"{len(violations)} violation(s), {suppressed} suppressed")
+    if order:
+        out("  layering (low -> high): " + " < ".join(order))
+    for violation in violations:
+        out(f"  VIOLATION: {violation}")
+    for edge in unused:
+        out(f"  warning: declared edge never observed: {edge}")
+    for exc in stale_exceptions:
+        out(f"  warning: [[exception]] references unknown file: {exc}")
+
+    return {"violations": violations, "cycles": cycles, "unused": unused,
+            "edges": {k: sorted(v) for k, v in edge_set.items()}}

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Shared compile_commands.json discovery (DESIGN.md §16).
+
+One source of truth for every tool that needs the build's compilation
+database: `eacheck` (all three passes), `run_clang_tidy.sh` and the
+`run_all_analysis.sh` umbrella all resolve the database through here, so
+"which build tree is the analyzer looking at" has exactly one answer.
+
+Resolution order (first hit wins):
+
+1. ``EACACHE_BUILD_DIR`` — explicit override, must contain the database
+   (a set-but-wrong override is an error, never a silent fallback).
+2. ``<repo>/build``, ``<repo>/build-asan``, ``<repo>/build-tsan``,
+   ``<repo>/build-ubsan`` — the conventional trees, default tree first
+   (it matches how developers actually build).
+
+Importable (``find_compile_commands``) and runnable::
+
+    python3 tools/eacheck/compdb.py --print-dir    # build dir, or exit 3
+    python3 tools/eacheck/compdb.py --print-path   # database path, or exit 3
+
+Exit 3 (not found) prints the actionable reason on stdout so shell callers
+can surface it verbatim in their SKIP message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Conventional build trees, in preference order.
+CANDIDATE_DIRS = ("build", "build-asan", "build-tsan", "build-ubsan")
+
+
+class CompDbError(RuntimeError):
+    """No usable compile_commands.json; str(err) is the actionable reason."""
+
+
+def find_compile_commands(repo_root: Path = REPO_ROOT) -> Path:
+    """Return the path of the discovered compile_commands.json.
+
+    Raises CompDbError with an actionable message when none is found.
+    """
+    override = os.environ.get("EACACHE_BUILD_DIR")
+    if override:
+        path = Path(override) / "compile_commands.json"
+        if path.is_file():
+            return path
+        raise CompDbError(
+            f"EACACHE_BUILD_DIR={override} is set but {path} does not exist "
+            f"(configure that tree first: cmake -B {override} -S {repo_root})"
+        )
+    for name in CANDIDATE_DIRS:
+        path = repo_root / name / "compile_commands.json"
+        if path.is_file():
+            return path
+    tried = ", ".join(str(repo_root / name) for name in CANDIDATE_DIRS)
+    raise CompDbError(
+        f"no compile_commands.json under any of [{tried}] and EACACHE_BUILD_DIR "
+        f"is unset; run `cmake -B build -S {repo_root}` (the root CMakeLists "
+        f"exports the database unconditionally)"
+    )
+
+
+def load_entries(repo_root: Path = REPO_ROOT) -> list[dict]:
+    """Parsed compilation-database entries (raises CompDbError like find)."""
+    path = find_compile_commands(repo_root)
+    with path.open(encoding="utf-8") as handle:
+        entries = json.load(handle)
+    if not isinstance(entries, list):
+        raise CompDbError(f"{path}: expected a JSON array of entries")
+    return entries
+
+
+def src_translation_units(repo_root: Path = REPO_ROOT) -> list[Path]:
+    """Absolute paths of every src/ TU listed in the database, sorted."""
+    units: set[Path] = set()
+    for entry in load_entries(repo_root):
+        file_path = Path(entry.get("file", ""))
+        if not file_path.is_absolute():
+            file_path = Path(entry.get("directory", ".")) / file_path
+        file_path = file_path.resolve()
+        try:
+            rel = file_path.relative_to(repo_root)
+        except ValueError:
+            continue
+        if rel.parts[:1] == ("src",) and file_path.suffix == ".cpp":
+            units.add(file_path)
+    return sorted(units)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--print-dir", action="store_true",
+                      help="print the build directory containing the database")
+    mode.add_argument("--print-path", action="store_true",
+                      help="print the database path itself")
+    args = parser.parse_args()
+    try:
+        path = find_compile_commands()
+    except CompDbError as err:
+        print(f"compdb: {err}")
+        return 3
+    print(path.parent if args.print_dir else path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""eacheck pass 3: determinism audit (DESIGN.md §16).
+
+Three rules, all serving the same invariant — a run is a pure function of
+(config, seed, trace), byte-identical across jobs=1..N and shards=1..N:
+
+1. **unordered-iteration-into-results** — iterating an
+   ``std::unordered_map``/``unordered_set`` inside any function from which
+   ``result_json`` / ``run_result_json`` / ``MetricRegistry::snapshot`` is
+   reachable (callee-wise) is flagged: hash-order escapes into exported
+   results. Order-independent reductions (pure counting, commutative
+   integer sums) are suppressed with ``// eacheck:allow(determinism):
+   <why order cannot escape>``.
+2. **wall-clock-outside-the-seam** — ``system_clock``, ``steady_clock``,
+   ``high_resolution_clock``, ``time()``, ``gettimeofday``/``clock_gettime``
+   anywhere except the Clock seam (src/core/clock.*, src/core/wall_timer.h)
+   and src/daemon/ (the daemon *is* the wall-clock domain).
+3. **float-accumulation-in-unordered-order** — ``double += …`` inside an
+   iteration that resolves to an unordered container: float addition is
+   not associative, so hash-order accumulation differs across platforms
+   and shard counts even when the iterated *set* is identical. Flagged
+   unconditionally (a nondeterministic float sum is never right), not
+   just on sink paths — the registry merge path is the motivating case.
+
+Rule 1 fires on two kinds of escape: the iterating function transitively
+*calls* a sink, or the loop *materializes* iteration order (push_back /
+emplace_back / insert into another container inside the loop) — the order
+then escapes to every caller, the way ``CacheStore::resident_ids`` leaked
+hash order into the flush path and result collection.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from types import SimpleNamespace
+from pathlib import Path
+
+from frontend import COMMON_METHOD_NAMES
+
+PASS = "determinism"
+
+SINK_BARE_NAMES = {"result_json", "run_result_json"}
+SINK_QNAMES = {"MetricRegistry::snapshot"}
+
+#: Calls that freeze iteration order into another container.
+MATERIALIZE_NAMES = {"push_back", "emplace_back", "insert", "append",
+                     "push_front", "emplace_front"}
+
+#: Files where wall-clock access is legal: the Clock seam itself plus the
+#: daemon (which exists to run against real time).
+CLOCK_SEAM_FILES = (
+    "src/core/clock.h",
+    "src/core/clock.cpp",
+    "src/core/wall_timer.h",
+)
+CLOCK_SEAM_PREFIXES = ("src/daemon/",)
+
+
+def _peel_type(type_str: str, subscripts: int) -> str:
+    """Peel one container layer per subscript; return the top-level name.
+
+    ``vector<unordered_set<Id>>`` with one subscript -> ``unordered_set``;
+    ``unordered_map<K, vector<V>>`` with one subscript -> ``vector``.
+    """
+    current = type_str.strip()
+    for _ in range(subscripts):
+        match = re.match(r"(?:std\s*::\s*)?([A-Za-z_][A-Za-z0-9_]*)\s*<(.*)>\s*$",
+                         current)
+        if not match:
+            return ""
+        outer, inner = match.group(1), match.group(2)
+        # split top-level template args on commas
+        depth = 0
+        args: list[str] = []
+        buf = ""
+        for char in inner:
+            if char == "<":
+                depth += 1
+            elif char == ">":
+                depth -= 1
+            if char == "," and depth == 0:
+                args.append(buf)
+                buf = ""
+            else:
+                buf += char
+        if buf.strip():
+            args.append(buf)
+        if outer in ("unordered_map", "map", "unordered_multimap", "multimap"):
+            current = args[-1].strip() if args else ""
+        else:
+            current = args[0].strip() if args else ""
+    match = re.match(r"(?:std\s*::\s*)?([A-Za-z_][A-Za-z0-9_]*)", current)
+    return match.group(1) if match else ""
+
+
+def _resolve_unordered(site, tus_by_rel, unordered_by_name, fn_class) -> bool:
+    """Is the iterated expression hash-ordered?"""
+    candidates = unordered_by_name.get(site.base, [])
+    if not candidates:
+        return False
+    # Prefer same-file decls, then same-class members, then unique global.
+    picked = [d for d in candidates if d.file == site.file]
+    if not picked:
+        picked = [d for d in candidates
+                  if d.owner is not None and d.owner == fn_class]
+    if not picked:
+        stem = Path(site.file).stem
+        picked = [d for d in candidates if Path(d.file).stem == stem]
+    if not picked and len(candidates) == 1:
+        picked = candidates
+    if not picked:
+        return False
+    decl = picked[0]
+    top = _peel_type(decl.type_str, site.subscripts) if site.subscripts \
+        else re.match(r"([A-Za-z_][A-Za-z0-9_]*)", decl.type_str).group(1)
+    return top.startswith("unordered_")
+
+
+def _reaching_sinks(tus) -> set[str]:
+    """Functions from which a sink is reachable through the call graph."""
+    callers_of: dict[str, set[str]] = defaultdict(set)
+    bare_to_qnames: dict[str, set[str]] = defaultdict(set)
+    functions: set[str] = set()
+    for tu in tus:
+        for call in tu.calls:
+            functions.add(call.function)
+            bare_to_qnames[call.function.split("::")[-1]].add(call.function)
+        for acq in tu.acquisitions:
+            functions.add(acq.function)
+    for tu in tus:
+        for call in tu.calls:
+            # candidate callees by name (same conservative rules as locks)
+            names: set[str] = set()
+            if call.qualifier is not None:
+                names.add(f"{call.qualifier}::{call.name}")
+            elif call.receiver is None and call.enclosing_class:
+                names.add(f"{call.enclosing_class}::{call.name}")
+                names |= bare_to_qnames.get(call.name, set())
+            elif call.name not in COMMON_METHOD_NAMES:
+                names |= bare_to_qnames.get(call.name, set())
+            names.add(call.name)  # free functions keyed by bare name too
+            for name in names:
+                callers_of[name].add(call.function)
+
+    # seed with sink functions; walk callers backwards
+    frontier: list[str] = []
+    for fn in list(functions) + list(callers_of):
+        bare = fn.split("::")[-1]
+        if bare in SINK_BARE_NAMES or fn in SINK_QNAMES:
+            frontier.append(fn)
+    frontier.extend(SINK_BARE_NAMES | SINK_QNAMES)
+    reaches: set[str] = set(frontier)
+    while frontier:
+        fn = frontier.pop()
+        for caller in callers_of.get(fn, ()):
+            if caller not in reaches:
+                reaches.add(caller)
+                frontier.append(caller)
+        bare = fn.split("::")[-1]
+        if bare != fn:
+            for caller in callers_of.get(bare, ()):
+                if caller not in reaches:
+                    reaches.add(caller)
+                    frontier.append(caller)
+    return reaches
+
+
+def run(tus, *, fixture: bool = False, out=print) -> dict:
+    tus_by_rel = {tu.rel: tu for tu in tus}
+    unordered_by_name: dict[str, list] = defaultdict(list)
+    for tu in tus:
+        for decl in tu.unordered_decls:
+            unordered_by_name[decl.name].append(decl)
+
+    reaches = _reaching_sinks(tus)
+
+    def fn_reaches_sink(fn: str) -> bool:
+        if fixture:
+            return True  # fixture files are judged without cross-TU context
+        return fn in reaches or fn.split("::")[-1] in SINK_BARE_NAMES \
+            or fn in SINK_QNAMES
+
+    violations: list[str] = []
+    suppressed = 0
+    unordered_hits = 0
+    clock_hits = 0
+    accum_hits = 0
+
+    for tu in tus:
+        materialized = {id(c.during): c for c in tu.calls
+                        if c.during is not None and c.name in MATERIALIZE_NAMES}
+        for site in tu.iterations:
+            fn_class = site.function.split("::")[0] if "::" in site.function else None
+            if not _resolve_unordered(site, tus_by_rel, unordered_by_name, fn_class):
+                continue
+            escape = None
+            if fn_reaches_sink(site.function):
+                escape = ("reaches result_json/run_result_json/"
+                          "MetricRegistry::snapshot")
+            elif id(site) in materialized:
+                call = materialized[id(site)]
+                escape = (f"materializes hash order via {call.name}() at "
+                          f"line {call.line}, which escapes to every caller")
+            if escape is None:
+                continue
+            if tu.allowed(PASS, site.line):
+                suppressed += 1
+                continue
+            unordered_hits += 1
+            violations.append(
+                f"{tu.rel}:{site.line}: hash-ordered iteration over "
+                f"'{site.chain}' in {site.function} {escape} — iterate a "
+                f"sorted view, restructure, or justify with "
+                f"// eacheck:allow(determinism): <why order cannot escape>"
+            )
+
+        seam = tu.rel in CLOCK_SEAM_FILES or \
+            any(tu.rel.startswith(p) for p in CLOCK_SEAM_PREFIXES)
+        if not seam:
+            for use in tu.clock_uses:
+                if tu.allowed(PASS, use.line):
+                    suppressed += 1
+                    continue
+                clock_hits += 1
+                where = f" in {use.function}" if use.function else ""
+                violations.append(
+                    f"{tu.rel}:{use.line}: wall-clock use '{use.token}'{where} "
+                    f"outside the Clock seam (src/core/clock.*, "
+                    f"src/core/wall_timer.h) and src/daemon/ — route timing "
+                    f"through core/wall_timer.h or the Clock interface"
+                )
+
+        for accum in tu.float_accums:
+            fn_class = accum.function.split("::")[0] \
+                if "::" in accum.function else None
+            probe = SimpleNamespace(base=accum.base, subscripts=accum.subscripts,
+                                    file=accum.file)
+            if not accum.base or not _resolve_unordered(
+                    probe, tus_by_rel, unordered_by_name, fn_class):
+                if not fixture:
+                    continue
+                if not accum.base:
+                    continue
+                # fixtures are judged standalone; fall through when the
+                # base at least names a known unordered decl in the file
+                if not any(d.file == accum.file
+                           for d in unordered_by_name.get(accum.base, [])):
+                    continue
+            if tu.allowed(PASS, accum.line):
+                suppressed += 1
+                continue
+            accum_hits += 1
+            violations.append(
+                f"{tu.rel}:{accum.line}: float accumulation '{accum.var} += …' "
+                f"inside hash-ordered iteration over '{accum.iterated}' in "
+                f"{accum.function} — float addition is not associative, so "
+                f"the sum differs by shard count; accumulate in a "
+                f"deterministic order or use integer arithmetic"
+            )
+
+    # allows without justification are findings in their own right
+    for tu in tus:
+        for allows in tu.allows.values():
+            for allow in allows:
+                if PASS in allow.passes and not allow.justification:
+                    violations.append(
+                        f"{tu.rel}:{allow.line}: eacheck:allow(determinism) "
+                        f"without justification text — write why the order "
+                        f"cannot escape (the colon and reason are required)"
+                    )
+
+    out(f"eacheck[determinism]: {unordered_hits} unordered-iteration, "
+        f"{clock_hits} wall-clock, {accum_hits} float-accumulation "
+        f"finding(s); {suppressed} suppressed")
+    for violation in violations:
+        out("  VIOLATION: " + violation)
+
+    return {"violations": violations,
+            "counts": {"unordered": unordered_hits, "clock": clock_hits,
+                       "accum": accum_hits, "suppressed": suppressed}}

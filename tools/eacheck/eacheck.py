@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""eacheck — semantic analyzer for the eacache codebase (DESIGN.md §16).
+
+Three passes over the src/ tree, driven by the build's
+compile_commands.json (discovered through tools/eacheck/compdb.py):
+
+    dag          architecture DAG vs tools/eacheck/layering.toml
+    locks        static deadlock detection over MutexLock/CondVar wrappers
+    determinism  unordered-iteration / wall-clock / float-accumulation audit
+
+Usage:
+    python3 tools/eacheck/eacheck.py --pass all
+    python3 tools/eacheck/eacheck.py --pass dag --fixture f.cc --fixture-module core
+    python3 tools/eacheck/eacheck.py --pass locks --frontend lex
+
+Exit codes: 0 clean (or, with --fixture, planted violation caught);
+1 violations found (or fixture NOT caught); 2 usage/internal error.
+
+Frontends: ``--frontend clang`` requires clang.cindex + libclang;
+``--frontend lex`` is the dependency-free lexical reference; ``auto``
+(default) prefers clang and falls back to lex with a printed notice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+TOOL_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(TOOL_DIR))
+
+import arch_dag                      # noqa: E402
+import determinism                   # noqa: E402
+import lock_order                    # noqa: E402
+from compdb import CompDbError, find_compile_commands, src_translation_units  # noqa: E402
+from frontend import make_frontend   # noqa: E402
+
+REPO_ROOT = TOOL_DIR.parent.parent
+
+PASSES = ("dag", "locks", "determinism")
+
+
+def discover_sources(repo_root: Path) -> tuple[list[Path], str]:
+    """src/ TUs from the compilation database plus every src/ header.
+
+    Headers are parsed as standalone TUs so member declarations (mutexes,
+    unordered containers) are visible to the passes. Falls back to a glob
+    with a notice when no build tree has been configured yet.
+    """
+    notice = ""
+    try:
+        cpps = src_translation_units(repo_root)
+    except CompDbError as err:
+        notice = f"note: {err}; falling back to glob over src/"
+        cpps = sorted((repo_root / "src").rglob("*.cpp"))
+    headers = sorted((repo_root / "src").rglob("*.h"))
+    return cpps + headers, notice
+
+
+def parse_all(frontend, files: list[Path]):
+    tus = []
+    for path in files:
+        try:
+            tus.append(frontend.parse(path))
+        except (OSError, UnicodeDecodeError) as err:
+            print(f"eacheck: skipping unreadable {path}: {err}")
+    return tus
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="eacheck", description=__doc__.splitlines()[0])
+    parser.add_argument("--pass", dest="passes", default="all",
+                        choices=PASSES + ("all",),
+                        help="which pass to run (default: all)")
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "clang", "lex"),
+                        help="libclang, lexical, or auto-fallback (default)")
+    parser.add_argument("--fixture", type=Path, default=None,
+                        help="negative-control mode: analyze ONLY this file; "
+                             "exit 0 iff the planted violation is reported")
+    parser.add_argument("--fixture-module", default="core",
+                        help="module the DAG-pass fixture pretends to live in "
+                             "(default: core)")
+    parser.add_argument("--repo-root", type=Path, default=REPO_ROOT)
+    args = parser.parse_args()
+
+    repo_root = args.repo_root.resolve()
+    selected = PASSES if args.passes == "all" else (args.passes,)
+
+    compdb_dir: Path | None = None
+    try:
+        compdb_dir = find_compile_commands(repo_root).parent
+    except CompDbError:
+        pass  # frontends cope; discover_sources prints the reason
+
+    try:
+        frontend, fallback_notice = make_frontend(args.frontend, repo_root,
+                                                  compdb_dir)
+    except RuntimeError as err:
+        # --frontend clang demanded libclang and it is absent: this is the
+        # actionable SKIP path for callers that insist on the clang frontend.
+        print(f"eacheck: SKIP: {err}")
+        return 77
+    if fallback_notice:
+        print(f"eacheck: {fallback_notice}")
+
+    layering = arch_dag.load_layering(TOOL_DIR / "layering.toml")
+
+    if args.fixture is not None:
+        fixture_path = args.fixture.resolve()
+        if not fixture_path.is_file():
+            print(f"eacheck: fixture not found: {fixture_path}")
+            return 2
+        # Fixtures live outside the repo's src/; parse them standalone and
+        # pin the module they claim to belong to.
+        from frontend import LexFrontend
+        lex = LexFrontend(fixture_path.parent)
+        tu = lex.parse(fixture_path)
+        tu.rel = str(fixture_path.name)
+        tu.module = args.fixture_module
+        caught = True
+        for pass_name in selected:
+            print(f"--- fixture check: {pass_name} on {fixture_path.name} "
+                  f"(as module '{tu.module}') ---")
+            if pass_name == "dag":
+                result = arch_dag.run([tu], layering,
+                                      fixture_module=tu.module)
+                ok = bool(result["violations"]) and bool(result["cycles"])
+                if not result["cycles"]:
+                    print("  fixture NOT caught: no module cycle reported")
+            elif pass_name == "locks":
+                result = lock_order.run([tu], fixture=True)
+                ok = bool(result["cycles"])
+            else:
+                result = determinism.run([tu], fixture=True)
+                counts = result["counts"]
+                ok = counts["unordered"] > 0 and counts["clock"] > 0 \
+                    and counts["accum"] > 0
+                if not ok:
+                    print(f"  fixture NOT caught: need all three finding "
+                          f"kinds, got {counts}")
+            caught = caught and ok
+            print(f"  fixture violation {'CAUGHT' if ok else 'MISSED'}")
+        return 0 if caught else 1
+
+    files, notice = discover_sources(repo_root)
+    if notice:
+        print(f"eacheck: {notice}")
+    tus = parse_all(frontend, files)
+    print(f"eacheck: parsed {len(tus)} TUs with the {frontend.name} frontend"
+          + (f" (compile_commands: {compdb_dir})" if compdb_dir else ""))
+
+    failed = False
+    for pass_name in selected:
+        if pass_name == "dag":
+            result = arch_dag.run(tus, layering)
+        elif pass_name == "locks":
+            result = lock_order.run(tus)
+        else:
+            result = determinism.run(tus)
+        if result["violations"]:
+            failed = True
+
+    if failed:
+        print("eacheck: FAIL (violations above)")
+        return 1
+    print("eacheck: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,880 @@
+#!/usr/bin/env python3
+"""eacheck frontends: source → per-TU semantic facts (DESIGN.md §16).
+
+Two interchangeable frontends produce the same intermediate representation:
+
+* ``ClangFrontend`` — libclang (``clang.cindex``) over the build's
+  compile_commands.json. Preferred when the LLVM Python bindings are
+  installed: it sees the preprocessed truth (macro expansion, real decl
+  types, overload resolution at the cursor level).
+* ``LexFrontend`` — a dependency-free C++ lexer/scope-walker. It tracks
+  namespace/class/function nesting, RAII ``MutexLock`` scopes, range-for
+  statements and declarations well enough to extract every fact the three
+  passes consume. This is the reference implementation: the negative-control
+  fixtures must be caught by it, so the analysis tier never self-skips just
+  because libclang is missing.
+
+The facts (the IR consumed by arch_dag / lock_order / determinism):
+
+* includes              — project-relative ``#include "..."`` with lines
+* mutex declarations    — ``Mutex name;`` with the owning class
+* lock acquisitions     — ``MutexLock guard(expr);`` with held-set context
+* call sites            — name + receiver chain + locks held at the call
+* iteration sites       — range-for / ``.begin()`` with the iterated chain
+* unordered declarations— ``std::unordered_{map,set,...}`` variables/members
+* clock uses            — wall-clock tokens (system_clock, steady_clock, …)
+* float accumulations   — ``double += …`` inside an iteration scope
+* allows                — ``// eacheck:allow(<pass>): justification`` lines
+
+Suppression contract: a finding on line L is suppressed when an allow for
+its pass sits on line L or line L-1 *and* carries non-empty justification
+text after the colon. Allows without justification are themselves findings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# IR dataclasses
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Include:
+    target: str  # as written, e.g. "sim/sweep.h"
+    line: int
+
+
+@dataclass
+class MutexDecl:
+    name: str
+    owner: str | None  # enclosing class/struct, None at namespace scope
+    file: str          # repo-relative
+    line: int
+
+
+@dataclass
+class Acquisition:
+    expr: str          # source expression, e.g. "entry->mutex"
+    tail: str          # trailing member name, e.g. "mutex"
+    line: int
+    function: str      # qualified enclosing function
+    enclosing_class: str | None
+    file: str
+    held_before: list["Acquisition"] = field(default_factory=list)
+    canonical: str | None = None  # filled in by lock_order resolution
+
+
+@dataclass
+class CallSite:
+    name: str                    # callee's final name component
+    qualifier: str | None        # explicit A::b qualifier if written
+    receiver: str | None         # "wire_" for wire_.send(...), None if free
+    line: int
+    function: str
+    enclosing_class: str | None
+    file: str
+    held: list[Acquisition] = field(default_factory=list)
+    during: "IterationSite | None" = None  # innermost iteration at the call
+
+
+@dataclass
+class IterationSite:
+    chain: str         # iterated expression chain, e.g. "snapshots_"
+    base: str          # base identifier of the chain
+    subscripts: int    # number of [..] applied to the base
+    line: int
+    function: str
+    file: str
+    kind: str          # "range-for" | "begin"
+
+
+@dataclass
+class UnorderedDecl:
+    name: str
+    owner: str | None  # enclosing class, or None for locals/file scope
+    type_str: str      # normalized declared type, e.g. "unordered_map<K,V>"
+    file: str
+    line: int
+
+
+@dataclass
+class ClockUse:
+    token: str         # e.g. "steady_clock"
+    line: int
+    function: str | None
+    file: str
+
+
+@dataclass
+class FloatAccum:
+    var: str
+    line: int
+    function: str
+    file: str
+    iterated: str      # the chain being iterated around this +=
+    base: str = ""     # base identifier of that chain
+    subscripts: int = 0
+
+
+@dataclass
+class Allow:
+    passes: tuple[str, ...]
+    justification: str
+    line: int
+
+
+@dataclass
+class TU:
+    path: Path
+    rel: str           # repo-relative path string
+    module: str | None  # first component under src/, None outside src/
+    includes: list[Include] = field(default_factory=list)
+    mutex_decls: list[MutexDecl] = field(default_factory=list)
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    iterations: list[IterationSite] = field(default_factory=list)
+    unordered_decls: list[UnorderedDecl] = field(default_factory=list)
+    clock_uses: list[ClockUse] = field(default_factory=list)
+    float_accums: list[FloatAccum] = field(default_factory=list)
+    allows: dict[int, list[Allow]] = field(default_factory=dict)
+    frontend: str = "lex"
+
+    def allowed(self, pass_name: str, line: int) -> Allow | None:
+        """The Allow suppressing `pass_name` findings at `line`, if any."""
+        for probe in (line, line - 1):
+            for allow in self.allows.get(probe, ()):
+                if pass_name in allow.passes and allow.justification:
+                    return allow
+        return None
+
+
+# --------------------------------------------------------------------------
+# Comment / string stripping (line-structure preserving)
+# --------------------------------------------------------------------------
+
+ALLOW_RE = re.compile(
+    r"//\s*eacheck:allow\(\s*([a-z_,\s]+?)\s*\)\s*(?::\s*(.*\S))?\s*$"
+)
+
+
+def strip_and_collect_allows(text: str) -> tuple[str, dict[int, list[Allow]]]:
+    """Blank out comments, string and char literals; harvest allow lines.
+
+    Newlines inside block comments and raw strings are preserved so every
+    token keeps its original line number.
+    """
+    allows: dict[int, list[Allow]] = {}
+    out: list[str] = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            out.append(c)
+            line += 1
+            i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comment = text[i:j]
+            match = ALLOW_RE.search(comment)
+            if match:
+                passes = tuple(p.strip() for p in match.group(1).split(",") if p.strip())
+                allows.setdefault(line, []).append(
+                    Allow(passes, (match.group(2) or "").strip(), line)
+                )
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            chunk = text[i:j]
+            out.append(re.sub(r"[^\n]", " ", chunk))
+            line += chunk.count("\n")
+            i = j
+        elif c == '"':
+            # Raw strings: R"delim( ... )delim"
+            if i > 0 and text[i - 1] == "R":
+                match = re.match(r'"([^()\\ ]{0,16})\(', text[i:])
+                if match:
+                    delim = match.group(1)
+                    end = text.find(")" + delim + '"', i)
+                    end = n if end < 0 else end + len(delim) + 2
+                    chunk = text[i:end]
+                    out.append('""' + re.sub(r"[^\n]", " ", chunk[2:]))
+                    line += chunk.count("\n")
+                    i = end
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append('""' + " " * (j - i - 2))
+            i = j
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append("' " + " " * (j - i - 2))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out), allows
+
+
+# --------------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"
+    r"|\d[\w.+-]*"
+    r"|::|->\*?|\+\+|--|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<=|>>=|==|!=|<=|>=|&&|\|\||<<"
+    r"|[{}()\[\];:,<>=.&*+\-/!?~%^|#]"
+    r"|\"\"|'"
+)
+
+CONTROL_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "try", "catch", "return",
+    "case", "default", "new", "delete", "throw", "sizeof", "alignof",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast", "co_await",
+}
+
+#: Method names too generic to resolve across classes without a receiver
+#: type — calls through an *unknown* receiver skip candidates with these
+#: names so `entries_.size()` never aliases `TraceCache::size()`.
+COMMON_METHOD_NAMES = {
+    "size", "empty", "clear", "begin", "end", "rbegin", "rend", "count",
+    "find", "erase", "insert", "emplace", "emplace_back", "push_back",
+    "pop_back", "reserve", "resize", "assign", "at", "front", "back", "top",
+    "pop", "push", "data", "str", "get", "reset", "release", "swap", "c_str",
+    "lock", "unlock", "try_lock", "notify_one", "notify_all", "wait",
+    "wait_for", "join", "joinable", "detach", "load", "store", "value",
+    "has_value", "emplace_front", "contains", "length", "substr", "append",
+    "add", "merge", "set", "id", "now", "stats",
+}
+
+CLOCK_TOKENS = {
+    "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
+    "clock_gettime", "timespec_get", "localtime", "gmtime", "mktime",
+    "utc_clock", "file_clock",
+}
+
+UNORDERED_NAMES = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
+}
+
+
+@dataclass
+class _Scope:
+    kind: str                    # namespace | class | function | block
+    name: str | None = None      # namespace/class name, function qname
+    cls: str | None = None       # nearest class context
+    fn: str | None = None        # nearest function qname
+    held: list[Acquisition] = field(default_factory=list)
+    iterating: IterationSite | None = None
+
+
+class LexFrontend:
+    """Dependency-free lexical frontend."""
+
+    name = "lex"
+
+    def __init__(self, repo_root: Path):
+        self.repo_root = repo_root
+
+    def parse(self, path: Path) -> TU:
+        rel = str(path.relative_to(self.repo_root))
+        parts = Path(rel).parts
+        module = parts[1] if len(parts) > 2 and parts[0] == "src" else None
+        tu = TU(path=path, rel=rel, module=module, frontend=self.name)
+
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        stripped, tu.allows = strip_and_collect_allows(raw)
+
+        # Includes come from the raw (but comment-stripped) line structure.
+        for lineno, line in enumerate(raw.splitlines(), 1):
+            code = line.split("//", 1)[0]
+            match = re.match(r'\s*#\s*include\s+"([^"]+)"', code)
+            if match:
+                tu.includes.append(Include(match.group(1), lineno))
+
+        self._walk(tu, stripped)
+        return tu
+
+    # -- token walk -------------------------------------------------------
+
+    def _walk(self, tu: TU, text: str) -> None:
+        tokens: list[tuple[str, int]] = []
+        line = 1
+        pos = 0
+        for match in TOKEN_RE.finditer(text):
+            line += text.count("\n", pos, match.start())
+            pos = match.start()
+            tokens.append((match.group(0), line))
+
+        scopes: list[_Scope] = [_Scope("namespace", name=None)]
+        head: list[tuple[str, int]] = []      # tokens since last ; { }
+        pending_events: list = []             # events buffered per statement
+        pending_iter: IterationSite | None = None
+        double_names: set[str] = set()
+
+        def current_fn() -> str | None:
+            for scope in reversed(scopes):
+                if scope.fn:
+                    return scope.fn
+            return None
+
+        def current_cls() -> str | None:
+            for scope in reversed(scopes):
+                if scope.cls:
+                    return scope.cls
+            return None
+
+        def held_now() -> list[Acquisition]:
+            held: list[Acquisition] = []
+            for scope in scopes:
+                held.extend(scope.held)
+            return held
+
+        def iterating_now() -> IterationSite | None:
+            for scope in reversed(scopes):
+                if scope.iterating is not None:
+                    return scope.iterating
+            return pending_iter
+
+        def flush(into_function: bool) -> None:
+            nonlocal pending_events
+            if into_function:
+                for event in pending_events:
+                    self._commit(tu, event)
+            pending_events = []
+
+        i = 0
+        n = len(tokens)
+        while i < n:
+            tok, ln = tokens[i]
+
+            if tok == "{":
+                scope = self._classify(head, scopes)
+                if scope.kind == "function":
+                    pending_events = []  # the head was a signature
+                else:
+                    flush(current_fn() is not None)
+                if scope.kind == "block" and pending_iter is not None:
+                    scope.iterating = pending_iter
+                    pending_iter = None
+                scopes.append(scope)
+                head = []
+                i += 1
+                continue
+            if tok == "}":
+                flush(current_fn() is not None)
+                pending_iter = None
+                if len(scopes) > 1:
+                    scopes.pop()
+                head = []
+                # Consume a trailing `;` of class definitions quietly.
+                i += 1
+                continue
+            if tok == ";":
+                in_fn = current_fn() is not None
+                if pending_iter is not None and in_fn:
+                    # single-statement range-for body: events in this
+                    # statement count as inside the iteration
+                    for event in pending_events:
+                        if isinstance(event, FloatAccum) and not event.iterated:
+                            event.iterated = pending_iter.chain
+                            event.base = pending_iter.base
+                            event.subscripts = pending_iter.subscripts
+                flush(in_fn)
+                pending_iter = None
+                self._scan_declaration(tu, head, scopes, double_names)
+                head = []
+                i += 1
+                continue
+
+            # ---- event extraction (buffered until statement end) --------
+            nxt = tokens[i + 1][0] if i + 1 < n else ""
+
+            if tok == "MutexLock" and re.match(r"[A-Za-z_]", nxt or "-"):
+                after = tokens[i + 2][0] if i + 2 < n else ""
+                if after in ("(", "{"):
+                    expr, consumed = self._capture_group(tokens, i + 2)
+                    tail = self._chain_tail(expr)
+                    acq = Acquisition(
+                        expr=" ".join(t for t, _ in expr) or "?",
+                        tail=tail,
+                        line=ln,
+                        function=current_fn() or "<file>",
+                        enclosing_class=current_cls(),
+                        file=tu.rel,
+                        held_before=list(held_now()),
+                    )
+                    tu.acquisitions.append(acq)
+                    scopes[-1].held.append(acq)
+                    i = consumed
+                    continue
+
+            if tok == "for" and nxt == "(":
+                group, consumed = self._capture_group(tokens, i + 1)
+                site = self._range_for_site(tu, group, ln, current_fn())
+                if site is not None and current_fn() is not None:
+                    tu.iterations.append(site)
+                    pending_iter = site
+                i = consumed
+                continue
+
+            if tok in CLOCK_TOKENS:
+                tu.clock_uses.append(ClockUse(tok, ln, current_fn(), tu.rel))
+                i += 1
+                continue
+            if tok == "time" and nxt == "(":
+                prev = tokens[i - 1][0] if i > 0 else ""
+                if prev not in (".", "->", "::") and not re.match(r"[A-Za-z_0-9]", prev or " "):
+                    tu.clock_uses.append(ClockUse("time()", ln, current_fn(), tu.rel))
+
+            if tok in UNORDERED_NAMES and nxt == "<":
+                decl, consumed = self._unordered_decl(tu, tokens, i, scopes, ln)
+                if decl is not None:
+                    tu.unordered_decls.append(decl)
+                i = consumed
+                continue
+
+            if tok == "+=" and current_fn() is not None:
+                lhs = self._lhs_chain(head)
+                site = iterating_now()
+                if lhs and site is not None and lhs in double_names:
+                    pending_events.append(
+                        FloatAccum(lhs, ln, current_fn() or "<file>", tu.rel,
+                                   site.chain, site.base, site.subscripts)
+                    )
+
+            if tok == "begin" and nxt == "(" and i > 0 and tokens[i - 1][0] in (".", "->"):
+                chain = self._receiver_chain(tokens, i - 1)
+                if chain and current_fn() is not None:
+                    base, subs = self._chain_base(chain)
+                    tu.iterations.append(
+                        IterationSite(chain, base, subs, ln, current_fn() or "<file>",
+                                      tu.rel, "begin")
+                    )
+
+            if (re.match(r"[A-Za-z_]", tok) and nxt == "(" and tok not in CONTROL_KEYWORDS
+                    and current_fn() is not None):
+                prev = tokens[i - 1][0] if i > 0 else ""
+                qualifier = None
+                receiver = None
+                if prev == "::" and i >= 2:
+                    qualifier = tokens[i - 2][0]
+                elif prev in (".", "->"):
+                    receiver = self._receiver_chain(tokens, i - 1) or "?"
+                pending_events.append(
+                    CallSite(tok, qualifier, receiver, ln, current_fn() or "<file>",
+                             current_cls(), tu.rel, held=list(held_now()),
+                             during=iterating_now())
+                )
+
+            head.append((tok, ln))
+            i += 1
+
+        flush(current_fn() is not None)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _commit(self, tu: TU, event) -> None:
+        if isinstance(event, CallSite):
+            tu.calls.append(event)
+        elif isinstance(event, FloatAccum):
+            tu.float_accums.append(event)
+
+    @staticmethod
+    def _capture_group(tokens, open_index) -> tuple[list[tuple[str, int]], int]:
+        """Tokens inside the (…) or {…} opening at open_index; returns
+        (inner tokens, index one past the closing bracket)."""
+        openers = {"(": ")", "{": "}"}
+        open_tok = tokens[open_index][0]
+        close_tok = openers.get(open_tok)
+        if close_tok is None:
+            return [], open_index + 1
+        depth = 0
+        inner: list[tuple[str, int]] = []
+        i = open_index
+        while i < len(tokens):
+            tok = tokens[i][0]
+            if tok == open_tok:
+                depth += 1
+                if depth == 1:
+                    i += 1
+                    continue
+            elif tok == close_tok:
+                depth -= 1
+                if depth == 0:
+                    return inner, i + 1
+            inner.append(tokens[i])
+            i += 1
+        return inner, len(tokens)
+
+    @staticmethod
+    def _chain_tail(expr_tokens) -> str:
+        names = [t for t, _ in expr_tokens if re.match(r"[A-Za-z_]", t)]
+        return names[-1] if names else "?"
+
+    @staticmethod
+    def _receiver_chain(tokens, sep_index) -> str:
+        """Reconstruct `a.b->c` style receiver chain ending at sep_index."""
+        parts: list[str] = []
+        i = sep_index
+        while i > 0:
+            sep = tokens[i][0]
+            if sep not in (".", "->"):
+                break
+            prev = tokens[i - 1][0]
+            if prev == ")" or prev == "]":
+                # call or subscript result: keep the bracket as a marker and
+                # skip back over the group
+                depth = 0
+                j = i - 1
+                open_for = {")": "(", "]": "["}[prev]
+                while j >= 0:
+                    if tokens[j][0] == prev:
+                        depth += 1
+                    elif tokens[j][0] == open_for:
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j -= 1
+                marker = "[]" if prev == "]" else "()"
+                if j > 0 and re.match(r"[A-Za-z_]", tokens[j - 1][0]):
+                    parts.append(tokens[j - 1][0] + marker)
+                    i = j - 2
+                    continue
+                break
+            if not re.match(r"[A-Za-z_]", prev):
+                break
+            parts.append(prev)
+            i -= 2
+        return ".".join(reversed(parts))
+
+    @staticmethod
+    def _chain_base(chain: str) -> tuple[str, int]:
+        first = chain.split(".", 1)[0]
+        subs = first.count("[]")
+        return first.replace("[]", "").replace("()", ""), subs
+
+    def _range_for_site(self, tu: TU, group, line: int, fn: str | None):
+        """Range-for detection: a `:` at depth 0 inside the for(...)."""
+        depth = 0
+        colon_at = None
+        for idx, (tok, _) in enumerate(group):
+            if tok in ("(", "[", "{", "<"):
+                depth += 1
+            elif tok in (")", "]", "}", ">"):
+                depth = max(0, depth - 1)
+            elif tok == ":" and depth == 0:
+                prev = group[idx - 1][0] if idx > 0 else ""
+                if prev != ":" and (idx + 1 >= len(group) or group[idx + 1][0] != ":"):
+                    colon_at = idx
+                    break
+        if colon_at is None:
+            return None
+        expr_tokens = group[colon_at + 1:]
+        names: list[str] = []
+        subs = 0
+        j = 0
+        while j < len(expr_tokens):
+            tok = expr_tokens[j][0]
+            if re.match(r"[A-Za-z_]", tok):
+                names.append(tok)
+            elif tok == "[":
+                if len(names) == 1:
+                    subs += 1
+                depth = 1
+                j += 1
+                while j < len(expr_tokens) and depth:
+                    if expr_tokens[j][0] == "[":
+                        depth += 1
+                    elif expr_tokens[j][0] == "]":
+                        depth -= 1
+                    j += 1
+                continue
+            j += 1
+        if not names:
+            return None
+        chain = ".".join(names)
+        return IterationSite(chain, names[0], subs, line, fn or "<file>", tu.rel,
+                             "range-for")
+
+    def _unordered_decl(self, tu: TU, tokens, i, scopes, line):
+        """Parse `unordered_xxx<...> [&*]* name` declarations."""
+        container = tokens[i][0]
+        # match the template argument list, treating >> as two closes
+        depth = 0
+        j = i + 1
+        arg_tokens: list[str] = []
+        while j < len(tokens):
+            tok = tokens[j][0]
+            if tok == "<":
+                depth += 1
+                if depth > 1:
+                    arg_tokens.append(tok)
+            elif tok == ">":
+                depth -= 1
+                if depth == 0:
+                    j += 1
+                    break
+                arg_tokens.append(tok)
+            elif tok == ">>":
+                depth -= 2
+                if depth <= 0:
+                    j += 1
+                    break
+                arg_tokens.append(tok)
+            else:
+                arg_tokens.append(tok)
+            j += 1
+        # skip refs/pointers/cv
+        while j < len(tokens) and tokens[j][0] in ("&", "*", "const", "&&"):
+            j += 1
+        name = None
+        if j < len(tokens) and re.match(r"[A-Za-z_]", tokens[j][0]):
+            follow = tokens[j + 1][0] if j + 1 < len(tokens) else ""
+            if follow in (";", "=", "{", "(", ",") or follow.startswith("EACACHE"):
+                name = tokens[j][0]
+        if name is None:
+            return None, j
+        owner = None
+        for scope in reversed(scopes):
+            if scope.kind == "class":
+                owner = scope.name
+                break
+            if scope.kind == "function":
+                break
+        type_str = f"{container}<{' '.join(arg_tokens)}>"
+        return UnorderedDecl(name, owner, type_str, tu.rel, line), j
+
+    @staticmethod
+    def _lhs_chain(head) -> str | None:
+        names = []
+        for tok, _ in reversed(head):
+            if re.match(r"[A-Za-z_]", tok):
+                names.append(tok)
+            elif tok in (".", "->", "]", "[", "::"):
+                continue
+            else:
+                break
+        return names[0] if names else None
+
+    def _scan_declaration(self, tu: TU, head, scopes, double_names: set) -> None:
+        """Statement-level declarations: Mutex members, double locals."""
+        toks = [t for t, _ in head]
+        for idx, tok in enumerate(toks):
+            if tok == "Mutex" and idx + 1 < len(toks) and re.match(r"[A-Za-z_]", toks[idx + 1]):
+                follow = toks[idx + 2] if idx + 2 < len(toks) else ";"
+                if follow in (";", "=") or follow.startswith("EACACHE"):
+                    owner = None
+                    for scope in reversed(scopes):
+                        if scope.kind == "class":
+                            owner = scope.name
+                            break
+                        if scope.kind == "function":
+                            break
+                    tu.mutex_decls.append(
+                        MutexDecl(toks[idx + 1], owner, tu.rel, head[idx + 1][1])
+                    )
+            if tok in ("double", "float") and idx + 1 < len(toks):
+                if re.match(r"[A-Za-z_]", toks[idx + 1]):
+                    double_names.add(toks[idx + 1])
+
+    def _classify(self, head, scopes) -> _Scope:
+        toks = [t for t, _ in head]
+        # access specifiers / friend prefixes do not change scope kind
+        while toks and toks[0] in ("public", "private", "protected", ":", "friend"):
+            toks = toks[1:]
+        cls = None
+        fn = None
+        for scope in reversed(scopes):
+            if cls is None and scope.cls:
+                cls = scope.cls
+            if fn is None and scope.fn:
+                fn = scope.fn
+            if cls and fn:
+                break
+
+        if not toks:
+            return _Scope("block", cls=cls, fn=fn)
+
+        # strip leading template<...>
+        if toks and toks[0] == "template":
+            depth = 0
+            for idx, tok in enumerate(toks):
+                if tok == "<":
+                    depth += 1
+                elif tok in (">", ">>"):
+                    depth -= 2 if tok == ">>" else 1
+                    if depth <= 0:
+                        toks = toks[idx + 1:]
+                        break
+
+        if "namespace" in toks:
+            idx = toks.index("namespace")
+            name = None
+            if idx + 1 < len(toks) and re.match(r"[A-Za-z_]", toks[idx + 1]):
+                name = toks[idx + 1]
+            return _Scope("namespace", name=name, cls=cls, fn=fn)
+
+        if toks and toks[0] in ("enum",):
+            return _Scope("block", cls=cls, fn=fn)
+
+        if toks and toks[0] in ("class", "struct", "union") or (
+                len(toks) > 1 and toks[0] in ("typedef",) and toks[1] in ("struct", "union")):
+            # class name: last identifier before a base-clause ':' (top
+            # level) or end of head
+            depth = 0
+            candidates = []
+            for tok in toks[1:]:
+                if tok in ("(", "<", "["):
+                    depth += 1
+                elif tok in (")", ">", "]"):
+                    depth = max(0, depth - 1)
+                elif tok == ":" and depth == 0:
+                    break
+                elif depth == 0 and re.match(r"[A-Za-z_]", tok) and tok not in (
+                        "final", "alignas", "const"):
+                    candidates.append(tok)
+            name = candidates[-1] if candidates else "<anon>"
+            return _Scope("class", name=name, cls=name, fn=fn)
+
+        first = toks[0]
+        if first in CONTROL_KEYWORDS or first == "[":
+            return _Scope("block", cls=cls, fn=fn)
+        if "=" in toks and "(" not in toks[:toks.index("=")]:
+            return _Scope("block", cls=cls, fn=fn)  # init-list assignment
+
+        # function definition: first depth-0 '(' preceded by an identifier
+        depth = 0
+        name_idx = None
+        for idx, tok in enumerate(toks):
+            if tok == "(":
+                if depth == 0 and idx > 0 and re.match(r"[A-Za-z_~]", toks[idx - 1]):
+                    prev = toks[idx - 1]
+                    if prev not in CONTROL_KEYWORDS and not (
+                            prev.isupper() and len(prev) > 3 and "_" in prev and idx == 1):
+                        name_idx = idx - 1
+                        break
+                depth += 1
+            elif tok == ")":
+                depth = max(0, depth - 1)
+            elif tok in ("<",):
+                depth += 1
+            elif tok in (">", ">>"):
+                depth = max(0, depth - (2 if tok == ">>" else 1))
+        if name_idx is None:
+            return _Scope("block", cls=cls, fn=fn)
+
+        # collect A::B::name backwards
+        parts = [toks[name_idx]]
+        k = name_idx - 1
+        while k >= 1 and toks[k] == "::" and re.match(r"[A-Za-z_]", toks[k - 1]):
+            parts.append(toks[k - 1])
+            k -= 2
+        parts.reverse()
+        qname = "::".join(parts)
+        method_cls = parts[-2] if len(parts) >= 2 else cls
+        return _Scope("function", name=qname, cls=method_cls,
+                      fn=(f"{method_cls}::{parts[-1]}"
+                          if method_cls and len(parts) < 2 else qname))
+
+
+# --------------------------------------------------------------------------
+# Clang frontend (optional; degrades to LexFrontend when unavailable)
+# --------------------------------------------------------------------------
+
+
+class ClangFrontend:
+    """libclang-backed frontend.
+
+    Parses each TU with the flags recorded in compile_commands.json, then
+    extracts the same IR from the cursor tree. Constructing it raises
+    ImportError/OSError when clang.cindex or libclang itself is missing —
+    callers fall back to LexFrontend and say so.
+    """
+
+    name = "clang"
+
+    def __init__(self, repo_root: Path, compdb_dir: Path | None):
+        import clang.cindex as cindex  # noqa: F401  (raises when absent)
+
+        self.cindex = cindex
+        self.repo_root = repo_root
+        self.index = cindex.Index.create()  # raises OSError without libclang
+        self.compdb = None
+        if compdb_dir is not None:
+            try:
+                self.compdb = cindex.CompilationDatabase.fromDirectory(str(compdb_dir))
+            except cindex.CompilationDatabaseError:
+                self.compdb = None
+        # The lexical walker still supplies allows + includes (libclang sees
+        # them too, but the comment harvest is simpler on raw text).
+        self._lex = LexFrontend(repo_root)
+
+    def parse(self, path: Path) -> TU:
+        tu = self._lex.parse(path)  # baseline facts incl. allows/includes
+        tu.frontend = self.name
+        args = ["-std=c++20", f"-I{self.repo_root / 'src'}"]
+        if self.compdb is not None:
+            commands = self.compdb.getCompileCommands(str(path))
+            if commands:
+                raw = list(commands[0].arguments)[1:-1]
+                args = [a for a in raw if a != str(path)]
+        try:
+            unit = self.index.parse(str(path), args=args)
+        except self.cindex.TranslationUnitLoadError:
+            return tu  # keep the lexical facts
+        self._refine_types(tu, unit.cursor, path)
+        return tu
+
+    def _refine_types(self, tu: TU, cursor, path: Path) -> None:
+        """Use real decl types to re-ground unordered declarations."""
+        kind = self.cindex.CursorKind
+        seen: set[tuple[str, int]] = set()
+        for node in cursor.walk_preorder():
+            if node.location.file is None or Path(str(node.location.file)) != path:
+                continue
+            if node.kind in (kind.VAR_DECL, kind.FIELD_DECL):
+                spelling = node.type.spelling
+                if "unordered_" in spelling:
+                    key = (node.spelling, node.location.line)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    owner = None
+                    parent = node.semantic_parent
+                    if parent is not None and parent.kind in (
+                            kind.CLASS_DECL, kind.STRUCT_DECL):
+                        owner = parent.spelling
+                    tu.unordered_decls.append(
+                        UnorderedDecl(node.spelling, owner, spelling, tu.rel,
+                                      node.location.line)
+                    )
+
+
+def make_frontend(kind: str, repo_root: Path, compdb_dir: Path | None):
+    """Frontend factory: 'clang' | 'lex' | 'auto'.
+
+    Returns (frontend, notice) where notice explains a fallback, if any.
+    """
+    if kind == "lex":
+        return LexFrontend(repo_root), None
+    try:
+        return ClangFrontend(repo_root, compdb_dir), None
+    except Exception as err:  # ImportError, OSError (libclang.so missing), …
+        notice = (f"libclang unavailable ({type(err).__name__}: {err}); "
+                  f"using the built-in lexical frontend")
+        if kind == "clang":
+            raise RuntimeError(notice) from err
+        return LexFrontend(repo_root), notice

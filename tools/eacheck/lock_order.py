@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""eacheck pass 2: static deadlock detection (DESIGN.md §16).
+
+Builds the lock-order graph from the PR 5 annotated wrappers: every scoped
+``MutexLock guard(expr);`` acquisition is canonicalized to its declared
+``Mutex`` member (``Class::member``), nesting produces direct edges, and
+calls made while holding a lock propagate the callee's transitive
+acquisitions interprocedurally (fixpoint over per-function summaries).
+A cycle in the resulting graph is a potential deadlock; it is reported with
+*both* acquisition stacks (file:line of the held lock and of the nested
+acquisition, plus the call chain when the edge is interprocedural).
+
+Resolution is deliberately conservative where the receiver's type is
+unknown: calls through an object are matched by method name against every
+class that defines it, except for names on the COMMON_METHOD_NAMES
+blocklist (``size``, ``find``, …) which would otherwise alias STL
+containers onto project classes.
+
+The pass also verifies coverage: acquisition sites must be found in the
+sweep, daemon_group, telemetry, logging and shard_engine translation units
+(the concurrency surface this repo actually has) so a frontend regression
+cannot silently turn the pass into a no-op.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from frontend import Acquisition, CallSite, COMMON_METHOD_NAMES
+
+PASS = "locks"
+
+#: Files that must contribute at least one acquisition site for the pass to
+#: trust its own coverage (repo mode only).
+REQUIRED_COVERAGE = (
+    "src/sim/sweep.cpp",
+    "src/daemon/daemon_group.cpp",
+    "src/daemon/telemetry.cpp",
+    "src/common/logging.cpp",
+    "src/sim/shard_engine.cpp",
+)
+
+
+@dataclass
+class Edge:
+    src: str
+    dst: str
+    held_at: Acquisition       # where the held lock was taken
+    acquired_at: Acquisition   # the nested acquisition
+    call_chain: tuple[str, ...] = ()  # interprocedural path, may be empty
+
+    def describe(self) -> str:
+        chain = ""
+        if self.call_chain:
+            chain = "  via " + " -> ".join(self.call_chain)
+        return (f"{self.src} -> {self.dst}\n"
+                f"      holds   {self.src} since {self.held_at.file}:"
+                f"{self.held_at.line} in {self.held_at.function}\n"
+                f"      acquires {self.dst} at {self.acquired_at.file}:"
+                f"{self.acquired_at.line} in {self.acquired_at.function}"
+                + (f"\n    {chain}" if chain else ""))
+
+
+@dataclass
+class FunctionSummary:
+    qname: str
+    bare: str
+    cls: str | None
+    file: str
+    direct: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    # transitive: canonical -> (acquisition, call chain that reaches it)
+    transitive: dict[str, tuple[Acquisition, tuple[str, ...]]] = field(
+        default_factory=dict)
+
+
+def canonicalize(acq: Acquisition, decls, tu_module: str | None) -> str:
+    """Map an acquisition expression to ``Owner::member``.
+
+    Preference order: declaring class == enclosing class of the acquiring
+    function (bare ``mutex_`` accesses), then same-file declaration, then
+    same-module, then a globally unique declaration; otherwise the name is
+    qualified with the acquiring file's stem and marked ambiguous.
+    """
+    candidates = decls.get(acq.tail, [])
+    bare_access = "." not in acq.expr and "->" not in acq.expr
+
+    def label(decl) -> str:
+        owner = decl.owner or Path(decl.file).stem
+        return f"{owner}::{decl.name}"
+
+    if candidates:
+        if bare_access:
+            same_cls = [d for d in candidates if d.owner == acq.enclosing_class
+                        and d.owner is not None]
+            if len(same_cls) == 1:
+                return label(same_cls[0])
+        same_file = [d for d in candidates if d.file == acq.file]
+        if len(same_file) == 1:
+            return label(same_file[0])
+        header_twin = [d for d in candidates
+                       if Path(d.file).stem == Path(acq.file).stem]
+        if len(header_twin) == 1:
+            return label(header_twin[0])
+        if tu_module is not None:
+            same_mod = [d for d in candidates
+                        if d.file.startswith(f"src/{tu_module}/")]
+            if len(same_mod) == 1:
+                return label(same_mod[0])
+        if len(candidates) == 1:
+            return label(candidates[0])
+    return f"{Path(acq.file).stem}::{acq.tail}(unresolved)"
+
+
+def build_summaries(tus, decls) -> dict[str, FunctionSummary]:
+    summaries: dict[str, FunctionSummary] = {}
+    for tu in tus:
+        for acq in tu.acquisitions:
+            acq.canonical = canonicalize(acq, decls, tu.module)
+            summary = summaries.setdefault(
+                acq.function,
+                FunctionSummary(acq.function, acq.function.split("::")[-1],
+                                acq.enclosing_class, tu.rel))
+            summary.direct.append(acq)
+        for call in tu.calls:
+            summary = summaries.setdefault(
+                call.function,
+                FunctionSummary(call.function, call.function.split("::")[-1],
+                                call.enclosing_class, tu.rel))
+            summary.calls.append(call)
+    return summaries
+
+
+def resolve_call(call: CallSite, summaries, by_bare) -> list[FunctionSummary]:
+    """Candidate callee summaries for a call site."""
+    if call.qualifier is not None:
+        exact = summaries.get(f"{call.qualifier}::{call.name}")
+        return [exact] if exact else []
+    if call.receiver is None:
+        # free call or implicit this->: prefer the caller's own class
+        if call.enclosing_class:
+            own = summaries.get(f"{call.enclosing_class}::{call.name}")
+            if own:
+                return [own]
+        candidates = by_bare.get(call.name, [])
+        return candidates if len(candidates) == 1 else []
+    # receiver of unknown type: conservative name match minus STL-alike names
+    if call.name in COMMON_METHOD_NAMES:
+        return []
+    return [s for s in by_bare.get(call.name, []) if s.cls is not None]
+
+
+def propagate(summaries: dict[str, FunctionSummary]) -> None:
+    """Fixpoint: fold callees' transitive acquisitions into callers."""
+    by_bare: dict[str, list[FunctionSummary]] = defaultdict(list)
+    for summary in summaries.values():
+        by_bare[summary.bare].append(summary)
+
+    for summary in summaries.values():
+        for acq in summary.direct:
+            summary.transitive.setdefault(acq.canonical, (acq, ()))
+
+    changed = True
+    rounds = 0
+    while changed and rounds < 32:
+        changed = False
+        rounds += 1
+        for summary in summaries.values():
+            for call in summary.calls:
+                for callee in resolve_call(call, summaries, by_bare):
+                    if callee is summary:
+                        continue
+                    for canon, (acq, chain) in callee.transitive.items():
+                        if canon in summary.transitive:
+                            continue
+                        if len(chain) >= 6:
+                            continue
+                        step = (f"{call.name}() at {call.file}:{call.line}",)
+                        summary.transitive[canon] = (acq, step + chain)
+                        changed = True
+
+
+def collect_edges(tus, summaries) -> list[Edge]:
+    by_bare: dict[str, list[FunctionSummary]] = defaultdict(list)
+    for summary in summaries.values():
+        by_bare[summary.bare].append(summary)
+
+    edges: list[Edge] = []
+    seen: set[tuple] = set()
+
+    def add(src_acq: Acquisition, dst_acq: Acquisition, chain=()):
+        if src_acq.canonical == dst_acq.canonical and not chain:
+            # re-entrant same-scope double lock: report as a self-edge
+            pass
+        key = (src_acq.canonical, dst_acq.canonical, dst_acq.file,
+               dst_acq.line, chain)
+        if key in seen:
+            return
+        seen.add(key)
+        edges.append(Edge(src_acq.canonical, dst_acq.canonical, src_acq,
+                          dst_acq, chain))
+
+    # direct nesting
+    for tu in tus:
+        for acq in tu.acquisitions:
+            for held in acq.held_before:
+                add(held, acq)
+
+    # interprocedural: calls made while holding
+    for tu in tus:
+        for call in tu.calls:
+            if not call.held:
+                continue
+            for callee in resolve_call(call, summaries, by_bare):
+                for canon, (acq, chain) in callee.transitive.items():
+                    for held in call.held:
+                        if held.canonical == canon:
+                            continue  # relock through self-call chain: skip
+                        step = (f"{call.name}() at {call.file}:{call.line}",)
+                        add(held, acq, step + chain)
+    return edges
+
+
+def find_cycles(edges: list[Edge]) -> list[list[Edge]]:
+    graph: dict[str, list[Edge]] = defaultdict(list)
+    for edge in edges:
+        graph[edge.src].append(edge)
+
+    cycles: list[list[Edge]] = []
+    seen_keys: set[frozenset] = set()
+
+    def dfs(node: str, stack: list[Edge], on_stack: set[str]):
+        for edge in graph.get(node, ()):
+            if edge.dst in on_stack:
+                idx = next(i for i, e in enumerate(stack) if e.src == edge.dst)
+                cycle = stack[idx:] + [edge]
+                key = frozenset((e.src, e.dst) for e in cycle)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(cycle)
+                continue
+            if len(stack) > 12:
+                continue
+            stack.append(edge)
+            on_stack.add(edge.dst)
+            dfs(edge.dst, stack, on_stack)
+            on_stack.discard(edge.dst)
+            stack.pop()
+
+    for node in sorted(graph):
+        dfs(node, [], {node})
+    # self-deadlock (A -> A)
+    for edge in edges:
+        if edge.src == edge.dst:
+            key = frozenset([(edge.src, edge.dst)])
+            if key not in seen_keys:
+                seen_keys.add(key)
+                cycles.append([edge])
+    return cycles
+
+
+def run(tus, *, fixture: bool = False, out=print) -> dict:
+    decls: dict[str, list] = defaultdict(list)
+    for tu in tus:
+        for decl in tu.mutex_decls:
+            decls[decl.name].append(decl)
+
+    summaries = build_summaries(tus, decls)
+    propagate(summaries)
+    edges = collect_edges(tus, summaries)
+
+    # eacheck:allow(locks) on the nested acquisition line suppresses the edge
+    suppressed = 0
+    tu_by_rel = {tu.rel: tu for tu in tus}
+    kept: list[Edge] = []
+    for edge in edges:
+        tu = tu_by_rel.get(edge.acquired_at.file)
+        if tu is not None and tu.allowed(PASS, edge.acquired_at.line):
+            suppressed += 1
+            continue
+        kept.append(edge)
+    edges = kept
+
+    cycles = find_cycles(edges)
+    violations: list[str] = []
+    for cycle in cycles:
+        lines = ["lock-order cycle (potential deadlock):"]
+        for edge in cycle:
+            lines.append("    " + edge.describe())
+        violations.append("\n".join(lines))
+
+    nodes = sorted({e.src for e in edges} | {e.dst for e in edges}
+                   | {a.canonical for tu in tus for a in tu.acquisitions
+                      if a.canonical})
+    site_files = sorted({a.file for tu in tus for a in tu.acquisitions})
+    missing_coverage = []
+    if not fixture:
+        missing_coverage = [f for f in REQUIRED_COVERAGE if f not in site_files]
+        for path in missing_coverage:
+            violations.append(
+                f"coverage: no MutexLock acquisition extracted from {path} — "
+                f"the frontend regressed or the file moved; update "
+                f"REQUIRED_COVERAGE in tools/eacheck/lock_order.py"
+            )
+
+    total_sites = sum(len(tu.acquisitions) for tu in tus)
+    out(f"eacheck[locks]: {total_sites} acquisition sites across "
+        f"{len(site_files)} files, {len(nodes)} locks, {len(edges)} "
+        f"ordered edge(s), {len(cycles)} cycle(s), {suppressed} suppressed")
+    out("  lock-order graph:")
+    for node in nodes:
+        outgoing = sorted({e.dst for e in edges if e.src == node})
+        arrow = " -> " + ", ".join(outgoing) if outgoing else ""
+        out(f"    {node}{arrow}")
+    for edge in edges:
+        out("  edge " + edge.describe())
+    if not cycles:
+        out("  no cycles: lock-order graph is deadlock-free")
+    for violation in violations:
+        out("  VIOLATION: " + violation)
+
+    return {"violations": violations, "cycles": cycles, "edges": edges,
+            "nodes": nodes, "site_files": site_files}
